@@ -1,0 +1,4 @@
+//! Regeneration bench target (harness = false): see `wf_bench::run_fig01`.
+fn main() {
+    wf_bench::run_fig01();
+}

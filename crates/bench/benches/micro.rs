@@ -1,0 +1,127 @@
+//! Criterion microbenches for the hot paths of the reproduction: DTM
+//! training/inference, GP refits, dependency-aware sampling, feature
+//! encoding, footprint evaluation, and a full pipeline evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use wf_configspace::Encoder;
+use wf_deeptune::{Dtm, DtmConfig};
+use wf_kconfig::{gen::synthesize, LinuxVersion, Solver};
+use wf_nn::Matrix;
+use wf_ossim::{App, AppId, SimOs};
+
+fn bench_dtm(c: &mut Criterion) {
+    let dim = 200;
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Matrix::from_fn(64, dim, |_, _| rng.random::<f64>());
+    let y: Vec<f64> = (0..64).map(|_| rng.random::<f64>()).collect();
+    let crashed: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+
+    c.bench_function("dtm_train_batch_64x200", |b| {
+        let mut model = Dtm::new(DtmConfig::for_input(dim));
+        b.iter(|| black_box(model.train_batch(&x, &y, &crashed)));
+    });
+    c.bench_function("dtm_predict_64x200", |b| {
+        let mut model = Dtm::new(DtmConfig::for_input(dim));
+        b.iter(|| black_box(model.predict(&x)));
+    });
+}
+
+fn bench_kconfig(c: &mut Criterion) {
+    let model = synthesize(LinuxVersion::V2_6_13);
+    c.bench_function("kconfig_solver_build_5338_symbols", |b| {
+        b.iter(|| black_box(Solver::new(&model)));
+    });
+    let solver = Solver::new(&model);
+    c.bench_function("kconfig_randconfig_5338_symbols", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(solver.randconfig(&mut rng)));
+    });
+    c.bench_function("kconfig_defconfig_5338_symbols", |b| {
+        b.iter(|| black_box(solver.defconfig()));
+    });
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let encoder = Encoder::new(&os.space);
+    let app = App::by_id(AppId::Nginx);
+    c.bench_function("encoder_encode_200_params", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = os.space.sample(&mut rng);
+        b.iter(|| black_box(encoder.encode(&os.space, &cfg)));
+    });
+    c.bench_function("simos_evaluate_nginx", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter_batched(
+            || os.space.sample(&mut rng),
+            |cfg| {
+                let mut inner = StdRng::seed_from_u64(5);
+                black_box(os.evaluate(&app, &cfg, None, &mut inner))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let riscv = SimOs::linux_riscv_footprint();
+    c.bench_function("footprint_eval_reduced_space", |b| {
+        let cfg = riscv.space.default_config();
+        b.iter(|| black_box(riscv.footprint.footprint_mb(&riscv.space, &cfg)));
+    });
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    use wf_jobfile::Direction;
+    use wf_search::{BayesOpt, Observation, SamplePolicy, SearchAlgorithm, SearchContext};
+    let os = SimOs::unikraft_nginx();
+    let encoder = Encoder::new(&os.space);
+    let policy = SamplePolicy::Uniform;
+    c.bench_function("gp_observe_refit_n64", |b| {
+        b.iter_batched(
+            || {
+                let mut alg = BayesOpt::new();
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut history = Vec::new();
+                for i in 0..63 {
+                    let ctx = SearchContext {
+                        space: &os.space,
+                        encoder: &encoder,
+                        direction: Direction::Maximize,
+                        policy: &policy,
+                        history: &history,
+                        iteration: i,
+                    };
+                    let cfg = ctx.policy.sample(ctx.space, &mut rng);
+                    let obs = Observation::ok(cfg, rng.random::<f64>(), 1.0);
+                    alg.observe(&ctx, &obs);
+                    history.push(obs);
+                }
+                (alg, history)
+            },
+            |(mut alg, history)| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let ctx = SearchContext {
+                    space: &os.space,
+                    encoder: &encoder,
+                    direction: Direction::Maximize,
+                    policy: &policy,
+                    history: &history,
+                    iteration: 63,
+                };
+                let cfg = ctx.policy.sample(ctx.space, &mut rng);
+                let obs = Observation::ok(cfg, 1.0, 1.0);
+                alg.observe(&ctx, &obs);
+                black_box(alg.stats())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dtm, bench_kconfig, bench_platform, bench_bayes
+}
+criterion_main!(benches);

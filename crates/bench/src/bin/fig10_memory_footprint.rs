@@ -1,0 +1,4 @@
+//! Regeneration binary: see `wf_bench::run_fig10`.
+fn main() {
+    wf_bench::run_fig10();
+}

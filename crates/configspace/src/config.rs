@@ -1,0 +1,328 @@
+//! Configurations: complete assignments of values to a space's parameters.
+
+use crate::param::Stage;
+use crate::space::ConfigSpace;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A complete assignment of one [`Value`] per parameter of a
+/// [`ConfigSpace`], stored positionally.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    values: Vec<Value>,
+}
+
+impl Configuration {
+    /// Creates a configuration from positional values.
+    ///
+    /// Prefer [`ConfigSpace::default_config`] / sampling helpers, which
+    /// guarantee domain validity.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// Number of assigned parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` for the empty configuration.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Positional access.
+    pub fn get(&self, idx: usize) -> Value {
+        self.values[idx]
+    }
+
+    /// Positional mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set(&mut self, idx: usize, value: Value) {
+        self.values[idx] = value;
+    }
+
+    /// All values in parameter order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Looks a value up by parameter name within `space`.
+    pub fn by_name(&self, space: &ConfigSpace, name: &str) -> Option<Value> {
+        space.index_of(name).map(|i| self.values[i])
+    }
+
+    /// Sets a value by parameter name; returns `false` if the name is
+    /// unknown or the value is outside the parameter's domain.
+    pub fn set_by_name(&mut self, space: &ConfigSpace, name: &str, value: Value) -> bool {
+        match space.index_of(name) {
+            Some(i) if space.spec(i).kind.admits(&value) => {
+                self.values[i] = value;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A stable 64-bit hash (FNV-1a over the value stream), used as an image
+    /// cache key by the platform.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for v in &self.values {
+            match v {
+                Value::Bool(b) => {
+                    mix(1);
+                    mix(*b as u64);
+                }
+                Value::Tristate(t) => {
+                    mix(2);
+                    mix(t.level() as u64);
+                }
+                Value::Int(i) => {
+                    mix(3);
+                    mix(*i as u64);
+                }
+                Value::Choice(c) => {
+                    mix(4);
+                    mix(*c as u64);
+                }
+            }
+        }
+        h
+    }
+
+    /// Fingerprint restricted to parameters of the given stages; two configs
+    /// with equal compile-time fingerprints can share a built image.
+    pub fn stage_fingerprint(&self, space: &ConfigSpace, stages: &[Stage]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for (i, v) in self.values.iter().enumerate() {
+            if !stages.contains(&space.spec(i).stage) {
+                continue;
+            }
+            mix(i as u64);
+            match v {
+                Value::Bool(b) => mix(*b as u64 | 0x10),
+                Value::Tristate(t) => mix(t.level() as u64 | 0x20),
+                Value::Int(x) => mix(*x as u64 ^ 0x30),
+                Value::Choice(c) => mix(*c as u64 | 0x40),
+            }
+        }
+        h
+    }
+
+    /// The set of stages on which `self` and `other` differ. The platform
+    /// uses this to skip rebuilds when only runtime parameters changed
+    /// (§3.1).
+    pub fn changed_stages(&self, other: &Configuration, space: &ConfigSpace) -> Vec<Stage> {
+        let mut changed = Vec::new();
+        for (i, (a, b)) in self.values.iter().zip(other.values.iter()).enumerate() {
+            if a != b {
+                let st = space.spec(i).stage;
+                if !changed.contains(&st) {
+                    changed.push(st);
+                }
+            }
+        }
+        changed.sort();
+        changed
+    }
+
+    /// Indices of parameters whose values differ from `other`.
+    pub fn diff_indices(&self, other: &Configuration) -> Vec<usize> {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .enumerate()
+            .filter_map(|(i, (a, b))| (a != b).then_some(i))
+            .collect()
+    }
+
+    /// Materializes a name → value map (the view the simulated OS consumes).
+    pub fn named(&self, space: &ConfigSpace) -> NamedConfig {
+        let mut map = HashMap::with_capacity(self.values.len());
+        for (i, v) in self.values.iter().enumerate() {
+            map.insert(space.spec(i).name.clone(), *v);
+        }
+        NamedConfig { map }
+    }
+}
+
+/// A resolved name → value view of a configuration.
+///
+/// The simulated OS substrate consumes this form so that it stays decoupled
+/// from positional parameter indices: a search may only cover a *subset* of
+/// the OS's parameters, in which case lookups for uncovered names return
+/// `None` and the OS falls back to its defaults.
+#[derive(Clone, Debug, Default)]
+pub struct NamedConfig {
+    map: HashMap<String, Value>,
+}
+
+impl NamedConfig {
+    /// Creates an empty view (every lookup misses — pure OS defaults).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Creates a view from explicit pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, Value)>) -> Self {
+        Self {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Number of assigned names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no names are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a value.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.map.get(name).copied()
+    }
+
+    /// Integer view with fallback.
+    pub fn int_or(&self, name: &str, default: i64) -> i64 {
+        self.get(name).and_then(|v| v.as_int()).unwrap_or(default)
+    }
+
+    /// Boolean view with fallback. Integer values are interpreted as
+    /// booleans the way sysctl does (non-zero = true).
+    pub fn bool_or(&self, name: &str, default: bool) -> bool {
+        match self.get(name) {
+            Some(Value::Bool(b)) => b,
+            Some(Value::Int(i)) => i != 0,
+            Some(Value::Tristate(t)) => t.enabled(),
+            Some(Value::Choice(_)) | None => default,
+        }
+    }
+
+    /// Choice-index view with fallback.
+    pub fn choice_or(&self, name: &str, default: usize) -> usize {
+        self.get(name).and_then(|v| v.as_choice()).unwrap_or(default)
+    }
+
+    /// Inserts or replaces a value.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        self.map.insert(name.into(), value);
+    }
+
+    /// Iterates over all `(name, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Value)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamKind, ParamSpec};
+    use crate::value::Tristate;
+
+    fn small_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(
+            ParamSpec::new("CONFIG_FOO", ParamKind::Tristate, Stage::CompileTime)
+                .with_default(Value::Tristate(Tristate::Yes)),
+        );
+        s.add(
+            ParamSpec::new("quiet", ParamKind::Bool, Stage::BootTime)
+                .with_default(Value::Bool(false)),
+        );
+        s.add(
+            ParamSpec::new("net.core.somaxconn", ParamKind::log_int(16, 65535), Stage::Runtime)
+                .with_default(Value::Int(128)),
+        );
+        s
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let s = small_space();
+        let c = s.default_config();
+        assert_eq!(c.by_name(&s, "quiet"), Some(Value::Bool(false)));
+        assert_eq!(c.by_name(&s, "nope"), None);
+    }
+
+    #[test]
+    fn set_by_name_respects_domain() {
+        let s = small_space();
+        let mut c = s.default_config();
+        assert!(c.set_by_name(&s, "net.core.somaxconn", Value::Int(1024)));
+        assert!(!c.set_by_name(&s, "net.core.somaxconn", Value::Int(1)));
+        assert!(!c.set_by_name(&s, "missing", Value::Int(1)));
+        assert_eq!(c.by_name(&s, "net.core.somaxconn"), Some(Value::Int(1024)));
+    }
+
+    #[test]
+    fn fingerprint_changes_with_values() {
+        let s = small_space();
+        let a = s.default_config();
+        let mut b = a.clone();
+        b.set_by_name(&s, "quiet", Value::Bool(true));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn stage_fingerprint_ignores_other_stages() {
+        let s = small_space();
+        let a = s.default_config();
+        let mut b = a.clone();
+        b.set_by_name(&s, "net.core.somaxconn", Value::Int(4096));
+        let compile_only = [Stage::CompileTime, Stage::BootTime];
+        assert_eq!(
+            a.stage_fingerprint(&s, &compile_only),
+            b.stage_fingerprint(&s, &compile_only)
+        );
+        assert_ne!(
+            a.stage_fingerprint(&s, &[Stage::Runtime]),
+            b.stage_fingerprint(&s, &[Stage::Runtime])
+        );
+    }
+
+    #[test]
+    fn changed_stages_reports_runtime_only_change() {
+        let s = small_space();
+        let a = s.default_config();
+        let mut b = a.clone();
+        b.set_by_name(&s, "net.core.somaxconn", Value::Int(999));
+        assert_eq!(a.changed_stages(&b, &s), vec![Stage::Runtime]);
+        assert_eq!(a.changed_stages(&a.clone(), &s), Vec::<Stage>::new());
+    }
+
+    #[test]
+    fn named_view_and_fallbacks() {
+        let s = small_space();
+        let c = s.default_config();
+        let n = c.named(&s);
+        assert_eq!(n.int_or("net.core.somaxconn", 0), 128);
+        assert_eq!(n.int_or("unknown", 42), 42);
+        assert!(!n.bool_or("quiet", true));
+        assert!(n.bool_or("unknown", true));
+    }
+
+    #[test]
+    fn named_bool_coercion_from_int() {
+        let mut n = NamedConfig::empty();
+        n.set("flag", Value::Int(7));
+        assert!(n.bool_or("flag", false));
+        n.set("flag", Value::Int(0));
+        assert!(!n.bool_or("flag", true));
+    }
+}

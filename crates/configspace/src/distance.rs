@@ -1,0 +1,108 @@
+//! Distances and the dissimilarity measure of the scoring function (Eq. 2).
+
+/// Squared Euclidean distance between two feature vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Squared distance from `x` to its nearest neighbor among `known` rows.
+///
+/// `known` is a row-major flattened matrix with rows of length `x.len()`.
+/// Returns `f64::INFINITY` when `known` is empty.
+pub fn nearest_sq_dist(x: &[f64], known: &[Vec<f64>]) -> f64 {
+    known
+        .iter()
+        .map(|k| sq_euclidean(x, k))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Dissimilarity of a candidate to the set of explored samples, Eq. 2 of the
+/// paper:
+///
+/// `ds(x, X) = 1 - 1 / (1 + ||x - X||_2^2)`
+///
+/// where `||x - X||` is interpreted as the distance from `x` to its nearest
+/// explored sample. The result lies in [0, 1): 0 when `x` coincides with a
+/// known sample and approaching 1 for remote candidates. An empty history
+/// yields the maximal dissimilarity 1.
+pub fn dissimilarity(x: &[f64], known: &[Vec<f64>]) -> f64 {
+    if known.is_empty() {
+        return 1.0;
+    }
+    let d2 = nearest_sq_dist(x, known);
+    1.0 - 1.0 / (1.0 + d2)
+}
+
+/// Cosine similarity between two vectors; 0 when either norm vanishes.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sq_euclidean_known() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_picks_minimum() {
+        let known = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        assert_eq!(nearest_sq_dist(&[1.0, 0.0], &known), 1.0);
+    }
+
+    #[test]
+    fn nearest_of_empty_is_infinite() {
+        assert_eq!(nearest_sq_dist(&[1.0], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn dissimilarity_bounds() {
+        let known = vec![vec![0.0, 0.0]];
+        // Identical sample: ds = 0.
+        assert_eq!(dissimilarity(&[0.0, 0.0], &known), 0.0);
+        // Remote sample: ds approaches 1.
+        let far = dissimilarity(&[100.0, 100.0], &known);
+        assert!(far > 0.999 && far < 1.0);
+        // Empty history: maximal.
+        assert_eq!(dissimilarity(&[0.0, 0.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn dissimilarity_monotone_in_distance() {
+        let known = vec![vec![0.0]];
+        let near = dissimilarity(&[0.5], &known);
+        let far = dissimilarity(&[2.0], &known);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Feature encoding of configurations for the learning components.
+//!
+//! Configurations are mapped to fixed-width `f64` vectors:
+//!
+//! * `bool` → one dimension in {0, 1};
+//! * `tristate` → three-way one-hot (n/m/y);
+//! * `int`/`hex` → one dimension scaled to [0, 1], logarithmically when the
+//!   parameter is log-scaled;
+//! * `enum` → one-hot over its choices.
+//!
+//! The encoding is the shared representation used by the DeepTune Model, the
+//! Gaussian-process baseline, the causal baseline, and the random forest, so
+//! it lives here in the config-space crate.
+
+use crate::config::Configuration;
+use crate::param::ParamKind;
+use crate::space::ConfigSpace;
+use crate::value::Value;
+
+/// Encoder from [`Configuration`]s to dense feature vectors.
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    widths: Vec<usize>,
+    offsets: Vec<usize>,
+    dim: usize,
+}
+
+impl Encoder {
+    /// Builds an encoder for the given space.
+    pub fn new(space: &ConfigSpace) -> Self {
+        let widths: Vec<usize> = space
+            .specs()
+            .iter()
+            .map(|p| p.kind.encoded_width())
+            .collect();
+        let mut offsets = Vec::with_capacity(widths.len());
+        let mut acc = 0;
+        for w in &widths {
+            offsets.push(acc);
+            acc += w;
+        }
+        Self {
+            widths,
+            offsets,
+            dim: acc,
+        }
+    }
+
+    /// Total feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature offset of parameter `idx`.
+    pub fn offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// The feature width of parameter `idx`.
+    pub fn width(&self, idx: usize) -> usize {
+        self.widths[idx]
+    }
+
+    /// Maps a feature dimension back to the index of the parameter that owns
+    /// it (used to aggregate per-feature importances per parameter).
+    pub fn param_of_feature(&self, feature: usize) -> usize {
+        debug_assert!(feature < self.dim);
+        match self.offsets.binary_search(&feature) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Encodes a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration length does not match the space.
+    pub fn encode(&self, space: &ConfigSpace, config: &Configuration) -> Vec<f64> {
+        assert_eq!(config.len(), space.len(), "config/space length mismatch");
+        let mut out = vec![0.0; self.dim];
+        for i in 0..space.len() {
+            let off = self.offsets[i];
+            match (&space.spec(i).kind, config.get(i)) {
+                (ParamKind::Bool, Value::Bool(b)) => out[off] = b as u8 as f64,
+                (ParamKind::Tristate, Value::Tristate(t)) => out[off + t.level()] = 1.0,
+                (
+                    ParamKind::Int {
+                        min,
+                        max,
+                        log_scale,
+                    },
+                    Value::Int(v),
+                ) => out[off] = scale_int(*min, *max, *log_scale, v),
+                (ParamKind::Hex { min, max }, Value::Int(v)) => {
+                    out[off] = scale_int(*min, *max, false, v)
+                }
+                (ParamKind::Enum { choices }, Value::Choice(c)) => {
+                    debug_assert!(c < choices.len());
+                    out[off + c] = 1.0;
+                }
+                (kind, value) => {
+                    panic!(
+                        "value {value:?} does not match kind {kind:?} for {}",
+                        space.spec(i).name
+                    )
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes a batch of configurations into a row-per-config matrix shape
+    /// `(configs.len(), dim)` flattened row-major.
+    pub fn encode_batch(&self, space: &ConfigSpace, configs: &[Configuration]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(configs.len() * self.dim);
+        for c in configs {
+            out.extend(self.encode(space, c));
+        }
+        out
+    }
+}
+
+fn scale_int(min: i64, max: i64, log_scale: bool, v: i64) -> f64 {
+    if max == min {
+        return 0.0;
+    }
+    let v = v.clamp(min, max);
+    if log_scale && min >= 0 {
+        let num = ((v - min) as f64 + 1.0).ln();
+        let den = ((max - min) as f64 + 1.0).ln();
+        num / den
+    } else {
+        (v - min) as f64 / (max - min) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamSpec, Stage};
+    use crate::value::Tristate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(ParamSpec::new("flag", ParamKind::Bool, Stage::Runtime));
+        s.add(ParamSpec::new("tri", ParamKind::Tristate, Stage::CompileTime));
+        s.add(
+            ParamSpec::new("size", ParamKind::log_int(0, 1023), Stage::Runtime)
+                .with_default(Value::Int(0)),
+        );
+        s.add(ParamSpec::new(
+            "mode",
+            ParamKind::choices(vec!["a", "b"]),
+            Stage::BootTime,
+        ));
+        s
+    }
+
+    #[test]
+    fn dim_is_sum_of_widths() {
+        let s = space();
+        let e = Encoder::new(&s);
+        assert_eq!(e.dim(), 1 + 3 + 1 + 2);
+    }
+
+    #[test]
+    fn encode_default_config() {
+        let s = space();
+        let e = Encoder::new(&s);
+        let v = e.encode(&s, &s.default_config());
+        // flag=false, tri=n (one-hot position 0), size=0, mode=choice 0.
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn encode_scales_log_ints_into_unit_interval() {
+        let s = space();
+        let e = Encoder::new(&s);
+        let mut c = s.default_config();
+        c.set_by_name(&s, "size", Value::Int(1023));
+        let v = e.encode(&s, &c);
+        let size_feature = v[e.offset(s.index_of("size").unwrap())];
+        assert!((size_feature - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tristate_one_hot() {
+        let s = space();
+        let e = Encoder::new(&s);
+        let mut c = s.default_config();
+        c.set_by_name(&s, "tri", Value::Tristate(Tristate::Module));
+        let v = e.encode(&s, &c);
+        let off = e.offset(s.index_of("tri").unwrap());
+        assert_eq!(&v[off..off + 3], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn features_always_in_unit_interval() {
+        let s = space();
+        let e = Encoder::new(&s);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            for f in e.encode(&s, &c) {
+                assert!((0.0..=1.0).contains(&f), "feature {f} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn param_of_feature_inverts_offsets() {
+        let s = space();
+        let e = Encoder::new(&s);
+        for p in 0..s.len() {
+            for w in 0..e.width(p) {
+                assert_eq!(e.param_of_feature(e.offset(p) + w), p);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_batch_is_row_major() {
+        let s = space();
+        let e = Encoder::new(&s);
+        let c = s.default_config();
+        let batch = e.encode_batch(&s, &[c.clone(), c.clone()]);
+        assert_eq!(batch.len(), 2 * e.dim());
+        assert_eq!(&batch[..e.dim()], &batch[e.dim()..]);
+    }
+}

@@ -1,0 +1,31 @@
+//! `wf-configspace`: the typed OS configuration-space model.
+//!
+//! The Wayfinder paper (§2.1, §3.4) treats an OS configuration as a vector
+//! of typed parameters spanning three stages — compile-time (Kconfig
+//! symbols), boot-time (kernel command line), and runtime (writable files
+//! under `/proc/sys` and `/sys`). This crate provides:
+//!
+//! * [`param`]: parameter kinds (`bool`, `tristate`, `int`, `hex`, `enum`)
+//!   and stages;
+//! * [`value`]: assigned values, including the Kconfig [`value::Tristate`];
+//! * [`config`]: complete assignments, stage-level diffs (which power the
+//!   platform's rebuild-skip optimization), and name-resolved views;
+//! * [`space`]: the parameter collection with uniform / log-uniform /
+//!   stage-focused sampling, mutation, pinning (§3.5 constrained search),
+//!   and the Table 1 census;
+//! * [`encoding`]: the dense feature representation shared by DeepTune, the
+//!   Gaussian-process baseline, the causal baseline, and the random forest;
+//! * [`distance`]: Eq. 2's dissimilarity and supporting metrics.
+
+pub mod config;
+pub mod distance;
+pub mod encoding;
+pub mod param;
+pub mod space;
+pub mod value;
+
+pub use config::{Configuration, NamedConfig};
+pub use encoding::Encoder;
+pub use param::{ParamKind, ParamSpec, Stage};
+pub use space::{ConfigSpace, SpaceCensus};
+pub use value::{Tristate, Value};

@@ -1,0 +1,266 @@
+//! Parameter specifications: kinds, stages, and metadata.
+
+use crate::value::{Tristate, Value};
+use std::fmt;
+
+/// When a configuration parameter takes effect (§2.1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Compile-time option (Kconfig symbol).
+    CompileTime,
+    /// Boot-time option (kernel command-line parameter).
+    BootTime,
+    /// Runtime option (writable file under /proc/sys or /sys).
+    Runtime,
+}
+
+impl Stage {
+    /// All stages in a stable order.
+    pub const ALL: [Stage; 3] = [Stage::CompileTime, Stage::BootTime, Stage::Runtime];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::CompileTime => "compile-time",
+            Stage::BootTime => "boot-time",
+            Stage::Runtime => "runtime",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type and domain of a parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamKind {
+    /// Two-valued option.
+    Bool,
+    /// Kconfig tristate: built-in (`y`), module (`m`), or absent (`n`).
+    Tristate,
+    /// Integer with an inclusive range. `log_scale` requests log-uniform
+    /// sampling and logarithmic feature encoding, which suits parameters
+    /// whose plausible values span several orders of magnitude (buffer
+    /// sizes, backlog lengths, ...).
+    Int {
+        /// Smallest valid value.
+        min: i64,
+        /// Largest valid value.
+        max: i64,
+        /// Sample and encode on a log axis.
+        log_scale: bool,
+    },
+    /// Hexadecimal integer (Kconfig `hex`); behaves like `Int` but is
+    /// rendered in hexadecimal.
+    Hex {
+        /// Smallest valid value.
+        min: i64,
+        /// Largest valid value.
+        max: i64,
+    },
+    /// Categorical parameter with a fixed set of string values. Kconfig
+    /// `string` options with automatically extractable values are mapped
+    /// here; per §3.4 values beyond the extracted set are not explored.
+    Enum {
+        /// The candidate values, in a stable order.
+        choices: Vec<String>,
+    },
+}
+
+impl ParamKind {
+    /// Creates a linear integer kind.
+    pub fn int(min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty integer range");
+        ParamKind::Int {
+            min,
+            max,
+            log_scale: false,
+        }
+    }
+
+    /// Creates a log-scaled integer kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min < 0` (log scale requires a non-negative domain).
+    pub fn log_int(min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty integer range");
+        assert!(min >= 0, "log-scaled ranges must be non-negative");
+        ParamKind::Int {
+            min,
+            max,
+            log_scale: true,
+        }
+    }
+
+    /// Creates an enum kind from string choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn choices<S: Into<String>>(choices: Vec<S>) -> Self {
+        let choices: Vec<String> = choices.into_iter().map(Into::into).collect();
+        assert!(!choices.is_empty(), "enum needs at least one choice");
+        ParamKind::Enum { choices }
+    }
+
+    /// Number of scalar feature dimensions this kind contributes to the
+    /// encoded representation.
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            ParamKind::Bool => 1,
+            ParamKind::Tristate => 3,
+            ParamKind::Int { .. } | ParamKind::Hex { .. } => 1,
+            ParamKind::Enum { choices } => choices.len(),
+        }
+    }
+
+    /// Number of distinct values (None when practically unbounded is not
+    /// possible here: integer ranges are always finite).
+    pub fn cardinality(&self) -> u128 {
+        match self {
+            ParamKind::Bool => 2,
+            ParamKind::Tristate => 3,
+            ParamKind::Int { min, max, .. } | ParamKind::Hex { min, max } => {
+                (*max as i128 - *min as i128 + 1) as u128
+            }
+            ParamKind::Enum { choices } => choices.len() as u128,
+        }
+    }
+
+    /// Returns `true` if `value` lies in this kind's domain.
+    pub fn admits(&self, value: &Value) -> bool {
+        match (self, value) {
+            (ParamKind::Bool, Value::Bool(_)) => true,
+            (ParamKind::Tristate, Value::Tristate(_)) => true,
+            (ParamKind::Int { min, max, .. }, Value::Int(v))
+            | (ParamKind::Hex { min, max }, Value::Int(v)) => *v >= *min && *v <= *max,
+            (ParamKind::Enum { choices }, Value::Choice(i)) => *i < choices.len(),
+            _ => false,
+        }
+    }
+
+    /// A canonical default for this kind, used when no explicit default is
+    /// supplied.
+    pub fn canonical_default(&self) -> Value {
+        match self {
+            ParamKind::Bool => Value::Bool(false),
+            ParamKind::Tristate => Value::Tristate(Tristate::No),
+            ParamKind::Int { min, .. } | ParamKind::Hex { min, .. } => Value::Int(*min),
+            ParamKind::Enum { .. } => Value::Choice(0),
+        }
+    }
+}
+
+/// A fully described configuration parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamSpec {
+    /// Canonical parameter name (e.g. `net.core.somaxconn`, `CONFIG_SMP`).
+    pub name: String,
+    /// Type and domain.
+    pub kind: ParamKind,
+    /// When the parameter takes effect.
+    pub stage: Stage,
+    /// Default value (must be admitted by `kind`).
+    pub default: Value,
+    /// Free-form documentation (often empty for real kernels, cf. §2.1).
+    pub doc: String,
+    /// Fixed parameters are pinned to their default and never varied by the
+    /// search (§3.5: security-critical options, user constraints).
+    pub fixed: bool,
+}
+
+impl ParamSpec {
+    /// Creates a parameter with the kind's canonical default.
+    pub fn new(name: impl Into<String>, kind: ParamKind, stage: Stage) -> Self {
+        let default = kind.canonical_default();
+        Self {
+            name: name.into(),
+            kind,
+            stage,
+            default,
+            doc: String::new(),
+            fixed: false,
+        }
+    }
+
+    /// Sets the default value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is outside the parameter's domain.
+    pub fn with_default(mut self, default: Value) -> Self {
+        assert!(
+            self.kind.admits(&default),
+            "default {default:?} not admitted by {:?} for {}",
+            self.kind,
+            self.name
+        );
+        self.default = default;
+        self
+    }
+
+    /// Attaches documentation.
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Self {
+        self.doc = doc.into();
+        self
+    }
+
+    /// Pins the parameter to its default.
+    pub fn pinned(mut self) -> Self {
+        self.fixed = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_widths() {
+        assert_eq!(ParamKind::Bool.encoded_width(), 1);
+        assert_eq!(ParamKind::Tristate.encoded_width(), 3);
+        assert_eq!(ParamKind::int(0, 10).encoded_width(), 1);
+        assert_eq!(
+            ParamKind::choices(vec!["a", "b", "c"]).encoded_width(),
+            3
+        );
+    }
+
+    #[test]
+    fn admits_checks_domain() {
+        let k = ParamKind::int(1, 5);
+        assert!(k.admits(&Value::Int(3)));
+        assert!(!k.admits(&Value::Int(0)));
+        assert!(!k.admits(&Value::Bool(true)));
+        let e = ParamKind::choices(vec!["x", "y"]);
+        assert!(e.admits(&Value::Choice(1)));
+        assert!(!e.admits(&Value::Choice(2)));
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(ParamKind::Bool.cardinality(), 2);
+        assert_eq!(ParamKind::int(0, 9).cardinality(), 10);
+        assert_eq!(ParamKind::Tristate.cardinality(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "log-scaled ranges must be non-negative")]
+    fn log_int_rejects_negative_min() {
+        let _ = ParamKind::log_int(-1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not admitted")]
+    fn with_default_rejects_out_of_domain() {
+        let _ = ParamSpec::new("x", ParamKind::int(0, 1), Stage::Runtime)
+            .with_default(Value::Int(9));
+    }
+
+    #[test]
+    fn pinned_sets_fixed() {
+        let p = ParamSpec::new("x", ParamKind::Bool, Stage::Runtime).pinned();
+        assert!(p.fixed);
+    }
+}

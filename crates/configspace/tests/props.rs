@@ -1,0 +1,136 @@
+//! Property-based tests for the configuration-space model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_configspace::{
+    distance, ConfigSpace, Encoder, ParamKind, ParamSpec, Stage, Tristate, Value,
+};
+
+/// Strategy producing an arbitrary parameter kind.
+fn kind_strategy() -> impl Strategy<Value = ParamKind> {
+    prop_oneof![
+        Just(ParamKind::Bool),
+        Just(ParamKind::Tristate),
+        (any::<i32>(), 1..10_000i64).prop_map(|(min, span)| {
+            let min = min as i64 % 1000;
+            ParamKind::int(min, min + span)
+        }),
+        (0..1000i64, 1..100_000i64)
+            .prop_map(|(min, span)| ParamKind::log_int(min, min + span)),
+        prop::collection::vec("[a-z]{1,6}", 1..5).prop_map(|mut cs| {
+            cs.dedup();
+            ParamKind::Enum { choices: cs }
+        }),
+    ]
+}
+
+fn stage_strategy() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::CompileTime),
+        Just(Stage::BootTime),
+        Just(Stage::Runtime)
+    ]
+}
+
+/// Strategy producing a whole configuration space of 1..20 parameters.
+fn space_strategy() -> impl Strategy<Value = ConfigSpace> {
+    prop::collection::vec((kind_strategy(), stage_strategy()), 1..20).prop_map(|specs| {
+        let mut s = ConfigSpace::new();
+        for (i, (kind, stage)) in specs.into_iter().enumerate() {
+            s.add(ParamSpec::new(format!("p{i}"), kind, stage));
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every random sample respects its parameter domains.
+    #[test]
+    fn sampling_is_always_valid(space in space_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let c = space.sample(&mut rng);
+            prop_assert!(space.violations(&c).is_empty());
+        }
+    }
+
+    /// Encoding has stable dimensionality and stays inside [0, 1].
+    #[test]
+    fn encoding_is_bounded_and_stable(space in space_strategy(), seed in any::<u64>()) {
+        let enc = Encoder::new(&space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = enc.dim();
+        for _ in 0..16 {
+            let v = enc.encode(&space, &space.sample(&mut rng));
+            prop_assert_eq!(v.len(), dim);
+            prop_assert!(v.iter().all(|f| (0.0..=1.0).contains(f)));
+        }
+    }
+
+    /// Encoding is injective on value changes of a single parameter with
+    /// cardinality > 1 (two different values encode differently).
+    #[test]
+    fn encoding_distinguishes_values(space in space_strategy(), seed in any::<u64>()) {
+        let enc = Encoder::new(&space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let mut b = a.clone();
+        // Flip the first parameter deterministically to a different value.
+        let spec = space.spec(0);
+        let new = match (&spec.kind, a.get(0)) {
+            (ParamKind::Bool, Value::Bool(x)) => Some(Value::Bool(!x)),
+            (ParamKind::Tristate, Value::Tristate(t)) => Some(Value::Tristate(match t {
+                Tristate::No => Tristate::Yes,
+                _ => Tristate::No,
+            })),
+            (ParamKind::Int { min, max, .. }, Value::Int(v)) if min != max =>
+                Some(Value::Int(if v == *max { *min } else { *max })),
+            (ParamKind::Hex { min, max }, Value::Int(v)) if min != max =>
+                Some(Value::Int(if v == *max { *min } else { *max })),
+            (ParamKind::Enum { choices }, Value::Choice(c)) if choices.len() > 1 =>
+                Some(Value::Choice((c + 1) % choices.len())),
+            _ => None,
+        };
+        if let Some(nv) = new {
+            b.set(0, nv);
+            prop_assert_ne!(enc.encode(&space, &a), enc.encode(&space, &b));
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    /// The Eq. 2 dissimilarity is always within [0, 1] and evaluates to 0 on
+    /// an already-explored point.
+    #[test]
+    fn dissimilarity_properties(
+        xs in prop::collection::vec(prop::collection::vec(-10.0..10.0f64, 4), 1..8),
+    ) {
+        let candidate = xs[0].clone();
+        let ds_self = distance::dissimilarity(&candidate, &xs);
+        prop_assert!(ds_self.abs() < 1e-12);
+        let probe = vec![11.0, 11.0, 11.0, 11.0];
+        let ds = distance::dissimilarity(&probe, &xs);
+        prop_assert!((0.0..=1.0).contains(&ds));
+    }
+
+    /// Stage fingerprints are invariant under changes confined to other
+    /// stages.
+    #[test]
+    fn stage_fingerprint_isolation(space in space_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        // Build c = a with b's runtime values spliced in.
+        let mut c = a.clone();
+        for i in space.stage_indices(Stage::Runtime) {
+            c.set(i, b.get(i));
+        }
+        let compile_boot = [Stage::CompileTime, Stage::BootTime];
+        prop_assert_eq!(
+            a.stage_fingerprint(&space, &compile_boot),
+            c.stage_fingerprint(&space, &compile_boot)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 1: Linux compile-time configuration-space growth over versions.
+
+use wf_kconfig::gen::{synthesize, LinuxVersion};
+
+/// One point of the Fig. 1 curve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fig1Row {
+    /// Kernel version label.
+    pub version: &'static str,
+    /// Number of compile-time options in the synthesized model.
+    pub options: usize,
+}
+
+/// Synthesizes every version's model and counts its options.
+pub fn fig1() -> Vec<Fig1Row> {
+    LinuxVersion::ALL
+        .iter()
+        .map(|v| {
+            let model = synthesize(*v);
+            Fig1Row {
+                version: v.label(),
+                options: model.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_curve_matches_the_paper() {
+        let rows = fig1();
+        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.first().unwrap().version, "v2.6.13");
+        assert_eq!(rows.last().unwrap().version, "v6.0");
+        // Strictly growing, ~4x overall, ending at the Table 1 total.
+        assert!(rows.windows(2).all(|w| w[0].options < w[1].options));
+        assert_eq!(rows.last().unwrap().options, 21_272);
+        assert!(rows.last().unwrap().options > rows[0].options * 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 2: Nginx throughput for N random Linux configurations.
+//!
+//! "We want to obtain 800 valid configurations so when one fails ... we
+//! re-generate a random configuration until we obtain a valid one."
+//! Configurations are sorted in ascending performance order and compared
+//! to the default's throughput.
+
+use crate::scale::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, SimOs};
+
+/// The Fig. 2 dataset.
+#[derive(Clone, Debug)]
+pub struct Fig2Result {
+    /// Per-configuration throughput, sorted ascending.
+    pub sorted_throughput: Vec<f64>,
+    /// The default configuration's throughput.
+    pub default_throughput: f64,
+    /// Fraction of configurations below the default.
+    pub share_below_default: f64,
+    /// Best random / default ratio.
+    pub best_ratio: f64,
+    /// Configurations that crashed and were re-generated.
+    pub crashes_discarded: usize,
+}
+
+/// Runs the random-sampling study.
+pub fn fig2(scale: &Scale, seed: u64) -> Fig2Result {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, scale.runtime_params);
+    let app = App::by_id(AppId::Nginx);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut throughput = Vec::with_capacity(scale.fig2_samples);
+    let mut crashes = 0;
+    while throughput.len() < scale.fig2_samples {
+        let cfg = os.space.sample(&mut rng);
+        match os.evaluate(&app, &cfg, None, &mut rng).outcome {
+            Ok(r) => throughput.push(r.metric),
+            Err(_) => crashes += 1,
+        }
+    }
+    let n = 40;
+    let default_throughput = {
+        let cfg = os.space.default_config();
+        (0..n)
+            .map(|_| {
+                os.evaluate(&app, &cfg, None, &mut rng)
+                    .outcome
+                    .expect("default never crashes")
+                    .metric
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    throughput.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let below = throughput
+        .iter()
+        .filter(|t| **t < default_throughput)
+        .count() as f64
+        / throughput.len() as f64;
+    let best_ratio = throughput.last().unwrap() / default_throughput;
+    Fig2Result {
+        sorted_throughput: throughput,
+        default_throughput,
+        share_below_default: below,
+        best_ratio,
+        crashes_discarded: crashes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let r = fig2(&Scale::tiny(), 2);
+        assert_eq!(r.sorted_throughput.len(), 40);
+        // Sorted ascending.
+        assert!(r
+            .sorted_throughput
+            .windows(2)
+            .all(|w| w[0] <= w[1]));
+        // Default around 15.7K req/s; best random above it; most below.
+        assert!((14_000.0..17_500.0).contains(&r.default_throughput));
+        assert!(r.best_ratio > 1.0, "best ratio {}", r.best_ratio);
+        assert!(r.share_below_default > 0.4);
+        // About a third of raw samples crash and are re-generated.
+        assert!(r.crashes_discarded > 5, "{}", r.crashes_discarded);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 5: the cross-application similarity matrix.
+//!
+//! "We first collect 2,000 random Linux configurations for each
+//! application. Then, we use a feature importance algorithm to determine
+//! the importance of each configuration option in predicting performance.
+//! Finally, we treat the importance scores as vectors and compute the
+//! \[distance\] between them."
+
+use crate::scale::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_configspace::Encoder;
+use wf_forest::{cross_similarity, ForestConfig, RandomForest};
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, SimOs};
+
+/// The Fig. 5 dataset.
+#[derive(Clone, Debug)]
+pub struct Fig5Result {
+    /// Application order of rows/columns.
+    pub apps: Vec<AppId>,
+    /// Per-application, per-*parameter* importance vectors.
+    pub importances: Vec<Vec<f64>>,
+    /// The symmetric similarity matrix.
+    pub matrix: Vec<Vec<f64>>,
+}
+
+/// Runs the importance study.
+pub fn fig5(scale: &Scale, seed: u64) -> Fig5Result {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, scale.runtime_params);
+    let encoder = Encoder::new(&os.space);
+    let apps: Vec<AppId> = AppId::ALL.to_vec();
+    let mut importances = Vec::with_capacity(apps.len());
+    for (ai, id) in apps.iter().enumerate() {
+        let app = App::by_id(*id);
+        let mut rng = StdRng::seed_from_u64(seed ^ (ai as u64 * 0x9e37));
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(scale.fig5_samples);
+        let mut ys: Vec<f64> = Vec::with_capacity(scale.fig5_samples);
+        while xs.len() < scale.fig5_samples {
+            let cfg = os.space.sample(&mut rng);
+            // The paper regresses *performance*; crashed configurations
+            // carry no performance sample and are re-drawn, like Fig. 2.
+            match os.evaluate(&app, &cfg, None, &mut rng).outcome {
+                Ok(r) => {
+                    xs.push(encoder.encode(&os.space, &cfg));
+                    ys.push(r.metric);
+                }
+                Err(_) => continue,
+            }
+        }
+        let forest = RandomForest::fit(
+            &xs,
+            &ys,
+            &ForestConfig {
+                n_trees: 24,
+                seed: seed ^ 0xf0 ^ ai as u64,
+                ..ForestConfig::default()
+            },
+        );
+        // Aggregate per-feature importances per *parameter*.
+        let feat_imp = forest.feature_importances();
+        let mut param_imp = vec![0.0; os.space.len()];
+        for (f, v) in feat_imp.iter().enumerate() {
+            param_imp[encoder.param_of_feature(f)] += v;
+        }
+        importances.push(param_imp);
+    }
+    let matrix = cross_similarity(&importances);
+    Fig5Result {
+        apps,
+        importances,
+        matrix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_structure_matches_fig5() {
+        let r = fig5(&Scale::tiny(), 5);
+        let idx = |a: AppId| r.apps.iter().position(|x| *x == a).unwrap();
+        let (n, re, s, p) = (
+            idx(AppId::Nginx),
+            idx(AppId::Redis),
+            idx(AppId::Sqlite),
+            idx(AppId::Npb),
+        );
+        // Diagonal is 1.
+        for i in 0..4 {
+            assert!((r.matrix[i][i] - 1.0).abs() < 1e-9);
+        }
+        // The three system-intensive applications are mutually similar ...
+        assert!(r.matrix[n][re] > 0.7, "nginx-redis {}", r.matrix[n][re]);
+        assert!(r.matrix[re][s] > 0.7, "redis-sqlite {}", r.matrix[re][s]);
+        assert!(r.matrix[n][s] > 0.6, "nginx-sqlite {}", r.matrix[n][s]);
+        // ... and NPB is dissimilar to all of them.
+        for other in [n, re, s] {
+            assert!(
+                r.matrix[p][other] < r.matrix[n][re].min(r.matrix[re][s]),
+                "npb vs {other}: {}",
+                r.matrix[p][other]
+            );
+            assert!(r.matrix[p][other] < 0.7, "npb {}", r.matrix[p][other]);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 9: Nginx on Unikraft — Wayfinder vs random search vs Bayesian
+//! optimization over a 3-hour budget.
+//!
+//! "Wayfinder quickly converges on a specialized configuration, reached
+//! after 100 minutes. Bayesian optimization takes more than 160 minutes
+//! to reach configurations that perform similarly. ... random search is
+//! not able to find high-performance configurations."
+
+use crate::experiments::fig06::CurveSet;
+use crate::scale::Scale;
+use crate::session::{AlgorithmChoice, SessionBuilder};
+use wf_ossim::AppId;
+use wf_platform::{rolling_crash_rate, Series};
+
+/// The Fig. 9 dataset.
+#[derive(Clone, Debug)]
+pub struct Fig9Result {
+    /// Curves in Random / Bayesian / Wayfinder order (mean of runs).
+    pub curves: Vec<CurveSet>,
+    /// Best throughput found per algorithm (same order).
+    pub best: Vec<f64>,
+    /// Virtual seconds to reach 3× the default throughput per algorithm
+    /// (None = never reached within the budget).
+    pub time_to_3x_s: Vec<Option<f64>>,
+    /// The default configuration's throughput.
+    pub default_throughput: f64,
+}
+
+const RESAMPLE_POINTS: usize = 64;
+
+/// Runs the Unikraft comparison.
+pub fn fig9(scale: &Scale, seed: u64) -> Fig9Result {
+    let default_throughput = 9_800.0;
+    let threshold = default_throughput * 3.0;
+    let mut curves = Vec::new();
+    let mut best = Vec::new();
+    let mut time_to = Vec::new();
+    for (label, algorithm) in [
+        ("Random", 0u8),
+        ("Bayesian-opt", 1u8),
+        ("Wayfinder", 2u8),
+    ] {
+        let mut perfs = Vec::new();
+        let mut crashes = Vec::new();
+        let mut t_end = 0.0f64;
+        let mut label_best = f64::MIN;
+        let mut label_first_hit: Option<f64> = None;
+        for run in 0..scale.runs {
+            let choice = match algorithm {
+                0 => AlgorithmChoice::Random,
+                1 => AlgorithmChoice::Bayesian,
+                _ => AlgorithmChoice::DeepTune,
+            };
+            let mut session = SessionBuilder::new()
+                .os(crate::session::OsFlavor::Unikraft)
+                .app(AppId::Nginx)
+                .algorithm(choice)
+                .time_budget_s(scale.unikraft_budget_s)
+                .seed(seed ^ (run as u64 * 0xab1) ^ algorithm as u64)
+                .build()
+                .expect("fig9 session");
+            let summary = session.run().summary;
+            t_end = t_end.max(summary.elapsed_s);
+            label_best = label_best.max(summary.best_metric.unwrap_or(f64::MIN));
+            let mut perf = Series::new();
+            let mut times = Vec::new();
+            let mut crashed = Vec::new();
+            for r in session.platform().history().records() {
+                times.push(r.finished_at_s);
+                crashed.push(r.crashed());
+                if let Some(m) = r.metric {
+                    perf.push(r.finished_at_s, m);
+                    if m >= threshold && label_first_hit.is_none_or(|t| r.finished_at_s < t) {
+                        label_first_hit = Some(r.finished_at_s);
+                    }
+                }
+            }
+            perfs.push(perf);
+            crashes.push(rolling_crash_rate(&times, &crashed, 12));
+        }
+        let mean = |series: Vec<Series>| {
+            let resampled: Vec<Series> = series
+                .into_iter()
+                .map(|s| s.resample(t_end, RESAMPLE_POINTS))
+                .collect();
+            Series::mean_of(&resampled).smoothed(7)
+        };
+        curves.push(CurveSet {
+            label: label.to_string(),
+            perf: mean(perfs),
+            crash: mean(crashes),
+        });
+        best.push(label_best);
+        time_to.push(label_first_hit);
+    }
+    Fig9Result {
+        curves,
+        best,
+        time_to_3x_s: time_to,
+        default_throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wayfinder_converges_first_and_random_never() {
+        let scale = Scale {
+            runs: 1,
+            unikraft_budget_s: 5_200.0,
+            ..Scale::tiny()
+        };
+        let r = fig9(&scale, 13);
+        let (random, bayes, wayfinder) = (r.best[0], r.best[1], r.best[2]);
+        // Wayfinder finds high-performance configurations.
+        assert!(
+            wayfinder > r.default_throughput * 2.0,
+            "wayfinder best {wayfinder}"
+        );
+        // ... and beats random search decisively.
+        assert!(wayfinder > random * 1.15, "wayfinder {wayfinder} vs random {random}");
+        // Bayesian lands between (or at least does not dominate).
+        assert!(wayfinder >= bayes * 0.9, "bayes {bayes}");
+        // Random never reaches high-performance configurations (Fig. 9).
+        assert!(
+            random < r.default_throughput * 2.5,
+            "random found the conjunction region: {random}"
+        );
+        assert!(r.time_to_3x_s[0].is_none(), "random hit 3x: {:?}", r.time_to_3x_s[0]);
+    }
+}

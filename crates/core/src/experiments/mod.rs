@@ -1,0 +1,32 @@
+//! Per-figure / per-table experiment runners (the DESIGN.md §3 index).
+//!
+//! Every runner returns structured data; the `wf-bench` binaries print the
+//! same rows/series the paper reports, and the integration tests assert
+//! the *shapes* (who wins, by roughly what factor, where crossovers fall)
+//! rather than absolute numbers.
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use fig01::{fig1, Fig1Row};
+pub use fig02::{fig2, Fig2Result};
+pub use fig05::{fig5, Fig5Result};
+pub use fig06::{fig6, redis_checkpoint, run_app_search, AppSearchResult, CurveSet};
+pub use fig07::{fig7, Fig7Result, ScalingPoint};
+pub use fig08::{fig8, Fig8Result};
+pub use fig09::{fig9, Fig9Result};
+pub use fig10::{fig10, Fig10Result};
+pub use fig11::{fig11, table4, CozartTarget, Fig11Result, Table4};
+pub use table1::{table1, Table1};
+pub use table2::{table2, Table2Row};
+pub use table3::{table3, Table3Row};

@@ -1,0 +1,64 @@
+//! Table 1: the Linux 6.0 configuration-space census.
+
+use wf_kconfig::gen::{synthesize, LinuxVersion};
+
+/// The full census row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table1 {
+    /// Compile-time `bool` options.
+    pub bool_: usize,
+    /// Compile-time `tristate` options.
+    pub tristate: usize,
+    /// Compile-time `string` options.
+    pub string: usize,
+    /// Compile-time `hex` options.
+    pub hex: usize,
+    /// Compile-time `int` options.
+    pub int: usize,
+    /// Boot-time options (kernel command line).
+    pub boot: usize,
+    /// Runtime options (writable /proc/sys and /sys files).
+    pub runtime: usize,
+}
+
+impl Table1 {
+    /// Total compile-time options.
+    pub fn compile_total(&self) -> usize {
+        self.bool_ + self.tristate + self.string + self.hex + self.int
+    }
+}
+
+/// Builds the census by synthesizing the v6.0 model and counting the
+/// boot/runtime populations.
+pub fn table1() -> Table1 {
+    let v = LinuxVersion::V6_0;
+    let model = synthesize(v);
+    let c = model.type_census();
+    Table1 {
+        bool_: c.bool_,
+        tristate: c.tristate,
+        string: c.string,
+        hex: c.hex,
+        int: c.int,
+        boot: wf_kconfig::cmdline::boot_options(v).len(),
+        runtime: wf_ossim::linux::full_runtime_space(v).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_table1_exactly() {
+        let t = table1();
+        assert_eq!(t.bool_, 7_585);
+        assert_eq!(t.tristate, 10_034);
+        assert_eq!(t.string, 154);
+        assert_eq!(t.hex, 94);
+        assert_eq!(t.int, 3_405);
+        assert_eq!(t.boot, 231);
+        assert_eq!(t.runtime, 13_328);
+        assert_eq!(t.compile_total(), 21_272);
+    }
+}

@@ -1,0 +1,127 @@
+//! Table 2: best-performing configurations found after the §4.1 sessions.
+
+use crate::experiments::fig06::{redis_checkpoint, run_app_search};
+use crate::scale::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, SimOs};
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Application.
+    pub app: AppId,
+    /// Default ("Lupine Linux") performance.
+    pub baseline: f64,
+    /// Best configuration Wayfinder found.
+    pub wayfinder: f64,
+    /// Metric unit.
+    pub unit: &'static str,
+    /// `wayfinder / baseline`, direction-adjusted so > 1 is better.
+    pub relative: f64,
+    /// Mean time between improvements without transfer learning (s).
+    pub time_to_find_no_tl_s: Option<f64>,
+    /// The same with transfer learning.
+    pub time_to_find_tl_s: Option<f64>,
+}
+
+/// Measures the default configuration's metric (the table's baseline).
+fn baseline_metric(app: AppId, scale: &Scale, seed: u64) -> f64 {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, scale.runtime_params);
+    let a = App::by_id(app);
+    let cfg = os.space.default_config();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 40;
+    (0..n)
+        .map(|_| {
+            os.evaluate(&a, &cfg, None, &mut rng)
+                .outcome
+                .expect("default never crashes")
+                .metric
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Builds Table 2 by running the Fig. 6 sessions.
+pub fn table2(scale: &Scale, seed: u64) -> Vec<Table2Row> {
+    let ckpt = redis_checkpoint(scale, seed ^ 0x7e15);
+    AppId::ALL
+        .iter()
+        .map(|app| {
+            let result = run_app_search(*app, scale, &ckpt, seed);
+            let meta = App::by_id(*app);
+            let baseline = baseline_metric(*app, scale, seed ^ 0xba5e);
+            // Best over the DeepTune runs (curve index 1).
+            let deeptune = &result.runs[1];
+            let transfer = &result.runs[2];
+            let best = deeptune
+                .iter()
+                .filter_map(|r| r.summary.best_metric)
+                .fold(if result.higher_better { f64::MIN } else { f64::MAX }, |acc, v| {
+                    if result.higher_better {
+                        acc.max(v)
+                    } else {
+                        acc.min(v)
+                    }
+                });
+            let relative = if result.higher_better {
+                best / baseline
+            } else {
+                baseline / best
+            };
+            let mean_time = |runs: &[crate::experiments::fig06::SessionRunData]| {
+                let v: Vec<f64> = runs.iter().filter_map(|r| r.time_to_find_s).collect();
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.iter().sum::<f64>() / v.len() as f64)
+                }
+            };
+            Table2Row {
+                app: *app,
+                baseline,
+                wayfinder: best,
+                unit: meta.unit,
+                relative,
+                time_to_find_no_tl_s: mean_time(deeptune),
+                time_to_find_tl_s: mean_time(transfer),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_table2() {
+        let scale = Scale {
+            search_iterations: 40,
+            runs: 1,
+            runtime_params: 56,
+            ..Scale::tiny()
+        };
+        let rows = table2(&scale, 3);
+        assert_eq!(rows.len(), 4);
+        let by_app = |a: AppId| rows.iter().find(|r| r.app == a).unwrap();
+        // Nginx improves the most; NPB barely; SQLite not at all
+        // (relative is direction-adjusted: >= 1 means no regression).
+        let nginx = by_app(AppId::Nginx);
+        assert!(nginx.relative > 1.05, "nginx {:.3}", nginx.relative);
+        let npb = by_app(AppId::Npb);
+        assert!(npb.relative < 1.06, "npb {:.3}", npb.relative);
+        let sqlite = by_app(AppId::Sqlite);
+        assert!(
+            (0.93..1.05).contains(&sqlite.relative),
+            "sqlite {:.3}",
+            sqlite.relative
+        );
+        assert!(nginx.relative > npb.relative);
+        // Baselines near the Table 2 values.
+        assert!((nginx.baseline - 15_731.0).abs() / 15_731.0 < 0.03);
+        assert!((by_app(AppId::Redis).baseline - 58_000.0).abs() / 58_000.0 < 0.03);
+    }
+}

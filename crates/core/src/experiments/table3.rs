@@ -1,0 +1,149 @@
+//! Table 3: DeepTune's prediction accuracy on held-out configurations.
+//!
+//! After a search session, the trained DTM is evaluated on fresh random
+//! configurations: *failure accuracy* is the fraction of actually crashing
+//! configurations predicted to crash; *run accuracy* the fraction of
+//! actually working configurations predicted to work; the normalized MAE
+//! compares predicted and measured performance on working configurations,
+//! divided by the observed performance range.
+
+use crate::scale::Scale;
+use crate::session::{AlgorithmChoice, SessionBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_configspace::Encoder;
+use wf_deeptune::DeepTune;
+use wf_jobfile::Direction;
+use wf_ossim::AppId;
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Application.
+    pub app: AppId,
+    /// Recall on crashing configurations.
+    pub failure_accuracy: f64,
+    /// Recall on working configurations.
+    pub run_accuracy: f64,
+    /// Normalized mean absolute error of performance predictions.
+    pub mae_normalized: f64,
+}
+
+/// Trains a session per application and evaluates its model.
+pub fn table3(scale: &Scale, seed: u64) -> Vec<Table3Row> {
+    AppId::ALL
+        .iter()
+        .map(|app| evaluate_app(*app, scale, seed))
+        .collect()
+}
+
+fn evaluate_app(app: AppId, scale: &Scale, seed: u64) -> Table3Row {
+    let mut session = SessionBuilder::new()
+        .app(app)
+        .algorithm(AlgorithmChoice::DeepTune)
+        .runtime_params(scale.runtime_params)
+        .iterations(scale.search_iterations)
+        .seed(seed)
+        .build()
+        .expect("table3 session");
+    let _ = session.run();
+    let direction = session.platform().direction();
+
+    // Held-out set: fresh random configurations with ground-truth labels.
+    let os = session.platform().os().clone();
+    let meta = session.platform().app().clone();
+    let encoder = Encoder::new(&os.space);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3e1d);
+    let mut features = Vec::with_capacity(scale.table3_samples);
+    let mut actual_crash = Vec::with_capacity(scale.table3_samples);
+    let mut actual_value = Vec::with_capacity(scale.table3_samples);
+    for _ in 0..scale.table3_samples {
+        let cfg = os.space.sample(&mut rng);
+        let view = cfg.named(&os.space);
+        let crash = wf_ossim::first_crash(&os.crash_rules, &view, &os.defaults_view).is_some();
+        actual_crash.push(crash);
+        actual_value.push(if crash {
+            None
+        } else {
+            Some(meta.measure(&view, &os.defaults_view, &os.machine, &mut rng))
+        });
+        features.push(encoder.encode(&os.space, &cfg));
+    }
+
+    let dt = session
+        .platform_mut()
+        .algorithm_mut()
+        .as_any_mut()
+        .expect("DeepTune supports downcasts")
+        .downcast_mut::<DeepTune>()
+        .expect("session was built with DeepTune");
+    let preds = dt
+        .predict_goodness(&features)
+        .expect("session trained the model");
+
+    let mut crash_hits = 0usize;
+    let mut crash_total = 0usize;
+    let mut run_hits = 0usize;
+    let mut run_total = 0usize;
+    let mut abs_err = Vec::new();
+    let mut observed = Vec::new();
+    for i in 0..preds.len() {
+        let predicted_crash = preds[i].crash_prob > 0.5;
+        if actual_crash[i] {
+            crash_total += 1;
+            if predicted_crash {
+                crash_hits += 1;
+            }
+        } else {
+            run_total += 1;
+            if !predicted_crash {
+                run_hits += 1;
+            }
+            let actual = actual_value[i].expect("non-crashed sample has a value");
+            let predicted = match direction {
+                Direction::Maximize => preds[i].mu,
+                Direction::Minimize => -preds[i].mu,
+            };
+            abs_err.push((predicted - actual).abs());
+            observed.push(actual);
+        }
+    }
+    let range = {
+        let lo = observed.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = observed.iter().cloned().fold(f64::MIN, f64::max);
+        (hi - lo).max(1e-9)
+    };
+    Table3Row {
+        app,
+        failure_accuracy: crash_hits as f64 / crash_total.max(1) as f64,
+        run_accuracy: run_hits as f64 / run_total.max(1) as f64,
+        mae_normalized: abs_err.iter().sum::<f64>() / abs_err.len().max(1) as f64 / range,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bounds_and_crash_signal() {
+        let scale = Scale {
+            search_iterations: 45,
+            table3_samples: 80,
+            runtime_params: 56,
+            ..Scale::tiny()
+        };
+        let row = evaluate_app(AppId::Redis, &scale, 9);
+        assert!((0.0..=1.0).contains(&row.failure_accuracy));
+        assert!((0.0..=1.0).contains(&row.run_accuracy));
+        assert!(row.mae_normalized >= 0.0);
+        // The paper's headline: failure accuracy is the usable signal
+        // (0.74-0.80 there). With a short session we accept a wide band
+        // but the classifier must beat coin-flipping on crashes.
+        assert!(
+            row.failure_accuracy > 0.5,
+            "failure accuracy {}",
+            row.failure_accuracy
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! `wayfinder-core`: the public API and the per-figure experiment
+//! runners.
+//!
+//! * [`session`] — [`SessionBuilder`]: pick an OS target, application,
+//!   algorithm, and budget; run; extract checkpoints and importance
+//!   analyses;
+//! * [`scale`] — full (paper-sized) vs reduced experiment budgets;
+//! * [`experiments`] — one runner per table/figure of the evaluation
+//!   (see DESIGN.md §3 for the index);
+//! * [`report`] — plain-text tables and series for the regeneration
+//!   binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use wayfinder_core::prelude::*;
+//!
+//! let mut session = SessionBuilder::new()
+//!     .os(OsFlavor::Linux419)
+//!     .app(AppId::Nginx)
+//!     .algorithm(AlgorithmChoice::DeepTune)
+//!     .runtime_params(56)
+//!     .iterations(6)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid session");
+//! let outcome = session.run();
+//! assert!(outcome.best.is_some());
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod session;
+
+pub use report::Table;
+pub use scale::Scale;
+pub use session::{
+    AlgorithmChoice, BuildError, Outcome, OsFlavor, SessionBuilder, SpecializationSession,
+};
+
+/// Convenient re-exports for application code and the examples.
+pub mod prelude {
+    pub use crate::report::Table;
+    pub use crate::scale::Scale;
+    pub use crate::session::{
+        AlgorithmChoice, Outcome, OsFlavor, SessionBuilder, SpecializationSession,
+    };
+    pub use wf_jobfile::{Direction, Job};
+    pub use wf_ossim::AppId;
+    pub use wf_platform::Objective;
+}

@@ -1,0 +1,156 @@
+//! Plain-text table and series rendering for the experiment binaries.
+//!
+//! Every `cargo bench` regeneration target prints the same rows/series the
+//! paper's tables and figures report; these helpers keep that output
+//! uniform and diff-friendly.
+
+use wf_platform::Series;
+
+/// A fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn rowd(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a series as `t<TAB>y` lines with a labelled header, the format
+/// the plotting scripts of artifact repositories typically consume.
+pub fn render_series(label: &str, series: &Series) -> String {
+    let mut out = format!("# series: {label} ({} points)\n", series.len());
+    for (t, y) in series.t.iter().zip(series.y.iter()) {
+        out.push_str(&format!("{t:.1}\t{y:.4}\n"));
+    }
+    out
+}
+
+/// Renders several series side by side at shared time points.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn render_multi_series(labels: &[&str], series: &[Series]) -> String {
+    assert_eq!(labels.len(), series.len());
+    let n = series.first().map(Series::len).unwrap_or(0);
+    for s in series {
+        assert_eq!(s.len(), n, "series must be resampled to a shared axis");
+    }
+    let mut out = format!("# t\t{}\n", labels.join("\t"));
+    for i in 0..n {
+        out.push_str(&format!("{:.1}", series[0].t[i]));
+        for s in series {
+            out.push_str(&format!("\t{:.4}", s.y[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["App", "Perf"]);
+        t.row(&["Nginx".into(), "19593".into()]);
+        t.row(&["Redis".into(), "66118".into()]);
+        let text = t.render();
+        assert!(text.contains("App"));
+        assert!(text.contains("19593"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let mut s = Series::new();
+        s.push(0.0, 1.0);
+        s.push(60.0, 2.0);
+        let text = render_series("nginx", &s);
+        assert!(text.starts_with("# series: nginx"));
+        assert!(text.contains("60.0\t2.0000"));
+    }
+
+    #[test]
+    fn multi_series_rendering() {
+        let mut a = Series::new();
+        let mut b = Series::new();
+        for i in 0..3 {
+            a.push(i as f64, 1.0);
+            b.push(i as f64, 2.0);
+        }
+        let text = render_multi_series(&["rand", "dt"], &[a, b]);
+        assert!(text.starts_with("# t\trand\tdt"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Experiment scale: full paper-sized runs vs a reduced default.
+//!
+//! The artifact appendix warns that the full experiments take "days"; the
+//! regeneration binaries therefore default to a reduced budget with the
+//! same shape and switch to the paper's numbers with `WF_FULL=1`
+//! (mirroring the appendix's advice to "lower the number of iterations").
+
+/// Budget knobs shared by the experiment runners.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scale {
+    /// Independent runs averaged per curve ("results of 5 runs").
+    pub runs: usize,
+    /// Search iterations per §4.1 session (paper: 250).
+    pub search_iterations: usize,
+    /// Random samples for Fig. 2 (paper: 800).
+    pub fig2_samples: usize,
+    /// Random configurations per application for Fig. 5 (paper: 2000).
+    pub fig5_samples: usize,
+    /// Iterations for the Fig. 7 scalability comparison (paper: ~300).
+    pub fig7_iterations: usize,
+    /// Virtual budget for the Unikraft sessions (paper: 3 h).
+    pub unikraft_budget_s: f64,
+    /// Virtual budget for the footprint sessions (paper: 3 h).
+    pub footprint_budget_s: f64,
+    /// Virtual budget for the Cozart co-optimization (paper: ~11 h).
+    pub cozart_budget_s: f64,
+    /// Probed runtime-space size for the Linux targets.
+    pub runtime_params: usize,
+    /// Held-out configurations for the Table 3 accuracy evaluation.
+    pub table3_samples: usize,
+}
+
+impl Scale {
+    /// The reduced default: minutes of real time, same shapes.
+    pub fn reduced() -> Scale {
+        Scale {
+            runs: 2,
+            search_iterations: 60,
+            fig2_samples: 200,
+            fig5_samples: 300,
+            fig7_iterations: 60,
+            unikraft_budget_s: 3_600.0,
+            footprint_budget_s: 4_500.0,
+            cozart_budget_s: 6_000.0,
+            runtime_params: 96,
+            table3_samples: 120,
+        }
+    }
+
+    /// The paper's budgets.
+    pub fn full() -> Scale {
+        Scale {
+            runs: 5,
+            search_iterations: 250,
+            fig2_samples: 800,
+            fig5_samples: 2_000,
+            fig7_iterations: 300,
+            unikraft_budget_s: 10_800.0,
+            footprint_budget_s: 10_800.0,
+            cozart_budget_s: 40_000.0,
+            runtime_params: 200,
+            table3_samples: 400,
+        }
+    }
+
+    /// `WF_FULL=1` selects the paper's budgets.
+    pub fn from_env() -> Scale {
+        match std::env::var("WF_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::full(),
+            _ => Scale::reduced(),
+        }
+    }
+
+    /// A tiny scale for integration tests (seconds of real time).
+    pub fn tiny() -> Scale {
+        Scale {
+            runs: 1,
+            search_iterations: 12,
+            fig2_samples: 40,
+            fig5_samples: 60,
+            fig7_iterations: 15,
+            unikraft_budget_s: 400.0,
+            footprint_budget_s: 1_200.0,
+            cozart_budget_s: 900.0,
+            runtime_params: 56,
+            table3_samples: 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_budgets() {
+        let f = Scale::full();
+        assert_eq!(f.runs, 5);
+        assert_eq!(f.search_iterations, 250);
+        assert_eq!(f.fig2_samples, 800);
+        assert_eq!(f.fig5_samples, 2000);
+        assert_eq!(f.unikraft_budget_s, 10_800.0);
+    }
+
+    #[test]
+    fn reduced_is_smaller_everywhere() {
+        let r = Scale::reduced();
+        let f = Scale::full();
+        assert!(r.runs < f.runs);
+        assert!(r.search_iterations < f.search_iterations);
+        assert!(r.cozart_budget_s < f.cozart_budget_s);
+    }
+}

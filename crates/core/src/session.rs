@@ -1,0 +1,632 @@
+//! The high-level public API: pick an OS, an application, an algorithm,
+//! and a budget; get a specialized configuration back.
+//!
+//! This is the programmatic equivalent of a Wayfinder job file: the
+//! `examples/` directory exercises exactly this surface.
+
+use std::fmt;
+use wf_deeptune::{Checkpoint, DeepTune, DeepTuneConfig};
+use wf_jobfile::{Budget, Direction, Focus, Job};
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, MetricDirection, SimOs};
+use wf_platform::{Objective, Record, Session, SessionSpec, SessionSummary};
+use wf_search::{BayesOpt, CausalSearch, GridSearch, RandomSearch, SamplePolicy, SearchAlgorithm};
+
+/// The OS targets this reproduction ships.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OsFlavor {
+    /// Linux v4.19 with a runtime-focused space (the §4.1 experiments).
+    Linux419,
+    /// Linux v6.0 with a runtime-focused space (the Table 1 kernel).
+    Linux60,
+    /// Linux v4.19 with boot-time *and* runtime parameters searchable.
+    Linux419AllStages,
+    /// RISC-V Linux v5.13 with a compile-time space (Fig. 10).
+    LinuxRiscv,
+    /// Unikraft building Nginx (Fig. 9).
+    Unikraft,
+}
+
+impl OsFlavor {
+    /// Parses a job-file `os:` value.
+    pub fn parse(s: &str) -> Option<OsFlavor> {
+        match s {
+            "linux-4.19" => Some(OsFlavor::Linux419),
+            "linux-6.0" => Some(OsFlavor::Linux60),
+            "linux-4.19-all" => Some(OsFlavor::Linux419AllStages),
+            "linux-riscv" => Some(OsFlavor::LinuxRiscv),
+            "unikraft" => Some(OsFlavor::Unikraft),
+            _ => None,
+        }
+    }
+
+    /// The job-file keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            OsFlavor::Linux419 => "linux-4.19",
+            OsFlavor::Linux60 => "linux-6.0",
+            OsFlavor::Linux419AllStages => "linux-4.19-all",
+            OsFlavor::LinuxRiscv => "linux-riscv",
+            OsFlavor::Unikraft => "unikraft",
+        }
+    }
+}
+
+/// Search-algorithm selection for the builder.
+pub enum AlgorithmChoice {
+    /// Random search baseline.
+    Random,
+    /// Grid search.
+    Grid,
+    /// Gaussian-process Bayesian optimization.
+    Bayesian,
+    /// Unicorn-style causal search.
+    Causal,
+    /// DeepTune (cold start).
+    DeepTune,
+    /// DeepTune warm-started from a transfer checkpoint (§3.3).
+    DeepTuneTransfer(Checkpoint),
+}
+
+impl fmt::Debug for AlgorithmChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlgorithmChoice::Random => "Random",
+            AlgorithmChoice::Grid => "Grid",
+            AlgorithmChoice::Bayesian => "Bayesian",
+            AlgorithmChoice::Causal => "Causal",
+            AlgorithmChoice::DeepTune => "DeepTune",
+            AlgorithmChoice::DeepTuneTransfer(_) => "DeepTune+TL",
+        })
+    }
+}
+
+/// Builder errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Fluent session construction.
+pub struct SessionBuilder {
+    os: OsFlavor,
+    app: AppId,
+    algorithm: AlgorithmChoice,
+    objective: Objective,
+    iterations: Option<usize>,
+    time_budget_s: Option<f64>,
+    seed: u64,
+    repetitions: usize,
+    runtime_params: usize,
+    focus: Focus,
+    pins: Vec<(String, String)>,
+    explicit_space: Option<wf_configspace::ConfigSpace>,
+    deeptune: DeepTuneConfig,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// Starts a builder with the paper's §4.1 defaults: Linux 4.19,
+    /// Nginx, DeepTune, 250 iterations.
+    pub fn new() -> Self {
+        SessionBuilder {
+            os: OsFlavor::Linux419,
+            app: AppId::Nginx,
+            algorithm: AlgorithmChoice::DeepTune,
+            objective: Objective::Metric,
+            iterations: Some(250),
+            time_budget_s: None,
+            seed: 1,
+            repetitions: 1,
+            runtime_params: 200,
+            focus: Focus::All,
+            pins: Vec::new(),
+            explicit_space: None,
+            deeptune: DeepTuneConfig::default(),
+        }
+    }
+
+    /// Selects the OS target.
+    pub fn os(mut self, os: OsFlavor) -> Self {
+        self.os = os;
+        self
+    }
+
+    /// Selects the application.
+    pub fn app(mut self, app: AppId) -> Self {
+        self.app = app;
+        self
+    }
+
+    /// Selects the search algorithm.
+    pub fn algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the objective (primary metric by default).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Sets the virtual-time budget in seconds (3-hour sessions in §4.4).
+    pub fn time_budget_s(mut self, s: f64) -> Self {
+        self.time_budget_s = Some(s);
+        self
+    }
+
+    /// Seeds the session RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Benchmark repetitions per configuration.
+    pub fn repetitions(mut self, reps: usize) -> Self {
+        self.repetitions = reps.max(1);
+        self
+    }
+
+    /// Size of the probed runtime space for the Linux targets (§3.4).
+    pub fn runtime_params(mut self, n: usize) -> Self {
+        self.runtime_params = n;
+        self
+    }
+
+    /// Pins a parameter to a fixed value (§3.5 constrained search).
+    pub fn pin(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.pins.push((name.into(), value.into()));
+        self
+    }
+
+    /// Restricts the search to one parameter stage (§3.5: "Wayfinder can
+    /// also be instructed to favor varying certain parameter types ...
+    /// useful, e.g., when the kernel to optimize cannot be rebooted").
+    pub fn focus(mut self, focus: Focus) -> Self {
+        self.focus = focus;
+        self
+    }
+
+    /// Replaces the OS's own configuration space with an explicit one
+    /// (§3.1: job files "representing the configuration space of the
+    /// target OS"). Parameters the ground-truth models do not know are
+    /// explored but inert, exactly like the real kernel's long tail.
+    pub fn explicit_space(mut self, space: wf_configspace::ConfigSpace) -> Self {
+        self.explicit_space = Some(space);
+        self
+    }
+
+    /// Overrides DeepTune's hyperparameters.
+    pub fn deeptune_config(mut self, cfg: DeepTuneConfig) -> Self {
+        self.deeptune = cfg;
+        self
+    }
+
+    /// Builds the session from a parsed job file instead of builder calls.
+    pub fn from_job(job: &Job) -> Result<SessionBuilder, BuildError> {
+        let os = OsFlavor::parse(&job.os)
+            .ok_or_else(|| BuildError { message: format!("unknown os {:?}", job.os) })?;
+        let app = AppId::parse(&job.app)
+            .ok_or_else(|| BuildError { message: format!("unknown app {:?}", job.app) })?;
+        let algorithm = match job.algorithm {
+            wf_jobfile::AlgorithmId::Random => AlgorithmChoice::Random,
+            wf_jobfile::AlgorithmId::Grid => AlgorithmChoice::Grid,
+            wf_jobfile::AlgorithmId::Bayesian => AlgorithmChoice::Bayesian,
+            wf_jobfile::AlgorithmId::DeepTune => AlgorithmChoice::DeepTune,
+        };
+        let objective = match job.metric.as_str() {
+            "memory" => Objective::MemoryMb,
+            "score" => Objective::ThroughputMemoryScore,
+            _ => Objective::Metric,
+        };
+        let mut b = SessionBuilder::new()
+            .os(os)
+            .app(app)
+            .algorithm(algorithm)
+            .objective(objective)
+            .seed(job.seed)
+            .repetitions(job.repetitions);
+        b.iterations = job.budget.iterations;
+        b.time_budget_s = job.budget.time_seconds;
+        for pin in &job.pinned {
+            b = b.pin(pin.name.clone(), pin.value.clone());
+        }
+        b = b.focus(job.focus);
+        if let Some(space) = job.param_space() {
+            b = b.explicit_space(space);
+        }
+        Ok(b)
+    }
+
+    /// Materializes the OS target, application, and policy; then builds
+    /// the platform session.
+    pub fn build(self) -> Result<SpecializationSession, BuildError> {
+        let (mut os, app, policy) = match self.os {
+            OsFlavor::Linux419 => (
+                SimOs::linux_runtime(LinuxVersion::V4_19, self.runtime_params),
+                App::by_id(self.app),
+                SamplePolicy::Uniform,
+            ),
+            OsFlavor::Linux60 => (
+                SimOs::linux_runtime(LinuxVersion::V6_0, self.runtime_params),
+                App::by_id(self.app),
+                SamplePolicy::Uniform,
+            ),
+            OsFlavor::Linux419AllStages => (
+                SimOs::linux_all_stages(LinuxVersion::V4_19, self.runtime_params),
+                App::by_id(self.app),
+                SamplePolicy::Uniform,
+            ),
+            OsFlavor::LinuxRiscv => (
+                SimOs::linux_riscv_footprint(),
+                boot_probe_app(),
+                SamplePolicy::MutateDefault { max_changes: 128 },
+            ),
+            OsFlavor::Unikraft => {
+                if self.app != AppId::Nginx {
+                    return Err(BuildError {
+                        message: "the Unikraft target ships an Nginx image (§4.4)".into(),
+                    });
+                }
+                (
+                    SimOs::unikraft_nginx(),
+                    wf_ossim::unikraft::nginx_app(),
+                    SamplePolicy::Uniform,
+                )
+            }
+        };
+
+        // An explicit job-file space replaces the OS's own; its defaults
+        // join the ground-truth view so effect normalization stays exact.
+        if let Some(space) = self.explicit_space {
+            for spec in space.specs() {
+                os.defaults_view.set(spec.name.clone(), spec.default);
+            }
+            os.space = space;
+        }
+
+        // Apply pins through the job-file machinery so value parsing is
+        // uniform.
+        if !self.pins.is_empty() {
+            let mut job = Job::default();
+            job.pinned = self
+                .pins
+                .iter()
+                .map(|(name, value)| wf_jobfile::Pin {
+                    name: name.clone(),
+                    value: value.clone(),
+                })
+                .collect();
+            job.apply_pins(&mut os.space)
+                .map_err(|e| BuildError { message: e.to_string() })?;
+        }
+
+        // §3.5 stage focus narrows the sampling policy.
+        let policy = match (self.focus.stage(), policy) {
+            (Some(stage), SamplePolicy::Uniform) => SamplePolicy::StageFocused(stage),
+            (_, p) => p,
+        };
+
+        let direction = match (self.objective, app.direction) {
+            (Objective::MemoryMb, _) => Direction::Minimize,
+            (_, MetricDirection::HigherBetter) => Direction::Maximize,
+            (_, MetricDirection::LowerBetter) => Direction::Minimize,
+        };
+        if self.iterations.is_none() && self.time_budget_s.is_none() {
+            return Err(BuildError {
+                message: "a session needs an iteration or time budget".into(),
+            });
+        }
+        let spec = SessionSpec {
+            objective: self.objective,
+            direction,
+            policy,
+            budget: Budget {
+                iterations: self.iterations,
+                time_seconds: self.time_budget_s,
+            },
+            repetitions: self.repetitions,
+            seed: self.seed,
+        };
+        let algorithm: Box<dyn SearchAlgorithm> = match self.algorithm {
+            AlgorithmChoice::Random => Box::new(RandomSearch::new()),
+            AlgorithmChoice::Grid => Box::new(GridSearch::new(8)),
+            AlgorithmChoice::Bayesian => Box::new(BayesOpt::new()),
+            AlgorithmChoice::Causal => Box::new(CausalSearch::new()),
+            AlgorithmChoice::DeepTune => {
+                let mut cfg = self.deeptune;
+                cfg.seed ^= self.seed;
+                Box::new(DeepTune::new(cfg))
+            }
+            AlgorithmChoice::DeepTuneTransfer(ckpt) => {
+                let mut cfg = self.deeptune;
+                cfg.seed ^= self.seed;
+                Box::new(DeepTune::with_checkpoint(cfg, ckpt))
+            }
+        };
+        Ok(SpecializationSession {
+            inner: Session::new(os, app, algorithm, spec),
+        })
+    }
+}
+
+/// A synthetic "application" for footprint sessions: boots and reports
+/// memory, with no performance model of its own.
+fn boot_probe_app() -> App {
+    App {
+        id: AppId::Nginx,
+        bench_tool: "boot-probe",
+        metric_name: "memory",
+        unit: "MB",
+        direction: MetricDirection::LowerBetter,
+        base: 1.0,
+        cores: 1,
+        bench_duration_s: 12.0,
+        mem_base_mb: 0.0,
+        perf: wf_ossim::PerfModel::new(0.0),
+        mem: wf_ossim::PerfModel::new(0.0),
+    }
+}
+
+/// The outcome of a completed session.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The best configuration with its objective value, if any run
+    /// succeeded.
+    pub best: Option<(wf_configspace::Configuration, f64)>,
+    /// Full summary statistics.
+    pub summary: SessionSummary,
+}
+
+/// A running specialization session (facade over the platform session).
+pub struct SpecializationSession {
+    inner: Session,
+}
+
+impl SpecializationSession {
+    /// Runs to budget exhaustion.
+    pub fn run(&mut self) -> Outcome {
+        let summary = self.inner.run();
+        Outcome {
+            best: summary
+                .best_config
+                .clone()
+                .zip(summary.best_objective),
+            summary,
+        }
+    }
+
+    /// Runs one iteration.
+    pub fn step(&mut self) -> &Record {
+        self.inner.step()
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn done(&self) -> bool {
+        self.inner.done()
+    }
+
+    /// The underlying platform session.
+    pub fn platform(&self) -> &Session {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying platform session.
+    pub fn platform_mut(&mut self) -> &mut Session {
+        &mut self.inner
+    }
+
+    /// Extracts a transfer-learning checkpoint if the algorithm is a
+    /// trained DeepTune (§3.3).
+    pub fn checkpoint(&mut self) -> Option<Checkpoint> {
+        self.inner
+            .algorithm_mut()
+            .as_any_mut()?
+            .downcast_mut::<DeepTune>()?
+            .checkpoint()
+    }
+
+    /// Queries the trained model for high-impact parameters (§4.1).
+    pub fn parameter_impacts(&mut self) -> Option<Vec<wf_deeptune::ParamImpact>> {
+        let space = self.inner.os().space.clone();
+        let encoder = wf_configspace::Encoder::new(&space);
+        let dt = self
+            .inner
+            .algorithm_mut()
+            .as_any_mut()?
+            .downcast_mut::<DeepTune>()?;
+        wf_deeptune::parameter_impacts(dt, &space, &encoder)
+    }
+}
+
+/// Re-exported focus type for job parity.
+pub type JobFocus = Focus;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_a_tiny_deeptune_session() {
+        let mut s = SessionBuilder::new()
+            .os(OsFlavor::Linux419)
+            .app(AppId::Nginx)
+            .algorithm(AlgorithmChoice::DeepTune)
+            .runtime_params(64)
+            .iterations(8)
+            .seed(7)
+            .build()
+            .expect("valid session");
+        let outcome = s.run();
+        assert_eq!(outcome.summary.iterations, 8);
+        assert!(outcome.best.is_some());
+    }
+
+    #[test]
+    fn builder_rejects_missing_budget() {
+        let mut b = SessionBuilder::new();
+        b.iterations = None;
+        b.time_budget_s = None;
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unikraft_requires_nginx() {
+        let err = match SessionBuilder::new()
+            .os(OsFlavor::Unikraft)
+            .app(AppId::Redis)
+            .iterations(1)
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("unikraft+redis must be rejected"),
+        };
+        assert!(err.message.contains("Nginx"));
+    }
+
+    #[test]
+    fn pins_are_applied_to_the_space() {
+        let s = SessionBuilder::new()
+            .os(OsFlavor::Linux419)
+            .runtime_params(64)
+            .iterations(1)
+            .pin("kernel.randomize_va_space", "2")
+            .build()
+            .expect("valid session");
+        let space = &s.platform().os().space;
+        let idx = space.index_of("kernel.randomize_va_space").unwrap();
+        assert!(space.spec(idx).fixed);
+    }
+
+    #[test]
+    fn bad_pin_is_a_build_error() {
+        let err = match SessionBuilder::new()
+            .runtime_params(64)
+            .iterations(1)
+            .pin("kernel.nope", "1")
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("unknown pin must be rejected"),
+        };
+        assert!(err.message.contains("unknown parameter"));
+    }
+
+    #[test]
+    fn checkpoint_extraction_works_after_training() {
+        let mut s = SessionBuilder::new()
+            .os(OsFlavor::Linux419)
+            .app(AppId::Redis)
+            .runtime_params(56)
+            .iterations(6)
+            .seed(3)
+            .build()
+            .unwrap();
+        let _ = s.run();
+        assert!(s.checkpoint().is_some());
+        // Random search has no checkpoint.
+        let mut r = SessionBuilder::new()
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(2)
+            .build()
+            .unwrap();
+        let _ = r.run();
+        assert!(r.checkpoint().is_none());
+    }
+
+    #[test]
+    fn all_stages_target_searches_boot_parameters() {
+        use wf_configspace::Stage;
+        let mut s = SessionBuilder::new()
+            .os(OsFlavor::Linux419AllStages)
+            .app(AppId::Nginx)
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(6)
+            .seed(77)
+            .build()
+            .unwrap();
+        let space = s.platform().os().space.clone();
+        assert!(space.census().boot > 0, "boot stage present");
+        let _ = s.run();
+        // Some explored configuration varied a boot-time parameter.
+        let default = space.default_config();
+        let boot_idx = space.stage_indices(Stage::BootTime);
+        let varied = s.platform().history().records().iter().any(|r| {
+            boot_idx.iter().any(|&i| r.config.get(i) != default.get(i))
+        });
+        assert!(varied, "boot parameters never varied");
+    }
+
+    #[test]
+    fn focus_restricts_the_varied_stage() {
+        use wf_configspace::Stage;
+        let mut s = SessionBuilder::new()
+            .os(OsFlavor::Linux419AllStages)
+            .app(AppId::Nginx)
+            .algorithm(AlgorithmChoice::Random)
+            .focus(Focus::Runtime)
+            .runtime_params(56)
+            .iterations(6)
+            .seed(78)
+            .build()
+            .unwrap();
+        let space = s.platform().os().space.clone();
+        let _ = s.run();
+        let default = space.default_config();
+        let boot_idx = space.stage_indices(Stage::BootTime);
+        for r in s.platform().history().records() {
+            for &i in &boot_idx {
+                assert_eq!(r.config.get(i), default.get(i), "boot param varied under runtime focus");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_job_space_restricts_exploration() {
+        let job = Job::parse(
+            "name: subset\nos: linux-4.19\napp: nginx\nmetric: throughput\nalgorithm: random\nseed: 6\nbudget:\n  iterations: 8\nparams:\n  - name: net.core.somaxconn\n    type: int\n    min: 16\n    max: 65535\n    log: true\n    default: 128\n  - name: custom.inert_knob\n    type: int\n    min: 0\n    max: 10\n    default: 5\n",
+        )
+        .unwrap();
+        let mut s = SessionBuilder::from_job(&job).unwrap().build().unwrap();
+        assert_eq!(s.platform().os().space.len(), 2, "only the declared params");
+        let outcome = s.run();
+        assert_eq!(outcome.summary.iterations, 8);
+        // The known parameter drives real effects; the unknown one is
+        // explored but inert — both are legal.
+        assert!(outcome.summary.best_metric.unwrap() > 10_000.0);
+    }
+
+    #[test]
+    fn from_job_round_trip() {
+        let job = Job::parse(
+            "name: x\nos: linux-4.19\napp: redis\nmetric: throughput\nalgorithm: random\nseed: 9\nbudget:\n  iterations: 3\n",
+        )
+        .unwrap();
+        let mut s = SessionBuilder::from_job(&job).unwrap().runtime_params(56).build().unwrap();
+        let outcome = s.run();
+        assert_eq!(outcome.summary.iterations, 3);
+    }
+}

@@ -1,0 +1,219 @@
+//! The debloating step: unexercised options out, dependency closure kept.
+
+use crate::trace::WorkloadTrace;
+use wf_configspace::{ConfigSpace, Configuration, Tristate, Value};
+use wf_kconfig::{Assignment, KconfigModel, Solver, SymValue, SymbolType};
+
+/// The output of a Cozart pass.
+#[derive(Clone, Debug)]
+pub struct Debloat {
+    /// The reduced compile-time configuration space: only the options
+    /// still enabled in the baseline remain explorable.
+    pub space: ConfigSpace,
+    /// The baseline configuration over [`Debloat::space`].
+    pub baseline: Configuration,
+    /// Symbols enabled in the baseline.
+    pub kept: usize,
+    /// Bool/tristate symbols the pass disabled.
+    pub disabled: usize,
+    /// `kept / (kept + disabled)`.
+    pub kept_fraction: f64,
+}
+
+/// Runs the debloating pass: seed every unexercised bool/tristate to `n`,
+/// resolve the `depends`/`select` closure, and build the reduced space.
+///
+/// The result is always Kconfig-valid: requirements of exercised features
+/// are resurrected by the solver's select floors, exactly like Cozart's
+/// own dependency completion.
+pub fn debloat(model: &KconfigModel, trace: &WorkloadTrace) -> Debloat {
+    let solver = Solver::new(model);
+    let defaults = solver.defconfig();
+    // Seed: exercised symbols keep their defaults; everything else off.
+    let mut seed = Assignment::new();
+    for sym in model.symbols() {
+        if !matches!(sym.stype, SymbolType::Bool | SymbolType::Tristate) {
+            continue;
+        }
+        if trace.exercises(&sym.name) {
+            if let Some(v) = defaults.get(&sym.name) {
+                seed.set(sym.name.clone(), v.clone());
+            }
+            // Exercised symbols that default to n are forced on: the
+            // trace proves the workload needs them.
+            if !defaults.tristate(&sym.name).enabled() {
+                seed.set_tri(sym.name.clone(), Tristate::Yes);
+            }
+        } else {
+            seed.set_tri(sym.name.clone(), Tristate::No);
+        }
+    }
+    let baseline_asg = solver.olddefconfig(&seed);
+    debug_assert!(solver.validate(&baseline_asg).is_empty());
+
+    // Count and collect survivors.
+    let mut kept_names: Vec<&str> = Vec::new();
+    let mut disabled = 0usize;
+    for sym in model.symbols() {
+        match sym.stype {
+            SymbolType::Bool | SymbolType::Tristate => {
+                if baseline_asg.tristate(&sym.name).enabled() {
+                    kept_names.push(&sym.name);
+                } else {
+                    disabled += 1;
+                }
+            }
+            // Value-typed symbols of kept subsystems stay explorable.
+            _ => kept_names.push(&sym.name),
+        }
+    }
+    let kept = kept_names.len();
+
+    // Reduced space: the survivors, with the baseline as default.
+    let full = wf_kconfig::space::compile_space(model);
+    let mut space = full.subset(&kept_names);
+    let mut baseline = space.default_config();
+    for i in 0..space.len() {
+        let name = space.spec(i).name.clone();
+        let value = match baseline_asg.get(&name) {
+            Some(SymValue::Tri(t)) => match space.spec(i).kind {
+                wf_configspace::ParamKind::Bool => Value::Bool(*t == Tristate::Yes),
+                _ => Value::Tristate(*t),
+            },
+            Some(SymValue::Int(v)) => Value::Int(*v),
+            _ => continue,
+        };
+        if space.spec(i).kind.admits(&value) {
+            baseline.set(i, value);
+            // The reduced space explores *around* the baseline.
+            let spec = space.spec(i).clone();
+            let idx = i;
+            let _ = idx;
+            let _ = spec;
+        }
+    }
+    // Make the baseline the space's default so samplers center on it.
+    for i in 0..space.len() {
+        let v = baseline.get(i);
+        let name = space.spec(i).name.clone();
+        space.pin(&name, v);
+    }
+    // Pinning sets `fixed`; undo that — Cozart reduces the space, it does
+    // not freeze it. Only the default should move.
+    let names: Vec<String> = space.specs().iter().map(|s| s.name.clone()).collect();
+    let mut rebuilt = ConfigSpace::new();
+    for name in &names {
+        let idx = space.index_of(name).expect("name from the space itself");
+        let mut spec = space.spec(idx).clone();
+        spec.fixed = full
+            .index_of(name)
+            .map(|i| full.spec(i).fixed)
+            .unwrap_or(false);
+        rebuilt.add(spec);
+    }
+    let baseline = rebuilt.default_config();
+
+    let total = kept + disabled;
+    Debloat {
+        space: rebuilt,
+        baseline,
+        kept,
+        disabled,
+        kept_fraction: kept as f64 / total.max(1) as f64,
+    }
+}
+
+/// The throughput uplift of a debloated kernel relative to the full
+/// default ("we observed a 31 % increase in throughput compared to the
+/// baseline, similar to what was reported in the Cozart evaluation").
+///
+/// Smaller kernels win through cache locality and shorter fast paths;
+/// the effect saturates as the kernel approaches its essential core.
+pub fn performance_uplift(kept_fraction: f64) -> f64 {
+    let f = kept_fraction.clamp(0.0, 1.0);
+    1.0 + 0.45 * (1.0 - f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_kconfig::gen::{synthesize, LinuxVersion};
+
+    fn setup() -> (KconfigModel, Debloat) {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let trace = WorkloadTrace::record(&model, "nginx");
+        let d = debloat(&model, &trace);
+        (model, d)
+    }
+
+    #[test]
+    fn reduces_the_space_substantially() {
+        let (model, d) = setup();
+        assert!(d.space.len() < model.len() / 2, "{} of {}", d.space.len(), model.len());
+        assert!(d.kept_fraction < 0.5, "kept fraction {}", d.kept_fraction);
+        assert!(d.disabled > d.kept, "most of the kernel is unused");
+    }
+
+    #[test]
+    fn baseline_keeps_essentials_enabled() {
+        let (_, d) = setup();
+        for name in ["PROC_FS", "SYSFS", "VIRTIO_NET", "EPOLL", "FUTEX"] {
+            let idx = d.space.index_of(name).unwrap_or_else(|| panic!("{name} kept"));
+            let v = d.baseline.get(idx);
+            assert!(
+                matches!(v, Value::Bool(true) | Value::Tristate(Tristate::Yes | Tristate::Module)),
+                "{name}: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_is_kconfig_valid() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let trace = WorkloadTrace::record(&model, "redis");
+        let d = debloat(&model, &trace);
+        // Rebuild an Assignment from the reduced baseline and validate it
+        // against the *full* model (absent symbols read as n).
+        let solver = Solver::new(&model);
+        let mut asg = solver.defconfig();
+        for (i, spec) in d.space.specs().iter().enumerate() {
+            match d.baseline.get(i) {
+                Value::Bool(b) => asg.set_tri(
+                    spec.name.clone(),
+                    if b { Tristate::Yes } else { Tristate::No },
+                ),
+                Value::Tristate(t) => asg.set_tri(spec.name.clone(), t),
+                Value::Int(v) => asg.set(spec.name.clone(), SymValue::Int(v)),
+                _ => {}
+            }
+        }
+        for sym in model.symbols() {
+            if matches!(sym.stype, SymbolType::Bool | SymbolType::Tristate)
+                && d.space.index_of(&sym.name).is_none()
+            {
+                asg.set_tri(sym.name.clone(), Tristate::No);
+            }
+        }
+        let fixed = solver.olddefconfig(&asg);
+        assert!(solver.validate(&fixed).is_empty());
+    }
+
+    #[test]
+    fn uplift_matches_cozart_magnitude() {
+        // A typical nginx debloat keeps ~30% of options -> ~1.31x.
+        let u = performance_uplift(0.31);
+        assert!((1.28..1.34).contains(&u), "{u}");
+        assert_eq!(performance_uplift(1.0), 1.0);
+        assert!(performance_uplift(0.2) > performance_uplift(0.5));
+    }
+
+    #[test]
+    fn debloat_is_deterministic() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let trace = WorkloadTrace::record(&model, "nginx");
+        let a = debloat(&model, &trace);
+        let b = debloat(&model, &trace);
+        assert_eq!(a.kept, b.kept);
+        assert_eq!(a.baseline.fingerprint(), b.baseline.fingerprint());
+    }
+}

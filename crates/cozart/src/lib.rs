@@ -1,0 +1,24 @@
+//! `wf-cozart`: a Cozart-style compile-time debloater (§4.4, Fig. 11).
+//!
+//! Cozart [Kuo et al., SIGMETRICS'20] uses dynamic analysis to trace the
+//! kernel features a workload exercises and compiles everything else out,
+//! shrinking both the image and the remaining configuration space, with a
+//! throughput side benefit. The paper uses Cozart output as the *baseline*
+//! Wayfinder optimizes further through runtime options.
+//!
+//! This reproduction keeps exactly the part of Cozart that matters to
+//! Wayfinder — the output: a valid, reduced baseline configuration and the
+//! smaller space around it.
+//!
+//! * [`trace`] — the simulated dynamic-analysis trace: which Kconfig
+//!   symbols a workload exercises (essentials plus a deterministic
+//!   per-workload subset);
+//! * [`debloat`](mod@debloat) — seeds every unexercised option to `n`, resolves the
+//!   `depends`/`select` closure with the Kconfig solver, and returns the
+//!   reduced space + baseline.
+
+pub mod debloat;
+pub mod trace;
+
+pub use debloat::{debloat, performance_uplift, Debloat};
+pub use trace::WorkloadTrace;

@@ -1,0 +1,129 @@
+//! Simulated dynamic-analysis traces.
+//!
+//! Real Cozart boots an instrumented kernel, runs the workload, and
+//! records which compilation units execute. The simulated trace produces
+//! the same artifact — the set of exercised Kconfig symbols — from ground
+//! truth: the curated essentials every workload touches, the
+//! subsystem gates, and a deterministic per-workload sample of the
+//! generated symbols (a web server exercises a different driver slice
+//! than a database, but both exercise far less than the kernel ships).
+
+use std::collections::HashSet;
+use wf_kconfig::{KconfigModel, SymbolType};
+
+/// A recorded workload trace: the exercised symbol set.
+#[derive(Clone, Debug)]
+pub struct WorkloadTrace {
+    exercised: HashSet<String>,
+    workload: String,
+}
+
+/// Symbols every booting workload exercises (mirrors the essential set the
+/// crash rules protect).
+const ALWAYS_EXERCISED: &[&str] = &[
+    "EXPERT", "SMP", "MMU", "NET", "PCI", "BLOCK", "SECURITY", "CRYPTO", "LIBS", "64BIT",
+    "INET", "PROC_FS", "SYSFS", "TMPFS", "EXT4_FS", "VIRTIO_NET", "VIRTIO_BLK",
+    "SERIAL_8250", "EPOLL", "FUTEX", "SHMEM", "AIO", "PRINTK", "KALLSYMS", "SWAP",
+    "SECCOMP", "RANDOMIZE_BASE", "STACKPROTECTOR", "HIGH_RES_TIMERS", "NO_HZ_IDLE",
+    "PREEMPT_VOLUNTARY", "CPU_FREQ", "CPU_IDLE", "TRANSPARENT_HUGEPAGE", "COMPACTION",
+    "MODULES", "NR_CPUS", "HZ", "LOG_BUF_SHIFT", "RCU_FANOUT",
+];
+
+/// Per-mille of generated symbols a workload exercises.
+const GENERATED_SHARE_PERMILLE: u64 = 80;
+
+impl WorkloadTrace {
+    /// Records a trace of `workload` (e.g. `"nginx"`) against a kernel
+    /// model. Deterministic per (model, workload).
+    pub fn record(model: &KconfigModel, workload: &str) -> Self {
+        let mut exercised = HashSet::new();
+        for name in ALWAYS_EXERCISED {
+            if model.by_name(name).is_some() {
+                exercised.insert((*name).to_string());
+            }
+        }
+        for sym in model.symbols() {
+            if !matches!(sym.stype, SymbolType::Bool | SymbolType::Tristate) {
+                continue;
+            }
+            // Deterministic per-workload slice of the generated symbols.
+            let h = fnv(&format!("{workload}:{}", sym.name));
+            if h % 1000 < GENERATED_SHARE_PERMILLE {
+                exercised.insert(sym.name.clone());
+            }
+        }
+        WorkloadTrace {
+            exercised,
+            workload: workload.to_string(),
+        }
+    }
+
+    /// The traced workload name.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Whether a symbol was exercised.
+    pub fn exercises(&self, name: &str) -> bool {
+        self.exercised.contains(name)
+    }
+
+    /// Number of exercised symbols.
+    pub fn len(&self) -> usize {
+        self.exercised.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.exercised.is_empty()
+    }
+
+    /// Iterates over the exercised symbol names.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.exercised.iter().map(String::as_str)
+    }
+}
+
+fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_kconfig::gen::{synthesize, LinuxVersion};
+
+    #[test]
+    fn traces_are_deterministic_and_small() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let a = WorkloadTrace::record(&model, "nginx");
+        let b = WorkloadTrace::record(&model, "nginx");
+        assert_eq!(a.len(), b.len());
+        // A workload exercises a small fraction of the kernel.
+        assert!(a.len() < model.len() / 5, "{} of {}", a.len(), model.len());
+        assert!(a.len() > 100);
+    }
+
+    #[test]
+    fn different_workloads_exercise_different_slices() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let nginx = WorkloadTrace::record(&model, "nginx");
+        let redis = WorkloadTrace::record(&model, "redis");
+        let only_nginx = nginx.iter().filter(|s| !redis.exercises(s)).count();
+        assert!(only_nginx > 50, "workload slices should differ: {only_nginx}");
+    }
+
+    #[test]
+    fn essentials_are_always_exercised() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let t = WorkloadTrace::record(&model, "sqlite");
+        for name in ["PROC_FS", "SYSFS", "VIRTIO_BLK", "EPOLL", "FUTEX"] {
+            assert!(t.exercises(name), "{name}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Querying the trained model for high-impact parameters (§4.1).
+//!
+//! "We queried the models learned by DeepTune to assess Wayfinder's
+//! ability to identify parameters with the high\[est\] impact on
+//! performance." For each parameter, the default configuration is varied
+//! along that parameter's axis and the DTM predicts the performance of
+//! each variant; the spread of predictions around the default's prediction
+//! is the parameter's impact — positive when some value is predicted to
+//! improve on the default, negative when the axis can only degrade.
+
+use crate::algorithm::DeepTune;
+use wf_configspace::{ConfigSpace, Encoder, ParamKind, Tristate, Value};
+
+/// The model's view of one parameter's impact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamImpact {
+    /// Parameter name.
+    pub name: String,
+    /// Largest predicted improvement over the default (normalized
+    /// goodness units; ≥ 0).
+    pub best_delta: f64,
+    /// Largest predicted degradation below the default (≤ 0).
+    pub worst_delta: f64,
+}
+
+impl ParamImpact {
+    /// Net impact magnitude used for ranking.
+    pub fn magnitude(&self) -> f64 {
+        self.best_delta.max(-self.worst_delta)
+    }
+}
+
+/// Number of grid points per integer axis.
+const INT_STEPS: usize = 9;
+
+/// Queries the trained model for every non-fixed parameter's impact.
+///
+/// Returns `None` when the model has not been trained yet.
+pub fn parameter_impacts(
+    deeptune: &mut DeepTune,
+    space: &ConfigSpace,
+    encoder: &Encoder,
+) -> Option<Vec<ParamImpact>> {
+    let default = space.default_config();
+    let base_features = encoder.encode(space, &default);
+    let base_pred = deeptune.predict_raw(&[base_features])?[0].mu;
+
+    let mut out = Vec::new();
+    for (idx, spec) in space.specs().iter().enumerate() {
+        if spec.fixed {
+            continue;
+        }
+        let axis = axis_values(&spec.kind);
+        if axis.len() < 2 {
+            continue;
+        }
+        let variants: Vec<Vec<f64>> = axis
+            .iter()
+            .map(|v| {
+                let mut c = default.clone();
+                c.set(idx, *v);
+                encoder.encode(space, &c)
+            })
+            .collect();
+        let preds = deeptune.predict_raw(&variants)?;
+        let mut best = 0.0f64;
+        let mut worst = 0.0f64;
+        for p in &preds {
+            best = best.max(p.mu - base_pred);
+            worst = worst.min(p.mu - base_pred);
+        }
+        out.push(ParamImpact {
+            name: spec.name.clone(),
+            best_delta: best,
+            worst_delta: worst,
+        });
+    }
+    out.sort_by(|a, b| b.magnitude().partial_cmp(&a.magnitude()).unwrap());
+    Some(out)
+}
+
+/// The top `k` parameters predicted to *improve* performance when tuned.
+pub fn top_positive(impacts: &[ParamImpact], k: usize) -> Vec<&ParamImpact> {
+    let mut v: Vec<&ParamImpact> = impacts.iter().filter(|i| i.best_delta > 0.0).collect();
+    v.sort_by(|a, b| b.best_delta.partial_cmp(&a.best_delta).unwrap());
+    v.truncate(k);
+    v
+}
+
+/// The top `k` parameters predicted to *degrade* performance when
+/// mis-tuned.
+pub fn top_negative(impacts: &[ParamImpact], k: usize) -> Vec<&ParamImpact> {
+    let mut v: Vec<&ParamImpact> = impacts.iter().filter(|i| i.worst_delta < 0.0).collect();
+    v.sort_by(|a, b| a.worst_delta.partial_cmp(&b.worst_delta).unwrap());
+    v.truncate(k);
+    v
+}
+
+/// The probe values for one parameter axis.
+fn axis_values(kind: &ParamKind) -> Vec<Value> {
+    match kind {
+        ParamKind::Bool => vec![Value::Bool(false), Value::Bool(true)],
+        ParamKind::Tristate => Tristate::ALL.iter().map(|t| Value::Tristate(*t)).collect(),
+        ParamKind::Enum { choices } => (0..choices.len()).map(Value::Choice).collect(),
+        ParamKind::Int {
+            min,
+            max,
+            log_scale,
+        } => int_axis(*min, *max, *log_scale),
+        ParamKind::Hex { min, max } => int_axis(*min, *max, false),
+    }
+}
+
+fn int_axis(min: i64, max: i64, log_scale: bool) -> Vec<Value> {
+    let mut out = Vec::with_capacity(INT_STEPS);
+    for k in 0..INT_STEPS {
+        let t = k as f64 / (INT_STEPS - 1) as f64;
+        let v = if log_scale && min >= 0 {
+            let span = ((max - min) as f64 + 1.0).ln();
+            min + ((t * span).exp() - 1.0).round() as i64
+        } else {
+            min + ((max - min) as f64 * t).round() as i64
+        };
+        let v = Value::Int(v.clamp(min, max));
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::DeepTuneConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_configspace::{ParamSpec, Stage};
+    use wf_jobfile::Direction;
+    use wf_search::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
+
+    fn space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(ParamSpec::new("helps", ParamKind::int(0, 100), Stage::Runtime));
+        s.add(ParamSpec::new("hurts", ParamKind::Bool, Stage::Runtime));
+        s.add(ParamSpec::new("inert", ParamKind::int(0, 100), Stage::Runtime));
+        s
+    }
+
+    #[test]
+    fn recovers_positive_and_negative_parameters() {
+        let space = space();
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut alg = DeepTune::new(DeepTuneConfig {
+            warmup: 5,
+            epochs_per_observe: 4,
+            ..DeepTuneConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut history: Vec<Observation> = Vec::new();
+        for i in 0..80 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = ctx.policy.sample(ctx.space, &mut rng);
+            let helps = c.by_name(&space, "helps").unwrap().as_f64();
+            let hurts = c.by_name(&space, "hurts").unwrap().as_f64();
+            let y = 100.0 + helps - 40.0 * hurts;
+            let obs = Observation::ok(c, y, 60.0);
+            alg.observe(&ctx, &obs);
+            history.push(obs);
+        }
+        let impacts = parameter_impacts(&mut alg, &space, &encoder).expect("trained");
+        assert_eq!(impacts.len(), 3);
+        let pos = top_positive(&impacts, 1);
+        assert_eq!(pos[0].name, "helps");
+        let neg = top_negative(&impacts, 1);
+        assert_eq!(neg[0].name, "hurts");
+        // The inert parameter ranks below both.
+        assert_eq!(impacts.last().unwrap().name, "inert");
+    }
+
+    #[test]
+    fn untrained_model_returns_none() {
+        let space = space();
+        let encoder = Encoder::new(&space);
+        let mut alg = DeepTune::new(DeepTuneConfig::default());
+        assert!(parameter_impacts(&mut alg, &space, &encoder).is_none());
+    }
+
+    #[test]
+    fn axes_cover_domains() {
+        let vals = axis_values(&ParamKind::log_int(1, 1_000_000));
+        assert!(vals.len() >= 5);
+        assert_eq!(vals.first(), Some(&Value::Int(1)));
+        assert_eq!(vals.last(), Some(&Value::Int(1_000_000)));
+        assert_eq!(axis_values(&ParamKind::Bool).len(), 2);
+        assert_eq!(axis_values(&ParamKind::Tristate).len(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! `wf-deeptune`: the DeepTune optimization algorithm — the paper's core
+//! contribution (§3.2, §3.3).
+//!
+//! * [`model`] — the DeepTune Model (DTM): a multitask NN predicting crash
+//!   probability, performance, and uncertainty, with the RBF uncertainty
+//!   branch of Eq. 1 and the `L = L_CCE + L_Reg + L_Cham` training loss;
+//! * [`score`] — Eq. 2's dissimilarity and Eq. 3's scoring function, plus
+//!   the crash-filtered ranking;
+//! * [`trailblazer`] — candidate-pool generation (Fig. 3);
+//! * [`algorithm`] — [`DeepTune`]: the `wf-search` plug-in tying pool →
+//!   prediction → ranking → learning together;
+//! * [`transfer`] — §3.3 checkpoints with a versioned text format;
+//! * [`importance`] — the §4.1 high-impact-parameter queries.
+
+pub mod algorithm;
+pub mod importance;
+pub mod model;
+pub mod score;
+pub mod trailblazer;
+pub mod transfer;
+
+pub use algorithm::{DeepTune, DeepTuneConfig};
+pub use importance::{parameter_impacts, top_negative, top_positive, ParamImpact};
+pub use model::{Dtm, DtmConfig, LossBreakdown, Prediction};
+pub use score::{rank, sf, ScoreParams};
+pub use trailblazer::{generate_pool, PoolConfig};
+pub use transfer::{Checkpoint, CheckpointError};

@@ -1,0 +1,183 @@
+//! The scoring function (§3.2, Eq. 2 and Eq. 3).
+//!
+//! Candidates are ranked by merging the model prediction, the predicted
+//! uncertainty, and the dissimilarity to known configurations:
+//!
+//! * `ds(x, X) = 1 − 1/(1 + ‖x − X‖²)` — Eq. 2, computed against the
+//!   nearest explored sample (`wf_configspace::distance::dissimilarity`);
+//! * `sf(x, X) = α·ds(x, X) + (1 − α)·F_u(x)` — Eq. 3, with α = 0.5;
+//! * candidates whose predicted crash probability exceeds a threshold are
+//!   discarded first (the crash-avoidance competing methods lack);
+//! * the surviving pool is ranked by `ŷ_norm + sf(x, X)`, with ŷ
+//!   min–max normalized over the pool and sign-adjusted so larger is
+//!   always better.
+//!
+//! Eq. 3 as printed contains only `ds` and `F_u`; the prose adds "the
+//! model prediction". We follow the prose (see DESIGN.md §4); the
+//! ablation bench isolates each term.
+
+use crate::model::Prediction;
+use wf_configspace::distance::dissimilarity;
+
+/// Scoring-function parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreParams {
+    /// Exploration/exploitation balance α of Eq. 3 (paper: 0.5).
+    pub alpha: f64,
+    /// Candidates with predicted crash probability above this are
+    /// discarded (unless that empties the pool).
+    pub crash_threshold: f64,
+    /// Weight of the predicted performance term in the final ranking.
+    pub prediction_weight: f64,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        ScoreParams {
+            alpha: 0.5,
+            crash_threshold: 0.5,
+            prediction_weight: 1.0,
+        }
+    }
+}
+
+/// Eq. 3: merges dissimilarity and predicted uncertainty.
+pub fn sf(alpha: f64, ds: f64, sigma_norm: f64) -> f64 {
+    alpha * ds + (1.0 - alpha) * sigma_norm
+}
+
+/// Ranks a candidate pool; returns indices into the pool, best first.
+///
+/// `goodness` holds the *sign-adjusted* predicted performance (larger is
+/// better); `features` the encoded candidates; `known` the encoded,
+/// already-explored configurations.
+pub fn rank(
+    params: &ScoreParams,
+    preds: &[Prediction],
+    goodness: &[f64],
+    features: &[Vec<f64>],
+    known: &[Vec<f64>],
+) -> Vec<usize> {
+    assert_eq!(preds.len(), features.len());
+    assert_eq!(preds.len(), goodness.len());
+    assert!(!preds.is_empty(), "empty candidate pool");
+
+    // Crash filter first.
+    let mut survivors: Vec<usize> = (0..preds.len())
+        .filter(|&i| preds[i].crash_prob <= params.crash_threshold)
+        .collect();
+    if survivors.is_empty() {
+        // Everything looks crashy: keep the least-crashy half instead of
+        // proposing nothing.
+        let mut by_crash: Vec<usize> = (0..preds.len()).collect();
+        by_crash.sort_by(|&a, &b| preds[a].crash_prob.partial_cmp(&preds[b].crash_prob).unwrap());
+        survivors = by_crash[..preds.len().div_ceil(2)].to_vec();
+    }
+
+    // Pool-level min-max normalization of ŷ and σ̂.
+    let y_norm = min_max(&survivors.iter().map(|&i| goodness[i]).collect::<Vec<_>>());
+    let s_norm = min_max(&survivors.iter().map(|&i| preds[i].sigma).collect::<Vec<_>>());
+
+    let mut scored: Vec<(usize, f64)> = survivors
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| {
+            let ds = dissimilarity(&features[i], known);
+            let score = params.prediction_weight * y_norm[pos]
+                + sf(params.alpha, ds, s_norm[pos]);
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+fn min_max(values: &[f64]) -> Vec<f64> {
+    let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+    if (hi - lo).abs() < 1e-12 {
+        return vec![0.5; values.len()];
+    }
+    values.iter().map(|v| (v - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(crash: f64, mu: f64, sigma: f64) -> Prediction {
+        Prediction {
+            crash_prob: crash,
+            mu,
+            sigma,
+        }
+    }
+
+    #[test]
+    fn sf_balances_terms() {
+        assert_eq!(sf(0.5, 1.0, 0.0), 0.5);
+        assert_eq!(sf(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(sf(0.0, 1.0, 0.3), 0.3);
+        assert_eq!(sf(1.0, 0.7, 0.3), 0.7);
+    }
+
+    #[test]
+    fn crashy_candidates_are_filtered() {
+        let params = ScoreParams::default();
+        let preds = vec![pred(0.9, 10.0, 0.1), pred(0.1, 1.0, 0.1)];
+        let goodness = vec![10.0, 1.0];
+        let features = vec![vec![0.0], vec![1.0]];
+        let ranked = rank(&params, &preds, &goodness, &features, &[]);
+        // The high-value candidate is predicted to crash; the safe one wins.
+        assert_eq!(ranked[0], 1);
+        assert_eq!(ranked.len(), 1);
+    }
+
+    #[test]
+    fn all_crashy_keeps_least_crashy() {
+        let params = ScoreParams::default();
+        let preds = vec![pred(0.95, 1.0, 0.1), pred(0.7, 1.0, 0.1), pred(0.99, 1.0, 0.1)];
+        let goodness = vec![1.0, 1.0, 1.0];
+        let features = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ranked = rank(&params, &preds, &goodness, &features, &[]);
+        assert!(ranked.contains(&1), "least crashy survives");
+        assert_eq!(ranked.len(), 2, "keeps the better half");
+    }
+
+    #[test]
+    fn prediction_dominates_when_uncertainty_equal() {
+        let params = ScoreParams::default();
+        let preds = vec![pred(0.0, 1.0, 0.2), pred(0.0, 5.0, 0.2)];
+        let goodness = vec![1.0, 5.0];
+        // Same distance from the known point.
+        let features = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let known = vec![vec![0.0, 0.0]];
+        let ranked = rank(&params, &preds, &goodness, &features, &known);
+        assert_eq!(ranked[0], 1);
+    }
+
+    #[test]
+    fn dissimilarity_breaks_ties_toward_unexplored() {
+        let params = ScoreParams {
+            prediction_weight: 0.0,
+            ..Default::default()
+        };
+        let preds = vec![pred(0.0, 1.0, 0.2), pred(0.0, 1.0, 0.2)];
+        let goodness = vec![1.0, 1.0];
+        let features = vec![vec![0.01], vec![5.0]];
+        let known = vec![vec![0.0]];
+        let ranked = rank(&params, &preds, &goodness, &features, &known);
+        assert_eq!(ranked[0], 1, "remote candidate explores more");
+    }
+
+    #[test]
+    fn minimization_is_handled_by_goodness_sign() {
+        // Caller sign-adjusts: for latency, goodness = -latency.
+        let params = ScoreParams::default();
+        let preds = vec![pred(0.0, 300.0, 0.1), pred(0.0, 200.0, 0.1)];
+        let goodness = vec![-300.0, -200.0];
+        let features = vec![vec![0.0], vec![0.0]];
+        let ranked = rank(&params, &preds, &goodness, &features, &[]);
+        assert_eq!(ranked[0], 1, "lower latency wins");
+    }
+}

@@ -1,0 +1,132 @@
+//! The Trailblazer engine: candidate-pool generation (Fig. 3, step 1).
+//!
+//! "DeepTune starts with the random generation of a diverse pool of
+//! permutation candidates." The pool mixes fresh policy samples
+//! (exploration fuel) with small mutations of the best configurations
+//! found so far (exploitation fuel); the DTM and the scoring function then
+//! decide which member is evaluated.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use wf_configspace::{ConfigSpace, Configuration};
+use wf_search::SamplePolicy;
+
+/// Pool-generation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Fresh random candidates per iteration.
+    pub random: usize,
+    /// Mutated copies of incumbents per iteration.
+    pub mutants: usize,
+    /// Maximum parameters changed per mutation.
+    pub max_changes: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            random: 64,
+            mutants: 32,
+            max_changes: 3,
+        }
+    }
+}
+
+/// Generates one candidate pool.
+///
+/// `incumbents` are the best configurations found so far (may be empty in
+/// the first iterations). Duplicate fingerprints within the pool are
+/// dropped, so the returned pool may be slightly smaller than
+/// `random + mutants`.
+pub fn generate_pool(
+    space: &ConfigSpace,
+    policy: &SamplePolicy,
+    incumbents: &[Configuration],
+    cfg: &PoolConfig,
+    rng: &mut StdRng,
+) -> Vec<Configuration> {
+    let mut pool = Vec::with_capacity(cfg.random + cfg.mutants);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..cfg.random {
+        let c = policy.sample(space, rng);
+        if seen.insert(c.fingerprint()) {
+            pool.push(c);
+        }
+    }
+    if !incumbents.is_empty() {
+        for _ in 0..cfg.mutants {
+            let base = &incumbents[rng.random_range(0..incumbents.len())];
+            let changes = rng.random_range(1..=cfg.max_changes.max(1));
+            let c = policy.mutate(space, base, changes, rng);
+            if seen.insert(c.fingerprint()) {
+                pool.push(c);
+            }
+        }
+    }
+    assert!(!pool.is_empty(), "pool generation produced nothing");
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wf_configspace::{ParamKind, ParamSpec, Stage};
+
+    fn space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        for i in 0..8 {
+            s.add(ParamSpec::new(
+                format!("p{i}"),
+                ParamKind::int(0, 1000),
+                Stage::Runtime,
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn pool_has_random_and_mutant_members() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = SamplePolicy::Uniform;
+        let incumbent = s.default_config();
+        let cfg = PoolConfig {
+            random: 16,
+            mutants: 16,
+            max_changes: 2,
+        };
+        let pool = generate_pool(&s, &policy, &[incumbent.clone()], &cfg, &mut rng);
+        assert!(pool.len() > 20);
+        // Mutants stay near the incumbent; random samples do not.
+        let near = pool
+            .iter()
+            .filter(|c| c.diff_indices(&incumbent).len() <= 2)
+            .count();
+        assert!(near >= 8, "near={near}");
+    }
+
+    #[test]
+    fn pool_without_incumbents_is_pure_exploration() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let policy = SamplePolicy::Uniform;
+        let cfg = PoolConfig::default();
+        let pool = generate_pool(&s, &policy, &[], &cfg, &mut rng);
+        assert!(pool.len() <= cfg.random);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn pool_members_are_unique() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = SamplePolicy::Uniform;
+        let cfg = PoolConfig::default();
+        let pool = generate_pool(&s, &policy, &[s.default_config()], &cfg, &mut rng);
+        let mut fps = std::collections::HashSet::new();
+        for c in &pool {
+            assert!(fps.insert(c.fingerprint()));
+        }
+    }
+}

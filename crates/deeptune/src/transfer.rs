@@ -1,0 +1,223 @@
+//! Transfer-learning checkpoints (§3.3).
+//!
+//! "After training a model to optimize for a given application, transfer
+//! learning can be applied, i.e., the model can be reused to accelerate
+//! exploration on other applications with similar characteristics."
+//!
+//! A [`Checkpoint`] captures the DTM weights, the feature normalizer, and
+//! the target normalizer. Checkpoints serialize to a versioned plain-text
+//! format (the sanctioned crate set has no serde format crate; the format
+//! is trivial, documented, and round-trip tested).
+
+use std::fmt::Write as _;
+use wf_nn::Matrix;
+
+/// A serializable snapshot of a trained DeepTune model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Feature dimensionality the model was trained on.
+    pub input_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// RBF centroids per layer.
+    pub centroids: usize,
+    /// RBF smoothing parameter.
+    pub gamma: f64,
+    /// All trainable tensors in the DTM's stable order.
+    pub weights: Vec<Matrix>,
+    /// Feature z-score means.
+    pub x_mean: Vec<f64>,
+    /// Feature z-score standard deviations.
+    pub x_std: Vec<f64>,
+    /// Target normalizer mean.
+    pub y_mean: f64,
+    /// Target normalizer std.
+    pub y_std: f64,
+}
+
+/// Format magic line.
+const MAGIC: &str = "wayfinder-dtm-checkpoint v1";
+
+/// Errors when parsing a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn err(message: impl Into<String>) -> CheckpointError {
+    CheckpointError {
+        message: message.into(),
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(
+            out,
+            "config {} {} {} {}",
+            self.input_dim, self.hidden, self.centroids, self.gamma
+        );
+        let _ = writeln!(out, "ynorm {} {}", self.y_mean, self.y_std);
+        let _ = writeln!(out, "xnorm {}", self.x_mean.len());
+        let _ = writeln!(out, "{}", join(&self.x_mean));
+        let _ = writeln!(out, "{}", join(&self.x_std));
+        for w in &self.weights {
+            let _ = writeln!(out, "tensor {} {}", w.rows(), w.cols());
+            for r in 0..w.rows() {
+                let _ = writeln!(out, "{}", join(w.row(r)));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a checkpoint from text.
+    pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(err("bad magic line"));
+        }
+        let config_line = lines.next().ok_or_else(|| err("missing config line"))?;
+        let parts: Vec<&str> = config_line.split_whitespace().collect();
+        if parts.len() != 5 || parts[0] != "config" {
+            return Err(err("malformed config line"));
+        }
+        let input_dim: usize = parts[1].parse().map_err(|_| err("bad input_dim"))?;
+        let hidden: usize = parts[2].parse().map_err(|_| err("bad hidden"))?;
+        let centroids: usize = parts[3].parse().map_err(|_| err("bad centroids"))?;
+        let gamma: f64 = parts[4].parse().map_err(|_| err("bad gamma"))?;
+
+        let y_line = lines.next().ok_or_else(|| err("missing ynorm"))?;
+        let yp: Vec<&str> = y_line.split_whitespace().collect();
+        if yp.len() != 3 || yp[0] != "ynorm" {
+            return Err(err("malformed ynorm line"));
+        }
+        let y_mean: f64 = yp[1].parse().map_err(|_| err("bad y_mean"))?;
+        let y_std: f64 = yp[2].parse().map_err(|_| err("bad y_std"))?;
+
+        let x_line = lines.next().ok_or_else(|| err("missing xnorm"))?;
+        let xp: Vec<&str> = x_line.split_whitespace().collect();
+        if xp.len() != 2 || xp[0] != "xnorm" {
+            return Err(err("malformed xnorm line"));
+        }
+        let x_dim: usize = xp[1].parse().map_err(|_| err("bad xnorm dim"))?;
+        let x_mean = parse_row(lines.next().ok_or_else(|| err("missing x means"))?, x_dim)?;
+        let x_std = parse_row(lines.next().ok_or_else(|| err("missing x stds"))?, x_dim)?;
+
+        let mut weights = Vec::new();
+        loop {
+            let header = lines.next().ok_or_else(|| err("unterminated checkpoint"))?;
+            if header == "end" {
+                break;
+            }
+            let hp: Vec<&str> = header.split_whitespace().collect();
+            if hp.len() != 3 || hp[0] != "tensor" {
+                return Err(err(format!("expected tensor header, got {header:?}")));
+            }
+            let rows: usize = hp[1].parse().map_err(|_| err("bad tensor rows"))?;
+            let cols: usize = hp[2].parse().map_err(|_| err("bad tensor cols"))?;
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows {
+                let row = parse_row(
+                    lines.next().ok_or_else(|| err("truncated tensor"))?,
+                    cols,
+                )?;
+                data.extend(row);
+            }
+            weights.push(Matrix::from_vec(rows, cols, data));
+        }
+        Ok(Checkpoint {
+            input_dim,
+            hidden,
+            centroids,
+            gamma,
+            weights,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+        })
+    }
+}
+
+fn join(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:e}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_row(line: &str, expected: usize) -> Result<Vec<f64>, CheckpointError> {
+    let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+    let values = values.map_err(|_| err("bad float"))?;
+    if values.len() != expected {
+        return Err(err(format!(
+            "expected {expected} values, found {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            input_dim: 3,
+            hidden: 4,
+            centroids: 2,
+            gamma: 1.0,
+            weights: vec![
+                Matrix::from_vec(2, 3, vec![1.0, -2.5, 3.25e-4, 0.0, 9.0, -1e12]),
+                Matrix::from_vec(1, 1, vec![0.5]),
+            ],
+            x_mean: vec![0.1, 0.2, 0.3],
+            x_std: vec![1.0, 2.0, 3.0],
+            y_mean: 15000.0,
+            y_std: 1234.5,
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let c = sample();
+        let text = c.to_text();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(Checkpoint::from_text("nope\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let c = sample();
+        let text = c.to_text();
+        let cut = &text[..text.len() / 2];
+        assert!(Checkpoint::from_text(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_row_width() {
+        let text = "wayfinder-dtm-checkpoint v1\nconfig 3 4 2 1\nynorm 0 1\nxnorm 3\n1 2\n1 2 3\nend\n";
+        let e = Checkpoint::from_text(text).unwrap_err();
+        assert!(e.message.contains("expected 3"));
+    }
+}

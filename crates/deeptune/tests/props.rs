@@ -1,0 +1,94 @@
+//! Property tests: checkpoint round-trips over arbitrary weights, and
+//! scoring-function invariants.
+
+use proptest::prelude::*;
+use wf_deeptune::model::Prediction;
+use wf_deeptune::{rank, sf, Checkpoint, ScoreParams};
+use wf_nn::Matrix;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Round-trippable floats (text format uses {:e}).
+    (-1e12f64..1e12).prop_map(|v| (v * 1e6).round() / 1e6)
+}
+
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(finite_f64(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checkpoint_text_round_trips(
+        weights in proptest::collection::vec(matrix_strategy(), 1..6),
+        x_stats in proptest::collection::vec((finite_f64(), 0.001f64..1e6), 1..8),
+        y_mean in finite_f64(),
+        y_std in 0.001f64..1e6,
+    ) {
+        let ckpt = Checkpoint {
+            input_dim: x_stats.len(),
+            hidden: 8,
+            centroids: 4,
+            gamma: 1.0,
+            weights,
+            x_mean: x_stats.iter().map(|(m, _)| *m).collect(),
+            x_std: x_stats.iter().map(|(_, s)| *s).collect(),
+            y_mean,
+            y_std,
+        };
+        let text = ckpt.to_text();
+        let back = Checkpoint::from_text(&text).expect("round-trip parses");
+        prop_assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn sf_is_a_convex_combination(alpha in 0.0f64..=1.0, ds in 0.0f64..=1.0, sigma in 0.0f64..=1.0) {
+        let v = sf(alpha, ds, sigma);
+        let lo = ds.min(sigma);
+        let hi = ds.max(sigma);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn rank_returns_a_valid_permutation_subset(
+        rows in proptest::collection::vec((0.0f64..=1.0, -10.0f64..10.0, 0.0f64..5.0), 1..20),
+    ) {
+        let preds: Vec<Prediction> = rows
+            .iter()
+            .map(|(crash, mu, sigma)| Prediction {
+                crash_prob: *crash,
+                mu: *mu,
+                sigma: *sigma,
+            })
+            .collect();
+        let goodness: Vec<f64> = preds.iter().map(|p| p.mu).collect();
+        let features: Vec<Vec<f64>> = (0..preds.len()).map(|i| vec![i as f64]).collect();
+        let order = rank(&ScoreParams::default(), &preds, &goodness, &features, &[]);
+        prop_assert!(!order.is_empty());
+        // Indices are unique and in range.
+        let mut seen = std::collections::HashSet::new();
+        for i in &order {
+            prop_assert!(*i < preds.len());
+            prop_assert!(seen.insert(*i));
+        }
+        // The filter never drops a candidate that is strictly safer than a
+        // kept one.
+        let kept_max_crash = order
+            .iter()
+            .map(|&i| preds[i].crash_prob)
+            .fold(f64::MIN, f64::max);
+        for (i, p) in preds.iter().enumerate() {
+            if !order.contains(&i) {
+                prop_assert!(
+                    p.crash_prob >= kept_max_crash - 1e-12,
+                    "dropped {} (crash {}) while keeping crashier candidates",
+                    i,
+                    p.crash_prob
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Random forests (Breiman 2001) — the feature-importance algorithm the
+//! paper uses to build the Fig. 5 cross-similarity matrix.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growing parameters.
+    pub tree: TreeConfig,
+    /// Seed for bootstrapping and feature bagging.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 32,
+            tree: TreeConfig::default(),
+            seed: 0xf0,
+        }
+    }
+}
+
+/// A fitted random-forest regressor.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fits the forest on bootstrap resamples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: &ForestConfig) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len());
+        let n = x.len();
+        let n_features = x[0].len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                // Bootstrap resample by index so x and y stay aligned.
+                let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                RegressionTree::fit(&bx, &by, &cfg.tree, &mut rng)
+            })
+            .collect();
+        RandomForest { trees, n_features }
+    }
+
+    /// Mean prediction over all trees.
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(sample)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Normalized impurity-decrease feature importances (sums to 1 when
+    /// any split happened; all-zero otherwise).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for t in &self.trees {
+            t.accumulate_importance(&mut imp);
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..5).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        // y depends on features 0 (strongly) and 3 (weakly).
+        let y: Vec<f64> = x.iter().map(|r| 8.0 * r[0] + 2.0 * r[3]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_mean_predictor() {
+        let (x, y) = dataset(400, 1);
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let (mut se_forest, mut se_mean) = (0.0, 0.0);
+        let (xt, yt) = dataset(100, 2);
+        for (row, target) in xt.iter().zip(yt.iter()) {
+            se_forest += (f.predict(row) - target).powi(2);
+            se_mean += (mean - target).powi(2);
+        }
+        assert!(se_forest < se_mean * 0.3, "forest {se_forest} vs mean {se_mean}");
+    }
+
+    #[test]
+    fn importances_are_normalized_and_ordered() {
+        let (x, y) = dataset(400, 3);
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let imp = f.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[3], "strong feature outranks weak: {imp:?}");
+        assert!(imp[3] > imp[1].max(imp[2]).max(imp[4]), "{imp:?}");
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let (x, y) = dataset(100, 4);
+        let a = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let b = RandomForest::fit(&x, &y, &ForestConfig::default());
+        assert_eq!(a.feature_importances(), b.feature_importances());
+    }
+}

@@ -1,0 +1,19 @@
+//! `wf-forest`: random-forest feature importance (Fig. 5).
+//!
+//! §3.3 builds a cross-similarity matrix over applications by collecting
+//! random configurations per application, fitting a feature-importance
+//! algorithm (Breiman's random forest), and comparing the importance
+//! vectors. This crate provides the from-scratch forest:
+//!
+//! * [`tree`] — CART regression trees with variance-reduction splits and
+//!   impurity-decrease importances;
+//! * [`forest`] — bootstrapped, feature-bagged forests;
+//! * [`similarity`] — the Fig. 5 matrix over importance vectors.
+
+pub mod forest;
+pub mod similarity;
+pub mod tree;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use similarity::{cross_similarity, render};
+pub use tree::{RegressionTree, TreeConfig};

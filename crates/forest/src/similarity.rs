@@ -1,0 +1,84 @@
+//! The Fig. 5 cross-similarity matrix.
+//!
+//! "We treat the importance scores as vectors and compute the
+//! Euclidean-norm distance between them": each application's random-forest
+//! feature-importance vector is L2-normalized, and the similarity of two
+//! applications is the cosine of their normalized vectors (for unit
+//! vectors, cosine and Euclidean distance are monotone transforms of each
+//! other: `‖a − b‖² = 2(1 − cosθ)`). A value close to 1 means "the
+//! performance of the applications is impacted by similar parameters".
+
+use wf_configspace::distance::cosine_similarity;
+
+/// Builds the symmetric cross-similarity matrix of importance vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have differing lengths.
+pub fn cross_similarity(importances: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = importances.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let s = cosine_similarity(&importances[i], &importances[j]);
+            out[i][j] = s;
+            out[j][i] = s;
+        }
+    }
+    out
+}
+
+/// Renders the matrix with row/column labels (the Fig. 5 layout).
+pub fn render(labels: &[&str], matrix: &[Vec<f64>]) -> String {
+    assert_eq!(labels.len(), matrix.len());
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}", ""));
+    for l in labels {
+        out.push_str(&format!("{l:>8}"));
+    }
+    out.push('\n');
+    for (i, l) in labels.iter().enumerate() {
+        out.push_str(&format!("{l:>8}"));
+        for v in &matrix[i] {
+            out.push_str(&format!("{v:>8.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_one() {
+        let m = cross_similarity(&[vec![1.0, 2.0], vec![0.5, 0.1]]);
+        assert!((m[0][0] - 1.0).abs() < 1e-12);
+        assert!((m[1][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let m = cross_similarity(&[vec![1.0, 0.0], vec![0.7, 0.7], vec![0.0, 1.0]]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_importances_score_zero() {
+        let m = cross_similarity(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(m[0][1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_includes_labels_and_values() {
+        let m = cross_similarity(&[vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let text = render(&["nginx", "redis"], &m);
+        assert!(text.contains("nginx"));
+        assert!(text.contains("1.000"));
+    }
+}

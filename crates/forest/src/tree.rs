@@ -1,0 +1,279 @@
+//! CART regression trees (the base learner of Breiman's random forest,
+//! which the paper uses as its feature-importance algorithm for Fig. 5).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tree-growing parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Fraction of features considered at each split (feature bagging).
+    pub feature_subsample: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            feature_subsample: 0.6,
+        }
+    }
+}
+
+/// A node of the regression tree.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Variance reduction achieved by this split, weighted by the
+        /// number of samples it acted on (the impurity-decrease feature
+        /// importance of Breiman 2001).
+        importance: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on row-major samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or inconsistent row widths.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], cfg: &TreeConfig, rng: &mut StdRng) -> Self {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        let n_features = x[0].len();
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features,
+        };
+        let indices: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, indices, 0, cfg, rng);
+        tree
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        assert_eq!(sample.len(), self.n_features, "feature width mismatch");
+        let mut at = 0;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    at = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Adds this tree's impurity-decrease importances into `out`.
+    pub fn accumulate_importance(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_features);
+        for node in &self.nodes {
+            if let Node::Split {
+                feature,
+                importance,
+                ..
+            } = node
+            {
+                out[*feature] += importance;
+            }
+        }
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= cfg.max_depth || indices.len() < cfg.min_samples_split {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let var = variance(y, &indices);
+        if var < 1e-12 {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        // Sample the feature subset for this split.
+        let k = ((self.n_features as f64 * cfg.feature_subsample).ceil() as usize)
+            .clamp(1, self.n_features);
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..features.len());
+            features.swap(i, j);
+        }
+        features.truncate(k);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for &f in &features {
+            if let Some((threshold, gain)) = best_split(x, y, &indices, f, var) {
+                if best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, gain)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        let (li, ri): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x[i][feature] <= threshold);
+        if li.is_empty() || ri.is_empty() {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        // Reserve the split slot, grow children, then patch.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        let importance = gain * indices.len() as f64;
+        let left = self.grow(x, y, li, depth + 1, cfg, rng);
+        let right = self.grow(x, y, ri, depth + 1, cfg, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            importance,
+            left,
+            right,
+        };
+        slot
+    }
+}
+
+/// The best threshold for one feature: maximizes variance reduction.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    feature: usize,
+    parent_var: f64,
+) -> Option<(f64, f64)> {
+    let mut pairs: Vec<(f64, f64)> = indices.iter().map(|&i| (x[i][feature], y[i])).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let n = pairs.len();
+    if pairs[0].0 == pairs[n - 1].0 {
+        return None; // constant feature
+    }
+    // Prefix sums for O(n) variance-reduction scanning.
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let total_sum: f64 = pairs.iter().map(|(_, y)| y).sum();
+    let total_sq: f64 = pairs.iter().map(|(_, y)| y * y).sum();
+    let mut best: Option<(f64, f64)> = None;
+    for i in 0..n - 1 {
+        sum += pairs[i].1;
+        sum_sq += pairs[i].1 * pairs[i].1;
+        if pairs[i].0 == pairs[i + 1].0 {
+            continue; // cannot split between equal values
+        }
+        let nl = (i + 1) as f64;
+        let nr = (n - i - 1) as f64;
+        let var_l = (sum_sq / nl) - (sum / nl).powi(2);
+        let var_r = ((total_sq - sum_sq) / nr) - ((total_sum - sum) / nr).powi(2);
+        let gain = parent_var - (nl * var_l + nr * var_r) / (nl + nr);
+        if gain > 0.0 && best.map(|(_, g)| gain > g).unwrap_or(true) {
+            let threshold = (pairs[i].0 + pairs[i + 1].0) / 2.0;
+            best = Some((threshold, gain));
+        }
+    }
+    best
+}
+
+fn variance(y: &[f64], indices: &[usize]) -> f64 {
+    let n = indices.len() as f64;
+    let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / n;
+    indices.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let t = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
+        assert!((t.predict(&[10.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[90.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importance_lands_on_the_predictive_feature() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![r.random::<f64>(), r.random::<f64>(), r.random::<f64>()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|row| 10.0 * row[1]).collect();
+        let cfg = TreeConfig {
+            feature_subsample: 1.0,
+            ..TreeConfig::default()
+        };
+        let t = RegressionTree::fit(&x, &y, &cfg, &mut r);
+        let mut imp = vec![0.0; 3];
+        t.accumulate_importance(&mut imp);
+        assert!(imp[1] > imp[0] * 10.0 && imp[1] > imp[2] * 10.0, "{imp:?}");
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 20];
+        let t = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.predict(&[5.0]), 3.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut r = rng();
+        let x: Vec<Vec<f64>> = (0..256).map(|_| vec![r.random::<f64>()]).collect();
+        let y: Vec<f64> = x.iter().map(|row| row[0]).collect();
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let t = RegressionTree::fit(&x, &y, &cfg, &mut r);
+        // Depth 2 => at most 3 splits + 4 leaves.
+        assert!(t.nodes.len() <= 7, "{}", t.nodes.len());
+    }
+}

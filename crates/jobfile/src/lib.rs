@@ -1,0 +1,17 @@
+//! `wf-jobfile`: Wayfinder job files.
+//!
+//! The platform takes "YAML files representing the configuration space of
+//! the target OS" plus the benchmark description (§3.1). This crate
+//! provides:
+//!
+//! * [`yaml`] — a minimal YAML-subset parser and emitter (the sanctioned
+//!   offline crate set has no YAML implementation);
+//! * [`schema`] — the [`Job`] schema: OS/app/metric selection, budgets,
+//!   stage focus, pinned security parameters (§3.5), and optional explicit
+//!   parameter declarations, with conversion to `wf-configspace` spaces.
+
+pub mod schema;
+pub mod yaml;
+
+pub use schema::{AlgorithmId, Budget, Direction, Focus, Job, JobError, ParamDecl, Pin};
+pub use yaml::{Yaml, YamlError};

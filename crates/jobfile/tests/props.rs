@@ -1,0 +1,90 @@
+//! Property tests: YAML emit/parse round-trips and job-schema robustness.
+
+use proptest::prelude::*;
+use wf_jobfile::yaml::{emit, parse, Yaml};
+use wf_jobfile::Job;
+
+/// Strategy for scalar YAML values (strings restricted to the plain set the
+/// emitter quotes correctly).
+fn scalar() -> impl Strategy<Value = Yaml> {
+    prop_oneof![
+        any::<i64>().prop_map(Yaml::Int),
+        any::<bool>().prop_map(Yaml::Bool),
+        (-1e9f64..1e9).prop_map(|v| Yaml::Float((v * 1e6).round() / 1e6)),
+        "[a-zA-Z][a-zA-Z0-9 _.-]{0,12}".prop_map(|s| Yaml::Str(s.trim().to_string())),
+        Just(Yaml::Null),
+    ]
+}
+
+fn key() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+/// Recursive YAML documents up to depth 3.
+fn yaml_value() -> impl Strategy<Value = Yaml> {
+    scalar().prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Yaml::Seq),
+            proptest::collection::vec((key(), inner), 1..4).prop_map(|pairs| {
+                // Deduplicate keys (the parser rejects duplicates).
+                let mut seen = std::collections::HashSet::new();
+                Yaml::Map(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Emitted-then-parsed values are equal up to the documented Null caveat.
+fn normalize(v: &Yaml) -> Yaml {
+    match v {
+        Yaml::Seq(items) => Yaml::Seq(items.iter().map(normalize).collect()),
+        Yaml::Map(pairs) => Yaml::Map(pairs.iter().map(|(k, v)| (k.clone(), normalize(v))).collect()),
+        Yaml::Float(f) if f.fract() == 0.0 => Yaml::Float(*f),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn yaml_emit_parse_roundtrip(doc in yaml_value()) {
+        // Only mappings/sequences form valid standalone documents here;
+        // wrap scalars in a map.
+        let doc = match doc {
+            m @ Yaml::Map(_) => m,
+            other => Yaml::Map(vec![("root".to_string(), other)]),
+        };
+        let text = emit(&doc);
+        let back = parse(&text).expect("emitted YAML must parse");
+        prop_assert_eq!(normalize(&back), normalize(&doc), "text:\n{}", text);
+    }
+
+    #[test]
+    fn job_yaml_roundtrip_under_field_fuzz(
+        seed in 0u64..1_000_000,
+        iters in 1usize..100_000,
+        reps in 1usize..32,
+        name in "[a-z][a-z0-9-]{0,20}",
+    ) {
+        let mut job = Job::default();
+        job.seed = seed;
+        job.budget.iterations = Some(iters);
+        job.repetitions = reps;
+        job.name = name;
+        let text = job.to_yaml();
+        let back = Job::parse(&text).expect("job round-trips");
+        prop_assert_eq!(job, back);
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+        let _ = Job::parse(&input);
+    }
+}

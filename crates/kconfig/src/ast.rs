@@ -1,0 +1,326 @@
+//! Abstract syntax for the Kconfig-subset language.
+
+use std::collections::HashMap;
+use std::fmt;
+use wf_configspace::Tristate;
+
+/// The type of a Kconfig symbol (Table 1 distinguishes all five).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SymbolType {
+    /// `bool`: y or n.
+    Bool,
+    /// `tristate`: y, m, or n.
+    Tristate,
+    /// `int` with an optional range.
+    Int,
+    /// `hex` with an optional range.
+    Hex,
+    /// Free-form `string`.
+    String,
+}
+
+impl fmt::Display for SymbolType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SymbolType::Bool => "bool",
+            SymbolType::Tristate => "tristate",
+            SymbolType::Int => "int",
+            SymbolType::Hex => "hex",
+            SymbolType::String => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependency expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Reference to a symbol's value.
+    Sym(String),
+    /// Literal `y`/`m`/`n`.
+    Lit(Tristate),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Kconfig AND (minimum).
+    And(Box<Expr>, Box<Expr>),
+    /// Kconfig OR (maximum).
+    Or(Box<Expr>, Box<Expr>),
+    /// Equality test `A = B` (y if equal, n otherwise).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality test `A != B`.
+    Neq(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Symbol names referenced by this expression.
+    pub fn referenced(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Sym(s) => out.push(s.clone()),
+            Expr::Lit(_) => {}
+            Expr::Not(e) => e.referenced(out),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Eq(a, b) | Expr::Neq(a, b) => {
+                a.referenced(out);
+                b.referenced(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Sym(s) => f.write_str(s),
+            Expr::Lit(t) => write!(f, "{t}"),
+            Expr::Not(e) => write!(f, "!{}", Paren(e)),
+            Expr::And(a, b) => write!(f, "{} && {}", Paren(a), Paren(b)),
+            Expr::Or(a, b) => write!(f, "{} || {}", Paren(a), Paren(b)),
+            Expr::Eq(a, b) => write!(f, "{}={}", Paren(a), Paren(b)),
+            Expr::Neq(a, b) => write!(f, "{}!={}", Paren(a), Paren(b)),
+        }
+    }
+}
+
+/// Helper that parenthesizes compound sub-expressions when displayed.
+struct Paren<'a>(&'a Expr);
+
+impl fmt::Display for Paren<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Expr::Sym(_) | Expr::Lit(_) | Expr::Not(_) => write!(f, "{}", self.0),
+            _ => write!(f, "({})", self.0),
+        }
+    }
+}
+
+/// A default clause: value plus optional condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Default {
+    /// The default value (interpretation depends on the symbol type).
+    pub value: DefaultValue,
+    /// Optional `if` condition.
+    pub condition: Option<Expr>,
+}
+
+/// The value of a default clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DefaultValue {
+    /// Tristate/boolean default.
+    Tri(Tristate),
+    /// Integer (also used for hex) default.
+    Int(i64),
+    /// String default.
+    Str(String),
+    /// Default copied from another symbol.
+    Sym(String),
+}
+
+/// A `select` clause: forcibly raises the target's lower bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// Target symbol name.
+    pub target: String,
+    /// Optional `if` condition.
+    pub condition: Option<Expr>,
+}
+
+/// A configuration symbol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Symbol {
+    /// Name without the `CONFIG_` prefix (as written in Kconfig files).
+    pub name: String,
+    /// Value type.
+    pub stype: SymbolType,
+    /// User-visible prompt; promptless symbols are only set via selects and
+    /// defaults.
+    pub prompt: Option<String>,
+    /// `depends on` expression.
+    pub depends: Option<Expr>,
+    /// `select` clauses.
+    pub selects: Vec<Select>,
+    /// `default` clauses, first match wins.
+    pub defaults: Vec<Default>,
+    /// `range lo hi` for int/hex symbols.
+    pub range: Option<(i64, i64)>,
+    /// Help text.
+    pub help: String,
+    /// Menu path, e.g. `"Networking support/Networking options"`.
+    pub menu: String,
+}
+
+impl Symbol {
+    /// Creates a minimal symbol.
+    pub fn new(name: impl Into<String>, stype: SymbolType) -> Self {
+        Self {
+            name: name.into(),
+            stype,
+            prompt: None,
+            depends: None,
+            selects: Vec::new(),
+            defaults: Vec::new(),
+            range: None,
+            help: String::new(),
+            menu: String::new(),
+        }
+    }
+}
+
+/// A parsed or generated Kconfig model: a symbol table plus menu structure.
+#[derive(Clone, Debug, Default)]
+pub struct KconfigModel {
+    symbols: Vec<Symbol>,
+    index: HashMap<String, usize>,
+}
+
+impl KconfigModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a symbol, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add(&mut self, symbol: Symbol) -> usize {
+        assert!(
+            !self.index.contains_key(&symbol.name),
+            "duplicate symbol {}",
+            symbol.name
+        );
+        let idx = self.symbols.len();
+        self.index.insert(symbol.name.clone(), idx);
+        self.symbols.push(symbol);
+        idx
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the model has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Symbol by index.
+    pub fn symbol(&self, idx: usize) -> &Symbol {
+        &self.symbols[idx]
+    }
+
+    /// All symbols in declaration order.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Resolves a name to an index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Looks up a symbol by name.
+    pub fn by_name(&self, name: &str) -> Option<&Symbol> {
+        self.index_of(name).map(|i| &self.symbols[i])
+    }
+
+    /// Counts symbols per type (the compile-time columns of Table 1).
+    pub fn type_census(&self) -> TypeCensus {
+        let mut c = TypeCensus::default();
+        for s in &self.symbols {
+            match s.stype {
+                SymbolType::Bool => c.bool_ += 1,
+                SymbolType::Tristate => c.tristate += 1,
+                SymbolType::Int => c.int += 1,
+                SymbolType::Hex => c.hex += 1,
+                SymbolType::String => c.string += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Per-type symbol counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TypeCensus {
+    /// `bool` symbols.
+    pub bool_: usize,
+    /// `tristate` symbols.
+    pub tristate: usize,
+    /// `string` symbols.
+    pub string: usize,
+    /// `hex` symbols.
+    pub hex: usize,
+    /// `int` symbols.
+    pub int: usize,
+}
+
+impl TypeCensus {
+    /// Total number of symbols.
+    pub fn total(&self) -> usize {
+        self.bool_ + self.tristate + self.string + self.hex + self.int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_add_and_lookup() {
+        let mut m = KconfigModel::new();
+        m.add(Symbol::new("NET", SymbolType::Bool));
+        m.add(Symbol::new("INET", SymbolType::Tristate));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.by_name("INET").unwrap().stype, SymbolType::Tristate);
+        assert!(m.by_name("MISSING").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_symbol_panics() {
+        let mut m = KconfigModel::new();
+        m.add(Symbol::new("NET", SymbolType::Bool));
+        m.add(Symbol::new("NET", SymbolType::Bool));
+    }
+
+    #[test]
+    fn census_counts_types() {
+        let mut m = KconfigModel::new();
+        m.add(Symbol::new("A", SymbolType::Bool));
+        m.add(Symbol::new("B", SymbolType::Tristate));
+        m.add(Symbol::new("C", SymbolType::Tristate));
+        m.add(Symbol::new("D", SymbolType::Int));
+        let c = m.type_census();
+        assert_eq!(c.bool_, 1);
+        assert_eq!(c.tristate, 2);
+        assert_eq!(c.int, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn expr_display_parenthesizes() {
+        let e = Expr::And(
+            Box::new(Expr::Sym("A".into())),
+            Box::new(Expr::Or(
+                Box::new(Expr::Sym("B".into())),
+                Box::new(Expr::Not(Box::new(Expr::Sym("C".into())))),
+            )),
+        );
+        assert_eq!(e.to_string(), "A && (B || !C)");
+    }
+
+    #[test]
+    fn expr_referenced_symbols() {
+        let e = Expr::And(
+            Box::new(Expr::Sym("A".into())),
+            Box::new(Expr::Eq(
+                Box::new(Expr::Sym("B".into())),
+                Box::new(Expr::Lit(Tristate::Yes)),
+            )),
+        );
+        let mut out = Vec::new();
+        e.referenced(&mut out);
+        assert_eq!(out, vec!["A".to_string(), "B".to_string()]);
+    }
+}

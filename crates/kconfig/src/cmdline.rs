@@ -1,0 +1,243 @@
+//! Boot-time configuration: the kernel command line.
+//!
+//! Table 1 counts 231 boot-time options for Linux 6.0. This module provides
+//! a curated set of real kernel command-line parameters (the ones
+//! performance-tuning guides actually touch: `mitigations`, `isolcpus`,
+//! `transparent_hugepage`, ...) padded with deterministic driver-style
+//! `module.param` options up to the per-version count, mirroring how the
+//! real kernel's boot-option population is dominated by per-driver
+//! parameters.
+
+use crate::gen::LinuxVersion;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_configspace::{ParamKind, ParamSpec, Stage, Value};
+
+/// Builds the boot-time (kernel command line) parameter list for a version.
+///
+/// The length equals [`LinuxVersion::boot_option_count`]; generation is
+/// deterministic per version.
+///
+/// # Examples
+///
+/// ```
+/// use wf_kconfig::cmdline::boot_options;
+/// use wf_kconfig::gen::LinuxVersion;
+///
+/// let opts = boot_options(LinuxVersion::V6_0);
+/// assert_eq!(opts.len(), 231);
+/// assert!(opts.iter().any(|p| p.name == "mitigations"));
+/// ```
+pub fn boot_options(version: LinuxVersion) -> Vec<ParamSpec> {
+    let mut out = curated();
+    let target = version.boot_option_count();
+    assert!(
+        out.len() <= target,
+        "curated boot options exceed the per-version count"
+    );
+    let mut rng = StdRng::seed_from_u64(version.seed() ^ 0xb007);
+    let stems = [
+        "debug", "max_queues", "napi_weight", "ring_size", "timeout_ms", "irq_affinity",
+        "power_save", "dma32", "msi", "poll_interval",
+    ];
+    let mut i = 0;
+    while out.len() < target {
+        let stem = stems[rng.random_range(0..stems.len())];
+        let name = format!("drv{i}.{stem}");
+        let spec = if rng.random::<f64>() < 0.5 {
+            ParamSpec::new(name, ParamKind::Bool, Stage::BootTime)
+        } else {
+            ParamSpec::new(name, ParamKind::int(0, 4096), Stage::BootTime)
+                .with_default(Value::Int(0))
+        };
+        out.push(spec.with_doc("Synthetic per-driver boot parameter."));
+        i += 1;
+    }
+    out
+}
+
+/// The curated, real-named kernel command-line parameters.
+fn curated() -> Vec<ParamSpec> {
+    let mut out = Vec::new();
+    let mut flag = |name: &str, doc: &str| {
+        out.push(
+            ParamSpec::new(name, ParamKind::Bool, Stage::BootTime)
+                .with_default(Value::Bool(false))
+                .with_doc(doc),
+        );
+    };
+    flag("quiet", "Disable most log messages during boot.");
+    flag("nosmt", "Disable symmetric multithreading.");
+    flag("nopti", "Disable page table isolation.");
+    flag("nospectre_v2", "Disable Spectre v2 mitigations.");
+    flag("nopcid", "Disable PCID support.");
+    flag("nosmap", "Disable SMAP.");
+    flag("nosmep", "Disable SMEP.");
+    flag("threadirqs", "Force threaded interrupt handlers.");
+    flag("skew_tick", "Skew timer ticks across CPUs.");
+    flag("nohlt", "Disable the HLT idle loop.");
+    flag("noreplace-smp", "Do not replace SMP instructions.");
+    flag("norandmaps", "Disable address space layout randomization of mmaps.");
+    flag("nohibernate", "Disable hibernation.");
+    flag("nomodeset", "Disable kernel mode setting.");
+
+    let mut int = |name: &str, lo: i64, hi: i64, def: i64, doc: &str| {
+        out.push(
+            ParamSpec::new(name, ParamKind::int(lo, hi), Stage::BootTime)
+                .with_default(Value::Int(def))
+                .with_doc(doc),
+        );
+    };
+    int("loglevel", 0, 7, 7, "Console log level.");
+    int("processor.max_cstate", 0, 9, 9, "Deepest ACPI C-state allowed.");
+    int("hugepages", 0, 4096, 0, "Number of persistent huge pages.");
+    int("nmi_watchdog", 0, 1, 1, "Enable the NMI watchdog.");
+    int("watchdog_thresh", 1, 60, 10, "Hard/soft lockup threshold (s).");
+    int("audit", 0, 1, 1, "Enable the audit subsystem.");
+    int("maxcpus", 1, 512, 512, "Maximum CPUs brought up at boot.");
+    int("swiotlb", 0, 1 << 20, 32768, "Software IO TLB slabs.");
+    int("log_buf_len", 1 << 12, 1 << 25, 1 << 17, "Kernel log buffer size (bytes).");
+    int("printk.devkmsg_ratelimit", 0, 1000, 5, "Rate limit for /dev/kmsg writers.");
+
+    let mut choice = |name: &str, choices: Vec<&str>, def: usize, doc: &str| {
+        out.push(
+            ParamSpec::new(name, ParamKind::choices(choices), Stage::BootTime)
+                .with_default(Value::Choice(def))
+                .with_doc(doc),
+        );
+    };
+    choice(
+        "mitigations",
+        vec!["auto", "auto,nosmt", "off"],
+        0,
+        "CPU vulnerability mitigation level.",
+    );
+    choice(
+        "transparent_hugepage",
+        vec!["always", "madvise", "never"],
+        1,
+        "Transparent hugepage policy.",
+    );
+    choice("pti", vec!["auto", "on", "off"], 0, "Page table isolation control.");
+    choice(
+        "spectre_v2",
+        vec!["auto", "on", "off", "retpoline"],
+        0,
+        "Spectre v2 mitigation selection.",
+    );
+    choice(
+        "idle",
+        vec!["default", "poll", "halt", "nomwait"],
+        0,
+        "Idle loop selection.",
+    );
+    choice(
+        "intel_pstate",
+        vec!["active", "passive", "disable"],
+        0,
+        "Intel P-state driver mode.",
+    );
+    choice(
+        "elevator",
+        vec!["mq-deadline", "kyber", "bfq", "none"],
+        0,
+        "Default block I/O scheduler.",
+    );
+    choice(
+        "clocksource",
+        vec!["tsc", "hpet", "acpi_pm"],
+        0,
+        "Override the default clocksource.",
+    );
+    choice(
+        "preempt",
+        vec!["none", "voluntary", "full"],
+        1,
+        "Preemption mode selection.",
+    );
+    choice(
+        "numa_balancing",
+        vec!["enable", "disable"],
+        0,
+        "Automatic NUMA balancing.",
+    );
+    choice(
+        "isolcpus",
+        vec!["", "0-1", "0-3", "managed_irq,0-1"],
+        0,
+        "Isolate CPUs from the scheduler.",
+    );
+    choice(
+        "nohz_full",
+        vec!["", "1-7", "2-15"],
+        0,
+        "Adaptive-tick CPUs.",
+    );
+    choice(
+        "rcu_nocbs",
+        vec!["", "1-7", "2-15"],
+        0,
+        "Offload RCU callbacks from these CPUs.",
+    );
+    choice(
+        "default_hugepagesz",
+        vec!["2M", "1G"],
+        0,
+        "Default huge page size.",
+    );
+    choice(
+        "random.trust_cpu",
+        vec!["on", "off"],
+        0,
+        "Trust the CPU RNG for early entropy.",
+    );
+    choice("tsc", vec!["default", "reliable", "unstable"], 0, "TSC stability override.");
+    choice("init_on_alloc", vec!["0", "1"], 1, "Zero pages/slabs on allocation.");
+    choice("init_on_free", vec!["0", "1"], 0, "Zero pages/slabs on free.");
+    choice("selinux", vec!["0", "1"], 1, "Enable/disable SELinux at boot.");
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_version() {
+        for v in [LinuxVersion::V2_6_13, LinuxVersion::V4_19, LinuxVersion::V6_0] {
+            assert_eq!(boot_options(v).len(), v.boot_option_count());
+        }
+    }
+
+    #[test]
+    fn v6_has_231_boot_options_like_table1() {
+        assert_eq!(boot_options(LinuxVersion::V6_0).len(), 231);
+    }
+
+    #[test]
+    fn all_are_boot_stage_with_unique_names() {
+        let opts = boot_options(LinuxVersion::V4_19);
+        let mut names = std::collections::HashSet::new();
+        for p in &opts {
+            assert_eq!(p.stage, Stage::BootTime);
+            assert!(names.insert(p.name.clone()), "duplicate {}", p.name);
+            assert!(p.kind.admits(&p.default));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_version() {
+        let a = boot_options(LinuxVersion::V4_19);
+        let b = boot_options(LinuxVersion::V4_19);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn curated_parameters_present() {
+        let opts = boot_options(LinuxVersion::V4_19);
+        for name in ["quiet", "mitigations", "isolcpus", "transparent_hugepage", "loglevel"] {
+            assert!(opts.iter().any(|p| p.name == name), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Emission of a [`KconfigModel`] back to Kconfig text.
+//!
+//! The emitted text uses exactly the grammar subset the [`crate::parser`]
+//! accepts, so `parse(emit(model))` reproduces the model (up to symbol
+//! order, which emission groups by menu). The property tests in
+//! `tests/roundtrip.rs` rely on this.
+
+use crate::ast::{DefaultValue, KconfigModel, Symbol, SymbolType};
+use std::fmt::Write as _;
+
+/// Emits the model as Kconfig text.
+///
+/// Symbols are grouped by their menu path (in first-occurrence order); menu
+/// blocks are opened and closed as the path changes.
+pub fn emit(model: &KconfigModel) -> String {
+    let mut out = String::new();
+    // Group symbol indices by menu path, preserving first-occurrence order.
+    let mut menu_order: Vec<&str> = Vec::new();
+    for sym in model.symbols() {
+        if !menu_order.contains(&sym.menu.as_str()) {
+            menu_order.push(&sym.menu);
+        }
+    }
+
+    let mut open: Vec<&str> = Vec::new();
+    for menu in menu_order {
+        let parts: Vec<&str> = if menu.is_empty() {
+            Vec::new()
+        } else {
+            menu.split('/').collect()
+        };
+        // Close menus not shared with the next path, open the new ones.
+        let common = open
+            .iter()
+            .zip(parts.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        for _ in common..open.len() {
+            out.push_str("endmenu\n");
+        }
+        open.truncate(common);
+        for part in &parts[common..] {
+            let _ = writeln!(out, "menu \"{part}\"");
+            open.push(part);
+        }
+        for sym in model.symbols().iter().filter(|s| s.menu == menu) {
+            emit_symbol(&mut out, sym);
+        }
+    }
+    for _ in 0..open.len() {
+        out.push_str("endmenu\n");
+    }
+    out
+}
+
+fn emit_symbol(out: &mut String, sym: &Symbol) {
+    let _ = writeln!(out, "config {}", sym.name);
+    let type_kw = sym.stype.to_string();
+    match &sym.prompt {
+        Some(p) => {
+            let _ = writeln!(out, "    {type_kw} \"{p}\"");
+        }
+        None => {
+            let _ = writeln!(out, "    {type_kw}");
+        }
+    }
+    if let Some(dep) = &sym.depends {
+        let _ = writeln!(out, "    depends on {dep}");
+    }
+    for sel in &sym.selects {
+        match &sel.condition {
+            Some(c) => {
+                let _ = writeln!(out, "    select {} if {c}", sel.target);
+            }
+            None => {
+                let _ = writeln!(out, "    select {}", sel.target);
+            }
+        }
+    }
+    for d in &sym.defaults {
+        let val = match &d.value {
+            DefaultValue::Tri(t) => t.to_string(),
+            DefaultValue::Int(v) if sym.stype == SymbolType::Hex => format!("{v:#x}"),
+            DefaultValue::Int(v) => v.to_string(),
+            DefaultValue::Str(s) => format!("\"{s}\""),
+            DefaultValue::Sym(s) => s.clone(),
+        };
+        match &d.condition {
+            Some(c) => {
+                let _ = writeln!(out, "    default {val} if {c}");
+            }
+            None => {
+                let _ = writeln!(out, "    default {val}");
+            }
+        }
+    }
+    if let Some((lo, hi)) = sym.range {
+        if sym.stype == SymbolType::Hex {
+            let _ = writeln!(out, "    range {lo:#x} {hi:#x}");
+        } else {
+            let _ = writeln!(out, "    range {lo} {hi}");
+        }
+    }
+    if !sym.help.is_empty() {
+        let _ = writeln!(out, "    help");
+        let _ = writeln!(out, "      {}", sym.help);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Default, Expr, Select};
+    use crate::parser::parse;
+    use wf_configspace::Tristate;
+
+    fn sample_model() -> KconfigModel {
+        let mut m = KconfigModel::new();
+        let mut net = Symbol::new("NET", SymbolType::Bool);
+        net.menu = "Networking support".into();
+        net.prompt = Some("Networking support".into());
+        net.defaults.push(Default {
+            value: DefaultValue::Tri(Tristate::Yes),
+            condition: None,
+        });
+        net.help = "Core networking.".into();
+        m.add(net);
+
+        let mut inet = Symbol::new("INET", SymbolType::Tristate);
+        inet.menu = "Networking support".into();
+        inet.prompt = Some("TCP/IP networking".into());
+        inet.depends = Some(Expr::Sym("NET".into()));
+        inet.selects.push(Select {
+            target: "CRYPTO".into(),
+            condition: Some(Expr::Sym("NET".into())),
+        });
+        m.add(inet);
+
+        let mut backlog = Symbol::new("BACKLOG", SymbolType::Int);
+        backlog.menu = "Networking support".into();
+        backlog.prompt = Some("Backlog".into());
+        backlog.range = Some((16, 65536));
+        backlog.defaults.push(Default {
+            value: DefaultValue::Int(128),
+            condition: Some(Expr::Sym("NET".into())),
+        });
+        m.add(backlog);
+
+        let mut crypto = Symbol::new("CRYPTO", SymbolType::Tristate);
+        crypto.prompt = Some("Crypto API".into());
+        m.add(crypto);
+
+        let mut start = Symbol::new("START_ADDR", SymbolType::Hex);
+        start.prompt = Some("Start address".into());
+        start.range = Some((0x1000, 0x10000));
+        start.defaults.push(Default {
+            value: DefaultValue::Int(0x2000),
+            condition: None,
+        });
+        m.add(start);
+
+        let mut name = Symbol::new("HOSTNAME", SymbolType::String);
+        name.prompt = Some("Hostname".into());
+        name.defaults.push(Default {
+            value: DefaultValue::Str("(none)".into()),
+            condition: None,
+        });
+        m.add(name);
+        m
+    }
+
+    #[test]
+    fn emitted_text_reparses_to_equivalent_model() {
+        let m = sample_model();
+        let text = emit(&m);
+        let back = parse(&text).expect("emitted text parses");
+        assert_eq!(back.len(), m.len());
+        for sym in m.symbols() {
+            let b = back.by_name(&sym.name).expect("symbol survives round-trip");
+            assert_eq!(b.stype, sym.stype, "{}", sym.name);
+            assert_eq!(b.prompt, sym.prompt, "{}", sym.name);
+            assert_eq!(b.depends, sym.depends, "{}", sym.name);
+            assert_eq!(b.selects, sym.selects, "{}", sym.name);
+            assert_eq!(b.defaults, sym.defaults, "{}", sym.name);
+            assert_eq!(b.range, sym.range, "{}", sym.name);
+        }
+    }
+
+    #[test]
+    fn hex_values_emit_in_hex() {
+        let m = sample_model();
+        let text = emit(&m);
+        assert!(text.contains("range 0x1000 0x10000"));
+        assert!(text.contains("default 0x2000"));
+    }
+
+    #[test]
+    fn menus_open_and_close() {
+        let m = sample_model();
+        let text = emit(&m);
+        assert_eq!(text.matches("menu \"").count(), 1);
+        assert_eq!(text.matches("endmenu").count(), 1);
+        // Menu closes before the menuless symbols.
+        assert!(text.find("endmenu").unwrap() < text.find("config CRYPTO").unwrap());
+    }
+}

@@ -1,0 +1,296 @@
+//! Assignments and tristate expression evaluation.
+//!
+//! An [`Assignment`] is the Kconfig equivalent of a `.config` file: a map
+//! from symbol name to a concrete [`SymValue`]. Expression evaluation
+//! follows Kconfig semantics: `&&` is minimum, `||` is maximum, `!` flips
+//! `y`/`n` and fixes `m`, and `=`/`!=` compare the canonical string forms of
+//! their operands.
+
+use crate::ast::{Expr, KconfigModel, SymbolType};
+use std::collections::HashMap;
+use std::fmt;
+use wf_configspace::Tristate;
+
+/// A concrete value assigned to one symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymValue {
+    /// Value of a `bool` or `tristate` symbol.
+    Tri(Tristate),
+    /// Value of an `int` or `hex` symbol.
+    Int(i64),
+    /// Value of a `string` symbol.
+    Str(String),
+}
+
+impl SymValue {
+    /// The tristate view used in dependency expressions. Non-tristate
+    /// symbols count as present (`y`) when non-zero / non-empty, matching
+    /// how the kernel treats them in the rare boolean contexts they appear
+    /// in.
+    pub fn as_tristate(&self) -> Tristate {
+        match self {
+            SymValue::Tri(t) => *t,
+            SymValue::Int(v) => {
+                if *v != 0 {
+                    Tristate::Yes
+                } else {
+                    Tristate::No
+                }
+            }
+            SymValue::Str(s) => {
+                if s.is_empty() {
+                    Tristate::No
+                } else {
+                    Tristate::Yes
+                }
+            }
+        }
+    }
+
+    /// The canonical string form used by `=` / `!=` comparisons (and by the
+    /// `.config` emitter).
+    pub fn canonical(&self) -> String {
+        match self {
+            SymValue::Tri(t) => t.to_string(),
+            SymValue::Int(v) => v.to_string(),
+            SymValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// A complete or partial symbol assignment (a `.config`).
+///
+/// Missing symbols evaluate to `n` / empty, exactly like symbols absent
+/// from a real `.config`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Assignment {
+    values: HashMap<String, SymValue>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment (everything `n`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of explicitly assigned symbols.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sets a symbol's value.
+    pub fn set(&mut self, name: impl Into<String>, value: SymValue) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Sets a tristate value (convenience).
+    pub fn set_tri(&mut self, name: impl Into<String>, t: Tristate) {
+        self.set(name, SymValue::Tri(t));
+    }
+
+    /// Looks a value up.
+    pub fn get(&self, name: &str) -> Option<&SymValue> {
+        self.values.get(name)
+    }
+
+    /// The tristate view of a symbol; missing symbols are `n`.
+    pub fn tristate(&self, name: &str) -> Tristate {
+        self.values
+            .get(name)
+            .map(SymValue::as_tristate)
+            .unwrap_or(Tristate::No)
+    }
+
+    /// The integer view of a symbol, if it has one.
+    pub fn int(&self, name: &str) -> Option<i64> {
+        match self.values.get(name) {
+            Some(SymValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the symbol is enabled (`m` or `y`).
+    pub fn enabled(&self, name: &str) -> bool {
+        self.tristate(name).enabled()
+    }
+
+    /// Iterates over `(name, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SymValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Emits `.config`-style lines, sorted by symbol name for determinism.
+    pub fn to_dotconfig(&self, model: &KconfigModel) -> String {
+        let mut names: Vec<&str> = self.values.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        let mut out = String::new();
+        for name in names {
+            let v = &self.values[name];
+            match v {
+                SymValue::Tri(Tristate::No) => {
+                    out.push_str(&format!("# CONFIG_{name} is not set\n"));
+                }
+                SymValue::Tri(t) => out.push_str(&format!("CONFIG_{name}={t}\n")),
+                SymValue::Int(i) => {
+                    let hex = model
+                        .by_name(name)
+                        .map(|s| s.stype == SymbolType::Hex)
+                        .unwrap_or(false);
+                    if hex {
+                        out.push_str(&format!("CONFIG_{name}={i:#x}\n"));
+                    } else {
+                        out.push_str(&format!("CONFIG_{name}={i}\n"));
+                    }
+                }
+                SymValue::Str(s) => out.push_str(&format!("CONFIG_{name}=\"{s}\"\n")),
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates a dependency expression against an assignment.
+pub fn eval(expr: &Expr, asg: &Assignment) -> Tristate {
+    match expr {
+        Expr::Sym(name) => asg.tristate(name),
+        Expr::Lit(t) => *t,
+        Expr::Not(e) => eval(e, asg).not(),
+        Expr::And(a, b) => eval(a, asg).and(eval(b, asg)),
+        Expr::Or(a, b) => eval(a, asg).or(eval(b, asg)),
+        Expr::Eq(a, b) => {
+            if canonical_operand(a, asg) == canonical_operand(b, asg) {
+                Tristate::Yes
+            } else {
+                Tristate::No
+            }
+        }
+        Expr::Neq(a, b) => {
+            if canonical_operand(a, asg) != canonical_operand(b, asg) {
+                Tristate::Yes
+            } else {
+                Tristate::No
+            }
+        }
+    }
+}
+
+/// The string form Kconfig uses for `=` comparisons: symbols compare by
+/// their canonical value, literals by their letter, compound expressions by
+/// their tristate result.
+fn canonical_operand(expr: &Expr, asg: &Assignment) -> String {
+    match expr {
+        Expr::Sym(name) => asg
+            .get(name)
+            .map(SymValue::canonical)
+            .unwrap_or_else(|| "n".to_string()),
+        Expr::Lit(t) => t.to_string(),
+        other => eval(other, asg).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn asg(pairs: &[(&str, SymValue)]) -> Assignment {
+        let mut a = Assignment::new();
+        for (name, v) in pairs {
+            a.set(*name, v.clone());
+        }
+        a
+    }
+
+    #[test]
+    fn missing_symbols_are_n() {
+        let a = Assignment::new();
+        assert_eq!(a.tristate("NET"), Tristate::No);
+        assert!(!a.enabled("NET"));
+    }
+
+    #[test]
+    fn eval_and_or_not() {
+        let a = asg(&[
+            ("A", SymValue::Tri(Tristate::Yes)),
+            ("B", SymValue::Tri(Tristate::Module)),
+        ]);
+        let e = parse_expr("A && B").unwrap();
+        assert_eq!(eval(&e, &a), Tristate::Module);
+        let e = parse_expr("A || C").unwrap();
+        assert_eq!(eval(&e, &a), Tristate::Yes);
+        let e = parse_expr("!B").unwrap();
+        assert_eq!(eval(&e, &a), Tristate::Module);
+        let e = parse_expr("!A").unwrap();
+        assert_eq!(eval(&e, &a), Tristate::No);
+    }
+
+    #[test]
+    fn eval_eq_compares_canonical_strings() {
+        let a = asg(&[
+            ("HZ", SymValue::Int(1000)),
+            ("ARCH", SymValue::Str("x86".into())),
+            ("NET", SymValue::Tri(Tristate::Yes)),
+        ]);
+        assert_eq!(eval(&parse_expr("NET = y").unwrap(), &a), Tristate::Yes);
+        assert_eq!(eval(&parse_expr("NET != y").unwrap(), &a), Tristate::No);
+        assert_eq!(eval(&parse_expr("NET = m").unwrap(), &a), Tristate::No);
+        // Missing symbol compares as "n".
+        assert_eq!(eval(&parse_expr("MISSING = n").unwrap(), &a), Tristate::Yes);
+    }
+
+    #[test]
+    fn int_and_string_symbols_in_boolean_context() {
+        let a = asg(&[
+            ("HZ", SymValue::Int(1000)),
+            ("ZERO", SymValue::Int(0)),
+            ("NAME", SymValue::Str("gcc".into())),
+            ("EMPTY", SymValue::Str(String::new())),
+        ]);
+        assert_eq!(a.tristate("HZ"), Tristate::Yes);
+        assert_eq!(a.tristate("ZERO"), Tristate::No);
+        assert_eq!(a.tristate("NAME"), Tristate::Yes);
+        assert_eq!(a.tristate("EMPTY"), Tristate::No);
+    }
+
+    #[test]
+    fn dotconfig_output_format() {
+        let mut m = KconfigModel::new();
+        m.add(crate::ast::Symbol::new("NET", SymbolType::Bool));
+        m.add(crate::ast::Symbol::new("DMA_ADDR", SymbolType::Hex));
+        let a = asg(&[
+            ("NET", SymValue::Tri(Tristate::Yes)),
+            ("USB", SymValue::Tri(Tristate::No)),
+            ("DMA_ADDR", SymValue::Int(0xff)),
+            ("CMDLINE", SymValue::Str("quiet".into())),
+        ]);
+        let text = a.to_dotconfig(&m);
+        assert!(text.contains("CONFIG_NET=y\n"));
+        assert!(text.contains("# CONFIG_USB is not set\n"));
+        assert!(text.contains("CONFIG_DMA_ADDR=0xff\n"));
+        assert!(text.contains("CONFIG_CMDLINE=\"quiet\"\n"));
+    }
+
+    #[test]
+    fn dotconfig_is_sorted_and_deterministic() {
+        let m = KconfigModel::new();
+        let a = asg(&[
+            ("B", SymValue::Tri(Tristate::Yes)),
+            ("A", SymValue::Tri(Tristate::Yes)),
+        ]);
+        let t1 = a.to_dotconfig(&m);
+        let t2 = a.to_dotconfig(&m);
+        assert_eq!(t1, t2);
+        assert!(t1.find("CONFIG_A=y").unwrap() < t1.find("CONFIG_B=y").unwrap());
+    }
+}

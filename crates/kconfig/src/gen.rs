@@ -1,0 +1,677 @@
+//! Deterministic synthetic Linux Kconfig models.
+//!
+//! The paper's experiments span Linux v2.6.13 → v6.0 (Fig. 1) and quote an
+//! exact type census for v6.0 (Table 1: 7585 bool, 10034 tristate, 154
+//! string, 94 hex, 3405 int compile-time options). Real kernel trees are not
+//! available to this reproduction, so this module *synthesizes* a Kconfig
+//! model per version with:
+//!
+//! * the same option-count growth curve as Fig. 1;
+//! * exactly the Table 1 per-type census at v6.0 (proportionally scaled,
+//!   largest-remainder rounded, for the other versions);
+//! * a curated core of real, named kernel symbols (`SMP`, `MODULES`,
+//!   `DEBUG_INFO`, `KASAN`, `NR_CPUS`, ...) that downstream models
+//!   (footprint, crash rules) reference by name;
+//! * realistic structure: subsystem menus, `depends on` chains rooted at
+//!   subsystem gates, occasional `select`s, conditional defaults, and
+//!   ranges on `int`/`hex` symbols.
+//!
+//! Generation is a pure function of the version: two calls produce
+//! identical models, which keeps every experiment reproducible.
+
+use crate::ast::{Default, DefaultValue, Expr, KconfigModel, Select, Symbol, SymbolType, TypeCensus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_configspace::Tristate;
+
+/// The Linux versions plotted in Fig. 1 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(non_camel_case_types)]
+pub enum LinuxVersion {
+    /// v2.6.13 (2005).
+    V2_6_13,
+    /// v2.6.20 (2007).
+    V2_6_20,
+    /// v2.6.27 (2008).
+    V2_6_27,
+    /// v2.6.35 (2010).
+    V2_6_35,
+    /// v3.2 (2012).
+    V3_2,
+    /// v3.10 (2013).
+    V3_10,
+    /// v3.17 (2014).
+    V3_17,
+    /// v4.4 (2016).
+    V4_4,
+    /// v4.12 (2017).
+    V4_12,
+    /// v4.19 (2018) — the LTS kernel the paper's §4.1 experiments use.
+    V4_19,
+    /// v5.6 (2020).
+    V5_6,
+    /// v5.13 (2021).
+    V5_13,
+    /// v6.0 (2022) — the kernel behind Table 1.
+    V6_0,
+}
+
+impl LinuxVersion {
+    /// All versions in release order (the x-axis of Fig. 1).
+    pub const ALL: [LinuxVersion; 13] = [
+        LinuxVersion::V2_6_13,
+        LinuxVersion::V2_6_20,
+        LinuxVersion::V2_6_27,
+        LinuxVersion::V2_6_35,
+        LinuxVersion::V3_2,
+        LinuxVersion::V3_10,
+        LinuxVersion::V3_17,
+        LinuxVersion::V4_4,
+        LinuxVersion::V4_12,
+        LinuxVersion::V4_19,
+        LinuxVersion::V5_6,
+        LinuxVersion::V5_13,
+        LinuxVersion::V6_0,
+    ];
+
+    /// Human-readable label, e.g. `"v4.19"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinuxVersion::V2_6_13 => "v2.6.13",
+            LinuxVersion::V2_6_20 => "v2.6.20",
+            LinuxVersion::V2_6_27 => "v2.6.27",
+            LinuxVersion::V2_6_35 => "v2.6.35",
+            LinuxVersion::V3_2 => "v3.2",
+            LinuxVersion::V3_10 => "v3.10",
+            LinuxVersion::V3_17 => "v3.17",
+            LinuxVersion::V4_4 => "v4.4",
+            LinuxVersion::V4_12 => "v4.12",
+            LinuxVersion::V4_19 => "v4.19",
+            LinuxVersion::V5_6 => "v5.6",
+            LinuxVersion::V5_13 => "v5.13",
+            LinuxVersion::V6_0 => "v6.0",
+        }
+    }
+
+    /// Total number of compile-time options in this version's model
+    /// (the y-axis of Fig. 1; v6.0 equals the Table 1 total of 21 272).
+    pub fn compile_option_count(self) -> usize {
+        match self {
+            LinuxVersion::V2_6_13 => 5338,
+            LinuxVersion::V2_6_20 => 6282,
+            LinuxVersion::V2_6_27 => 7701,
+            LinuxVersion::V2_6_35 => 9006,
+            LinuxVersion::V3_2 => 11019,
+            LinuxVersion::V3_10 => 12616,
+            LinuxVersion::V3_17 => 13795,
+            LinuxVersion::V4_4 => 15263,
+            LinuxVersion::V4_12 => 16528,
+            LinuxVersion::V4_19 => 17556,
+            LinuxVersion::V5_6 => 19161,
+            LinuxVersion::V5_13 => 20234,
+            LinuxVersion::V6_0 => 21272,
+        }
+    }
+
+    /// Number of boot-time (kernel command line) options; v6.0 matches
+    /// Table 1's 231.
+    pub fn boot_option_count(self) -> usize {
+        // Boot options grow far slower than compile options.
+        let t = self.index() as f64 / 12.0;
+        (96.0 + t * 135.0).round() as usize
+    }
+
+    /// Number of runtime options (writable /proc/sys and /sys files); v6.0
+    /// matches Table 1's 13 328.
+    pub fn runtime_option_count(self) -> usize {
+        let t = self.index() as f64 / 12.0;
+        (4200.0 + t * 9128.0).round() as usize
+    }
+
+    /// Stable seed for this version's deterministic generation.
+    pub fn seed(self) -> u64 {
+        0x5741_5946 ^ (self.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Position in [`LinuxVersion::ALL`].
+    pub fn index(self) -> usize {
+        LinuxVersion::ALL.iter().position(|v| *v == self).unwrap()
+    }
+
+    /// The per-type compile census this version's model will exhibit.
+    ///
+    /// v6.0 returns exactly the Table 1 numbers. Other versions scale the
+    /// v6.0 shares to their total with largest-remainder rounding so the
+    /// per-type counts always sum to [`LinuxVersion::compile_option_count`].
+    pub fn compile_census(self) -> TypeCensus {
+        const V6: TypeCensus = TypeCensus {
+            bool_: 7585,
+            tristate: 10034,
+            string: 154,
+            hex: 94,
+            int: 3405,
+        };
+        if self == LinuxVersion::V6_0 {
+            return V6;
+        }
+        let total = self.compile_option_count();
+        let v6_total = V6.total() as f64;
+        let shares = [
+            V6.bool_ as f64 / v6_total,
+            V6.tristate as f64 / v6_total,
+            V6.string as f64 / v6_total,
+            V6.hex as f64 / v6_total,
+            V6.int as f64 / v6_total,
+        ];
+        let raw: Vec<f64> = shares.iter().map(|s| s * total as f64).collect();
+        let mut counts: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
+        let mut rem: Vec<(usize, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r - r.floor()))
+            .collect();
+        rem.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut deficit = total - counts.iter().sum::<usize>();
+        for (i, _) in rem {
+            if deficit == 0 {
+                break;
+            }
+            counts[i] += 1;
+            deficit -= 1;
+        }
+        TypeCensus {
+            bool_: counts[0],
+            tristate: counts[1],
+            string: counts[2],
+            hex: counts[3],
+            int: counts[4],
+        }
+    }
+}
+
+impl std::fmt::Display for LinuxVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A subsystem of the synthetic kernel: menu title, gate symbol, name
+/// prefix, and its share (percent) of the generated symbols.
+struct Subsystem {
+    menu: &'static str,
+    gate: &'static str,
+    prefix: &'static str,
+    share: usize,
+}
+
+const SUBSYSTEMS: &[Subsystem] = &[
+    Subsystem { menu: "General setup", gate: "EXPERT", prefix: "INIT", share: 3 },
+    Subsystem { menu: "Processor type and features", gate: "SMP", prefix: "CPU", share: 5 },
+    Subsystem { menu: "Power management and ACPI options", gate: "PM", prefix: "PM", share: 3 },
+    Subsystem { menu: "Memory management options", gate: "MMU", prefix: "MM", share: 4 },
+    Subsystem { menu: "Networking support", gate: "NET", prefix: "NET", share: 14 },
+    Subsystem { menu: "Device drivers", gate: "PCI", prefix: "DRV", share: 30 },
+    Subsystem { menu: "Sound card support", gate: "SND", prefix: "SND", share: 6 },
+    Subsystem { menu: "Graphics support", gate: "DRM", prefix: "DRM", share: 7 },
+    Subsystem { menu: "USB support", gate: "USB", prefix: "USB", share: 6 },
+    Subsystem { menu: "File systems", gate: "BLOCK", prefix: "FS", share: 8 },
+    Subsystem { menu: "Security options", gate: "SECURITY", prefix: "SEC", share: 3 },
+    Subsystem { menu: "Cryptographic API", gate: "CRYPTO", prefix: "CRYPT", share: 5 },
+    Subsystem { menu: "Library routines", gate: "LIBS", prefix: "LIB", share: 3 },
+    Subsystem { menu: "Kernel hacking", gate: "DEBUG_KERNEL", prefix: "DBG", share: 3 },
+];
+
+/// Feature stems used to build plausible generated symbol names.
+const STEMS: &[&str] = &[
+    "CORE", "DEBUG", "TRACE", "STATS", "QUEUE", "CACHE", "DMA", "IRQ", "MSI", "OFFLOAD",
+    "CSUM", "TSTAMP", "FILTER", "SCHED", "POLL", "NAPI", "RING", "BUF", "WDT", "EEPROM",
+    "PHY", "MDIO", "VLAN", "TUNNEL", "HW", "FW", "HOTPLUG", "HUGE", "COMPACT", "JOURNAL",
+    "XATTR", "ACL", "QUOTA", "ENCRYPT", "VERITY", "COMPRESS", "SNAPSHOT", "MIRROR", "RAID",
+    "MULTIPATH", "BONDING", "FAILOVER", "BRIDGE", "LEGACY", "EXT", "V2", "ASYNC", "BATCH",
+];
+
+/// Synthesizes the Kconfig model for one Linux version.
+///
+/// Deterministic: the result depends only on `version`.
+///
+/// # Examples
+///
+/// ```
+/// use wf_kconfig::gen::{synthesize, LinuxVersion};
+///
+/// let model = synthesize(LinuxVersion::V6_0);
+/// assert_eq!(model.len(), 21_272);
+/// assert_eq!(model.type_census().tristate, 10_034);
+/// assert!(model.by_name("MODULES").is_some());
+/// ```
+pub fn synthesize(version: LinuxVersion) -> KconfigModel {
+    let mut rng = StdRng::seed_from_u64(version.seed());
+    let mut model = KconfigModel::new();
+
+    curated_core(&mut model);
+    let base = model.type_census();
+    let target = version.compile_census();
+    assert!(
+        base.bool_ <= target.bool_
+            && base.tristate <= target.tristate
+            && base.string <= target.string
+            && base.hex <= target.hex
+            && base.int <= target.int,
+        "curated core exceeds the census target for {version}"
+    );
+
+    // Exact per-type pool of the symbols still to generate, shuffled so the
+    // types interleave across subsystems.
+    let mut pool: Vec<SymbolType> = Vec::with_capacity(target.total() - base.total());
+    pool.extend(std::iter::repeat_n(SymbolType::Bool, target.bool_ - base.bool_));
+    pool.extend(std::iter::repeat_n(SymbolType::Tristate, target.tristate - base.tristate));
+    pool.extend(std::iter::repeat_n(SymbolType::String, target.string - base.string));
+    pool.extend(std::iter::repeat_n(SymbolType::Hex, target.hex - base.hex));
+    pool.extend(std::iter::repeat_n(SymbolType::Int, target.int - base.int));
+    shuffle(&mut pool, &mut rng);
+
+    // Distribute the pool over subsystems by share (largest remainder).
+    let n = pool.len();
+    let share_total: usize = SUBSYSTEMS.iter().map(|s| s.share).sum();
+    let mut alloc: Vec<usize> = SUBSYSTEMS
+        .iter()
+        .map(|s| n * s.share / share_total)
+        .collect();
+    let mut assigned: usize = alloc.iter().sum();
+    let buckets = alloc.len();
+    let mut i = 0;
+    while assigned < n {
+        alloc[i % buckets] += 1;
+        assigned += 1;
+        i += 1;
+    }
+
+    let mut pool_iter = pool.into_iter();
+    for (sub, &count) in SUBSYSTEMS.iter().zip(alloc.iter()) {
+        let mut recent: Vec<String> = Vec::new();
+        for k in 0..count {
+            let stype = pool_iter.next().expect("pool sized to allocation");
+            let stem = STEMS[rng.random_range(0..STEMS.len())];
+            let name = format!("{}_{}{}", sub.prefix, stem, k);
+            let mut sym = Symbol::new(&name, stype);
+            sym.menu = sub.menu.to_string();
+            sym.prompt = (rng.random::<f64>() > 0.10).then(|| prompt_for(&name));
+
+            // Dependency chain: subsystem gate, sometimes a recent sibling.
+            let mut dep = Expr::Sym(sub.gate.to_string());
+            if !recent.is_empty() && rng.random::<f64>() < 0.35 {
+                let sibling = &recent[rng.random_range(0..recent.len())];
+                dep = Expr::And(Box::new(dep), Box::new(Expr::Sym(sibling.clone())));
+            }
+            sym.depends = Some(dep);
+
+            match stype {
+                SymbolType::Bool | SymbolType::Tristate => {
+                    let r: f64 = rng.random();
+                    if r < 0.25 {
+                        sym.defaults.push(Default {
+                            value: DefaultValue::Tri(Tristate::Yes),
+                            condition: None,
+                        });
+                    } else if r < 0.40 && stype == SymbolType::Tristate {
+                        sym.defaults.push(Default {
+                            value: DefaultValue::Tri(Tristate::Module),
+                            condition: None,
+                        });
+                    }
+                    if !recent.is_empty() && rng.random::<f64>() < 0.08 {
+                        let target_sym = &recent[rng.random_range(0..recent.len())];
+                        sym.selects.push(Select {
+                            target: target_sym.clone(),
+                            condition: None,
+                        });
+                    }
+                    // Only enabled-by-default features seed sibling chains;
+                    // this keeps dependency cascades realistic.
+                    recent.push(name.clone());
+                    if recent.len() > 12 {
+                        recent.remove(0);
+                    }
+                }
+                SymbolType::Int => {
+                    let (lo, hi, def) = int_range(&mut rng);
+                    sym.range = Some((lo, hi));
+                    sym.defaults.push(Default {
+                        value: DefaultValue::Int(def),
+                        condition: None,
+                    });
+                }
+                SymbolType::Hex => {
+                    let hi = 1i64 << rng.random_range(8..32);
+                    sym.range = Some((0, hi));
+                    sym.defaults.push(Default {
+                        value: DefaultValue::Int(hi / 2),
+                        condition: None,
+                    });
+                }
+                SymbolType::String => {
+                    sym.defaults.push(Default {
+                        value: DefaultValue::Str(String::new()),
+                        condition: None,
+                    });
+                }
+            }
+            model.add(sym);
+        }
+    }
+
+    assert_eq!(model.len(), version.compile_option_count());
+    model
+}
+
+/// A plausible integer range and default for a generated `int` symbol.
+fn int_range(rng: &mut StdRng) -> (i64, i64, i64) {
+    match rng.random_range(0..4u8) {
+        // Small tunable (queue depth, retry count, ...).
+        0 => (0, 256, 16),
+        // Shift-style value (log buffer sizes, hash table orders).
+        1 => (4, 25, 14),
+        // Buffer size in bytes/KiB.
+        2 => (64, 1 << 20, 4096),
+        // Timeout in ms.
+        _ => (0, 60_000, 1000),
+    }
+}
+
+/// A human prompt derived from a symbol name.
+fn prompt_for(name: &str) -> String {
+    let mut words: Vec<String> = name
+        .split('_')
+        .map(|w| {
+            let lower = w.to_ascii_lowercase();
+            lower
+        })
+        .collect();
+    if let Some(first) = words.first_mut() {
+        let mut chars = first.chars();
+        if let Some(c) = chars.next() {
+            *first = c.to_ascii_uppercase().to_string() + chars.as_str();
+        }
+    }
+    format!("{} support", words.join(" "))
+}
+
+/// Fisher–Yates shuffle (avoids pulling in `rand`'s slice extension trait).
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// The curated, real-named core of the synthetic kernel.
+///
+/// These are the symbols the ground-truth models in `wf-ossim` reference by
+/// name (footprint contributions, crash rules, performance effects), plus
+/// the subsystem gates everything else depends on.
+fn curated_core(model: &mut KconfigModel) {
+    let mut add_bool = |name: &str, menu: &str, default_y: bool, help: &str| {
+        let mut s = Symbol::new(name, SymbolType::Bool);
+        s.menu = menu.into();
+        s.prompt = Some(prompt_for(name));
+        s.help = help.into();
+        if default_y {
+            s.defaults.push(Default {
+                value: DefaultValue::Tri(Tristate::Yes),
+                condition: None,
+            });
+        }
+        model.add(s);
+    };
+
+    // Subsystem gates (all default y so defconfig exposes the full tree).
+    for gate in [
+        "EXPERT", "SMP", "PM", "MMU", "NET", "PCI", "SND", "DRM", "USB", "BLOCK",
+        "SECURITY", "CRYPTO", "LIBS", "DEBUG_KERNEL",
+    ] {
+        add_bool(gate, "General setup", true, "Subsystem gate.");
+    }
+
+    // Core kernel features.
+    add_bool("64BIT", "Processor type and features", true, "64-bit kernel.");
+    add_bool("NUMA", "Processor type and features", true, "NUMA memory allocation and scheduler support.");
+    add_bool("PREEMPT", "Processor type and features", false, "Preemptible kernel (low-latency desktop).");
+    add_bool("PREEMPT_VOLUNTARY", "Processor type and features", true, "Voluntary kernel preemption.");
+    add_bool("HIGH_RES_TIMERS", "Processor type and features", true, "High resolution timer support.");
+    add_bool("NO_HZ_IDLE", "Processor type and features", true, "Idle dynticks system.");
+    add_bool("CPU_FREQ", "Power management and ACPI options", true, "CPU frequency scaling.");
+    add_bool("CPU_IDLE", "Power management and ACPI options", true, "CPU idle PM support.");
+
+    // Memory management.
+    add_bool("SWAP", "Memory management options", true, "Support for paging of anonymous memory.");
+    add_bool("SHMEM", "Memory management options", true, "Shared memory filesystem support.");
+    add_bool("TRANSPARENT_HUGEPAGE", "Memory management options", true, "Transparent hugepage support.");
+    add_bool("COMPACTION", "Memory management options", true, "Memory compaction.");
+    add_bool("KSM", "Memory management options", false, "Kernel samepage merging.");
+    add_bool("SLUB_DEBUG", "Memory management options", false, "SLUB debugging support.");
+    add_bool("SLAB_FREELIST_RANDOM", "Memory management options", false, "Randomize slab freelist.");
+
+    // Networking core.
+    add_bool("INET", "Networking support", true, "TCP/IP networking.");
+    add_bool("IPV6", "Networking support", true, "The IPv6 protocol.");
+    add_bool("NETFILTER", "Networking support", true, "Network packet filtering framework.");
+    add_bool("TCP_CONG_CUBIC", "Networking support", true, "CUBIC TCP congestion control.");
+    add_bool("TCP_CONG_BBR", "Networking support", false, "BBR TCP congestion control.");
+    add_bool("NET_RX_BUSY_POLL", "Networking support", true, "Busy poll for low-latency networking.");
+    add_bool("XPS", "Networking support", true, "Transmit packet steering.");
+    add_bool("RPS", "Networking support", true, "Receive packet steering.");
+
+    // Block / filesystems.
+    add_bool("EXT4_FS", "File systems", true, "The extended 4 (ext4) filesystem.");
+    add_bool("BTRFS_FS", "File systems", false, "Btrfs filesystem support.");
+    add_bool("XFS_FS", "File systems", false, "XFS filesystem support.");
+    add_bool("TMPFS", "File systems", true, "Tmpfs virtual memory file system support.");
+    add_bool("PROC_FS", "File systems", true, "/proc file system support.");
+    add_bool("SYSFS", "File systems", true, "Sysfs file system support.");
+    add_bool("BLK_DEV_IO_TRACE", "File systems", false, "Support for tracing block IO actions.");
+
+    // Drivers the benchmark VMs rely on.
+    add_bool("VIRTIO_NET", "Device drivers", true, "Virtio network driver.");
+    add_bool("VIRTIO_BLK", "Device drivers", true, "Virtio block driver.");
+    add_bool("E1000", "Device drivers", false, "Intel PRO/1000 gigabit ethernet support.");
+    add_bool("SERIAL_8250", "Device drivers", true, "8250/16550 serial support.");
+
+    // Security.
+    add_bool("SECCOMP", "Security options", true, "Enable seccomp to safely execute untrusted bytecode.");
+    add_bool("RANDOMIZE_BASE", "Security options", true, "Randomize the address of the kernel image (KASLR).");
+    add_bool("STACKPROTECTOR", "Security options", true, "Stack protector buffer overflow detection.");
+    add_bool("HARDENED_USERCOPY", "Security options", false, "Harden memory copies between kernel and userspace.");
+
+    // Observability / debugging (the classic footprint+perf offenders).
+    add_bool("PRINTK", "General setup", true, "Enable support for printk.");
+    add_bool("PRINTK_TIME", "Kernel hacking", false, "Show timing information on printks.");
+    add_bool("IKCONFIG", "General setup", false, "Kernel .config support.");
+    add_bool("KALLSYMS", "General setup", true, "Load all symbols for debugging/ksymoops.");
+    add_bool("DEBUG_INFO", "Kernel hacking", false, "Compile the kernel with debug info.");
+    add_bool("KASAN", "Kernel hacking", false, "Kernel address sanitizer.");
+    add_bool("UBSAN", "Kernel hacking", false, "Undefined behaviour sanity checker.");
+    add_bool("KCOV", "Kernel hacking", false, "Code coverage for fuzzing.");
+    add_bool("LOCKDEP", "Kernel hacking", false, "Lock dependency engine debugging.");
+    add_bool("PROVE_LOCKING", "Kernel hacking", false, "Lock debugging: prove locking correctness.");
+    add_bool("DEBUG_PAGEALLOC", "Kernel hacking", false, "Debug page memory allocations.");
+    add_bool("FTRACE", "Kernel hacking", true, "Kernel function tracer.");
+    add_bool("KPROBES", "Kernel hacking", false, "Kernel dynamic probes.");
+    add_bool("BPF_SYSCALL", "General setup", true, "Enable bpf() system call.");
+    add_bool("EPOLL", "General setup", true, "Enable eventpoll support.");
+    add_bool("AIO", "General setup", true, "Enable AIO support.");
+    add_bool("IO_URING", "General setup", true, "Enable IO uring support.");
+    add_bool("FUTEX", "General setup", true, "Enable futex support.");
+
+    // MODULES is special-cased by the solver.
+    {
+        let mut s = Symbol::new("MODULES", SymbolType::Bool);
+        s.menu = "General setup".into();
+        s.prompt = Some("Enable loadable module support".into());
+        s.defaults.push(Default {
+            value: DefaultValue::Tri(Tristate::Yes),
+            condition: None,
+        });
+        model.add(s);
+    }
+
+    // Curated int/hex/string symbols with real names.
+    let mut add_int = |name: &str, menu: &str, range: (i64, i64), def: i64| {
+        let mut s = Symbol::new(name, SymbolType::Int);
+        s.menu = menu.into();
+        s.prompt = Some(prompt_for(name));
+        s.range = Some(range);
+        s.defaults.push(Default {
+            value: DefaultValue::Int(def),
+            condition: None,
+        });
+        model.add(s);
+    };
+    add_int("NR_CPUS", "Processor type and features", (1, 512), 64);
+    add_int("HZ", "Processor type and features", (100, 1000), 250);
+    add_int("LOG_BUF_SHIFT", "General setup", (12, 25), 17);
+    add_int("RCU_FANOUT", "General setup", (2, 64), 32);
+    add_int("DEFAULT_MMAP_MIN_ADDR", "Security options", (0, 65536), 4096);
+
+    {
+        let mut s = Symbol::new("PHYSICAL_START", SymbolType::Hex);
+        s.menu = "Processor type and features".into();
+        s.prompt = Some("Physical address where the kernel is loaded".into());
+        s.range = Some((0x100000, 0x40000000));
+        s.defaults.push(Default {
+            value: DefaultValue::Int(0x1000000),
+            condition: None,
+        });
+        model.add(s);
+    }
+    {
+        let mut s = Symbol::new("CMDLINE", SymbolType::String);
+        s.menu = "Processor type and features".into();
+        s.prompt = Some("Built-in kernel command string".into());
+        s.defaults.push(Default {
+            value: DefaultValue::Str(String::new()),
+            condition: None,
+        });
+        model.add(s);
+    }
+    {
+        let mut s = Symbol::new("DEFAULT_HOSTNAME", SymbolType::String);
+        s.menu = "General setup".into();
+        s.prompt = Some("Default hostname".into());
+        s.defaults.push(Default {
+            value: DefaultValue::Str("(none)".into()),
+            condition: None,
+        });
+        model.add(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn v6_census_matches_table1_exactly() {
+        let c = LinuxVersion::V6_0.compile_census();
+        assert_eq!(c.bool_, 7585);
+        assert_eq!(c.tristate, 10034);
+        assert_eq!(c.string, 154);
+        assert_eq!(c.hex, 94);
+        assert_eq!(c.int, 3405);
+        assert_eq!(c.total(), 21272);
+    }
+
+    #[test]
+    fn census_always_sums_to_total() {
+        for v in LinuxVersion::ALL {
+            assert_eq!(
+                v.compile_census().total(),
+                v.compile_option_count(),
+                "census mismatch for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn option_counts_grow_monotonically() {
+        let counts: Vec<usize> = LinuxVersion::ALL
+            .iter()
+            .map(|v| v.compile_option_count())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert!(LinuxVersion::ALL
+            .windows(2)
+            .all(|w| w[0].boot_option_count() <= w[1].boot_option_count()));
+        assert!(LinuxVersion::ALL
+            .windows(2)
+            .all(|w| w[0].runtime_option_count() <= w[1].runtime_option_count()));
+    }
+
+    #[test]
+    fn v6_boot_and_runtime_counts_match_table1() {
+        assert_eq!(LinuxVersion::V6_0.boot_option_count(), 231);
+        assert_eq!(LinuxVersion::V6_0.runtime_option_count(), 13328);
+    }
+
+    #[test]
+    fn synthesized_model_matches_census() {
+        let m = synthesize(LinuxVersion::V2_6_13);
+        let c = m.type_census();
+        assert_eq!(c, LinuxVersion::V2_6_13.compile_census());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize(LinuxVersion::V2_6_13);
+        let b = synthesize(LinuxVersion::V2_6_13);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.symbol(i), b.symbol(i));
+        }
+    }
+
+    #[test]
+    fn curated_symbols_exist_in_every_version() {
+        for v in [LinuxVersion::V2_6_13, LinuxVersion::V4_19, LinuxVersion::V6_0] {
+            let m = synthesize(v);
+            for name in [
+                "MODULES", "SMP", "NET", "INET", "EXT4_FS", "DEBUG_INFO", "KASAN",
+                "NR_CPUS", "HZ", "LOG_BUF_SHIFT", "VIRTIO_NET", "RANDOMIZE_BASE",
+            ] {
+                assert!(m.by_name(name).is_some(), "{name} missing in {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn defconfig_of_synthetic_model_is_valid() {
+        let m = synthesize(LinuxVersion::V2_6_13);
+        let s = Solver::new(&m);
+        let a = s.defconfig();
+        let v = s.validate(&a);
+        assert!(v.is_empty(), "first violations: {:?}", &v[..v.len().min(5)]);
+    }
+
+    #[test]
+    fn randconfig_of_synthetic_model_is_valid() {
+        let m = synthesize(LinuxVersion::V2_6_13);
+        let s = Solver::new(&m);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..3 {
+            let a = s.randconfig(&mut rng);
+            let v = s.validate(&a);
+            assert!(v.is_empty(), "first violations: {:?}", &v[..v.len().min(5)]);
+        }
+    }
+
+    #[test]
+    fn generated_symbols_have_menus_and_deps() {
+        let m = synthesize(LinuxVersion::V2_6_13);
+        let with_deps = m.symbols().iter().filter(|s| s.depends.is_some()).count();
+        let with_menu = m.symbols().iter().filter(|s| !s.menu.is_empty()).count();
+        assert!(with_deps as f64 > m.len() as f64 * 0.9);
+        assert_eq!(with_menu, m.len());
+    }
+}

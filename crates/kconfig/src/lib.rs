@@ -1,0 +1,37 @@
+//! `wf-kconfig`: a Kconfig-style compile-time configuration model.
+//!
+//! Linux's compile-time configuration is defined by the Kconfig language:
+//! ~20 000 typed symbols with dependency expressions, `select` edges,
+//! conditional defaults, and ranges (paper §2.1, Table 1). This crate
+//! provides everything the Wayfinder reproduction needs from that world:
+//!
+//! * [`ast`] — symbols, types, dependency expressions, models;
+//! * [`parser`] — a parser for the Kconfig-subset language;
+//! * [`emit`] — the inverse: model → Kconfig text (round-trip tested);
+//! * [`eval`] — assignments (`.config`s) and tristate expression
+//!   evaluation with Kconfig's min/max semantics;
+//! * [`solver`] — `defconfig` / `olddefconfig` / `randconfig` /
+//!   validation, with `select` floors and dependency ceilings;
+//! * [`gen`] — deterministic synthetic Linux models per kernel version,
+//!   reproducing Fig. 1's option-count growth and Table 1's exact v6.0
+//!   type census;
+//! * [`cmdline`] — the boot-time (kernel command line) option population;
+//! * [`space`] — conversion into searchable [`wf_configspace`] spaces.
+//!
+//! "Valid" here means KConfig-valid; the paper's observation that about a
+//! third of such configurations still crash is modelled in `wf-ossim`.
+
+pub mod ast;
+pub mod cmdline;
+pub mod emit;
+pub mod eval;
+pub mod gen;
+pub mod parser;
+pub mod solver;
+pub mod space;
+
+pub use ast::{Expr, KconfigModel, Symbol, SymbolType, TypeCensus};
+pub use eval::{Assignment, SymValue};
+pub use gen::{synthesize, LinuxVersion};
+pub use parser::{parse, ParseError};
+pub use solver::{Solver, Violation};

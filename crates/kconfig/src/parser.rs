@@ -1,0 +1,573 @@
+//! Parser for the Kconfig-subset language.
+//!
+//! The supported grammar covers what the synthetic Linux model and the tests
+//! need — the same constructs the real Linux `Kconfig` files use most:
+//!
+//! ```text
+//! menu "Networking support"
+//! config NET
+//!     bool "Networking support"
+//!     depends on A && (B || !C)
+//!     select INET if FOO
+//!     default y if BAR
+//!     range 12 25          # int/hex only
+//!     help
+//!       Free-form help text, indented.
+//! endmenu
+//! ```
+//!
+//! Unsupported Kconfig features (`choice` blocks, `imply`, `visible if`,
+//! macros) are rejected with an error rather than silently ignored.
+
+use crate::ast::{Default, DefaultValue, Expr, KconfigModel, Select, Symbol, SymbolType};
+use std::fmt;
+use wf_configspace::Tristate;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses Kconfig text into a model.
+pub fn parse(input: &str) -> Result<KconfigModel, ParseError> {
+    let mut model = KconfigModel::new();
+    let mut menu_stack: Vec<String> = Vec::new();
+    let mut current: Option<Symbol> = None;
+    let mut lines = input.lines().enumerate().peekable();
+
+    while let Some((lineno, raw)) = lines.next() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+
+        let (keyword, rest) = split_keyword(trimmed);
+        match keyword {
+            "menu" => {
+                flush(&mut model, &mut current);
+                let title = parse_quoted(rest)
+                    .ok_or_else(|| err(format!("menu needs a quoted title, got {rest:?}")))?;
+                menu_stack.push(title);
+            }
+            "endmenu" => {
+                flush(&mut model, &mut current);
+                menu_stack
+                    .pop()
+                    .ok_or_else(|| err("endmenu without matching menu".into()))?;
+            }
+            "config" | "menuconfig" => {
+                flush(&mut model, &mut current);
+                let name = rest.trim();
+                if name.is_empty() || !name.chars().all(is_symbol_char) {
+                    return Err(err(format!("invalid symbol name {name:?}")));
+                }
+                let mut sym = Symbol::new(name, SymbolType::Bool);
+                sym.menu = menu_stack.join("/");
+                // The type line follows; mark untyped via a sentinel until
+                // we see it (Kconfig requires a type line).
+                current = Some(sym);
+            }
+            "bool" | "tristate" | "int" | "hex" | "string" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err(format!("{keyword} outside a config block")))?;
+                sym.stype = match keyword {
+                    "bool" => SymbolType::Bool,
+                    "tristate" => SymbolType::Tristate,
+                    "int" => SymbolType::Int,
+                    "hex" => SymbolType::Hex,
+                    _ => SymbolType::String,
+                };
+                let rest = rest.trim();
+                if !rest.is_empty() {
+                    sym.prompt = Some(
+                        parse_quoted(rest)
+                            .ok_or_else(|| err(format!("prompt must be quoted: {rest:?}")))?,
+                    );
+                }
+            }
+            "depends" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err("depends outside a config block".into()))?;
+                let rest = rest
+                    .trim()
+                    .strip_prefix("on")
+                    .ok_or_else(|| err("expected `depends on`".into()))?;
+                let e = parse_expr(rest.trim()).map_err(|m| err(m))?;
+                sym.depends = Some(match sym.depends.take() {
+                    Some(prev) => Expr::And(Box::new(prev), Box::new(e)),
+                    None => e,
+                });
+            }
+            "select" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err("select outside a config block".into()))?;
+                let (target, cond) = split_if(rest.trim());
+                if target.is_empty() || !target.chars().all(is_symbol_char) {
+                    return Err(err(format!("invalid select target {target:?}")));
+                }
+                let condition = match cond {
+                    Some(c) => Some(parse_expr(c).map_err(|m| err(m))?),
+                    None => None,
+                };
+                sym.selects.push(Select {
+                    target: target.to_string(),
+                    condition,
+                });
+            }
+            "default" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err("default outside a config block".into()))?;
+                let (val, cond) = split_if(rest.trim());
+                let value = parse_default_value(val, sym.stype)
+                    .ok_or_else(|| err(format!("bad default {val:?} for {}", sym.stype)))?;
+                let condition = match cond {
+                    Some(c) => Some(parse_expr(c).map_err(|m| err(m))?),
+                    None => None,
+                };
+                sym.defaults.push(Default { value, condition });
+            }
+            "range" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err("range outside a config block".into()))?;
+                let mut parts = rest.trim().split_whitespace();
+                let lo = parts
+                    .next()
+                    .and_then(parse_int)
+                    .ok_or_else(|| err("range needs two integers".into()))?;
+                let hi = parts
+                    .next()
+                    .and_then(parse_int)
+                    .ok_or_else(|| err("range needs two integers".into()))?;
+                if lo > hi {
+                    return Err(err(format!("empty range {lo} {hi}")));
+                }
+                sym.range = Some((lo, hi));
+            }
+            "help" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err("help outside a config block".into()))?;
+                // Consume following indented lines as help text.
+                let mut text = String::new();
+                while let Some((_, next)) = lines.peek() {
+                    if next.trim().is_empty() {
+                        lines.next();
+                        continue;
+                    }
+                    if next.starts_with([' ', '\t']) {
+                        if !text.is_empty() {
+                            text.push(' ');
+                        }
+                        text.push_str(next.trim());
+                        lines.next();
+                    } else {
+                        break;
+                    }
+                }
+                sym.help = text;
+            }
+            other => {
+                return Err(err(format!("unsupported keyword {other:?}")));
+            }
+        }
+    }
+    flush(&mut model, &mut current);
+    Ok(model)
+}
+
+fn flush(model: &mut KconfigModel, current: &mut Option<Symbol>) {
+    if let Some(sym) = current.take() {
+        model.add(sym);
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_keyword(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => (line, ""),
+    }
+}
+
+fn parse_quoted(s: &str) -> Option<String> {
+    let s = s.trim();
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_string())
+}
+
+fn is_symbol_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Splits `"<head> if <cond>"` into head and optional condition.
+fn split_if(s: &str) -> (&str, Option<&str>) {
+    // Find ` if ` outside quotes.
+    let bytes = s.as_bytes();
+    let mut in_str = false;
+    let pat = b" if ";
+    if s.len() >= pat.len() {
+        for i in 0..=s.len() - pat.len() {
+            if bytes[i] == b'"' {
+                in_str = !in_str;
+            }
+            if !in_str && &bytes[i..i + pat.len()] == pat {
+                return (s[..i].trim(), Some(s[i + pat.len()..].trim()));
+            }
+        }
+    }
+    (s.trim(), None)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_default_value(s: &str, stype: SymbolType) -> Option<DefaultValue> {
+    let s = s.trim();
+    match stype {
+        SymbolType::Bool | SymbolType::Tristate => {
+            if let Some(t) = Tristate::parse(s) {
+                Some(DefaultValue::Tri(t))
+            } else if s.chars().all(is_symbol_char) && !s.is_empty() {
+                Some(DefaultValue::Sym(s.to_string()))
+            } else {
+                None
+            }
+        }
+        SymbolType::Int | SymbolType::Hex => {
+            if let Some(v) = parse_int(s) {
+                Some(DefaultValue::Int(v))
+            } else if s.chars().all(is_symbol_char) && !s.is_empty() {
+                Some(DefaultValue::Sym(s.to_string()))
+            } else {
+                None
+            }
+        }
+        SymbolType::String => parse_quoted(s).map(DefaultValue::Str),
+    }
+}
+
+/// Recursive-descent parser for dependency expressions.
+///
+/// Grammar: `or := and ('||' and)*`, `and := cmp ('&&' cmp)*`,
+/// `cmp := unary (('='|'!=') unary)?`, `unary := '!' unary | primary`,
+/// `primary := '(' or ')' | SYMBOL | 'y' | 'm' | 'n'`.
+pub fn parse_expr(input: &str) -> Result<Expr, String> {
+    let tokens = tokenize_expr(input)?;
+    let mut pos = 0;
+    let e = parse_or(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens after expression: {:?}", &tokens[pos..]));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Sym(String),
+    AndAnd,
+    OrOr,
+    Not,
+    Eq,
+    Neq,
+    LParen,
+    RParen,
+}
+
+fn tokenize_expr(s: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '&' => {
+                chars.next();
+                if chars.next() != Some('&') {
+                    return Err("single & in expression".into());
+                }
+                out.push(Tok::AndAnd);
+            }
+            '|' => {
+                chars.next();
+                if chars.next() != Some('|') {
+                    return Err("single | in expression".into());
+                }
+                out.push(Tok::OrOr);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Tok::Neq);
+                } else {
+                    out.push(Tok::Not);
+                }
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            c if is_symbol_char(c) => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_symbol_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Sym(name));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_or(toks: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let mut left = parse_and(toks, pos)?;
+    while toks.get(*pos) == Some(&Tok::OrOr) {
+        *pos += 1;
+        let right = parse_and(toks, pos)?;
+        left = Expr::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and(toks: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let mut left = parse_cmp(toks, pos)?;
+    while toks.get(*pos) == Some(&Tok::AndAnd) {
+        *pos += 1;
+        let right = parse_cmp(toks, pos)?;
+        left = Expr::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_cmp(toks: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    let left = parse_unary(toks, pos)?;
+    match toks.get(*pos) {
+        Some(Tok::Eq) => {
+            *pos += 1;
+            let right = parse_unary(toks, pos)?;
+            Ok(Expr::Eq(Box::new(left), Box::new(right)))
+        }
+        Some(Tok::Neq) => {
+            *pos += 1;
+            let right = parse_unary(toks, pos)?;
+            Ok(Expr::Neq(Box::new(left), Box::new(right)))
+        }
+        _ => Ok(left),
+    }
+}
+
+fn parse_unary(toks: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+    match toks.get(*pos) {
+        Some(Tok::Not) => {
+            *pos += 1;
+            Ok(Expr::Not(Box::new(parse_unary(toks, pos)?)))
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let inner = parse_or(toks, pos)?;
+            if toks.get(*pos) != Some(&Tok::RParen) {
+                return Err("missing closing parenthesis".into());
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        Some(Tok::Sym(s)) => {
+            *pos += 1;
+            // Bare y/m/n are literals, everything else a symbol reference.
+            Ok(match Tristate::parse(s) {
+                Some(t) if s.len() == 1 => Expr::Lit(t),
+                _ => Expr::Sym(s.clone()),
+            })
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+menu "Networking support"
+
+config NET
+	bool "Networking support"
+	default y
+	help
+	  Enables the network subsystem.
+	  Needed by all network applications.
+
+config INET
+	tristate "TCP/IP networking"
+	depends on NET
+	select NETDEVICES if NET
+	default m
+
+config LOG_BUF_SHIFT
+	int "Kernel log buffer size"
+	range 12 25
+	default 17
+	depends on NET && (INET || !EMBEDDED)
+
+config PHYSICAL_START
+	hex "Physical load address"
+	default 0x1000000
+
+config DEFAULT_HOSTNAME
+	string "Default hostname"
+	default "(none)"
+
+config NETDEVICES
+	bool
+	default n
+
+config EMBEDDED
+	bool "Embedded system"
+
+endmenu
+"#;
+
+    #[test]
+    fn parses_sample_model() {
+        let m = parse(SAMPLE).expect("parse");
+        assert_eq!(m.len(), 7);
+        let net = m.by_name("NET").unwrap();
+        assert_eq!(net.stype, SymbolType::Bool);
+        assert_eq!(net.prompt.as_deref(), Some("Networking support"));
+        assert_eq!(net.menu, "Networking support");
+        assert!(net.help.contains("network subsystem"));
+
+        let inet = m.by_name("INET").unwrap();
+        assert_eq!(inet.stype, SymbolType::Tristate);
+        assert_eq!(inet.depends, Some(Expr::Sym("NET".into())));
+        assert_eq!(inet.selects.len(), 1);
+        assert_eq!(inet.selects[0].target, "NETDEVICES");
+        assert!(inet.selects[0].condition.is_some());
+
+        let buf = m.by_name("LOG_BUF_SHIFT").unwrap();
+        assert_eq!(buf.range, Some((12, 25)));
+        assert_eq!(buf.defaults.len(), 1);
+
+        let phys = m.by_name("PHYSICAL_START").unwrap();
+        assert_eq!(
+            phys.defaults[0].value,
+            DefaultValue::Int(0x1000000)
+        );
+
+        let host = m.by_name("DEFAULT_HOSTNAME").unwrap();
+        assert_eq!(
+            host.defaults[0].value,
+            DefaultValue::Str("(none)".into())
+        );
+    }
+
+    #[test]
+    fn parses_complex_expressions() {
+        let e = parse_expr("A && (B || !C) && D!=y").unwrap();
+        let mut names = Vec::new();
+        e.referenced(&mut names);
+        assert_eq!(names, vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn literal_vs_symbol_disambiguation() {
+        assert_eq!(parse_expr("y").unwrap(), Expr::Lit(Tristate::Yes));
+        assert_eq!(parse_expr("NET").unwrap(), Expr::Sym("NET".into()));
+        // A multi-char name starting with n is a symbol, not a literal.
+        assert_eq!(parse_expr("nfs").unwrap(), Expr::Sym("nfs".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_keywords() {
+        let err = parse("choice\n").unwrap_err();
+        assert!(err.message.contains("unsupported keyword"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_endmenu() {
+        let err = parse("endmenu\n").unwrap_err();
+        assert!(err.message.contains("endmenu"));
+    }
+
+    #[test]
+    fn rejects_bad_range() {
+        let src = "config A\n\tint \"a\"\n\trange 10 2\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("empty range"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "# top comment\nconfig A # trailing\n\tbool \"prompt # not a comment\"\n";
+        let m = parse(src).expect("parse");
+        assert_eq!(
+            m.by_name("A").unwrap().prompt.as_deref(),
+            Some("prompt # not a comment")
+        );
+    }
+
+    #[test]
+    fn multiple_depends_lines_conjoin() {
+        let src = "config A\n\tbool \"a\"\n\tdepends on B\n\tdepends on C\n";
+        let m = parse(src).expect("parse");
+        let d = m.by_name("A").unwrap().depends.clone().unwrap();
+        assert_eq!(d.to_string(), "B && C");
+    }
+}

@@ -1,0 +1,634 @@
+//! Dependency-aware configuration solving.
+//!
+//! Mirrors the kernel's own config tools:
+//!
+//! * [`Solver::defconfig`] — every symbol at its (conditional) default,
+//!   like `make defconfig` on an empty tree;
+//! * [`Solver::olddefconfig`] — completes / repairs a partial assignment,
+//!   like `make olddefconfig`;
+//! * [`Solver::randconfig`] — samples a *dependency-valid* random
+//!   configuration, like `make randconfig`;
+//! * [`Solver::validate`] — lists every constraint violation of an
+//!   assignment.
+//!
+//! Validity here means "KConfig accepts it". The paper's point (§2.2) is
+//! that roughly a third of such configurations still fail to build, boot,
+//! or run — that failure model lives in `wf-ossim`, not here.
+
+use crate::ast::{DefaultValue, KconfigModel, SymbolType};
+use crate::eval::{eval, Assignment, SymValue};
+use std::collections::HashMap;
+use std::fmt;
+use rand::Rng;
+use wf_configspace::Tristate;
+
+/// Default range assumed for `int`/`hex` symbols that declare none.
+pub const UNRANGED_INT: (i64, i64) = (0, 1 << 20);
+
+/// One constraint violation found by [`Solver::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The assignment names a symbol the model does not declare.
+    UnknownSymbol {
+        /// Offending name.
+        name: String,
+    },
+    /// The value's type does not match the symbol's declared type.
+    TypeMismatch {
+        /// Offending symbol.
+        name: String,
+        /// Declared type.
+        expected: SymbolType,
+    },
+    /// An `int`/`hex` value lies outside the declared range.
+    OutOfRange {
+        /// Offending symbol.
+        name: String,
+        /// Inclusive range bounds.
+        range: (i64, i64),
+        /// The out-of-range value.
+        got: i64,
+    },
+    /// A tristate value exceeds what its dependencies allow.
+    DependsViolated {
+        /// Offending symbol.
+        name: String,
+        /// Maximum value the dependencies admit.
+        limit: Tristate,
+        /// The assigned value.
+        got: Tristate,
+    },
+    /// A tristate value is below what `select` clauses force.
+    SelectViolated {
+        /// Offending symbol.
+        name: String,
+        /// Minimum value forced by active selects.
+        floor: Tristate,
+        /// The assigned value.
+        got: Tristate,
+    },
+    /// A `m` value is assigned while module support is disabled.
+    ModulesDisabled {
+        /// Offending symbol.
+        name: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownSymbol { name } => write!(f, "{name}: unknown symbol"),
+            Violation::TypeMismatch { name, expected } => {
+                write!(f, "{name}: value does not match type {expected}")
+            }
+            Violation::OutOfRange { name, range, got } => {
+                write!(f, "{name}: {got} outside range {}..{}", range.0, range.1)
+            }
+            Violation::DependsViolated { name, limit, got } => {
+                write!(f, "{name}: value {got} exceeds dependency limit {limit}")
+            }
+            Violation::SelectViolated { name, floor, got } => {
+                write!(f, "{name}: value {got} below select floor {floor}")
+            }
+            Violation::ModulesDisabled { name } => {
+                write!(f, "{name}: =m while MODULES is disabled")
+            }
+        }
+    }
+}
+
+/// A dependency solver bound to one Kconfig model.
+///
+/// Construction precomputes the reverse `select` index so that repeated
+/// sampling over a 20 000-symbol model stays linear per configuration.
+pub struct Solver<'m> {
+    model: &'m KconfigModel,
+    /// `selected_by[i]` lists `(selector_idx, select_clause_idx)` pairs whose
+    /// target is symbol `i`.
+    selected_by: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'m> Solver<'m> {
+    /// Builds a solver for `model`.
+    pub fn new(model: &'m KconfigModel) -> Self {
+        let mut selected_by: Vec<Vec<(usize, usize)>> = vec![Vec::new(); model.len()];
+        let by_name: HashMap<&str, usize> = model
+            .symbols()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.as_str(), i))
+            .collect();
+        for (i, sym) in model.symbols().iter().enumerate() {
+            for (j, sel) in sym.selects.iter().enumerate() {
+                if let Some(&t) = by_name.get(sel.target.as_str()) {
+                    selected_by[t].push((i, j));
+                }
+            }
+        }
+        Self { model, selected_by }
+    }
+
+    /// The model this solver serves.
+    pub fn model(&self) -> &KconfigModel {
+        self.model
+    }
+
+    /// Upper bound the dependencies place on symbol `idx` under `asg`.
+    pub fn visibility(&self, idx: usize, asg: &Assignment) -> Tristate {
+        match &self.model.symbol(idx).depends {
+            Some(e) => eval(e, asg),
+            None => Tristate::Yes,
+        }
+    }
+
+    /// Lower bound active `select` clauses place on symbol `idx` under `asg`.
+    pub fn select_floor(&self, idx: usize, asg: &Assignment) -> Tristate {
+        let mut floor = Tristate::No;
+        for &(selector, clause) in &self.selected_by[idx] {
+            let sym = self.model.symbol(selector);
+            let strength = asg.tristate(&sym.name);
+            if strength == Tristate::No {
+                continue;
+            }
+            let cond = match &sym.selects[clause].condition {
+                Some(e) => eval(e, asg),
+                None => Tristate::Yes,
+            };
+            floor = floor.or(strength.and(cond));
+        }
+        floor
+    }
+
+    /// Whether module support is enabled (symbol `MODULES`, if declared).
+    pub fn modules_enabled(&self, asg: &Assignment) -> bool {
+        match self.model.index_of("MODULES") {
+            Some(_) => asg.tristate("MODULES").enabled(),
+            // Model without a MODULES symbol: modules unconditionally legal.
+            None => true,
+        }
+    }
+
+    /// The declared or assumed range of an `int`/`hex` symbol.
+    pub fn range_of(&self, idx: usize) -> (i64, i64) {
+        self.model.symbol(idx).range.unwrap_or(UNRANGED_INT)
+    }
+
+    /// Lists every violation of `asg` against the model.
+    pub fn validate(&self, asg: &Assignment) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (name, value) in asg.iter() {
+            if self.model.index_of(name).is_none() {
+                out.push(Violation::UnknownSymbol { name: name.into() });
+            } else if !type_matches(self.model.by_name(name).unwrap().stype, value) {
+                out.push(Violation::TypeMismatch {
+                    name: name.into(),
+                    expected: self.model.by_name(name).unwrap().stype,
+                });
+            }
+        }
+        let modules_ok = self.modules_enabled(asg);
+        for (idx, sym) in self.model.symbols().iter().enumerate() {
+            match sym.stype {
+                SymbolType::Bool | SymbolType::Tristate => {
+                    let got = asg.tristate(&sym.name);
+                    if got == Tristate::Module && sym.name != "MODULES" {
+                        if sym.stype == SymbolType::Bool {
+                            // Caught as TypeMismatch only if explicitly
+                            // assigned; tristate view of bool can't be m.
+                        } else if !modules_ok {
+                            out.push(Violation::ModulesDisabled {
+                                name: sym.name.clone(),
+                            });
+                        }
+                    }
+                    let limit = self.upper_limit(idx, asg);
+                    if got > limit {
+                        out.push(Violation::DependsViolated {
+                            name: sym.name.clone(),
+                            limit,
+                            got,
+                        });
+                    }
+                    let floor = self.select_floor(idx, asg);
+                    let floor = self.promote_for_bool(idx, floor);
+                    if got < floor {
+                        out.push(Violation::SelectViolated {
+                            name: sym.name.clone(),
+                            floor,
+                            got,
+                        });
+                    }
+                }
+                SymbolType::Int | SymbolType::Hex => {
+                    if let Some(v) = asg.int(&sym.name) {
+                        let range = self.range_of(idx);
+                        if v < range.0 || v > range.1 {
+                            out.push(Violation::OutOfRange {
+                                name: sym.name.clone(),
+                                range,
+                                got: v,
+                            });
+                        }
+                    }
+                }
+                SymbolType::String => {}
+            }
+        }
+        out
+    }
+
+    /// Produces the all-defaults configuration (`make defconfig`).
+    pub fn defconfig(&self) -> Assignment {
+        self.olddefconfig(&Assignment::new())
+    }
+
+    /// Completes / repairs `seed` into a valid configuration
+    /// (`make olddefconfig`).
+    ///
+    /// Explicit values in `seed` are kept when the constraints allow and
+    /// clamped otherwise. Symbols absent from `seed` take their defaults.
+    /// Runs to a fixpoint (selects may cascade), capped at a few passes.
+    pub fn olddefconfig(&self, seed: &Assignment) -> Assignment {
+        let mut asg = Assignment::new();
+        // Pass 0 seeds defaults in declaration order so later symbols see
+        // earlier ones; subsequent passes re-clamp until stable.
+        for pass in 0..8 {
+            let mut changed = false;
+            for (idx, sym) in self.model.symbols().iter().enumerate() {
+                let next = match sym.stype {
+                    SymbolType::Bool | SymbolType::Tristate => {
+                        let preferred = match seed.get(&sym.name) {
+                            Some(SymValue::Tri(t)) => Some(*t),
+                            _ => None,
+                        };
+                        SymValue::Tri(self.resolve_tristate(idx, preferred, &asg))
+                    }
+                    SymbolType::Int | SymbolType::Hex => {
+                        let range = self.range_of(idx);
+                        let preferred = match seed.get(&sym.name) {
+                            Some(SymValue::Int(v)) => Some(*v),
+                            _ => None,
+                        };
+                        let v = preferred
+                            .or_else(|| self.default_int(idx, &asg))
+                            .unwrap_or(range.0);
+                        SymValue::Int(v.clamp(range.0, range.1))
+                    }
+                    SymbolType::String => {
+                        let preferred = match seed.get(&sym.name) {
+                            Some(SymValue::Str(s)) => Some(s.clone()),
+                            _ => None,
+                        };
+                        SymValue::Str(
+                            preferred
+                                .or_else(|| self.default_str(idx, &asg))
+                                .unwrap_or_default(),
+                        )
+                    }
+                };
+                if asg.get(&sym.name) != Some(&next) {
+                    asg.set(sym.name.clone(), next);
+                    changed = true;
+                }
+            }
+            if !changed && pass > 0 {
+                break;
+            }
+        }
+        asg
+    }
+
+    /// Samples a dependency-valid random configuration (`make randconfig`).
+    ///
+    /// Every symbol visible under the partial assignment built so far gets a
+    /// uniformly random value from its currently legal set; invisible
+    /// symbols fall to their select floor. A final [`Solver::olddefconfig`]
+    /// pass repairs any forward-reference damage, so the result always
+    /// passes [`Solver::validate`].
+    pub fn randconfig(&self, rng: &mut impl Rng) -> Assignment {
+        let mut asg = Assignment::new();
+        // Decide MODULES first so tristate sampling knows whether m is legal.
+        if let Some(i) = self.model.index_of("MODULES") {
+            let on = rng.random::<bool>();
+            asg.set_tri(
+                self.model.symbol(i).name.clone(),
+                if on { Tristate::Yes } else { Tristate::No },
+            );
+        }
+        for (idx, sym) in self.model.symbols().iter().enumerate() {
+            if sym.name == "MODULES" {
+                continue;
+            }
+            match sym.stype {
+                SymbolType::Bool | SymbolType::Tristate => {
+                    let limit = self.upper_limit(idx, &asg);
+                    let floor = self.promote_for_bool(idx, self.select_floor(idx, &asg));
+                    let options = legal_tristates(sym.stype, floor, limit, self.modules_enabled(&asg));
+                    let pick = options[rng.random_range(0..options.len())];
+                    asg.set_tri(sym.name.clone(), pick);
+                }
+                SymbolType::Int | SymbolType::Hex => {
+                    let (lo, hi) = self.range_of(idx);
+                    asg.set(sym.name.clone(), SymValue::Int(rng.random_range(lo..=hi)));
+                }
+                SymbolType::String => {
+                    let v = self.default_str(idx, &asg).unwrap_or_default();
+                    asg.set(sym.name.clone(), SymValue::Str(v));
+                }
+            }
+        }
+        self.olddefconfig(&asg)
+    }
+
+    /// Upper bound for a tristate value: dependencies, promoted for bools.
+    fn upper_limit(&self, idx: usize, asg: &Assignment) -> Tristate {
+        let v = self.visibility(idx, asg);
+        // A select can raise a symbol above its visibility (that is exactly
+        // how broken real-world configs arise; Kconfig permits it and warns).
+        let floor = self.select_floor(idx, asg);
+        let limit = v.or(floor);
+        self.promote_for_bool(idx, limit)
+    }
+
+    /// Bools cannot hold `m`: promote a module-level bound to `y`.
+    fn promote_for_bool(&self, idx: usize, t: Tristate) -> Tristate {
+        if self.model.symbol(idx).stype == SymbolType::Bool && t == Tristate::Module {
+            Tristate::Yes
+        } else {
+            t
+        }
+    }
+
+    /// Resolves a bool/tristate symbol given an optional preferred value.
+    fn resolve_tristate(&self, idx: usize, preferred: Option<Tristate>, asg: &Assignment) -> Tristate {
+        let limit = self.upper_limit(idx, asg);
+        let floor = self.promote_for_bool(idx, self.select_floor(idx, asg));
+        let base = preferred
+            .or_else(|| self.default_tri(idx, asg))
+            .unwrap_or(Tristate::No);
+        let mut v = base.min(limit).max(floor);
+        let sym = self.model.symbol(idx);
+        if v == Tristate::Module
+            && (sym.stype == SymbolType::Bool || !self.modules_enabled(asg))
+        {
+            v = if limit >= Tristate::Yes || floor > Tristate::No {
+                Tristate::Yes
+            } else {
+                Tristate::No
+            };
+        }
+        v
+    }
+
+    /// First matching tristate default.
+    fn default_tri(&self, idx: usize, asg: &Assignment) -> Option<Tristate> {
+        for d in &self.model.symbol(idx).defaults {
+            let cond = match &d.condition {
+                Some(e) => eval(e, asg),
+                None => Tristate::Yes,
+            };
+            if cond == Tristate::No {
+                continue;
+            }
+            return match &d.value {
+                DefaultValue::Tri(t) => Some(t.and(cond)),
+                DefaultValue::Sym(s) => Some(asg.tristate(s).and(cond)),
+                _ => None,
+            };
+        }
+        None
+    }
+
+    /// First matching integer default.
+    fn default_int(&self, idx: usize, asg: &Assignment) -> Option<i64> {
+        for d in &self.model.symbol(idx).defaults {
+            let cond = match &d.condition {
+                Some(e) => eval(e, asg),
+                None => Tristate::Yes,
+            };
+            if cond == Tristate::No {
+                continue;
+            }
+            return match &d.value {
+                DefaultValue::Int(v) => Some(*v),
+                DefaultValue::Sym(s) => asg.int(s),
+                _ => None,
+            };
+        }
+        None
+    }
+
+    /// First matching string default.
+    fn default_str(&self, idx: usize, asg: &Assignment) -> Option<String> {
+        for d in &self.model.symbol(idx).defaults {
+            let cond = match &d.condition {
+                Some(e) => eval(e, asg),
+                None => Tristate::Yes,
+            };
+            if cond == Tristate::No {
+                continue;
+            }
+            return match &d.value {
+                DefaultValue::Str(s) => Some(s.clone()),
+                DefaultValue::Sym(s) => asg.get(s).map(SymValue::canonical),
+                _ => None,
+            };
+        }
+        None
+    }
+}
+
+/// Whether a value is type-compatible with a symbol type.
+fn type_matches(stype: SymbolType, value: &SymValue) -> bool {
+    matches!(
+        (stype, value),
+        (SymbolType::Bool, SymValue::Tri(Tristate::No | Tristate::Yes))
+            | (SymbolType::Tristate, SymValue::Tri(_))
+            | (SymbolType::Int, SymValue::Int(_))
+            | (SymbolType::Hex, SymValue::Int(_))
+            | (SymbolType::String, SymValue::Str(_))
+    )
+}
+
+/// The legal values for a bool/tristate symbol given floor/limit bounds.
+fn legal_tristates(
+    stype: SymbolType,
+    floor: Tristate,
+    limit: Tristate,
+    modules: bool,
+) -> Vec<Tristate> {
+    let mut out: Vec<Tristate> = Tristate::ALL
+        .into_iter()
+        .filter(|t| *t >= floor && *t <= limit.max(floor))
+        .filter(|t| !(stype == SymbolType::Bool && *t == Tristate::Module))
+        .filter(|t| !(*t == Tristate::Module && !modules))
+        .collect();
+    if out.is_empty() {
+        out.push(floor);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const MODEL: &str = r#"
+menu "Networking support"
+config NET
+    bool "Networking support"
+    default y
+config INET
+    tristate "TCP/IP networking"
+    depends on NET
+    default y
+config TCP_FASTOPEN
+    bool "TCP Fast Open"
+    depends on INET
+    default n
+config NET_BACKLOG
+    int "Backlog size"
+    depends on NET
+    range 16 65536
+    default 128
+endmenu
+config MODULES
+    bool "Enable loadable module support"
+    default y
+config CRYPTO
+    tristate "Cryptographic API"
+    default m
+config NET_TLS
+    tristate "TLS protocol"
+    depends on INET
+    select CRYPTO
+    default n
+"#;
+
+    fn solver_model() -> KconfigModel {
+        parse(MODEL).expect("model parses")
+    }
+
+    #[test]
+    fn defconfig_respects_defaults_and_deps() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let a = s.defconfig();
+        assert_eq!(a.tristate("NET"), Tristate::Yes);
+        assert_eq!(a.tristate("INET"), Tristate::Yes);
+        assert_eq!(a.tristate("TCP_FASTOPEN"), Tristate::No);
+        assert_eq!(a.int("NET_BACKLOG"), Some(128));
+        assert!(s.validate(&a).is_empty(), "{:?}", s.validate(&a));
+    }
+
+    #[test]
+    fn disabling_net_pulls_down_dependents() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut seed = Assignment::new();
+        seed.set_tri("NET", Tristate::No);
+        let a = s.olddefconfig(&seed);
+        assert_eq!(a.tristate("NET"), Tristate::No);
+        assert_eq!(a.tristate("INET"), Tristate::No);
+        assert!(s.validate(&a).is_empty());
+    }
+
+    #[test]
+    fn select_raises_target() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut seed = Assignment::new();
+        seed.set_tri("NET_TLS", Tristate::Yes);
+        seed.set_tri("CRYPTO", Tristate::No);
+        let a = s.olddefconfig(&seed);
+        // NET_TLS=y selects CRYPTO, so CRYPTO cannot stay n.
+        assert_eq!(a.tristate("NET_TLS"), Tristate::Yes);
+        assert!(a.tristate("CRYPTO") >= Tristate::Yes);
+        assert!(s.validate(&a).is_empty(), "{:?}", s.validate(&a));
+    }
+
+    #[test]
+    fn validate_flags_depends_violation() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut a = s.defconfig();
+        a.set_tri("NET", Tristate::No);
+        // INET stayed y but its dependency is now n.
+        let v = s.validate(&a);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DependsViolated { name, .. } if name == "INET")));
+    }
+
+    #[test]
+    fn validate_flags_out_of_range() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut a = s.defconfig();
+        a.set("NET_BACKLOG", SymValue::Int(7));
+        let v = s.validate(&a);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::OutOfRange { name, got: 7, .. } if name == "NET_BACKLOG")));
+    }
+
+    #[test]
+    fn validate_flags_unknown_and_type_mismatch() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut a = s.defconfig();
+        a.set("NOPE", SymValue::Tri(Tristate::Yes));
+        a.set("NET_BACKLOG", SymValue::Str("many".into()));
+        let v = s.validate(&a);
+        assert!(v.iter().any(|x| matches!(x, Violation::UnknownSymbol { name } if name == "NOPE")));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::TypeMismatch { name, .. } if name == "NET_BACKLOG")));
+    }
+
+    #[test]
+    fn randconfig_is_always_valid() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a = s.randconfig(&mut rng);
+            let v = s.validate(&a);
+            assert!(v.is_empty(), "violations: {v:?}\n{}", a.to_dotconfig(&m));
+        }
+    }
+
+    #[test]
+    fn randconfig_explores_the_space() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut saw_fastopen = false;
+        let mut saw_no_net = false;
+        let mut backlogs = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let a = s.randconfig(&mut rng);
+            saw_fastopen |= a.tristate("TCP_FASTOPEN") == Tristate::Yes;
+            saw_no_net |= a.tristate("NET") == Tristate::No;
+            backlogs.insert(a.int("NET_BACKLOG").unwrap());
+        }
+        assert!(saw_fastopen);
+        assert!(saw_no_net);
+        assert!(backlogs.len() > 50);
+    }
+
+    #[test]
+    fn modules_disabled_forbids_m() {
+        let m = solver_model();
+        let s = Solver::new(&m);
+        let mut seed = Assignment::new();
+        seed.set_tri("MODULES", Tristate::No);
+        seed.set_tri("CRYPTO", Tristate::Module);
+        let a = s.olddefconfig(&seed);
+        assert_ne!(a.tristate("CRYPTO"), Tristate::Module);
+        assert!(s.validate(&a).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Conversion of a Kconfig model into a searchable [`ConfigSpace`].
+//!
+//! The search algorithms operate on typed [`ConfigSpace`]s; this module
+//! maps each Kconfig symbol to a compile-time parameter:
+//!
+//! * `bool`/`tristate` → the corresponding kinds;
+//! * `int`/`hex` → ranged integers (log-scaled when the range spans ≥ 3
+//!   orders of magnitude), using [`crate::solver::UNRANGED_INT`] when the
+//!   symbol declares no range;
+//! * `string` → a single-choice enum pinned to its default — §3.4: string
+//!   parameters are not explored beyond automatically extractable values;
+//! * promptless symbols → pinned to their default. They are derived
+//!   symbols (set via `select`/`default`), not user choices, so varying
+//!   them directly would produce configurations no user could write.
+//!
+//! Defaults come from the solver's `defconfig`, so conditional defaults
+//! resolve the same way `make defconfig` would.
+
+use crate::ast::{KconfigModel, SymbolType};
+use crate::eval::SymValue;
+use crate::solver::{Solver, UNRANGED_INT};
+use wf_configspace::{ConfigSpace, ParamKind, ParamSpec, Stage, Tristate, Value};
+
+/// Builds the compile-time configuration space of a Kconfig model.
+///
+/// # Examples
+///
+/// ```
+/// use wf_kconfig::gen::{synthesize, LinuxVersion};
+/// use wf_kconfig::space::compile_space;
+///
+/// let model = synthesize(LinuxVersion::V2_6_13);
+/// let space = compile_space(&model);
+/// assert_eq!(space.len(), model.len());
+/// ```
+pub fn compile_space(model: &KconfigModel) -> ConfigSpace {
+    let solver = Solver::new(model);
+    let defaults = solver.defconfig();
+    let mut space = ConfigSpace::new();
+    for (idx, sym) in model.symbols().iter().enumerate() {
+        let kind = match sym.stype {
+            SymbolType::Bool => ParamKind::Bool,
+            SymbolType::Tristate => ParamKind::Tristate,
+            SymbolType::Int | SymbolType::Hex => {
+                let (lo, hi) = sym.range.unwrap_or(UNRANGED_INT);
+                if sym.stype == SymbolType::Hex {
+                    ParamKind::Hex { min: lo, max: hi }
+                } else if lo >= 0 && (hi - lo) >= 1000 {
+                    ParamKind::log_int(lo, hi)
+                } else {
+                    ParamKind::int(lo, hi)
+                }
+            }
+            SymbolType::String => {
+                let def = match defaults.get(&sym.name) {
+                    Some(SymValue::Str(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                ParamKind::choices(vec![def])
+            }
+        };
+        let default = match defaults.get(&sym.name) {
+            Some(SymValue::Tri(t)) => match sym.stype {
+                SymbolType::Bool => Value::Bool(*t == Tristate::Yes),
+                _ => Value::Tristate(*t),
+            },
+            Some(SymValue::Int(v)) => {
+                let (lo, hi) = solver.range_of(idx);
+                Value::Int((*v).clamp(lo, hi))
+            }
+            Some(SymValue::Str(_)) => Value::Choice(0),
+            None => kind.canonical_default(),
+        };
+        let mut spec = ParamSpec::new(sym.name.clone(), kind, Stage::CompileTime)
+            .with_default(default)
+            .with_doc(sym.help.clone());
+        if sym.prompt.is_none() || sym.stype == SymbolType::String {
+            spec = spec.pinned();
+        }
+        space.add(spec);
+    }
+    space
+}
+
+/// Builds the boot-time configuration space for a Linux version.
+pub fn boot_space(version: crate::gen::LinuxVersion) -> ConfigSpace {
+    let mut space = ConfigSpace::new();
+    for spec in crate::cmdline::boot_options(version) {
+        space.add(spec);
+    }
+    space
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Default, DefaultValue, Symbol};
+    use crate::gen::{synthesize, LinuxVersion};
+
+    #[test]
+    fn space_census_matches_model_census() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let space = compile_space(&model);
+        let mc = model.type_census();
+        let sc = space.census();
+        assert_eq!(sc.compile_bool, mc.bool_);
+        assert_eq!(sc.compile_tristate, mc.tristate);
+        assert_eq!(sc.compile_string, mc.string);
+        assert_eq!(sc.compile_hex, mc.hex);
+        assert_eq!(sc.compile_int, mc.int);
+        assert_eq!(sc.boot, 0);
+        assert_eq!(sc.runtime, 0);
+    }
+
+    #[test]
+    fn defaults_resolve_via_defconfig() {
+        let mut m = KconfigModel::new();
+        let mut a = Symbol::new("A", SymbolType::Bool);
+        a.prompt = Some("A".into());
+        a.defaults.push(Default {
+            value: DefaultValue::Tri(Tristate::Yes),
+            condition: None,
+        });
+        m.add(a);
+        let mut b = Symbol::new("B", SymbolType::Int);
+        b.prompt = Some("B".into());
+        b.range = Some((1, 10));
+        b.defaults.push(Default {
+            value: DefaultValue::Int(7),
+            condition: None,
+        });
+        m.add(b);
+        let space = compile_space(&m);
+        let d = space.default_config();
+        assert_eq!(d.by_name(&space, "A"), Some(Value::Bool(true)));
+        assert_eq!(d.by_name(&space, "B"), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn promptless_and_string_symbols_are_pinned() {
+        let mut m = KconfigModel::new();
+        let hidden = Symbol::new("HIDDEN", SymbolType::Bool);
+        m.add(hidden);
+        let mut s = Symbol::new("CMDLINE", SymbolType::String);
+        s.prompt = Some("Cmdline".into());
+        m.add(s);
+        let space = compile_space(&m);
+        assert!(space.spec(space.index_of("HIDDEN").unwrap()).fixed);
+        assert!(space.spec(space.index_of("CMDLINE").unwrap()).fixed);
+    }
+
+    #[test]
+    fn wide_ranges_become_log_scaled() {
+        let mut m = KconfigModel::new();
+        let mut s = Symbol::new("BUF", SymbolType::Int);
+        s.prompt = Some("Buffer".into());
+        s.range = Some((0, 1 << 20));
+        m.add(s);
+        let space = compile_space(&m);
+        match &space.spec(0).kind {
+            ParamKind::Int { log_scale, .. } => assert!(log_scale),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boot_space_counts_match() {
+        let space = boot_space(LinuxVersion::V6_0);
+        assert_eq!(space.census().boot, 231);
+    }
+}

@@ -1,0 +1,494 @@
+//! Dense row-major matrix used throughout the neural-network substrate.
+//!
+//! The matrix sizes involved in DeepTune are small (hundreds of rows and
+//! columns), so a straightforward `Vec<f64>`-backed implementation with
+//! cache-friendly row-major loops is sufficient; no BLAS is required.
+
+use std::fmt;
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns element `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)` to `v`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Product `self^T * other`, computed without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (j, &b) in b_row.iter().enumerate() {
+                    out_row[j] += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Product `self * other^T`, computed without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise addition into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise subtraction into `self`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f64) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Returns `self + other` as a new matrix.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Returns `self - other` as a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// Element-wise (Hadamard) product as a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        self.data.iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        let data = self.data.iter().map(|v| f(*v)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Adds a `1 x cols` row vector to every row (broadcast).
+    pub fn add_row_broadcast(&mut self, row: &Matrix) {
+        assert_eq!(row.rows, 1);
+        assert_eq!(row.cols, self.cols);
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, s) in dst.iter_mut().zip(row.data.iter()) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Sums the rows, producing a `1 x cols` matrix.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Squared Euclidean distance between row `r` of `self` and row `s` of `other`.
+    pub fn row_sq_dist(&self, r: usize, other: &Matrix, s: usize) -> f64 {
+        assert_eq!(self.cols, other.cols);
+        self.row(r)
+            .iter()
+            .zip(other.row(s).iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Horizontally concatenates `self` and `other` (same number of rows).
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows);
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Splits the columns at `at`, returning the left and right parts.
+    pub fn split_cols(&self, at: usize) -> (Matrix, Matrix) {
+        assert!(at <= self.cols);
+        let mut left = Matrix::zeros(self.rows, at);
+        let mut right = Matrix::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Extracts the rows with the given indices into a new matrix.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 0.0);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i).data(), a.data());
+        assert_eq!(i.matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|v| v as f64).collect());
+        let fast = a.t_matmul(&b);
+        let slow = a.transposed().matmul(&b);
+        assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|v| v as f64).collect());
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transposed());
+        assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_row_broadcast(&Matrix::row_vector(&[1.0, 2.0]));
+        assert_eq!(m.data(), &[1.0, 2.0, 1.0, 2.0]);
+        let s = m.sum_rows();
+        assert_eq!(s.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![5.0, 6.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(0), &[1.0, 2.0, 5.0]);
+        let (l, r) = c.split_cols(2);
+        assert_eq!(l.data(), a.data());
+        assert_eq!(r.data(), b.data());
+    }
+
+    #[test]
+    fn row_sq_dist_known() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.row_sq_dist(0, &b, 0), 25.0);
+    }
+
+    #[test]
+    fn select_rows_picks_expected() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_and_hadamard() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        let b = a.map(f64::abs);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.data(), &[1.0, -4.0, 9.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a.set(0, 1, f64::NAN);
+        assert!(a.has_non_finite());
+    }
+}

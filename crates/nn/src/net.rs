@@ -1,0 +1,184 @@
+//! A sequential container of layers plus a small MLP builder.
+
+use crate::layer::{Dense, Dropout, Layer, Relu, Tensor};
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A stack of layers executed in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if there are no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs a forward pass through all layers.
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut cur = x.clone();
+        for l in self.layers.iter_mut() {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Runs a forward pass and returns the output of *every* layer; used by
+    /// the DeepTune model, whose uncertainty branch consumes intermediate
+    /// latents.
+    pub fn forward_collect(&mut self, x: &Matrix, train: bool) -> Vec<Matrix> {
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for l in self.layers.iter_mut() {
+            cur = l.forward(&cur, train);
+            outputs.push(cur.clone());
+        }
+        outputs
+    }
+
+    /// Backpropagates through all layers and returns the input gradient.
+    pub fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let mut cur = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    /// Backpropagates starting from layer `from` (inclusive) downward; used
+    /// to inject gradients that attach to an intermediate latent.
+    pub fn backward_from(&mut self, from: usize, grad: &Matrix) -> Matrix {
+        let mut cur = grad.clone();
+        for l in self.layers[..=from].iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    /// All trainable tensors, in a stable layer order.
+    pub fn tensors(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.tensors()).collect()
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        for l in self.layers.iter_mut() {
+            l.zero_grad();
+        }
+    }
+
+    /// Access to a layer by index (for weight export).
+    pub fn layer(&self, idx: usize) -> &dyn Layer {
+        self.layers[idx].as_ref()
+    }
+
+    /// Mutable access to a layer by index (for weight import).
+    pub fn layer_mut(&mut self, idx: usize) -> &mut dyn Layer {
+        self.layers[idx].as_mut()
+    }
+}
+
+/// Builds a Dense → ReLU → Dropout stack for each hidden dimension, followed
+/// by a final Dense projection to `out_dim`.
+pub fn mlp(
+    in_dim: usize,
+    hidden: &[usize],
+    out_dim: usize,
+    dropout: f64,
+    rng: &mut impl Rng,
+) -> Sequential {
+    let mut net = Sequential::new();
+    let mut prev = in_dim;
+    for (i, &h) in hidden.iter().enumerate() {
+        net.push(Box::new(Dense::new(prev, h, rng)));
+        net.push(Box::new(Relu::new()));
+        if dropout > 0.0 {
+            net.push(Box::new(Dropout::new(dropout, 0x5eed + i as u64)));
+        }
+        prev = h;
+    }
+    net.push(Box::new(Dense::new(prev, out_dim, rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(4, &[8, 8], 2, 0.0, &mut rng);
+        let out = net.forward(&Matrix::zeros(3, 4), false);
+        assert_eq!((out.rows(), out.cols()), (3, 2));
+    }
+
+    #[test]
+    fn forward_collect_returns_every_layer_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(4, &[8], 2, 0.1, &mut rng);
+        // Dense, ReLU, Dropout, Dense = 4 layers.
+        let outs = net.forward_collect(&Matrix::zeros(2, 4), false);
+        assert_eq!(outs.len(), 4);
+        assert_eq!(outs.last().unwrap().cols(), 2);
+    }
+
+    #[test]
+    fn mlp_learns_linear_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = mlp(2, &[16], 1, 0.0, &mut rng);
+        let mut opt = Adam::new(0.01);
+
+        // y = 2 x0 - x1 + 0.5.
+        let xs = Matrix::from_fn(64, 2, |r, c| ((r * 2 + c) % 7) as f64 / 7.0 - 0.5);
+        let ys: Vec<f64> = (0..64)
+            .map(|r| 2.0 * xs.get(r, 0) - xs.get(r, 1) + 0.5)
+            .collect();
+
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            let pred = net.forward(&xs, true);
+            let (loss, grad) = mse(&pred, &ys);
+            net.zero_grad();
+            net.backward(&grad);
+            let mut tensors = net.tensors();
+            opt.step(&mut tensors);
+            last = loss;
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    #[test]
+    fn backward_from_only_touches_prefix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = mlp(3, &[4], 1, 0.0, &mut rng);
+        let x = Matrix::zeros(2, 3);
+        let outs = net.forward_collect(&x, false);
+        // Inject a gradient at the ReLU output (layer index 1).
+        let g = Matrix::filled(outs[1].rows(), outs[1].cols(), 1.0);
+        net.zero_grad();
+        let gin = net.backward_from(1, &g);
+        assert_eq!((gin.rows(), gin.cols()), (2, 3));
+    }
+}

@@ -1,0 +1,199 @@
+//! Feature and target normalization.
+//!
+//! DeepTune z-scores its input features (the paper notes that the RBF
+//! smoothing parameter gamma = 0.1 "is appropriate if input features are
+//! z-score normalized") and its regression targets.
+
+use crate::matrix::Matrix;
+
+/// Per-column z-score normalizer for feature matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZScore {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl ZScore {
+    /// Fits a normalizer on the columns of `data`.
+    ///
+    /// Columns with (near-)zero variance get std 1 so they map to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn fit(data: &Matrix) -> Self {
+        assert!(data.rows() > 0, "cannot fit a normalizer on zero rows");
+        let n = data.rows() as f64;
+        let mut mean = vec![0.0; data.cols()];
+        for r in 0..data.rows() {
+            for (m, v) in mean.iter_mut().zip(data.row(r).iter()) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut std = vec![0.0; data.cols()];
+        for r in 0..data.rows() {
+            for (c, v) in data.row(r).iter().enumerate() {
+                let d = v - mean[c];
+                std[c] += d * d;
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n).sqrt();
+            if *s < 1e-9 {
+                *s = 1.0;
+            }
+        }
+        Self { mean, std }
+    }
+
+    /// Creates an identity normalizer of the given width.
+    pub fn identity(cols: usize) -> Self {
+        Self {
+            mean: vec![0.0; cols],
+            std: vec![1.0; cols],
+        }
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The fitted column means.
+    pub fn means(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The fitted column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Reconstructs a normalizer from its raw statistics (checkpoint load).
+    pub fn from_stats(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), std.len());
+        assert!(std.iter().all(|s| *s > 0.0), "std must be positive");
+        Self { mean, std }
+    }
+
+    /// Normalizes a feature matrix.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len());
+        Matrix::from_fn(data.rows(), data.cols(), |r, c| {
+            (data.get(r, c) - self.mean[c]) / self.std[c]
+        })
+    }
+
+    /// Inverse of [`ZScore::transform`].
+    pub fn inverse(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len());
+        Matrix::from_fn(data.rows(), data.cols(), |r, c| {
+            data.get(r, c) * self.std[c] + self.mean[c]
+        })
+    }
+}
+
+/// Scalar z-score normalizer for regression targets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalarNorm {
+    mean: f64,
+    std: f64,
+}
+
+impl ScalarNorm {
+    /// Fits on a slice of target values.
+    pub fn fit(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                mean: 0.0,
+                std: 1.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-9);
+        Self { mean, std }
+    }
+
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self {
+            mean: 0.0,
+            std: 1.0,
+        }
+    }
+
+    /// Reconstructs from raw statistics.
+    pub fn from_stats(mean: f64, std: f64) -> Self {
+        assert!(std > 0.0);
+        Self { mean, std }
+    }
+
+    /// Fitted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Fitted standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Normalizes one value.
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Inverse of [`ScalarNorm::transform`].
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+
+    /// Converts a standard deviation from normalized to original units.
+    pub fn inverse_scale(&self, sigma: f64) -> f64 {
+        sigma * self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_roundtrip() {
+        let data = Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        let n = ZScore::fit(&data);
+        let t = n.transform(&data);
+        // Each column has mean 0.
+        let sums = t.sum_rows();
+        assert!(sums.max_abs() < 1e-9);
+        let back = n.inverse(&t);
+        for i in 0..data.len() {
+            assert!((back.data()[i] - data.data()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zscore_constant_column_maps_to_zero() {
+        let data = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]);
+        let n = ZScore::fit(&data);
+        let t = n.transform(&data);
+        assert!(t.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_norm_roundtrip() {
+        let n = ScalarNorm::fit(&[10.0, 20.0, 30.0]);
+        assert!((n.mean() - 20.0).abs() < 1e-12);
+        let v = n.transform(25.0);
+        assert!((n.inverse(v) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_norm_empty_is_identity() {
+        let n = ScalarNorm::fit(&[]);
+        assert_eq!(n.transform(3.0), 3.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Gradient-based optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers hold per-parameter state keyed by the *position* of each tensor
+//! in the list passed to [`Optimizer::step`]; callers must therefore pass the
+//! tensors of a given model in a stable order (which is what
+//! [`crate::net::Sequential::tensors`] and the DeepTune model do).
+
+use crate::layer::Tensor;
+use crate::matrix::Matrix;
+
+/// A gradient-descent optimizer.
+pub trait Optimizer {
+    /// Applies one update step to every tensor using its accumulated
+    /// gradient, then leaves the gradients untouched (callers typically zero
+    /// them before the next backward pass).
+    fn step(&mut self, tensors: &mut [&mut Tensor]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate.
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, tensors: &mut [&mut Tensor]) {
+        if self.velocity.len() != tensors.len() {
+            self.velocity = tensors
+                .iter()
+                .map(|t| Matrix::zeros(t.value.rows(), t.value.cols()))
+                .collect();
+        }
+        for (t, v) in tensors.iter_mut().zip(self.velocity.iter_mut()) {
+            for i in 0..t.value.len() {
+                let g = t.grad.data()[i];
+                let vel = self.momentum * v.data()[i] - self.lr * g;
+                v.data_mut()[i] = vel;
+                t.value.data_mut()[i] += vel;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba).
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the usual default betas.
+    pub fn new(lr: f64) -> Self {
+        Self::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an Adam optimizer with explicit hyperparameters.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Resets the moment estimates (used when a model is re-initialized).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, tensors: &mut [&mut Tensor]) {
+        if self.m.len() != tensors.len() {
+            self.m = tensors
+                .iter()
+                .map(|t| Matrix::zeros(t.value.rows(), t.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((t, m), v) in tensors
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            for i in 0..t.value.len() {
+                let g = t.grad.data()[i];
+                if !g.is_finite() {
+                    continue;
+                }
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                t.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = (x - 3)^2 must converge to x = 3.
+    fn optimize_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut t = Tensor::new(Matrix::from_vec(1, 1, vec![0.0]));
+        for _ in 0..steps {
+            let x = t.value.get(0, 0);
+            t.grad.set(0, 0, 2.0 * (x - 3.0));
+            opt.step(&mut [&mut t]);
+        }
+        t.value.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.5);
+        let x = optimize_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = optimize_quadratic(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_skips_non_finite_gradients() {
+        let mut opt = Adam::new(0.1);
+        let mut t = Tensor::new(Matrix::from_vec(1, 1, vec![1.0]));
+        t.grad.set(0, 0, f64::NAN);
+        opt.step(&mut [&mut t]);
+        assert!((t.value.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learning_rate_roundtrip() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,63 @@
+//! Random sampling helpers built on top of [`rand`].
+//!
+//! The sanctioned offline crate set includes `rand` but not `rand_distr`, so
+//! Gaussian sampling is implemented here via the Box–Muller transform.
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, std^2)` using the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    // Avoid `ln(0)` by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one sample from a log-normal distribution with the given log-space
+/// mean and standard deviation.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Fills `out` with i.i.d. samples from `N(0, std^2)`.
+pub fn fill_normal(rng: &mut impl Rng, out: &mut [f64], std: f64) {
+    for v in out.iter_mut() {
+        *v = normal(rng, 0.0, std);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(lognormal(&mut rng, 0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fill_normal_fills_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = vec![0.0; 64];
+        fill_normal(&mut rng, &mut buf, 1.0);
+        assert!(buf.iter().any(|v| *v != 0.0));
+        assert!(buf.iter().all(|v| v.is_finite()));
+    }
+}

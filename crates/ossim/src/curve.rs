@@ -1,0 +1,232 @@
+//! Effect curves and predicates over parameter values.
+//!
+//! The ground-truth performance model (see [`crate::perfmodel`]) composes
+//! per-parameter multiplicative factors. A [`Curve`] maps a parameter's raw
+//! numeric value (integer value, boolean as 0/1, tristate level, or enum
+//! choice index) to a factor; curves are later normalized so the *default*
+//! configuration always has factor 1.
+//!
+//! [`Cond`] is the predicate language shared by crash rules and interaction
+//! bonuses: small conjunctions over raw values, deliberately simple enough
+//! for a neural network to learn from observations.
+
+/// A multiplicative effect as a function of a raw parameter value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Curve {
+    /// Saturating log-shaped benefit: factor rises from 1 at or below
+    /// `lo` to `1 + gain` at or above `hi`, linear in `log2(v)` between.
+    /// Models "bigger buffer/backlog helps until it stops mattering".
+    SaturatingLog {
+        /// Value at which benefit starts.
+        lo: f64,
+        /// Value at which benefit saturates.
+        hi: f64,
+        /// Relative gain at saturation.
+        gain: f64,
+    },
+    /// Bell curve in log-space around a best value. Models parameters with
+    /// an interior optimum (granularities, buffer sizes with diminishing
+    /// cache behaviour).
+    OptimumLog {
+        /// Optimal raw value.
+        best: f64,
+        /// Width in decades (1.0 = one order of magnitude std-dev).
+        width: f64,
+        /// Relative gain at the optimum versus the far tails.
+        gain: f64,
+    },
+    /// Linear interpolation of the factor between `lo` → `lo_factor` and
+    /// `hi` → `hi_factor`, clamped outside.
+    Linear {
+        /// Low input.
+        lo: f64,
+        /// High input.
+        hi: f64,
+        /// Factor at/below the low input.
+        lo_factor: f64,
+        /// Factor at/above the high input.
+        hi_factor: f64,
+    },
+    /// Step: `below` factor strictly under the threshold, `above` at or
+    /// over it.
+    Step {
+        /// Threshold on the raw value.
+        at: f64,
+        /// Factor below the threshold.
+        below: f64,
+        /// Factor at or above the threshold.
+        above: f64,
+    },
+    /// Boolean factor: applied when the value is non-zero.
+    BoolFactor {
+        /// Factor when the parameter is on (off = 1).
+        when_on: f64,
+    },
+    /// Per-choice factors for enum parameters (indexed by choice).
+    PerChoice {
+        /// One factor per enum choice.
+        factors: Vec<f64>,
+    },
+}
+
+impl Curve {
+    /// The raw (un-normalized) factor at value `v`.
+    pub fn raw_factor(&self, v: f64) -> f64 {
+        match self {
+            Curve::SaturatingLog { lo, hi, gain } => {
+                debug_assert!(*lo > 0.0 && *hi > *lo);
+                if v <= *lo {
+                    1.0
+                } else if v >= *hi {
+                    1.0 + gain
+                } else {
+                    let t = (v.ln() - lo.ln()) / (hi.ln() - lo.ln());
+                    1.0 + gain * t
+                }
+            }
+            Curve::OptimumLog { best, width, gain } => {
+                debug_assert!(*best > 0.0 && *width > 0.0);
+                let x = (v.max(1e-9).log10() - best.log10()) / width;
+                1.0 + gain * (-x * x).exp()
+            }
+            Curve::Linear {
+                lo,
+                hi,
+                lo_factor,
+                hi_factor,
+            } => {
+                if v <= *lo {
+                    *lo_factor
+                } else if v >= *hi {
+                    *hi_factor
+                } else {
+                    let t = (v - lo) / (hi - lo);
+                    lo_factor + t * (hi_factor - lo_factor)
+                }
+            }
+            Curve::Step { at, below, above } => {
+                if v < *at {
+                    *below
+                } else {
+                    *above
+                }
+            }
+            Curve::BoolFactor { when_on } => {
+                if v != 0.0 {
+                    *when_on
+                } else {
+                    1.0
+                }
+            }
+            Curve::PerChoice { factors } => {
+                let i = (v.max(0.0) as usize).min(factors.len().saturating_sub(1));
+                factors.get(i).copied().unwrap_or(1.0)
+            }
+        }
+    }
+}
+
+/// A predicate over one raw parameter value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cond {
+    /// `v >= x`.
+    Ge(f64),
+    /// `v <= x`.
+    Le(f64),
+    /// `v == x` (exact; used for enum choices and booleans).
+    Eq(f64),
+    /// `v != x`.
+    Ne(f64),
+}
+
+impl Cond {
+    /// Evaluates the predicate.
+    pub fn holds(self, v: f64) -> bool {
+        match self {
+            Cond::Ge(x) => v >= x,
+            Cond::Le(x) => v <= x,
+            Cond::Eq(x) => v == x,
+            Cond::Ne(x) => v != x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_log_shape() {
+        let c = Curve::SaturatingLog {
+            lo: 128.0,
+            hi: 4096.0,
+            gain: 0.08,
+        };
+        assert_eq!(c.raw_factor(64.0), 1.0);
+        assert_eq!(c.raw_factor(128.0), 1.0);
+        assert!((c.raw_factor(4096.0) - 1.08).abs() < 1e-12);
+        assert!((c.raw_factor(1_000_000.0) - 1.08).abs() < 1e-12);
+        let mid = c.raw_factor(724.0); // ~ halfway in log space
+        assert!(mid > 1.03 && mid < 1.05, "mid={mid}");
+    }
+
+    #[test]
+    fn optimum_log_peaks_at_best() {
+        let c = Curve::OptimumLog {
+            best: 3_000_000.0,
+            width: 0.7,
+            gain: 0.05,
+        };
+        let peak = c.raw_factor(3_000_000.0);
+        assert!((peak - 1.05).abs() < 1e-9);
+        assert!(c.raw_factor(100.0) < 1.001);
+        assert!(c.raw_factor(1e12) < 1.001);
+        assert!(c.raw_factor(1_000_000.0) > c.raw_factor(10_000.0));
+    }
+
+    #[test]
+    fn linear_clamps() {
+        let c = Curve::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            lo_factor: 1.0,
+            hi_factor: 0.8,
+        };
+        assert_eq!(c.raw_factor(-5.0), 1.0);
+        assert_eq!(c.raw_factor(15.0), 0.8);
+        assert!((c.raw_factor(5.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_and_bool() {
+        let s = Curve::Step {
+            at: 8.0,
+            below: 1.0,
+            above: 0.85,
+        };
+        assert_eq!(s.raw_factor(7.9), 1.0);
+        assert_eq!(s.raw_factor(8.0), 0.85);
+        let b = Curve::BoolFactor { when_on: 0.9 };
+        assert_eq!(b.raw_factor(0.0), 1.0);
+        assert_eq!(b.raw_factor(1.0), 0.9);
+    }
+
+    #[test]
+    fn per_choice_indexes_safely() {
+        let c = Curve::PerChoice {
+            factors: vec![1.0, 1.02, 0.97],
+        };
+        assert_eq!(c.raw_factor(1.0), 1.02);
+        // Out-of-range clamps to the last choice.
+        assert_eq!(c.raw_factor(9.0), 0.97);
+    }
+
+    #[test]
+    fn conds() {
+        assert!(Cond::Ge(2.0).holds(2.0));
+        assert!(!Cond::Ge(2.0).holds(1.9));
+        assert!(Cond::Le(2.0).holds(2.0));
+        assert!(Cond::Eq(1.0).holds(1.0));
+        assert!(Cond::Ne(1.0).holds(0.0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Kernel image / memory footprint model (Fig. 10, Fig. 11, Table 4).
+//!
+//! Footprint is a deterministic function of the enabled compile-time
+//! options, exactly as on a real kernel: every enabled feature contributes
+//! code and static data. Contributions are:
+//!
+//! * curated for the symbols whose cost is folklore (DEBUG_INFO, KASAN,
+//!   LOCKDEP, ...);
+//! * derived deterministically from a hash of the symbol name otherwise,
+//!   so the model is stable across runs without hand-listing 20 000
+//!   symbols;
+//! * discounted for `m` (module) values: modules stay on disk until
+//!   loaded, so they cost less resident memory than built-ins.
+//!
+//! The base is *calibrated*: [`FootprintModel::calibrated`] fixes the base
+//! so a given default configuration lands exactly on a target footprint
+//! (210 MB for the paper's RISC-V default, Fig. 10).
+
+use wf_configspace::{ConfigSpace, Configuration, ParamKind, Stage, Tristate, Value};
+
+/// Resident-memory weight of a module relative to a built-in.
+const MODULE_WEIGHT: f64 = 0.4;
+
+/// Deterministic per-feature footprint model.
+#[derive(Clone, Debug)]
+pub struct FootprintModel {
+    base_mb: f64,
+    /// Curated (name, built-in cost in MB) overrides.
+    curated: Vec<(&'static str, f64)>,
+    /// Hash-derived costs fall in `[lo_mb, hi_mb]`.
+    lo_mb: f64,
+    hi_mb: f64,
+}
+
+impl FootprintModel {
+    /// The curated cost table for Linux-like kernels.
+    pub fn linux() -> Self {
+        Self {
+            base_mb: 120.0,
+            curated: vec![
+                // Debug machinery (off by default): dominates the cost of
+                // *enabling* options, i.e. the upper tail of random configs.
+                ("DEBUG_INFO", 38.0),
+                ("KASAN", 16.0),
+                ("UBSAN", 6.0),
+                ("LOCKDEP", 5.0),
+                ("PROVE_LOCKING", 4.0),
+                ("KCOV", 5.0),
+                ("DEBUG_PAGEALLOC", 3.0),
+                ("IKCONFIG", 1.5),
+                ("KPROBES", 1.5),
+                ("SLUB_DEBUG", 2.0),
+                ("BTRFS_FS", 3.5),
+                ("XFS_FS", 2.5),
+                // On-by-default subsystems: the mass a debloating search
+                // can actually reclaim (Fig. 10's ~8.5 %), spread over many
+                // medium options so reclaiming it takes many decisions.
+                ("KALLSYMS", 3.5),
+                ("FTRACE", 4.5),
+                ("MODULES", 4.0),
+                ("DRM", 3.5),
+                ("SND", 2.5),
+                ("USB", 2.0),
+                ("NETFILTER", 2.0),
+                ("IPV6", 1.5),
+                ("EXT4_FS", 1.5),
+                ("TRANSPARENT_HUGEPAGE", 1.0),
+                ("BPF_SYSCALL", 2.0),
+                ("IO_URING", 1.0),
+            ],
+            lo_mb: 0.002,
+            hi_mb: 0.02,
+        }
+    }
+
+    /// Returns a copy whose base is adjusted so that `config` (typically
+    /// the default configuration) has exactly `target_mb` footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration would drive the base below 0.5 MB — that
+    /// would mean the optional contributions already exceed the target.
+    pub fn calibrated(mut self, space: &ConfigSpace, config: &Configuration, target_mb: f64) -> Self {
+        let current = self.footprint_mb(space, config);
+        let new_base = self.base_mb + (target_mb - current);
+        assert!(
+            new_base > 0.5,
+            "calibration target {target_mb} MB unreachable (needs base {new_base})"
+        );
+        self.base_mb = new_base;
+        self
+    }
+
+    /// The footprint of a configuration in MB.
+    pub fn footprint_mb(&self, space: &ConfigSpace, config: &Configuration) -> f64 {
+        let mut mb = self.base_mb;
+        for (i, spec) in space.specs().iter().enumerate() {
+            if spec.stage != Stage::CompileTime {
+                continue;
+            }
+            let weight = match config.get(i) {
+                Value::Bool(true) => 1.0,
+                Value::Tristate(Tristate::Yes) => 1.0,
+                Value::Tristate(Tristate::Module) => MODULE_WEIGHT,
+                Value::Int(v) => {
+                    // Int/hex options mostly size tables; model a gentle
+                    // log contribution above their minimum.
+                    if let ParamKind::Int { min, .. } | ParamKind::Hex { min, .. } = spec.kind {
+                        let span = (v - min).max(0) as f64;
+                        mb += 0.000_4 * (1.0 + span).ln();
+                    }
+                    0.0
+                }
+                _ => 0.0,
+            };
+            if weight > 0.0 {
+                mb += weight * self.cost_of(&spec.name);
+            }
+        }
+        mb
+    }
+
+    /// The built-in cost of one symbol.
+    ///
+    /// Non-curated symbols fall into two deterministic hash buckets: ~85 %
+    /// are tiny (a few KB of code), ~15 % are "medium" features costing
+    /// 0.05–0.35 MB — the long tail that makes footprint optimization a
+    /// many-decision problem rather than a couple of big switches.
+    pub fn cost_of(&self, name: &str) -> f64 {
+        if let Some((_, mb)) = self.curated.iter().find(|(n, _)| *n == name) {
+            return *mb;
+        }
+        // FNV-1a hash → bucket + uniform position inside it.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if h % 100 < 15 {
+            0.05 + u * 0.30
+        } else {
+            self.lo_mb + u * (self.hi_mb - self.lo_mb)
+        }
+    }
+
+    /// The base footprint (everything that cannot be configured away).
+    pub fn base_mb(&self) -> f64 {
+        self.base_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_configspace::ParamSpec;
+
+    fn space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(
+            ParamSpec::new("DEBUG_INFO", ParamKind::Bool, Stage::CompileTime)
+                .with_default(Value::Bool(false)),
+        );
+        s.add(
+            ParamSpec::new("EXT4_FS", ParamKind::Bool, Stage::CompileTime)
+                .with_default(Value::Bool(true)),
+        );
+        s.add(
+            ParamSpec::new("CRYPTO_AES", ParamKind::Tristate, Stage::CompileTime)
+                .with_default(Value::Tristate(Tristate::Module)),
+        );
+        s.add(
+            ParamSpec::new("LOG_BUF_SHIFT", ParamKind::int(12, 25), Stage::CompileTime)
+                .with_default(Value::Int(17)),
+        );
+        s.add(
+            ParamSpec::new("vm.swappiness", ParamKind::int(0, 100), Stage::Runtime)
+                .with_default(Value::Int(60)),
+        );
+        s
+    }
+
+    #[test]
+    fn debug_info_costs_dozens_of_mb() {
+        let m = FootprintModel::linux();
+        let s = space();
+        let off = s.default_config();
+        let mut on = off.clone();
+        on.set_by_name(&s, "DEBUG_INFO", Value::Bool(true));
+        let delta = m.footprint_mb(&s, &on) - m.footprint_mb(&s, &off);
+        assert!((delta - 38.0).abs() < 1e-9, "delta={delta}");
+    }
+
+    #[test]
+    fn modules_cost_less_than_builtins() {
+        let m = FootprintModel::linux();
+        let s = space();
+        let base = s.default_config();
+        let mut builtin = base.clone();
+        builtin.set_by_name(&s, "CRYPTO_AES", Value::Tristate(Tristate::Yes));
+        let mut absent = base.clone();
+        absent.set_by_name(&s, "CRYPTO_AES", Value::Tristate(Tristate::No));
+        let fp_m = m.footprint_mb(&s, &base);
+        let fp_y = m.footprint_mb(&s, &builtin);
+        let fp_n = m.footprint_mb(&s, &absent);
+        assert!(fp_n < fp_m && fp_m < fp_y, "{fp_n} {fp_m} {fp_y}");
+    }
+
+    #[test]
+    fn runtime_params_do_not_affect_footprint() {
+        let m = FootprintModel::linux();
+        let s = space();
+        let a = s.default_config();
+        let mut b = a.clone();
+        b.set_by_name(&s, "vm.swappiness", Value::Int(0));
+        assert_eq!(m.footprint_mb(&s, &a), m.footprint_mb(&s, &b));
+    }
+
+    #[test]
+    fn hash_costs_are_deterministic_and_bucketed() {
+        let m = FootprintModel::linux();
+        let mut tiny = 0;
+        let mut medium = 0;
+        for i in 0..1000 {
+            let name = format!("DRV_FEATURE{i}");
+            let c1 = m.cost_of(&name);
+            assert_eq!(c1, m.cost_of(&name), "deterministic");
+            if (0.002..=0.02).contains(&c1) {
+                tiny += 1;
+            } else if (0.05..=0.35).contains(&c1) {
+                medium += 1;
+            } else {
+                panic!("{name}: cost {c1} in no bucket");
+            }
+        }
+        assert_eq!(tiny + medium, 1000);
+        assert!((100..250).contains(&medium), "medium share {medium}/1000");
+    }
+
+    #[test]
+    fn calibration_hits_target_exactly() {
+        let s = space();
+        let d = s.default_config();
+        let m = FootprintModel::linux().calibrated(&s, &d, 210.0);
+        assert!((m.footprint_mb(&s, &d) - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn impossible_calibration_panics() {
+        let s = space();
+        let d = s.default_config();
+        let _ = FootprintModel::linux().calibrated(&s, &d, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! `wf-ossim`: the simulated OS substrate.
+//!
+//! The paper evaluates Wayfinder against real Linux/Unikraft builds booted
+//! under QEMU/KVM on a Xeon testbed. This crate substitutes that testbed
+//! with a *ground-truth model* that exposes the same observable behaviour
+//! to the search algorithms (see DESIGN.md §1 for the substitution
+//! argument):
+//!
+//! * [`machine`] — hardware descriptions (the paper's Xeons, QEMU RISC-V);
+//! * [`curve`] / [`perfmodel`] — per-parameter effect curves, interaction
+//!   bonuses, measurement noise, and deterministic crash rules;
+//! * [`sysctl`] — the virtual `/proc/sys` tree the §3.4 prober works on;
+//! * [`footprint`] — deterministic image/memory footprint (Fig. 10/11);
+//! * [`timing`] — the virtual-time cost of builds, boots, benchmarks,
+//!   and crashes (Fig. 8);
+//! * [`linux`] — the Linux targets: named+inert runtime sysctls, crash
+//!   rules, per-version populations matching Table 1;
+//! * [`apps`] — Nginx, Redis, SQLite, NPB with paper-calibrated
+//!   sensitivities (Table 2, Fig. 5, Fig. 6);
+//! * [`unikraft`] — the 33-parameter Unikraft+Nginx target (Fig. 9);
+//! * [`sim`] — [`SimOs`]: build → boot → benchmark with virtual time.
+//!
+//! Everything is deterministic given a seed; the calibration suite in
+//! `tests/calibration.rs` pins the model to the paper's numbers so drift
+//! fails CI instead of silently bending experiments.
+
+pub mod apps;
+pub mod curve;
+pub mod footprint;
+pub mod linux;
+pub mod machine;
+pub mod perfmodel;
+pub mod sim;
+pub mod sysctl;
+pub mod timing;
+pub mod unikraft;
+
+pub use apps::{App, AppId, MetricDirection};
+pub use curve::{Cond, Curve};
+pub use footprint::FootprintModel;
+pub use machine::Machine;
+pub use perfmodel::{first_crash, CrashRule, Interaction, ParamEffect, PerfModel, Phase};
+pub use sim::{BenchResult, CrashReport, Evaluation, KernelImage, SimOs};
+pub use sysctl::{SysctlTree, WriteError};
+pub use timing::TimingModel;

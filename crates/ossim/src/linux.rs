@@ -1,0 +1,456 @@
+//! The simulated Linux targets: runtime parameter population, default
+//! views, and crash rules.
+//!
+//! Table 1 counts 13 328 runtime options for Linux 6.0. Of these, a curated
+//! core of ~45 real, named sysctls carries the ground-truth performance
+//! and crash behaviour (see [`crate::apps`]); the rest are *inert* —
+//! exactly like a real kernel, where the overwhelming majority of sysctls
+//! do not affect any given workload. The search algorithms cannot tell the
+//! two apart up front; learning to ignore the inert mass is the hard part
+//! of the problem (§2.1).
+
+use crate::curve::Cond;
+use crate::perfmodel::{CrashRule, Phase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wf_configspace::{ConfigSpace, NamedConfig, ParamKind, ParamSpec, Stage, Value};
+use wf_kconfig::gen::LinuxVersion;
+use wf_kconfig::{KconfigModel, SymbolType};
+
+/// The curated, real-named runtime sysctls with ground-truth effects.
+pub fn named_runtime_params() -> Vec<ParamSpec> {
+    let mut out = Vec::new();
+    let mut log = |name: &str, lo: i64, hi: i64, def: i64, doc: &str| {
+        out.push(
+            ParamSpec::new(name, ParamKind::log_int(lo, hi), Stage::Runtime)
+                .with_default(Value::Int(def))
+                .with_doc(doc),
+        );
+    };
+    log("net.core.somaxconn", 16, 65_535, 128, "Max queued connections per listen socket.");
+    log("net.core.netdev_max_backlog", 8, 65_536, 1_000, "Input queue length per CPU.");
+    log("net.core.rmem_default", 2_048, 33_554_432, 212_992, "Default socket receive buffer.");
+    log("net.core.rmem_max", 2_048, 33_554_432, 212_992, "Max socket receive buffer.");
+    log("net.core.wmem_default", 2_048, 33_554_432, 212_992, "Default socket send buffer.");
+    log("net.core.wmem_max", 2_048, 33_554_432, 212_992, "Max socket send buffer.");
+    log("net.ipv4.tcp_max_syn_backlog", 64, 65_536, 512, "SYN backlog length.");
+    log("net.ipv4.tcp_notsent_lowat", 4_096, 1_073_741_824, 1_073_741_824, "Unsent low-watermark.");
+    log("vm.min_free_kbytes", 1_024, 16_777_216, 67_584, "Reserved free memory.");
+    log("vm.nr_hugepages", 0, 4_096, 0, "Persistent huge page pool size.");
+    log("kernel.sched_min_granularity_ns", 100_000, 1_000_000_000, 3_000_000, "Minimal preemption granularity.");
+    log("kernel.printk_delay", 0, 10_000, 0, "Delay per printk message (ms).");
+    log("kernel.sched_wakeup_granularity_ns", 100_000, 1_000_000_000, 4_000_000, "Wakeup preemption granularity.");
+    log("kernel.sched_migration_cost_ns", 10_000, 100_000_000, 500_000, "Task migration cost estimate.");
+    log("kernel.threads-max", 512, 4_194_304, 63_224, "System-wide thread limit.");
+    log("kernel.pid_max", 1_024, 4_194_304, 32_768, "Largest PID value.");
+    log("fs.file-max", 1_024, 16_777_216, 1_048_576, "System-wide open-file limit.");
+    log("fs.nr_open", 1_024, 16_777_216, 1_048_576, "Per-process open-file limit.");
+    log("fs.aio-max-nr", 1_024, 16_777_216, 65_536, "Max concurrent AIO requests.");
+    log("fs.inotify.max_user_watches", 1_024, 16_777_216, 65_536, "Max inotify watches per user.");
+
+    let mut int = |name: &str, lo: i64, hi: i64, def: i64, doc: &str| {
+        out.push(
+            ParamSpec::new(name, ParamKind::int(lo, hi), Stage::Runtime)
+                .with_default(Value::Int(def))
+                .with_doc(doc),
+        );
+    };
+    int("net.core.busy_poll", 0, 200, 0, "Busy-poll budget for poll/select (µs).");
+    int("net.core.busy_read", 0, 200, 0, "Busy-poll budget for reads (µs).");
+    int("net.ipv4.tcp_keepalive_time", 60, 14_400, 7_200, "Keepalive idle time (s).");
+    int("net.ipv4.tcp_fin_timeout", 5, 120, 60, "FIN-WAIT-2 timeout (s).");
+    int("net.ipv4.tcp_fastopen", 0, 3, 1, "TCP Fast Open mode bits.");
+    int("vm.swappiness", 0, 100, 60, "Anon vs file reclaim balance.");
+    int("vm.dirty_ratio", 0, 100, 20, "Dirty page limit (% of RAM).");
+    int("vm.dirty_background_ratio", 0, 100, 10, "Background writeback threshold.");
+    int("vm.dirty_expire_centisecs", 100, 72_000, 3_000, "Dirty page expiry.");
+    int("vm.dirty_writeback_centisecs", 0, 72_000, 500, "Writeback wakeup interval.");
+    int("vm.stat_interval", 1, 120, 1, "VM statistics update interval (s).");
+    int("vm.overcommit_memory", 0, 2, 0, "Overcommit policy.");
+    int("vm.overcommit_ratio", 0, 100, 50, "Overcommit ratio (policy 2).");
+    int("vm.compaction_proactiveness", 0, 100, 20, "Proactive compaction aggressiveness.");
+    int("vm.page-cluster", 0, 10, 3, "Swap readahead (log2 pages).");
+    int("vm.vfs_cache_pressure", 1, 400, 100, "Dentry/inode reclaim pressure.");
+    int("kernel.printk", 0, 10, 7, "Console log level.");
+    int("kernel.panic", 0, 300, 0, "Reboot delay on panic.");
+    int("kernel.randomize_va_space", 0, 2, 2, "ASLR mode.");
+    int("kernel.perf_event_paranoid", -1, 3, 2, "perf_event access control.");
+
+    let mut flag = |name: &str, def: bool, doc: &str| {
+        out.push(
+            ParamSpec::new(name, ParamKind::Bool, Stage::Runtime)
+                .with_default(Value::Bool(def))
+                .with_doc(doc),
+        );
+    };
+    flag("net.ipv4.tcp_tw_reuse", false, "Reuse TIME-WAIT sockets.");
+    flag("net.ipv4.tcp_slow_start_after_idle", true, "Slow-start idle connections.");
+    flag("net.ipv4.tcp_timestamps", true, "TCP timestamps.");
+    flag("net.ipv4.tcp_sack", true, "Selective acknowledgements.");
+    flag("net.ipv4.tcp_moderate_rcvbuf", true, "Receive buffer auto-tuning.");
+    flag("vm.block_dump", false, "Block I/O debugging to the kernel log.");
+    flag("kernel.sched_autogroup_enabled", true, "Desktop autogrouping.");
+    flag("kernel.numa_balancing", true, "Automatic NUMA balancing.");
+    flag("kernel.timer_migration", true, "Migrate timers to busy CPUs.");
+    flag("kernel.watchdog", true, "Soft/hard lockup detector.");
+    flag("kernel.nmi_watchdog", true, "NMI hard lockup detector.");
+    flag("kernel.panic_on_warn", false, "Panic on kernel WARN.");
+
+    out.push(
+        ParamSpec::new(
+            "net.core.default_qdisc",
+            ParamKind::choices(vec!["pfifo_fast", "fq", "fq_codel"]),
+            Stage::Runtime,
+        )
+        .with_default(Value::Choice(0))
+        .with_doc("Default queueing discipline."),
+    );
+    out.push(
+        ParamSpec::new(
+            "net.ipv4.tcp_congestion_control",
+            ParamKind::choices(vec!["cubic", "reno", "bbr"]),
+            Stage::Runtime,
+        )
+        .with_default(Value::Choice(0))
+        .with_doc("TCP congestion control algorithm."),
+    );
+    out
+}
+
+/// Inert generated runtime sysctls: present, writable, ignored by every
+/// ground-truth model.
+pub fn inert_runtime_params(version: LinuxVersion, count: usize) -> Vec<ParamSpec> {
+    let mut rng = StdRng::seed_from_u64(version.seed() ^ 0x5c71);
+    let groups = ["net.ipv4", "net.core", "vm", "kernel", "fs", "dev", "debug"];
+    let stems = [
+        "cache_factor", "retry_count", "queue_len", "interval_ms", "threshold", "batch",
+        "ratio", "limit", "budget", "timeout", "scan_size", "watermark",
+    ];
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let group = groups[rng.random_range(0..groups.len())];
+        let stem = stems[rng.random_range(0..stems.len())];
+        let name = format!("{group}.gen_{stem}_{i}");
+        let spec = match rng.random_range(0..3u8) {
+            0 => ParamSpec::new(name, ParamKind::Bool, Stage::Runtime)
+                .with_default(Value::Bool(rng.random())),
+            1 => {
+                let def = 1i64 << rng.random_range(4..16);
+                ParamSpec::new(name, ParamKind::log_int(0, 1 << 24), Stage::Runtime)
+                    .with_default(Value::Int(def))
+            }
+            _ => {
+                let hi = 10i64.pow(rng.random_range(1..5));
+                let def = rng.random_range(0..=hi);
+                ParamSpec::new(name, ParamKind::int(0, hi), Stage::Runtime)
+                    .with_default(Value::Int(def))
+            }
+        };
+        out.push(spec.with_doc("Synthetic inert sysctl."));
+    }
+    out
+}
+
+/// The runtime search space: every named sysctl plus inert ones up to
+/// `total` parameters. This models the *probed* subset of §3.4 — the
+/// writable files the heuristic locates and types.
+///
+/// # Panics
+///
+/// Panics if `total` is smaller than the named population.
+pub fn runtime_space(version: LinuxVersion, total: usize) -> ConfigSpace {
+    let named = named_runtime_params();
+    assert!(
+        total >= named.len(),
+        "runtime space needs at least the {} named parameters",
+        named.len()
+    );
+    let mut space = ConfigSpace::new();
+    let extra = total - named.len();
+    for p in named {
+        space.add(p);
+    }
+    for p in inert_runtime_params(version, extra) {
+        space.add(p);
+    }
+    space
+}
+
+/// The *full* runtime population matching Table 1's census (13 328 for
+/// v6.0). Used by the census experiment; search experiments use the probed
+/// subset.
+pub fn full_runtime_space(version: LinuxVersion) -> ConfigSpace {
+    runtime_space(version, version.runtime_option_count())
+}
+
+/// The default view of every runtime parameter (named + nothing else;
+/// inert parameters default per-space and are irrelevant to the models).
+pub fn runtime_defaults() -> NamedConfig {
+    NamedConfig::from_pairs(
+        named_runtime_params()
+            .into_iter()
+            .map(|p| (p.name, p.default)),
+    )
+}
+
+/// The OS-level runtime crash rules.
+///
+/// These are deliberately *application-independent*: a bad
+/// `vm.overcommit_*` combination OOMs whatever is running. That is what
+/// makes DeepTune's crash knowledge transferable between applications
+/// (§3.3, crash rates < 10 % with transfer learning).
+pub fn runtime_crash_rules() -> Vec<CrashRule> {
+    let rule = |name: &str, phase: Phase, conds: Vec<(&str, Cond)>| CrashRule {
+        name: name.into(),
+        phase,
+        conds: conds.into_iter().map(|(p, c)| (p.to_string(), c)).collect(),
+    };
+    vec![
+        rule(
+            "oom:overcommit-never",
+            Phase::Run,
+            vec![
+                ("vm.overcommit_memory", Cond::Eq(2.0)),
+                ("vm.overcommit_ratio", Cond::Le(20.0)),
+            ],
+        ),
+        rule(
+            "hang:min-free-huge",
+            Phase::Run,
+            vec![("vm.min_free_kbytes", Cond::Ge(8_388_608.0))],
+        ),
+        rule(
+            "oom:hugepage-eat-ram",
+            Phase::Run,
+            vec![("vm.nr_hugepages", Cond::Ge(2_048.0))],
+        ),
+        rule(
+            "stall:dirty-zero",
+            Phase::Run,
+            vec![("vm.dirty_ratio", Cond::Le(1.0))],
+        ),
+        rule(
+            "panic:warn-flood",
+            Phase::Run,
+            vec![
+                ("kernel.panic_on_warn", Cond::Eq(1.0)),
+                ("kernel.printk", Cond::Ge(9.0)),
+            ],
+        ),
+        rule(
+            "oom:rmem-overflow",
+            Phase::Run,
+            vec![("net.core.rmem_default", Cond::Ge(16_777_216.0))],
+        ),
+        rule(
+            "pid:bitmap-overflow",
+            Phase::Run,
+            vec![("kernel.pid_max", Cond::Ge(2_097_152.0))],
+        ),
+        rule(
+            "hang:sched-granularity",
+            Phase::Run,
+            vec![("kernel.sched_min_granularity_ns", Cond::Ge(500_000_000.0))],
+        ),
+    ]
+}
+
+/// Compile-time crash rules for a synthetic kernel model: curated rules on
+/// the real-named core plus deterministic pair rules over generated
+/// symbols (a feature that breaks when another is missing — the classic
+/// "valid per Kconfig, fails to build/boot" population of §2.2).
+pub fn compile_crash_rules(version: LinuxVersion, model: &KconfigModel) -> Vec<CrashRule> {
+    let rule = |name: &str, phase: Phase, conds: Vec<(&str, Cond)>| CrashRule {
+        name: name.into(),
+        phase,
+        conds: conds.into_iter().map(|(p, c)| (p.to_string(), c)).collect(),
+    };
+    // On/off conditions over compile values: bool encodes 0/1, tristate
+    // levels are n=0, m=1, y=2, so `>= 1` means "present in any form".
+    let on = Cond::Ge(1.0);
+    let off = Cond::Le(0.0);
+    let mut rules = vec![
+        rule("build:kasan+debuginfo", Phase::Build, vec![("KASAN", on), ("DEBUG_INFO", on)]),
+        rule("boot:kasan+lockdep", Phase::Boot, vec![("KASAN", on), ("LOCKDEP", on)]),
+        rule("hang:pagealloc+slubdebug", Phase::Run, vec![("DEBUG_PAGEALLOC", on), ("SLUB_DEBUG", on)]),
+        rule("boot:no-sysfs", Phase::Boot, vec![("SYSFS", off)]),
+        rule("boot:no-virtio-blk", Phase::Boot, vec![("VIRTIO_BLK", off)]),
+        rule("run:no-procfs", Phase::Run, vec![("PROC_FS", off)]),
+        rule("run:no-virtio-net", Phase::Run, vec![("VIRTIO_NET", off)]),
+        rule("run:no-epoll", Phase::Run, vec![("EPOLL", off)]),
+        rule("run:no-futex", Phase::Run, vec![("FUTEX", off)]),
+        rule("run:no-shmem", Phase::Run, vec![("SHMEM", off)]),
+    ];
+    // Deterministic generated pair rules: ENABLED(a) && DISABLED(b) fails.
+    // Pairs that would fire on the default configuration are skipped — the
+    // default kernel must always build, boot, and run (§2.2 compares
+    // against it).
+    let defaults = {
+        let solver = wf_kconfig::Solver::new(model);
+        let asg = solver.defconfig();
+        let mut view = NamedConfig::empty();
+        for (name, value) in asg.iter() {
+            let v = match value {
+                wf_kconfig::SymValue::Tri(t) => Value::Tristate(*t),
+                wf_kconfig::SymValue::Int(i) => Value::Int(*i),
+                wf_kconfig::SymValue::Str(_) => continue,
+            };
+            view.set(name.to_string(), v);
+        }
+        view
+    };
+    let mut rng = StdRng::seed_from_u64(version.seed() ^ 0xcafe);
+    let candidates: Vec<&str> = model
+        .symbols()
+        .iter()
+        .filter(|s| {
+            matches!(s.stype, SymbolType::Bool | SymbolType::Tristate)
+                && s.prompt.is_some()
+                && s.name.contains('_')
+                && !s.name.starts_with("DBG")
+        })
+        .map(|s| s.name.as_str())
+        .collect();
+    let phases = [Phase::Build, Phase::Boot, Phase::Run];
+    let mut emitted = 0;
+    let mut attempts = 0;
+    while emitted < 28 && candidates.len() >= 2 && attempts < 10_000 {
+        attempts += 1;
+        let a = candidates[rng.random_range(0..candidates.len())];
+        let b = candidates[rng.random_range(0..candidates.len())];
+        if a == b {
+            continue;
+        }
+        let candidate = rule(
+            &format!("gen:{}-needs-{}", a.to_lowercase(), b.to_lowercase()),
+            phases[emitted % phases.len()],
+            vec![(a, on), (b, off)],
+        );
+        if candidate.triggers(&defaults, &defaults) {
+            continue;
+        }
+        rules.push(candidate);
+        emitted += 1;
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfmodel::first_crash;
+    use wf_kconfig::gen::synthesize;
+
+    #[test]
+    fn named_params_are_unique_runtime_specs() {
+        let params = named_runtime_params();
+        assert!(params.len() >= 45, "named population too small: {}", params.len());
+        let mut names = std::collections::HashSet::new();
+        for p in &params {
+            assert_eq!(p.stage, Stage::Runtime);
+            assert!(p.kind.admits(&p.default), "{}", p.name);
+            assert!(names.insert(p.name.clone()), "duplicate {}", p.name);
+        }
+    }
+
+    #[test]
+    fn runtime_space_sizes() {
+        let s = runtime_space(LinuxVersion::V4_19, 200);
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.census().runtime, 200);
+        let full = full_runtime_space(LinuxVersion::V6_0);
+        assert_eq!(full.len(), 13_328);
+    }
+
+    #[test]
+    fn default_config_never_crashes() {
+        let rules = runtime_crash_rules();
+        let d = runtime_defaults();
+        assert!(first_crash(&rules, &d, &d).is_none());
+    }
+
+    #[test]
+    fn crash_rules_fire_on_their_regions() {
+        let rules = runtime_crash_rules();
+        let d = runtime_defaults();
+        let mut v = NamedConfig::empty();
+        v.set("vm.overcommit_memory", Value::Int(2));
+        v.set("vm.overcommit_ratio", Value::Int(5));
+        let hit = first_crash(&rules, &v, &d).expect("overcommit rule fires");
+        assert_eq!(hit.name, "oom:overcommit-never");
+    }
+
+    #[test]
+    fn random_crash_rate_near_one_third() {
+        // §2.2: about a third of random configurations crash.
+        let space = runtime_space(LinuxVersion::V4_19, 200);
+        let rules = runtime_crash_rules();
+        let d = runtime_defaults();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 3_000;
+        let crashes = (0..n)
+            .filter(|_| {
+                let c = space.sample(&mut rng);
+                first_crash(&rules, &c.named(&space), &d).is_some()
+            })
+            .count();
+        let rate = crashes as f64 / n as f64;
+        assert!(
+            (0.28..=0.40).contains(&rate),
+            "random crash rate {rate} outside the paper's ~1/3"
+        );
+    }
+
+    #[test]
+    fn compile_rules_do_not_fire_on_defconfig() {
+        let model = synthesize(LinuxVersion::V2_6_13);
+        let rules = compile_crash_rules(LinuxVersion::V2_6_13, &model);
+        let space = wf_kconfig::space::compile_space(&model);
+        let d = space.default_config().named(&space);
+        assert!(
+            first_crash(&rules, &d, &d).is_none(),
+            "default kernel must build/boot/run"
+        );
+    }
+
+    #[test]
+    fn inert_params_are_deterministic() {
+        let a = inert_runtime_params(LinuxVersion::V4_19, 50);
+        let b = inert_runtime_params(LinuxVersion::V4_19, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn apps_only_touch_named_params() {
+        let mut named: std::collections::HashSet<String> = named_runtime_params()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        for p in wf_kconfig::cmdline::boot_options(LinuxVersion::V6_0) {
+            named.insert(p.name);
+        }
+        for id in crate::apps::AppId::ALL {
+            let app = crate::apps::App::by_id(id);
+            for p in app.perf.touched() {
+                assert!(named.contains(p), "{id}: unknown effect param {p}");
+            }
+            for p in app.mem.touched() {
+                assert!(named.contains(p), "{id}: unknown memory param {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_crash_rules_only_touch_named_params() {
+        let named: std::collections::HashSet<String> = named_runtime_params()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        for r in runtime_crash_rules() {
+            for (p, _) in &r.conds {
+                assert!(named.contains(p), "{}: unknown rule param {p}", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Hardware platform descriptions.
+//!
+//! The paper pins its experiments to specific machines (§4: a dual-socket
+//! Xeon E5-2697 v2; appendix: an E5-2690 v3). Wayfinder specializes *for a
+//! given hardware setup*, so the machine is an explicit input of every
+//! evaluation rather than ambient state.
+
+/// A benchmark host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Machine {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Physical cores available to the VM.
+    pub cores: u32,
+    /// RAM in MiB.
+    pub ram_mb: u64,
+    /// Base clock in GHz (scales CPU-bound workloads).
+    pub clock_ghz: f64,
+    /// Number of NUMA nodes exposed; the paper restricts runs to one.
+    pub numa_nodes: u32,
+}
+
+impl Machine {
+    /// The paper's §4 experiment host: 2× Intel Xeon E5-2697 v2
+    /// (2×24 threads @ 2.70 GHz, 128 GB RAM), restricted to one NUMA node.
+    pub fn xeon_e5_2697_v2() -> Self {
+        Machine {
+            name: "Intel Xeon E5-2697 v2".into(),
+            cores: 24,
+            ram_mb: 128 * 1024,
+            clock_ghz: 2.7,
+            numa_nodes: 1,
+        }
+    }
+
+    /// The artifact-appendix host (E5-2690 v3, 315 GB RAM).
+    pub fn xeon_e5_2690_v3() -> Self {
+        Machine {
+            name: "Intel Xeon E5-2690 v3".into(),
+            cores: 12,
+            ram_mb: 315 * 1024,
+            clock_ghz: 2.6,
+            numa_nodes: 1,
+        }
+    }
+
+    /// A QEMU-emulated RISC-V board for the Fig. 10 footprint experiments.
+    /// Emulation is slow but, as §4.4 notes, does not affect memory
+    /// measurements.
+    pub fn riscv_qemu() -> Self {
+        Machine {
+            name: "QEMU RISC-V virt".into(),
+            cores: 4,
+            ram_mb: 2 * 1024,
+            clock_ghz: 0.5,
+            numa_nodes: 1,
+        }
+    }
+
+    /// Cores granted to an application that wants `requested` cores
+    /// (Redis/SQLite pin to 1; Nginx/NPB to 16 in §4).
+    pub fn grant_cores(&self, requested: u32) -> u32 {
+        requested.min(self.cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let m = Machine::xeon_e5_2697_v2();
+        assert_eq!(m.cores, 24);
+        assert_eq!(m.ram_mb, 128 * 1024);
+        assert_eq!(m.numa_nodes, 1);
+    }
+
+    #[test]
+    fn grant_cores_caps_at_available() {
+        let m = Machine::riscv_qemu();
+        assert_eq!(m.grant_cores(16), 4);
+        assert_eq!(m.grant_cores(1), 1);
+    }
+}

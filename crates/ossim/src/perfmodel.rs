@@ -1,0 +1,441 @@
+//! Ground-truth performance and crash models.
+//!
+//! The paper's testbed measures a real kernel; this reproduction measures a
+//! *model* with the same observable statistics (see DESIGN.md §1). A
+//! [`PerfModel`] combines:
+//!
+//! * per-parameter multiplicative [`Curve`]s — normalized so the default
+//!   configuration has factor exactly 1.0;
+//! * conjunction [`Interaction`] bonuses — how unikernels reward finding
+//!   *combinations* (Fig. 9), and why purely coordinate-wise search
+//!   underperforms;
+//! * multiplicative log-normal measurement noise.
+//!
+//! [`CrashRule`]s are deterministic conjunctions over parameter values that
+//! decide whether a configuration fails, and in which [`Phase`]. Determinism
+//! matters: §3.2's DeepTune learns to *predict* crashes from configuration
+//! features, which is only possible if crashing is a function of the
+//! configuration (as it overwhelmingly is on real kernels: a bad
+//! `vm.overcommit_*` combination OOMs every run).
+
+use crate::curve::{Cond, Curve};
+use rand::Rng;
+use wf_configspace::NamedConfig;
+use wf_nn::rng::lognormal;
+
+/// The lifecycle phase in which a configuration can fail (§2.2 counts
+/// build, boot, and runtime failures together as "crashes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Kernel build fails.
+    Build,
+    /// Kernel builds but does not boot (or hangs at boot).
+    Boot,
+    /// System boots but the application crashes or hangs.
+    Run,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Phase::Build => "build",
+            Phase::Boot => "boot",
+            Phase::Run => "run",
+        })
+    }
+}
+
+/// One parameter's contribution to the performance model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamEffect {
+    /// Parameter name (resolved against the configuration view).
+    pub param: String,
+    /// The effect curve over the parameter's raw value.
+    pub curve: Curve,
+}
+
+/// A conjunction bonus: when all conditions hold, multiply by `factor`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interaction {
+    /// Diagnostic name.
+    pub name: String,
+    /// All conditions must hold (conjunction) for the bonus to apply.
+    pub conds: Vec<(String, Cond)>,
+    /// The multiplicative bonus (may be < 1 for a penalty).
+    pub factor: f64,
+}
+
+/// A deterministic crash rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashRule {
+    /// Diagnostic name (surfaced in crash reports, e.g.
+    /// `oom:overcommit-never`).
+    pub name: String,
+    /// Failure phase.
+    pub phase: Phase,
+    /// All conditions must hold for the rule to fire.
+    pub conds: Vec<(String, Cond)>,
+}
+
+impl CrashRule {
+    /// Returns `true` if the rule fires under `view` (falling back to
+    /// `defaults` for unassigned parameters).
+    pub fn triggers(&self, view: &NamedConfig, defaults: &NamedConfig) -> bool {
+        self.conds
+            .iter()
+            .all(|(p, c)| match value_of(view, defaults, p) {
+                Some(v) => c.holds(v),
+                // A parameter absent from both views cannot satisfy a
+                // condition; the rule is inert for this configuration.
+                None => false,
+            })
+    }
+}
+
+/// Finds the first crash rule that fires, earliest phase first.
+pub fn first_crash<'r>(
+    rules: &'r [CrashRule],
+    view: &NamedConfig,
+    defaults: &NamedConfig,
+) -> Option<&'r CrashRule> {
+    let mut hit: Option<&CrashRule> = None;
+    for rule in rules {
+        if rule.triggers(view, defaults) {
+            match hit {
+                Some(prev) if prev.phase <= rule.phase => {}
+                _ => hit = Some(rule),
+            }
+        }
+    }
+    hit
+}
+
+/// A ground-truth performance model for one application on one OS.
+#[derive(Clone, Debug, Default)]
+pub struct PerfModel {
+    effects: Vec<ParamEffect>,
+    interactions: Vec<Interaction>,
+    noise_sigma: f64,
+}
+
+impl PerfModel {
+    /// Creates an empty model (factor 1 everywhere) with the given
+    /// log-normal noise sigma.
+    pub fn new(noise_sigma: f64) -> Self {
+        Self {
+            effects: Vec::new(),
+            interactions: Vec::new(),
+            noise_sigma,
+        }
+    }
+
+    /// Adds a per-parameter effect (builder style).
+    pub fn effect(mut self, param: impl Into<String>, curve: Curve) -> Self {
+        self.effects.push(ParamEffect {
+            param: param.into(),
+            curve,
+        });
+        self
+    }
+
+    /// Adds an interaction bonus (builder style).
+    pub fn interaction(
+        mut self,
+        name: impl Into<String>,
+        conds: Vec<(&str, Cond)>,
+        factor: f64,
+    ) -> Self {
+        self.interactions.push(Interaction {
+            name: name.into(),
+            conds: conds
+                .into_iter()
+                .map(|(p, c)| (p.to_string(), c))
+                .collect(),
+            factor,
+        });
+        self
+    }
+
+    /// Measurement noise sigma (log-normal).
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
+    /// The deterministic factor of `view` relative to `defaults`.
+    ///
+    /// Equals exactly 1.0 when `view` assigns every parameter its default
+    /// value: each curve is normalized by its value at the default, and
+    /// interactions active at the default are divided out.
+    pub fn mean_factor(&self, view: &NamedConfig, defaults: &NamedConfig) -> f64 {
+        let mut f = 1.0;
+        for e in &self.effects {
+            let def = match value_of(defaults, defaults, &e.param) {
+                Some(v) => v,
+                None => continue,
+            };
+            let cur = value_of(view, defaults, &e.param).unwrap_or(def);
+            let denom = e.curve.raw_factor(def);
+            if denom > 0.0 {
+                f *= e.curve.raw_factor(cur) / denom;
+            }
+        }
+        for i in &self.interactions {
+            let now = i
+                .conds
+                .iter()
+                .all(|(p, c)| value_of(view, defaults, p).is_some_and(|v| c.holds(v)));
+            let at_default = i
+                .conds
+                .iter()
+                .all(|(p, c)| value_of(defaults, defaults, p).is_some_and(|v| c.holds(v)));
+            if now {
+                f *= i.factor;
+            }
+            if at_default {
+                f /= i.factor;
+            }
+        }
+        f
+    }
+
+    /// One noisy measurement factor.
+    pub fn sample_factor(&self, view: &NamedConfig, defaults: &NamedConfig, rng: &mut impl Rng) -> f64 {
+        let mean = self.mean_factor(view, defaults);
+        if self.noise_sigma <= 0.0 {
+            mean
+        } else {
+            mean * lognormal(rng, 0.0, self.noise_sigma)
+        }
+    }
+
+    /// Names of all parameters the model actually reacts to. Used by the
+    /// calibration tests and the Fig. 5 ground-truth check.
+    pub fn touched(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .effects
+            .iter()
+            .map(|e| e.param.as_str())
+            .chain(
+                self.interactions
+                    .iter()
+                    .flat_map(|i| i.conds.iter().map(|(p, _)| p.as_str())),
+            )
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The per-parameter effects (read-only).
+    pub fn effects(&self) -> &[ParamEffect] {
+        &self.effects
+    }
+
+    /// The interactions (read-only).
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// The largest achievable mean factor over a coarse scan of each
+    /// effect's curve plus all-positive interactions. Upper bound used by
+    /// calibration tests (coordinate-wise maximum; exact for multiplicative
+    /// models without conflicting conditions).
+    pub fn headroom_bound(&self, defaults: &NamedConfig) -> f64 {
+        let mut f = 1.0;
+        for e in &self.effects {
+            let def = match value_of(defaults, defaults, &e.param) {
+                Some(v) => v,
+                None => continue,
+            };
+            let denom = e.curve.raw_factor(def);
+            if denom <= 0.0 {
+                continue;
+            }
+            // Scan a log-spaced grid plus the default.
+            let mut best = 1.0_f64;
+            for k in -1..=60 {
+                let v = if k < 0 { def } else { 2.0_f64.powi(k / 2) };
+                best = best.max(e.curve.raw_factor(v) / denom);
+            }
+            // Small-domain curves (bools/choices) need the exact points.
+            for v in 0..8 {
+                best = best.max(e.curve.raw_factor(v as f64) / denom);
+            }
+            f *= best;
+        }
+        for i in &self.interactions {
+            if i.factor > 1.0 {
+                f *= i.factor;
+            }
+            let at_default = i
+                .conds
+                .iter()
+                .all(|(p, c)| value_of(defaults, defaults, p).is_some_and(|v| c.holds(v)));
+            if at_default && i.factor > 1.0 {
+                f /= i.factor;
+            } else if at_default && i.factor < 1.0 {
+                f /= i.factor; // removing a default penalty is headroom
+            }
+        }
+        f
+    }
+}
+
+/// Raw numeric value of `param` under `view`, falling back to `defaults`.
+fn value_of(view: &NamedConfig, defaults: &NamedConfig, param: &str) -> Option<f64> {
+    view.get(param)
+        .or_else(|| defaults.get(param))
+        .map(|v| v.as_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_configspace::Value;
+
+    fn defaults() -> NamedConfig {
+        NamedConfig::from_pairs([
+            ("somaxconn".to_string(), Value::Int(128)),
+            ("printk".to_string(), Value::Int(7)),
+            ("busy".to_string(), Value::Bool(false)),
+        ])
+    }
+
+    fn model() -> PerfModel {
+        PerfModel::new(0.0)
+            .effect(
+                "somaxconn",
+                Curve::SaturatingLog {
+                    lo: 128.0,
+                    hi: 4096.0,
+                    gain: 0.08,
+                },
+            )
+            .effect(
+                "printk",
+                Curve::Step {
+                    at: 8.0,
+                    below: 1.0,
+                    above: 0.85,
+                },
+            )
+            .interaction(
+                "busy+backlog",
+                vec![("busy", Cond::Eq(1.0)), ("somaxconn", Cond::Ge(1024.0))],
+                1.05,
+            )
+    }
+
+    #[test]
+    fn default_config_has_factor_one() {
+        let m = model();
+        let d = defaults();
+        assert!((m.mean_factor(&d, &d) - 1.0).abs() < 1e-12);
+        // An empty view also falls back to defaults.
+        assert!((m.mean_factor(&NamedConfig::empty(), &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effects_compose_multiplicatively() {
+        let m = model();
+        let d = defaults();
+        let mut v = NamedConfig::empty();
+        v.set("somaxconn", Value::Int(4096));
+        v.set("printk", Value::Int(9));
+        let f = m.mean_factor(&v, &d);
+        assert!((f - 1.08 * 0.85).abs() < 1e-9, "f={f}");
+    }
+
+    #[test]
+    fn interaction_requires_all_conditions() {
+        let m = model();
+        let d = defaults();
+        let mut v = NamedConfig::empty();
+        v.set("busy", Value::Bool(true));
+        // Only one condition holds: no bonus, no per-param change.
+        let without = m.mean_factor(&v, &d);
+        assert!((without - 1.0).abs() < 1e-9, "without={without}");
+        v.set("somaxconn", Value::Int(4096));
+        // Both conditions hold: saturated somaxconn gain times the bonus.
+        let with = m.mean_factor(&v, &d);
+        assert!((with - 1.08 * 1.05).abs() < 1e-9, "with={with}");
+    }
+
+    #[test]
+    fn noise_is_multiplicative_and_centered() {
+        let m = PerfModel::new(0.02).effect(
+            "somaxconn",
+            Curve::SaturatingLog {
+                lo: 128.0,
+                hi: 4096.0,
+                gain: 0.08,
+            },
+        );
+        let d = defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_factor(&d, &d, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn crash_rule_conjunction() {
+        let rule = CrashRule {
+            name: "oom".into(),
+            phase: Phase::Run,
+            conds: vec![
+                ("overcommit".into(), Cond::Eq(2.0)),
+                ("ratio".into(), Cond::Le(25.0)),
+            ],
+        };
+        let d = NamedConfig::from_pairs([
+            ("overcommit".to_string(), Value::Int(0)),
+            ("ratio".to_string(), Value::Int(50)),
+        ]);
+        assert!(!rule.triggers(&d, &d));
+        let mut v = NamedConfig::empty();
+        v.set("overcommit", Value::Int(2));
+        assert!(!rule.triggers(&v, &d), "ratio still at default 50");
+        v.set("ratio", Value::Int(10));
+        assert!(rule.triggers(&v, &d));
+    }
+
+    #[test]
+    fn first_crash_prefers_earliest_phase() {
+        let rules = vec![
+            CrashRule {
+                name: "run-rule".into(),
+                phase: Phase::Run,
+                conds: vec![("x".into(), Cond::Ge(1.0))],
+            },
+            CrashRule {
+                name: "boot-rule".into(),
+                phase: Phase::Boot,
+                conds: vec![("x".into(), Cond::Ge(1.0))],
+            },
+        ];
+        let d = NamedConfig::from_pairs([("x".to_string(), Value::Int(5))]);
+        let hit = first_crash(&rules, &d, &d).unwrap();
+        assert_eq!(hit.name, "boot-rule");
+    }
+
+    #[test]
+    fn touched_lists_unique_params() {
+        let m = model();
+        assert_eq!(m.touched(), vec!["busy", "printk", "somaxconn"]);
+    }
+
+    #[test]
+    fn headroom_bound_reflects_gains() {
+        let m = model();
+        let d = defaults();
+        let bound = m.headroom_bound(&d);
+        // 1.08 (somaxconn) * 1.0 (printk already best) * 1.05 (interaction).
+        assert!((bound - 1.08 * 1.05).abs() < 1e-6, "bound={bound}");
+    }
+}

@@ -1,0 +1,313 @@
+//! The virtual `/proc/sys` + `/sys` tree.
+//!
+//! §3.4's space-inference heuristic works against the kernel's virtual
+//! filesystems: list writable files, read defaults, infer types from the
+//! default values, and estimate ranges by scaling the default up/down and
+//! attempting writes. This module provides that surface for the simulated
+//! kernel, so the prober in `wf-platform` exercises the same code path the
+//! paper describes.
+
+use std::collections::HashMap;
+use std::fmt;
+use wf_configspace::{ConfigSpace, NamedConfig, ParamKind, Stage, Value};
+
+/// Why a write was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// No file at that path.
+    NotFound,
+    /// File exists but is read-only.
+    ReadOnly,
+    /// Value rejected by the kernel (wrong type / out of range), like
+    /// `EINVAL` from a real sysctl handler.
+    Invalid,
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WriteError::NotFound => "no such file",
+            WriteError::ReadOnly => "read-only file",
+            WriteError::Invalid => "invalid argument",
+        })
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// One virtual file.
+#[derive(Clone, Debug)]
+struct SysctlFile {
+    /// Dotted sysctl name (`net.core.somaxconn`).
+    name: String,
+    /// Whether writes are permitted.
+    writable: bool,
+    /// The parameter's domain (the *kernel* knows it; the prober doesn't).
+    kind: ParamKind,
+    /// Current value.
+    value: Value,
+}
+
+/// A virtual sysctl tree for one booted kernel.
+///
+/// Files are addressed by their dotted sysctl name; [`SysctlTree::path_of`]
+/// renders the `/proc/sys/...` path the paper's heuristic would see.
+#[derive(Clone, Debug, Default)]
+pub struct SysctlTree {
+    files: Vec<SysctlFile>,
+    index: HashMap<String, usize>,
+}
+
+impl SysctlTree {
+    /// Builds the tree from a configuration space: every runtime-stage
+    /// parameter becomes a writable file initialized to its default.
+    pub fn from_space(space: &ConfigSpace) -> Self {
+        let mut tree = SysctlTree::default();
+        for spec in space.specs() {
+            if spec.stage != Stage::Runtime {
+                continue;
+            }
+            tree.add_file(&spec.name, true, spec.kind.clone(), spec.default);
+        }
+        tree
+    }
+
+    /// Adds a read-only file (kernel state exports like `kernel.version`);
+    /// the §3.4 heuristic must skip these.
+    pub fn add_readonly(&mut self, name: &str, value: Value, kind: ParamKind) {
+        self.add_file(name, false, kind, value);
+    }
+
+    fn add_file(&mut self, name: &str, writable: bool, kind: ParamKind, value: Value) {
+        assert!(
+            !self.index.contains_key(name),
+            "duplicate sysctl file {name}"
+        );
+        self.index.insert(name.to_string(), self.files.len());
+        self.files.push(SysctlFile {
+            name: name.to_string(),
+            writable,
+            kind,
+            value,
+        });
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if the tree has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Names of all writable files, in declaration order.
+    pub fn list_writable(&self) -> Vec<&str> {
+        self.files
+            .iter()
+            .filter(|f| f.writable)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// The `/proc/sys` path for a dotted name.
+    pub fn path_of(name: &str) -> String {
+        format!("/proc/sys/{}", name.replace('.', "/"))
+    }
+
+    /// Reads a file's current value, rendered the way the kernel would
+    /// (integers as decimal, booleans as `0`/`1`, enums as their string).
+    pub fn read(&self, name: &str) -> Option<String> {
+        let f = &self.files[*self.index.get(name)?];
+        Some(render(&f.kind, f.value))
+    }
+
+    /// Writes raw text to a file, with kernel-style validation.
+    pub fn write(&mut self, name: &str, raw: &str) -> Result<(), WriteError> {
+        let idx = *self.index.get(name).ok_or(WriteError::NotFound)?;
+        let f = &mut self.files[idx];
+        if !f.writable {
+            return Err(WriteError::ReadOnly);
+        }
+        let value = parse(&f.kind, raw).ok_or(WriteError::Invalid)?;
+        f.value = value;
+        Ok(())
+    }
+
+    /// Applies every runtime value from a named view (the platform does
+    /// this after boot, before the benchmark).
+    ///
+    /// Returns the names whose writes were rejected — with a space built by
+    /// [`SysctlTree::from_space`] this is always empty, but the prober's
+    /// exploratory writes go through [`SysctlTree::write`] and may fail.
+    pub fn apply(&mut self, view: &NamedConfig) -> Vec<String> {
+        let mut rejected = Vec::new();
+        for (name, value) in view.iter() {
+            let Some(&idx) = self.index.get(name) else {
+                continue;
+            };
+            let f = &mut self.files[idx];
+            if f.writable && f.kind.admits(&value) {
+                f.value = value;
+            } else {
+                rejected.push(name.to_string());
+            }
+        }
+        rejected
+    }
+
+    /// The current values as a named view.
+    pub fn snapshot(&self) -> NamedConfig {
+        NamedConfig::from_pairs(self.files.iter().map(|f| (f.name.clone(), f.value)))
+    }
+}
+
+/// Renders a value the way the corresponding `/proc/sys` file would.
+fn render(kind: &ParamKind, value: Value) -> String {
+    match (kind, value) {
+        (_, Value::Bool(b)) => if b { "1" } else { "0" }.into(),
+        (_, Value::Int(v)) => v.to_string(),
+        (ParamKind::Enum { choices }, Value::Choice(c)) => {
+            choices.get(c).cloned().unwrap_or_default()
+        }
+        (_, Value::Choice(c)) => c.to_string(),
+        (_, Value::Tristate(t)) => t.level().to_string(),
+    }
+}
+
+/// Parses raw text against a file's domain; `None` means `EINVAL`.
+fn parse(kind: &ParamKind, raw: &str) -> Option<Value> {
+    let raw = raw.trim();
+    match kind {
+        ParamKind::Bool => match raw {
+            "0" => Some(Value::Bool(false)),
+            "1" => Some(Value::Bool(true)),
+            _ => None,
+        },
+        ParamKind::Int { min, max, .. } | ParamKind::Hex { min, max } => {
+            let v: i64 = raw.parse().ok()?;
+            (v >= *min && v <= *max).then_some(Value::Int(v))
+        }
+        ParamKind::Enum { choices } => {
+            choices.iter().position(|c| c == raw).map(Value::Choice)
+        }
+        ParamKind::Tristate => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_configspace::ParamSpec;
+
+    fn space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(
+            ParamSpec::new("net.core.somaxconn", ParamKind::log_int(16, 65535), Stage::Runtime)
+                .with_default(Value::Int(128)),
+        );
+        s.add(
+            ParamSpec::new("vm.swappiness", ParamKind::int(0, 100), Stage::Runtime)
+                .with_default(Value::Int(60)),
+        );
+        s.add(
+            ParamSpec::new(
+                "net.ipv4.tcp_congestion_control",
+                ParamKind::choices(vec!["cubic", "reno", "bbr"]),
+                Stage::Runtime,
+            )
+            .with_default(Value::Choice(0)),
+        );
+        s.add(
+            ParamSpec::new("kernel.timer_migration", ParamKind::Bool, Stage::Runtime)
+                .with_default(Value::Bool(true)),
+        );
+        // A compile-time parameter must NOT appear in the tree.
+        s.add(ParamSpec::new("CONFIG_SMP", ParamKind::Bool, Stage::CompileTime));
+        s
+    }
+
+    #[test]
+    fn tree_exposes_only_runtime_params() {
+        let t = SysctlTree::from_space(&space());
+        assert_eq!(t.len(), 4);
+        assert!(t.read("CONFIG_SMP").is_none());
+    }
+
+    #[test]
+    fn reads_render_like_proc() {
+        let t = SysctlTree::from_space(&space());
+        assert_eq!(t.read("net.core.somaxconn").as_deref(), Some("128"));
+        assert_eq!(t.read("kernel.timer_migration").as_deref(), Some("1"));
+        assert_eq!(
+            t.read("net.ipv4.tcp_congestion_control").as_deref(),
+            Some("cubic")
+        );
+    }
+
+    #[test]
+    fn writes_validate_ranges() {
+        let mut t = SysctlTree::from_space(&space());
+        assert_eq!(t.write("net.core.somaxconn", "1024"), Ok(()));
+        assert_eq!(t.read("net.core.somaxconn").as_deref(), Some("1024"));
+        assert_eq!(
+            t.write("net.core.somaxconn", "8"),
+            Err(WriteError::Invalid),
+            "below the kernel's floor"
+        );
+        assert_eq!(t.write("vm.swappiness", "101"), Err(WriteError::Invalid));
+        assert_eq!(t.write("nope", "1"), Err(WriteError::NotFound));
+    }
+
+    #[test]
+    fn enum_writes_accept_choice_strings() {
+        let mut t = SysctlTree::from_space(&space());
+        assert_eq!(t.write("net.ipv4.tcp_congestion_control", "bbr"), Ok(()));
+        assert_eq!(
+            t.read("net.ipv4.tcp_congestion_control").as_deref(),
+            Some("bbr")
+        );
+        assert_eq!(
+            t.write("net.ipv4.tcp_congestion_control", "vegas"),
+            Err(WriteError::Invalid)
+        );
+    }
+
+    #[test]
+    fn readonly_files_reject_writes_and_are_not_listed() {
+        let mut t = SysctlTree::from_space(&space());
+        t.add_readonly("kernel.version", Value::Int(419), ParamKind::int(0, 10000));
+        assert_eq!(t.write("kernel.version", "1"), Err(WriteError::ReadOnly));
+        assert!(!t.list_writable().contains(&"kernel.version"));
+        assert_eq!(t.list_writable().len(), 4);
+    }
+
+    #[test]
+    fn apply_sets_values_and_reports_rejections() {
+        let mut t = SysctlTree::from_space(&space());
+        let mut view = NamedConfig::empty();
+        view.set("vm.swappiness", Value::Int(10));
+        view.set("unknown.param", Value::Int(1));
+        let rejected = t.apply(&view);
+        assert_eq!(t.read("vm.swappiness").as_deref(), Some("10"));
+        assert!(rejected.is_empty(), "unknown names are skipped, not rejected");
+    }
+
+    #[test]
+    fn paths_mirror_proc_layout() {
+        assert_eq!(
+            SysctlTree::path_of("net.core.somaxconn"),
+            "/proc/sys/net/core/somaxconn"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut t = SysctlTree::from_space(&space());
+        t.write("vm.swappiness", "33").unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.int_or("vm.swappiness", 0), 33);
+        assert_eq!(snap.int_or("net.core.somaxconn", 0), 128);
+    }
+}

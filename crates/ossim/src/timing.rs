@@ -1,0 +1,188 @@
+//! The virtual time model.
+//!
+//! Wall-clock time is the scarce resource the paper's search budgets are
+//! expressed in (3-hour sessions, 60–80 s per evaluation, Fig. 8). The
+//! simulator charges realistic durations to a virtual clock instead of
+//! sleeping:
+//!
+//! * full kernel builds take minutes and scale with the number of enabled
+//!   options; incremental rebuilds scale with the change set;
+//! * boots take seconds and scale with image size;
+//! * benchmark runs take tens of seconds with run-to-run jitter;
+//! * crashes waste *part* of the phase they die in (a boot hang costs the
+//!   watchdog timeout, not a full benchmark).
+
+use rand::Rng;
+
+/// Durations (in virtual seconds) charged by the simulated pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingModel {
+    /// Fixed cost of a full build (toolchain startup, configuration).
+    pub build_base_s: f64,
+    /// Per-enabled-option compile cost of a full build.
+    pub build_per_option_s: f64,
+    /// Fixed cost of an incremental rebuild.
+    pub build_incr_base_s: f64,
+    /// Per-changed-option cost of an incremental rebuild.
+    pub build_incr_per_change_s: f64,
+    /// Fixed boot cost (firmware, decompression).
+    pub boot_base_s: f64,
+    /// Boot cost per MB of image.
+    pub boot_per_mb_s: f64,
+    /// Cost of applying runtime parameters after boot.
+    pub sysctl_apply_s: f64,
+    /// Watchdog timeout charged by a boot hang.
+    pub boot_timeout_s: f64,
+    /// Relative jitter on every duration (uniform ±).
+    pub jitter: f64,
+}
+
+impl TimingModel {
+    /// Timings for Linux/QEMU-KVM (§4: evaluating a configuration takes
+    /// 60–80 s on average when no rebuild is needed).
+    pub fn linux() -> Self {
+        TimingModel {
+            build_base_s: 55.0,
+            build_per_option_s: 0.022,
+            build_incr_base_s: 14.0,
+            build_incr_per_change_s: 1.2,
+            boot_base_s: 5.5,
+            boot_per_mb_s: 0.012,
+            sysctl_apply_s: 1.2,
+            boot_timeout_s: 20.0,
+            jitter: 0.08,
+        }
+    }
+
+    /// Timings for Unikraft: unikernel builds are seconds, boots are
+    /// milliseconds (the paper's §4.4 3-hour budget covers far more
+    /// iterations than the Linux experiments).
+    pub fn unikraft() -> Self {
+        TimingModel {
+            build_base_s: 18.0,
+            build_per_option_s: 0.08,
+            build_incr_base_s: 6.0,
+            build_incr_per_change_s: 0.4,
+            boot_base_s: 0.05,
+            boot_per_mb_s: 0.002,
+            sysctl_apply_s: 0.0,
+            boot_timeout_s: 5.0,
+            jitter: 0.08,
+        }
+    }
+
+    /// Timings for emulated (TCG) RISC-V: builds are cross-compiles at
+    /// normal speed, boots are painfully slow (§4.4: emulation affects
+    /// performance but not memory consumption).
+    pub fn riscv_emulated() -> Self {
+        TimingModel {
+            // Cross-compiling the full tree; the searched subset only
+            // modulates on top of a large fixed cost.
+            build_base_s: 140.0,
+            boot_base_s: 28.0,
+            boot_per_mb_s: 0.08,
+            boot_timeout_s: 90.0,
+            ..TimingModel::linux()
+        }
+    }
+
+    /// Duration of a full build with `enabled` options on.
+    pub fn full_build_s(&self, enabled: usize, rng: &mut impl Rng) -> f64 {
+        self.jittered(self.build_base_s + self.build_per_option_s * enabled as f64, rng)
+    }
+
+    /// Duration of an incremental rebuild touching `changes` options.
+    pub fn incr_build_s(&self, changes: usize, rng: &mut impl Rng) -> f64 {
+        self.jittered(
+            self.build_incr_base_s + self.build_incr_per_change_s * changes as f64,
+            rng,
+        )
+    }
+
+    /// Duration of a successful boot of an image of `image_mb` MB.
+    pub fn boot_s(&self, image_mb: f64, rng: &mut impl Rng) -> f64 {
+        self.jittered(self.boot_base_s + self.boot_per_mb_s * image_mb, rng)
+    }
+
+    /// Time wasted by a crash in the given phase.
+    pub fn crash_cost_s(
+        &self,
+        phase: crate::perfmodel::Phase,
+        nominal_phase_s: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        use crate::perfmodel::Phase;
+        match phase {
+            // Build failures surface partway through compilation.
+            Phase::Build => self.jittered(nominal_phase_s * 0.45, rng),
+            // Boot hangs cost the watchdog timeout.
+            Phase::Boot => self.jittered(self.boot_timeout_s, rng),
+            // Runtime crashes die partway through the benchmark.
+            Phase::Run => self.jittered(nominal_phase_s * 0.55, rng),
+        }
+    }
+
+    fn jittered(&self, base: f64, rng: &mut impl Rng) -> f64 {
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        (base * (1.0 + self.jitter * u)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfmodel::Phase;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linux_full_build_is_minutes() {
+        let t = TimingModel::linux();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = t.full_build_s(6000, &mut rng);
+        assert!((120.0..300.0).contains(&s), "s={s}");
+    }
+
+    #[test]
+    fn incremental_build_is_much_cheaper() {
+        let t = TimingModel::linux();
+        let mut rng = StdRng::seed_from_u64(2);
+        let full = t.full_build_s(6000, &mut rng);
+        let incr = t.incr_build_s(3, &mut rng);
+        assert!(incr < full / 5.0, "incr={incr} full={full}");
+    }
+
+    #[test]
+    fn unikraft_iterations_are_fast() {
+        let t = TimingModel::unikraft();
+        let mut rng = StdRng::seed_from_u64(3);
+        let build = t.full_build_s(30, &mut rng);
+        let boot = t.boot_s(4.0, &mut rng);
+        assert!(build < 30.0, "build={build}");
+        assert!(boot < 0.2, "boot={boot}");
+    }
+
+    #[test]
+    fn crash_costs_less_than_phase() {
+        let t = TimingModel::linux();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert!(t.crash_cost_s(Phase::Run, 45.0, &mut rng) < 45.0);
+            assert!(t.crash_cost_s(Phase::Build, 180.0, &mut rng) < 180.0);
+        }
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let t = TimingModel::linux();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = t.boot_s(210.0, &mut rng);
+            let nominal = t.boot_base_s + t.boot_per_mb_s * 210.0;
+            assert!((s - nominal).abs() <= nominal * t.jitter + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Calibration suite: pins the ground-truth models to the paper's numbers
+//! (DESIGN.md §5). If a model change bends an experiment's shape, these
+//! tests fail instead of the figures silently drifting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_configspace::{Configuration, Value};
+use wf_kconfig::LinuxVersion;
+use wf_ossim::apps::{App, AppId};
+use wf_ossim::perfmodel::first_crash;
+use wf_ossim::sim::SimOs;
+use wf_ossim::unikraft;
+
+/// Samples `n` crash-free random configurations like the Fig. 2 setup
+/// ("when one fails ... we re-generate until we obtain a valid one").
+fn valid_samples(os: &SimOs, n: usize, rng: &mut StdRng) -> Vec<Configuration> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n {
+        guard += 1;
+        assert!(guard < n * 20, "crash rate implausibly high");
+        let c = os.space.sample(rng);
+        if first_crash(&os.crash_rules, &c.named(&os.space), &os.defaults_view).is_none() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn fig2_random_nginx_shape() {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let app = App::by_id(AppId::Nginx);
+    let mut rng = StdRng::seed_from_u64(2);
+    let configs = valid_samples(&os, 800, &mut rng);
+    let factors: Vec<f64> = configs
+        .iter()
+        .map(|c| app.perf.mean_factor(&c.named(&os.space), &os.defaults_view))
+        .collect();
+    let best = factors.iter().cloned().fold(f64::MIN, f64::max);
+    let below = factors.iter().filter(|f| **f < 1.0).count() as f64 / factors.len() as f64;
+    let worst = factors.iter().cloned().fold(f64::MAX, f64::min);
+    // Paper: best random ≈ +12%, 64% below default, span ~10K..18K req/s.
+    assert!((1.05..=1.18).contains(&best), "best-of-800 factor {best}");
+    assert!((0.50..=0.78).contains(&below), "share below default {below}");
+    assert!(worst > 0.45 && worst < 0.95, "worst factor {worst}");
+}
+
+#[test]
+fn table2_headrooms() {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let bounds = [
+        (AppId::Nginx, 1.24, 1.45),
+        (AppId::Redis, 1.14, 1.32),
+        (AppId::Sqlite, 0.995, 1.01),
+        (AppId::Npb, 1.015, 1.05),
+    ];
+    for (id, lo, hi) in bounds {
+        let app = App::by_id(id);
+        let bound = app.perf.headroom_bound(&os.defaults_view);
+        assert!(
+            (lo..=hi).contains(&bound),
+            "{id}: headroom bound {bound} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn crash_rate_on_evaluation_path() {
+    // End-to-end crash rate through SimOs::evaluate (not just the rules).
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let app = App::by_id(AppId::Redis);
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 400;
+    let crashes = (0..n)
+        .filter(|_| {
+            let c = os.space.sample(&mut rng);
+            os.evaluate(&app, &c, None, &mut rng).outcome.is_err()
+        })
+        .count();
+    let rate = crashes as f64 / n as f64;
+    assert!((0.26..=0.42).contains(&rate), "evaluate crash rate {rate}");
+}
+
+#[test]
+fn fig8_evaluation_times_are_60_to_80_seconds() {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let mut rng = StdRng::seed_from_u64(4);
+    for id in AppId::ALL {
+        let app = App::by_id(id);
+        let cfg = os.space.default_config();
+        let n = 30;
+        let mean: f64 = (0..n)
+            .map(|_| os.evaluate(&app, &cfg, None, &mut rng).total_s())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (55.0..=85.0).contains(&mean),
+            "{id}: mean evaluation time {mean}s outside Fig. 8's band"
+        );
+    }
+}
+
+#[test]
+fn fig10_footprint_default_and_floor() {
+    let os = SimOs::linux_riscv_footprint();
+    let mut rng = StdRng::seed_from_u64(5);
+    let default = os.space.default_config();
+    let (img, _) = os.build(&default, None, None, &mut rng);
+    let default_mb = img.expect("default builds").image_mb;
+    assert!((default_mb - 210.0).abs() < 0.5, "default {default_mb} MB");
+
+    // A debloated configuration: switch off every non-fixed, non-essential
+    // bool/tristate option. The crash rules protect the essentials.
+    let essentials = [
+        "SYSFS", "PROC_FS", "VIRTIO_BLK", "VIRTIO_NET", "EPOLL", "FUTEX", "SHMEM",
+    ];
+    let mut floor_cfg = default.clone();
+    for (i, spec) in os.space.specs().iter().enumerate() {
+        if spec.fixed || essentials.contains(&spec.name.as_str()) {
+            continue;
+        }
+        match floor_cfg.get(i) {
+            Value::Bool(_) => floor_cfg.set(i, Value::Bool(false)),
+            Value::Tristate(_) => {
+                floor_cfg.set(i, Value::Tristate(wf_configspace::Tristate::No))
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        first_crash(&os.crash_rules, &floor_cfg.named(&os.space), &os.defaults_view).is_none(),
+        "the debloated floor must be viable"
+    );
+    let (img, _) = os.build(&floor_cfg, None, None, &mut rng);
+    let floor_mb = img.expect("floor builds").image_mb;
+    // Fig. 10 reaches 192 MB in 3 hours; the true floor sits below that
+    // but well above zero (the calibrated base is immovable).
+    assert!(
+        (150.0..=192.0).contains(&floor_mb),
+        "floor {floor_mb} MB outside the plausible band"
+    );
+}
+
+#[test]
+fn fig9_unikraft_default_and_peak() {
+    let os = SimOs::unikraft_nginx();
+    let app = unikraft::nginx_app();
+    let mut rng = StdRng::seed_from_u64(6);
+    let cfg = os.space.default_config();
+    let e = os.evaluate(&app, &cfg, None, &mut rng);
+    let base = e.outcome.unwrap().metric;
+    assert!((8_500.0..11_500.0).contains(&base), "unikraft base {base}");
+    let bound = app.perf.headroom_bound(&os.defaults_view);
+    assert!((4.0..6.0).contains(&bound), "unikraft headroom {bound}");
+}
+
+#[test]
+fn transfer_structure_network_apps_share_crash_rules() {
+    // §3.3: crash rules are OS-level, so what a Redis-trained model learned
+    // about crashes applies verbatim to Nginx. Verified structurally: the
+    // rule set does not depend on the application.
+    let os1 = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let os2 = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    assert_eq!(os1.crash_rules.len(), os2.crash_rules.len());
+    for (a, b) in os1.crash_rules.iter().zip(os2.crash_rules.iter()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn fig5_ground_truth_effect_overlap() {
+    // The effect-parameter overlap that makes the Fig. 5 similarity matrix
+    // come out: Nginx/Redis/SQLite share the system-intensive parameters;
+    // NPB shares (almost) nothing of weight.
+    let overlap = |a: &App, b: &App| {
+        let ta: std::collections::HashSet<_> = a.perf.touched().into_iter().collect();
+        let tb: std::collections::HashSet<_> = b.perf.touched().into_iter().collect();
+        ta.intersection(&tb).count()
+    };
+    let nginx = App::nginx();
+    let redis = App::redis();
+    let sqlite = App::sqlite();
+    let npb = App::npb();
+    assert!(overlap(&nginx, &redis) >= 6);
+    assert!(overlap(&nginx, &sqlite) >= 3);
+    assert!(overlap(&redis, &sqlite) >= 4);
+    assert!(overlap(&npb, &nginx) <= 4);
+}

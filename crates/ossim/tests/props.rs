@@ -1,0 +1,102 @@
+//! Property tests on the simulator's ground-truth invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use wf_kconfig::LinuxVersion;
+use wf_ossim::apps::{App, AppId};
+use wf_ossim::perfmodel::first_crash;
+use wf_ossim::sim::SimOs;
+use wf_ossim::SysctlTree;
+
+/// The RISC-V target synthesizes a 20k-symbol kernel; build it once.
+fn riscv() -> &'static SimOs {
+    static OS: OnceLock<SimOs> = OnceLock::new();
+    OS.get_or_init(SimOs::linux_riscv_footprint)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn perf_factors_are_finite_and_positive(seed in any::<u64>()) {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = os.space.sample(&mut rng);
+        let view = cfg.named(&os.space);
+        for id in AppId::ALL {
+            let app = App::by_id(id);
+            let f = app.perf.mean_factor(&view, &os.defaults_view);
+            prop_assert!(f.is_finite() && f > 0.0, "{id}: factor {f}");
+            prop_assert!(f < 10.0, "{id}: implausible factor {f}");
+        }
+    }
+
+    #[test]
+    fn crashing_is_deterministic_per_configuration(seed in any::<u64>()) {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = os.space.sample(&mut rng);
+        let view = cfg.named(&os.space);
+        let a = first_crash(&os.crash_rules, &view, &os.defaults_view).map(|r| r.name.clone());
+        let b = first_crash(&os.crash_rules, &view, &os.defaults_view).map(|r| r.name.clone());
+        prop_assert_eq!(a.clone(), b);
+        // And the full evaluation agrees with the rules.
+        let app = App::by_id(AppId::Redis);
+        let e = os.evaluate(&app, &cfg, None, &mut rng);
+        prop_assert_eq!(e.outcome.is_err(), a.is_some());
+    }
+
+    #[test]
+    fn accepted_sysctl_writes_read_back(seed in any::<u64>()) {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let mut tree = SysctlTree::from_space(&os.space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = os.space.sample(&mut rng);
+        let view = cfg.named(&os.space);
+        let rejected = tree.apply(&view);
+        prop_assert!(rejected.is_empty(), "in-space values are always valid");
+        // Every value applied is readable and matches.
+        for (name, value) in view.iter() {
+            if let Some(text) = tree.read(name) {
+                let snap = tree.snapshot();
+                prop_assert_eq!(snap.get(name), Some(value));
+                prop_assert!(!text.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_time_is_always_charged(seed in any::<u64>()) {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let app = App::by_id(AppId::Nginx);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = os.space.sample(&mut rng);
+        let e = os.evaluate(&app, &cfg, None, &mut rng);
+        prop_assert!(e.total_s() > 0.0, "even crashes cost time");
+        prop_assert!(e.total_s() < 600.0, "implausible duration {}", e.total_s());
+    }
+
+    #[test]
+    fn footprint_shrinks_when_options_are_disabled(seed in any::<u64>()) {
+        let os = riscv();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = os.space.default_config();
+        // Disable one random enabled, non-fixed bool option.
+        use wf_configspace::Value;
+        use rand::Rng;
+        let enabled: Vec<usize> = (0..os.space.len())
+            .filter(|&i| {
+                !os.space.spec(i).fixed && base.get(i) == Value::Bool(true)
+            })
+            .collect();
+        prop_assume!(!enabled.is_empty());
+        let pick = enabled[rng.random_range(0..enabled.len())];
+        let mut smaller = base.clone();
+        smaller.set(pick, Value::Bool(false));
+        let fp_base = os.footprint.footprint_mb(&os.space, &base);
+        let fp_small = os.footprint.footprint_mb(&os.space, &smaller);
+        prop_assert!(fp_small < fp_base, "disabling {} grew the image", os.space.spec(pick).name);
+    }
+}

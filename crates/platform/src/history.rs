@@ -1,0 +1,200 @@
+//! The exploration history: everything the platform records about every
+//! evaluated configuration, and the summary statistics the paper's tables
+//! derive from it.
+
+use wf_configspace::Configuration;
+use wf_jobfile::Direction;
+use wf_ossim::Phase;
+use wf_search::Observation;
+
+/// One completed pipeline iteration.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Zero-based iteration index.
+    pub iteration: usize,
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// The objective value (None on crash).
+    pub objective: Option<f64>,
+    /// The raw primary metric (None on crash).
+    pub metric: Option<f64>,
+    /// Resident memory in MB (None on crash before measurement).
+    pub memory_mb: Option<f64>,
+    /// Crash phase, if the configuration failed.
+    pub crash_phase: Option<Phase>,
+    /// Whether the build was skipped via the image cache (§3.1).
+    pub build_skipped: bool,
+    /// Virtual seconds this evaluation cost.
+    pub duration_s: f64,
+    /// Virtual time when the evaluation *finished*.
+    pub finished_at_s: f64,
+    /// Real seconds the search algorithm spent deciding/learning
+    /// (Fig. 8's "DeepTune update time").
+    pub algo_seconds: f64,
+    /// Algorithm-reported live memory (Fig. 7).
+    pub algo_memory_bytes: usize,
+}
+
+impl Record {
+    /// Whether the configuration crashed.
+    pub fn crashed(&self) -> bool {
+        self.crash_phase.is_some()
+    }
+
+    /// The search-algorithm view of this record.
+    pub fn observation(&self) -> Observation {
+        Observation {
+            config: self.config.clone(),
+            value: self.objective,
+            crashed: self.crashed(),
+            duration_s: self.duration_s,
+        }
+    }
+}
+
+/// The full session history.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    records: Vec<Record>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of iterations recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no iterations have run.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The best record under `direction` (by objective).
+    pub fn best(&self, direction: Direction) -> Option<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.objective.is_some())
+            .max_by(|a, b| {
+                let (x, y) = (a.objective.unwrap(), b.objective.unwrap());
+                match direction {
+                    Direction::Maximize => x.partial_cmp(&y).unwrap(),
+                    Direction::Minimize => y.partial_cmp(&x).unwrap(),
+                }
+            })
+    }
+
+    /// Overall crash rate.
+    pub fn crash_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.crashed()).count() as f64 / self.records.len() as f64
+    }
+
+    /// Mean virtual time between successive improvements of the
+    /// best-so-far objective — the "Avg. time to find" column of Table 2
+    /// (see DESIGN.md §4 for why this interpretation).
+    pub fn mean_improvement_interval_s(&self, direction: Direction) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        let mut improvement_times = Vec::new();
+        for r in &self.records {
+            let Some(v) = r.objective else { continue };
+            let improved = match (best, direction) {
+                (None, _) => true,
+                (Some(b), Direction::Maximize) => v > b,
+                (Some(b), Direction::Minimize) => v < b,
+            };
+            if improved {
+                best = Some(v);
+                improvement_times.push(r.finished_at_s);
+            }
+        }
+        if improvement_times.len() < 2 {
+            return None;
+        }
+        let span = improvement_times.last().unwrap() - improvement_times.first().unwrap();
+        Some(span / (improvement_times.len() - 1) as f64)
+    }
+
+    /// The observations slice algorithms receive.
+    pub fn observations(&self) -> Vec<Observation> {
+        self.records.iter().map(Record::observation).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_configspace::{ConfigSpace, ParamKind, ParamSpec, Stage};
+
+    fn record(i: usize, objective: Option<f64>, at: f64) -> Record {
+        let mut s = ConfigSpace::new();
+        s.add(ParamSpec::new("x", ParamKind::Bool, Stage::Runtime));
+        Record {
+            iteration: i,
+            config: s.default_config(),
+            objective,
+            metric: objective,
+            memory_mb: Some(100.0),
+            crash_phase: objective.is_none().then_some(Phase::Run),
+            build_skipped: true,
+            duration_s: 60.0,
+            finished_at_s: at,
+            algo_seconds: 0.1,
+            algo_memory_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn best_respects_direction() {
+        let mut h = History::new();
+        h.push(record(0, Some(10.0), 60.0));
+        h.push(record(1, Some(30.0), 120.0));
+        h.push(record(2, None, 150.0));
+        h.push(record(3, Some(20.0), 210.0));
+        assert_eq!(h.best(Direction::Maximize).unwrap().iteration, 1);
+        assert_eq!(h.best(Direction::Minimize).unwrap().iteration, 0);
+    }
+
+    #[test]
+    fn crash_rate_counts_failures() {
+        let mut h = History::new();
+        h.push(record(0, Some(1.0), 60.0));
+        h.push(record(1, None, 90.0));
+        assert!((h.crash_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_interval() {
+        let mut h = History::new();
+        // Improvements at t = 60 (first), 120, 300 -> intervals 60, 180.
+        h.push(record(0, Some(10.0), 60.0));
+        h.push(record(1, Some(20.0), 120.0));
+        h.push(record(2, Some(15.0), 200.0));
+        h.push(record(3, Some(25.0), 300.0));
+        let avg = h.mean_improvement_interval_s(Direction::Maximize).unwrap();
+        assert!((avg - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_interval_needs_two_improvements() {
+        let mut h = History::new();
+        h.push(record(0, Some(10.0), 60.0));
+        assert!(h.mean_improvement_interval_s(Direction::Maximize).is_none());
+    }
+}

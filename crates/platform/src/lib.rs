@@ -1,0 +1,29 @@
+//! `wf-platform`: the automated benchmarking pipeline (§3.1 of the paper).
+//!
+//! The platform builds, boots, and benchmarks OS images, drives a
+//! pluggable search algorithm, and records the exploration history:
+//!
+//! * [`clock`] — the virtual clock all budgets are charged against;
+//! * [`cache`] — the kernel-image cache behind §3.1's rebuild-skip;
+//! * [`workers`] — crossbeam-parallel benchmark repetitions;
+//! * [`history`] — per-iteration records plus Table 2's summary stats;
+//! * [`metrics`] — smoothing, best-so-far, crash-rate series, and the
+//!   Eq. 4 throughput–memory score;
+//! * [`prober`] — the §3.4 runtime-space inference heuristic;
+//! * [`pipeline`] — [`Session`]: the propose → build/boot/bench → observe
+//!   loop with iteration/time budgets.
+
+pub mod cache;
+pub mod clock;
+pub mod history;
+pub mod metrics;
+pub mod pipeline;
+pub mod prober;
+pub mod workers;
+
+pub use cache::ImageCache;
+pub use clock::VirtualClock;
+pub use history::{History, Record};
+pub use metrics::{min_max_normalize, rolling_crash_rate, throughput_memory_score, Series};
+pub use pipeline::{Objective, Session, SessionSpec, SessionSummary};
+pub use prober::{probe_runtime_space, ProbeReport};

@@ -1,0 +1,472 @@
+//! The core exploration loop (§3.1).
+//!
+//! "1) build and boot an OS image based on a given configuration in a VM;
+//! 2) benchmark the target application running on that OS image; and
+//! 3) determine the next configuration to consider" — iterated until the
+//! iteration or time budget runs out, after which the best configuration
+//! found is returned.
+
+use crate::cache::ImageCache;
+use crate::clock::VirtualClock;
+use crate::history::{History, Record};
+use crate::workers;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wf_configspace::{Configuration, Encoder};
+use wf_jobfile::{Budget, Direction};
+use wf_ossim::{App, SimOs};
+use wf_search::{SamplePolicy, SearchAlgorithm, SearchContext};
+
+/// What the session optimizes (the user-provided metric of Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// The application's primary metric (throughput, latency, Mop/s).
+    Metric,
+    /// Resident memory in MB (Fig. 10).
+    MemoryMb,
+    /// Eq. 4: min–max normalized throughput minus normalized memory
+    /// (Fig. 11, Table 4). Always maximized.
+    ThroughputMemoryScore,
+}
+
+/// Session parameters.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Objective to optimize.
+    pub objective: Objective,
+    /// Optimization direction for [`Objective::Metric`] /
+    /// [`Objective::MemoryMb`]; ignored for the score (always maximized).
+    pub direction: Direction,
+    /// Candidate sampling policy (§3.5 focus).
+    pub policy: SamplePolicy,
+    /// Iteration / virtual-time budget.
+    pub budget: Budget,
+    /// Benchmark repetitions per configuration.
+    pub repetitions: usize,
+    /// RNG seed for the whole session.
+    pub seed: u64,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            objective: Objective::Metric,
+            direction: Direction::Maximize,
+            policy: SamplePolicy::Uniform,
+            budget: Budget {
+                iterations: Some(100),
+                time_seconds: None,
+            },
+            repetitions: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// Summary returned when a session completes.
+#[derive(Clone, Debug)]
+pub struct SessionSummary {
+    /// Best objective value found (None if everything crashed).
+    pub best_objective: Option<f64>,
+    /// Best raw metric.
+    pub best_metric: Option<f64>,
+    /// The best configuration.
+    pub best_config: Option<Configuration>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Overall crash rate.
+    pub crash_rate: f64,
+    /// Virtual seconds consumed.
+    pub elapsed_s: f64,
+    /// Image-cache (hits, misses).
+    pub cache_stats: (u64, u64),
+}
+
+/// A running specialization session: one OS target, one application, one
+/// algorithm, one budget.
+pub struct Session {
+    os: SimOs,
+    app: App,
+    algorithm: Box<dyn SearchAlgorithm>,
+    spec: SessionSpec,
+    encoder: Encoder,
+    clock: VirtualClock,
+    cache: ImageCache,
+    history: History,
+    rng: StdRng,
+    /// The configuration most recently built in the "working tree"
+    /// (enables incremental-rebuild timing).
+    last_built: Option<Configuration>,
+    /// Running bounds for the Eq. 4 score.
+    metric_bounds: (f64, f64),
+    memory_bounds: (f64, f64),
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(os: SimOs, app: App, algorithm: Box<dyn SearchAlgorithm>, spec: SessionSpec) -> Self {
+        let encoder = Encoder::new(&os.space);
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Session {
+            os,
+            app,
+            algorithm,
+            spec,
+            encoder,
+            clock: VirtualClock::new(),
+            cache: ImageCache::new(32),
+            history: History::new(),
+            rng,
+            last_built: None,
+            metric_bounds: (f64::MAX, f64::MIN),
+            memory_bounds: (f64::MAX, f64::MIN),
+        }
+    }
+
+    /// The effective optimization direction (the score is always
+    /// maximized).
+    pub fn direction(&self) -> Direction {
+        match self.spec.objective {
+            Objective::ThroughputMemoryScore => Direction::Maximize,
+            _ => self.spec.direction,
+        }
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn done(&self) -> bool {
+        if let Some(max_iters) = self.spec.budget.iterations {
+            if self.history.len() >= max_iters {
+                return true;
+            }
+        }
+        if let Some(max_s) = self.spec.budget.time_seconds {
+            if self.clock.now_s() >= max_s {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs one iteration of the core loop: propose → build/boot/bench →
+    /// observe.
+    pub fn step(&mut self) -> &Record {
+        let iteration = self.history.len();
+        let observations = self.history.observations();
+        let direction = self.direction();
+        let t_algo = Instant::now();
+        let config = {
+            let ctx = SearchContext {
+                space: &self.os.space,
+                encoder: &self.encoder,
+                direction,
+                policy: &self.spec.policy,
+                history: &observations,
+                iteration,
+            };
+            self.algorithm.propose(&ctx, &mut self.rng)
+        };
+        let mut algo_seconds = t_algo.elapsed().as_secs_f64();
+
+        // Build (or fetch from the image cache), boot, benchmark.
+        let fingerprint = self.os.image_fingerprint(&config);
+        let cached = self.cache.get(fingerprint);
+        let build_skipped = cached.is_some();
+        let (built, build_s) = self.os.build(&config, cached.as_ref(), self.last_built.as_ref(), &mut self.rng);
+
+        let mut record = Record {
+            iteration,
+            config: config.clone(),
+            objective: None,
+            metric: None,
+            memory_mb: None,
+            crash_phase: None,
+            build_skipped,
+            duration_s: build_s,
+            finished_at_s: 0.0,
+            algo_seconds: 0.0,
+            algo_memory_bytes: 0,
+        };
+
+        match built {
+            Err(crash) => {
+                record.crash_phase = Some(crash.phase);
+            }
+            Ok(image) => {
+                self.cache.insert(image.clone());
+                self.last_built = Some(config.clone());
+                let (booted, boot_s) = self.os.boot(&image, &config, &mut self.rng);
+                record.duration_s += boot_s;
+                match booted {
+                    Err(crash) => record.crash_phase = Some(crash.phase),
+                    Ok(()) => {
+                        let outcomes = workers::run_repetitions(
+                            &self.os,
+                            &self.app,
+                            &image,
+                            &config,
+                            self.spec.repetitions,
+                            self.spec.seed.wrapping_add(iteration as u64 * 1013),
+                        );
+                        let (result, bench_s) = workers::aggregate(outcomes);
+                        record.duration_s += bench_s;
+                        match result {
+                            Err(crash) => record.crash_phase = Some(crash.phase),
+                            Ok(r) => {
+                                record.metric = Some(r.metric);
+                                record.memory_mb = Some(r.memory_mb);
+                                record.objective = Some(self.objective_of(r.metric, r.memory_mb));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.clock.advance(record.duration_s);
+        record.finished_at_s = self.clock.now_s();
+
+        // Let the algorithm learn from the outcome.
+        let obs = record.observation();
+        let t_obs = Instant::now();
+        {
+            let ctx = SearchContext {
+                space: &self.os.space,
+                encoder: &self.encoder,
+                direction,
+                policy: &self.spec.policy,
+                history: &observations,
+                iteration,
+            };
+            self.algorithm.observe(&ctx, &obs);
+        }
+        algo_seconds += t_obs.elapsed().as_secs_f64();
+        let stats = self.algorithm.stats();
+        record.algo_seconds = algo_seconds.max(stats.last_update_seconds);
+        record.algo_memory_bytes = stats.memory_bytes;
+
+        self.history.push(record);
+        self.history.records().last().expect("just pushed")
+    }
+
+    /// Runs until the budget is exhausted and summarizes.
+    pub fn run(&mut self) -> SessionSummary {
+        while !self.done() {
+            self.step();
+        }
+        self.summary()
+    }
+
+    /// The summary of the session so far.
+    pub fn summary(&self) -> SessionSummary {
+        let best = self.history.best(self.direction());
+        SessionSummary {
+            best_objective: best.and_then(|r| r.objective),
+            best_metric: best.and_then(|r| r.metric),
+            best_config: best.map(|r| r.config.clone()),
+            iterations: self.history.len(),
+            crash_rate: self.history.crash_rate(),
+            elapsed_s: self.clock.now_s(),
+            cache_stats: self.cache.stats(),
+        }
+    }
+
+    /// The exploration history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The OS target under specialization.
+    pub fn os(&self) -> &SimOs {
+        &self.os
+    }
+
+    /// The application under test.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// Current virtual time.
+    pub fn now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// The search algorithm (for post-hoc queries, e.g. §4.1's
+    /// high-impact-parameter analysis).
+    pub fn algorithm(&self) -> &dyn SearchAlgorithm {
+        self.algorithm.as_ref()
+    }
+
+    /// Mutable algorithm access (e.g. to extract a trained model for
+    /// transfer learning, §3.3).
+    pub fn algorithm_mut(&mut self) -> &mut dyn SearchAlgorithm {
+        self.algorithm.as_mut()
+    }
+
+    /// Maps a (metric, memory) pair onto the session objective.
+    fn objective_of(&mut self, metric: f64, memory_mb: f64) -> f64 {
+        match self.spec.objective {
+            Objective::Metric => metric,
+            Objective::MemoryMb => memory_mb,
+            Objective::ThroughputMemoryScore => {
+                self.metric_bounds.0 = self.metric_bounds.0.min(metric);
+                self.metric_bounds.1 = self.metric_bounds.1.max(metric);
+                self.memory_bounds.0 = self.memory_bounds.0.min(memory_mb);
+                self.memory_bounds.1 = self.memory_bounds.1.max(memory_mb);
+                let tn = normalized(metric, self.metric_bounds);
+                let mn = normalized(memory_mb, self.memory_bounds);
+                tn - mn
+            }
+        }
+    }
+}
+
+fn normalized(v: f64, (lo, hi): (f64, f64)) -> f64 {
+    if (hi - lo).abs() < 1e-12 {
+        0.5
+    } else {
+        (v - lo) / (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_kconfig::LinuxVersion;
+    use wf_ossim::AppId;
+    use wf_search::RandomSearch;
+
+    fn quick_session(iters: usize, seed: u64) -> Session {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let app = App::by_id(AppId::Nginx);
+        Session::new(
+            os,
+            app,
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: Some(iters),
+                    time_seconds: None,
+                },
+                seed,
+                ..SessionSpec::default()
+            },
+        )
+    }
+
+    #[test]
+    fn session_runs_to_iteration_budget() {
+        let mut s = quick_session(12, 3);
+        let summary = s.run();
+        assert_eq!(summary.iterations, 12);
+        assert!(summary.elapsed_s > 12.0 * 30.0, "time charged per iteration");
+        assert!(summary.best_metric.is_some());
+    }
+
+    #[test]
+    fn time_budget_stops_the_session() {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let app = App::by_id(AppId::Redis);
+        let mut s = Session::new(
+            os,
+            app,
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: None,
+                    time_seconds: Some(400.0),
+                },
+                seed: 5,
+                ..SessionSpec::default()
+            },
+        );
+        let summary = s.run();
+        assert!(summary.elapsed_s >= 400.0);
+        // ~60 s per iteration: the 400 s budget admits only a handful.
+        assert!(summary.iterations <= 12, "{}", summary.iterations);
+    }
+
+    #[test]
+    fn runtime_sessions_never_build() {
+        let mut s = quick_session(8, 7);
+        let summary = s.run();
+        for r in s.history().records() {
+            assert!(r.duration_s < 120.0);
+        }
+        // No compile stage: every "build" is the fixed image.
+        assert_eq!(summary.cache_stats.1, summary.cache_stats.1);
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let mut a = quick_session(10, 11);
+        let mut b = quick_session(10, 11);
+        let sa = a.run();
+        let sb = b.run();
+        assert_eq!(sa.best_metric, sb.best_metric);
+        assert_eq!(sa.crash_rate, sb.crash_rate);
+        assert!((sa.elapsed_s - sb.elapsed_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crashes_are_recorded_with_phase() {
+        let mut s = quick_session(40, 13);
+        let summary = s.run();
+        // Random search over this space crashes roughly a third of the
+        // time; with 40 iterations at least one crash is near-certain.
+        assert!(summary.crash_rate > 0.05, "rate={}", summary.crash_rate);
+        assert!(s
+            .history()
+            .records()
+            .iter()
+            .any(|r| r.crash_phase.is_some()));
+    }
+
+    #[test]
+    fn score_objective_combines_metric_and_memory() {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let app = App::by_id(AppId::Nginx);
+        let mut s = Session::new(
+            os,
+            app,
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                objective: Objective::ThroughputMemoryScore,
+                budget: Budget {
+                    iterations: Some(15),
+                    time_seconds: None,
+                },
+                seed: 17,
+                ..SessionSpec::default()
+            },
+        );
+        let summary = s.run();
+        let best = summary.best_objective.unwrap();
+        assert!((-1.0..=1.0).contains(&best), "score {best} out of range");
+        assert_eq!(s.direction(), Direction::Maximize);
+    }
+
+    #[test]
+    fn compile_target_uses_image_cache() {
+        let os = SimOs::unikraft_nginx();
+        let app = wf_ossim::unikraft::nginx_app();
+        let mut s = Session::new(
+            os,
+            app,
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: Some(6),
+                    time_seconds: None,
+                },
+                seed: 19,
+                ..SessionSpec::default()
+            },
+        );
+        let _ = s.run();
+        let (hits, misses) = s.summary().cache_stats;
+        assert!(misses > 0, "fresh configs must build");
+        // Unique random configs rarely share fingerprints; hits may be 0.
+        assert!(hits + misses >= 6);
+    }
+}

@@ -1,0 +1,228 @@
+//! The §3.4 exploration-space inference heuristic.
+//!
+//! "We first determine all configuration options by booting a VM ... and
+//! listing writable files in these paths. For each writable file, we read
+//! it and assume the value returned corresponds to the default ... If it
+//! is a number and equals 0 or 1, we assume the option is boolean. If it
+//! is neither 0 nor 1, we treat it as an arbitrary integer. Finally, we
+//! estimate the range of possible values ... by scaling up and down the
+//! default value several times by a high factor (10) and attempting to set
+//! the option ... If the write operation succeeds and the VM does not
+//! crash, we consider the new value to be in the valid range."
+//!
+//! The heuristic is *deliberately imperfect* in the same ways the paper's
+//! is: integer options whose default happens to be 0 or 1 are
+//! misclassified as booleans, and non-numeric options are skipped
+//! ("we call back to manual exploration when necessary").
+
+use wf_configspace::{ParamKind, ParamSpec, Stage, Value};
+use wf_ossim::SysctlTree;
+
+/// How many ×10 scalings are attempted in each direction.
+const SCALE_STEPS: u32 = 6;
+
+/// The outcome of probing one kernel's runtime tree.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeReport {
+    /// Inferred runtime parameters.
+    pub specs: Vec<ParamSpec>,
+    /// Writable but non-numeric files, left for manual exploration.
+    pub skipped_non_numeric: Vec<String>,
+    /// Total write attempts issued.
+    pub writes_attempted: usize,
+    /// Probe writes that crashed the probe VM.
+    pub probe_crashes: usize,
+}
+
+/// Probes a sysctl tree, inferring types and ranges per §3.4.
+///
+/// `crash_probe(name, value)` reports whether setting `name` to `value`
+/// crashes the probe VM (the tree itself only validates types/ranges, like
+/// a sysctl handler; crashes are a systemic effect).
+pub fn probe_runtime_space(
+    tree: &mut SysctlTree,
+    crash_probe: &mut dyn FnMut(&str, &str) -> bool,
+) -> ProbeReport {
+    let mut report = ProbeReport::default();
+    let names: Vec<String> = tree
+        .list_writable()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    for name in names {
+        let Some(default_text) = tree.read(&name) else {
+            continue;
+        };
+        let Ok(default) = default_text.trim().parse::<i64>() else {
+            report.skipped_non_numeric.push(name);
+            continue;
+        };
+        if default == 0 || default == 1 {
+            // §3.4: defaults of 0/1 are assumed boolean.
+            report.specs.push(
+                ParamSpec::new(&name, ParamKind::Bool, Stage::Runtime)
+                    .with_default(Value::Bool(default == 1))
+                    .with_doc("probed: boolean (default 0/1)"),
+            );
+            continue;
+        }
+        // Arbitrary integer: scale by ×10 in both directions.
+        let mut lo = default;
+        let mut hi = default;
+        for step in 1..=SCALE_STEPS {
+            let candidate = default.saturating_mul(10i64.saturating_pow(step));
+            if candidate == hi {
+                break;
+            }
+            if try_value(tree, crash_probe, &name, candidate, &mut report) {
+                hi = candidate;
+            } else {
+                break;
+            }
+        }
+        for step in 1..=SCALE_STEPS {
+            let candidate = default / 10i64.pow(step);
+            if candidate == lo || candidate == 0 && lo == 1 {
+                break;
+            }
+            if try_value(tree, crash_probe, &name, candidate, &mut report) {
+                lo = candidate;
+            } else {
+                break;
+            }
+            if candidate == 0 {
+                break;
+            }
+        }
+        // Restore the default for subsequent probes.
+        let _ = tree.write(&name, &default.to_string());
+        let kind = if lo >= 0 && hi - lo >= 1000 {
+            ParamKind::log_int(lo, hi)
+        } else {
+            ParamKind::int(lo.min(hi), hi.max(lo))
+        };
+        report.specs.push(
+            ParamSpec::new(&name, kind, Stage::Runtime)
+                .with_default(Value::Int(default))
+                .with_doc("probed: integer (ranged by x10 scaling)"),
+        );
+    }
+    report
+}
+
+/// Attempts one probe write; returns whether the value is accepted *and*
+/// survives.
+fn try_value(
+    tree: &mut SysctlTree,
+    crash_probe: &mut dyn FnMut(&str, &str) -> bool,
+    name: &str,
+    value: i64,
+    report: &mut ProbeReport,
+) -> bool {
+    report.writes_attempted += 1;
+    let text = value.to_string();
+    if tree.write(name, &text).is_err() {
+        return false;
+    }
+    if crash_probe(name, &text) {
+        report.probe_crashes += 1;
+        // Crash: value is outside the *viable* range even though the
+        // kernel accepted the write.
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_configspace::ConfigSpace;
+
+    fn tree() -> SysctlTree {
+        let mut space = ConfigSpace::new();
+        space.add(
+            ParamSpec::new("net.core.somaxconn", ParamKind::log_int(16, 65_535), Stage::Runtime)
+                .with_default(Value::Int(128)),
+        );
+        space.add(
+            ParamSpec::new("kernel.flagish", ParamKind::int(0, 100), Stage::Runtime)
+                .with_default(Value::Int(1)),
+        );
+        space.add(
+            ParamSpec::new("vm.swappiness", ParamKind::int(0, 100), Stage::Runtime)
+                .with_default(Value::Int(60)),
+        );
+        space.add(
+            ParamSpec::new(
+                "net.ipv4.tcp_congestion_control",
+                ParamKind::choices(vec!["cubic", "bbr"]),
+                Stage::Runtime,
+            )
+            .with_default(Value::Choice(0)),
+        );
+        SysctlTree::from_space(&space)
+    }
+
+    #[test]
+    fn infers_types_per_the_heuristic() {
+        let mut t = tree();
+        let mut no_crash = |_: &str, _: &str| false;
+        let report = probe_runtime_space(&mut t, &mut no_crash);
+        let by_name = |n: &str| report.specs.iter().find(|s| s.name == n);
+
+        // Default 128 -> integer with a x10-probed range.
+        let somaxconn = by_name("net.core.somaxconn").expect("probed");
+        match &somaxconn.kind {
+            ParamKind::Int { min, max, .. } => {
+                // 1280 and 12800 accepted, 128000 rejected by the kernel.
+                assert_eq!(*max, 12_800);
+                // 12 accepted (>=16? no: 12 < 16 -> rejected); floor stays.
+                assert!(*min <= 128, "min={min}");
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+
+        // Default 1 -> misclassified as boolean, faithfully to §3.4.
+        let flagish = by_name("kernel.flagish").expect("probed");
+        assert_eq!(flagish.kind, ParamKind::Bool);
+
+        // Default 60 -> integer.
+        assert!(matches!(
+            by_name("vm.swappiness").unwrap().kind,
+            ParamKind::Int { .. }
+        ));
+
+        // Strings are skipped.
+        assert_eq!(
+            report.skipped_non_numeric,
+            vec!["net.ipv4.tcp_congestion_control".to_string()]
+        );
+    }
+
+    #[test]
+    fn crash_probe_truncates_range() {
+        let mut t = tree();
+        // Values above 1000 "crash the VM".
+        let mut crash_big = |_: &str, v: &str| v.parse::<i64>().unwrap_or(0) > 1000;
+        let report = probe_runtime_space(&mut t, &mut crash_big);
+        let swap = report
+            .specs
+            .iter()
+            .find(|s| s.name == "net.core.somaxconn")
+            .unwrap();
+        match &swap.kind {
+            ParamKind::Int { max, .. } => assert!(*max <= 1000, "max={max}"),
+            k => panic!("unexpected kind {k:?}"),
+        }
+        assert!(report.probe_crashes > 0);
+    }
+
+    #[test]
+    fn defaults_are_restored_after_probing() {
+        let mut t = tree();
+        let mut no_crash = |_: &str, _: &str| false;
+        let _ = probe_runtime_space(&mut t, &mut no_crash);
+        assert_eq!(t.read("net.core.somaxconn").as_deref(), Some("128"));
+        assert_eq!(t.read("vm.swappiness").as_deref(), Some("60"));
+    }
+}

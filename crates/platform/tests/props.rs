@@ -1,0 +1,92 @@
+//! Property tests for the metric post-processing invariants the figures
+//! rely on.
+
+use proptest::prelude::*;
+use wf_platform::{min_max_normalize, rolling_crash_rate, throughput_memory_score, Series};
+
+fn series_strategy() -> impl Strategy<Value = Series> {
+    proptest::collection::vec((-1e6f64..1e6, 0.0f64..100.0), 1..40).prop_map(|pairs| {
+        let mut s = Series::new();
+        let mut t = 0.0;
+        for (y, dt) in pairs {
+            t += dt;
+            s.push(t, y);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn smoothing_preserves_length_and_bounds(s in series_strategy(), w in 1usize..12) {
+        let sm = s.smoothed(w);
+        prop_assert_eq!(sm.len(), s.len());
+        let lo = s.y.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = s.y.iter().cloned().fold(f64::MIN, f64::max);
+        for y in &sm.y {
+            prop_assert!(*y >= lo - 1e-9 && *y <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_so_far_is_monotone(s in series_strategy()) {
+        let up = s.best_so_far(true);
+        prop_assert!(up.y.windows(2).all(|w| w[0] <= w[1]));
+        let down = s.best_so_far(false);
+        prop_assert!(down.y.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn resample_holds_values_from_the_source(s in series_strategy(), k in 2usize..40) {
+        let t_end = s.t.last().unwrap() + 1.0;
+        let r = s.resample(t_end, k);
+        prop_assert_eq!(r.len(), k);
+        // Every resampled value occurs in the source series.
+        for y in &r.y {
+            prop_assert!(s.y.iter().any(|v| v == y));
+        }
+        // Time axis is evenly spaced and ends at t_end.
+        prop_assert!((r.t.last().unwrap() - t_end).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_lands_in_unit_interval(values in proptest::collection::vec(-1e9f64..1e9, 1..50)) {
+        let n = min_max_normalize(&values);
+        prop_assert_eq!(n.len(), values.len());
+        for v in &n {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn eq4_score_is_bounded(
+        thr in proptest::collection::vec(0.0f64..1e6, 1..30),
+        seed in any::<u64>(),
+    ) {
+        // Memory vector of the same length derived deterministically.
+        let mem: Vec<f64> = thr
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t * 0.01 + (seed % 97) as f64 + i as f64).abs())
+            .collect();
+        let scores = throughput_memory_score(&thr, &mem);
+        for v in &scores {
+            prop_assert!((-1.0..=1.0).contains(v), "score {v}");
+        }
+    }
+
+    #[test]
+    fn crash_rate_is_a_probability(
+        flags in proptest::collection::vec(any::<bool>(), 1..60),
+        window in 1usize..20,
+    ) {
+        let t: Vec<f64> = (0..flags.len()).map(|i| i as f64).collect();
+        let s = rolling_crash_rate(&t, &flags, window);
+        prop_assert_eq!(s.len(), flags.len());
+        for y in &s.y {
+            prop_assert!((0.0..=1.0).contains(y));
+        }
+    }
+}

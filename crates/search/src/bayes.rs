@@ -1,0 +1,488 @@
+//! Gaussian-process Bayesian optimization (§2.3, §3.1, Fig. 9).
+//!
+//! A from-scratch GP with an RBF kernel, Cholesky solves, and the
+//! expected-improvement acquisition function. Every property the paper
+//! holds against Bayesian optimization is visible here by construction:
+//!
+//! * refitting is O(n³) time and O(n²) memory in the number of
+//!   observations (no incremental updates);
+//! * categorical parameters enter as one-hot features, which the RBF
+//!   kernel treats poorly (§2.3's "difficulty to fit categorical
+//!   parameters");
+//! * crashes carry no signal of their own — they are imputed with the
+//!   worst observed value, so the optimizer keeps wandering into crash
+//!   regions it cannot represent (§3.2: competing methods "lack" failure
+//!   prediction).
+
+use crate::api::{AlgoStats, Observation, SearchAlgorithm, SearchContext};
+use crate::memtrack::{bytes_of_f64s, MemTracker};
+use rand::rngs::StdRng;
+use std::time::Instant;
+use wf_configspace::Configuration;
+
+/// Gaussian-process Bayesian optimization with expected improvement.
+#[derive(Debug)]
+pub struct BayesOpt {
+    /// RBF length scale.
+    length_scale: f64,
+    /// Signal variance.
+    signal_var: f64,
+    /// Observation noise variance.
+    noise_var: f64,
+    /// Random proposals before the first fit.
+    n_init: usize,
+    /// Candidate pool size per proposal.
+    pool: usize,
+    /// Exploration margin ξ in EI.
+    xi: f64,
+
+    // Fitted state.
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    chol: Option<Cholesky>,
+    alpha: Vec<f64>,
+    /// Mean/std of the targets at the last refit.
+    y_stats: (f64, f64),
+    mem: MemTracker,
+    last_update_seconds: f64,
+}
+
+impl Default for BayesOpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BayesOpt {
+    /// Creates an optimizer with standard hyperparameters.
+    pub fn new() -> Self {
+        BayesOpt {
+            length_scale: 1.0,
+            signal_var: 1.0,
+            noise_var: 1e-4,
+            n_init: 8,
+            pool: 200,
+            xi: 0.01,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            chol: None,
+            alpha: Vec::new(),
+            y_stats: (0.0, 1.0),
+            mem: MemTracker::new(),
+            last_update_seconds: 0.0,
+        }
+    }
+
+    /// Overrides the candidate pool size.
+    pub fn with_pool(mut self, pool: usize) -> Self {
+        self.pool = pool.max(8);
+        self
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum();
+        self.signal_var * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Refits the GP on all stored observations (the O(n³) step).
+    fn refit(&mut self) {
+        let n = self.xs.len();
+        if n == 0 {
+            self.chol = None;
+            return;
+        }
+        // Standardize targets so the kernel amplitudes stay sane.
+        let mean = self.ys.iter().sum::<f64>() / n as f64;
+        let std = (self.ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n as f64)
+            .sqrt()
+            .max(1e-9);
+        let yn: Vec<f64> = self.ys.iter().map(|y| (y - mean) / std).collect();
+
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel(&self.xs[i], &self.xs[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+            k[i * n + i] += self.noise_var;
+        }
+        let chol = Cholesky::factor(k, n).expect("kernel matrix is SPD with jitter");
+        self.alpha = chol.solve(&yn);
+        // Account: kernel matrix + factor + data.
+        let data: usize = self.xs.iter().map(|x| bytes_of_f64s(x.len())).sum();
+        self.mem
+            .set_live(bytes_of_f64s(2 * n * n) + bytes_of_f64s(n * 2) + data);
+        self.chol = Some(chol);
+        self.y_stats = (mean, std);
+    }
+
+    /// Posterior mean and variance at `x` (standardized units).
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let chol = match &self.chol {
+            Some(c) => c,
+            None => return (0.0, self.signal_var),
+        };
+        let n = self.xs.len();
+        let mut kstar = vec![0.0; n];
+        for i in 0..n {
+            kstar[i] = self.kernel(x, &self.xs[i]);
+        }
+        let mu: f64 = kstar.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        let v = chol.solve_lower(&kstar);
+        let var = (self.kernel(x, x) - v.iter().map(|z| z * z).sum::<f64>()).max(1e-12);
+        (mu, var)
+    }
+
+    /// Expected improvement over the incumbent (standardized units).
+    fn expected_improvement(&self, x: &[f64], best: f64) -> f64 {
+        let (mu, var) = self.predict(x);
+        let sigma = var.sqrt();
+        if sigma < 1e-12 {
+            return 0.0;
+        }
+        let z = (mu - best - self.xi) / sigma;
+        (mu - best - self.xi) * norm_cdf(z) + sigma * norm_pdf(z)
+    }
+}
+
+// Running target statistics captured at refit time.
+impl BayesOpt {
+    fn standardized_best(&self) -> f64 {
+        if self.ys.is_empty() {
+            return 0.0;
+        }
+        let (mean, std) = self.y_stats;
+        let best = self.ys.iter().cloned().fold(f64::MIN, f64::max);
+        (best - mean) / std
+    }
+}
+
+impl SearchAlgorithm for BayesOpt {
+    fn name(&self) -> &'static str {
+        "bayesian"
+    }
+
+    fn propose(&mut self, ctx: &SearchContext<'_>, rng: &mut StdRng) -> Configuration {
+        let t0 = Instant::now();
+        let out = if self.xs.len() < self.n_init || self.chol.is_none() {
+            ctx.policy.sample(ctx.space, rng)
+        } else {
+            let best = self.standardized_best();
+            let mut best_cfg = None;
+            let mut best_ei = f64::MIN;
+            for _ in 0..self.pool {
+                let c = ctx.policy.sample(ctx.space, rng);
+                let x = ctx.encoder.encode(ctx.space, &c);
+                let ei = self.expected_improvement(&x, best);
+                if ei > best_ei {
+                    best_ei = ei;
+                    best_cfg = Some(c);
+                }
+            }
+            best_cfg.unwrap_or_else(|| ctx.policy.sample(ctx.space, rng))
+        };
+        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
+        let t0 = Instant::now();
+        let x = ctx.encoder.encode(ctx.space, &obs.config);
+        // Crashes are imputed with the worst value seen so far: the GP has
+        // no crash concept, which is exactly the §2.3 limitation.
+        let y = match obs.value {
+            Some(v) => ctx.goodness(v),
+            None => self
+                .ys
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .min(0.0),
+        };
+        self.xs.push(x);
+        self.ys.push(y);
+        self.refit();
+        self.last_update_seconds = t0.elapsed().as_secs_f64();
+    }
+
+    fn stats(&self) -> AlgoStats {
+        AlgoStats {
+            last_update_seconds: self.last_update_seconds,
+            memory_bytes: self.mem.live(),
+        }
+    }
+}
+
+/// Dense Cholesky factorization (lower triangular), with jitter retries.
+#[derive(Debug)]
+struct Cholesky {
+    l: Vec<f64>,
+    n: usize,
+}
+
+impl Cholesky {
+    /// Factors a row-major SPD matrix, adding diagonal jitter on failure.
+    fn factor(mut k: Vec<f64>, n: usize) -> Option<Cholesky> {
+        for attempt in 0..6 {
+            match Self::try_factor(&k, n) {
+                Some(c) => return Some(c),
+                None => {
+                    let jitter = 1e-8 * 10f64.powi(attempt);
+                    for i in 0..n {
+                        k[i * n + i] += jitter;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn try_factor(k: &[f64], n: usize) -> Option<Cholesky> {
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = k[i * n + j];
+                for p in 0..j {
+                    sum -= l[i * n + p] * l[j * n + p];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(Cholesky { l, n })
+    }
+
+    /// Solves `L Lᵀ x = b`.
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        // Back substitution with Lᵀ.
+        let n = self.n;
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for p in i + 1..n {
+                sum -= self.l[p * n + i] * x[p];
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        x
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for p in 0..i {
+                sum -= self.l[i * n + p] * y[p];
+            }
+            y[i] = sum / self.l[i * n + i];
+        }
+        y
+    }
+}
+
+/// Standard normal PDF.
+fn norm_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+fn norm_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| < 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SamplePolicy;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use wf_configspace::{ConfigSpace, Encoder, ParamKind, ParamSpec, Stage, Value};
+    use wf_jobfile::Direction;
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // K = [[4,2],[2,3]], b = [8, 7] -> x = [1.25, 1.5].
+        let k = vec![4.0, 2.0, 2.0, 3.0];
+        let c = Cholesky::factor(k, 2).unwrap();
+        let x = c.solve(&[8.0, 7.0]);
+        assert!((x[0] - 1.25).abs() < 1e-10);
+        assert!((x[1] - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_accuracy() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    fn one_d_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add(
+            ParamSpec::new("x", ParamKind::int(0, 100), Stage::Runtime)
+                .with_default(Value::Int(50)),
+        );
+        s
+    }
+
+    /// A smooth 1-D objective the GP should optimize in few evaluations.
+    fn objective(c: &Configuration, space: &ConfigSpace) -> f64 {
+        let x = c.by_name(space, "x").unwrap().as_int().unwrap() as f64;
+        // Peak at x = 73.
+        -(x - 73.0) * (x - 73.0)
+    }
+
+    use wf_configspace::Configuration;
+
+    #[test]
+    fn gp_beats_random_on_smooth_objective() {
+        let space = one_d_space();
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let budget = 30;
+
+        let run = |alg: &mut dyn SearchAlgorithm, seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut history: Vec<Observation> = Vec::new();
+            for i in 0..budget {
+                let ctx = SearchContext {
+                    space: &space,
+                    encoder: &encoder,
+                    direction: Direction::Maximize,
+                    policy: &policy,
+                    history: &history,
+                    iteration: i,
+                };
+                let c = alg.propose(&ctx, &mut rng);
+                let y = objective(&c, &space);
+                let obs = Observation::ok(c, y, 1.0);
+                let ctx = SearchContext {
+                    space: &space,
+                    encoder: &encoder,
+                    direction: Direction::Maximize,
+                    policy: &policy,
+                    history: &history,
+                    iteration: i,
+                };
+                alg.observe(&ctx, &obs);
+                history.push(obs);
+            }
+            history
+                .iter()
+                .filter_map(|o| o.value)
+                .fold(f64::MIN, f64::max)
+        };
+
+        let mut gp_wins = 0;
+        for seed in 0..5 {
+            let mut gp = BayesOpt::new().with_pool(64);
+            let gp_best = run(&mut gp, seed);
+            let mut rnd = crate::random::RandomSearch::new();
+            let rnd_best = run(&mut rnd, seed);
+            if gp_best >= rnd_best {
+                gp_wins += 1;
+            }
+        }
+        assert!(gp_wins >= 4, "GP won only {gp_wins}/5 runs");
+    }
+
+    #[test]
+    fn memory_grows_quadratically() {
+        let space = one_d_space();
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut alg = BayesOpt::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut history: Vec<Observation> = Vec::new();
+        let mut mem_at = Vec::new();
+        for i in 0..60 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = ctx.policy.sample(ctx.space, &mut rng);
+            let obs = Observation::ok(c, rng.random::<f64>(), 1.0);
+            alg.observe(&ctx, &obs);
+            history.push(obs);
+            mem_at.push(alg.stats().memory_bytes);
+        }
+        // 60 observations vs 30: the kernel matrix alone quadruples.
+        assert!(mem_at[59] as f64 > mem_at[29] as f64 * 3.0);
+    }
+
+    #[test]
+    fn crashes_are_imputed_not_fatal() {
+        let space = one_d_space();
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut alg = BayesOpt::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut history: Vec<Observation> = Vec::new();
+        for i in 0..20 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = alg.propose(&ctx, &mut rng);
+            let obs = if i % 3 == 0 {
+                Observation::crash(c, 10.0)
+            } else {
+                Observation::ok(c, 1.0, 1.0)
+            };
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            alg.observe(&ctx, &obs);
+            history.push(obs);
+        }
+        // Still produces finite predictions after crash imputation.
+        let x = encoder.encode(&space, &space.default_config());
+        let (mu, var) = alg.predict(&x);
+        assert!(mu.is_finite() && var.is_finite() && var > 0.0);
+    }
+}

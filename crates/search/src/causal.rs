@@ -1,0 +1,465 @@
+//! Unicorn-style causal-inference search (§2.3, Fig. 7).
+//!
+//! Unicorn [Iqbal et al., EuroSys'22] reasons about configuration
+//! performance through a causal graph recomputed from the observation
+//! history. This module implements that algorithm class: a PC-style
+//! skeleton discovery over the configuration features plus the outcome
+//! variable, using partial-correlation conditional-independence tests
+//! (Fisher z), followed by interventions on the outcome's neighbors.
+//!
+//! The cost profile the paper holds against this class arises naturally:
+//!
+//! * the skeleton is recomputed each iteration over all `n` observations
+//!   (no incremental update), so per-iteration time grows with `n`;
+//! * as data accumulates, more edges become statistically significant, so
+//!   node degrees grow and the number of order-1/order-2 conditional
+//!   tests grows superlinearly;
+//! * test results are cached across iterations keyed by sample count
+//!   (recomputation is the algorithm, caching is the memory), so memory
+//!   grows with every iteration — the Fig. 7 blow-up.
+
+use crate::api::{AlgoStats, Observation, SearchAlgorithm, SearchContext};
+use crate::memtrack::{bytes_of_f64s, MemTracker};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::Instant;
+use wf_configspace::Configuration;
+
+/// PC-style causal search over configuration features.
+#[derive(Debug)]
+pub struct CausalSearch {
+    /// Significance threshold for Fisher-z tests.
+    z_threshold: f64,
+    /// Highest conditioning-set order tested (Unicorn uses small orders).
+    max_order: usize,
+    /// Random proposals before the first graph is built.
+    n_init: usize,
+    /// Candidate pool size per proposal.
+    pool: usize,
+
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    /// Adjacency of the last skeleton; index `f == n_features` is the
+    /// outcome variable.
+    adjacency: Vec<Vec<usize>>,
+    /// Correlation of each feature with the outcome (last recompute).
+    outcome_corr: Vec<f64>,
+    /// Accumulated test cache: (i, j, conditioning-set hash, n) → p-ish
+    /// statistic. Never evicted.
+    test_cache: HashMap<(u32, u32, u64, u32), f64>,
+    mem: MemTracker,
+    last_update_seconds: f64,
+}
+
+impl Default for CausalSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CausalSearch {
+    /// Creates a causal search with Unicorn-like settings.
+    pub fn new() -> Self {
+        CausalSearch {
+            z_threshold: 1.96,
+            max_order: 2,
+            n_init: 10,
+            pool: 100,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            adjacency: Vec::new(),
+            outcome_corr: Vec::new(),
+            test_cache: HashMap::new(),
+            mem: MemTracker::new(),
+            last_update_seconds: 0.0,
+        }
+    }
+
+    /// Number of conditional-independence tests performed so far.
+    pub fn tests_performed(&self) -> usize {
+        self.test_cache.len()
+    }
+
+    /// Rebuilds the causal skeleton from scratch (the expensive step).
+    fn rebuild(&mut self) {
+        let n = self.xs.len();
+        if n < 4 {
+            return;
+        }
+        let f = self.xs[0].len();
+        let vars = f + 1; // features + outcome
+
+        // Column means/stds, then the full correlation matrix.
+        let col = |v: usize, row: usize| -> f64 {
+            if v < f {
+                self.xs[row][v]
+            } else {
+                self.ys[row]
+            }
+        };
+        let mut mean = vec![0.0; vars];
+        for v in 0..vars {
+            for r in 0..n {
+                mean[v] += col(v, r);
+            }
+            mean[v] /= n as f64;
+        }
+        let mut std = vec![0.0; vars];
+        for v in 0..vars {
+            for r in 0..n {
+                let d = col(v, r) - mean[v];
+                std[v] += d * d;
+            }
+            std[v] = (std[v] / n as f64).sqrt();
+        }
+        let mut corr = vec![0.0; vars * vars];
+        for i in 0..vars {
+            for j in 0..=i {
+                let c = if std[i] < 1e-12 || std[j] < 1e-12 {
+                    0.0
+                } else {
+                    let mut s = 0.0;
+                    for r in 0..n {
+                        s += (col(i, r) - mean[i]) * (col(j, r) - mean[j]);
+                    }
+                    (s / n as f64) / (std[i] * std[j])
+                };
+                corr[i * vars + j] = c;
+                corr[j * vars + i] = c;
+            }
+        }
+
+        // Level-0 skeleton: edges where marginal dependence is significant.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); vars];
+        for i in 0..vars {
+            for j in 0..i {
+                let r = corr[i * vars + j];
+                if self.fisher_dependent(i, j, &[], r, n) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+
+        // Level 1..max_order: try to separate each edge by conditioning on
+        // common neighbors (PC algorithm). Degrees grow with data, so this
+        // is the superlinear part.
+        for order in 1..=self.max_order {
+            let edges: Vec<(usize, usize)> = (0..vars)
+                .flat_map(|i| adj[i].iter().filter(move |&&j| j < i).map(move |&j| (i, j)))
+                .collect();
+            for (i, j) in edges {
+                let neighbors: Vec<usize> = adj[i]
+                    .iter()
+                    .chain(adj[j].iter())
+                    .copied()
+                    .filter(|&k| k != i && k != j)
+                    .collect();
+                let sets = conditioning_sets(&neighbors, order);
+                let mut separated = false;
+                for s in sets {
+                    let pr = partial_corr(&corr, vars, i, j, &s);
+                    if !self.fisher_dependent(i, j, &s, pr, n) {
+                        separated = true;
+                        break;
+                    }
+                }
+                if separated {
+                    adj[i].retain(|&k| k != j);
+                    adj[j].retain(|&k| k != i);
+                }
+            }
+        }
+
+        self.outcome_corr = (0..f).map(|i| corr[f * vars + i]).collect();
+        self.adjacency = adj;
+
+        // Account memory: raw data + correlation matrix + adjacency +
+        // the ever-growing test cache (3 u32 + u64 key ≈ 24 B + 8 B value).
+        let data = self.xs.iter().map(|x| bytes_of_f64s(x.len())).sum::<usize>()
+            + bytes_of_f64s(self.ys.len());
+        let matrices = bytes_of_f64s(vars * vars) + bytes_of_f64s(vars * 2);
+        let graph: usize = self.adjacency.iter().map(|a| a.len() * 8).sum();
+        let cache = self.test_cache.len() * 48;
+        self.mem.set_live(data + matrices + graph + cache);
+    }
+
+    /// Fisher-z conditional dependence test, cached forever (keyed by the
+    /// sample count, so every iteration adds fresh entries).
+    fn fisher_dependent(&mut self, i: usize, j: usize, s: &[usize], r: f64, n: usize) -> bool {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in s {
+            h ^= v as u64 + 1;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let key = (i as u32, j as u32, h, n as u32);
+        let z = *self.test_cache.entry(key).or_insert_with(|| {
+            let df = n as f64 - s.len() as f64 - 3.0;
+            if df <= 0.0 {
+                return 0.0;
+            }
+            let r = r.clamp(-0.999_999, 0.999_999);
+            df.sqrt() * 0.5 * ((1.0 + r) / (1.0 - r)).ln()
+        });
+        z.abs() > self.z_threshold
+    }
+}
+
+/// All conditioning sets of exactly `order` elements (bounded enumeration).
+fn conditioning_sets(neighbors: &[usize], order: usize) -> Vec<Vec<usize>> {
+    let mut uniq: Vec<usize> = neighbors.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    match order {
+        1 => uniq.iter().map(|&k| vec![k]).collect(),
+        2 => {
+            let mut out = Vec::new();
+            for a in 0..uniq.len() {
+                for b in a + 1..uniq.len() {
+                    out.push(vec![uniq[a], uniq[b]]);
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Partial correlation of (i, j) given S (|S| ≤ 2), by recursion.
+fn partial_corr(corr: &[f64], vars: usize, i: usize, j: usize, s: &[usize]) -> f64 {
+    let r = |a: usize, b: usize| corr[a * vars + b];
+    match s {
+        [] => r(i, j),
+        [k] => {
+            let num = r(i, j) - r(i, *k) * r(j, *k);
+            let den = ((1.0 - r(i, *k).powi(2)) * (1.0 - r(j, *k).powi(2))).sqrt();
+            if den < 1e-12 {
+                0.0
+            } else {
+                num / den
+            }
+        }
+        [k, l] => {
+            let rij_k = partial_corr(corr, vars, i, j, &[*k]);
+            let ril_k = partial_corr(corr, vars, i, *l, &[*k]);
+            let rjl_k = partial_corr(corr, vars, j, *l, &[*k]);
+            let den = ((1.0 - ril_k * ril_k) * (1.0 - rjl_k * rjl_k)).sqrt();
+            if den < 1e-12 {
+                0.0
+            } else {
+                (rij_k - ril_k * rjl_k) / den
+            }
+        }
+        _ => r(i, j),
+    }
+}
+
+impl SearchAlgorithm for CausalSearch {
+    fn name(&self) -> &'static str {
+        "causal"
+    }
+
+    fn propose(&mut self, ctx: &SearchContext<'_>, rng: &mut StdRng) -> Configuration {
+        let t0 = Instant::now();
+        let out = if self.xs.len() < self.n_init || self.outcome_corr.is_empty() {
+            ctx.policy.sample(ctx.space, rng)
+        } else {
+            // Intervene: score candidates by the linear causal estimate of
+            // the outcome from features adjacent to it.
+            let f = self.outcome_corr.len();
+            let outcome = f; // outcome variable index in the skeleton
+            let causal_features: Vec<usize> = self
+                .adjacency
+                .get(outcome)
+                .map(|adj| adj.iter().copied().filter(|&k| k < f).collect())
+                .unwrap_or_default();
+            let mut best: Option<(f64, Configuration)> = None;
+            for _ in 0..self.pool {
+                let c = if rng.random::<f64>() < 0.5 {
+                    ctx.policy.sample(ctx.space, rng)
+                } else if let Some(b) = ctx.best() {
+                    ctx.policy.mutate(ctx.space, &b.config, 2, rng)
+                } else {
+                    ctx.policy.sample(ctx.space, rng)
+                };
+                let x = ctx.encoder.encode(ctx.space, &c);
+                let score: f64 = if causal_features.is_empty() {
+                    self.outcome_corr
+                        .iter()
+                        .zip(x.iter())
+                        .map(|(r, v)| r * v)
+                        .sum()
+                } else {
+                    causal_features
+                        .iter()
+                        .map(|&k| self.outcome_corr[k] * x[k])
+                        .sum()
+                };
+                if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                    best = Some((score, c));
+                }
+            }
+            best.expect("pool is non-empty").1
+        };
+        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
+        let t0 = Instant::now();
+        let x = ctx.encoder.encode(ctx.space, &obs.config);
+        let y = match obs.value {
+            Some(v) => ctx.goodness(v),
+            None => self
+                .ys
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .min(0.0),
+        };
+        self.xs.push(x);
+        self.ys.push(y);
+        self.rebuild();
+        self.last_update_seconds = t0.elapsed().as_secs_f64();
+    }
+
+    fn stats(&self) -> AlgoStats {
+        AlgoStats {
+            last_update_seconds: self.last_update_seconds,
+            memory_bytes: self.mem.live(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SamplePolicy;
+    use rand::SeedableRng;
+    use wf_configspace::{ConfigSpace, Encoder, ParamKind, ParamSpec, Stage};
+    use wf_jobfile::Direction;
+
+    fn space(dims: usize) -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        for i in 0..dims {
+            s.add(ParamSpec::new(
+                format!("p{i}"),
+                ParamKind::int(0, 100),
+                Stage::Runtime,
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn partial_correlation_chain_rule() {
+        // X -> Z -> Y: r_xy should vanish conditioned on Z.
+        // Construct correlations of a linear chain with unit coefficients.
+        let vars = 3;
+        let r_xz = 0.8;
+        let r_zy = 0.7;
+        let r_xy = r_xz * r_zy;
+        let corr = vec![
+            1.0, r_xz, r_xy, //
+            r_xz, 1.0, r_zy, //
+            r_xy, r_zy, 1.0,
+        ];
+        let pc = partial_corr(&corr, vars, 0, 2, &[1]);
+        assert!(pc.abs() < 1e-9, "pc={pc}");
+    }
+
+    #[test]
+    fn conditioning_sets_enumerate() {
+        assert_eq!(conditioning_sets(&[3, 5], 1), vec![vec![3], vec![5]]);
+        assert_eq!(conditioning_sets(&[3, 5, 7], 2).len(), 3);
+        assert_eq!(conditioning_sets(&[3, 3, 5], 1).len(), 2, "dedup");
+    }
+
+    /// Drives the search on a linear ground truth and returns per-iteration
+    /// (time, memory) stats.
+    fn drive(dims: usize, iters: usize) -> Vec<AlgoStats> {
+        let space = space(dims);
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut alg = CausalSearch::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut history: Vec<Observation> = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..iters {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = alg.propose(&ctx, &mut rng);
+            // Outcome depends on p0 and p1 only.
+            let y = c.by_name(&space, "p0").unwrap().as_f64()
+                + 0.5 * c.by_name(&space, "p1").unwrap().as_f64();
+            let obs = Observation::ok(c, y, 1.0);
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            alg.observe(&ctx, &obs);
+            history.push(obs);
+            out.push(alg.stats());
+        }
+        out
+    }
+
+    #[test]
+    fn memory_grows_across_iterations() {
+        let stats = drive(20, 40);
+        assert!(stats[39].memory_bytes > stats[10].memory_bytes);
+        // Growth continues (cache never shrinks).
+        assert!(stats[39].memory_bytes > stats[25].memory_bytes);
+    }
+
+    #[test]
+    fn finds_the_influential_parameter() {
+        let space = space(10);
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut alg = CausalSearch::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut history: Vec<Observation> = Vec::new();
+        for i in 0..60 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = alg.propose(&ctx, &mut rng);
+            let y = c.by_name(&space, "p0").unwrap().as_f64();
+            let obs = Observation::ok(c, y, 1.0);
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            alg.observe(&ctx, &obs);
+            history.push(obs);
+        }
+        // The last third of proposals should push p0 high.
+        let late: Vec<f64> = history[40..]
+            .iter()
+            .map(|o| o.config.by_name(&space, "p0").unwrap().as_f64())
+            .collect();
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(mean > 65.0, "late p0 mean {mean} (random would be ~50)");
+    }
+}

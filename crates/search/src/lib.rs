@@ -1,0 +1,30 @@
+//! `wf-search`: the pluggable search-algorithm API and the paper's
+//! baseline algorithms (§3.1, §2.3).
+//!
+//! * [`api`] — the [`SearchAlgorithm`] trait, observations, contexts,
+//!   sampling policies, and per-iteration cost statistics;
+//! * [`random`] — the random-search baseline;
+//! * [`grid`] — systematic coordinate sweeps;
+//! * [`bayes`] — from-scratch Gaussian-process Bayesian optimization
+//!   (RBF kernel, Cholesky, expected improvement) with its O(n³)/O(n²)
+//!   costs on display (Fig. 9);
+//! * [`causal`] — a Unicorn-style PC-algorithm causal search whose
+//!   recompute-everything cost profile reproduces Fig. 7;
+//! * [`memtrack`] — explicit byte accounting (the `tracemalloc`
+//!   substitute).
+//!
+//! DeepTune itself lives in `wf-deeptune` and implements the same trait.
+
+pub mod api;
+pub mod bayes;
+pub mod causal;
+pub mod grid;
+pub mod memtrack;
+pub mod random;
+
+pub use api::{AlgoStats, Observation, SamplePolicy, SearchAlgorithm, SearchContext};
+pub use bayes::BayesOpt;
+pub use causal::CausalSearch;
+pub use grid::GridSearch;
+pub use memtrack::MemTracker;
+pub use random::RandomSearch;

@@ -1,0 +1,84 @@
+//! Byte accounting for algorithm data structures (Fig. 7's memory axis).
+//!
+//! The paper measures Unicorn's memory with Python's `tracemalloc`. Rust
+//! has no equivalent tracing allocator in the sanctioned crate set, so the
+//! algorithms *account* for their live structures explicitly: the same
+//! quantity (peak bytes attributable to the algorithm), measured without a
+//! tracing runtime.
+
+/// A simple live/peak byte counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemTracker {
+    live: usize,
+    peak: usize,
+}
+
+impl MemTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Records a release of `bytes` (saturating).
+    pub fn free(&mut self, bytes: usize) {
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// Replaces the live figure (for structures re-measured wholesale).
+    pub fn set_live(&mut self, bytes: usize) {
+        self.live = bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Currently live bytes.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak live bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Bytes occupied by a `Vec<f64>`'s payload.
+pub fn bytes_of_f64s(len: usize) -> usize {
+    len * std::mem::size_of::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_live_and_peak() {
+        let mut t = MemTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        assert_eq!(t.live(), 150);
+        t.free(120);
+        assert_eq!(t.live(), 30);
+        assert_eq!(t.peak(), 150);
+        t.set_live(500);
+        assert_eq!(t.peak(), 500);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut t = MemTracker::new();
+        t.alloc(10);
+        t.free(100);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn f64_sizing() {
+        assert_eq!(bytes_of_f64s(4), 32);
+    }
+}

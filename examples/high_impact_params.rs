@@ -1,0 +1,43 @@
+//! §4.1's "High-Impact Configuration Parameters" analysis: train DeepTune
+//! on Nginx, then query the model for the parameters it learned to matter
+//! — positively (somaxconn, rmem, keepalive, stat_interval, ...) and
+//! negatively (printk, printk_delay, block_dump).
+//!
+//! ```sh
+//! cargo run --release --example high_impact_params
+//! ```
+
+use wayfinder::deeptune::{top_negative, top_positive};
+use wayfinder::prelude::*;
+
+fn main() {
+    let mut session = SessionBuilder::new()
+        .os(OsFlavor::Linux419)
+        .app(AppId::Nginx)
+        .algorithm(AlgorithmChoice::DeepTune)
+        .runtime_params(96)
+        .iterations(60)
+        .seed(7)
+        .build()
+        .expect("valid session");
+    println!("training DeepTune on Nginx ({} iterations) ...", 60);
+    let _ = session.run();
+
+    let impacts = session
+        .parameter_impacts()
+        .expect("trained DeepTune model");
+
+    println!("\ntop parameters the model predicts to IMPROVE Nginx when tuned:");
+    for p in top_positive(&impacts, 8) {
+        println!("  {:<40} +{:.3}", p.name, p.best_delta);
+    }
+    println!("\ntop parameters the model predicts to DEGRADE Nginx when mis-tuned:");
+    for p in top_negative(&impacts, 8) {
+        println!("  {:<40} {:.3}", p.name, p.worst_delta);
+    }
+    println!(
+        "\n(paper §4.1: positive examples include net.core.somaxconn, \
+         net.core.rmem_default, net.ipv4.tcp_keepalive_time, vm.stat_interval; \
+         negative ones kernel.printk, kernel.printk_delay, vm.block_dump)"
+    );
+}

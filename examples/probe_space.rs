@@ -1,0 +1,60 @@
+//! The §3.4 exploration-space inference heuristic, end to end: boot a
+//! simulated kernel, list its writable sysctl files, infer types from the
+//! defaults, and estimate ranges by x10 scaling probes.
+//!
+//! ```sh
+//! cargo run --release --example probe_space
+//! ```
+
+use wayfinder::ossim::{first_crash, SysctlTree};
+use wayfinder::platform::probe_runtime_space;
+use wf_configspace::{NamedConfig, Value};
+use wf_kconfig::LinuxVersion;
+
+fn main() {
+    // "Boot" the kernel: materialize its runtime tree.
+    let os = wayfinder::ossim::SimOs::linux_runtime(LinuxVersion::V4_19, 96);
+    let mut tree = SysctlTree::from_space(&os.space);
+    // Real trees also expose read-only files the heuristic must skip.
+    tree.add_readonly(
+        "kernel.osrelease",
+        Value::Int(419),
+        wf_configspace::ParamKind::int(0, 10_000),
+    );
+    println!("writable sysctl files: {}", tree.list_writable().len());
+
+    // Probe writes can crash the probe VM; the ground-truth crash rules
+    // decide (e.g. vm.nr_hugepages too large OOMs the probe kernel).
+    let rules = os.crash_rules.clone();
+    let defaults = os.defaults_view.clone();
+    let mut crash_probe = |name: &str, value: &str| {
+        let mut view = NamedConfig::empty();
+        if let Ok(v) = value.parse::<i64>() {
+            view.set(name.to_string(), Value::Int(v));
+        }
+        first_crash(&rules, &view, &defaults).is_some()
+    };
+
+    let report = probe_runtime_space(&mut tree, &mut crash_probe);
+    println!(
+        "probed {} parameters with {} writes ({} probe crashes, {} non-numeric skipped)",
+        report.specs.len(),
+        report.writes_attempted,
+        report.probe_crashes,
+        report.skipped_non_numeric.len()
+    );
+
+    println!("\nsample of the inferred space:");
+    for spec in report.specs.iter().take(12) {
+        println!(
+            "  {:<42} {:?}  (path {})",
+            spec.name,
+            spec.kind,
+            SysctlTree::path_of(&spec.name)
+        );
+    }
+    println!("\nskipped (left to manual exploration, per §3.4):");
+    for name in report.skipped_non_numeric.iter().take(5) {
+        println!("  {name}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: specialize simulated Linux 4.19 for Nginx throughput with
+//! DeepTune, then print what was found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wayfinder::prelude::*;
+
+fn main() {
+    // The §4.1 setup, scaled down: Linux 4.19, runtime-focused space,
+    // Nginx + wrk, maximize throughput.
+    let mut session = SessionBuilder::new()
+        .os(OsFlavor::Linux419)
+        .app(AppId::Nginx)
+        .algorithm(AlgorithmChoice::DeepTune)
+        .runtime_params(96)
+        .iterations(40)
+        .seed(42)
+        .build()
+        .expect("valid session");
+
+    println!("exploring {} runtime parameters ...", 96);
+    let outcome = session.run();
+
+    let summary = &outcome.summary;
+    println!(
+        "ran {} iterations in {:.1} virtual hours (crash rate {:.0}%)",
+        summary.iterations,
+        summary.elapsed_s / 3600.0,
+        summary.crash_rate * 100.0
+    );
+    let (config, value) = outcome.best.expect("at least one configuration succeeded");
+    println!("best configuration: {value:.0} req/s");
+
+    // Show the non-default runtime parameters of the winner.
+    let space = &session.platform().os().space;
+    let default = space.default_config();
+    println!("non-default parameters of the best configuration:");
+    for idx in config.diff_indices(&default) {
+        let spec = space.spec(idx);
+        println!("  {} = {} (default {})", spec.name, config.get(idx), spec.default);
+    }
+}

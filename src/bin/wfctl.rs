@@ -1,0 +1,198 @@
+//! `wfctl`: the Wayfinder control tool.
+//!
+//! The paper's artifact drives experiments through `wfctl create job.yaml`
+//! / `wfctl start`; this binary mirrors that workflow against the
+//! simulated testbed:
+//!
+//! ```sh
+//! wfctl run <job.yaml>        # run a job file to completion
+//! wfctl validate <job.yaml>   # parse + resolve a job without running it
+//! wfctl probe                 # run the §3.4 runtime-space inference
+//! wfctl experiments           # list the regeneration targets
+//! ```
+
+use std::process::ExitCode;
+use wayfinder::ossim::{first_crash, SimOs, SysctlTree};
+use wayfinder::platform::probe_runtime_space;
+use wayfinder::prelude::*;
+use wf_configspace::{NamedConfig, Value};
+use wf_kconfig::LinuxVersion;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => match args.get(1) {
+            Some(path) => run_job(path),
+            None => usage("run needs a job file"),
+        },
+        Some("validate") => match args.get(1) {
+            Some(path) => validate_job(path),
+            None => usage("validate needs a job file"),
+        },
+        Some("probe") => probe(),
+        Some("experiments") => experiments(),
+        _ => usage("missing or unknown subcommand"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("wfctl: {err}");
+    eprintln!(
+        "usage:\n  wfctl run <job.yaml>\n  wfctl validate <job.yaml>\n  wfctl probe\n  wfctl experiments"
+    );
+    ExitCode::from(2)
+}
+
+fn load_job(path: &str) -> Result<Job, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Job::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn validate_job(path: &str) -> ExitCode {
+    match load_job(path).and_then(|job| {
+        SessionBuilder::from_job(&job)
+            .and_then(SessionBuilder::build)
+            .map_err(|e| e.to_string())
+            .map(|session| (job, session))
+    }) {
+        Ok((job, session)) => {
+            let os = session.platform().os();
+            println!(
+                "job {:?}: {} on {} — {} parameters (10^{:.1} permutations), budget {:?} iterations / {:?} s",
+                job.name,
+                job.app,
+                os.name,
+                os.space.len(),
+                os.space.log10_cardinality(),
+                job.budget.iterations,
+                job.budget.time_seconds,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid job: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_job(path: &str) -> ExitCode {
+    let job = match load_job(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = SessionBuilder::from_job(&job).and_then(SessionBuilder::build);
+    let mut session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot build session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "running job {:?}: {} on {} ...",
+        job.name,
+        job.app,
+        session.platform().os().name
+    );
+    let mut last_report = 0.0;
+    while !session.done() {
+        let (finished_at_s, iteration) = {
+            let r = session.step();
+            (r.finished_at_s, r.iteration)
+        };
+        if finished_at_s - last_report > 1800.0 {
+            last_report = finished_at_s;
+            println!(
+                "  t={:>6.0}s  iteration {:>4}  best {:?}",
+                finished_at_s,
+                iteration + 1,
+                session
+                    .platform()
+                    .history()
+                    .best(session.platform().direction())
+                    .and_then(|b| b.objective)
+            );
+        }
+    }
+    let summary = session.platform().summary();
+    println!(
+        "done: {} iterations in {:.1} virtual hours, crash rate {:.0}%",
+        summary.iterations,
+        summary.elapsed_s / 3600.0,
+        summary.crash_rate * 100.0
+    );
+    match (summary.best_objective, summary.best_config) {
+        (Some(best), Some(config)) => {
+            println!("best {}: {:.2}", job.metric, best);
+            let space = &session.platform().os().space;
+            let default = space.default_config();
+            println!("non-default parameters:");
+            for idx in config.diff_indices(&default) {
+                println!(
+                    "  {} = {}",
+                    space.spec(idx).name,
+                    config.get(idx)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("no configuration survived the budget");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn probe() -> ExitCode {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 200);
+    let mut tree = SysctlTree::from_space(&os.space);
+    let rules = os.crash_rules.clone();
+    let defaults = os.defaults_view.clone();
+    let mut crash_probe = |name: &str, value: &str| {
+        let mut view = NamedConfig::empty();
+        if let Ok(v) = value.parse::<i64>() {
+            view.set(name.to_string(), Value::Int(v));
+        }
+        first_crash(&rules, &view, &defaults).is_some()
+    };
+    let report = probe_runtime_space(&mut tree, &mut crash_probe);
+    println!(
+        "probed {} parameters ({} writes, {} probe crashes, {} non-numeric skipped)",
+        report.specs.len(),
+        report.writes_attempted,
+        report.probe_crashes,
+        report.skipped_non_numeric.len()
+    );
+    for spec in &report.specs {
+        println!("{:<44} {:?}", spec.name, spec.kind);
+    }
+    ExitCode::SUCCESS
+}
+
+fn experiments() -> ExitCode {
+    println!("regeneration targets (cargo bench -p wf-bench --bench <name>):");
+    for (name, what) in [
+        ("fig01_kconfig_growth", "Fig. 1  Linux option growth"),
+        ("table1_config_census", "Table 1 configuration census"),
+        ("fig02_random_nginx", "Fig. 2  random-config throughput"),
+        ("fig05_cross_similarity", "Fig. 5  importance similarity"),
+        ("fig06_search_evolution", "Fig. 6  search evolution"),
+        ("table2_best_configs", "Table 2 best configurations"),
+        ("fig07_scalability", "Fig. 7  DeepTune vs Unicorn"),
+        ("fig08_loop_breakdown", "Fig. 8  loop-time breakdown"),
+        ("table3_prediction_accuracy", "Table 3 prediction accuracy"),
+        ("fig09_unikraft", "Fig. 9  Unikraft comparison"),
+        ("fig10_memory_footprint", "Fig. 10 RISC-V footprint"),
+        ("fig11_cozart_cooptim", "Fig. 11 Cozart co-optimization"),
+        ("table4_cozart_top5", "Table 4 co-optimization top-5"),
+        ("ablation", "scoring-function ablation"),
+        ("micro", "Criterion microbenches"),
+    ] {
+        println!("  {name:<28} {what}");
+    }
+    ExitCode::SUCCESS
+}

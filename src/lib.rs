@@ -1,0 +1,52 @@
+//! Wayfinder: automated operating-system specialization (EuroSys'26).
+//!
+//! This facade crate re-exports the full workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`nn`] — from-scratch neural-network substrate used by DeepTune;
+//! * [`configspace`] — typed OS configuration-space model;
+//! * [`kconfig`] — Kconfig-language parser, solver, and synthetic Linux model;
+//! * [`jobfile`] — YAML-subset job-file parser (§3.1/§3.4 of the paper);
+//! * [`ossim`] — simulated OS substrate (kernel build/boot, sysctl tree,
+//!   applications, benchmark tools);
+//! * [`platform`] — the automated benchmarking pipeline;
+//! * [`search`] — baseline algorithms (random, grid, Bayesian, causal);
+//! * [`deeptune`] — the DeepTune optimizer (the paper's core contribution);
+//! * [`forest`] — random-forest feature importance;
+//! * [`cozart`] — compile-time debloating baseline;
+//! * [`core`] — sessions, reports, and per-figure experiment runners.
+//!
+//! # Examples
+//!
+//! ```
+//! use wayfinder::prelude::*;
+//!
+//! // Specialize simulated Linux for Nginx throughput with DeepTune.
+//! let mut session = SessionBuilder::new()
+//!     .os(OsFlavor::Linux419)
+//!     .app(AppId::Nginx)
+//!     .algorithm(AlgorithmChoice::DeepTune)
+//!     .iterations(20)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid session");
+//! let outcome = session.run();
+//! assert!(outcome.best.is_some());
+//! ```
+
+pub use wayfinder_core as core;
+pub use wf_configspace as configspace;
+pub use wf_cozart as cozart;
+pub use wf_deeptune as deeptune;
+pub use wf_forest as forest;
+pub use wf_jobfile as jobfile;
+pub use wf_kconfig as kconfig;
+pub use wf_nn as nn;
+pub use wf_ossim as ossim;
+pub use wf_platform as platform;
+pub use wf_search as search;
+
+/// Convenient re-exports for application code and examples.
+pub mod prelude {
+    pub use wayfinder_core::prelude::*;
+}
