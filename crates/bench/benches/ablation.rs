@@ -19,7 +19,9 @@ struct Variant {
 fn main() {
     let scale = Scale::from_env();
     let iters = scale.search_iterations;
-    println!("== Ablation: DeepTune scoring-function ingredients (Nginx/Linux, {iters} iterations) ==");
+    println!(
+        "== Ablation: DeepTune scoring-function ingredients (Nginx/Linux, {iters} iterations) =="
+    );
     let variants = [
         Variant {
             name: "full (paper)",

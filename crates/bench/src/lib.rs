@@ -37,7 +37,9 @@ pub fn run_fig01() {
 pub fn run_table1() {
     println!("== Table 1: configuration space for Linux 6.0 ==");
     let c = exp::table1();
-    let mut t = Table::new(&["bool", "tristate", "string", "hex", "int", "boot", "runtime"]);
+    let mut t = Table::new(&[
+        "bool", "tristate", "string", "hex", "int", "boot", "runtime",
+    ]);
     t.row(&[
         c.bool_.to_string(),
         c.tristate.to_string(),

@@ -215,7 +215,9 @@ impl NamedConfig {
 
     /// Choice-index view with fallback.
     pub fn choice_or(&self, name: &str, default: usize) -> usize {
-        self.get(name).and_then(|v| v.as_choice()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.as_choice())
+            .unwrap_or(default)
     }
 
     /// Inserts or replaces a value.
@@ -246,8 +248,12 @@ mod tests {
                 .with_default(Value::Bool(false)),
         );
         s.add(
-            ParamSpec::new("net.core.somaxconn", ParamKind::log_int(16, 65535), Stage::Runtime)
-                .with_default(Value::Int(128)),
+            ParamSpec::new(
+                "net.core.somaxconn",
+                ParamKind::log_int(16, 65535),
+                Stage::Runtime,
+            )
+            .with_default(Value::Int(128)),
         );
         s
     }

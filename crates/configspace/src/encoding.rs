@@ -146,7 +146,11 @@ mod tests {
     fn space() -> ConfigSpace {
         let mut s = ConfigSpace::new();
         s.add(ParamSpec::new("flag", ParamKind::Bool, Stage::Runtime));
-        s.add(ParamSpec::new("tri", ParamKind::Tristate, Stage::CompileTime));
+        s.add(ParamSpec::new(
+            "tri",
+            ParamKind::Tristate,
+            Stage::CompileTime,
+        ));
         s.add(
             ParamSpec::new("size", ParamKind::log_int(0, 1023), Stage::Runtime)
                 .with_default(Value::Int(0)),

@@ -221,10 +221,7 @@ mod tests {
         assert_eq!(ParamKind::Bool.encoded_width(), 1);
         assert_eq!(ParamKind::Tristate.encoded_width(), 3);
         assert_eq!(ParamKind::int(0, 10).encoded_width(), 1);
-        assert_eq!(
-            ParamKind::choices(vec!["a", "b", "c"]).encoded_width(),
-            3
-        );
+        assert_eq!(ParamKind::choices(vec!["a", "b", "c"]).encoded_width(), 3);
     }
 
     #[test]
@@ -254,8 +251,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not admitted")]
     fn with_default_rejects_out_of_domain() {
-        let _ = ParamSpec::new("x", ParamKind::int(0, 1), Stage::Runtime)
-            .with_default(Value::Int(9));
+        let _ =
+            ParamSpec::new("x", ParamKind::int(0, 1), Stage::Runtime).with_default(Value::Int(9));
     }
 
     #[test]

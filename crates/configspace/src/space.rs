@@ -135,9 +135,7 @@ impl ConfigSpace {
         }
         match &spec.kind {
             ParamKind::Bool => Value::Bool(rng.random::<bool>()),
-            ParamKind::Tristate => {
-                Value::Tristate(Tristate::ALL[rng.random_range(0..3)])
-            }
+            ParamKind::Tristate => Value::Tristate(Tristate::ALL[rng.random_range(0..3usize)]),
             ParamKind::Int {
                 min,
                 max,
@@ -280,12 +278,18 @@ mod tests {
     fn space() -> ConfigSpace {
         let mut s = ConfigSpace::new();
         s.add(ParamSpec::new("a", ParamKind::Bool, Stage::Runtime));
-        s.add(ParamSpec::new("b", ParamKind::log_int(1, 1_000_000), Stage::Runtime)
-            .with_default(Value::Int(128)));
+        s.add(
+            ParamSpec::new("b", ParamKind::log_int(1, 1_000_000), Stage::Runtime)
+                .with_default(Value::Int(128)),
+        );
         s.add(ParamSpec::new("c", ParamKind::Tristate, Stage::CompileTime));
         s.add(
-            ParamSpec::new("d", ParamKind::choices(vec!["x", "y", "z"]), Stage::BootTime)
-                .with_default(Value::Choice(1)),
+            ParamSpec::new(
+                "d",
+                ParamKind::choices(vec!["x", "y", "z"]),
+                Stage::BootTime,
+            )
+            .with_default(Value::Choice(1)),
         );
         s
     }
@@ -322,7 +326,12 @@ mod tests {
         let mut small = 0;
         let mut large = 0;
         for _ in 0..2000 {
-            let v = s.sample(&mut rng).by_name(&s, "b").unwrap().as_int().unwrap();
+            let v = s
+                .sample(&mut rng)
+                .by_name(&s, "b")
+                .unwrap()
+                .as_int()
+                .unwrap();
             if v < 1000 {
                 small += 1;
             }
@@ -360,7 +369,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..50 {
             let c = s.sample_stage(Stage::Runtime, &mut rng);
-            assert_eq!(c.by_name(&s, "c"), Some(s.default_config().by_name(&s, "c").unwrap()));
+            assert_eq!(
+                c.by_name(&s, "c"),
+                Some(s.default_config().by_name(&s, "c").unwrap())
+            );
             assert_eq!(c.by_name(&s, "d"), Some(Value::Choice(1)));
         }
     }

@@ -28,6 +28,9 @@ impl Tristate {
     }
 
     /// Kconfig negation: `!y = n`, `!n = y`, `!m = m`.
+    // Not `impl std::ops::Not`: Kconfig negation fixes `m`, which would be
+    // misleading behind the `!` operator.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tristate {
         match self {
             Tristate::No => Tristate::Yes,

@@ -16,8 +16,7 @@ fn kind_strategy() -> impl Strategy<Value = ParamKind> {
             let min = min as i64 % 1000;
             ParamKind::int(min, min + span)
         }),
-        (0..1000i64, 1..100_000i64)
-            .prop_map(|(min, span)| ParamKind::log_int(min, min + span)),
+        (0..1000i64, 1..100_000i64).prop_map(|(min, span)| ParamKind::log_int(min, min + span)),
         prop::collection::vec("[a-z]{1,6}", 1..5).prop_map(|mut cs| {
             cs.dedup();
             ParamKind::Enum { choices: cs }

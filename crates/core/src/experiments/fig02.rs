@@ -78,10 +78,7 @@ mod tests {
         let r = fig2(&Scale::tiny(), 2);
         assert_eq!(r.sorted_throughput.len(), 40);
         // Sorted ascending.
-        assert!(r
-            .sorted_throughput
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(r.sorted_throughput.windows(2).all(|w| w[0] <= w[1]));
         // Default around 15.7K req/s; best random above it; most below.
         assert!((14_000.0..17_500.0).contains(&r.default_throughput));
         assert!(r.best_ratio > 1.0, "best ratio {}", r.best_ratio);

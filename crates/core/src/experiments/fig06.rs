@@ -192,7 +192,7 @@ mod tests {
     fn nginx_deeptune_beats_random_and_lowers_crashes() {
         let scale = Scale {
             search_iterations: 40,
-            runs: 1,
+            runs: 3,
             runtime_params: 56,
             ..Scale::tiny()
         };
@@ -202,18 +202,29 @@ mod tests {
         let random = &r.runs[0];
         let deeptune = &r.runs[1];
         let transfer = &r.runs[2];
+        let mean_best = |runs: &[SessionRunData]| {
+            runs.iter()
+                .map(|d| d.summary.best_metric.unwrap())
+                .sum::<f64>()
+                / runs.len() as f64
+        };
+        let mean_crash = |runs: &[SessionRunData]| {
+            runs.iter().map(|d| d.summary.crash_rate).sum::<f64>() / runs.len() as f64
+        };
         // DeepTune's best is at least random's (usually better).
-        let rb = random[0].summary.best_metric.unwrap();
-        let db = deeptune[0].summary.best_metric.unwrap();
+        let rb = mean_best(random);
+        let db = mean_best(deeptune);
         // At this tiny budget we only require rough parity; the decisive
         // win is asserted at the reduced/full scales in tests/experiments.
         assert!(db > rb * 0.90, "deeptune {db} vs random {rb}");
-        // Transfer keeps the crash rate low from the start (§3.3).
+        // Transfer keeps the crash rate low from the start (§3.3). A
+        // single 40-iteration run quantizes crash rate in steps of 0.025
+        // and can tie; the mean over the replicate runs separates cleanly.
         assert!(
-            transfer[0].summary.crash_rate < random[0].summary.crash_rate,
+            mean_crash(transfer) < mean_crash(random),
             "tl={} random={}",
-            transfer[0].summary.crash_rate,
-            random[0].summary.crash_rate
+            mean_crash(transfer),
+            mean_crash(random)
         );
         // Curves resampled to a shared axis.
         assert_eq!(r.curves[0].perf.len(), RESAMPLE_POINTS);

@@ -125,7 +125,13 @@ mod tests {
 
     #[test]
     fn unicorn_costs_blow_up_while_deeptune_stays_flat() {
-        let r = fig7(&Scale { fig7_iterations: 40, ..Scale::tiny() }, 4);
+        let r = fig7(
+            &Scale {
+                fig7_iterations: 40,
+                ..Scale::tiny()
+            },
+            4,
+        );
         let n = r.unicorn.len();
         assert_eq!(n, 40);
         // Memory: Unicorn grows superlinearly (cache + data), DeepTune
@@ -133,7 +139,10 @@ mod tests {
         let u_growth = r.unicorn[n - 1].memory_bytes as f64 / r.unicorn[n / 2].memory_bytes as f64;
         let d_growth =
             r.deeptune[n - 1].memory_bytes as f64 / r.deeptune[n / 2].memory_bytes as f64;
-        assert!(u_growth > d_growth, "unicorn {u_growth:.2}x vs deeptune {d_growth:.2}x");
+        assert!(
+            u_growth > d_growth,
+            "unicorn {u_growth:.2}x vs deeptune {d_growth:.2}x"
+        );
         // DeepTune's model dominates its memory; doubling the data must
         // not double its footprint.
         assert!(d_growth < 1.5, "deeptune growth {d_growth}");

@@ -22,7 +22,7 @@ pub struct Fig8Result {
 /// Measures both sides of the loop-time breakdown.
 pub fn fig8(scale: &Scale, seed: u64) -> Fig8Result {
     // DeepTune update times, measured on a live Nginx session.
-    let iters = scale.search_iterations.min(40).max(15);
+    let iters = scale.search_iterations.clamp(15, 40);
     let mut session = SessionBuilder::new()
         .app(AppId::Nginx)
         .algorithm(AlgorithmChoice::DeepTune)
@@ -40,8 +40,7 @@ pub fn fig8(scale: &Scale, seed: u64) -> Fig8Result {
         .map(|r| r.algo_seconds)
         .collect();
     let mean = updates.iter().sum::<f64>() / updates.len() as f64;
-    let std = (updates.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>()
-        / updates.len() as f64)
+    let std = (updates.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / updates.len() as f64)
         .sqrt();
 
     // Test times per application, from short random sessions (virtual
@@ -58,12 +57,8 @@ pub fn fig8(scale: &Scale, seed: u64) -> Fig8Result {
             .expect("fig8 probe session");
         let _ = s.run();
         let records = s.platform().history();
-        let mean_t = records
-            .records()
-            .iter()
-            .map(|r| r.duration_s)
-            .sum::<f64>()
-            / records.len() as f64;
+        let mean_t =
+            records.records().iter().map(|r| r.duration_s).sum::<f64>() / records.len() as f64;
         test_time_s.push((app, mean_t));
     }
     Fig8Result {
@@ -81,18 +76,11 @@ mod tests {
     fn evaluation_dominates_the_loop() {
         let r = fig8(&Scale::tiny(), 6);
         // DeepTune updates are sub-second even in debug builds.
-        assert!(
-            r.deeptune_update_s < 1.0,
-            "update {}s",
-            r.deeptune_update_s
-        );
+        assert!(r.deeptune_update_s < 1.0, "update {}s", r.deeptune_update_s);
         for (app, t) in &r.test_time_s {
             // Crashes drag some means below the 60-80 s success band, but
             // evaluation must still dwarf the model update.
-            assert!(
-                *t > 30.0 && *t < 100.0,
-                "{app}: mean test time {t}s"
-            );
+            assert!(*t > 30.0 && *t < 100.0, "{app}: mean test time {t}s");
             assert!(*t > r.deeptune_update_s * 30.0);
         }
     }

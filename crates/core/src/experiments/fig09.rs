@@ -35,11 +35,7 @@ pub fn fig9(scale: &Scale, seed: u64) -> Fig9Result {
     let mut curves = Vec::new();
     let mut best = Vec::new();
     let mut time_to = Vec::new();
-    for (label, algorithm) in [
-        ("Random", 0u8),
-        ("Bayesian-opt", 1u8),
-        ("Wayfinder", 2u8),
-    ] {
+    for (label, algorithm) in [("Random", 0u8), ("Bayesian-opt", 1u8), ("Wayfinder", 2u8)] {
         let mut perfs = Vec::new();
         let mut crashes = Vec::new();
         let mut t_end = 0.0f64;
@@ -120,7 +116,10 @@ mod tests {
             "wayfinder best {wayfinder}"
         );
         // ... and beats random search decisively.
-        assert!(wayfinder > random * 1.15, "wayfinder {wayfinder} vs random {random}");
+        assert!(
+            wayfinder > random * 1.15,
+            "wayfinder {wayfinder} vs random {random}"
+        );
         // Bayesian lands between (or at least does not dominate).
         assert!(wayfinder >= bayes * 0.9, "bayes {bayes}");
         // Random never reaches high-performance configurations (Fig. 9).
@@ -128,6 +127,10 @@ mod tests {
             random < r.default_throughput * 2.5,
             "random found the conjunction region: {random}"
         );
-        assert!(r.time_to_3x_s[0].is_none(), "random hit 3x: {:?}", r.time_to_3x_s[0]);
+        assert!(
+            r.time_to_3x_s[0].is_none(),
+            "random hit 3x: {:?}",
+            r.time_to_3x_s[0]
+        );
     }
 }

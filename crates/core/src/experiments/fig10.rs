@@ -136,9 +136,6 @@ mod tests {
         );
         // The reduction is meaningful but bounded (the paper: 5.5-8.5%).
         let reduction = 1.0 - deeptune_mb / r.default_mb;
-        assert!(
-            (0.01..0.25).contains(&reduction),
-            "reduction {reduction}"
-        );
+        assert!((0.01..0.25).contains(&reduction), "reduction {reduction}");
     }
 }

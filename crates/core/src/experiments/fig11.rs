@@ -115,12 +115,7 @@ pub fn fig11(scale: &Scale, seed: u64) -> Fig11Result {
                 repetitions: 1,
                 seed: seed ^ (run as u64 * 0xc0) ^ is_deeptune as u64,
             };
-            let mut session = Session::new(
-                target.os.clone(),
-                target.app.clone(),
-                algorithm,
-                spec,
-            );
+            let mut session = Session::new(target.os.clone(), target.app.clone(), algorithm, spec);
             let _ = session.run();
             t_end = t_end.max(session.now_s());
             // Post-hoc Eq. 4 score over the whole run (stable min-max).
@@ -244,8 +239,14 @@ mod tests {
         let t = table4(&scale, 23);
         assert!(!t.rows.is_empty());
         let (baseline_mem, baseline_thr) = t.baseline;
-        assert!((baseline_thr - 46_855.0).abs() / 46_855.0 < 0.05, "thr {baseline_thr}");
-        assert!((baseline_mem - 331.77).abs() / 331.77 < 0.08, "mem {baseline_mem}");
+        assert!(
+            (baseline_thr - 46_855.0).abs() / 46_855.0 < 0.05,
+            "thr {baseline_thr}"
+        );
+        assert!(
+            (baseline_mem - 331.77).abs() / 331.77 < 0.08,
+            "mem {baseline_mem}"
+        );
         // The top row dominates on score; rows are sorted.
         assert!(t.rows.windows(2).all(|w| w[0].0 >= w[1].0));
     }

@@ -56,16 +56,20 @@ pub fn table2(scale: &Scale, seed: u64) -> Vec<Table2Row> {
             // Best over the DeepTune runs (curve index 1).
             let deeptune = &result.runs[1];
             let transfer = &result.runs[2];
-            let best = deeptune
-                .iter()
-                .filter_map(|r| r.summary.best_metric)
-                .fold(if result.higher_better { f64::MIN } else { f64::MAX }, |acc, v| {
+            let best = deeptune.iter().filter_map(|r| r.summary.best_metric).fold(
+                if result.higher_better {
+                    f64::MIN
+                } else {
+                    f64::MAX
+                },
+                |acc, v| {
                     if result.higher_better {
                         acc.max(v)
                     } else {
                         acc.min(v)
                     }
-                });
+                },
+            );
             let relative = if result.higher_better {
                 best / baseline
             } else {

@@ -36,7 +36,7 @@ pub mod session;
 pub use report::Table;
 pub use scale::Scale;
 pub use session::{
-    AlgorithmChoice, BuildError, Outcome, OsFlavor, SessionBuilder, SpecializationSession,
+    AlgorithmChoice, BuildError, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
 };
 
 /// Convenient re-exports for application code and the examples.
@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::report::Table;
     pub use crate::scale::Scale;
     pub use crate::session::{
-        AlgorithmChoice, Outcome, OsFlavor, SessionBuilder, SpecializationSession,
+        AlgorithmChoice, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
     };
     pub use wf_jobfile::{Direction, Job};
     pub use wf_ossim::AppId;

@@ -225,10 +225,12 @@ impl SessionBuilder {
 
     /// Builds the session from a parsed job file instead of builder calls.
     pub fn from_job(job: &Job) -> Result<SessionBuilder, BuildError> {
-        let os = OsFlavor::parse(&job.os)
-            .ok_or_else(|| BuildError { message: format!("unknown os {:?}", job.os) })?;
-        let app = AppId::parse(&job.app)
-            .ok_or_else(|| BuildError { message: format!("unknown app {:?}", job.app) })?;
+        let os = OsFlavor::parse(&job.os).ok_or_else(|| BuildError {
+            message: format!("unknown os {:?}", job.os),
+        })?;
+        let app = AppId::parse(&job.app).ok_or_else(|| BuildError {
+            message: format!("unknown app {:?}", job.app),
+        })?;
         let algorithm = match job.algorithm {
             wf_jobfile::AlgorithmId::Random => AlgorithmChoice::Random,
             wf_jobfile::AlgorithmId::Grid => AlgorithmChoice::Grid,
@@ -309,17 +311,20 @@ impl SessionBuilder {
         // Apply pins through the job-file machinery so value parsing is
         // uniform.
         if !self.pins.is_empty() {
-            let mut job = Job::default();
-            job.pinned = self
-                .pins
-                .iter()
-                .map(|(name, value)| wf_jobfile::Pin {
-                    name: name.clone(),
-                    value: value.clone(),
-                })
-                .collect();
-            job.apply_pins(&mut os.space)
-                .map_err(|e| BuildError { message: e.to_string() })?;
+            let job = Job {
+                pinned: self
+                    .pins
+                    .iter()
+                    .map(|(name, value)| wf_jobfile::Pin {
+                        name: name.clone(),
+                        value: value.clone(),
+                    })
+                    .collect(),
+                ..Job::default()
+            };
+            job.apply_pins(&mut os.space).map_err(|e| BuildError {
+                message: e.to_string(),
+            })?;
         }
 
         // §3.5 stage focus narrows the sampling policy.
@@ -409,10 +414,7 @@ impl SpecializationSession {
     pub fn run(&mut self) -> Outcome {
         let summary = self.inner.run();
         Outcome {
-            best: summary
-                .best_config
-                .clone()
-                .zip(summary.best_objective),
+            best: summary.best_config.clone().zip(summary.best_objective),
             summary,
         }
     }
@@ -451,12 +453,30 @@ impl SpecializationSession {
     pub fn parameter_impacts(&mut self) -> Option<Vec<wf_deeptune::ParamImpact>> {
         let space = self.inner.os().space.clone();
         let encoder = wf_configspace::Encoder::new(&space);
+        // Anchor the axis probes on the default configuration plus the
+        // best configurations the session actually evaluated: the model is
+        // only trustworthy near its training distribution, and averaging
+        // over several anchors de-noises the single-axis deltas.
+        let direction = self.inner.direction();
+        let mut evaluated: Vec<(f64, wf_configspace::Configuration)> = self
+            .inner
+            .history()
+            .observations()
+            .into_iter()
+            .filter_map(|o| o.value.map(|v| (v, o.config)))
+            .collect();
+        evaluated.sort_by(|a, b| match direction {
+            wf_jobfile::Direction::Maximize => b.0.partial_cmp(&a.0).unwrap(),
+            wf_jobfile::Direction::Minimize => a.0.partial_cmp(&b.0).unwrap(),
+        });
+        let mut anchors = vec![space.default_config()];
+        anchors.extend(evaluated.into_iter().take(8).map(|(_, c)| c));
         let dt = self
             .inner
             .algorithm_mut()
             .as_any_mut()?
             .downcast_mut::<DeepTune>()?;
-        wf_deeptune::parameter_impacts(dt, &space, &encoder)
+        wf_deeptune::parameter_impacts_at(dt, &space, &encoder, &anchors)
     }
 }
 
@@ -574,9 +594,12 @@ mod tests {
         // Some explored configuration varied a boot-time parameter.
         let default = space.default_config();
         let boot_idx = space.stage_indices(Stage::BootTime);
-        let varied = s.platform().history().records().iter().any(|r| {
-            boot_idx.iter().any(|&i| r.config.get(i) != default.get(i))
-        });
+        let varied = s
+            .platform()
+            .history()
+            .records()
+            .iter()
+            .any(|r| boot_idx.iter().any(|&i| r.config.get(i) != default.get(i)));
         assert!(varied, "boot parameters never varied");
     }
 
@@ -599,7 +622,11 @@ mod tests {
         let boot_idx = space.stage_indices(Stage::BootTime);
         for r in s.platform().history().records() {
             for &i in &boot_idx {
-                assert_eq!(r.config.get(i), default.get(i), "boot param varied under runtime focus");
+                assert_eq!(
+                    r.config.get(i),
+                    default.get(i),
+                    "boot param varied under runtime focus"
+                );
             }
         }
     }
@@ -625,7 +652,11 @@ mod tests {
             "name: x\nos: linux-4.19\napp: redis\nmetric: throughput\nalgorithm: random\nseed: 9\nbudget:\n  iterations: 3\n",
         )
         .unwrap();
-        let mut s = SessionBuilder::from_job(&job).unwrap().runtime_params(56).build().unwrap();
+        let mut s = SessionBuilder::from_job(&job)
+            .unwrap()
+            .runtime_params(56)
+            .build()
+            .unwrap();
         let outcome = s.run();
         assert_eq!(outcome.summary.iterations, 3);
     }

@@ -149,7 +149,12 @@ mod tests {
     #[test]
     fn reduces_the_space_substantially() {
         let (model, d) = setup();
-        assert!(d.space.len() < model.len() / 2, "{} of {}", d.space.len(), model.len());
+        assert!(
+            d.space.len() < model.len() / 2,
+            "{} of {}",
+            d.space.len(),
+            model.len()
+        );
         assert!(d.kept_fraction < 0.5, "kept fraction {}", d.kept_fraction);
         assert!(d.disabled > d.kept, "most of the kernel is unused");
     }
@@ -158,10 +163,16 @@ mod tests {
     fn baseline_keeps_essentials_enabled() {
         let (_, d) = setup();
         for name in ["PROC_FS", "SYSFS", "VIRTIO_NET", "EPOLL", "FUTEX"] {
-            let idx = d.space.index_of(name).unwrap_or_else(|| panic!("{name} kept"));
+            let idx = d
+                .space
+                .index_of(name)
+                .unwrap_or_else(|| panic!("{name} kept"));
             let v = d.baseline.get(idx);
             assert!(
-                matches!(v, Value::Bool(true) | Value::Tristate(Tristate::Yes | Tristate::Module)),
+                matches!(
+                    v,
+                    Value::Bool(true) | Value::Tristate(Tristate::Yes | Tristate::Module)
+                ),
                 "{name}: {v:?}"
             );
         }

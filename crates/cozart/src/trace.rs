@@ -21,12 +21,46 @@ pub struct WorkloadTrace {
 /// Symbols every booting workload exercises (mirrors the essential set the
 /// crash rules protect).
 const ALWAYS_EXERCISED: &[&str] = &[
-    "EXPERT", "SMP", "MMU", "NET", "PCI", "BLOCK", "SECURITY", "CRYPTO", "LIBS", "64BIT",
-    "INET", "PROC_FS", "SYSFS", "TMPFS", "EXT4_FS", "VIRTIO_NET", "VIRTIO_BLK",
-    "SERIAL_8250", "EPOLL", "FUTEX", "SHMEM", "AIO", "PRINTK", "KALLSYMS", "SWAP",
-    "SECCOMP", "RANDOMIZE_BASE", "STACKPROTECTOR", "HIGH_RES_TIMERS", "NO_HZ_IDLE",
-    "PREEMPT_VOLUNTARY", "CPU_FREQ", "CPU_IDLE", "TRANSPARENT_HUGEPAGE", "COMPACTION",
-    "MODULES", "NR_CPUS", "HZ", "LOG_BUF_SHIFT", "RCU_FANOUT",
+    "EXPERT",
+    "SMP",
+    "MMU",
+    "NET",
+    "PCI",
+    "BLOCK",
+    "SECURITY",
+    "CRYPTO",
+    "LIBS",
+    "64BIT",
+    "INET",
+    "PROC_FS",
+    "SYSFS",
+    "TMPFS",
+    "EXT4_FS",
+    "VIRTIO_NET",
+    "VIRTIO_BLK",
+    "SERIAL_8250",
+    "EPOLL",
+    "FUTEX",
+    "SHMEM",
+    "AIO",
+    "PRINTK",
+    "KALLSYMS",
+    "SWAP",
+    "SECCOMP",
+    "RANDOMIZE_BASE",
+    "STACKPROTECTOR",
+    "HIGH_RES_TIMERS",
+    "NO_HZ_IDLE",
+    "PREEMPT_VOLUNTARY",
+    "CPU_FREQ",
+    "CPU_IDLE",
+    "TRANSPARENT_HUGEPAGE",
+    "COMPACTION",
+    "MODULES",
+    "NR_CPUS",
+    "HZ",
+    "LOG_BUF_SHIFT",
+    "RCU_FANOUT",
 ];
 
 /// Per-mille of generated symbols a workload exercises.
@@ -115,7 +149,10 @@ mod tests {
         let nginx = WorkloadTrace::record(&model, "nginx");
         let redis = WorkloadTrace::record(&model, "redis");
         let only_nginx = nginx.iter().filter(|s| !redis.exercises(s)).count();
-        assert!(only_nginx > 50, "workload slices should differ: {only_nginx}");
+        assert!(
+            only_nginx > 50,
+            "workload slices should differ: {only_nginx}"
+        );
     }
 
     #[test]

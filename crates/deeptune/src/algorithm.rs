@@ -163,11 +163,8 @@ impl DeepTune {
     /// Like [`DeepTune::predict_raw`] but with `mu`/`sigma` de-normalized
     /// to *goodness* units (the sign-adjusted metric): the Table 3
     /// accuracy evaluation compares these against measured values.
-    pub fn predict_goodness(
-        &mut self,
-        raw: &[Vec<f64>],
-    ) -> Option<Vec<Prediction>> {
-        let y_norm = self.y_norm.clone();
+    pub fn predict_goodness(&mut self, raw: &[Vec<f64>]) -> Option<Vec<Prediction>> {
+        let y_norm = self.y_norm;
         let preds = self.predict_raw(raw)?;
         Some(
             preds
@@ -211,7 +208,9 @@ impl DeepTune {
 
     /// Whether the model is ready to drive proposals.
     fn model_ready(&self) -> bool {
-        self.model.is_some() && self.x_norm.is_some() && (self.xs.len() >= self.cfg.warmup || self.transferred)
+        self.model.is_some()
+            && self.x_norm.is_some()
+            && (self.xs.len() >= self.cfg.warmup || self.transferred)
     }
 
     /// Refits the feature/target normalizers on the replay buffer.
@@ -248,7 +247,7 @@ impl DeepTune {
         };
         let dim = self.xs[0].len();
         self.ensure_model(dim);
-        let y_norm = self.y_norm.clone();
+        let y_norm = self.y_norm;
         let batch = self.cfg.batch_size.max(4).min(n);
         let mut indices: Vec<usize> = (0..n).collect();
         for _ in 0..self.cfg.epochs_per_observe {
@@ -289,11 +288,8 @@ impl SearchAlgorithm for DeepTune {
             ctx.policy.sample(ctx.space, rng)
         } else {
             // 1: diverse candidate pool around the best configurations.
-            let mut ranked_history: Vec<&Observation> = ctx
-                .history
-                .iter()
-                .filter(|o| o.value.is_some())
-                .collect();
+            let mut ranked_history: Vec<&Observation> =
+                ctx.history.iter().filter(|o| o.value.is_some()).collect();
             ranked_history.sort_by(|a, b| {
                 ctx.goodness(b.value.unwrap())
                     .partial_cmp(&ctx.goodness(a.value.unwrap()))
@@ -348,13 +344,9 @@ impl SearchAlgorithm for DeepTune {
     fn stats(&self) -> AlgoStats {
         // Memory: fixed model parameters + the replay buffer (linear in n
         // — the O(n) memory of Fig. 7, against the GP's O(n²)).
-        let model_bytes = self
-            .model
-            .as_ref()
-            .map(|m| m.memory_bytes())
-            .unwrap_or(0);
-        let buffer_bytes: usize = self.xs.iter().map(|x| x.len() * 8).sum::<usize>()
-            + self.goodness.len() * 16;
+        let model_bytes = self.model.as_ref().map(|m| m.memory_bytes()).unwrap_or(0);
+        let buffer_bytes: usize =
+            self.xs.iter().map(|x| x.len() * 8).sum::<usize>() + self.goodness.len() * 16;
         AlgoStats {
             last_update_seconds: self.last_update_seconds,
             memory_bytes: model_bytes + buffer_bytes,

@@ -33,7 +33,8 @@ impl ParamImpact {
 /// Number of grid points per integer axis.
 const INT_STEPS: usize = 9;
 
-/// Queries the trained model for every non-fixed parameter's impact.
+/// Queries the trained model for every non-fixed parameter's impact,
+/// probing axes around the default configuration only.
 ///
 /// Returns `None` when the model has not been trained yet.
 pub fn parameter_impacts(
@@ -42,8 +43,31 @@ pub fn parameter_impacts(
     encoder: &Encoder,
 ) -> Option<Vec<ParamImpact>> {
     let default = space.default_config();
-    let base_features = encoder.encode(space, &default);
-    let base_pred = deeptune.predict_raw(&[base_features])?[0].mu;
+    parameter_impacts_at(deeptune, space, encoder, &[default])
+}
+
+/// Queries the trained model for every non-fixed parameter's impact,
+/// averaging single-axis deltas over the given anchor configurations
+/// (an ICE-style estimate).
+///
+/// The default configuration alone sits at the edge of the model's
+/// training distribution, where a small network's extrapolation is noisy;
+/// anchoring the probe additionally on configurations the session actually
+/// evaluated keeps the queries in-distribution and stabilizes the ranking.
+///
+/// Returns `None` when the model has not been trained yet or `anchors` is
+/// empty.
+pub fn parameter_impacts_at(
+    deeptune: &mut DeepTune,
+    space: &ConfigSpace,
+    encoder: &Encoder,
+    anchors: &[wf_configspace::Configuration],
+) -> Option<Vec<ParamImpact>> {
+    if anchors.is_empty() {
+        return None;
+    }
+    let anchor_features: Vec<Vec<f64>> = anchors.iter().map(|a| encoder.encode(space, a)).collect();
+    let base_preds = deeptune.predict_raw(&anchor_features)?;
 
     let mut out = Vec::new();
     for (idx, spec) in space.specs().iter().enumerate() {
@@ -54,20 +78,26 @@ pub fn parameter_impacts(
         if axis.len() < 2 {
             continue;
         }
-        let variants: Vec<Vec<f64>> = axis
-            .iter()
-            .map(|v| {
-                let mut c = default.clone();
-                c.set(idx, *v);
-                encoder.encode(space, &c)
-            })
-            .collect();
-        let preds = deeptune.predict_raw(&variants)?;
         let mut best = 0.0f64;
         let mut worst = 0.0f64;
-        for p in &preds {
-            best = best.max(p.mu - base_pred);
-            worst = worst.min(p.mu - base_pred);
+        for (anchor, base) in anchors.iter().zip(&base_preds) {
+            let variants: Vec<Vec<f64>> = axis
+                .iter()
+                .map(|v| {
+                    let mut c = anchor.clone();
+                    c.set(idx, *v);
+                    encoder.encode(space, &c)
+                })
+                .collect();
+            let preds = deeptune.predict_raw(&variants)?;
+            let mut anchor_best = 0.0f64;
+            let mut anchor_worst = 0.0f64;
+            for p in &preds {
+                anchor_best = anchor_best.max(p.mu - base.mu);
+                anchor_worst = anchor_worst.min(p.mu - base.mu);
+            }
+            best += anchor_best / anchors.len() as f64;
+            worst += anchor_worst / anchors.len() as f64;
         }
         out.push(ParamImpact {
             name: spec.name.clone(),
@@ -141,9 +171,17 @@ mod tests {
 
     fn space() -> ConfigSpace {
         let mut s = ConfigSpace::new();
-        s.add(ParamSpec::new("helps", ParamKind::int(0, 100), Stage::Runtime));
+        s.add(ParamSpec::new(
+            "helps",
+            ParamKind::int(0, 100),
+            Stage::Runtime,
+        ));
         s.add(ParamSpec::new("hurts", ParamKind::Bool, Stage::Runtime));
-        s.add(ParamSpec::new("inert", ParamKind::int(0, 100), Stage::Runtime));
+        s.add(ParamSpec::new(
+            "inert",
+            ParamKind::int(0, 100),
+            Stage::Runtime,
+        ));
         s
     }
 

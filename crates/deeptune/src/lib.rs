@@ -20,7 +20,9 @@ pub mod trailblazer;
 pub mod transfer;
 
 pub use algorithm::{DeepTune, DeepTuneConfig};
-pub use importance::{parameter_impacts, top_negative, top_positive, ParamImpact};
+pub use importance::{
+    parameter_impacts, parameter_impacts_at, top_negative, top_positive, ParamImpact,
+};
 pub use model::{Dtm, DtmConfig, LossBreakdown, Prediction};
 pub use score::{rank, sf, ScoreParams};
 pub use trailblazer::{generate_pool, PoolConfig};

@@ -22,8 +22,11 @@
 //! plays the role of the paper's 0.1 at their feature scale. γ stays
 //! configurable and the ablation bench sweeps it.
 
-use wf_nn::loss::{categorical_cross_entropy, chamfer, heteroscedastic_regression};
-use wf_nn::{sigmoid, softplus, softplus_grad, Adam, Dense, Dropout, Layer, Matrix, Optimizer, Rbf, Relu, Tensor};
+use wf_nn::loss::{chamfer, heteroscedastic_regression, weighted_categorical_cross_entropy};
+use wf_nn::{
+    sigmoid, softplus, softplus_grad, Adam, Dense, Dropout, Layer, Matrix, Optimizer, Rbf, Relu,
+    Tensor,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -243,7 +246,12 @@ impl Dtm {
     /// *accumulates* gradients into every tensor without applying an
     /// optimizer step. [`Dtm::train_batch`] is this plus one Adam step;
     /// the gradient-check tests use it directly.
-    pub fn compute_grads(&mut self, x: &Matrix, targets: &[f64], crashed: &[bool]) -> LossBreakdown {
+    pub fn compute_grads(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        crashed: &[bool],
+    ) -> LossBreakdown {
         assert_eq!(x.rows(), targets.len());
         assert_eq!(x.rows(), crashed.len());
         assert_eq!(x.cols(), self.cfg.input_dim);
@@ -252,8 +260,23 @@ impl Dtm {
         let b = x.rows();
 
         // --- L_CCE on the crash head (all rows). -------------------------
+        // Crashing configurations are the minority class (~1/3 of random
+        // samples), so the loss is inverse-frequency weighted: without
+        // this the crash head systematically under-predicts crashes and
+        // Table 3's failure accuracy degenerates toward coin-flipping.
         let labels: Vec<usize> = crashed.iter().map(|c| *c as usize).collect();
-        let (cce, grad_logits) = categorical_cross_entropy(&pass.crash_logits, &labels);
+        let n_crash = labels.iter().filter(|&&l| l == 1).count();
+        let class_weights = if n_crash == 0 || n_crash == b {
+            [1.0, 1.0]
+        } else {
+            let bf = b as f64;
+            [
+                bf / (2.0 * (b - n_crash) as f64),
+                bf / (2.0 * n_crash as f64),
+            ]
+        };
+        let (cce, grad_logits) =
+            weighted_categorical_cross_entropy(&pass.crash_logits, &labels, &class_weights);
 
         // --- L_Reg on non-crashed rows. ----------------------------------
         // Mask crashed rows by zeroing their gradient contributions.
@@ -423,7 +446,11 @@ mod tests {
         for r in 0..n {
             let crash = x.get(r, 2) > 0.8;
             crashed.push(crash);
-            ys.push(if crash { 0.0 } else { 2.0 * x.get(r, 0) - x.get(r, 1) });
+            ys.push(if crash {
+                0.0
+            } else {
+                2.0 * x.get(r, 0) - x.get(r, 1)
+            });
         }
         (x, ys, crashed)
     }
@@ -492,13 +519,11 @@ mod tests {
         }
         // In-distribution points.
         let preds_in = m.predict(&x);
-        let mean_in: f64 =
-            preds_in.iter().map(|p| p.sigma).sum::<f64>() / preds_in.len() as f64;
+        let mean_in: f64 = preds_in.iter().map(|p| p.sigma).sum::<f64>() / preds_in.len() as f64;
         // Far outliers.
         let x_out = Matrix::filled(16, 6, 8.0);
         let preds_out = m.predict(&x_out);
-        let mean_out: f64 =
-            preds_out.iter().map(|p| p.sigma).sum::<f64>() / preds_out.len() as f64;
+        let mean_out: f64 = preds_out.iter().map(|p| p.sigma).sum::<f64>() / preds_out.len() as f64;
         assert!(
             mean_out > mean_in,
             "outlier sigma {mean_out} should exceed in-distribution {mean_in}"

@@ -70,21 +70,30 @@ pub fn rank(
         // Everything looks crashy: keep the least-crashy half instead of
         // proposing nothing.
         let mut by_crash: Vec<usize> = (0..preds.len()).collect();
-        by_crash.sort_by(|&a, &b| preds[a].crash_prob.partial_cmp(&preds[b].crash_prob).unwrap());
+        by_crash.sort_by(|&a, &b| {
+            preds[a]
+                .crash_prob
+                .partial_cmp(&preds[b].crash_prob)
+                .unwrap()
+        });
         survivors = by_crash[..preds.len().div_ceil(2)].to_vec();
     }
 
     // Pool-level min-max normalization of ŷ and σ̂.
     let y_norm = min_max(&survivors.iter().map(|&i| goodness[i]).collect::<Vec<_>>());
-    let s_norm = min_max(&survivors.iter().map(|&i| preds[i].sigma).collect::<Vec<_>>());
+    let s_norm = min_max(
+        &survivors
+            .iter()
+            .map(|&i| preds[i].sigma)
+            .collect::<Vec<_>>(),
+    );
 
     let mut scored: Vec<(usize, f64)> = survivors
         .iter()
         .enumerate()
         .map(|(pos, &i)| {
             let ds = dissimilarity(&features[i], known);
-            let score = params.prediction_weight * y_norm[pos]
-                + sf(params.alpha, ds, s_norm[pos]);
+            let score = params.prediction_weight * y_norm[pos] + sf(params.alpha, ds, s_norm[pos]);
             (i, score)
         })
         .collect();
@@ -136,7 +145,11 @@ mod tests {
     #[test]
     fn all_crashy_keeps_least_crashy() {
         let params = ScoreParams::default();
-        let preds = vec![pred(0.95, 1.0, 0.1), pred(0.7, 1.0, 0.1), pred(0.99, 1.0, 0.1)];
+        let preds = vec![
+            pred(0.95, 1.0, 0.1),
+            pred(0.7, 1.0, 0.1),
+            pred(0.99, 1.0, 0.1),
+        ];
         let goodness = vec![1.0, 1.0, 1.0];
         let features = vec![vec![0.0], vec![1.0], vec![2.0]];
         let ranked = rank(&params, &preds, &goodness, &features, &[]);

@@ -96,7 +96,13 @@ mod tests {
             mutants: 16,
             max_changes: 2,
         };
-        let pool = generate_pool(&s, &policy, &[incumbent.clone()], &cfg, &mut rng);
+        let pool = generate_pool(
+            &s,
+            &policy,
+            std::slice::from_ref(&incumbent),
+            &cfg,
+            &mut rng,
+        );
         assert!(pool.len() > 20);
         // Mutants stay near the incumbent; random samples do not.
         let near = pool

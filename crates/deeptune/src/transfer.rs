@@ -130,10 +130,7 @@ impl Checkpoint {
             let cols: usize = hp[2].parse().map_err(|_| err("bad tensor cols"))?;
             let mut data = Vec::with_capacity(rows * cols);
             for _ in 0..rows {
-                let row = parse_row(
-                    lines.next().ok_or_else(|| err("truncated tensor"))?,
-                    cols,
-                )?;
+                let row = parse_row(lines.next().ok_or_else(|| err("truncated tensor"))?, cols)?;
                 data.extend(row);
             }
             weights.push(Matrix::from_vec(rows, cols, data));
@@ -216,7 +213,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_row_width() {
-        let text = "wayfinder-dtm-checkpoint v1\nconfig 3 4 2 1\nynorm 0 1\nxnorm 3\n1 2\n1 2 3\nend\n";
+        let text =
+            "wayfinder-dtm-checkpoint v1\nconfig 3 4 2 1\nynorm 0 1\nxnorm 3\n1 2\n1 2 3\nend\n";
         let e = Checkpoint::from_text(text).unwrap_err();
         assert!(e.message.contains("expected 3"));
     }

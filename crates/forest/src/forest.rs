@@ -103,7 +103,10 @@ mod tests {
             se_forest += (f.predict(row) - target).powi(2);
             se_mean += (mean - target).powi(2);
         }
-        assert!(se_forest < se_mean * 0.3, "forest {se_forest} vs mean {se_mean}");
+        assert!(
+            se_forest < se_mean * 0.3,
+            "forest {se_forest} vs mean {se_mean}"
+        );
     }
 
     #[test]

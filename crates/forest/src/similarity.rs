@@ -61,9 +61,9 @@ mod tests {
     #[test]
     fn matrix_is_symmetric() {
         let m = cross_similarity(&[vec![1.0, 0.0], vec![0.7, 0.7], vec![0.0, 1.0]]);
-        for i in 0..3 {
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
             }
         }
     }

@@ -150,9 +150,8 @@ impl RegressionTree {
             return self.nodes.len() - 1;
         };
 
-        let (li, ri): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| x[i][feature] <= threshold);
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
         if li.is_empty() || ri.is_empty() {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;

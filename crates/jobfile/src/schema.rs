@@ -315,9 +315,10 @@ impl Job {
                     {
                         match bk.as_str() {
                             "iterations" => {
-                                b.iterations = Some(bv.as_int().filter(|v| *v > 0).ok_or_else(
-                                    || err("budget.iterations", "must be a positive integer"),
-                                )? as usize)
+                                b.iterations =
+                                    Some(bv.as_int().filter(|v| *v > 0).ok_or_else(|| {
+                                        err("budget.iterations", "must be a positive integer")
+                                    })? as usize)
                             }
                             "time_seconds" => {
                                 b.time_seconds =
@@ -325,9 +326,7 @@ impl Job {
                                         err("budget.time_seconds", "must be a positive number")
                                     })?)
                             }
-                            other => {
-                                return Err(err("budget", format!("unknown key {other:?}")))
-                            }
+                            other => return Err(err("budget", format!("unknown key {other:?}"))),
                         }
                     }
                     job.budget = b;
@@ -372,9 +371,15 @@ impl Job {
             ("os".into(), Yaml::Str(self.os.clone())),
             ("app".into(), Yaml::Str(self.app.clone())),
             ("metric".into(), Yaml::Str(self.metric.clone())),
-            ("direction".into(), Yaml::Str(self.direction.keyword().into())),
+            (
+                "direction".into(),
+                Yaml::Str(self.direction.keyword().into()),
+            ),
             ("focus".into(), Yaml::Str(self.focus.keyword().into())),
-            ("algorithm".into(), Yaml::Str(self.algorithm.keyword().into())),
+            (
+                "algorithm".into(),
+                Yaml::Str(self.algorithm.keyword().into()),
+            ),
             ("seed".into(), Yaml::Int(self.seed as i64)),
             ("repetitions".into(), Yaml::Int(self.repetitions as i64)),
         ];
@@ -435,12 +440,19 @@ impl Job {
     pub fn apply_pins(&self, space: &mut ConfigSpace) -> Result<(), JobError> {
         for (i, pin) in self.pinned.iter().enumerate() {
             let idx = space.index_of(&pin.name).ok_or_else(|| {
-                err(format!("pinned[{i}].name"), format!("unknown parameter {:?}", pin.name))
+                err(
+                    format!("pinned[{i}].name"),
+                    format!("unknown parameter {:?}", pin.name),
+                )
             })?;
             let value = interpret_pin(&space.spec(idx).kind, &pin.value).ok_or_else(|| {
                 err(
                     format!("pinned[{i}].value"),
-                    format!("cannot interpret {:?} for {:?}", pin.value, space.spec(idx).kind),
+                    format!(
+                        "cannot interpret {:?} for {:?}",
+                        pin.value,
+                        space.spec(idx).kind
+                    ),
                 )
             })?;
             let ok = space.pin(&pin.name, value);
@@ -463,10 +475,7 @@ fn interpret_pin(kind: &ParamKind, raw: &str) -> Option<Value> {
             let v = parse_int(raw)?;
             (v >= *min && v <= *max).then_some(Value::Int(v))
         }
-        ParamKind::Enum { choices } => choices
-            .iter()
-            .position(|c| c == raw)
-            .map(Value::Choice),
+        ParamKind::Enum { choices } => choices.iter().position(|c| c == raw).map(Value::Choice),
     }
 }
 
@@ -488,7 +497,11 @@ fn parse_param(item: &Yaml, i: usize) -> Result<ParamDecl, JobError> {
         .get("type")
         .and_then(Yaml::as_str)
         .ok_or_else(|| err(field("type"), "missing"))?;
-    let stage = match item.get("stage").and_then(Yaml::as_str).unwrap_or("runtime") {
+    let stage = match item
+        .get("stage")
+        .and_then(Yaml::as_str)
+        .unwrap_or("runtime")
+    {
         "compile" | "compile-time" => Stage::CompileTime,
         "boot" | "boot-time" => Stage::BootTime,
         "runtime" | "run-time" => Stage::Runtime,
@@ -560,7 +573,11 @@ fn emit_param(p: &ParamDecl) -> Yaml {
     match &spec.kind {
         ParamKind::Bool => pairs.push(("type".into(), Yaml::Str("bool".into()))),
         ParamKind::Tristate => pairs.push(("type".into(), Yaml::Str("tristate".into()))),
-        ParamKind::Int { min, max, log_scale } => {
+        ParamKind::Int {
+            min,
+            max,
+            log_scale,
+        } => {
             pairs.push(("type".into(), Yaml::Str("int".into())));
             pairs.push(("min".into(), Yaml::Int(*min)));
             pairs.push(("max".into(), Yaml::Int(*max)));

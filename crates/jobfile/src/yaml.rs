@@ -215,7 +215,10 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml
         } else if let Some((key, value_text)) = split_key(rest) {
             // Inline map item: `- key: value`, continued at deeper indent.
             // Continuation keys align under the first key (indent + 2).
-            let mut pairs = vec![(key.to_string(), inline_value(value_text, lines, pos, indent, number)?)];
+            let mut pairs = vec![(
+                key.to_string(),
+                inline_value(value_text, lines, pos, indent, number)?,
+            )];
             let cont_indent = indent + 2;
             while *pos < lines.len()
                 && lines[*pos].indent == cont_indent
@@ -234,7 +237,9 @@ fn parse_sequence(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml
 
 fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, YamlError> {
     let mut pairs = Vec::new();
-    while *pos < lines.len() && lines[*pos].indent == indent && !lines[*pos].content.starts_with("- ")
+    while *pos < lines.len()
+        && lines[*pos].indent == indent
+        && !lines[*pos].content.starts_with("- ")
     {
         let (k, v) = parse_mapping_entry(lines, pos)?;
         if pairs.iter().any(|(prev, _)| *prev == k) {
@@ -409,11 +414,11 @@ fn strip_comment(line: &str) -> &str {
                 quote = c;
             }
             c2 if in_str && c2 == quote => in_str = false,
-            '#' if !in_str => {
+            '#' if !in_str
                 // `#` only starts a comment at line start or after a space.
-                if i == 0 || line.as_bytes()[i - 1] == b' ' {
-                    return &line[..i];
-                }
+                && (i == 0 || line.as_bytes()[i - 1] == b' ') =>
+            {
+                return &line[..i];
             }
             _ => {}
         }
@@ -546,10 +551,8 @@ mod tests {
 
     #[test]
     fn parses_scalars() {
-        let doc = parse(
-            "a: 1\nb: 2.5\nc: true\nd: hello\ne: \"quoted: text\"\nf: 0x10\ng: null\n",
-        )
-        .unwrap();
+        let doc = parse("a: 1\nb: 2.5\nc: true\nd: hello\ne: \"quoted: text\"\nf: 0x10\ng: null\n")
+            .unwrap();
         assert_eq!(doc.get("a"), Some(&Yaml::Int(1)));
         assert_eq!(doc.get("b"), Some(&Yaml::Float(2.5)));
         assert_eq!(doc.get("c"), Some(&Yaml::Bool(true)));
@@ -584,7 +587,10 @@ tags:
         let doc = parse(text).unwrap();
         let params = doc.get("params").unwrap().as_seq().unwrap();
         assert_eq!(params.len(), 2);
-        assert_eq!(params[0].get("name").and_then(Yaml::as_str), Some("somaxconn"));
+        assert_eq!(
+            params[0].get("name").and_then(Yaml::as_str),
+            Some("somaxconn")
+        );
         assert_eq!(params[0].get("max"), Some(&Yaml::Int(65535)));
         assert_eq!(params[1].get("name").and_then(Yaml::as_str), Some("quiet"));
         let tags = doc.get("tags").unwrap().as_seq().unwrap();

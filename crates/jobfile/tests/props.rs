@@ -43,7 +43,12 @@ fn yaml_value() -> impl Strategy<Value = Yaml> {
 fn normalize(v: &Yaml) -> Yaml {
     match v {
         Yaml::Seq(items) => Yaml::Seq(items.iter().map(normalize).collect()),
-        Yaml::Map(pairs) => Yaml::Map(pairs.iter().map(|(k, v)| (k.clone(), normalize(v))).collect()),
+        Yaml::Map(pairs) => Yaml::Map(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), normalize(v)))
+                .collect(),
+        ),
         Yaml::Float(f) if f.fract() == 0.0 => Yaml::Float(*f),
         other => other.clone(),
     }
@@ -72,11 +77,13 @@ proptest! {
         reps in 1usize..32,
         name in "[a-z][a-z0-9-]{0,20}",
     ) {
-        let mut job = Job::default();
-        job.seed = seed;
+        let mut job = Job {
+            seed,
+            repetitions: reps,
+            name,
+            ..Job::default()
+        };
         job.budget.iterations = Some(iters);
-        job.repetitions = reps;
-        job.name = name;
         let text = job.to_yaml();
         let back = Job::parse(&text).expect("job round-trips");
         prop_assert_eq!(job, back);

@@ -37,8 +37,16 @@ pub fn boot_options(version: LinuxVersion) -> Vec<ParamSpec> {
     );
     let mut rng = StdRng::seed_from_u64(version.seed() ^ 0xb007);
     let stems = [
-        "debug", "max_queues", "napi_weight", "ring_size", "timeout_ms", "irq_affinity",
-        "power_save", "dma32", "msi", "poll_interval",
+        "debug",
+        "max_queues",
+        "napi_weight",
+        "ring_size",
+        "timeout_ms",
+        "irq_affinity",
+        "power_save",
+        "dma32",
+        "msi",
+        "poll_interval",
     ];
     let mut i = 0;
     while out.len() < target {
@@ -77,7 +85,10 @@ fn curated() -> Vec<ParamSpec> {
     flag("skew_tick", "Skew timer ticks across CPUs.");
     flag("nohlt", "Disable the HLT idle loop.");
     flag("noreplace-smp", "Do not replace SMP instructions.");
-    flag("norandmaps", "Disable address space layout randomization of mmaps.");
+    flag(
+        "norandmaps",
+        "Disable address space layout randomization of mmaps.",
+    );
     flag("nohibernate", "Disable hibernation.");
     flag("nomodeset", "Disable kernel mode setting.");
 
@@ -89,15 +100,39 @@ fn curated() -> Vec<ParamSpec> {
         );
     };
     int("loglevel", 0, 7, 7, "Console log level.");
-    int("processor.max_cstate", 0, 9, 9, "Deepest ACPI C-state allowed.");
+    int(
+        "processor.max_cstate",
+        0,
+        9,
+        9,
+        "Deepest ACPI C-state allowed.",
+    );
     int("hugepages", 0, 4096, 0, "Number of persistent huge pages.");
     int("nmi_watchdog", 0, 1, 1, "Enable the NMI watchdog.");
-    int("watchdog_thresh", 1, 60, 10, "Hard/soft lockup threshold (s).");
+    int(
+        "watchdog_thresh",
+        1,
+        60,
+        10,
+        "Hard/soft lockup threshold (s).",
+    );
     int("audit", 0, 1, 1, "Enable the audit subsystem.");
     int("maxcpus", 1, 512, 512, "Maximum CPUs brought up at boot.");
     int("swiotlb", 0, 1 << 20, 32768, "Software IO TLB slabs.");
-    int("log_buf_len", 1 << 12, 1 << 25, 1 << 17, "Kernel log buffer size (bytes).");
-    int("printk.devkmsg_ratelimit", 0, 1000, 5, "Rate limit for /dev/kmsg writers.");
+    int(
+        "log_buf_len",
+        1 << 12,
+        1 << 25,
+        1 << 17,
+        "Kernel log buffer size (bytes).",
+    );
+    int(
+        "printk.devkmsg_ratelimit",
+        0,
+        1000,
+        5,
+        "Rate limit for /dev/kmsg writers.",
+    );
 
     let mut choice = |name: &str, choices: Vec<&str>, def: usize, doc: &str| {
         out.push(
@@ -118,7 +153,12 @@ fn curated() -> Vec<ParamSpec> {
         1,
         "Transparent hugepage policy.",
     );
-    choice("pti", vec!["auto", "on", "off"], 0, "Page table isolation control.");
+    choice(
+        "pti",
+        vec!["auto", "on", "off"],
+        0,
+        "Page table isolation control.",
+    );
     choice(
         "spectre_v2",
         vec!["auto", "on", "off", "retpoline"],
@@ -191,10 +231,30 @@ fn curated() -> Vec<ParamSpec> {
         0,
         "Trust the CPU RNG for early entropy.",
     );
-    choice("tsc", vec!["default", "reliable", "unstable"], 0, "TSC stability override.");
-    choice("init_on_alloc", vec!["0", "1"], 1, "Zero pages/slabs on allocation.");
-    choice("init_on_free", vec!["0", "1"], 0, "Zero pages/slabs on free.");
-    choice("selinux", vec!["0", "1"], 1, "Enable/disable SELinux at boot.");
+    choice(
+        "tsc",
+        vec!["default", "reliable", "unstable"],
+        0,
+        "TSC stability override.",
+    );
+    choice(
+        "init_on_alloc",
+        vec!["0", "1"],
+        1,
+        "Zero pages/slabs on allocation.",
+    );
+    choice(
+        "init_on_free",
+        vec!["0", "1"],
+        0,
+        "Zero pages/slabs on free.",
+    );
+    choice(
+        "selinux",
+        vec!["0", "1"],
+        1,
+        "Enable/disable SELinux at boot.",
+    );
 
     out
 }
@@ -205,7 +265,11 @@ mod tests {
 
     #[test]
     fn count_matches_version() {
-        for v in [LinuxVersion::V2_6_13, LinuxVersion::V4_19, LinuxVersion::V6_0] {
+        for v in [
+            LinuxVersion::V2_6_13,
+            LinuxVersion::V4_19,
+            LinuxVersion::V6_0,
+        ] {
             assert_eq!(boot_options(v).len(), v.boot_option_count());
         }
     }
@@ -236,7 +300,13 @@ mod tests {
     #[test]
     fn curated_parameters_present() {
         let opts = boot_options(LinuxVersion::V4_19);
-        for name in ["quiet", "mitigations", "isolcpus", "transparent_hugepage", "loglevel"] {
+        for name in [
+            "quiet",
+            "mitigations",
+            "isolcpus",
+            "transparent_hugepage",
+            "loglevel",
+        ] {
             assert!(opts.iter().any(|p| p.name == name), "{name} missing");
         }
     }

@@ -19,7 +19,9 @@
 //! Generation is a pure function of the version: two calls produce
 //! identical models, which keeps every experiment reproducible.
 
-use crate::ast::{Default, DefaultValue, Expr, KconfigModel, Select, Symbol, SymbolType, TypeCensus};
+use crate::ast::{
+    Default, DefaultValue, Expr, KconfigModel, Select, Symbol, SymbolType, TypeCensus,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wf_configspace::Tristate;
@@ -205,29 +207,142 @@ struct Subsystem {
 }
 
 const SUBSYSTEMS: &[Subsystem] = &[
-    Subsystem { menu: "General setup", gate: "EXPERT", prefix: "INIT", share: 3 },
-    Subsystem { menu: "Processor type and features", gate: "SMP", prefix: "CPU", share: 5 },
-    Subsystem { menu: "Power management and ACPI options", gate: "PM", prefix: "PM", share: 3 },
-    Subsystem { menu: "Memory management options", gate: "MMU", prefix: "MM", share: 4 },
-    Subsystem { menu: "Networking support", gate: "NET", prefix: "NET", share: 14 },
-    Subsystem { menu: "Device drivers", gate: "PCI", prefix: "DRV", share: 30 },
-    Subsystem { menu: "Sound card support", gate: "SND", prefix: "SND", share: 6 },
-    Subsystem { menu: "Graphics support", gate: "DRM", prefix: "DRM", share: 7 },
-    Subsystem { menu: "USB support", gate: "USB", prefix: "USB", share: 6 },
-    Subsystem { menu: "File systems", gate: "BLOCK", prefix: "FS", share: 8 },
-    Subsystem { menu: "Security options", gate: "SECURITY", prefix: "SEC", share: 3 },
-    Subsystem { menu: "Cryptographic API", gate: "CRYPTO", prefix: "CRYPT", share: 5 },
-    Subsystem { menu: "Library routines", gate: "LIBS", prefix: "LIB", share: 3 },
-    Subsystem { menu: "Kernel hacking", gate: "DEBUG_KERNEL", prefix: "DBG", share: 3 },
+    Subsystem {
+        menu: "General setup",
+        gate: "EXPERT",
+        prefix: "INIT",
+        share: 3,
+    },
+    Subsystem {
+        menu: "Processor type and features",
+        gate: "SMP",
+        prefix: "CPU",
+        share: 5,
+    },
+    Subsystem {
+        menu: "Power management and ACPI options",
+        gate: "PM",
+        prefix: "PM",
+        share: 3,
+    },
+    Subsystem {
+        menu: "Memory management options",
+        gate: "MMU",
+        prefix: "MM",
+        share: 4,
+    },
+    Subsystem {
+        menu: "Networking support",
+        gate: "NET",
+        prefix: "NET",
+        share: 14,
+    },
+    Subsystem {
+        menu: "Device drivers",
+        gate: "PCI",
+        prefix: "DRV",
+        share: 30,
+    },
+    Subsystem {
+        menu: "Sound card support",
+        gate: "SND",
+        prefix: "SND",
+        share: 6,
+    },
+    Subsystem {
+        menu: "Graphics support",
+        gate: "DRM",
+        prefix: "DRM",
+        share: 7,
+    },
+    Subsystem {
+        menu: "USB support",
+        gate: "USB",
+        prefix: "USB",
+        share: 6,
+    },
+    Subsystem {
+        menu: "File systems",
+        gate: "BLOCK",
+        prefix: "FS",
+        share: 8,
+    },
+    Subsystem {
+        menu: "Security options",
+        gate: "SECURITY",
+        prefix: "SEC",
+        share: 3,
+    },
+    Subsystem {
+        menu: "Cryptographic API",
+        gate: "CRYPTO",
+        prefix: "CRYPT",
+        share: 5,
+    },
+    Subsystem {
+        menu: "Library routines",
+        gate: "LIBS",
+        prefix: "LIB",
+        share: 3,
+    },
+    Subsystem {
+        menu: "Kernel hacking",
+        gate: "DEBUG_KERNEL",
+        prefix: "DBG",
+        share: 3,
+    },
 ];
 
 /// Feature stems used to build plausible generated symbol names.
 const STEMS: &[&str] = &[
-    "CORE", "DEBUG", "TRACE", "STATS", "QUEUE", "CACHE", "DMA", "IRQ", "MSI", "OFFLOAD",
-    "CSUM", "TSTAMP", "FILTER", "SCHED", "POLL", "NAPI", "RING", "BUF", "WDT", "EEPROM",
-    "PHY", "MDIO", "VLAN", "TUNNEL", "HW", "FW", "HOTPLUG", "HUGE", "COMPACT", "JOURNAL",
-    "XATTR", "ACL", "QUOTA", "ENCRYPT", "VERITY", "COMPRESS", "SNAPSHOT", "MIRROR", "RAID",
-    "MULTIPATH", "BONDING", "FAILOVER", "BRIDGE", "LEGACY", "EXT", "V2", "ASYNC", "BATCH",
+    "CORE",
+    "DEBUG",
+    "TRACE",
+    "STATS",
+    "QUEUE",
+    "CACHE",
+    "DMA",
+    "IRQ",
+    "MSI",
+    "OFFLOAD",
+    "CSUM",
+    "TSTAMP",
+    "FILTER",
+    "SCHED",
+    "POLL",
+    "NAPI",
+    "RING",
+    "BUF",
+    "WDT",
+    "EEPROM",
+    "PHY",
+    "MDIO",
+    "VLAN",
+    "TUNNEL",
+    "HW",
+    "FW",
+    "HOTPLUG",
+    "HUGE",
+    "COMPACT",
+    "JOURNAL",
+    "XATTR",
+    "ACL",
+    "QUOTA",
+    "ENCRYPT",
+    "VERITY",
+    "COMPRESS",
+    "SNAPSHOT",
+    "MIRROR",
+    "RAID",
+    "MULTIPATH",
+    "BONDING",
+    "FAILOVER",
+    "BRIDGE",
+    "LEGACY",
+    "EXT",
+    "V2",
+    "ASYNC",
+    "BATCH",
 ];
 
 /// Synthesizes the Kconfig model for one Linux version.
@@ -263,9 +378,18 @@ pub fn synthesize(version: LinuxVersion) -> KconfigModel {
     // Exact per-type pool of the symbols still to generate, shuffled so the
     // types interleave across subsystems.
     let mut pool: Vec<SymbolType> = Vec::with_capacity(target.total() - base.total());
-    pool.extend(std::iter::repeat_n(SymbolType::Bool, target.bool_ - base.bool_));
-    pool.extend(std::iter::repeat_n(SymbolType::Tristate, target.tristate - base.tristate));
-    pool.extend(std::iter::repeat_n(SymbolType::String, target.string - base.string));
+    pool.extend(std::iter::repeat_n(
+        SymbolType::Bool,
+        target.bool_ - base.bool_,
+    ));
+    pool.extend(std::iter::repeat_n(
+        SymbolType::Tristate,
+        target.tristate - base.tristate,
+    ));
+    pool.extend(std::iter::repeat_n(
+        SymbolType::String,
+        target.string - base.string,
+    ));
     pool.extend(std::iter::repeat_n(SymbolType::Hex, target.hex - base.hex));
     pool.extend(std::iter::repeat_n(SymbolType::Int, target.int - base.int));
     shuffle(&mut pool, &mut rng);
@@ -380,13 +504,7 @@ fn int_range(rng: &mut StdRng) -> (i64, i64, i64) {
 
 /// A human prompt derived from a symbol name.
 fn prompt_for(name: &str) -> String {
-    let mut words: Vec<String> = name
-        .split('_')
-        .map(|w| {
-            let lower = w.to_ascii_lowercase();
-            lower
-        })
-        .collect();
+    let mut words: Vec<String> = name.split('_').map(|w| w.to_ascii_lowercase()).collect();
     if let Some(first) = words.first_mut() {
         let mut chars = first.chars();
         if let Some(c) = chars.next() {
@@ -426,80 +544,322 @@ fn curated_core(model: &mut KconfigModel) {
 
     // Subsystem gates (all default y so defconfig exposes the full tree).
     for gate in [
-        "EXPERT", "SMP", "PM", "MMU", "NET", "PCI", "SND", "DRM", "USB", "BLOCK",
-        "SECURITY", "CRYPTO", "LIBS", "DEBUG_KERNEL",
+        "EXPERT",
+        "SMP",
+        "PM",
+        "MMU",
+        "NET",
+        "PCI",
+        "SND",
+        "DRM",
+        "USB",
+        "BLOCK",
+        "SECURITY",
+        "CRYPTO",
+        "LIBS",
+        "DEBUG_KERNEL",
     ] {
         add_bool(gate, "General setup", true, "Subsystem gate.");
     }
 
     // Core kernel features.
-    add_bool("64BIT", "Processor type and features", true, "64-bit kernel.");
-    add_bool("NUMA", "Processor type and features", true, "NUMA memory allocation and scheduler support.");
-    add_bool("PREEMPT", "Processor type and features", false, "Preemptible kernel (low-latency desktop).");
-    add_bool("PREEMPT_VOLUNTARY", "Processor type and features", true, "Voluntary kernel preemption.");
-    add_bool("HIGH_RES_TIMERS", "Processor type and features", true, "High resolution timer support.");
-    add_bool("NO_HZ_IDLE", "Processor type and features", true, "Idle dynticks system.");
-    add_bool("CPU_FREQ", "Power management and ACPI options", true, "CPU frequency scaling.");
-    add_bool("CPU_IDLE", "Power management and ACPI options", true, "CPU idle PM support.");
+    add_bool(
+        "64BIT",
+        "Processor type and features",
+        true,
+        "64-bit kernel.",
+    );
+    add_bool(
+        "NUMA",
+        "Processor type and features",
+        true,
+        "NUMA memory allocation and scheduler support.",
+    );
+    add_bool(
+        "PREEMPT",
+        "Processor type and features",
+        false,
+        "Preemptible kernel (low-latency desktop).",
+    );
+    add_bool(
+        "PREEMPT_VOLUNTARY",
+        "Processor type and features",
+        true,
+        "Voluntary kernel preemption.",
+    );
+    add_bool(
+        "HIGH_RES_TIMERS",
+        "Processor type and features",
+        true,
+        "High resolution timer support.",
+    );
+    add_bool(
+        "NO_HZ_IDLE",
+        "Processor type and features",
+        true,
+        "Idle dynticks system.",
+    );
+    add_bool(
+        "CPU_FREQ",
+        "Power management and ACPI options",
+        true,
+        "CPU frequency scaling.",
+    );
+    add_bool(
+        "CPU_IDLE",
+        "Power management and ACPI options",
+        true,
+        "CPU idle PM support.",
+    );
 
     // Memory management.
-    add_bool("SWAP", "Memory management options", true, "Support for paging of anonymous memory.");
-    add_bool("SHMEM", "Memory management options", true, "Shared memory filesystem support.");
-    add_bool("TRANSPARENT_HUGEPAGE", "Memory management options", true, "Transparent hugepage support.");
-    add_bool("COMPACTION", "Memory management options", true, "Memory compaction.");
-    add_bool("KSM", "Memory management options", false, "Kernel samepage merging.");
-    add_bool("SLUB_DEBUG", "Memory management options", false, "SLUB debugging support.");
-    add_bool("SLAB_FREELIST_RANDOM", "Memory management options", false, "Randomize slab freelist.");
+    add_bool(
+        "SWAP",
+        "Memory management options",
+        true,
+        "Support for paging of anonymous memory.",
+    );
+    add_bool(
+        "SHMEM",
+        "Memory management options",
+        true,
+        "Shared memory filesystem support.",
+    );
+    add_bool(
+        "TRANSPARENT_HUGEPAGE",
+        "Memory management options",
+        true,
+        "Transparent hugepage support.",
+    );
+    add_bool(
+        "COMPACTION",
+        "Memory management options",
+        true,
+        "Memory compaction.",
+    );
+    add_bool(
+        "KSM",
+        "Memory management options",
+        false,
+        "Kernel samepage merging.",
+    );
+    add_bool(
+        "SLUB_DEBUG",
+        "Memory management options",
+        false,
+        "SLUB debugging support.",
+    );
+    add_bool(
+        "SLAB_FREELIST_RANDOM",
+        "Memory management options",
+        false,
+        "Randomize slab freelist.",
+    );
 
     // Networking core.
     add_bool("INET", "Networking support", true, "TCP/IP networking.");
     add_bool("IPV6", "Networking support", true, "The IPv6 protocol.");
-    add_bool("NETFILTER", "Networking support", true, "Network packet filtering framework.");
-    add_bool("TCP_CONG_CUBIC", "Networking support", true, "CUBIC TCP congestion control.");
-    add_bool("TCP_CONG_BBR", "Networking support", false, "BBR TCP congestion control.");
-    add_bool("NET_RX_BUSY_POLL", "Networking support", true, "Busy poll for low-latency networking.");
-    add_bool("XPS", "Networking support", true, "Transmit packet steering.");
-    add_bool("RPS", "Networking support", true, "Receive packet steering.");
+    add_bool(
+        "NETFILTER",
+        "Networking support",
+        true,
+        "Network packet filtering framework.",
+    );
+    add_bool(
+        "TCP_CONG_CUBIC",
+        "Networking support",
+        true,
+        "CUBIC TCP congestion control.",
+    );
+    add_bool(
+        "TCP_CONG_BBR",
+        "Networking support",
+        false,
+        "BBR TCP congestion control.",
+    );
+    add_bool(
+        "NET_RX_BUSY_POLL",
+        "Networking support",
+        true,
+        "Busy poll for low-latency networking.",
+    );
+    add_bool(
+        "XPS",
+        "Networking support",
+        true,
+        "Transmit packet steering.",
+    );
+    add_bool(
+        "RPS",
+        "Networking support",
+        true,
+        "Receive packet steering.",
+    );
 
     // Block / filesystems.
-    add_bool("EXT4_FS", "File systems", true, "The extended 4 (ext4) filesystem.");
-    add_bool("BTRFS_FS", "File systems", false, "Btrfs filesystem support.");
+    add_bool(
+        "EXT4_FS",
+        "File systems",
+        true,
+        "The extended 4 (ext4) filesystem.",
+    );
+    add_bool(
+        "BTRFS_FS",
+        "File systems",
+        false,
+        "Btrfs filesystem support.",
+    );
     add_bool("XFS_FS", "File systems", false, "XFS filesystem support.");
-    add_bool("TMPFS", "File systems", true, "Tmpfs virtual memory file system support.");
-    add_bool("PROC_FS", "File systems", true, "/proc file system support.");
+    add_bool(
+        "TMPFS",
+        "File systems",
+        true,
+        "Tmpfs virtual memory file system support.",
+    );
+    add_bool(
+        "PROC_FS",
+        "File systems",
+        true,
+        "/proc file system support.",
+    );
     add_bool("SYSFS", "File systems", true, "Sysfs file system support.");
-    add_bool("BLK_DEV_IO_TRACE", "File systems", false, "Support for tracing block IO actions.");
+    add_bool(
+        "BLK_DEV_IO_TRACE",
+        "File systems",
+        false,
+        "Support for tracing block IO actions.",
+    );
 
     // Drivers the benchmark VMs rely on.
-    add_bool("VIRTIO_NET", "Device drivers", true, "Virtio network driver.");
+    add_bool(
+        "VIRTIO_NET",
+        "Device drivers",
+        true,
+        "Virtio network driver.",
+    );
     add_bool("VIRTIO_BLK", "Device drivers", true, "Virtio block driver.");
-    add_bool("E1000", "Device drivers", false, "Intel PRO/1000 gigabit ethernet support.");
-    add_bool("SERIAL_8250", "Device drivers", true, "8250/16550 serial support.");
+    add_bool(
+        "E1000",
+        "Device drivers",
+        false,
+        "Intel PRO/1000 gigabit ethernet support.",
+    );
+    add_bool(
+        "SERIAL_8250",
+        "Device drivers",
+        true,
+        "8250/16550 serial support.",
+    );
 
     // Security.
-    add_bool("SECCOMP", "Security options", true, "Enable seccomp to safely execute untrusted bytecode.");
-    add_bool("RANDOMIZE_BASE", "Security options", true, "Randomize the address of the kernel image (KASLR).");
-    add_bool("STACKPROTECTOR", "Security options", true, "Stack protector buffer overflow detection.");
-    add_bool("HARDENED_USERCOPY", "Security options", false, "Harden memory copies between kernel and userspace.");
+    add_bool(
+        "SECCOMP",
+        "Security options",
+        true,
+        "Enable seccomp to safely execute untrusted bytecode.",
+    );
+    add_bool(
+        "RANDOMIZE_BASE",
+        "Security options",
+        true,
+        "Randomize the address of the kernel image (KASLR).",
+    );
+    add_bool(
+        "STACKPROTECTOR",
+        "Security options",
+        true,
+        "Stack protector buffer overflow detection.",
+    );
+    add_bool(
+        "HARDENED_USERCOPY",
+        "Security options",
+        false,
+        "Harden memory copies between kernel and userspace.",
+    );
 
     // Observability / debugging (the classic footprint+perf offenders).
-    add_bool("PRINTK", "General setup", true, "Enable support for printk.");
-    add_bool("PRINTK_TIME", "Kernel hacking", false, "Show timing information on printks.");
-    add_bool("IKCONFIG", "General setup", false, "Kernel .config support.");
-    add_bool("KALLSYMS", "General setup", true, "Load all symbols for debugging/ksymoops.");
-    add_bool("DEBUG_INFO", "Kernel hacking", false, "Compile the kernel with debug info.");
-    add_bool("KASAN", "Kernel hacking", false, "Kernel address sanitizer.");
-    add_bool("UBSAN", "Kernel hacking", false, "Undefined behaviour sanity checker.");
-    add_bool("KCOV", "Kernel hacking", false, "Code coverage for fuzzing.");
-    add_bool("LOCKDEP", "Kernel hacking", false, "Lock dependency engine debugging.");
-    add_bool("PROVE_LOCKING", "Kernel hacking", false, "Lock debugging: prove locking correctness.");
-    add_bool("DEBUG_PAGEALLOC", "Kernel hacking", false, "Debug page memory allocations.");
+    add_bool(
+        "PRINTK",
+        "General setup",
+        true,
+        "Enable support for printk.",
+    );
+    add_bool(
+        "PRINTK_TIME",
+        "Kernel hacking",
+        false,
+        "Show timing information on printks.",
+    );
+    add_bool(
+        "IKCONFIG",
+        "General setup",
+        false,
+        "Kernel .config support.",
+    );
+    add_bool(
+        "KALLSYMS",
+        "General setup",
+        true,
+        "Load all symbols for debugging/ksymoops.",
+    );
+    add_bool(
+        "DEBUG_INFO",
+        "Kernel hacking",
+        false,
+        "Compile the kernel with debug info.",
+    );
+    add_bool(
+        "KASAN",
+        "Kernel hacking",
+        false,
+        "Kernel address sanitizer.",
+    );
+    add_bool(
+        "UBSAN",
+        "Kernel hacking",
+        false,
+        "Undefined behaviour sanity checker.",
+    );
+    add_bool(
+        "KCOV",
+        "Kernel hacking",
+        false,
+        "Code coverage for fuzzing.",
+    );
+    add_bool(
+        "LOCKDEP",
+        "Kernel hacking",
+        false,
+        "Lock dependency engine debugging.",
+    );
+    add_bool(
+        "PROVE_LOCKING",
+        "Kernel hacking",
+        false,
+        "Lock debugging: prove locking correctness.",
+    );
+    add_bool(
+        "DEBUG_PAGEALLOC",
+        "Kernel hacking",
+        false,
+        "Debug page memory allocations.",
+    );
     add_bool("FTRACE", "Kernel hacking", true, "Kernel function tracer.");
     add_bool("KPROBES", "Kernel hacking", false, "Kernel dynamic probes.");
-    add_bool("BPF_SYSCALL", "General setup", true, "Enable bpf() system call.");
+    add_bool(
+        "BPF_SYSCALL",
+        "General setup",
+        true,
+        "Enable bpf() system call.",
+    );
     add_bool("EPOLL", "General setup", true, "Enable eventpoll support.");
     add_bool("AIO", "General setup", true, "Enable AIO support.");
-    add_bool("IO_URING", "General setup", true, "Enable IO uring support.");
+    add_bool(
+        "IO_URING",
+        "General setup",
+        true,
+        "Enable IO uring support.",
+    );
     add_bool("FUTEX", "General setup", true, "Enable futex support.");
 
     // MODULES is special-cased by the solver.
@@ -530,7 +890,12 @@ fn curated_core(model: &mut KconfigModel) {
     add_int("HZ", "Processor type and features", (100, 1000), 250);
     add_int("LOG_BUF_SHIFT", "General setup", (12, 25), 17);
     add_int("RCU_FANOUT", "General setup", (2, 64), 32);
-    add_int("DEFAULT_MMAP_MIN_ADDR", "Security options", (0, 65536), 4096);
+    add_int(
+        "DEFAULT_MMAP_MIN_ADDR",
+        "Security options",
+        (0, 65536),
+        4096,
+    );
 
     {
         let mut s = Symbol::new("PHYSICAL_START", SymbolType::Hex);
@@ -634,11 +999,25 @@ mod tests {
 
     #[test]
     fn curated_symbols_exist_in_every_version() {
-        for v in [LinuxVersion::V2_6_13, LinuxVersion::V4_19, LinuxVersion::V6_0] {
+        for v in [
+            LinuxVersion::V2_6_13,
+            LinuxVersion::V4_19,
+            LinuxVersion::V6_0,
+        ] {
             let m = synthesize(v);
             for name in [
-                "MODULES", "SMP", "NET", "INET", "EXT4_FS", "DEBUG_INFO", "KASAN",
-                "NR_CPUS", "HZ", "LOG_BUF_SHIFT", "VIRTIO_NET", "RANDOMIZE_BASE",
+                "MODULES",
+                "SMP",
+                "NET",
+                "INET",
+                "EXT4_FS",
+                "DEBUG_INFO",
+                "KASAN",
+                "NR_CPUS",
+                "HZ",
+                "LOG_BUF_SHIFT",
+                "VIRTIO_NET",
+                "RANDOMIZE_BASE",
             ] {
                 assert!(m.by_name(name).is_some(), "{name} missing in {v}");
             }

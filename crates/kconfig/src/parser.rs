@@ -112,7 +112,7 @@ pub fn parse(input: &str) -> Result<KconfigModel, ParseError> {
                     .trim()
                     .strip_prefix("on")
                     .ok_or_else(|| err("expected `depends on`".into()))?;
-                let e = parse_expr(rest.trim()).map_err(|m| err(m))?;
+                let e = parse_expr(rest.trim()).map_err(&err)?;
                 sym.depends = Some(match sym.depends.take() {
                     Some(prev) => Expr::And(Box::new(prev), Box::new(e)),
                     None => e,
@@ -127,7 +127,7 @@ pub fn parse(input: &str) -> Result<KconfigModel, ParseError> {
                     return Err(err(format!("invalid select target {target:?}")));
                 }
                 let condition = match cond {
-                    Some(c) => Some(parse_expr(c).map_err(|m| err(m))?),
+                    Some(c) => Some(parse_expr(c).map_err(&err)?),
                     None => None,
                 };
                 sym.selects.push(Select {
@@ -143,7 +143,7 @@ pub fn parse(input: &str) -> Result<KconfigModel, ParseError> {
                 let value = parse_default_value(val, sym.stype)
                     .ok_or_else(|| err(format!("bad default {val:?} for {}", sym.stype)))?;
                 let condition = match cond {
-                    Some(c) => Some(parse_expr(c).map_err(|m| err(m))?),
+                    Some(c) => Some(parse_expr(c).map_err(&err)?),
                     None => None,
                 };
                 sym.defaults.push(Default { value, condition });
@@ -152,7 +152,7 @@ pub fn parse(input: &str) -> Result<KconfigModel, ParseError> {
                 let sym = current
                     .as_mut()
                     .ok_or_else(|| err("range outside a config block".into()))?;
-                let mut parts = rest.trim().split_whitespace();
+                let mut parts = rest.split_whitespace();
                 let lo = parts
                     .next()
                     .and_then(parse_int)
@@ -297,7 +297,10 @@ pub fn parse_expr(input: &str) -> Result<Expr, String> {
     let mut pos = 0;
     let e = parse_or(&tokens, &mut pos)?;
     if pos != tokens.len() {
-        return Err(format!("trailing tokens after expression: {:?}", &tokens[pos..]));
+        return Err(format!(
+            "trailing tokens after expression: {:?}",
+            &tokens[pos..]
+        ));
     }
     Ok(e)
 }
@@ -505,16 +508,10 @@ endmenu
         assert_eq!(buf.defaults.len(), 1);
 
         let phys = m.by_name("PHYSICAL_START").unwrap();
-        assert_eq!(
-            phys.defaults[0].value,
-            DefaultValue::Int(0x1000000)
-        );
+        assert_eq!(phys.defaults[0].value, DefaultValue::Int(0x1000000));
 
         let host = m.by_name("DEFAULT_HOSTNAME").unwrap();
-        assert_eq!(
-            host.defaults[0].value,
-            DefaultValue::Str("(none)".into())
-        );
+        assert_eq!(host.defaults[0].value, DefaultValue::Str("(none)".into()));
     }
 
     #[test]

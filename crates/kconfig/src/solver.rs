@@ -17,9 +17,9 @@
 
 use crate::ast::{DefaultValue, KconfigModel, SymbolType};
 use crate::eval::{eval, Assignment, SymValue};
+use rand::Rng;
 use std::collections::HashMap;
 use std::fmt;
-use rand::Rng;
 use wf_configspace::Tristate;
 
 /// Default range assumed for `int`/`hex` symbols that declare none.
@@ -323,7 +323,8 @@ impl<'m> Solver<'m> {
                 SymbolType::Bool | SymbolType::Tristate => {
                     let limit = self.upper_limit(idx, &asg);
                     let floor = self.promote_for_bool(idx, self.select_floor(idx, &asg));
-                    let options = legal_tristates(sym.stype, floor, limit, self.modules_enabled(&asg));
+                    let options =
+                        legal_tristates(sym.stype, floor, limit, self.modules_enabled(&asg));
                     let pick = options[rng.random_range(0..options.len())];
                     asg.set_tri(sym.name.clone(), pick);
                 }
@@ -360,7 +361,12 @@ impl<'m> Solver<'m> {
     }
 
     /// Resolves a bool/tristate symbol given an optional preferred value.
-    fn resolve_tristate(&self, idx: usize, preferred: Option<Tristate>, asg: &Assignment) -> Tristate {
+    fn resolve_tristate(
+        &self,
+        idx: usize,
+        preferred: Option<Tristate>,
+        asg: &Assignment,
+    ) -> Tristate {
         let limit = self.upper_limit(idx, asg);
         let floor = self.promote_for_bool(idx, self.select_floor(idx, asg));
         let base = preferred
@@ -368,9 +374,7 @@ impl<'m> Solver<'m> {
             .unwrap_or(Tristate::No);
         let mut v = base.min(limit).max(floor);
         let sym = self.model.symbol(idx);
-        if v == Tristate::Module
-            && (sym.stype == SymbolType::Bool || !self.modules_enabled(asg))
-        {
+        if v == Tristate::Module && (sym.stype == SymbolType::Bool || !self.modules_enabled(asg)) {
             v = if limit >= Tristate::Yes || floor > Tristate::No {
                 Tristate::Yes
             } else {
@@ -442,8 +446,10 @@ impl<'m> Solver<'m> {
 fn type_matches(stype: SymbolType, value: &SymValue) -> bool {
     matches!(
         (stype, value),
-        (SymbolType::Bool, SymValue::Tri(Tristate::No | Tristate::Yes))
-            | (SymbolType::Tristate, SymValue::Tri(_))
+        (
+            SymbolType::Bool,
+            SymValue::Tri(Tristate::No | Tristate::Yes)
+        ) | (SymbolType::Tristate, SymValue::Tri(_))
             | (SymbolType::Int, SymValue::Int(_))
             | (SymbolType::Hex, SymValue::Int(_))
             | (SymbolType::String, SymValue::Str(_))
@@ -461,7 +467,7 @@ fn legal_tristates(
         .into_iter()
         .filter(|t| *t >= floor && *t <= limit.max(floor))
         .filter(|t| !(stype == SymbolType::Bool && *t == Tristate::Module))
-        .filter(|t| !(*t == Tristate::Module && !modules))
+        .filter(|t| *t != Tristate::Module || modules)
         .collect();
     if out.is_empty() {
         out.push(floor);
@@ -570,9 +576,9 @@ config NET_TLS
         let mut a = s.defconfig();
         a.set("NET_BACKLOG", SymValue::Int(7));
         let v = s.validate(&a);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, Violation::OutOfRange { name, got: 7, .. } if name == "NET_BACKLOG")));
+        assert!(v.iter().any(
+            |x| matches!(x, Violation::OutOfRange { name, got: 7, .. } if name == "NET_BACKLOG")
+        ));
     }
 
     #[test]
@@ -583,7 +589,9 @@ config NET_TLS
         a.set("NOPE", SymValue::Tri(Tristate::Yes));
         a.set("NET_BACKLOG", SymValue::Str("many".into()));
         let v = s.validate(&a);
-        assert!(v.iter().any(|x| matches!(x, Violation::UnknownSymbol { name } if name == "NOPE")));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UnknownSymbol { name } if name == "NOPE")));
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::TypeMismatch { name, .. } if name == "NET_BACKLOG")));

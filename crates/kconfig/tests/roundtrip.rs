@@ -26,65 +26,82 @@ fn sym_type() -> impl Strategy<Value = SymbolType> {
 }
 
 fn tristate() -> impl Strategy<Value = Tristate> {
-    prop_oneof![Just(Tristate::No), Just(Tristate::Module), Just(Tristate::Yes)]
+    prop_oneof![
+        Just(Tristate::No),
+        Just(Tristate::Module),
+        Just(Tristate::Yes)
+    ]
 }
 
 /// A random model: unique names, dependencies/selects only on earlier
 /// symbols (so they resolve), type-correct defaults and ranges.
 fn model_strategy() -> impl Strategy<Value = KconfigModel> {
-    proptest::collection::vec((sym_name(), sym_type(), tristate(), 0u8..4, any::<bool>(), 1i64..1000), 1..20)
-        .prop_map(|rows| {
-            let mut m = KconfigModel::new();
-            let mut names: Vec<String> = Vec::new();
-            for (name, stype, tri, dep_mode, promptless, num) in rows {
-                if m.by_name(&name).is_some() {
-                    continue;
-                }
-                let mut s = Symbol::new(&name, stype);
-                if !promptless {
-                    s.prompt = Some(format!("{name} prompt"));
-                }
-                if !names.is_empty() {
-                    let target = names[(num as usize) % names.len()].clone();
-                    match dep_mode {
-                        1 => s.depends = Some(Expr::Sym(target)),
-                        2 => s.depends = Some(Expr::Not(Box::new(Expr::Sym(target)))),
-                        3 if matches!(stype, SymbolType::Bool | SymbolType::Tristate) => {
-                            s.selects.push(Select { target, condition: None })
-                        }
-                        _ => {}
+    proptest::collection::vec(
+        (
+            sym_name(),
+            sym_type(),
+            tristate(),
+            0u8..4,
+            any::<bool>(),
+            1i64..1000,
+        ),
+        1..20,
+    )
+    .prop_map(|rows| {
+        let mut m = KconfigModel::new();
+        let mut names: Vec<String> = Vec::new();
+        for (name, stype, tri, dep_mode, promptless, num) in rows {
+            if m.by_name(&name).is_some() {
+                continue;
+            }
+            let mut s = Symbol::new(&name, stype);
+            if !promptless {
+                s.prompt = Some(format!("{name} prompt"));
+            }
+            if !names.is_empty() {
+                let target = names[(num as usize) % names.len()].clone();
+                match dep_mode {
+                    1 => s.depends = Some(Expr::Sym(target)),
+                    2 => s.depends = Some(Expr::Not(Box::new(Expr::Sym(target)))),
+                    3 if matches!(stype, SymbolType::Bool | SymbolType::Tristate) => {
+                        s.selects.push(Select {
+                            target,
+                            condition: None,
+                        })
                     }
+                    _ => {}
                 }
-                match stype {
-                    SymbolType::Bool => {
-                        if tri != Tristate::Module {
-                            s.defaults.push(Default {
-                                value: DefaultValue::Tri(tri),
-                                condition: None,
-                            });
-                        }
-                    }
-                    SymbolType::Tristate => s.defaults.push(Default {
-                        value: DefaultValue::Tri(tri),
-                        condition: None,
-                    }),
-                    SymbolType::Int | SymbolType::Hex => {
-                        s.range = Some((0, num.max(1)));
+            }
+            match stype {
+                SymbolType::Bool => {
+                    if tri != Tristate::Module {
                         s.defaults.push(Default {
-                            value: DefaultValue::Int(num / 2),
+                            value: DefaultValue::Tri(tri),
                             condition: None,
                         });
                     }
-                    SymbolType::String => s.defaults.push(Default {
-                        value: DefaultValue::Str(format!("v{num}")),
-                        condition: None,
-                    }),
                 }
-                names.push(name);
-                m.add(s);
+                SymbolType::Tristate => s.defaults.push(Default {
+                    value: DefaultValue::Tri(tri),
+                    condition: None,
+                }),
+                SymbolType::Int | SymbolType::Hex => {
+                    s.range = Some((0, num.max(1)));
+                    s.defaults.push(Default {
+                        value: DefaultValue::Int(num / 2),
+                        condition: None,
+                    });
+                }
+                SymbolType::String => s.defaults.push(Default {
+                    value: DefaultValue::Str(format!("v{num}")),
+                    condition: None,
+                }),
             }
-            m
-        })
+            names.push(name);
+            m.add(s);
+        }
+        m
+    })
 }
 
 proptest! {

@@ -360,10 +360,7 @@ mod tests {
     fn dense_forward_shape_and_bias() {
         let mut r = rng();
         let mut d = Dense::new(3, 2, &mut r);
-        d.load(
-            Matrix::zeros(3, 2),
-            Matrix::row_vector(&[1.0, -1.0]),
-        );
+        d.load(Matrix::zeros(3, 2), Matrix::row_vector(&[1.0, -1.0]));
         let out = d.forward(&Matrix::zeros(4, 3), false);
         assert_eq!((out.rows(), out.cols()), (4, 2));
         assert_eq!(out.row(0), &[1.0, -1.0]);
@@ -440,6 +437,9 @@ mod tests {
             .map(|t| t.grad.data().to_vec())
             .collect();
         let n_tensors = analytic.len();
+        // Index loops on purpose: each probe re-borrows `layer.tensors()`
+        // mutably, so iterating `analytic` by reference would alias.
+        #[allow(clippy::needless_range_loop)]
         for ti in 0..n_tensors {
             let n = analytic[ti].len();
             for i in 0..n {

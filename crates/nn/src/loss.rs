@@ -35,16 +35,45 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 ///
 /// Panics if `targets.len() != logits.rows()` or a target is out of range.
 pub fn categorical_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+    let uniform = vec![1.0; logits.cols()];
+    weighted_categorical_cross_entropy(logits, targets, &uniform)
+}
+
+/// Class-weighted categorical cross-entropy over row logits.
+///
+/// Like [`categorical_cross_entropy`], but each row's loss and gradient are
+/// scaled by `class_weights[targets[r]]`. Used with inverse-frequency
+/// weights to keep a minority class (crashing configurations are roughly a
+/// third of observations) from being drowned out by the majority.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()`, a target is out of range, or
+/// `class_weights.len() != logits.cols()`.
+pub fn weighted_categorical_cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    class_weights: &[f64],
+) -> (f64, Matrix) {
     assert_eq!(targets.len(), logits.rows(), "target/batch size mismatch");
+    assert_eq!(
+        class_weights.len(),
+        logits.cols(),
+        "one weight per class required"
+    );
     let probs = softmax_rows(logits);
     let b = logits.rows() as f64;
     let mut loss = 0.0;
     let mut grad = probs.clone();
     for (r, &t) in targets.iter().enumerate() {
         assert!(t < logits.cols(), "target class {t} out of range");
+        let w = class_weights[t];
         let p = probs.get(r, t).max(1e-12);
-        loss -= p.ln();
+        loss -= w * p.ln();
         grad.set(r, t, grad.get(r, t) - 1.0);
+        for c in 0..logits.cols() {
+            grad.set(r, c, grad.get(r, c) * w);
+        }
     }
     grad.scale(1.0 / b);
     (loss / b, grad)
@@ -228,7 +257,10 @@ mod tests {
         let y = [3.0];
         let (l_conf, _, _) = heteroscedastic_regression(&mu, &confident, &y);
         let (l_humble, _, _) = heteroscedastic_regression(&mu, &humble, &y);
-        assert!(l_conf > l_humble, "being wrong and confident must cost more");
+        assert!(
+            l_conf > l_humble,
+            "being wrong and confident must cost more"
+        );
     }
 
     #[test]

@@ -156,19 +156,88 @@ impl App {
             // gains are modest; the large wins sit in *aligned*
             // combinations, which is why random search plateaus around
             // +12 % (Fig. 2) while directed search reaches +24 % (Table 2).
-            .effect("net.core.somaxconn", Curve::SaturatingLog { lo: 128.0, hi: 16_384.0, gain: 0.045 })
-            .effect("net.ipv4.tcp_max_syn_backlog", Curve::SaturatingLog { lo: 512.0, hi: 16_384.0, gain: 0.018 })
-            .effect("net.core.rmem_default", Curve::OptimumLog { best: 4_194_304.0, width: 0.55, gain: 0.035 })
-            .effect("net.ipv4.tcp_keepalive_time", Curve::Step { at: 600.0, below: 1.015, above: 1.0 })
-            .effect("net.core.default_qdisc", Curve::PerChoice { factors: vec![1.0, 1.005, 1.01] })
-            .effect("net.ipv4.tcp_congestion_control", Curve::PerChoice { factors: vec![1.0, 0.97, 1.012] })
-            .effect("net.ipv4.tcp_slow_start_after_idle", Curve::BoolFactor { when_on: 0.99 })
-            .effect("net.core.busy_poll", Curve::OptimumLog { best: 50.0, width: 0.3, gain: 0.012 })
-            .effect("net.ipv4.tcp_timestamps", Curve::BoolFactor { when_on: 1.004 })
+            .effect(
+                "net.core.somaxconn",
+                Curve::SaturatingLog {
+                    lo: 128.0,
+                    hi: 16_384.0,
+                    gain: 0.045,
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_max_syn_backlog",
+                Curve::SaturatingLog {
+                    lo: 512.0,
+                    hi: 16_384.0,
+                    gain: 0.018,
+                },
+            )
+            .effect(
+                "net.core.rmem_default",
+                Curve::OptimumLog {
+                    best: 4_194_304.0,
+                    width: 0.55,
+                    gain: 0.035,
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_keepalive_time",
+                Curve::Step {
+                    at: 600.0,
+                    below: 1.015,
+                    above: 1.0,
+                },
+            )
+            .effect(
+                "net.core.default_qdisc",
+                Curve::PerChoice {
+                    factors: vec![1.0, 1.005, 1.01],
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_congestion_control",
+                Curve::PerChoice {
+                    factors: vec![1.0, 0.97, 1.012],
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_slow_start_after_idle",
+                Curve::BoolFactor { when_on: 0.99 },
+            )
+            .effect(
+                "net.core.busy_poll",
+                Curve::OptimumLog {
+                    best: 50.0,
+                    width: 0.3,
+                    gain: 0.012,
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_timestamps",
+                Curve::BoolFactor { when_on: 1.004 },
+            )
             .effect("net.ipv4.tcp_sack", Curve::BoolFactor { when_on: 1.012 })
-            .effect("net.ipv4.tcp_tw_reuse", Curve::BoolFactor { when_on: 1.006 })
-            .effect("vm.swappiness", Curve::Linear { lo: 80.0, hi: 100.0, lo_factor: 1.0, hi_factor: 0.985 })
-            .effect("vm.dirty_ratio", Curve::Step { at: 3.0, below: 0.97, above: 1.0 })
+            .effect(
+                "net.ipv4.tcp_tw_reuse",
+                Curve::BoolFactor { when_on: 1.006 },
+            )
+            .effect(
+                "vm.swappiness",
+                Curve::Linear {
+                    lo: 80.0,
+                    hi: 100.0,
+                    lo_factor: 1.0,
+                    hi_factor: 0.985,
+                },
+            )
+            .effect(
+                "vm.dirty_ratio",
+                Curve::Step {
+                    at: 3.0,
+                    below: 0.97,
+                    above: 1.0,
+                },
+            )
             .interaction(
                 "aligned-backlogs",
                 vec![
@@ -194,11 +263,46 @@ impl App {
             // Buffers scale memory across the whole range, so shrinking
             // them below the default *reduces* memory — the Table 4
             // throughput-vs-memory trade-off.
-            .effect("net.core.rmem_default", Curve::SaturatingLog { lo: 2_048.0, hi: 33_554_432.0, gain: 0.24 })
-            .effect("net.core.wmem_default", Curve::SaturatingLog { lo: 2_048.0, hi: 33_554_432.0, gain: 0.16 })
-            .effect("vm.nr_hugepages", Curve::SaturatingLog { lo: 8.0, hi: 4096.0, gain: 1.8 })
-            .effect("vm.min_free_kbytes", Curve::SaturatingLog { lo: 67_584.0, hi: 16_777_216.0, gain: 0.6 })
-            .effect("net.core.somaxconn", Curve::SaturatingLog { lo: 128.0, hi: 65_535.0, gain: 0.04 });
+            .effect(
+                "net.core.rmem_default",
+                Curve::SaturatingLog {
+                    lo: 2_048.0,
+                    hi: 33_554_432.0,
+                    gain: 0.24,
+                },
+            )
+            .effect(
+                "net.core.wmem_default",
+                Curve::SaturatingLog {
+                    lo: 2_048.0,
+                    hi: 33_554_432.0,
+                    gain: 0.16,
+                },
+            )
+            .effect(
+                "vm.nr_hugepages",
+                Curve::SaturatingLog {
+                    lo: 8.0,
+                    hi: 4096.0,
+                    gain: 1.8,
+                },
+            )
+            .effect(
+                "vm.min_free_kbytes",
+                Curve::SaturatingLog {
+                    lo: 67_584.0,
+                    hi: 16_777_216.0,
+                    gain: 0.6,
+                },
+            )
+            .effect(
+                "net.core.somaxconn",
+                Curve::SaturatingLog {
+                    lo: 128.0,
+                    hi: 65_535.0,
+                    gain: 0.04,
+                },
+            );
         App {
             id: AppId::Nginx,
             bench_tool: "wrk",
@@ -218,17 +322,80 @@ impl App {
     /// (Table 2: 58 000 → 66 118 req/s, 1.14×).
     pub fn redis() -> App {
         let perf = PerfModel::new(0.025)
-            .effect("net.core.somaxconn", Curve::SaturatingLog { lo: 128.0, hi: 2048.0, gain: 0.055 })
-            .effect("net.core.rmem_default", Curve::OptimumLog { best: 1_048_576.0, width: 1.0, gain: 0.018 })
-            .effect("net.core.wmem_default", Curve::OptimumLog { best: 1_048_576.0, width: 1.0, gain: 0.015 })
-            .effect("net.core.busy_read", Curve::OptimumLog { best: 60.0, width: 0.45, gain: 0.03 })
-            .effect("net.ipv4.tcp_fastopen", Curve::PerChoice { factors: vec![1.0, 1.003, 1.003, 1.008] })
-            .effect("net.ipv4.tcp_keepalive_time", Curve::Step { at: 600.0, below: 1.012, above: 1.0 })
-            .effect("kernel.sched_migration_cost_ns", Curve::SaturatingLog { lo: 500_000.0, hi: 50_000_000.0, gain: 0.022 })
-            .effect("kernel.sched_autogroup_enabled", Curve::BoolFactor { when_on: 0.99 })
+            .effect(
+                "net.core.somaxconn",
+                Curve::SaturatingLog {
+                    lo: 128.0,
+                    hi: 2048.0,
+                    gain: 0.055,
+                },
+            )
+            .effect(
+                "net.core.rmem_default",
+                Curve::OptimumLog {
+                    best: 1_048_576.0,
+                    width: 1.0,
+                    gain: 0.018,
+                },
+            )
+            .effect(
+                "net.core.wmem_default",
+                Curve::OptimumLog {
+                    best: 1_048_576.0,
+                    width: 1.0,
+                    gain: 0.015,
+                },
+            )
+            .effect(
+                "net.core.busy_read",
+                Curve::OptimumLog {
+                    best: 60.0,
+                    width: 0.45,
+                    gain: 0.03,
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_fastopen",
+                Curve::PerChoice {
+                    factors: vec![1.0, 1.003, 1.003, 1.008],
+                },
+            )
+            .effect(
+                "net.ipv4.tcp_keepalive_time",
+                Curve::Step {
+                    at: 600.0,
+                    below: 1.012,
+                    above: 1.0,
+                },
+            )
+            .effect(
+                "kernel.sched_migration_cost_ns",
+                Curve::SaturatingLog {
+                    lo: 500_000.0,
+                    hi: 50_000_000.0,
+                    gain: 0.022,
+                },
+            )
+            .effect(
+                "kernel.sched_autogroup_enabled",
+                Curve::BoolFactor { when_on: 0.99 },
+            )
             .effect("kernel.numa_balancing", Curve::BoolFactor { when_on: 0.99 })
-            .effect("vm.overcommit_memory", Curve::PerChoice { factors: vec![1.0, 1.008, 0.995] })
-            .effect("vm.swappiness", Curve::Linear { lo: 0.0, hi: 100.0, lo_factor: 1.006, hi_factor: 0.988 })
+            .effect(
+                "vm.overcommit_memory",
+                Curve::PerChoice {
+                    factors: vec![1.0, 1.008, 0.995],
+                },
+            )
+            .effect(
+                "vm.swappiness",
+                Curve::Linear {
+                    lo: 0.0,
+                    hi: 100.0,
+                    lo_factor: 1.006,
+                    hi_factor: 0.988,
+                },
+            )
             .interaction(
                 "poll+sticky",
                 vec![
@@ -239,9 +406,28 @@ impl App {
             );
         let perf = with_system_effects(perf, 1.0);
         let mem = PerfModel::new(0.01)
-            .effect("net.core.rmem_default", Curve::SaturatingLog { lo: 212_992.0, hi: 33_554_432.0, gain: 0.2 })
-            .effect("vm.nr_hugepages", Curve::SaturatingLog { lo: 8.0, hi: 4096.0, gain: 1.2 })
-            .effect("vm.overcommit_memory", Curve::PerChoice { factors: vec![1.0, 1.0, 1.1] });
+            .effect(
+                "net.core.rmem_default",
+                Curve::SaturatingLog {
+                    lo: 212_992.0,
+                    hi: 33_554_432.0,
+                    gain: 0.2,
+                },
+            )
+            .effect(
+                "vm.nr_hugepages",
+                Curve::SaturatingLog {
+                    lo: 8.0,
+                    hi: 4096.0,
+                    gain: 1.2,
+                },
+            )
+            .effect(
+                "vm.overcommit_memory",
+                Curve::PerChoice {
+                    factors: vec![1.0, 1.0, 1.1],
+                },
+            );
         App {
             id: AppId::Redis,
             bench_tool: "redis-benchmark",
@@ -262,21 +448,94 @@ impl App {
     /// 1.0×): every storage-path curve peaks at its default value.
     pub fn sqlite() -> App {
         let perf = PerfModel::new(0.02)
-            .effect("vm.dirty_ratio", Curve::OptimumLog { best: 20.0, width: 0.45, gain: 0.03 })
-            .effect("vm.dirty_background_ratio", Curve::OptimumLog { best: 10.0, width: 0.5, gain: 0.02 })
-            .effect("vm.dirty_expire_centisecs", Curve::OptimumLog { best: 3_000.0, width: 0.8, gain: 0.02 })
-            .effect("vm.dirty_writeback_centisecs", Curve::OptimumLog { best: 500.0, width: 0.8, gain: 0.015 })
-            .effect("vm.vfs_cache_pressure", Curve::OptimumLog { best: 100.0, width: 0.6, gain: 0.025 })
-            .effect("vm.swappiness", Curve::OptimumLog { best: 60.0, width: 0.55, gain: 0.012 })
-            .effect("kernel.sched_migration_cost_ns", Curve::OptimumLog { best: 500_000.0, width: 1.0, gain: 0.018 })
-            .effect("kernel.sched_autogroup_enabled", Curve::BoolFactor { when_on: 1.006 })
-            .effect("fs.aio-max-nr", Curve::OptimumLog { best: 65_536.0, width: 1.2, gain: 0.01 });
+            .effect(
+                "vm.dirty_ratio",
+                Curve::OptimumLog {
+                    best: 20.0,
+                    width: 0.45,
+                    gain: 0.03,
+                },
+            )
+            .effect(
+                "vm.dirty_background_ratio",
+                Curve::OptimumLog {
+                    best: 10.0,
+                    width: 0.5,
+                    gain: 0.02,
+                },
+            )
+            .effect(
+                "vm.dirty_expire_centisecs",
+                Curve::OptimumLog {
+                    best: 3_000.0,
+                    width: 0.8,
+                    gain: 0.02,
+                },
+            )
+            .effect(
+                "vm.dirty_writeback_centisecs",
+                Curve::OptimumLog {
+                    best: 500.0,
+                    width: 0.8,
+                    gain: 0.015,
+                },
+            )
+            .effect(
+                "vm.vfs_cache_pressure",
+                Curve::OptimumLog {
+                    best: 100.0,
+                    width: 0.6,
+                    gain: 0.025,
+                },
+            )
+            .effect(
+                "vm.swappiness",
+                Curve::OptimumLog {
+                    best: 60.0,
+                    width: 0.55,
+                    gain: 0.012,
+                },
+            )
+            .effect(
+                "kernel.sched_migration_cost_ns",
+                Curve::OptimumLog {
+                    best: 500_000.0,
+                    width: 1.0,
+                    gain: 0.018,
+                },
+            )
+            .effect(
+                "kernel.sched_autogroup_enabled",
+                Curve::BoolFactor { when_on: 1.006 },
+            )
+            .effect(
+                "fs.aio-max-nr",
+                Curve::OptimumLog {
+                    best: 65_536.0,
+                    width: 1.2,
+                    gain: 0.01,
+                },
+            );
         // Shared negatives only: no positive system headroom, so the best
         // discoverable configuration stays at the default's performance.
         let perf = with_system_penalties(perf, 1.0);
         let mem = PerfModel::new(0.01)
-            .effect("vm.nr_hugepages", Curve::SaturatingLog { lo: 8.0, hi: 4096.0, gain: 1.0 })
-            .effect("vm.min_free_kbytes", Curve::SaturatingLog { lo: 67_584.0, hi: 16_777_216.0, gain: 0.4 });
+            .effect(
+                "vm.nr_hugepages",
+                Curve::SaturatingLog {
+                    lo: 8.0,
+                    hi: 4096.0,
+                    gain: 1.0,
+                },
+            )
+            .effect(
+                "vm.min_free_kbytes",
+                Curve::SaturatingLog {
+                    lo: 67_584.0,
+                    hi: 16_777_216.0,
+                    gain: 0.4,
+                },
+            );
         App {
             id: AppId::Sqlite,
             bench_tool: "db_bench_sqlite3",
@@ -296,16 +555,69 @@ impl App {
     /// barely matters (Table 2: 1 497 → 1 522 Mop/s, 1.02×).
     pub fn npb() -> App {
         let perf = PerfModel::new(0.015)
-            .effect("vm.nr_hugepages", Curve::SaturatingLog { lo: 64.0, hi: 1024.0, gain: 0.009 })
-            .effect("vm.compaction_proactiveness", Curve::Linear { lo: 0.0, hi: 100.0, lo_factor: 1.003, hi_factor: 0.997 })
-            .effect("kernel.sched_min_granularity_ns", Curve::OptimumLog { best: 10_000_000.0, width: 1.0, gain: 0.006 })
-            .effect("kernel.numa_balancing", Curve::BoolFactor { when_on: 0.996 })
-            .effect("vm.stat_interval", Curve::SaturatingLog { lo: 1.0, hi: 30.0, gain: 0.003 })
+            .effect(
+                "vm.nr_hugepages",
+                Curve::SaturatingLog {
+                    lo: 64.0,
+                    hi: 1024.0,
+                    gain: 0.009,
+                },
+            )
+            .effect(
+                "vm.compaction_proactiveness",
+                Curve::Linear {
+                    lo: 0.0,
+                    hi: 100.0,
+                    lo_factor: 1.003,
+                    hi_factor: 0.997,
+                },
+            )
+            .effect(
+                "kernel.sched_min_granularity_ns",
+                Curve::OptimumLog {
+                    best: 10_000_000.0,
+                    width: 1.0,
+                    gain: 0.006,
+                },
+            )
+            .effect(
+                "kernel.numa_balancing",
+                Curve::BoolFactor { when_on: 0.996 },
+            )
+            .effect(
+                "vm.stat_interval",
+                Curve::SaturatingLog {
+                    lo: 1.0,
+                    hi: 30.0,
+                    gain: 0.003,
+                },
+            )
             // CPU-bound code barely notices logging.
-            .effect("kernel.printk", Curve::Step { at: 9.0, below: 1.0, above: 0.997 })
-            .effect("kernel.printk_delay", Curve::Linear { lo: 0.0, hi: 10_000.0, lo_factor: 1.0, hi_factor: 0.992 });
-        let mem = PerfModel::new(0.01)
-            .effect("vm.nr_hugepages", Curve::SaturatingLog { lo: 8.0, hi: 4096.0, gain: 0.9 });
+            .effect(
+                "kernel.printk",
+                Curve::Step {
+                    at: 9.0,
+                    below: 1.0,
+                    above: 0.997,
+                },
+            )
+            .effect(
+                "kernel.printk_delay",
+                Curve::Linear {
+                    lo: 0.0,
+                    hi: 10_000.0,
+                    lo_factor: 1.0,
+                    hi_factor: 0.992,
+                },
+            );
+        let mem = PerfModel::new(0.01).effect(
+            "vm.nr_hugepages",
+            Curve::SaturatingLog {
+                lo: 8.0,
+                hi: 4096.0,
+                gain: 0.9,
+            },
+        );
         App {
             id: AppId::Npb,
             bench_tool: "npb-suite",
@@ -329,22 +641,84 @@ fn with_system_effects(m: PerfModel, scale: f64) -> PerfModel {
     // Boot-time parameters (present only when the searched space includes
     // the boot stage; absent parameters contribute factor 1).
     let m = m
-        .effect("mitigations", Curve::PerChoice { factors: vec![1.0, 1.012, 1.03] })
-        .effect("transparent_hugepage", Curve::PerChoice { factors: vec![1.004, 1.0, 0.997] })
+        .effect(
+            "mitigations",
+            Curve::PerChoice {
+                factors: vec![1.0, 1.012, 1.03],
+            },
+        )
+        .effect(
+            "transparent_hugepage",
+            Curve::PerChoice {
+                factors: vec![1.004, 1.0, 0.997],
+            },
+        )
         .effect("nosmt", Curve::BoolFactor { when_on: 1.006 });
-    m.effect("vm.stat_interval", Curve::SaturatingLog { lo: 1.0, hi: 30.0, gain: 0.010 * scale })
-        .effect("kernel.watchdog", Curve::BoolFactor { when_on: 1.0 - 0.010 * scale })
-        .effect("kernel.nmi_watchdog", Curve::BoolFactor { when_on: 1.0 - 0.006 * scale })
-        .effect("kernel.randomize_va_space", Curve::Linear { lo: 0.0, hi: 2.0, lo_factor: 1.0 + 0.004 * scale, hi_factor: 1.0 })
-        .effect("kernel.sched_min_granularity_ns", Curve::OptimumLog { best: 10_000_000.0, width: 1.2, gain: 0.012 * scale })
+    m.effect(
+        "vm.stat_interval",
+        Curve::SaturatingLog {
+            lo: 1.0,
+            hi: 30.0,
+            gain: 0.010 * scale,
+        },
+    )
+    .effect(
+        "kernel.watchdog",
+        Curve::BoolFactor {
+            when_on: 1.0 - 0.010 * scale,
+        },
+    )
+    .effect(
+        "kernel.nmi_watchdog",
+        Curve::BoolFactor {
+            when_on: 1.0 - 0.006 * scale,
+        },
+    )
+    .effect(
+        "kernel.randomize_va_space",
+        Curve::Linear {
+            lo: 0.0,
+            hi: 2.0,
+            lo_factor: 1.0 + 0.004 * scale,
+            hi_factor: 1.0,
+        },
+    )
+    .effect(
+        "kernel.sched_min_granularity_ns",
+        Curve::OptimumLog {
+            best: 10_000_000.0,
+            width: 1.2,
+            gain: 0.012 * scale,
+        },
+    )
 }
 
 /// The shared *negative* effects every system-intensive application
 /// suffers from (§4.1: logging and debugging are well-known bottlenecks).
 fn with_system_penalties(m: PerfModel, scale: f64) -> PerfModel {
-    m.effect("kernel.printk", Curve::Step { at: 9.0, below: 1.0, above: 1.0 - 0.08 * scale })
-        .effect("kernel.printk_delay", Curve::Linear { lo: 0.0, hi: 10_000.0, lo_factor: 1.0, hi_factor: 1.0 - 0.45 * scale })
-        .effect("vm.block_dump", Curve::BoolFactor { when_on: 1.0 - 0.09 * scale })
+    m.effect(
+        "kernel.printk",
+        Curve::Step {
+            at: 9.0,
+            below: 1.0,
+            above: 1.0 - 0.08 * scale,
+        },
+    )
+    .effect(
+        "kernel.printk_delay",
+        Curve::Linear {
+            lo: 0.0,
+            hi: 10_000.0,
+            lo_factor: 1.0,
+            hi_factor: 1.0 - 0.45 * scale,
+        },
+    )
+    .effect(
+        "vm.block_dump",
+        Curve::BoolFactor {
+            when_on: 1.0 - 0.09 * scale,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -408,7 +782,10 @@ mod tests {
         let d = defaults();
         let app = App::sqlite();
         let bound = app.perf.headroom_bound(&d);
-        assert!(bound < 1.005, "sqlite headroom bound {bound} should be ~1.0");
+        assert!(
+            bound < 1.005,
+            "sqlite headroom bound {bound} should be ~1.0"
+        );
     }
 
     #[test]
@@ -431,7 +808,10 @@ mod tests {
         let mut v = NamedConfig::empty();
         v.set("kernel.printk_delay", Value::Int(10_000));
         let n = 100;
-        let worse: f64 = (0..n).map(|_| app.measure(&v, &d, &m, &mut rng)).sum::<f64>() / n as f64;
+        let worse: f64 = (0..n)
+            .map(|_| app.measure(&v, &d, &m, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(worse > 284.0 * 1.3, "latency should balloon: {worse}");
     }
 

@@ -80,7 +80,12 @@ impl FootprintModel {
     ///
     /// Panics if the calibration would drive the base below 0.5 MB — that
     /// would mean the optional contributions already exceed the target.
-    pub fn calibrated(mut self, space: &ConfigSpace, config: &Configuration, target_mb: f64) -> Self {
+    pub fn calibrated(
+        mut self,
+        space: &ConfigSpace,
+        config: &Configuration,
+        target_mb: f64,
+    ) -> Self {
         let current = self.footprint_mb(space, config);
         let new_base = self.base_mb + (target_mb - current);
         assert!(

@@ -27,26 +27,146 @@ pub fn named_runtime_params() -> Vec<ParamSpec> {
                 .with_doc(doc),
         );
     };
-    log("net.core.somaxconn", 16, 65_535, 128, "Max queued connections per listen socket.");
-    log("net.core.netdev_max_backlog", 8, 65_536, 1_000, "Input queue length per CPU.");
-    log("net.core.rmem_default", 2_048, 33_554_432, 212_992, "Default socket receive buffer.");
-    log("net.core.rmem_max", 2_048, 33_554_432, 212_992, "Max socket receive buffer.");
-    log("net.core.wmem_default", 2_048, 33_554_432, 212_992, "Default socket send buffer.");
-    log("net.core.wmem_max", 2_048, 33_554_432, 212_992, "Max socket send buffer.");
-    log("net.ipv4.tcp_max_syn_backlog", 64, 65_536, 512, "SYN backlog length.");
-    log("net.ipv4.tcp_notsent_lowat", 4_096, 1_073_741_824, 1_073_741_824, "Unsent low-watermark.");
-    log("vm.min_free_kbytes", 1_024, 16_777_216, 67_584, "Reserved free memory.");
-    log("vm.nr_hugepages", 0, 4_096, 0, "Persistent huge page pool size.");
-    log("kernel.sched_min_granularity_ns", 100_000, 1_000_000_000, 3_000_000, "Minimal preemption granularity.");
-    log("kernel.printk_delay", 0, 10_000, 0, "Delay per printk message (ms).");
-    log("kernel.sched_wakeup_granularity_ns", 100_000, 1_000_000_000, 4_000_000, "Wakeup preemption granularity.");
-    log("kernel.sched_migration_cost_ns", 10_000, 100_000_000, 500_000, "Task migration cost estimate.");
-    log("kernel.threads-max", 512, 4_194_304, 63_224, "System-wide thread limit.");
-    log("kernel.pid_max", 1_024, 4_194_304, 32_768, "Largest PID value.");
-    log("fs.file-max", 1_024, 16_777_216, 1_048_576, "System-wide open-file limit.");
-    log("fs.nr_open", 1_024, 16_777_216, 1_048_576, "Per-process open-file limit.");
-    log("fs.aio-max-nr", 1_024, 16_777_216, 65_536, "Max concurrent AIO requests.");
-    log("fs.inotify.max_user_watches", 1_024, 16_777_216, 65_536, "Max inotify watches per user.");
+    log(
+        "net.core.somaxconn",
+        16,
+        65_535,
+        128,
+        "Max queued connections per listen socket.",
+    );
+    log(
+        "net.core.netdev_max_backlog",
+        8,
+        65_536,
+        1_000,
+        "Input queue length per CPU.",
+    );
+    log(
+        "net.core.rmem_default",
+        2_048,
+        33_554_432,
+        212_992,
+        "Default socket receive buffer.",
+    );
+    log(
+        "net.core.rmem_max",
+        2_048,
+        33_554_432,
+        212_992,
+        "Max socket receive buffer.",
+    );
+    log(
+        "net.core.wmem_default",
+        2_048,
+        33_554_432,
+        212_992,
+        "Default socket send buffer.",
+    );
+    log(
+        "net.core.wmem_max",
+        2_048,
+        33_554_432,
+        212_992,
+        "Max socket send buffer.",
+    );
+    log(
+        "net.ipv4.tcp_max_syn_backlog",
+        64,
+        65_536,
+        512,
+        "SYN backlog length.",
+    );
+    log(
+        "net.ipv4.tcp_notsent_lowat",
+        4_096,
+        1_073_741_824,
+        1_073_741_824,
+        "Unsent low-watermark.",
+    );
+    log(
+        "vm.min_free_kbytes",
+        1_024,
+        16_777_216,
+        67_584,
+        "Reserved free memory.",
+    );
+    log(
+        "vm.nr_hugepages",
+        0,
+        4_096,
+        0,
+        "Persistent huge page pool size.",
+    );
+    log(
+        "kernel.sched_min_granularity_ns",
+        100_000,
+        1_000_000_000,
+        3_000_000,
+        "Minimal preemption granularity.",
+    );
+    log(
+        "kernel.printk_delay",
+        0,
+        10_000,
+        0,
+        "Delay per printk message (ms).",
+    );
+    log(
+        "kernel.sched_wakeup_granularity_ns",
+        100_000,
+        1_000_000_000,
+        4_000_000,
+        "Wakeup preemption granularity.",
+    );
+    log(
+        "kernel.sched_migration_cost_ns",
+        10_000,
+        100_000_000,
+        500_000,
+        "Task migration cost estimate.",
+    );
+    log(
+        "kernel.threads-max",
+        512,
+        4_194_304,
+        63_224,
+        "System-wide thread limit.",
+    );
+    log(
+        "kernel.pid_max",
+        1_024,
+        4_194_304,
+        32_768,
+        "Largest PID value.",
+    );
+    log(
+        "fs.file-max",
+        1_024,
+        16_777_216,
+        1_048_576,
+        "System-wide open-file limit.",
+    );
+    log(
+        "fs.nr_open",
+        1_024,
+        16_777_216,
+        1_048_576,
+        "Per-process open-file limit.",
+    );
+    log(
+        "fs.aio-max-nr",
+        1_024,
+        16_777_216,
+        65_536,
+        "Max concurrent AIO requests.",
+    );
+    log(
+        "fs.inotify.max_user_watches",
+        1_024,
+        16_777_216,
+        65_536,
+        "Max inotify watches per user.",
+    );
 
     let mut int = |name: &str, lo: i64, hi: i64, def: i64, doc: &str| {
         out.push(
@@ -55,26 +175,98 @@ pub fn named_runtime_params() -> Vec<ParamSpec> {
                 .with_doc(doc),
         );
     };
-    int("net.core.busy_poll", 0, 200, 0, "Busy-poll budget for poll/select (µs).");
-    int("net.core.busy_read", 0, 200, 0, "Busy-poll budget for reads (µs).");
-    int("net.ipv4.tcp_keepalive_time", 60, 14_400, 7_200, "Keepalive idle time (s).");
-    int("net.ipv4.tcp_fin_timeout", 5, 120, 60, "FIN-WAIT-2 timeout (s).");
+    int(
+        "net.core.busy_poll",
+        0,
+        200,
+        0,
+        "Busy-poll budget for poll/select (µs).",
+    );
+    int(
+        "net.core.busy_read",
+        0,
+        200,
+        0,
+        "Busy-poll budget for reads (µs).",
+    );
+    int(
+        "net.ipv4.tcp_keepalive_time",
+        60,
+        14_400,
+        7_200,
+        "Keepalive idle time (s).",
+    );
+    int(
+        "net.ipv4.tcp_fin_timeout",
+        5,
+        120,
+        60,
+        "FIN-WAIT-2 timeout (s).",
+    );
     int("net.ipv4.tcp_fastopen", 0, 3, 1, "TCP Fast Open mode bits.");
     int("vm.swappiness", 0, 100, 60, "Anon vs file reclaim balance.");
     int("vm.dirty_ratio", 0, 100, 20, "Dirty page limit (% of RAM).");
-    int("vm.dirty_background_ratio", 0, 100, 10, "Background writeback threshold.");
-    int("vm.dirty_expire_centisecs", 100, 72_000, 3_000, "Dirty page expiry.");
-    int("vm.dirty_writeback_centisecs", 0, 72_000, 500, "Writeback wakeup interval.");
-    int("vm.stat_interval", 1, 120, 1, "VM statistics update interval (s).");
+    int(
+        "vm.dirty_background_ratio",
+        0,
+        100,
+        10,
+        "Background writeback threshold.",
+    );
+    int(
+        "vm.dirty_expire_centisecs",
+        100,
+        72_000,
+        3_000,
+        "Dirty page expiry.",
+    );
+    int(
+        "vm.dirty_writeback_centisecs",
+        0,
+        72_000,
+        500,
+        "Writeback wakeup interval.",
+    );
+    int(
+        "vm.stat_interval",
+        1,
+        120,
+        1,
+        "VM statistics update interval (s).",
+    );
     int("vm.overcommit_memory", 0, 2, 0, "Overcommit policy.");
-    int("vm.overcommit_ratio", 0, 100, 50, "Overcommit ratio (policy 2).");
-    int("vm.compaction_proactiveness", 0, 100, 20, "Proactive compaction aggressiveness.");
+    int(
+        "vm.overcommit_ratio",
+        0,
+        100,
+        50,
+        "Overcommit ratio (policy 2).",
+    );
+    int(
+        "vm.compaction_proactiveness",
+        0,
+        100,
+        20,
+        "Proactive compaction aggressiveness.",
+    );
     int("vm.page-cluster", 0, 10, 3, "Swap readahead (log2 pages).");
-    int("vm.vfs_cache_pressure", 1, 400, 100, "Dentry/inode reclaim pressure.");
+    int(
+        "vm.vfs_cache_pressure",
+        1,
+        400,
+        100,
+        "Dentry/inode reclaim pressure.",
+    );
     int("kernel.printk", 0, 10, 7, "Console log level.");
     int("kernel.panic", 0, 300, 0, "Reboot delay on panic.");
     int("kernel.randomize_va_space", 0, 2, 2, "ASLR mode.");
-    int("kernel.perf_event_paranoid", -1, 3, 2, "perf_event access control.");
+    int(
+        "kernel.perf_event_paranoid",
+        -1,
+        3,
+        2,
+        "perf_event access control.",
+    );
 
     let mut flag = |name: &str, def: bool, doc: &str| {
         out.push(
@@ -84,14 +276,34 @@ pub fn named_runtime_params() -> Vec<ParamSpec> {
         );
     };
     flag("net.ipv4.tcp_tw_reuse", false, "Reuse TIME-WAIT sockets.");
-    flag("net.ipv4.tcp_slow_start_after_idle", true, "Slow-start idle connections.");
+    flag(
+        "net.ipv4.tcp_slow_start_after_idle",
+        true,
+        "Slow-start idle connections.",
+    );
     flag("net.ipv4.tcp_timestamps", true, "TCP timestamps.");
     flag("net.ipv4.tcp_sack", true, "Selective acknowledgements.");
-    flag("net.ipv4.tcp_moderate_rcvbuf", true, "Receive buffer auto-tuning.");
-    flag("vm.block_dump", false, "Block I/O debugging to the kernel log.");
-    flag("kernel.sched_autogroup_enabled", true, "Desktop autogrouping.");
+    flag(
+        "net.ipv4.tcp_moderate_rcvbuf",
+        true,
+        "Receive buffer auto-tuning.",
+    );
+    flag(
+        "vm.block_dump",
+        false,
+        "Block I/O debugging to the kernel log.",
+    );
+    flag(
+        "kernel.sched_autogroup_enabled",
+        true,
+        "Desktop autogrouping.",
+    );
     flag("kernel.numa_balancing", true, "Automatic NUMA balancing.");
-    flag("kernel.timer_migration", true, "Migrate timers to busy CPUs.");
+    flag(
+        "kernel.timer_migration",
+        true,
+        "Migrate timers to busy CPUs.",
+    );
     flag("kernel.watchdog", true, "Soft/hard lockup detector.");
     flag("kernel.nmi_watchdog", true, "NMI hard lockup detector.");
     flag("kernel.panic_on_warn", false, "Panic on kernel WARN.");
@@ -123,8 +335,18 @@ pub fn inert_runtime_params(version: LinuxVersion, count: usize) -> Vec<ParamSpe
     let mut rng = StdRng::seed_from_u64(version.seed() ^ 0x5c71);
     let groups = ["net.ipv4", "net.core", "vm", "kernel", "fs", "dev", "debug"];
     let stems = [
-        "cache_factor", "retry_count", "queue_len", "interval_ms", "threshold", "batch",
-        "ratio", "limit", "budget", "timeout", "scan_size", "watermark",
+        "cache_factor",
+        "retry_count",
+        "queue_len",
+        "interval_ms",
+        "threshold",
+        "batch",
+        "ratio",
+        "limit",
+        "budget",
+        "timeout",
+        "scan_size",
+        "watermark",
     ];
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
@@ -270,9 +492,21 @@ pub fn compile_crash_rules(version: LinuxVersion, model: &KconfigModel) -> Vec<C
     let on = Cond::Ge(1.0);
     let off = Cond::Le(0.0);
     let mut rules = vec![
-        rule("build:kasan+debuginfo", Phase::Build, vec![("KASAN", on), ("DEBUG_INFO", on)]),
-        rule("boot:kasan+lockdep", Phase::Boot, vec![("KASAN", on), ("LOCKDEP", on)]),
-        rule("hang:pagealloc+slubdebug", Phase::Run, vec![("DEBUG_PAGEALLOC", on), ("SLUB_DEBUG", on)]),
+        rule(
+            "build:kasan+debuginfo",
+            Phase::Build,
+            vec![("KASAN", on), ("DEBUG_INFO", on)],
+        ),
+        rule(
+            "boot:kasan+lockdep",
+            Phase::Boot,
+            vec![("KASAN", on), ("LOCKDEP", on)],
+        ),
+        rule(
+            "hang:pagealloc+slubdebug",
+            Phase::Run,
+            vec![("DEBUG_PAGEALLOC", on), ("SLUB_DEBUG", on)],
+        ),
         rule("boot:no-sysfs", Phase::Boot, vec![("SYSFS", off)]),
         rule("boot:no-virtio-blk", Phase::Boot, vec![("VIRTIO_BLK", off)]),
         rule("run:no-procfs", Phase::Run, vec![("PROC_FS", off)]),
@@ -344,7 +578,11 @@ mod tests {
     #[test]
     fn named_params_are_unique_runtime_specs() {
         let params = named_runtime_params();
-        assert!(params.len() >= 45, "named population too small: {}", params.len());
+        assert!(
+            params.len() >= 45,
+            "named population too small: {}",
+            params.len()
+        );
         let mut names = std::collections::HashSet::new();
         for p in &params {
             assert_eq!(p.stage, Stage::Runtime);
@@ -423,10 +661,8 @@ mod tests {
 
     #[test]
     fn apps_only_touch_named_params() {
-        let mut named: std::collections::HashSet<String> = named_runtime_params()
-            .into_iter()
-            .map(|p| p.name)
-            .collect();
+        let mut named: std::collections::HashSet<String> =
+            named_runtime_params().into_iter().map(|p| p.name).collect();
         for p in wf_kconfig::cmdline::boot_options(LinuxVersion::V6_0) {
             named.insert(p.name);
         }
@@ -443,10 +679,8 @@ mod tests {
 
     #[test]
     fn runtime_crash_rules_only_touch_named_params() {
-        let named: std::collections::HashSet<String> = named_runtime_params()
-            .into_iter()
-            .map(|p| p.name)
-            .collect();
+        let named: std::collections::HashSet<String> =
+            named_runtime_params().into_iter().map(|p| p.name).collect();
         for r in runtime_crash_rules() {
             for (p, _) in &r.conds {
                 assert!(named.contains(p), "{}: unknown rule param {p}", r.name);

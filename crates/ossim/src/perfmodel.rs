@@ -147,10 +147,7 @@ impl PerfModel {
     ) -> Self {
         self.interactions.push(Interaction {
             name: name.into(),
-            conds: conds
-                .into_iter()
-                .map(|(p, c)| (p.to_string(), c))
-                .collect(),
+            conds: conds.into_iter().map(|(p, c)| (p.to_string(), c)).collect(),
             factor,
         });
         self
@@ -199,7 +196,12 @@ impl PerfModel {
     }
 
     /// One noisy measurement factor.
-    pub fn sample_factor(&self, view: &NamedConfig, defaults: &NamedConfig, rng: &mut impl Rng) -> f64 {
+    pub fn sample_factor(
+        &self,
+        view: &NamedConfig,
+        defaults: &NamedConfig,
+        rng: &mut impl Rng,
+    ) -> f64 {
         let mean = self.mean_factor(view, defaults);
         if self.noise_sigma <= 0.0 {
             mean

@@ -139,7 +139,10 @@ impl SimOs {
             space.add(spec.clone());
         }
         os.space = space;
-        os.name = format!("linux-{}-boot+runtime", version.label().trim_start_matches('v'));
+        os.name = format!(
+            "linux-{}-boot+runtime",
+            version.label().trim_start_matches('v')
+        );
         os
     }
 
@@ -160,7 +163,7 @@ impl SimOs {
             .specs()
             .iter()
             .map(|p| p.name.as_str())
-            .filter(|name| is_curated_symbol(name) || fnv(name) % 47 == 0)
+            .filter(|name| is_curated_symbol(name) || fnv(name).is_multiple_of(47))
             .collect();
         let space = full.subset(&keep);
         let default = space.default_config();
@@ -184,8 +187,7 @@ impl SimOs {
     pub fn unikraft_nginx() -> SimOs {
         let space = crate::unikraft::space();
         let defaults_view = space.default_config().named(&space);
-        let footprint =
-            FootprintModel::linux().calibrated(&space, &space.default_config(), 4.0);
+        let footprint = FootprintModel::linux().calibrated(&space, &space.default_config(), 4.0);
         SimOs {
             name: "unikraft-nginx".into(),
             machine: Machine::xeon_e5_2697_v2(),
@@ -406,18 +408,84 @@ fn fnv(name: &str) -> u64 {
 /// searchable).
 fn is_curated_symbol(name: &str) -> bool {
     const CURATED: &[&str] = &[
-        "EXPERT", "SMP", "PM", "MMU", "NET", "PCI", "SND", "DRM", "USB", "BLOCK", "SECURITY",
-        "CRYPTO", "LIBS", "DEBUG_KERNEL", "64BIT", "NUMA", "PREEMPT", "PREEMPT_VOLUNTARY",
-        "HIGH_RES_TIMERS", "NO_HZ_IDLE", "CPU_FREQ", "CPU_IDLE", "SWAP", "SHMEM",
-        "TRANSPARENT_HUGEPAGE", "COMPACTION", "KSM", "SLUB_DEBUG", "SLAB_FREELIST_RANDOM",
-        "INET", "IPV6", "NETFILTER", "TCP_CONG_CUBIC", "TCP_CONG_BBR", "NET_RX_BUSY_POLL",
-        "XPS", "RPS", "EXT4_FS", "BTRFS_FS", "XFS_FS", "TMPFS", "PROC_FS", "SYSFS",
-        "BLK_DEV_IO_TRACE", "VIRTIO_NET", "VIRTIO_BLK", "E1000", "SERIAL_8250", "SECCOMP",
-        "RANDOMIZE_BASE", "STACKPROTECTOR", "HARDENED_USERCOPY", "PRINTK", "PRINTK_TIME",
-        "IKCONFIG", "KALLSYMS", "DEBUG_INFO", "KASAN", "UBSAN", "KCOV", "LOCKDEP",
-        "PROVE_LOCKING", "DEBUG_PAGEALLOC", "FTRACE", "KPROBES", "BPF_SYSCALL", "EPOLL",
-        "AIO", "IO_URING", "FUTEX", "MODULES", "NR_CPUS", "HZ", "LOG_BUF_SHIFT",
-        "RCU_FANOUT", "DEFAULT_MMAP_MIN_ADDR", "PHYSICAL_START", "CMDLINE",
+        "EXPERT",
+        "SMP",
+        "PM",
+        "MMU",
+        "NET",
+        "PCI",
+        "SND",
+        "DRM",
+        "USB",
+        "BLOCK",
+        "SECURITY",
+        "CRYPTO",
+        "LIBS",
+        "DEBUG_KERNEL",
+        "64BIT",
+        "NUMA",
+        "PREEMPT",
+        "PREEMPT_VOLUNTARY",
+        "HIGH_RES_TIMERS",
+        "NO_HZ_IDLE",
+        "CPU_FREQ",
+        "CPU_IDLE",
+        "SWAP",
+        "SHMEM",
+        "TRANSPARENT_HUGEPAGE",
+        "COMPACTION",
+        "KSM",
+        "SLUB_DEBUG",
+        "SLAB_FREELIST_RANDOM",
+        "INET",
+        "IPV6",
+        "NETFILTER",
+        "TCP_CONG_CUBIC",
+        "TCP_CONG_BBR",
+        "NET_RX_BUSY_POLL",
+        "XPS",
+        "RPS",
+        "EXT4_FS",
+        "BTRFS_FS",
+        "XFS_FS",
+        "TMPFS",
+        "PROC_FS",
+        "SYSFS",
+        "BLK_DEV_IO_TRACE",
+        "VIRTIO_NET",
+        "VIRTIO_BLK",
+        "E1000",
+        "SERIAL_8250",
+        "SECCOMP",
+        "RANDOMIZE_BASE",
+        "STACKPROTECTOR",
+        "HARDENED_USERCOPY",
+        "PRINTK",
+        "PRINTK_TIME",
+        "IKCONFIG",
+        "KALLSYMS",
+        "DEBUG_INFO",
+        "KASAN",
+        "UBSAN",
+        "KCOV",
+        "LOCKDEP",
+        "PROVE_LOCKING",
+        "DEBUG_PAGEALLOC",
+        "FTRACE",
+        "KPROBES",
+        "BPF_SYSCALL",
+        "EPOLL",
+        "AIO",
+        "IO_URING",
+        "FUTEX",
+        "MODULES",
+        "NR_CPUS",
+        "HZ",
+        "LOG_BUF_SHIFT",
+        "RCU_FANOUT",
+        "DEFAULT_MMAP_MIN_ADDR",
+        "PHYSICAL_START",
+        "CMDLINE",
         "DEFAULT_HOSTNAME",
     ];
     CURATED.contains(&name)
@@ -441,7 +509,11 @@ mod tests {
         assert_eq!(e.build_s, 0.0);
         assert!(e.outcome.is_ok());
         // §4: evaluating one configuration takes 60-80 s on average.
-        assert!((40.0..100.0).contains(&e.total_s()), "total={}", e.total_s());
+        assert!(
+            (40.0..100.0).contains(&e.total_s()),
+            "total={}",
+            e.total_s()
+        );
     }
 
     #[test]

@@ -189,9 +189,7 @@ fn parse(kind: &ParamKind, raw: &str) -> Option<Value> {
             let v: i64 = raw.parse().ok()?;
             (v >= *min && v <= *max).then_some(Value::Int(v))
         }
-        ParamKind::Enum { choices } => {
-            choices.iter().position(|c| c == raw).map(Value::Choice)
-        }
+        ParamKind::Enum { choices } => choices.iter().position(|c| c == raw).map(Value::Choice),
         ParamKind::Tristate => None,
     }
 }
@@ -204,8 +202,12 @@ mod tests {
     fn space() -> ConfigSpace {
         let mut s = ConfigSpace::new();
         s.add(
-            ParamSpec::new("net.core.somaxconn", ParamKind::log_int(16, 65535), Stage::Runtime)
-                .with_default(Value::Int(128)),
+            ParamSpec::new(
+                "net.core.somaxconn",
+                ParamKind::log_int(16, 65535),
+                Stage::Runtime,
+            )
+            .with_default(Value::Int(128)),
         );
         s.add(
             ParamSpec::new("vm.swappiness", ParamKind::int(0, 100), Stage::Runtime)
@@ -224,7 +226,11 @@ mod tests {
                 .with_default(Value::Bool(true)),
         );
         // A compile-time parameter must NOT appear in the tree.
-        s.add(ParamSpec::new("CONFIG_SMP", ParamKind::Bool, Stage::CompileTime));
+        s.add(ParamSpec::new(
+            "CONFIG_SMP",
+            ParamKind::Bool,
+            Stage::CompileTime,
+        ));
         s
     }
 
@@ -291,7 +297,10 @@ mod tests {
         view.set("unknown.param", Value::Int(1));
         let rejected = t.apply(&view);
         assert_eq!(t.read("vm.swappiness").as_deref(), Some("10"));
-        assert!(rejected.is_empty(), "unknown names are skipped, not rejected");
+        assert!(
+            rejected.is_empty(),
+            "unknown names are skipped, not rejected"
+        );
     }
 
     #[test]

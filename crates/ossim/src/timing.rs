@@ -88,7 +88,10 @@ impl TimingModel {
 
     /// Duration of a full build with `enabled` options on.
     pub fn full_build_s(&self, enabled: usize, rng: &mut impl Rng) -> f64 {
-        self.jittered(self.build_base_s + self.build_per_option_s * enabled as f64, rng)
+        self.jittered(
+            self.build_base_s + self.build_per_option_s * enabled as f64,
+            rng,
+        )
     }
 
     /// Duration of an incremental rebuild touching `changes` options.

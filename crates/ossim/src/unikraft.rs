@@ -39,17 +39,41 @@ pub fn space() -> ConfigSpace {
     }
 
     // --- 10 Nginx application-level options -----------------------------
-    flag(&mut s, "nginx.sendfile", false, "Use sendfile() for static responses.");
-    flag(&mut s, "nginx.tcp_nopush", false, "Coalesce header+payload frames.");
-    flag(&mut s, "nginx.tcp_nodelay", true, "Disable Nagle on keepalive connections.");
+    flag(
+        &mut s,
+        "nginx.sendfile",
+        false,
+        "Use sendfile() for static responses.",
+    );
+    flag(
+        &mut s,
+        "nginx.tcp_nopush",
+        false,
+        "Coalesce header+payload frames.",
+    );
+    flag(
+        &mut s,
+        "nginx.tcp_nodelay",
+        true,
+        "Disable Nagle on keepalive connections.",
+    );
     flag(&mut s, "nginx.gzip", true, "Compress responses.");
     flag(&mut s, "nginx.access_log", true, "Write the access log.");
-    flag(&mut s, "nginx.open_file_cache", false, "Cache open file descriptors.");
+    flag(
+        &mut s,
+        "nginx.open_file_cache",
+        false,
+        "Cache open file descriptors.",
+    );
     flag(&mut s, "nginx.etag", true, "Emit ETag headers.");
     s.add(
-        ParamSpec::new("nginx.worker_processes", ParamKind::int(1, 16), Stage::CompileTime)
-            .with_default(Value::Int(1))
-            .with_doc("Worker process count."),
+        ParamSpec::new(
+            "nginx.worker_processes",
+            ParamKind::int(1, 16),
+            Stage::CompileTime,
+        )
+        .with_default(Value::Int(1))
+        .with_doc("Worker process count."),
     );
     s.add(
         ParamSpec::new(
@@ -116,24 +140,89 @@ pub fn space() -> ConfigSpace {
         .with_default(Value::Int(8))
         .with_doc("Receive descriptor ring pages."),
     );
-    flag(&mut s, "CONFIG_LIBUKNETDEV_POLL", false, "Busy-poll the network device.");
+    flag(
+        &mut s,
+        "CONFIG_LIBUKNETDEV_POLL",
+        false,
+        "Busy-poll the network device.",
+    );
     flag(&mut s, "CONFIG_LWIP_POOLS", false, "Use lwIP memory pools.");
-    flag(&mut s, "CONFIG_LWIP_NOTHREADS", false, "Run lwIP without a dedicated thread.");
+    flag(
+        &mut s,
+        "CONFIG_LWIP_NOTHREADS",
+        false,
+        "Run lwIP without a dedicated thread.",
+    );
     flag(&mut s, "CONFIG_LWIP_WND_SCALE", true, "TCP window scaling.");
-    flag(&mut s, "CONFIG_LWIP_SACK", false, "TCP selective acknowledgements.");
-    flag(&mut s, "CONFIG_LIBUKALLOC_IFSTATS", false, "Allocator statistics.");
+    flag(
+        &mut s,
+        "CONFIG_LWIP_SACK",
+        false,
+        "TCP selective acknowledgements.",
+    );
+    flag(
+        &mut s,
+        "CONFIG_LIBUKALLOC_IFSTATS",
+        false,
+        "Allocator statistics.",
+    );
     flag(&mut s, "CONFIG_LIBUKDEBUG", false, "Debug message support.");
-    flag(&mut s, "CONFIG_LIBUKDEBUG_ASSERTIONS", false, "Enable assertions.");
-    flag(&mut s, "CONFIG_LIBUKDEBUG_TRACEPOINTS", false, "Enable tracepoints.");
-    flag(&mut s, "CONFIG_STACKPROTECTOR", false, "Stack smashing protection.");
-    flag(&mut s, "CONFIG_HEAP_INIT_ZERO", true, "Zero the heap at boot.");
-    flag(&mut s, "CONFIG_LIBUKSCHED_IDLE_POLL", false, "Poll instead of halting when idle.");
+    flag(
+        &mut s,
+        "CONFIG_LIBUKDEBUG_ASSERTIONS",
+        false,
+        "Enable assertions.",
+    );
+    flag(
+        &mut s,
+        "CONFIG_LIBUKDEBUG_TRACEPOINTS",
+        false,
+        "Enable tracepoints.",
+    );
+    flag(
+        &mut s,
+        "CONFIG_STACKPROTECTOR",
+        false,
+        "Stack smashing protection.",
+    );
+    flag(
+        &mut s,
+        "CONFIG_HEAP_INIT_ZERO",
+        true,
+        "Zero the heap at boot.",
+    );
+    flag(
+        &mut s,
+        "CONFIG_LIBUKSCHED_IDLE_POLL",
+        false,
+        "Poll instead of halting when idle.",
+    );
     flag(&mut s, "CONFIG_LIBUKMMAP", true, "mmap() support.");
-    flag(&mut s, "CONFIG_LIBPOSIX_EVENTFD", true, "eventfd() support.");
-    flag(&mut s, "CONFIG_LIBVFSCORE_PIPE", true, "Pipe support in the VFS.");
+    flag(
+        &mut s,
+        "CONFIG_LIBPOSIX_EVENTFD",
+        true,
+        "eventfd() support.",
+    );
+    flag(
+        &mut s,
+        "CONFIG_LIBVFSCORE_PIPE",
+        true,
+        "Pipe support in the VFS.",
+    );
     flag(&mut s, "CONFIG_LIBUK9P", false, "9pfs filesystem support.");
-    flag(&mut s, "CONFIG_PAGING", false, "Dynamic paging (vs static mappings).");
-    flag(&mut s, "CONFIG_LIBUKSIGNAL", true, "POSIX signal emulation.");
+    flag(
+        &mut s,
+        "CONFIG_PAGING",
+        false,
+        "Dynamic paging (vs static mappings).",
+    );
+    flag(
+        &mut s,
+        "CONFIG_LIBUKSIGNAL",
+        true,
+        "POSIX signal emulation.",
+    );
     s
 }
 
@@ -152,16 +241,54 @@ pub fn nginx_app() -> App {
         .effect("nginx.access_log", Curve::BoolFactor { when_on: 0.92 })
         .effect("nginx.open_file_cache", Curve::BoolFactor { when_on: 1.05 })
         .effect("nginx.etag", Curve::BoolFactor { when_on: 0.995 })
-        .effect("nginx.worker_processes", Curve::OptimumLog { best: 4.0, width: 0.4, gain: 0.15 })
-        .effect("nginx.keepalive_timeout", Curve::PerChoice { factors: vec![0.80, 1.0, 1.02, 1.02] })
-        .effect("nginx.keepalive_requests", Curve::PerChoice { factors: vec![1.0, 1.04, 1.06] })
+        .effect(
+            "nginx.worker_processes",
+            Curve::OptimumLog {
+                best: 4.0,
+                width: 0.4,
+                gain: 0.15,
+            },
+        )
+        .effect(
+            "nginx.keepalive_timeout",
+            Curve::PerChoice {
+                factors: vec![0.80, 1.0, 1.02, 1.02],
+            },
+        )
+        .effect(
+            "nginx.keepalive_requests",
+            Curve::PerChoice {
+                factors: vec![1.0, 1.04, 1.06],
+            },
+        )
         // OS-level effects.
-        .effect("CONFIG_UKCONSOLE", Curve::PerChoice { factors: vec![1.05, 1.0, 0.97] })
-        .effect("CONFIG_LIBUKNETDEV_RX_RING", Curve::SaturatingLog { lo: 8.0, hi: 64.0, gain: 0.07 })
+        .effect(
+            "CONFIG_UKCONSOLE",
+            Curve::PerChoice {
+                factors: vec![1.05, 1.0, 0.97],
+            },
+        )
+        .effect(
+            "CONFIG_LIBUKNETDEV_RX_RING",
+            Curve::SaturatingLog {
+                lo: 8.0,
+                hi: 64.0,
+                gain: 0.07,
+            },
+        )
         .effect("CONFIG_LIBUKDEBUG", Curve::BoolFactor { when_on: 0.72 })
-        .effect("CONFIG_LIBUKDEBUG_ASSERTIONS", Curve::BoolFactor { when_on: 0.85 })
-        .effect("CONFIG_LIBUKDEBUG_TRACEPOINTS", Curve::BoolFactor { when_on: 0.93 })
-        .effect("CONFIG_LIBUKALLOC_IFSTATS", Curve::BoolFactor { when_on: 0.95 })
+        .effect(
+            "CONFIG_LIBUKDEBUG_ASSERTIONS",
+            Curve::BoolFactor { when_on: 0.85 },
+        )
+        .effect(
+            "CONFIG_LIBUKDEBUG_TRACEPOINTS",
+            Curve::BoolFactor { when_on: 0.93 },
+        )
+        .effect(
+            "CONFIG_LIBUKALLOC_IFSTATS",
+            Curve::BoolFactor { when_on: 0.95 },
+        )
         .effect("CONFIG_STACKPROTECTOR", Curve::BoolFactor { when_on: 0.97 })
         .effect("CONFIG_LWIP_SACK", Curve::BoolFactor { when_on: 1.02 })
         .effect("CONFIG_LWIP_WND_SCALE", Curve::BoolFactor { when_on: 1.05 })
@@ -194,9 +321,29 @@ pub fn nginx_app() -> App {
             1.22,
         );
     let mem = PerfModel::new(0.01)
-        .effect("CONFIG_LWIP_BUFSIZE", Curve::PerChoice { factors: vec![0.8, 1.0, 1.5] })
-        .effect("CONFIG_LIBUKNETDEV_RX_RING", Curve::SaturatingLog { lo: 1.0, hi: 64.0, gain: 0.5 })
-        .effect("nginx.worker_processes", Curve::Linear { lo: 1.0, hi: 16.0, lo_factor: 1.0, hi_factor: 1.9 });
+        .effect(
+            "CONFIG_LWIP_BUFSIZE",
+            Curve::PerChoice {
+                factors: vec![0.8, 1.0, 1.5],
+            },
+        )
+        .effect(
+            "CONFIG_LIBUKNETDEV_RX_RING",
+            Curve::SaturatingLog {
+                lo: 1.0,
+                hi: 64.0,
+                gain: 0.5,
+            },
+        )
+        .effect(
+            "nginx.worker_processes",
+            Curve::Linear {
+                lo: 1.0,
+                hi: 16.0,
+                lo_factor: 1.0,
+                hi_factor: 1.9,
+            },
+        );
     App {
         id: AppId::Nginx,
         bench_tool: "wrk",
@@ -284,11 +431,18 @@ mod tests {
     fn space_is_33_params_with_paper_cardinality() {
         let s = space();
         assert_eq!(s.len(), 33);
-        let nginx = s.specs().iter().filter(|p| p.name.starts_with("nginx.")).count();
+        let nginx = s
+            .specs()
+            .iter()
+            .filter(|p| p.name.starts_with("nginx."))
+            .count();
         assert_eq!(nginx, 10, "10 application-level parameters");
         assert_eq!(s.len() - nginx, 23, "23 OS parameters");
         let lg = s.log10_cardinality();
-        assert!((13.3..13.8).contains(&lg), "log10 cardinality {lg} vs paper 13.57");
+        assert!(
+            (13.3..13.8).contains(&lg),
+            "log10 cardinality {lg} vs paper 13.57"
+        );
     }
 
     #[test]

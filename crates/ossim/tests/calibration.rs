@@ -42,7 +42,10 @@ fn fig2_random_nginx_shape() {
     let worst = factors.iter().cloned().fold(f64::MAX, f64::min);
     // Paper: best random ≈ +12%, 64% below default, span ~10K..18K req/s.
     assert!((1.05..=1.18).contains(&best), "best-of-800 factor {best}");
-    assert!((0.50..=0.78).contains(&below), "share below default {below}");
+    assert!(
+        (0.50..=0.78).contains(&below),
+        "share below default {below}"
+    );
     assert!(worst > 0.45 && worst < 0.95, "worst factor {worst}");
 }
 
@@ -113,7 +116,13 @@ fn fig10_footprint_default_and_floor() {
     // A debloated configuration: switch off every non-fixed, non-essential
     // bool/tristate option. The crash rules protect the essentials.
     let essentials = [
-        "SYSFS", "PROC_FS", "VIRTIO_BLK", "VIRTIO_NET", "EPOLL", "FUTEX", "SHMEM",
+        "SYSFS",
+        "PROC_FS",
+        "VIRTIO_BLK",
+        "VIRTIO_NET",
+        "EPOLL",
+        "FUTEX",
+        "SHMEM",
     ];
     let mut floor_cfg = default.clone();
     for (i, spec) in os.space.specs().iter().enumerate() {
@@ -122,14 +131,17 @@ fn fig10_footprint_default_and_floor() {
         }
         match floor_cfg.get(i) {
             Value::Bool(_) => floor_cfg.set(i, Value::Bool(false)),
-            Value::Tristate(_) => {
-                floor_cfg.set(i, Value::Tristate(wf_configspace::Tristate::No))
-            }
+            Value::Tristate(_) => floor_cfg.set(i, Value::Tristate(wf_configspace::Tristate::No)),
             _ => {}
         }
     }
     assert!(
-        first_crash(&os.crash_rules, &floor_cfg.named(&os.space), &os.defaults_view).is_none(),
+        first_crash(
+            &os.crash_rules,
+            &floor_cfg.named(&os.space),
+            &os.defaults_view
+        )
+        .is_none(),
         "the debloated floor must be viable"
     );
     let (img, _) = os.build(&floor_cfg, None, None, &mut rng);

@@ -57,11 +57,7 @@ impl Series {
     /// Best-so-far transform: `y[i] := best(y[..=i])`.
     pub fn best_so_far(&self, higher_is_better: bool) -> Series {
         let mut out = Series::new();
-        let mut best = if higher_is_better {
-            f64::MIN
-        } else {
-            f64::MAX
-        };
+        let mut best = if higher_is_better { f64::MIN } else { f64::MAX };
         for (t, y) in self.t.iter().zip(self.y.iter()) {
             best = if higher_is_better {
                 best.max(*y)

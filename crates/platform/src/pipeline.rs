@@ -105,7 +105,12 @@ pub struct Session {
 
 impl Session {
     /// Creates a session.
-    pub fn new(os: SimOs, app: App, algorithm: Box<dyn SearchAlgorithm>, spec: SessionSpec) -> Self {
+    pub fn new(
+        os: SimOs,
+        app: App,
+        algorithm: Box<dyn SearchAlgorithm>,
+        spec: SessionSpec,
+    ) -> Self {
         let encoder = Encoder::new(&os.space);
         let rng = StdRng::seed_from_u64(spec.seed);
         Session {
@@ -172,7 +177,12 @@ impl Session {
         let fingerprint = self.os.image_fingerprint(&config);
         let cached = self.cache.get(fingerprint);
         let build_skipped = cached.is_some();
-        let (built, build_s) = self.os.build(&config, cached.as_ref(), self.last_built.as_ref(), &mut self.rng);
+        let (built, build_s) = self.os.build(
+            &config,
+            cached.as_ref(),
+            self.last_built.as_ref(),
+            &mut self.rng,
+        );
 
         let mut record = Record {
             iteration,
@@ -359,7 +369,10 @@ mod tests {
         let mut s = quick_session(12, 3);
         let summary = s.run();
         assert_eq!(summary.iterations, 12);
-        assert!(summary.elapsed_s > 12.0 * 30.0, "time charged per iteration");
+        assert!(
+            summary.elapsed_s > 12.0 * 30.0,
+            "time charged per iteration"
+        );
         assert!(summary.best_metric.is_some());
     }
 

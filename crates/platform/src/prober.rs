@@ -141,8 +141,12 @@ mod tests {
     fn tree() -> SysctlTree {
         let mut space = ConfigSpace::new();
         space.add(
-            ParamSpec::new("net.core.somaxconn", ParamKind::log_int(16, 65_535), Stage::Runtime)
-                .with_default(Value::Int(128)),
+            ParamSpec::new(
+                "net.core.somaxconn",
+                ParamKind::log_int(16, 65_535),
+                Stage::Runtime,
+            )
+            .with_default(Value::Int(128)),
         );
         space.add(
             ParamSpec::new("kernel.flagish", ParamKind::int(0, 100), Stage::Runtime)

@@ -99,10 +99,7 @@ impl SamplePolicy {
         match self {
             SamplePolicy::StageFocused(stage) => {
                 let idxs = space.stage_indices(*stage);
-                let free: Vec<usize> = idxs
-                    .into_iter()
-                    .filter(|&i| !space.spec(i).fixed)
-                    .collect();
+                let free: Vec<usize> = idxs.into_iter().filter(|&i| !space.spec(i).fixed).collect();
                 let mut out = base.clone();
                 if free.is_empty() {
                     return out;

@@ -130,12 +130,12 @@ impl BayesOpt {
             Some(c) => c,
             None => return (0.0, self.signal_var),
         };
-        let n = self.xs.len();
-        let mut kstar = vec![0.0; n];
-        for i in 0..n {
-            kstar[i] = self.kernel(x, &self.xs[i]);
-        }
-        let mu: f64 = kstar.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel(x, xi)).collect();
+        let mu: f64 = kstar
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(a, b)| a * b)
+            .sum();
         let v = chol.solve_lower(&kstar);
         let var = (self.kernel(x, x) - v.iter().map(|z| z * z).sum::<f64>()).max(1e-12);
         (mu, var)
@@ -269,20 +269,25 @@ impl Cholesky {
     /// Solves `L Lᵀ x = b`.
     fn solve(&self, b: &[f64]) -> Vec<f64> {
         let y = self.solve_lower(b);
-        // Back substitution with Lᵀ.
-        let n = self.n;
-        let mut x = y;
-        for i in (0..n).rev() {
-            let mut sum = x[i];
-            for p in i + 1..n {
-                sum -= self.l[p * n + i] * x[p];
+        // Back substitution with Lᵀ. Triangular solves index strided rows
+        // and columns of the packed factor; iterator forms obscure that.
+        #[allow(clippy::needless_range_loop)]
+        {
+            let n = self.n;
+            let mut x = y;
+            for i in (0..n).rev() {
+                let mut sum = x[i];
+                for p in i + 1..n {
+                    sum -= self.l[p * n + i] * x[p];
+                }
+                x[i] = sum / self.l[i * n + i];
             }
-            x[i] = sum / self.l[i * n + i];
+            x
         }
-        x
     }
 
     /// Solves `L y = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // see `solve`
     fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
         let n = self.n;
         let mut y = vec![0.0; n];

@@ -98,21 +98,15 @@ impl CausalSearch {
                 self.ys[row]
             }
         };
-        let mut mean = vec![0.0; vars];
-        for v in 0..vars {
-            for r in 0..n {
-                mean[v] += col(v, r);
-            }
-            mean[v] /= n as f64;
-        }
-        let mut std = vec![0.0; vars];
-        for v in 0..vars {
-            for r in 0..n {
-                let d = col(v, r) - mean[v];
-                std[v] += d * d;
-            }
-            std[v] = (std[v] / n as f64).sqrt();
-        }
+        let mean: Vec<f64> = (0..vars)
+            .map(|v| (0..n).map(|r| col(v, r)).sum::<f64>() / n as f64)
+            .collect();
+        let std: Vec<f64> = (0..vars)
+            .map(|v| {
+                let ss: f64 = (0..n).map(|r| (col(v, r) - mean[v]).powi(2)).sum();
+                (ss / n as f64).sqrt()
+            })
+            .collect();
         let mut corr = vec![0.0; vars * vars];
         for i in 0..vars {
             for j in 0..=i {
@@ -177,7 +171,11 @@ impl CausalSearch {
 
         // Account memory: raw data + correlation matrix + adjacency +
         // the ever-growing test cache (3 u32 + u64 key ≈ 24 B + 8 B value).
-        let data = self.xs.iter().map(|x| bytes_of_f64s(x.len())).sum::<usize>()
+        let data = self
+            .xs
+            .iter()
+            .map(|x| bytes_of_f64s(x.len()))
+            .sum::<usize>()
             + bytes_of_f64s(self.ys.len());
         let matrices = bytes_of_f64s(vars * vars) + bytes_of_f64s(vars * 2);
         let graph: usize = self.adjacency.iter().map(|a| a.len() * 8).sum();

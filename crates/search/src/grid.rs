@@ -46,9 +46,7 @@ impl GridSearch {
         match &spec.kind {
             ParamKind::Bool => vec![Value::Bool(false), Value::Bool(true)],
             ParamKind::Tristate => Tristate::ALL.iter().map(|t| Value::Tristate(*t)).collect(),
-            ParamKind::Enum { choices } => {
-                (0..choices.len()).map(Value::Choice).collect()
-            }
+            ParamKind::Enum { choices } => (0..choices.len()).map(Value::Choice).collect(),
             ParamKind::Int {
                 min,
                 max,

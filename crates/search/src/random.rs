@@ -56,7 +56,11 @@ mod tests {
 
     fn ctx_fixture() -> (ConfigSpace, SamplePolicy) {
         let mut s = ConfigSpace::new();
-        s.add(ParamSpec::new("a", ParamKind::int(0, 1_000_000), Stage::Runtime));
+        s.add(ParamSpec::new(
+            "a",
+            ParamKind::int(0, 1_000_000),
+            Stage::Runtime,
+        ));
         s.add(ParamSpec::new("b", ParamKind::Bool, Stage::Runtime));
         (s, SamplePolicy::Uniform)
     }

@@ -23,9 +23,7 @@ fn main() {
     println!("training DeepTune on Nginx ({} iterations) ...", 60);
     let _ = session.run();
 
-    let impacts = session
-        .parameter_impacts()
-        .expect("trained DeepTune model");
+    let impacts = session.parameter_impacts().expect("trained DeepTune model");
 
     println!("\ntop parameters the model predicts to IMPROVE Nginx when tuned:");
     for p in top_positive(&impacts, 8) {

@@ -26,7 +26,10 @@ pinned:
 
 fn main() {
     let job = Job::parse(JOB).expect("job file parses");
-    println!("job {:?}: {} on {}, {:?} iterations", job.name, job.app, job.os, job.budget.iterations);
+    println!(
+        "job {:?}: {} on {}, {:?} iterations",
+        job.name, job.app, job.os, job.budget.iterations
+    );
 
     let mut session = SessionBuilder::from_job(&job)
         .expect("job maps onto a session")
@@ -41,7 +44,10 @@ fn main() {
             .index_of("kernel.randomize_va_space")
             .expect("parameter exists");
         assert!(space.spec(idx).fixed, "pin was applied");
-        println!("kernel.randomize_va_space pinned to {}", space.spec(idx).default);
+        println!(
+            "kernel.randomize_va_space pinned to {}",
+            space.spec(idx).default
+        );
     }
 
     let outcome = session.run();
@@ -54,7 +60,9 @@ fn main() {
 
     // Every configuration explored kept ASLR at its pinned value.
     let space = &session.platform().os().space;
-    let pinned_value = space.default_config().by_name(space, "kernel.randomize_va_space");
+    let pinned_value = space
+        .default_config()
+        .by_name(space, "kernel.randomize_va_space");
     for r in session.platform().history().records() {
         assert_eq!(
             r.config.by_name(space, "kernel.randomize_va_space"),

@@ -39,6 +39,11 @@ fn main() {
     println!("non-default parameters of the best configuration:");
     for idx in config.diff_indices(&default) {
         let spec = space.spec(idx);
-        println!("  {} = {} (default {})", spec.name, config.get(idx), spec.default);
+        println!(
+            "  {} = {} (default {})",
+            spec.name,
+            config.get(idx),
+            spec.default
+        );
     }
 }

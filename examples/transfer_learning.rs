@@ -61,7 +61,10 @@ fn main() {
     }
 
     println!("\nNginx after {iterations} iterations:");
-    println!("{:<18} {:>12} {:>12}", "algorithm", "best req/s", "crash rate");
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "algorithm", "best req/s", "crash rate"
+    );
     for (label, s) in &results {
         println!(
             "{:<18} {:>12.0} {:>11.0}%",

@@ -31,15 +31,20 @@ fn main() -> ExitCode {
         },
         Some("probe") => probe(),
         Some("experiments") => experiments(),
+        Some("--help" | "-h" | "help") => {
+            println!("wfctl: drive Wayfinder sessions against the simulated testbed");
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
         _ => usage("missing or unknown subcommand"),
     }
 }
 
+const USAGE: &str = "usage:\n  wfctl run <job.yaml>        run a job file to completion\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("wfctl: {err}");
-    eprintln!(
-        "usage:\n  wfctl run <job.yaml>\n  wfctl validate <job.yaml>\n  wfctl probe\n  wfctl experiments"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -132,11 +137,7 @@ fn run_job(path: &str) -> ExitCode {
             let default = space.default_config();
             println!("non-default parameters:");
             for idx in config.diff_indices(&default) {
-                println!(
-                    "  {} = {}",
-                    space.spec(idx).name,
-                    config.get(idx)
-                );
+                println!("  {} = {}", space.spec(idx).name, config.get(idx));
             }
             ExitCode::SUCCESS
         }

@@ -125,7 +125,11 @@ fn sessions_are_deterministic_across_the_facade() {
             .build()
             .unwrap();
         let o = s.run();
-        (o.summary.best_metric, o.summary.crash_rate, o.summary.elapsed_s)
+        (
+            o.summary.best_metric,
+            o.summary.crash_rate,
+            o.summary.elapsed_s,
+        )
     };
     let a = run();
     let b = run();

@@ -9,18 +9,41 @@ use wayfinder::prelude::*;
 /// documented parameters — positives like `net.core.somaxconn` /
 /// `net.core.rmem_default` / `vm.stat_interval`, negatives like
 /// `kernel.printk_delay` / `vm.block_dump`.
+///
+/// A single short session's ranking is seed-noisy (the paper queries fully
+/// trained models), so the claim is checked on impacts averaged over three
+/// independent replicate sessions — the estimator a practitioner would
+/// actually use at this budget.
 #[test]
 fn high_impact_parameters_are_recovered() {
-    let mut session = SessionBuilder::new()
-        .app(AppId::Nginx)
-        .algorithm(AlgorithmChoice::DeepTune)
-        .runtime_params(56)
-        .iterations(60)
-        .seed(41)
-        .build()
-        .unwrap();
-    let _ = session.run();
-    let impacts = session.parameter_impacts().expect("trained model");
+    let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut worst: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    const REPLICATES: u64 = 3;
+    for seed in 41..41 + REPLICATES {
+        let mut session = SessionBuilder::new()
+            .app(AppId::Nginx)
+            .algorithm(AlgorithmChoice::DeepTune)
+            .runtime_params(56)
+            .iterations(120)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let _ = session.run();
+        let replicate = session.parameter_impacts().expect("trained model");
+        for impact in &replicate {
+            *best.entry(impact.name.clone()).or_default() += impact.best_delta / REPLICATES as f64;
+            *worst.entry(impact.name.clone()).or_default() +=
+                impact.worst_delta / REPLICATES as f64;
+        }
+    }
+    let impacts: Vec<wayfinder::deeptune::ParamImpact> = best
+        .iter()
+        .map(|(name, b)| wayfinder::deeptune::ParamImpact {
+            name: name.clone(),
+            best_delta: *b,
+            worst_delta: worst[name],
+        })
+        .collect();
 
     let positives: Vec<&str> = top_positive(&impacts, 10)
         .iter()

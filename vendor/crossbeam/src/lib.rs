@@ -1,0 +1,84 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, implementing only `crossbeam::thread::scope` on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+
+pub mod thread {
+    //! Scoped threads with the crossbeam `scope(|s| ...)` calling convention.
+
+    use std::any::Any;
+
+    /// A scope handle; closures spawned through it may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope itself so
+        /// it can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let reentrant = Scope { inner: inner_scope };
+                    f(&reentrant)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing scoped threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// crossbeam reports unjoined child panics through the returned
+    /// `Result`; this std-backed version propagates them as panics from
+    /// `std::thread::scope` instead, which the workspace's
+    /// `.expect("crossbeam scope")` call sites treat identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|v| s.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_arg() {
+            let n = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, Standard};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the full-domain strategy for `Self`.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary + Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random::<T>()
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> AnyStrategy<$t> {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn any_covers_the_domain_eventually() {
+        let mut rng = rng_from_seed(5);
+        let bools: Vec<bool> = (0..64).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(bools.contains(&true) && bools.contains(&false));
+        let signed: Vec<i32> = (0..64).map(|_| any::<i32>().generate(&mut rng)).collect();
+        assert!(signed.iter().any(|v| *v < 0) && signed.iter().any(|v| *v > 0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements the subset of the proptest 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`;
+//! * strategies for ranges, tuples (arity 2–6), [`strategy::Just`],
+//!   [`arbitrary::any`], regex-like `&str` patterns, and
+//!   [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`]
+//!   macros;
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from real proptest: generation is derived deterministically
+//! from the test name (no `PROPTEST_` env handling) and failing cases are
+//! reported but **not shrunk** — acceptable for a CI gate, where the fix is
+//! to re-run the named test under a debugger.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Runs a block of property tests.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments use `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut stream: u64 = $crate::test_runner::seed_for(stringify!($name));
+                while passed < config.cases {
+                    let case_seed = stream;
+                    let mut rng = $crate::test_runner::rng_from_seed(case_seed);
+                    stream = stream.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            rejected += 1;
+                            if rejected > 16 * config.cases + 1024 {
+                                panic!(
+                                    "proptest '{}': too many prop_assume rejections (last: {})",
+                                    stringify!($name),
+                                    why
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case {} (rng_from_seed({:#x}) reproduces it): {}",
+                                stringify!($name),
+                                passed,
+                                case_seed,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

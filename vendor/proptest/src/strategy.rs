@@ -1,0 +1,271 @@
+//! The [`Strategy`] trait and combinators.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy
+    /// `f` builds out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `f` wraps
+    /// an inner strategy into a branch strategy. `depth` bounds nesting;
+    /// `_desired_size` and `_expected_branch_size` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut tier = leaf.clone();
+        for _ in 0..depth {
+            tier = Union::new(vec![leaf.clone(), f(tier).boxed()]).boxed();
+        }
+        tier
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `variants` is empty.
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.random_range(0..self.variants.len());
+        self.variants[idx].generate(rng)
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            variants: self.variants.clone(),
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `&str` regex-subset strategies (see [`crate::string`] for the grammar).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn ranges_tuples_and_map_compose() {
+        let mut rng = rng_from_seed(1);
+        let strat = (1usize..5, 0.0f64..1.0).prop_map(|(n, f)| vec![f; n]);
+        for _ in 0..64 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|f| (0.0..1.0).contains(f)));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = rng_from_seed(2);
+        let strat = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let draws: Vec<u8> = (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // the Leaf payload exists to exercise prop_map
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = rng_from_seed(3);
+        for _ in 0..128 {
+            let t = strat.generate(&mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_intermediate_values() {
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..=1, n..n + 1));
+        let mut rng = rng_from_seed(4);
+        for _ in 0..32 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

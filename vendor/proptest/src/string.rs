@@ -1,0 +1,175 @@
+//! Generation from the tiny regex subset the workspace's tests use.
+//!
+//! Supported grammar, applied to whole `&str` strategies:
+//!
+//! * `[...]` character classes with literal chars and `a-z` ranges
+//!   (a trailing `-` is literal);
+//! * `\PC` — "any printable (non-control) character";
+//! * any other literal character;
+//! * each item may carry a `{n}` or `{m,n}` repetition count.
+//!
+//! Patterns outside this subset panic at generation time, which in a test
+//! context surfaces immediately and loudly.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug)]
+enum Item {
+    /// A set of candidate characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+/// Printable sample for `\PC`: ASCII printables plus a few multi-byte
+/// characters so UTF-8 handling gets exercised.
+fn printable_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    chars.extend(['é', 'λ', '中', '🦀', '∞', 'ß']);
+    chars
+}
+
+fn parse(pattern: &str) -> Vec<(Item, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => break,
+                        '-' => {
+                            // Range if bracketed by chars, else literal.
+                            match (prev, chars.peek()) {
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    chars.next();
+                                    for ch in lo..=hi {
+                                        set.push(ch);
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    set.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                Item::Class(set)
+            }
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Item::Class(printable_alphabet()),
+                    other => panic!("unsupported escape \\P{other:?} in pattern {pattern:?}"),
+                },
+                Some(lit @ ('\\' | '.' | '-' | '[' | ']' | '{' | '}')) => Item::Literal(lit),
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            },
+            other => Item::Literal(other),
+        };
+        // Optional {n} / {m,n} repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in pattern {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        items.push((item, lo, hi));
+    }
+    items
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (item, lo, hi) in parse(pattern) {
+        let count = rng.random_range(lo..=hi);
+        for _ in 0..count {
+            match &item {
+                Item::Literal(c) => out.push(*c),
+                Item::Class(set) => out.push(set[rng.random_range(0..set.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_from_seed;
+
+    #[test]
+    fn identifier_patterns_match_shape() {
+        let mut rng = rng_from_seed(8);
+        for _ in 0..128 {
+            let s = generate_from_pattern("[a-z][a-z0-9_]{0,10}", &mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(s.len() <= 11);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_dot() {
+        let mut rng = rng_from_seed(9);
+        for _ in 0..256 {
+            let s = generate_from_pattern("[a-zA-Z0-9 _.-]{1,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_escape_has_bounded_length() {
+        let mut rng = rng_from_seed(10);
+        for _ in 0..64 {
+            let s = generate_from_pattern("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_counts() {
+        let mut rng = rng_from_seed(11);
+        let s = generate_from_pattern("[A-Z]{3}x", &mut rng);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.ends_with('x'));
+    }
+}

@@ -1,0 +1,65 @@
+//! Test configuration, errors, and the deterministic test RNG.
+
+use rand::SeedableRng;
+
+/// The RNG all strategies draw from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Builds the case RNG for a given seed-stream position.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Derives a stable per-test seed from the test's name (FNV-1a), so runs
+/// are reproducible without any environment plumbing.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration that runs `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case is invalid and should be regenerated (from `prop_assume!`).
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+/// Result type the `proptest!` macro's case closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("alpha"), seed_for("alpha"));
+        assert_ne!(seed_for("alpha"), seed_for("beta"));
+    }
+}
