@@ -119,9 +119,45 @@ fn bench_bayes(c: &mut Criterion) {
     });
 }
 
+fn bench_worker_pool(c: &mut Criterion) {
+    use wf_jobfile::Budget;
+    use wf_platform::{Session, SessionSpec};
+    use wf_search::RandomSearch;
+
+    // Real-time cost of a full 16-candidate session at different pool
+    // widths: the virtual clocks diverge by design, but the *host* time
+    // shows what wave dispatch (threads + shared cache lock) costs.
+    for workers in [1usize, 4] {
+        c.bench_function(&format!("session_16_candidates_workers_{workers}"), |b| {
+            b.iter_batched(
+                || {
+                    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+                    let app = App::by_id(AppId::Nginx);
+                    Session::new(
+                        os,
+                        app,
+                        Box::new(RandomSearch::new()),
+                        SessionSpec {
+                            budget: Budget {
+                                iterations: Some(16),
+                                time_seconds: None,
+                            },
+                            seed: 9,
+                            workers,
+                            ..SessionSpec::default()
+                        },
+                    )
+                },
+                |mut session| black_box(session.run()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_dtm, bench_kconfig, bench_platform, bench_bayes
+    targets = bench_dtm, bench_kconfig, bench_platform, bench_bayes, bench_worker_pool
 }
 criterion_main!(benches);

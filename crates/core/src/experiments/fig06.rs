@@ -64,6 +64,8 @@ fn build_session(
         .runtime_params(scale.runtime_params)
         .iterations(scale.search_iterations)
         .seed(seed)
+        // Figure regenerations replay the paper's sequential pipeline.
+        .workers(1)
         .build()
         .expect("fig6 session is well-formed")
 }

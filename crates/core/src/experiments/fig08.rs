@@ -29,6 +29,8 @@ pub fn fig8(scale: &Scale, seed: u64) -> Fig8Result {
         .runtime_params(scale.runtime_params)
         .iterations(iters)
         .seed(seed)
+        // Figure regenerations replay the paper's sequential pipeline.
+        .workers(1)
         .build()
         .expect("fig8 session");
     let _ = session.run();
@@ -53,6 +55,7 @@ pub fn fig8(scale: &Scale, seed: u64) -> Fig8Result {
             .runtime_params(scale.runtime_params)
             .iterations(12)
             .seed(seed ^ 0xf18)
+            .workers(1)
             .build()
             .expect("fig8 probe session");
         let _ = s.run();

@@ -53,6 +53,8 @@ pub fn fig9(scale: &Scale, seed: u64) -> Fig9Result {
                 .algorithm(choice)
                 .time_budget_s(scale.unikraft_budget_s)
                 .seed(seed ^ (run as u64 * 0xab1) ^ algorithm as u64)
+                // Figure regenerations replay the sequential pipeline.
+                .workers(1)
                 .build()
                 .expect("fig9 session");
             let summary = session.run().summary;

@@ -114,6 +114,10 @@ pub fn fig11(scale: &Scale, seed: u64) -> Fig11Result {
                 },
                 repetitions: 1,
                 seed: seed ^ (run as u64 * 0xc0) ^ is_deeptune as u64,
+                // Figure regenerations replay the paper's sequential
+                // pipeline: one evaluation at a time, whatever WF_WORKERS
+                // says.
+                workers: 1,
             };
             let mut session = Session::new(target.os.clone(), target.app.clone(), algorithm, spec);
             let _ = session.run();

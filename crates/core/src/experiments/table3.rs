@@ -44,6 +44,8 @@ fn train_session(app: AppId, scale: &Scale, seed: u64) -> crate::session::Specia
         .runtime_params(scale.runtime_params)
         .iterations(scale.search_iterations)
         .seed(seed)
+        // Table regenerations replay the paper's sequential pipeline.
+        .workers(1)
         .build()
         .expect("table3 session");
     let _ = session.run();

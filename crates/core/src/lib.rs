@@ -33,7 +33,7 @@ pub mod report;
 pub mod scale;
 pub mod session;
 
-pub use report::Table;
+pub use report::{wave_stats_table, Table};
 pub use scale::Scale;
 pub use session::{
     AlgorithmChoice, BuildError, OsFlavor, Outcome, SessionBuilder, SpecializationSession,

@@ -4,7 +4,7 @@
 //! paper's tables and figures report; these helpers keep that output
 //! uniform and diff-friendly.
 
-use wf_platform::Series;
+use wf_platform::{Series, WaveStats};
 
 /// A fixed-width text table.
 #[derive(Clone, Debug, Default)]
@@ -109,6 +109,24 @@ pub fn render_multi_series(labels: &[&str], series: &[Series]) -> String {
     out
 }
 
+/// Renders a session's per-wave scheduling metrics as a [`Table`]:
+/// wave index, size, wall/busy virtual seconds, pool occupancy, and the
+/// image-cache hit rate.
+pub fn wave_stats_table(waves: &[WaveStats], workers: usize) -> Table {
+    let mut t = Table::new(&["Wave", "Size", "Wall s", "Busy s", "Occ %", "Cache %"]);
+    for w in waves {
+        t.row(&[
+            w.wave.to_string(),
+            w.size.to_string(),
+            format!("{:.0}", w.wall_s),
+            format!("{:.0}", w.busy_s),
+            format!("{:.0}", w.occupancy(workers) * 100.0),
+            format!("{:.0}", w.cache_hit_rate() * 100.0),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +157,32 @@ mod tests {
         let text = render_series("nginx", &s);
         assert!(text.starts_with("# series: nginx"));
         assert!(text.contains("60.0\t2.0000"));
+    }
+
+    #[test]
+    fn wave_stats_render_occupancy() {
+        let waves = [
+            WaveStats {
+                wave: 0,
+                size: 4,
+                wall_s: 80.0,
+                busy_s: 240.0,
+                cache_hits: 3,
+                cache_misses: 1,
+            },
+            WaveStats {
+                wave: 1,
+                size: 2,
+                wall_s: 70.0,
+                busy_s: 130.0,
+                cache_hits: 0,
+                cache_misses: 2,
+            },
+        ];
+        let text = wave_stats_table(&waves, 4).render();
+        assert!(text.contains("Occ %"), "{text}");
+        assert!(text.contains("75"), "wave 0 occupancy: {text}");
+        assert_eq!(text.lines().count(), 4);
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub struct SessionBuilder {
     time_budget_s: Option<f64>,
     seed: u64,
     repetitions: usize,
+    workers: usize,
     runtime_params: usize,
     focus: Focus,
     pins: Vec<(String, String)>,
@@ -132,6 +133,7 @@ impl SessionBuilder {
             time_budget_s: None,
             seed: 1,
             repetitions: 1,
+            workers: wf_platform::default_workers(),
             runtime_params: 200,
             focus: Focus::All,
             pins: Vec::new(),
@@ -185,6 +187,14 @@ impl SessionBuilder {
     /// Benchmark repetitions per configuration.
     pub fn repetitions(mut self, reps: usize) -> Self {
         self.repetitions = reps.max(1);
+        self
+    }
+
+    /// Simulated VM workers evaluating candidates concurrently (the wave
+    /// width of the batch ask/tell loop). Defaults to `WF_WORKERS` from
+    /// the environment, else 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.clamp(1, 64);
         self
     }
 
@@ -249,6 +259,9 @@ impl SessionBuilder {
             .objective(objective)
             .seed(job.seed)
             .repetitions(job.repetitions);
+        if let Some(workers) = job.workers {
+            b = b.workers(workers);
+        }
         b.iterations = job.budget.iterations;
         b.time_budget_s = job.budget.time_seconds;
         for pin in &job.pinned {
@@ -353,6 +366,7 @@ impl SessionBuilder {
             },
             repetitions: self.repetitions,
             seed: self.seed,
+            workers: self.workers,
         };
         let algorithm: Box<dyn SearchAlgorithm> = match self.algorithm {
             AlgorithmChoice::Random => Box::new(RandomSearch::new()),

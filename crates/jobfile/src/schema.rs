@@ -11,6 +11,7 @@
 //! algorithm: deeptune
 //! seed: 42
 //! repetitions: 1
+//! workers: 4                # VM workers evaluating candidates in parallel
 //! focus: runtime            # §3.5: favor one parameter stage
 //! budget:
 //!   iterations: 250
@@ -169,6 +170,9 @@ pub struct Job {
     pub seed: u64,
     /// Benchmark repetitions per configuration.
     pub repetitions: usize,
+    /// VM workers evaluating candidates in parallel (`None` = the
+    /// platform default: `WF_WORKERS` from the environment, else 1).
+    pub workers: Option<usize>,
     /// Budget.
     pub budget: Budget,
     /// Pinned parameters.
@@ -189,6 +193,7 @@ impl Default for Job {
             algorithm: AlgorithmId::DeepTune,
             seed: 1,
             repetitions: 1,
+            workers: None,
             budget: Budget {
                 iterations: Some(250),
                 time_seconds: None,
@@ -307,6 +312,15 @@ impl Job {
                         .ok_or_else(|| err("repetitions", "must be a positive integer"))?
                         as usize
                 }
+                "workers" => {
+                    job.workers = Some(
+                        value
+                            .as_int()
+                            .filter(|v| (1..=64).contains(v))
+                            .ok_or_else(|| err("workers", "must be an integer in 1..=64"))?
+                            as usize,
+                    )
+                }
                 "budget" => {
                     let mut b = Budget::default();
                     for (bk, bv) in value
@@ -383,6 +397,9 @@ impl Job {
             ("seed".into(), Yaml::Int(self.seed as i64)),
             ("repetitions".into(), Yaml::Int(self.repetitions as i64)),
         ];
+        if let Some(w) = self.workers {
+            root.push(("workers".into(), Yaml::Int(w as i64)));
+        }
         let mut budget = Vec::new();
         if let Some(it) = self.budget.iterations {
             budget.push(("iterations".into(), Yaml::Int(it as i64)));
@@ -652,6 +669,7 @@ focus: runtime
 algorithm: deeptune
 seed: 7
 repetitions: 3
+workers: 4
 budget:
   iterations: 250
   time_seconds: 18000
@@ -684,6 +702,7 @@ params:
         assert_eq!(job.algorithm, AlgorithmId::DeepTune);
         assert_eq!(job.seed, 7);
         assert_eq!(job.repetitions, 3);
+        assert_eq!(job.workers, Some(4));
         assert_eq!(job.budget.iterations, Some(250));
         assert_eq!(job.budget.time_seconds, Some(18000.0));
         assert_eq!(job.params.len(), 3);
@@ -728,7 +747,19 @@ params:
         let job = Job::parse("name: x\n").unwrap();
         assert_eq!(job.algorithm, AlgorithmId::DeepTune);
         assert_eq!(job.budget.iterations, Some(250));
+        assert_eq!(job.workers, None, "workers defaults to the platform's");
         assert!(job.param_space().is_none());
+    }
+
+    #[test]
+    fn workers_must_be_a_sane_count() {
+        assert!(Job::parse("name: x\nworkers: 0\n").is_err());
+        assert!(Job::parse("name: x\nworkers: 65\n").is_err());
+        assert!(Job::parse("name: x\nworkers: many\n").is_err());
+        assert_eq!(
+            Job::parse("name: x\nworkers: 8\n").unwrap().workers,
+            Some(8)
+        );
     }
 
     #[test]

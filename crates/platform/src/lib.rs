@@ -4,14 +4,16 @@
 //! pluggable search algorithm, and records the exploration history:
 //!
 //! * [`clock`] — the virtual clock all budgets are charged against;
-//! * [`cache`] — the kernel-image cache behind §3.1's rebuild-skip;
-//! * [`workers`] — crossbeam-parallel benchmark repetitions;
+//! * [`cache`] — the kernel-image cache behind §3.1's rebuild-skip, and
+//!   its lock-shared multi-worker form;
+//! * [`workers`] — the simulated VM-worker [`workers::Pool`] (wave
+//!   dispatch) plus crossbeam-parallel benchmark repetitions;
 //! * [`history`] — per-iteration records plus Table 2's summary stats;
-//! * [`metrics`] — smoothing, best-so-far, crash-rate series, and the
-//!   Eq. 4 throughput–memory score;
+//! * [`metrics`] — smoothing, best-so-far, crash-rate series, per-wave
+//!   scheduling stats, and the Eq. 4 throughput–memory score;
 //! * [`prober`] — the §3.4 runtime-space inference heuristic;
-//! * [`pipeline`] — [`Session`]: the propose → build/boot/bench → observe
-//!   loop with iteration/time budgets.
+//! * [`pipeline`] — [`Session`]: the batch ask → build/boot/bench across
+//!   the pool → tell loop with iteration/time budgets.
 
 pub mod cache;
 pub mod clock;
@@ -21,9 +23,13 @@ pub mod pipeline;
 pub mod prober;
 pub mod workers;
 
-pub use cache::ImageCache;
+pub use cache::{ImageCache, SharedImageCache};
 pub use clock::VirtualClock;
 pub use history::{History, Record};
-pub use metrics::{min_max_normalize, rolling_crash_rate, throughput_memory_score, Series};
-pub use pipeline::{Objective, Session, SessionSpec, SessionSummary};
+pub use metrics::{
+    mean_occupancy, min_max_normalize, rolling_crash_rate, throughput_memory_score, Series,
+    WaveStats,
+};
+pub use pipeline::{default_workers, Objective, Session, SessionSpec, SessionSummary};
 pub use prober::{probe_runtime_space, ProbeReport};
+pub use workers::{derive_seed, Pool};

@@ -1,5 +1,57 @@
-//! Metric post-processing: smoothing, normalization, the Eq. 4 score, and
-//! the series shapes the paper's figures plot.
+//! Metric post-processing: smoothing, normalization, the Eq. 4 score,
+//! per-wave scheduling metrics, and the series shapes the paper's figures
+//! plot.
+
+/// Scheduling metrics for one evaluation wave of the multi-worker
+/// pipeline: how full the pool ran, what the wave cost in virtual wall
+/// time vs summed compute, and how the shared image cache behaved.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WaveStats {
+    /// Zero-based wave index.
+    pub wave: usize,
+    /// Candidates evaluated in this wave.
+    pub size: usize,
+    /// Virtual wall seconds charged (the slowest worker lane).
+    pub wall_s: f64,
+    /// Summed per-candidate virtual seconds (total compute).
+    pub busy_s: f64,
+    /// Image-cache hits observed during the wave.
+    pub cache_hits: u64,
+    /// Image-cache misses observed during the wave.
+    pub cache_misses: u64,
+}
+
+impl WaveStats {
+    /// Fraction of the pool's capacity this wave used: summed compute
+    /// over `workers × wall`. 1.0 means every worker was busy for the
+    /// whole wave; a short straggler-free wave on a half-empty pool
+    /// scores 0.5.
+    pub fn occupancy(&self, workers: usize) -> f64 {
+        if self.wall_s <= 0.0 || workers == 0 {
+            return 1.0;
+        }
+        (self.busy_s / (workers as f64 * self.wall_s)).clamp(0.0, 1.0)
+    }
+
+    /// Cache hit rate over the wave's lookups (0.0 when none happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Mean pool occupancy over a session's waves (1.0 for an empty list, the
+/// vacuous case: nothing ever idled).
+pub fn mean_occupancy(waves: &[WaveStats], workers: usize) -> f64 {
+    if waves.is_empty() {
+        return 1.0;
+    }
+    waves.iter().map(|w| w.occupancy(workers)).sum::<f64>() / waves.len() as f64
+}
 
 /// A time series of (virtual seconds, value) points.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -221,5 +273,25 @@ mod tests {
     #[test]
     fn min_max_handles_constant_input() {
         assert_eq!(min_max_normalize(&[4.0, 4.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn wave_occupancy_and_hit_rate() {
+        let w = WaveStats {
+            wave: 0,
+            size: 4,
+            wall_s: 80.0,
+            busy_s: 240.0,
+            cache_hits: 3,
+            cache_misses: 1,
+        };
+        // 240 busy seconds over 4 workers × 80 s wall = 0.75.
+        assert!((w.occupancy(4) - 0.75).abs() < 1e-12);
+        assert!((w.cache_hit_rate() - 0.75).abs() < 1e-12);
+        // Degenerate waves are fully occupied by definition.
+        assert_eq!(WaveStats::default().occupancy(4), 1.0);
+        assert_eq!(WaveStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(mean_occupancy(&[], 4), 1.0);
+        assert!((mean_occupancy(&[w, w], 4) - 0.75).abs() < 1e-12);
     }
 }

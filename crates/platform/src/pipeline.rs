@@ -1,22 +1,60 @@
-//! The core exploration loop (§3.1).
+//! The core exploration loop (§3.1), batched across a VM-worker pool.
 //!
 //! "1) build and boot an OS image based on a given configuration in a VM;
 //! 2) benchmark the target application running on that OS image; and
 //! 3) determine the next configuration to consider" — iterated until the
 //! iteration or time budget runs out, after which the best configuration
 //! found is returned.
+//!
+//! The loop advances in *waves*: each wave asks the search algorithm for
+//! up to `workers` candidates ([`wf_search::SearchAlgorithm::propose_batch`]),
+//! dispatches them across the [`workers::Pool`], and tells the algorithm
+//! every outcome at once ([`wf_search::SearchAlgorithm::observe_batch`]).
+//!
+//! # The two virtual clocks
+//!
+//! * **Wall clock** ([`Session::now_s`], `elapsed_s`): each wave charges
+//!   the *slowest* worker lane — what a human waits for. More workers →
+//!   lower wall clock. Time budgets cut against this clock.
+//! * **Compute clock** (`compute_s`): each wave charges the *sum* of the
+//!   candidates' durations — total VM-seconds burned. Every candidate's
+//!   cost derives from a per-candidate RNG (`workers::derive_seed`),
+//!   never from a shared stream.
+//!
+//! # Worker-count invariance, precisely
+//!
+//! On **runtime targets** (fixed image, no build phase) with **random
+//! search**, the evaluation history, best configuration, and compute
+//! clock are identical at every worker count for a fixed seed — the
+//! property `tests/props.rs` proves. The other knobs each break it for a
+//! stated reason:
+//!
+//! * model-based algorithms (bayes, causal, DeepTune) see less feedback
+//!   per decision at larger batch sizes, so they legitimately propose
+//!   different waves — the classic batch-optimization trade-off;
+//! * grid's wave dedup intentionally skips the repeated default point
+//!   that a sequential sweep re-evaluates once per axis, so its batched
+//!   history is a strict subsequence-reordering of the sequential one;
+//! * compile targets give each worker lane its own working tree, so
+//!   incremental-rebuild *durations* depend on the lane's previous
+//!   build, and two same-image candidates in one wave race the shared
+//!   cache (both may build; stats and build durations are physical, not
+//!   replayable). Build/boot/bench draw from separate per-candidate RNG
+//!   streams, so measured *outcomes* (metrics, crashes) stay fixed
+//!   either way.
 
-use crate::cache::ImageCache;
+use crate::cache::SharedImageCache;
 use crate::clock::VirtualClock;
 use crate::history::{History, Record};
-use crate::workers;
+use crate::metrics::{mean_occupancy, WaveStats};
+use crate::workers::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use wf_configspace::{Configuration, Encoder};
 use wf_jobfile::{Budget, Direction};
 use wf_ossim::{App, SimOs};
-use wf_search::{SamplePolicy, SearchAlgorithm, SearchContext};
+use wf_search::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
 
 /// What the session optimizes (the user-provided metric of Fig. 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +66,16 @@ pub enum Objective {
     /// Eq. 4: min–max normalized throughput minus normalized memory
     /// (Fig. 11, Table 4). Always maximized.
     ThroughputMemoryScore,
+}
+
+/// The default worker count: `WF_WORKERS` from the environment (clamped
+/// to `1..=64`), else 1.
+pub fn default_workers() -> usize {
+    std::env::var("WF_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 64))
+        .unwrap_or(1)
 }
 
 /// Session parameters.
@@ -46,6 +94,9 @@ pub struct SessionSpec {
     pub repetitions: usize,
     /// RNG seed for the whole session.
     pub seed: u64,
+    /// Simulated VM workers evaluating candidates concurrently (wave
+    /// width). Defaults to [`default_workers`].
+    pub workers: usize,
 }
 
 impl Default for SessionSpec {
@@ -60,6 +111,7 @@ impl Default for SessionSpec {
             },
             repetitions: 1,
             seed: 1,
+            workers: default_workers(),
         }
     }
 }
@@ -77,27 +129,42 @@ pub struct SessionSummary {
     pub iterations: usize,
     /// Overall crash rate.
     pub crash_rate: f64,
-    /// Virtual seconds consumed.
+    /// Virtual wall seconds consumed (slowest lane per wave).
     pub elapsed_s: f64,
+    /// Total virtual compute seconds (summed candidate durations);
+    /// worker-count invariant.
+    pub compute_s: f64,
+    /// Worker count the session ran with.
+    pub workers: usize,
+    /// Number of evaluation waves dispatched.
+    pub waves: usize,
+    /// Mean pool occupancy over all waves.
+    pub mean_occupancy: f64,
     /// Image-cache (hits, misses).
     pub cache_stats: (u64, u64),
 }
 
 /// A running specialization session: one OS target, one application, one
-/// algorithm, one budget.
+/// algorithm, one budget, one worker pool.
 pub struct Session {
     os: SimOs,
     app: App,
     algorithm: Box<dyn SearchAlgorithm>,
     spec: SessionSpec,
     encoder: Encoder,
+    /// Wall time: the slowest lane of each wave.
     clock: VirtualClock,
-    cache: ImageCache,
+    /// Compute time: every candidate's duration.
+    compute: VirtualClock,
+    cache: SharedImageCache,
     history: History,
     rng: StdRng,
-    /// The configuration most recently built in the "working tree"
-    /// (enables incremental-rebuild timing).
-    last_built: Option<Configuration>,
+    pool: Pool,
+    /// Per-worker "working trees": the configuration each lane last built
+    /// (enables incremental-rebuild timing on compile targets).
+    lanes: Vec<Option<Configuration>>,
+    /// Per-wave scheduling metrics.
+    waves: Vec<WaveStats>,
     /// Running bounds for the Eq. 4 score.
     metric_bounds: (f64, f64),
     memory_bounds: (f64, f64),
@@ -113,19 +180,23 @@ impl Session {
     ) -> Self {
         let encoder = Encoder::new(&os.space);
         let rng = StdRng::seed_from_u64(spec.seed);
+        let workers = spec.workers.max(1);
         Session {
             os,
             app,
             algorithm,
-            spec,
             encoder,
             clock: VirtualClock::new(),
-            cache: ImageCache::new(32),
+            compute: VirtualClock::new(),
+            cache: SharedImageCache::new(32),
             history: History::new(),
             rng,
-            last_built: None,
+            pool: Pool::new(workers),
+            lanes: vec![None; workers],
+            waves: Vec::new(),
             metric_bounds: (f64::MAX, f64::MIN),
             memory_bounds: (f64::MAX, f64::MIN),
+            spec,
         }
     }
 
@@ -153,92 +224,101 @@ impl Session {
         false
     }
 
-    /// Runs one iteration of the core loop: propose → build/boot/bench →
-    /// observe.
-    pub fn step(&mut self) -> &Record {
-        let iteration = self.history.len();
+    /// Runs one wave of the core loop: ask for up to `workers`
+    /// candidates, evaluate them across the pool, tell the algorithm
+    /// every outcome. Returns the records appended, in candidate order.
+    ///
+    /// Iteration budgets truncate the final wave exactly. Time budgets
+    /// gate *dispatch* only: a wave launched with budget remaining runs
+    /// to completion, so a time-budgeted session can finish up to
+    /// `workers - 1` evaluations past the cutoff (in-flight VMs do not
+    /// vanish when the clock expires — more workers burn more VM-seconds
+    /// inside the same wall budget, which is the point of the fleet).
+    /// Comparisons that need the sequential overshoot-by-one semantics
+    /// should pin `workers: 1`, as the figure regenerations do.
+    pub fn step_wave(&mut self) -> &[Record] {
+        let start = self.history.len();
+        let wave_index = self.waves.len();
+        let remaining = self
+            .spec
+            .budget
+            .iterations
+            .map(|max| max.saturating_sub(start).max(1))
+            .unwrap_or(usize::MAX);
+        let n = self.pool.workers().min(remaining);
+
         let observations = self.history.observations();
         let direction = self.direction();
-        let t_algo = Instant::now();
-        let config = {
+
+        // Ask.
+        let t_ask = Instant::now();
+        let configs = {
             let ctx = SearchContext {
                 space: &self.os.space,
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
                 history: &observations,
-                iteration,
+                iteration: start,
             };
-            self.algorithm.propose(&ctx, &mut self.rng)
+            self.algorithm.propose_batch(n, &ctx, &mut self.rng)
         };
-        let mut algo_seconds = t_algo.elapsed().as_secs_f64();
+        let mut algo_seconds = t_ask.elapsed().as_secs_f64();
+        assert_eq!(configs.len(), n, "propose_batch must return n candidates");
 
-        // Build (or fetch from the image cache), boot, benchmark.
-        let fingerprint = self.os.image_fingerprint(&config);
-        let cached = self.cache.get(fingerprint);
-        let build_skipped = cached.is_some();
-        let (built, build_s) = self.os.build(
-            &config,
-            cached.as_ref(),
-            self.last_built.as_ref(),
-            &mut self.rng,
+        // Evaluate across the pool.
+        let (hits_before, misses_before) = self.cache.stats();
+        let evals = self.pool.run_wave(
+            &self.os,
+            &self.app,
+            &configs,
+            start,
+            self.spec.seed,
+            self.spec.repetitions,
+            &self.cache,
+            &mut self.lanes,
         );
+        let (hits_after, misses_after) = self.cache.stats();
 
-        let mut record = Record {
-            iteration,
-            config: config.clone(),
-            objective: None,
-            metric: None,
-            memory_mb: None,
-            crash_phase: None,
-            build_skipped,
-            duration_s: build_s,
-            finished_at_s: 0.0,
-            algo_seconds: 0.0,
-            algo_memory_bytes: 0,
-        };
+        // Charge the clocks: the wave's wall time is its slowest lane,
+        // its compute time the sum of every candidate.
+        let busy_s: f64 = evals.iter().map(|e| e.duration_s).sum();
+        let wall_s = evals.iter().map(|e| e.duration_s).fold(0.0, f64::max);
+        self.clock.advance(wall_s);
+        self.compute.advance(busy_s);
+        let finished_at_s = self.clock.now_s();
 
-        match built {
-            Err(crash) => {
-                record.crash_phase = Some(crash.phase);
-            }
-            Ok(image) => {
-                self.cache.insert(image.clone());
-                self.last_built = Some(config.clone());
-                let (booted, boot_s) = self.os.boot(&image, &config, &mut self.rng);
-                record.duration_s += boot_s;
-                match booted {
-                    Err(crash) => record.crash_phase = Some(crash.phase),
-                    Ok(()) => {
-                        let outcomes = workers::run_repetitions(
-                            &self.os,
-                            &self.app,
-                            &image,
-                            &config,
-                            self.spec.repetitions,
-                            self.spec.seed.wrapping_add(iteration as u64 * 1013),
-                        );
-                        let (result, bench_s) = workers::aggregate(outcomes);
-                        record.duration_s += bench_s;
-                        match result {
-                            Err(crash) => record.crash_phase = Some(crash.phase),
-                            Ok(r) => {
-                                record.metric = Some(r.metric);
-                                record.memory_mb = Some(r.memory_mb);
-                                record.objective = Some(self.objective_of(r.metric, r.memory_mb));
-                            }
-                        }
-                    }
+        // Record in candidate order (iteration order == proposal order,
+        // regardless of which worker finished first).
+        let mut records: Vec<Record> = Vec::with_capacity(n);
+        for (offset, eval) in evals.into_iter().enumerate() {
+            let mut record = Record {
+                iteration: start + offset,
+                config: eval.config,
+                objective: None,
+                metric: None,
+                memory_mb: None,
+                crash_phase: None,
+                build_skipped: eval.build_skipped,
+                duration_s: eval.duration_s,
+                finished_at_s,
+                algo_seconds: 0.0,
+                algo_memory_bytes: 0,
+            };
+            match eval.outcome {
+                Err(crash) => record.crash_phase = Some(crash.phase),
+                Ok(r) => {
+                    record.metric = Some(r.metric);
+                    record.memory_mb = Some(r.memory_mb);
+                    record.objective = Some(self.objective_of(r.metric, r.memory_mb));
                 }
             }
+            records.push(record);
         }
 
-        self.clock.advance(record.duration_s);
-        record.finished_at_s = self.clock.now_s();
-
-        // Let the algorithm learn from the outcome.
-        let obs = record.observation();
-        let t_obs = Instant::now();
+        // Tell.
+        let wave_obs: Vec<Observation> = records.iter().map(Record::observation).collect();
+        let t_tell = Instant::now();
         {
             let ctx = SearchContext {
                 space: &self.os.space,
@@ -246,23 +326,44 @@ impl Session {
                 direction,
                 policy: &self.spec.policy,
                 history: &observations,
-                iteration,
+                iteration: start,
             };
-            self.algorithm.observe(&ctx, &obs);
+            self.algorithm.observe_batch(&ctx, &wave_obs);
         }
-        algo_seconds += t_obs.elapsed().as_secs_f64();
+        algo_seconds += t_tell.elapsed().as_secs_f64();
         let stats = self.algorithm.stats();
-        record.algo_seconds = algo_seconds.max(stats.last_update_seconds);
-        record.algo_memory_bytes = stats.memory_bytes;
+        let algo_seconds = algo_seconds.max(stats.last_update_seconds);
+        // The wave's decision cost is shared evenly across its records
+        // (Fig. 8 plots per-iteration algorithm time).
+        let per_record = algo_seconds / n as f64;
+        for mut record in records {
+            record.algo_seconds = per_record;
+            record.algo_memory_bytes = stats.memory_bytes;
+            self.history.push(record);
+        }
 
-        self.history.push(record);
-        self.history.records().last().expect("just pushed")
+        self.waves.push(WaveStats {
+            wave: wave_index,
+            size: n,
+            wall_s,
+            busy_s,
+            cache_hits: hits_after - hits_before,
+            cache_misses: misses_after - misses_before,
+        });
+        &self.history.records()[start..]
+    }
+
+    /// Runs one wave and returns its last record (compatibility shim for
+    /// single-record stepping loops; `workers = 1` makes this exactly the
+    /// classic one-candidate iteration).
+    pub fn step(&mut self) -> &Record {
+        self.step_wave().last().expect("a wave evaluates >= 1")
     }
 
     /// Runs until the budget is exhausted and summarizes.
     pub fn run(&mut self) -> SessionSummary {
         while !self.done() {
-            self.step();
+            self.step_wave();
         }
         self.summary()
     }
@@ -277,6 +378,10 @@ impl Session {
             iterations: self.history.len(),
             crash_rate: self.history.crash_rate(),
             elapsed_s: self.clock.now_s(),
+            compute_s: self.compute.now_s(),
+            workers: self.pool.workers(),
+            waves: self.waves.len(),
+            mean_occupancy: mean_occupancy(&self.waves, self.pool.workers()),
             cache_stats: self.cache.stats(),
         }
     }
@@ -284,6 +389,11 @@ impl Session {
     /// The exploration history.
     pub fn history(&self) -> &History {
         &self.history
+    }
+
+    /// Per-wave scheduling metrics, oldest first.
+    pub fn waves(&self) -> &[WaveStats] {
+        &self.waves
     }
 
     /// The OS target under specialization.
@@ -296,9 +406,14 @@ impl Session {
         &self.app
     }
 
-    /// Current virtual time.
+    /// Current virtual wall time.
     pub fn now_s(&self) -> f64 {
         self.clock.now_s()
+    }
+
+    /// Total virtual compute time across all workers.
+    pub fn compute_s(&self) -> f64 {
+        self.compute.now_s()
     }
 
     /// The search algorithm (for post-hoc queries, e.g. §4.1's
@@ -346,7 +461,7 @@ mod tests {
     use wf_ossim::AppId;
     use wf_search::RandomSearch;
 
-    fn quick_session(iters: usize, seed: u64) -> Session {
+    fn session_with_workers(iters: usize, seed: u64, workers: usize) -> Session {
         let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
         let app = App::by_id(AppId::Nginx);
         Session::new(
@@ -359,9 +474,14 @@ mod tests {
                     time_seconds: None,
                 },
                 seed,
+                workers,
                 ..SessionSpec::default()
             },
         )
+    }
+
+    fn quick_session(iters: usize, seed: u64) -> Session {
+        session_with_workers(iters, seed, 1)
     }
 
     #[test]
@@ -370,7 +490,7 @@ mod tests {
         let summary = s.run();
         assert_eq!(summary.iterations, 12);
         assert!(
-            summary.elapsed_s > 12.0 * 30.0,
+            summary.compute_s > 12.0 * 30.0,
             "time charged per iteration"
         );
         assert!(summary.best_metric.is_some());
@@ -390,6 +510,7 @@ mod tests {
                     time_seconds: Some(400.0),
                 },
                 seed: 5,
+                workers: 1,
                 ..SessionSpec::default()
             },
         );
@@ -402,12 +523,10 @@ mod tests {
     #[test]
     fn runtime_sessions_never_build() {
         let mut s = quick_session(8, 7);
-        let summary = s.run();
+        let _ = s.run();
         for r in s.history().records() {
             assert!(r.duration_s < 120.0);
         }
-        // No compile stage: every "build" is the fixed image.
-        assert_eq!(summary.cache_stats.1, summary.cache_stats.1);
     }
 
     #[test]
@@ -450,6 +569,7 @@ mod tests {
                     time_seconds: None,
                 },
                 seed: 17,
+                workers: 1,
                 ..SessionSpec::default()
             },
         );
@@ -473,6 +593,7 @@ mod tests {
                     time_seconds: None,
                 },
                 seed: 19,
+                workers: 1,
                 ..SessionSpec::default()
             },
         );
@@ -481,5 +602,45 @@ mod tests {
         assert!(misses > 0, "fresh configs must build");
         // Unique random configs rarely share fingerprints; hits may be 0.
         assert!(hits + misses >= 6);
+    }
+
+    #[test]
+    fn waves_fill_the_pool_and_cut_wall_clock() {
+        let mut wide = session_with_workers(16, 23, 4);
+        let wide_summary = wide.run();
+        assert_eq!(wide_summary.iterations, 16);
+        assert_eq!(wide_summary.waves, 4, "16 candidates in waves of 4");
+        for w in wide.waves() {
+            assert_eq!(w.size, 4);
+            assert!(w.wall_s <= w.busy_s);
+            assert!(w.occupancy(4) > 0.0 && w.occupancy(4) <= 1.0);
+        }
+
+        let mut narrow = session_with_workers(16, 23, 1);
+        let narrow_summary = narrow.run();
+        // Same candidates, same total compute, much less wall time.
+        assert_eq!(narrow_summary.iterations, 16);
+        assert!((wide_summary.compute_s - narrow_summary.compute_s).abs() < 1e-9);
+        assert!(wide_summary.elapsed_s < narrow_summary.elapsed_s / 2.0);
+        // Narrow sessions have wall == compute by construction.
+        assert!((narrow_summary.elapsed_s - narrow_summary.compute_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_wave_is_truncated_to_the_budget() {
+        let mut s = session_with_workers(10, 29, 4);
+        let summary = s.run();
+        assert_eq!(summary.iterations, 10, "budget is exact, not rounded up");
+        let sizes: Vec<usize> = s.waves().iter().map(|w| w.size).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert!(summary.mean_occupancy > 0.0 && summary.mean_occupancy <= 1.0);
+    }
+
+    #[test]
+    fn step_returns_the_last_record_of_a_wave() {
+        let mut s = session_with_workers(8, 31, 4);
+        let r = s.step();
+        assert_eq!(r.iteration, 3, "wave of 4 → last record is iteration 3");
+        assert_eq!(s.history().len(), 4);
     }
 }

@@ -1,21 +1,55 @@
-//! Parallel benchmark repetitions.
+//! The simulated VM-worker pool.
 //!
 //! The paper's platform is "built ... as a collection of microservices"
-//! and runs repetitions to average out noise, but never co-locates
-//! experiments ("all test configurations are benchmarked one after the
-//! other"). The simulator honors both: repetitions execute concurrently in
-//! *real* time (they are independent model draws), while their durations
-//! are charged *sequentially* to the virtual clock.
+//! that farm evaluations out to VM workers. This module simulates that
+//! fleet: a [`Pool`] of N workers evaluates a *wave* of candidate
+//! configurations concurrently (crossbeam scoped threads in real time),
+//! while each candidate's virtual draws derive from a per-candidate RNG,
+//! never a shared stream, so a candidate's measured outcome does not
+//! depend on which worker ran it or what ran concurrently (see
+//! `pipeline` for the exact worker-count-invariance statement).
+//! Benchmark repetitions stay concurrent too, but their durations are
+//! charged *sequentially* to the candidate ("all test configurations are
+//! benchmarked one after the other" — experiments are never co-located).
 
+use crate::cache::SharedImageCache;
 use crossbeam::thread;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wf_configspace::Configuration;
 use wf_ossim::{App, BenchResult, CrashReport, KernelImage, SimOs};
 
+/// Derives an independent RNG seed from a base seed and a stream index
+/// (SplitMix64 finalizer over the pair).
+///
+/// The previous scheme, `seed.wrapping_add(i)`, collides across adjacent
+/// candidate seeds: candidate `s` repetition 1 and candidate `s + 1`
+/// repetition 0 drew the *same* stream. The multiplicative offset plus
+/// the SplitMix64 avalanche decorrelates the full `(seed, index)` grid.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// RNG stream tag for a candidate's build draws.
+const STREAM_BUILD: u64 = 0;
+/// RNG stream tag for a candidate's benchmark repetitions.
+const STREAM_BENCH: u64 = 1;
+/// RNG stream tag for a candidate's boot draws. Kept separate from the
+/// build stream so a cache hit (which skips the build's draws entirely)
+/// cannot shift the boot and benchmark outcomes — on compile targets two
+/// same-image candidates in one wave race the shared cache, and only the
+/// *build duration* may legitimately depend on who wins.
+const STREAM_BOOT: u64 = 2;
+
 /// Runs `reps` benchmark repetitions, one model draw each.
 ///
-/// Returns per-repetition outcomes in repetition order.
+/// Returns per-repetition outcomes in repetition order. Repetition `i`
+/// draws from `derive_seed(seed, i)` regardless of how many repetitions
+/// run or whether they run on threads.
 pub fn run_repetitions(
     os: &SimOs,
     app: &App,
@@ -26,14 +60,14 @@ pub fn run_repetitions(
 ) -> Vec<(Result<BenchResult, CrashReport>, f64)> {
     assert!(reps >= 1, "need at least one repetition");
     if reps == 1 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0));
         return vec![os.bench(app, image, config, &mut rng)];
     }
     thread::scope(|scope| {
         let handles: Vec<_> = (0..reps)
             .map(|i| {
                 scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                    let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
                     os.bench(app, image, config, &mut rng)
                 })
             })
@@ -75,9 +109,197 @@ pub fn aggregate(
     )
 }
 
+/// The full outcome of evaluating one candidate on a worker.
+#[derive(Clone, Debug)]
+pub struct CandidateEval {
+    /// The evaluated configuration.
+    pub config: Configuration,
+    /// Measurement or crash.
+    pub outcome: Result<BenchResult, CrashReport>,
+    /// Whether the build was skipped via the shared image cache.
+    pub build_skipped: bool,
+    /// Virtual seconds the candidate cost (build + boot + repetitions).
+    pub duration_s: f64,
+}
+
+/// Evaluates one candidate end to end: cache lookup, build (or reuse),
+/// boot, benchmark repetitions.
+///
+/// `index` is the candidate's global position in the session history; all
+/// virtual-cost draws derive from `(session_seed, index)`, never from a
+/// shared RNG, so the outcome does not depend on which worker ran it or
+/// what ran concurrently. `working_tree` is the worker's last-built
+/// configuration (incremental-rebuild timing on compile targets).
+#[allow(clippy::too_many_arguments)] // mirrors Pool::run_wave, the one caller
+pub fn evaluate_candidate(
+    os: &SimOs,
+    app: &App,
+    config: &Configuration,
+    index: usize,
+    session_seed: u64,
+    repetitions: usize,
+    cache: &SharedImageCache,
+    working_tree: &mut Option<Configuration>,
+) -> CandidateEval {
+    let candidate_seed = derive_seed(session_seed, index as u64);
+    let mut build_rng = StdRng::seed_from_u64(derive_seed(candidate_seed, STREAM_BUILD));
+    let mut boot_rng = StdRng::seed_from_u64(derive_seed(candidate_seed, STREAM_BOOT));
+
+    let fingerprint = os.image_fingerprint(config);
+    let cached = cache.get(fingerprint);
+    let build_skipped = cached.is_some();
+    let (built, build_s) = os.build(
+        config,
+        cached.as_ref(),
+        working_tree.as_ref(),
+        &mut build_rng,
+    );
+
+    let image = match built {
+        Err(crash) => {
+            return CandidateEval {
+                config: config.clone(),
+                outcome: Err(crash),
+                build_skipped,
+                duration_s: build_s,
+            }
+        }
+        Ok(image) => image,
+    };
+    cache.insert(image.clone());
+    *working_tree = Some(config.clone());
+
+    let (booted, boot_s) = os.boot(&image, config, &mut boot_rng);
+    if let Err(crash) = booted {
+        return CandidateEval {
+            config: config.clone(),
+            outcome: Err(crash),
+            build_skipped,
+            duration_s: build_s + boot_s,
+        };
+    }
+
+    let outcomes = run_repetitions(
+        os,
+        app,
+        &image,
+        config,
+        repetitions,
+        derive_seed(candidate_seed, STREAM_BENCH),
+    );
+    let (outcome, bench_s) = aggregate(outcomes);
+    CandidateEval {
+        config: config.clone(),
+        outcome,
+        build_skipped,
+        duration_s: build_s + boot_s + bench_s,
+    }
+}
+
+/// A pool of N simulated VM workers.
+///
+/// Waves dispatch one candidate per worker lane; lane `j` keeps its own
+/// "working tree" (the last configuration it built) across waves, like a
+/// real per-VM build directory. Results come back in candidate order, so
+/// the recorded history is independent of thread scheduling.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `workers` VM workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        Pool { workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates a wave of candidates across the pool.
+    ///
+    /// `first_index` is the global history index of `candidates[0]`;
+    /// `lanes` holds one working tree per worker. Returns evaluations in
+    /// candidate order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wave exceeds the pool width or the lane count.
+    #[allow(clippy::too_many_arguments)] // the platform's one dispatch point
+    pub fn run_wave(
+        &self,
+        os: &SimOs,
+        app: &App,
+        candidates: &[Configuration],
+        first_index: usize,
+        session_seed: u64,
+        repetitions: usize,
+        cache: &SharedImageCache,
+        lanes: &mut [Option<Configuration>],
+    ) -> Vec<CandidateEval> {
+        assert!(candidates.len() <= self.workers, "wave exceeds pool width");
+        assert!(candidates.len() <= lanes.len(), "wave exceeds lane count");
+        if candidates.len() <= 1 {
+            // A single candidate needs no threads (and `workers = 1`
+            // sessions stay strictly sequential).
+            return candidates
+                .iter()
+                .zip(lanes.iter_mut())
+                .enumerate()
+                .map(|(j, (config, lane))| {
+                    evaluate_candidate(
+                        os,
+                        app,
+                        config,
+                        first_index + j,
+                        session_seed,
+                        repetitions,
+                        cache,
+                        lane,
+                    )
+                })
+                .collect();
+        }
+        thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .iter()
+                .zip(lanes.iter_mut())
+                .enumerate()
+                .map(|(j, (config, lane))| {
+                    scope.spawn(move |_| {
+                        evaluate_candidate(
+                            os,
+                            app,
+                            config,
+                            first_index + j,
+                            session_seed,
+                            repetitions,
+                            cache,
+                            lane,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use wf_kconfig::LinuxVersion;
     use wf_ossim::AppId;
 
@@ -151,5 +373,90 @@ mod tests {
             solo[0].0.as_ref().unwrap().metric,
             multi[0].0.as_ref().unwrap().metric
         );
+    }
+
+    #[test]
+    fn derived_rep_seeds_never_collide_across_adjacent_candidates() {
+        // Regression for the `seed.wrapping_add(i)` scheme, under which
+        // candidate `s` rep `i` and candidate `s + k` rep `i - k` shared a
+        // seed. A 100 × 100 grid of (adjacent base seed, repetition) pairs
+        // must map to 10 000 distinct derived seeds.
+        let base = 0xDEAD_BEEF_u64;
+        let mut seen = HashSet::new();
+        for candidate in 0..100u64 {
+            for rep in 0..100u64 {
+                assert!(
+                    seen.insert(derive_seed(base + candidate, rep)),
+                    "collision at candidate {candidate} rep {rep}"
+                );
+            }
+        }
+        // And the old scheme demonstrably collides on the same grid.
+        let mut old = HashSet::new();
+        let mut old_collisions = 0;
+        for candidate in 0..100u64 {
+            for rep in 0..100u64 {
+                if !old.insert((base + candidate).wrapping_add(rep)) {
+                    old_collisions += 1;
+                }
+            }
+        }
+        assert!(old_collisions > 0, "old scheme should collide on this grid");
+    }
+
+    #[test]
+    fn wave_results_do_not_depend_on_pool_width() {
+        // The same four candidates evaluated by a 1-wide pool (four waves
+        // of one) and a 4-wide pool (one wave of four) must produce
+        // identical outcomes and durations on a runtime target, because
+        // every virtual-cost draw derives from (seed, candidate index).
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
+        let app = App::by_id(AppId::Nginx);
+        let mut rng = StdRng::seed_from_u64(3);
+        let candidates: Vec<Configuration> = (0..4).map(|_| os.space.sample(&mut rng)).collect();
+
+        let narrow_cache = SharedImageCache::new(8);
+        let narrow_pool = Pool::new(1);
+        let mut narrow_lane = [None];
+        let narrow: Vec<CandidateEval> = candidates
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| {
+                narrow_pool.run_wave(
+                    &os,
+                    &app,
+                    std::slice::from_ref(c),
+                    i,
+                    42,
+                    2,
+                    &narrow_cache,
+                    &mut narrow_lane,
+                )
+            })
+            .collect();
+
+        let wide_cache = SharedImageCache::new(8);
+        let wide_pool = Pool::new(4);
+        let mut wide_lanes = [None, None, None, None];
+        let wide = wide_pool.run_wave(
+            &os,
+            &app,
+            &candidates,
+            0,
+            42,
+            2,
+            &wide_cache,
+            &mut wide_lanes,
+        );
+
+        for (a, b) in narrow.iter().zip(wide.iter()) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.duration_s, b.duration_s);
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!(x.phase, y.phase),
+                _ => panic!("outcome kind differs between pool widths"),
+            }
+        }
     }
 }

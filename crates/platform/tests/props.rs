@@ -1,8 +1,97 @@
-//! Property tests for the metric post-processing invariants the figures
-//! rely on.
+//! Property tests for the multi-worker pipeline's determinism guarantees
+//! and the metric post-processing invariants the figures rely on.
 
 use proptest::prelude::*;
-use wf_platform::{min_max_normalize, rolling_crash_rate, throughput_memory_score, Series};
+use wf_jobfile::Budget;
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, SimOs};
+use wf_platform::{
+    min_max_normalize, rolling_crash_rate, throughput_memory_score, Series, Session, SessionSpec,
+};
+use wf_search::RandomSearch;
+
+/// A compact fingerprint of everything the determinism guarantee covers:
+/// the evaluation history in candidate order (configuration, outcome,
+/// per-candidate virtual cost), the best configuration, and the
+/// worker-count-invariant compute clock.
+#[derive(Debug, PartialEq)]
+struct SessionTrace {
+    history: Vec<(u64, Option<u64>, bool, u64)>,
+    best_config: Option<u64>,
+    best_metric: Option<f64>,
+    compute_s: f64,
+    elapsed_s: f64,
+}
+
+fn run_traced(seed: u64, workers: usize, iterations: usize) -> SessionTrace {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 56);
+    let app = App::by_id(AppId::Nginx);
+    let mut session = Session::new(
+        os,
+        app,
+        Box::new(RandomSearch::new()),
+        SessionSpec {
+            budget: Budget {
+                iterations: Some(iterations),
+                time_seconds: None,
+            },
+            seed,
+            workers,
+            repetitions: 2,
+            ..SessionSpec::default()
+        },
+    );
+    let summary = session.run();
+    SessionTrace {
+        history: session
+            .history()
+            .records()
+            .iter()
+            .map(|r| {
+                (
+                    r.config.fingerprint(),
+                    r.metric.map(f64::to_bits),
+                    r.crashed(),
+                    r.duration_s.to_bits(),
+                )
+            })
+            .collect(),
+        best_config: summary.best_config.as_ref().map(|c| c.fingerprint()),
+        best_metric: summary.best_metric,
+        compute_s: summary.compute_s,
+        elapsed_s: summary.elapsed_s,
+    }
+}
+
+proptest! {
+    // The archetype headline: 64 cases of seed × worker counts 1–8.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed, any worker count in {1, 2, 4, 8}: identical evaluation
+    /// history (configs, outcomes, per-candidate costs, in candidate
+    /// order), identical best configuration, and an identical virtual
+    /// compute clock — while the wall clock only ever shrinks as the
+    /// pool widens.
+    #[test]
+    fn sessions_are_worker_count_invariant(seed in any::<u64>(), iters in 6usize..14) {
+        let reference = run_traced(seed, 1, iters);
+        prop_assert_eq!(reference.history.len(), iters);
+        // One worker has nothing to overlap: wall == compute.
+        prop_assert!((reference.elapsed_s - reference.compute_s).abs() < 1e-9);
+        for workers in [2usize, 4, 8] {
+            let t = run_traced(seed, workers, iters);
+            prop_assert_eq!(&t.history, &reference.history, "history diverged at {} workers", workers);
+            prop_assert_eq!(t.best_config, reference.best_config);
+            prop_assert_eq!(t.best_metric, reference.best_metric);
+            // Per-record durations are bit-identical (checked above); the
+            // clock itself is a float sum whose grouping follows the wave
+            // shape, so compare to within rounding.
+            prop_assert!((t.compute_s - reference.compute_s).abs() < 1e-6 * reference.compute_s.max(1.0));
+            // Overlapping evaluations can only shorten the wall clock.
+            prop_assert!(t.elapsed_s <= reference.elapsed_s + 1e-9);
+        }
+    }
+}
 
 fn series_strategy() -> impl Strategy<Value = Series> {
     proptest::collection::vec((-1e6f64..1e6, 0.0f64..100.0), 1..40).prop_map(|pairs| {

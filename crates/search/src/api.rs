@@ -163,6 +163,34 @@ impl SearchContext<'_> {
     }
 }
 
+/// Extends `out` to `n` configurations with policy samples whose
+/// fingerprints are new to `seen`, recording each accepted fingerprint.
+///
+/// The shared workhorse behind every batch proposer's "fill the rest of
+/// the wave with distinct samples" path. Each slot gets a bounded number
+/// of rejection-sampling tries — tiny spaces may not hold `n` distinct
+/// configurations, and a wave must come back full regardless, so the
+/// slot then falls back to an arbitrary sample.
+pub fn fill_distinct(
+    out: &mut Vec<Configuration>,
+    n: usize,
+    ctx: &SearchContext<'_>,
+    rng: &mut StdRng,
+    seen: &mut std::collections::HashSet<u64>,
+) {
+    while out.len() < n {
+        let mut accepted = None;
+        for _ in 0..64 {
+            let c = ctx.policy.sample(ctx.space, rng);
+            if seen.insert(c.fingerprint()) {
+                accepted = Some(c);
+                break;
+            }
+        }
+        out.push(accepted.unwrap_or_else(|| ctx.policy.sample(ctx.space, rng)));
+    }
+}
+
 /// Per-iteration cost statistics (Fig. 7 and Fig. 8 instrument these).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct AlgoStats {
@@ -178,6 +206,18 @@ pub struct AlgoStats {
 ///
 /// The driving loop alternates [`SearchAlgorithm::propose`] →
 /// evaluate → [`SearchAlgorithm::observe`].
+///
+/// # The batch ask/tell protocol
+///
+/// A multi-worker platform evaluates several configurations concurrently,
+/// so the driving loop becomes [`SearchAlgorithm::propose_batch`] ("ask
+/// for a wave of candidates") → evaluate the wave across workers →
+/// [`SearchAlgorithm::observe_batch`] ("tell the algorithm every
+/// outcome"). The default implementations delegate to the
+/// single-candidate methods, so existing algorithms keep working
+/// unchanged; algorithms with a model override them to propose *diverse*
+/// waves (no point paying for n workers that all test the same
+/// hypothesis) and to amortize one model refit over the whole wave.
 pub trait SearchAlgorithm {
     /// Algorithm name for reports (`random`, `bayesian`, `deeptune`, ...).
     fn name(&self) -> &'static str;
@@ -187,6 +227,33 @@ pub trait SearchAlgorithm {
 
     /// Integrates a completed observation (model update).
     fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation);
+
+    /// Asks for `n` candidates to evaluate concurrently.
+    ///
+    /// The default draws `n` sequential [`SearchAlgorithm::propose`]
+    /// calls, which consumes the RNG exactly like `n` single-candidate
+    /// iterations would — history-independent algorithms therefore
+    /// propose the same stream at every worker count.
+    fn propose_batch(
+        &mut self,
+        n: usize,
+        ctx: &SearchContext<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<Configuration> {
+        (0..n).map(|_| self.propose(ctx, rng)).collect()
+    }
+
+    /// Tells the algorithm every outcome of a completed wave, in the
+    /// order the candidates were proposed.
+    ///
+    /// The default replays `n` sequential [`SearchAlgorithm::observe`]
+    /// calls; model-based algorithms override it to ingest the whole
+    /// wave and refit once.
+    fn observe_batch(&mut self, ctx: &SearchContext<'_>, batch: &[Observation]) {
+        for obs in batch {
+            self.observe(ctx, obs);
+        }
+    }
 
     /// Cost statistics for the most recent iteration.
     fn stats(&self) -> AlgoStats {

@@ -18,7 +18,7 @@
 //!   (recomputation is the algorithm, caching is the memory), so memory
 //!   grows with every iteration — the Fig. 7 blow-up.
 
-use crate::api::{AlgoStats, Observation, SearchAlgorithm, SearchContext};
+use crate::api::{fill_distinct, AlgoStats, Observation, SearchAlgorithm, SearchContext};
 use crate::memtrack::{bytes_of_f64s, MemTracker};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -183,6 +183,71 @@ impl CausalSearch {
         self.mem.set_live(data + matrices + graph + cache);
     }
 
+    /// Stores one observation without rebuilding the skeleton. Crashes
+    /// are imputed with the worst observed value (no crash concept).
+    fn ingest(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
+        let x = ctx.encoder.encode(ctx.space, &obs.config);
+        let y = match obs.value {
+            Some(v) => ctx.goodness(v),
+            None => self
+                .ys
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .min(0.0),
+        };
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// The linear causal estimate of the outcome for an encoded candidate:
+    /// correlation-weighted sum over the outcome's causal neighbors (or
+    /// all features while the skeleton has none).
+    fn causal_score(&self, x: &[f64]) -> f64 {
+        let f = self.outcome_corr.len();
+        let outcome = f; // outcome variable index in the skeleton
+        let causal_features: Vec<usize> = self
+            .adjacency
+            .get(outcome)
+            .map(|adj| adj.iter().copied().filter(|&k| k < f).collect())
+            .unwrap_or_default();
+        if causal_features.is_empty() {
+            self.outcome_corr
+                .iter()
+                .zip(x.iter())
+                .map(|(r, v)| r * v)
+                .sum()
+        } else {
+            causal_features
+                .iter()
+                .map(|&k| self.outcome_corr[k] * x[k])
+                .sum()
+        }
+    }
+
+    /// Draws `pool_n` candidates (half fresh samples, half mutations of
+    /// the incumbent) and scores each by the causal estimate.
+    fn scored_pool(
+        &self,
+        ctx: &SearchContext<'_>,
+        rng: &mut StdRng,
+        pool_n: usize,
+    ) -> Vec<(f64, Configuration)> {
+        (0..pool_n)
+            .map(|_| {
+                let c = if rng.random::<f64>() < 0.5 {
+                    ctx.policy.sample(ctx.space, rng)
+                } else if let Some(b) = ctx.best() {
+                    ctx.policy.mutate(ctx.space, &b.config, 2, rng)
+                } else {
+                    ctx.policy.sample(ctx.space, rng)
+                };
+                let x = ctx.encoder.encode(ctx.space, &c);
+                (self.causal_score(&x), c)
+            })
+            .collect()
+    }
+
     /// Fisher-z conditional dependence test, cached forever (keyed by the
     /// sample count, so every iteration adds fresh entries).
     fn fisher_dependent(&mut self, i: usize, j: usize, s: &[usize], r: f64, n: usize) -> bool {
@@ -265,40 +330,52 @@ impl SearchAlgorithm for CausalSearch {
         } else {
             // Intervene: score candidates by the linear causal estimate of
             // the outcome from features adjacent to it.
-            let f = self.outcome_corr.len();
-            let outcome = f; // outcome variable index in the skeleton
-            let causal_features: Vec<usize> = self
-                .adjacency
-                .get(outcome)
-                .map(|adj| adj.iter().copied().filter(|&k| k < f).collect())
-                .unwrap_or_default();
-            let mut best: Option<(f64, Configuration)> = None;
-            for _ in 0..self.pool {
-                let c = if rng.random::<f64>() < 0.5 {
-                    ctx.policy.sample(ctx.space, rng)
-                } else if let Some(b) = ctx.best() {
-                    ctx.policy.mutate(ctx.space, &b.config, 2, rng)
-                } else {
-                    ctx.policy.sample(ctx.space, rng)
-                };
-                let x = ctx.encoder.encode(ctx.space, &c);
-                let score: f64 = if causal_features.is_empty() {
-                    self.outcome_corr
-                        .iter()
-                        .zip(x.iter())
-                        .map(|(r, v)| r * v)
-                        .sum()
-                } else {
-                    causal_features
-                        .iter()
-                        .map(|&k| self.outcome_corr[k] * x[k])
-                        .sum()
-                };
-                if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
-                    best = Some((score, c));
+            let scored = self.scored_pool(ctx, rng, self.pool);
+            scored
+                .into_iter()
+                .reduce(|best, cand| if cand.0 > best.0 { cand } else { best })
+                .expect("pool is non-empty")
+                .1
+        };
+        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn propose_batch(
+        &mut self,
+        n: usize,
+        ctx: &SearchContext<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<Configuration> {
+        let t0 = Instant::now();
+        let out = if self.xs.len() < self.n_init || self.outcome_corr.is_empty() {
+            (0..n).map(|_| ctx.policy.sample(ctx.space, rng)).collect()
+        } else {
+            // Score one shared candidate pool by the causal estimate, then
+            // take the top `n` distinct configurations: the wave walks the
+            // ranked interventions instead of re-testing the single best.
+            let scored = self.scored_pool(ctx, rng, (self.pool).max(4 * n));
+            let mut ranked: Vec<usize> = (0..scored.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                scored[b]
+                    .0
+                    .partial_cmp(&scored[a].0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut picked: Vec<Configuration> = Vec::with_capacity(n);
+            let mut fps = std::collections::HashSet::new();
+            for i in ranked {
+                if picked.len() == n {
+                    break;
+                }
+                if fps.insert(scored[i].1.fingerprint()) {
+                    picked.push(scored[i].1.clone());
                 }
             }
-            best.expect("pool is non-empty").1
+            // Pool held fewer than n distinct fingerprints (tiny spaces):
+            // top up with fresh distinct policy samples.
+            fill_distinct(&mut picked, n, ctx, rng, &mut fps);
+            picked
         };
         self.last_update_seconds += t0.elapsed().as_secs_f64();
         out
@@ -306,18 +383,19 @@ impl SearchAlgorithm for CausalSearch {
 
     fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
         let t0 = Instant::now();
-        let x = ctx.encoder.encode(ctx.space, &obs.config);
-        let y = match obs.value {
-            Some(v) => ctx.goodness(v),
-            None => self
-                .ys
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min)
-                .min(0.0),
-        };
-        self.xs.push(x);
-        self.ys.push(y);
+        self.ingest(ctx, obs);
+        self.rebuild();
+        self.last_update_seconds = t0.elapsed().as_secs_f64();
+    }
+
+    fn observe_batch(&mut self, ctx: &SearchContext<'_>, batch: &[Observation]) {
+        // The skeleton is recomputed from scratch anyway, so one rebuild
+        // over the whole wave reaches the same graph as per-observation
+        // rebuilds while skipping the intermediate recomputes.
+        let t0 = Instant::now();
+        for obs in batch {
+            self.ingest(ctx, obs);
+        }
         self.rebuild();
         self.last_update_seconds = t0.elapsed().as_secs_f64();
     }

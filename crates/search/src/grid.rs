@@ -8,7 +8,7 @@
 //! on large spaces (§4) — it is provided for completeness and for tiny
 //! spaces where exhaustiveness is affordable.
 
-use crate::api::{Observation, SearchAlgorithm, SearchContext};
+use crate::api::{fill_distinct, Observation, SearchAlgorithm, SearchContext};
 use rand::rngs::StdRng;
 use wf_configspace::{ConfigSpace, Configuration, ParamKind, Tristate, Value};
 
@@ -101,6 +101,30 @@ impl SearchAlgorithm for GridSearch {
         }
         // Grid exhausted: fall back to random sampling.
         ctx.policy.sample(ctx.space, rng)
+    }
+
+    fn propose_batch(
+        &mut self,
+        n: usize,
+        ctx: &SearchContext<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<Configuration> {
+        // A wave of grid search is the next `n` *distinct* sweep points.
+        // Consecutive sweep points can collide: every axis contains the
+        // parameter's default value, and that point is the default
+        // configuration on every axis — a sequential sweep re-evaluates
+        // it once per axis, but a wave must not waste two workers on it.
+        // Post-exhaustion random fill is deduped the same way.
+        let mut out: Vec<Configuration> = Vec::with_capacity(n);
+        let mut fps = std::collections::HashSet::new();
+        while out.len() < n && !self.exhausted(ctx.space) {
+            let c = self.propose(ctx, rng);
+            if fps.insert(c.fingerprint()) {
+                out.push(c);
+            }
+        }
+        fill_distinct(&mut out, n, ctx, rng, &mut fps);
+        out
     }
 
     fn observe(&mut self, _ctx: &SearchContext<'_>, _obs: &Observation) {}

@@ -1,8 +1,9 @@
 //! `wf-search`: the pluggable search-algorithm API and the paper's
 //! baseline algorithms (§3.1, §2.3).
 //!
-//! * [`api`] — the [`SearchAlgorithm`] trait, observations, contexts,
-//!   sampling policies, and per-iteration cost statistics;
+//! * [`api`] — the [`SearchAlgorithm`] trait (single-candidate *and*
+//!   batch ask/tell: `propose_batch`/`observe_batch`), observations,
+//!   contexts, sampling policies, and per-iteration cost statistics;
 //! * [`random`] — the random-search baseline;
 //! * [`grid`] — systematic coordinate sweeps;
 //! * [`bayes`] — from-scratch Gaussian-process Bayesian optimization
@@ -22,7 +23,9 @@ pub mod grid;
 pub mod memtrack;
 pub mod random;
 
-pub use api::{AlgoStats, Observation, SamplePolicy, SearchAlgorithm, SearchContext};
+pub use api::{
+    fill_distinct, AlgoStats, Observation, SamplePolicy, SearchAlgorithm, SearchContext,
+};
 pub use bayes::BayesOpt;
 pub use causal::CausalSearch;
 pub use grid::GridSearch;

@@ -23,6 +23,12 @@ impl RandomSearch {
     }
 }
 
+// Batch note: random search keeps the default `propose_batch` (n
+// sequential `propose` calls). That IS its real batch strategy — `propose`
+// inserts each accepted fingerprint into `seen` at proposal time, so a
+// wave is intra-batch unique, and the RNG stream is identical to n
+// single-candidate iterations, which is what makes same-seed sessions
+// worker-count invariant.
 impl SearchAlgorithm for RandomSearch {
     fn name(&self) -> &'static str {
         "random"

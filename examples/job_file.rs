@@ -17,8 +17,9 @@ metric: throughput
 direction: maximize
 algorithm: deeptune
 seed: 99
+workers: 4
 budget:
-  iterations: 30
+  iterations: 32
 pinned:
   - name: kernel.randomize_va_space
     value: 2
@@ -56,6 +57,15 @@ fn main() {
         outcome.summary.best_metric.unwrap_or(0.0),
         outcome.summary.iterations,
         outcome.summary.crash_rate * 100.0
+    );
+    println!(
+        "pool: {} workers, {} waves — {:.1} VM-hours of compute in {:.1} wall hours ({:.1}x overlap), mean occupancy {:.0}%",
+        outcome.summary.workers,
+        outcome.summary.waves,
+        outcome.summary.compute_s / 3600.0,
+        outcome.summary.elapsed_s / 3600.0,
+        outcome.summary.compute_s / outcome.summary.elapsed_s.max(1e-9),
+        outcome.summary.mean_occupancy * 100.0,
     );
 
     // Every configuration explored kept ASLR at its pinned value.

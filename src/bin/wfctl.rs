@@ -5,10 +5,11 @@
 //! simulated testbed:
 //!
 //! ```sh
-//! wfctl run <job.yaml>        # run a job file to completion
-//! wfctl validate <job.yaml>   # parse + resolve a job without running it
-//! wfctl probe                 # run the §3.4 runtime-space inference
-//! wfctl experiments           # list the regeneration targets
+//! wfctl run <job.yaml>             # run a job file to completion
+//! wfctl run <job.yaml> --workers 4 # ... across 4 simulated VM workers
+//! wfctl validate <job.yaml>        # parse + resolve a job without running it
+//! wfctl probe                      # run the §3.4 runtime-space inference
+//! wfctl experiments                # list the regeneration targets
 //! ```
 
 use std::process::ExitCode;
@@ -21,9 +22,9 @@ use wf_kconfig::LinuxVersion;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("run") => match args.get(1) {
-            Some(path) => run_job(path),
-            None => usage("run needs a job file"),
+        Some("run") => match parse_run_args(&args[1..]) {
+            Ok((path, workers)) => run_job(&path, workers),
+            Err(e) => usage(&e),
         },
         Some("validate") => match args.get(1) {
             Some(path) => validate_job(path),
@@ -40,7 +41,39 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run <job.yaml>        run a job file to completion\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run <job.yaml> [--workers N]\n                              run a job file to completion, optionally\n                              across N simulated VM workers (overrides\n                              the job's `workers:` and WF_WORKERS)\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+
+/// Parses `run` operands: a job-file path plus an optional `--workers N`.
+fn parse_run_args(rest: &[String]) -> Result<(String, Option<usize>), String> {
+    let mut path = None;
+    let mut workers = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--workers" => {
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| "--workers needs a count".to_string())?;
+                let n: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|n| (1..=64).contains(n))
+                    .ok_or_else(|| format!("--workers must be in 1..=64, got {value:?}"))?;
+                workers = Some(n);
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            operand => {
+                if path.replace(operand.to_string()).is_some() {
+                    return Err("run takes exactly one job file".into());
+                }
+                i += 1;
+            }
+        }
+    }
+    path.map(|p| (p, workers))
+        .ok_or_else(|| "run needs a job file".into())
+}
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("wfctl: {err}");
@@ -81,7 +114,7 @@ fn validate_job(path: &str) -> ExitCode {
     }
 }
 
-fn run_job(path: &str) -> ExitCode {
+fn run_job(path: &str, workers: Option<usize>) -> ExitCode {
     let job = match load_job(path) {
         Ok(j) => j,
         Err(e) => {
@@ -89,7 +122,14 @@ fn run_job(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let session = SessionBuilder::from_job(&job).and_then(SessionBuilder::build);
+    let session = SessionBuilder::from_job(&job).map(|b| {
+        // CLI flag > job file > WF_WORKERS/default.
+        match workers {
+            Some(n) => b.workers(n),
+            None => b,
+        }
+    });
+    let session = session.and_then(SessionBuilder::build);
     let mut session = match session {
         Ok(s) => s,
         Err(e) => {
@@ -98,10 +138,11 @@ fn run_job(path: &str) -> ExitCode {
         }
     };
     println!(
-        "running job {:?}: {} on {} ...",
+        "running job {:?}: {} on {} across {} worker(s) ...",
         job.name,
         job.app,
-        session.platform().os().name
+        session.platform().os().name,
+        session.platform().summary().workers,
     );
     let mut last_report = 0.0;
     while !session.done() {
@@ -130,6 +171,30 @@ fn run_job(path: &str) -> ExitCode {
         summary.elapsed_s / 3600.0,
         summary.crash_rate * 100.0
     );
+    if summary.workers > 1 {
+        // Per-wave scheduling detail for short sessions; long ones get
+        // the aggregate line only.
+        let waves = session.platform().waves();
+        if waves.len() <= 16 {
+            print!(
+                "{}",
+                wayfinder::core::wave_stats_table(waves, summary.workers).render()
+            );
+        }
+        println!(
+            "pool: {} workers over {} waves — {:.1} VM-hours of compute in {:.1} wall hours ({:.1}x), mean occupancy {:.0}%, cache hit rate {:.0}%",
+            summary.workers,
+            summary.waves,
+            summary.compute_s / 3600.0,
+            summary.elapsed_s / 3600.0,
+            summary.compute_s / summary.elapsed_s.max(1e-9),
+            summary.mean_occupancy * 100.0,
+            {
+                let (h, m) = summary.cache_stats;
+                if h + m == 0 { 0.0 } else { 100.0 * h as f64 / (h + m) as f64 }
+            },
+        );
+    }
     match (summary.best_objective, summary.best_config) {
         (Some(best), Some(config)) => {
             println!("best {}: {:.2}", job.metric, best);

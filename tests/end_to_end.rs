@@ -173,6 +173,60 @@ fn all_algorithms_complete_on_every_target() {
 }
 
 #[test]
+fn worker_pool_keeps_the_outcome_and_cuts_the_wall_clock() {
+    // The same job at workers: 4 vs workers: 1 — identical history-free
+    // (random) search, so the best configuration must match exactly while
+    // the virtual wall clock drops by at least the 2x the acceptance
+    // criteria demand (4 overlapped evaluations per wave).
+    let run = |workers: usize| {
+        let job = Job::parse(&format!(
+            "name: e2e-pool\nos: linux-4.19\napp: nginx\nmetric: throughput\nalgorithm: random\nseed: 71\nworkers: {workers}\nbudget:\n  iterations: 16\n",
+        ))
+        .expect("job parses");
+        let mut session = SessionBuilder::from_job(&job)
+            .expect("job maps to a session")
+            .runtime_params(56)
+            .build()
+            .expect("session builds");
+        let outcome = session.run();
+        (outcome, session)
+    };
+    let (narrow, _) = run(1);
+    let (wide, wide_session) = run(4);
+
+    let (narrow_best, narrow_value) = narrow.best.expect("narrow run found something");
+    let (wide_best, wide_value) = wide.best.expect("wide run found something");
+    assert_eq!(
+        narrow_best.fingerprint(),
+        wide_best.fingerprint(),
+        "worker count changed the best configuration"
+    );
+    assert_eq!(narrow_value, wide_value);
+    assert!(
+        wide.summary.elapsed_s < narrow.summary.elapsed_s,
+        "wall clock must strictly drop: {} vs {}",
+        wide.summary.elapsed_s,
+        narrow.summary.elapsed_s
+    );
+    assert!(
+        narrow.summary.elapsed_s >= 2.0 * wide.summary.elapsed_s,
+        "expected >= 2x wall-clock cut, got {:.2}x",
+        narrow.summary.elapsed_s / wide.summary.elapsed_s
+    );
+    // Same total compute either way; the pool only overlaps it.
+    assert!((narrow.summary.compute_s - wide.summary.compute_s).abs() < 1e-6);
+    assert_eq!(wide.summary.workers, 4);
+    assert_eq!(wide.summary.waves, 4);
+    // The per-wave metrics surface through the platform session.
+    let waves = wide_session.platform().waves();
+    assert_eq!(waves.len(), 4);
+    for w in waves {
+        assert!(w.busy_s >= w.wall_s);
+        assert!(w.occupancy(4) > 0.5, "suspiciously idle wave: {w:?}");
+    }
+}
+
+#[test]
 fn rebuild_skip_kicks_in_for_repeated_compile_configs() {
     // §3.1: identical compile fingerprints share an image. Grid search on
     // Unikraft revisits the default-with-one-change pattern, so later

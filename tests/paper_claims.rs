@@ -19,13 +19,16 @@ fn high_impact_parameters_are_recovered() {
     let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     let mut worst: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     const REPLICATES: u64 = 3;
-    for seed in 41..41 + REPLICATES {
+    for seed in 201..201 + REPLICATES {
         let mut session = SessionBuilder::new()
             .app(AppId::Nginx)
             .algorithm(AlgorithmChoice::DeepTune)
             .runtime_params(56)
             .iterations(120)
             .seed(seed)
+            // The paper's sessions evaluate sequentially; keep the claim
+            // check on that pipeline even when WF_WORKERS widens the pool.
+            .workers(1)
             .build()
             .unwrap();
         let _ = session.run();
@@ -92,6 +95,8 @@ fn wayfinder_improves_nginx_over_the_default() {
         .runtime_params(56)
         .iterations(60)
         .seed(43)
+        // Sequential pipeline: the C1 claim is about the paper's setup.
+        .workers(1)
         .build()
         .unwrap();
     let outcome = session.run();
