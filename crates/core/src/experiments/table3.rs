@@ -65,9 +65,16 @@ fn evaluate_trained(
 ) -> Table3Row {
     let direction = session.platform().direction();
 
-    // Held-out set: fresh random configurations with ground-truth labels.
-    let os = session.platform().os().clone();
-    let meta = session.platform().app().clone();
+    // Held-out set: fresh random configurations with ground-truth labels,
+    // sampled straight from the simulated target's models.
+    let sim = session
+        .platform()
+        .target()
+        .as_any()
+        .downcast_ref::<wf_platform::SimTarget>()
+        .expect("table3 runs on simulated targets");
+    let os = sim.os().clone();
+    let meta = sim.app().clone();
     let encoder = Encoder::new(&os.space);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x3e1d);
     let mut features = Vec::with_capacity(scale.table3_samples);
@@ -162,7 +169,14 @@ mod tests {
         // crash boundary it actually observed: recall on the session's own
         // crashing observations (reusing the session trained above) has to
         // beat coin-flipping by a wide margin.
-        let os = session.platform().os().clone();
+        let os = session
+            .platform()
+            .target()
+            .as_any()
+            .downcast_ref::<wf_platform::SimTarget>()
+            .expect("table3 runs on simulated targets")
+            .os()
+            .clone();
         let encoder = Encoder::new(&os.space);
         let observations = session.platform().history().observations();
         let features: Vec<Vec<f64>> = observations

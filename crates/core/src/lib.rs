@@ -4,6 +4,10 @@
 //! * [`session`] — [`SessionBuilder`]: pick an OS target, application,
 //!   algorithm, and budget; run; extract checkpoints and importance
 //!   analyses;
+//! * [`targets`] — the open [`TargetRegistry`]: `os:` keywords resolve to
+//!   [`targets::TargetFactory`]s, the five paper targets ship
+//!   pre-registered, and downstream crates register new scenarios without
+//!   touching the core loop;
 //! * [`scale`] — full (paper-sized) vs reduced experiment budgets;
 //! * [`experiments`] — one runner per table/figure of the evaluation
 //!   (see DESIGN.md §3 for the index);
@@ -32,21 +36,24 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 pub mod session;
+pub mod targets;
 
 pub use report::{wave_stats_table, Table};
 pub use scale::Scale;
 pub use session::{
     AlgorithmChoice, BuildError, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
 };
+pub use targets::{TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
 
 /// Convenient re-exports for application code and the examples.
 pub mod prelude {
     pub use crate::report::Table;
     pub use crate::scale::Scale;
     pub use crate::session::{
-        AlgorithmChoice, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
+        AlgorithmChoice, BuildError, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
     };
+    pub use crate::targets::{TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
     pub use wf_jobfile::{Direction, Job};
     pub use wf_ossim::AppId;
-    pub use wf_platform::Objective;
+    pub use wf_platform::{EvalTarget, Objective, SimTarget, TargetDescriptor};
 }

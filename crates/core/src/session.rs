@@ -4,15 +4,19 @@
 //! This is the programmatic equivalent of a Wayfinder job file: the
 //! `examples/` directory exercises exactly this surface.
 
+use crate::targets::{TargetInstance, TargetRegistry, TargetRequest};
 use std::fmt;
 use wf_deeptune::{Checkpoint, DeepTune, DeepTuneConfig};
 use wf_jobfile::{Budget, Direction, Focus, Job};
-use wf_kconfig::LinuxVersion;
-use wf_ossim::{App, AppId, MetricDirection, SimOs};
+use wf_ossim::{AppId, MetricDirection};
 use wf_platform::{Objective, Record, Session, SessionSpec, SessionSummary};
 use wf_search::{BayesOpt, CausalSearch, GridSearch, RandomSearch, SamplePolicy, SearchAlgorithm};
 
-/// The OS targets this reproduction ships.
+/// The five paper targets, as a typed convenience over their registry
+/// keywords. [`SessionBuilder::os`] is sugar for
+/// [`SessionBuilder::target`] with [`OsFlavor::keyword`]; targets beyond
+/// the paper's five are addressed by keyword through a
+/// [`TargetRegistry`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OsFlavor {
     /// Linux v4.19 with a runtime-focused space (the §4.1 experiments).
@@ -28,18 +32,6 @@ pub enum OsFlavor {
 }
 
 impl OsFlavor {
-    /// Parses a job-file `os:` value.
-    pub fn parse(s: &str) -> Option<OsFlavor> {
-        match s {
-            "linux-4.19" => Some(OsFlavor::Linux419),
-            "linux-6.0" => Some(OsFlavor::Linux60),
-            "linux-4.19-all" => Some(OsFlavor::Linux419AllStages),
-            "linux-riscv" => Some(OsFlavor::LinuxRiscv),
-            "unikraft" => Some(OsFlavor::Unikraft),
-            _ => None,
-        }
-    }
-
     /// The job-file keyword.
     pub fn keyword(self) -> &'static str {
         match self {
@@ -81,27 +73,112 @@ impl fmt::Debug for AlgorithmChoice {
     }
 }
 
-/// Builder errors.
+/// Builder and registry errors, one variant per distinct failure so
+/// callers (e.g. `wfctl`) can react to each case specifically.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BuildError {
-    /// Human-readable message.
-    pub message: String,
+pub enum BuildError {
+    /// The `os:` keyword is not in the target registry.
+    UnknownTarget {
+        /// The keyword that failed to resolve.
+        given: String,
+        /// Every keyword the registry does know, sorted.
+        known: Vec<String>,
+    },
+    /// The target does not know the requested application at all.
+    UnknownApp {
+        /// The target keyword.
+        target: String,
+        /// The application that failed to resolve.
+        given: String,
+        /// Applications the target supports.
+        supported: Vec<String>,
+    },
+    /// The application exists but this target cannot run it.
+    IncompatibleApp {
+        /// The target keyword.
+        target: String,
+        /// The rejected application.
+        app: String,
+        /// Why the pairing is impossible.
+        reason: String,
+    },
+    /// The job's `metric:` is neither the target's primary metric nor a
+    /// derived objective.
+    UnknownMetric {
+        /// The metric that failed to resolve.
+        given: String,
+        /// The values that would have been accepted.
+        valid: Vec<String>,
+    },
+    /// Neither an iteration nor a time budget was set.
+    MissingBudget,
+    /// A pinned parameter could not be applied to the space.
+    BadPin {
+        /// The underlying job-file error.
+        message: String,
+    },
+    /// A target keyword was registered twice.
+    DuplicateKeyword {
+        /// The contested keyword.
+        keyword: String,
+    },
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+        match self {
+            BuildError::UnknownTarget { given, known } => {
+                write!(
+                    f,
+                    "unknown target {given:?}; registered targets: {}",
+                    known.join(", ")
+                )
+            }
+            BuildError::UnknownApp {
+                target,
+                given,
+                supported,
+            } => write!(
+                f,
+                "unknown app {given:?} for target {target:?}; supported apps: {}",
+                supported.join(", ")
+            ),
+            BuildError::IncompatibleApp {
+                target,
+                app,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "app {app:?} is incompatible with target {target:?}: {reason}"
+                )
+            }
+            BuildError::UnknownMetric { given, valid } => {
+                write!(
+                    f,
+                    "unknown metric {given:?}; valid values: {}",
+                    valid.join(", ")
+                )
+            }
+            BuildError::MissingBudget => f.write_str("a session needs an iteration or time budget"),
+            BuildError::BadPin { message } => write!(f, "bad pin: {message}"),
+            BuildError::DuplicateKeyword { keyword } => {
+                write!(f, "target keyword {keyword:?} is already registered")
+            }
+        }
     }
 }
 
 impl std::error::Error for BuildError {}
 
-/// Fluent session construction.
+/// Fluent session construction, resolved through a [`TargetRegistry`].
 pub struct SessionBuilder {
-    os: OsFlavor,
-    app: AppId,
+    target: String,
+    app: Option<String>,
+    registry: TargetRegistry,
     algorithm: AlgorithmChoice,
     objective: Objective,
+    job_metric: Option<String>,
     iterations: Option<usize>,
     time_budget_s: Option<f64>,
     seed: u64,
@@ -121,14 +198,17 @@ impl Default for SessionBuilder {
 }
 
 impl SessionBuilder {
-    /// Starts a builder with the paper's §4.1 defaults: Linux 4.19,
-    /// Nginx, DeepTune, 250 iterations.
+    /// Starts a builder with the paper's §4.1 defaults: Linux 4.19, the
+    /// target's default app (Nginx), DeepTune, 250 iterations, and the
+    /// built-in target registry.
     pub fn new() -> Self {
         SessionBuilder {
-            os: OsFlavor::Linux419,
-            app: AppId::Nginx,
+            target: OsFlavor::Linux419.keyword().to_string(),
+            app: None,
+            registry: TargetRegistry::builtin(),
             algorithm: AlgorithmChoice::DeepTune,
             objective: Objective::Metric,
+            job_metric: None,
             iterations: Some(250),
             time_budget_s: None,
             seed: 1,
@@ -142,15 +222,45 @@ impl SessionBuilder {
         }
     }
 
-    /// Selects the OS target.
-    pub fn os(mut self, os: OsFlavor) -> Self {
-        self.os = os;
+    /// Selects one of the five paper targets (sugar for
+    /// [`SessionBuilder::target`] with the flavor's keyword).
+    pub fn os(self, os: OsFlavor) -> Self {
+        self.target(os.keyword())
+    }
+
+    /// Selects the target by registry keyword. Unknown keywords surface
+    /// as [`BuildError::UnknownTarget`] at [`SessionBuilder::build`].
+    pub fn target(mut self, keyword: impl Into<String>) -> Self {
+        self.target = keyword.into();
         self
     }
 
-    /// Selects the application.
-    pub fn app(mut self, app: AppId) -> Self {
-        self.app = app;
+    /// Replaces the target registry (e.g. to add downstream scenarios).
+    /// Defaults to [`TargetRegistry::builtin`].
+    pub fn registry(mut self, registry: TargetRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Selects one of the paper's benchmark applications.
+    pub fn app(self, app: AppId) -> Self {
+        self.app_named(app.label())
+    }
+
+    /// Selects the application by keyword, as a job file would. The
+    /// target's factory resolves (or rejects) it at build time; when no
+    /// app is chosen the target's default runs.
+    pub fn app_named(mut self, app: impl Into<String>) -> Self {
+        self.app = Some(app.into());
+        self
+    }
+
+    /// Sets the job-file metric keyword: the target's primary metric
+    /// (e.g. `throughput`), `memory`, or `score`. Anything else is
+    /// rejected at build time; [`SessionBuilder::objective`] is the typed
+    /// alternative, and whichever of the two was called last wins.
+    pub fn metric(mut self, metric: impl Into<String>) -> Self {
+        self.job_metric = Some(metric.into());
         self
     }
 
@@ -160,9 +270,12 @@ impl SessionBuilder {
         self
     }
 
-    /// Selects the objective (primary metric by default).
+    /// Selects the objective (primary metric by default). Overrides any
+    /// earlier [`SessionBuilder::metric`] / job-file `metric:` keyword —
+    /// whichever of the two was called last wins.
     pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self.job_metric = None;
         self
     }
 
@@ -233,32 +346,31 @@ impl SessionBuilder {
         self
     }
 
-    /// Builds the session from a parsed job file instead of builder calls.
+    /// Builds the session from a parsed job file instead of builder
+    /// calls. The job's `os:`, `app:`, and `metric:` keywords are carried
+    /// verbatim and resolved against the registry at
+    /// [`SessionBuilder::build`], so downstream targets registered via
+    /// [`SessionBuilder::registry`] work from job files too.
     pub fn from_job(job: &Job) -> Result<SessionBuilder, BuildError> {
-        let os = OsFlavor::parse(&job.os).ok_or_else(|| BuildError {
-            message: format!("unknown os {:?}", job.os),
-        })?;
-        let app = AppId::parse(&job.app).ok_or_else(|| BuildError {
-            message: format!("unknown app {:?}", job.app),
-        })?;
         let algorithm = match job.algorithm {
             wf_jobfile::AlgorithmId::Random => AlgorithmChoice::Random,
             wf_jobfile::AlgorithmId::Grid => AlgorithmChoice::Grid,
             wf_jobfile::AlgorithmId::Bayesian => AlgorithmChoice::Bayesian,
             wf_jobfile::AlgorithmId::DeepTune => AlgorithmChoice::DeepTune,
         };
-        let objective = match job.metric.as_str() {
-            "memory" => Objective::MemoryMb,
-            "score" => Objective::ThroughputMemoryScore,
-            _ => Objective::Metric,
-        };
         let mut b = SessionBuilder::new()
-            .os(os)
-            .app(app)
+            .target(job.os.clone())
             .algorithm(algorithm)
-            .objective(objective)
             .seed(job.seed)
             .repetitions(job.repetitions);
+        // Omitted `app:`/`metric:` keys mean "the target's defaults", so
+        // minimal job files work for every registered target.
+        if let Some(app) = &job.app {
+            b = b.app_named(app.clone());
+        }
+        if let Some(metric) = &job.metric {
+            b = b.metric(metric.clone());
+        }
         if let Some(workers) = job.workers {
             b = b.workers(workers);
         }
@@ -274,51 +386,31 @@ impl SessionBuilder {
         Ok(b)
     }
 
-    /// Materializes the OS target, application, and policy; then builds
-    /// the platform session.
+    /// Resolves the target keyword against the registry, materializes the
+    /// target and policy, and builds the platform session.
     pub fn build(self) -> Result<SpecializationSession, BuildError> {
-        let (mut os, app, policy) = match self.os {
-            OsFlavor::Linux419 => (
-                SimOs::linux_runtime(LinuxVersion::V4_19, self.runtime_params),
-                App::by_id(self.app),
-                SamplePolicy::Uniform,
-            ),
-            OsFlavor::Linux60 => (
-                SimOs::linux_runtime(LinuxVersion::V6_0, self.runtime_params),
-                App::by_id(self.app),
-                SamplePolicy::Uniform,
-            ),
-            OsFlavor::Linux419AllStages => (
-                SimOs::linux_all_stages(LinuxVersion::V4_19, self.runtime_params),
-                App::by_id(self.app),
-                SamplePolicy::Uniform,
-            ),
-            OsFlavor::LinuxRiscv => (
-                SimOs::linux_riscv_footprint(),
-                boot_probe_app(),
-                SamplePolicy::MutateDefault { max_changes: 128 },
-            ),
-            OsFlavor::Unikraft => {
-                if self.app != AppId::Nginx {
-                    return Err(BuildError {
-                        message: "the Unikraft target ships an Nginx image (§4.4)".into(),
-                    });
-                }
-                (
-                    SimOs::unikraft_nginx(),
-                    wf_ossim::unikraft::nginx_app(),
-                    SamplePolicy::Uniform,
-                )
-            }
-        };
+        if self.iterations.is_none() && self.time_budget_s.is_none() {
+            return Err(BuildError::MissingBudget);
+        }
+        let factory = self
+            .registry
+            .get(&self.target)
+            .ok_or_else(|| BuildError::UnknownTarget {
+                given: self.target.clone(),
+                known: self.registry.keywords(),
+            })?;
+        let app = self
+            .app
+            .clone()
+            .unwrap_or_else(|| factory.default_app().to_string());
+        let TargetInstance { mut target, policy } = factory.instantiate(&TargetRequest {
+            app,
+            runtime_params: self.runtime_params,
+        })?;
 
-        // An explicit job-file space replaces the OS's own; its defaults
-        // join the ground-truth view so effect normalization stays exact.
+        // An explicit job-file space replaces the target's own.
         if let Some(space) = self.explicit_space {
-            for spec in space.specs() {
-                os.defaults_view.set(spec.name.clone(), spec.default);
-            }
-            os.space = space;
+            target.install_space(space);
         }
 
         // Apply pins through the job-file machinery so value parsing is
@@ -335,9 +427,10 @@ impl SessionBuilder {
                     .collect(),
                 ..Job::default()
             };
-            job.apply_pins(&mut os.space).map_err(|e| BuildError {
-                message: e.to_string(),
-            })?;
+            job.apply_pins(target.space_mut())
+                .map_err(|e| BuildError::BadPin {
+                    message: e.to_string(),
+                })?;
         }
 
         // §3.5 stage focus narrows the sampling policy.
@@ -346,18 +439,35 @@ impl SessionBuilder {
             (_, p) => p,
         };
 
-        let direction = match (self.objective, app.direction) {
+        // A job-file metric resolves against the target's descriptor; the
+        // typed `objective` applies otherwise. Unknown strings are
+        // errors, never a silent fallback.
+        let descriptor = target.descriptor().clone();
+        let objective = match &self.job_metric {
+            None => self.objective,
+            Some(m) => match m.as_str() {
+                "memory" => Objective::MemoryMb,
+                "score" => Objective::ThroughputMemoryScore,
+                m if m == descriptor.metric => Objective::Metric,
+                _ => {
+                    let mut valid =
+                        vec![descriptor.metric.clone(), "memory".into(), "score".into()];
+                    valid.dedup();
+                    return Err(BuildError::UnknownMetric {
+                        given: m.clone(),
+                        valid,
+                    });
+                }
+            },
+        };
+
+        let direction = match (objective, descriptor.direction) {
             (Objective::MemoryMb, _) => Direction::Minimize,
             (_, MetricDirection::HigherBetter) => Direction::Maximize,
             (_, MetricDirection::LowerBetter) => Direction::Minimize,
         };
-        if self.iterations.is_none() && self.time_budget_s.is_none() {
-            return Err(BuildError {
-                message: "a session needs an iteration or time budget".into(),
-            });
-        }
         let spec = SessionSpec {
-            objective: self.objective,
+            objective,
             direction,
             policy,
             budget: Budget {
@@ -385,26 +495,8 @@ impl SessionBuilder {
             }
         };
         Ok(SpecializationSession {
-            inner: Session::new(os, app, algorithm, spec),
+            inner: Session::with_target(target, algorithm, spec),
         })
-    }
-}
-
-/// A synthetic "application" for footprint sessions: boots and reports
-/// memory, with no performance model of its own.
-fn boot_probe_app() -> App {
-    App {
-        id: AppId::Nginx,
-        bench_tool: "boot-probe",
-        metric_name: "memory",
-        unit: "MB",
-        direction: MetricDirection::LowerBetter,
-        base: 1.0,
-        cores: 1,
-        bench_duration_s: 12.0,
-        mem_base_mb: 0.0,
-        perf: wf_ossim::PerfModel::new(0.0),
-        mem: wf_ossim::PerfModel::new(0.0),
     }
 }
 
@@ -421,6 +513,15 @@ pub struct Outcome {
 /// A running specialization session (facade over the platform session).
 pub struct SpecializationSession {
     inner: Session,
+}
+
+impl fmt::Debug for SpecializationSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecializationSession")
+            .field("target", self.inner.descriptor())
+            .field("iterations", &self.inner.history().len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SpecializationSession {
@@ -465,7 +566,7 @@ impl SpecializationSession {
 
     /// Queries the trained model for high-impact parameters (§4.1).
     pub fn parameter_impacts(&mut self) -> Option<Vec<wf_deeptune::ParamImpact>> {
-        let space = self.inner.os().space.clone();
+        let space = self.inner.space().clone();
         let encoder = wf_configspace::Encoder::new(&space);
         // Anchor the axis probes on the default configuration plus the
         // best configurations the session actually evaluated: the model is
@@ -536,7 +637,12 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("unikraft+redis must be rejected"),
         };
-        assert!(err.message.contains("Nginx"));
+        assert!(
+            matches!(&err, BuildError::IncompatibleApp { target, app, .. }
+                if target == "unikraft" && app == "redis"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("Nginx"));
     }
 
     #[test]
@@ -548,7 +654,7 @@ mod tests {
             .pin("kernel.randomize_va_space", "2")
             .build()
             .expect("valid session");
-        let space = &s.platform().os().space;
+        let space = s.platform().space();
         let idx = space.index_of("kernel.randomize_va_space").unwrap();
         assert!(space.spec(idx).fixed);
     }
@@ -564,7 +670,134 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("unknown pin must be rejected"),
         };
-        assert!(err.message.contains("unknown parameter"));
+        assert!(matches!(err, BuildError::BadPin { .. }), "{err}");
+        assert!(err.to_string().contains("unknown parameter"));
+    }
+
+    #[test]
+    fn unknown_target_is_rejected_with_known_keywords() {
+        let err = SessionBuilder::new()
+            .target("plan9")
+            .iterations(1)
+            .build()
+            .unwrap_err();
+        match &err {
+            BuildError::UnknownTarget { given, known } => {
+                assert_eq!(given, "plan9");
+                assert!(known.contains(&"linux-4.19".to_string()));
+                assert!(known.contains(&"unikraft".to_string()));
+            }
+            other => panic!("expected UnknownTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_metric_is_rejected_with_valid_values() {
+        // Regression: unknown `metric:` strings used to coerce silently
+        // to Objective::Metric.
+        let job = Job::parse(
+            "name: m\nos: linux-4.19\napp: nginx\nmetric: throughputt\nalgorithm: random\nbudget:\n  iterations: 2\n",
+        )
+        .unwrap();
+        let err = SessionBuilder::from_job(&job)
+            .unwrap()
+            .runtime_params(56)
+            .build()
+            .unwrap_err();
+        match &err {
+            BuildError::UnknownMetric { given, valid } => {
+                assert_eq!(given, "throughputt");
+                assert_eq!(
+                    valid,
+                    &["throughput".to_string(), "memory".into(), "score".into()]
+                );
+            }
+            other => panic!("expected UnknownMetric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_objective_overrides_the_job_metric() {
+        // Whichever of `.metric()` / `.objective()` was called last wins,
+        // so code tweaking a parsed job keeps its pre-registry behavior.
+        let job = Job::parse(
+            "name: o\nos: linux-4.19\napp: nginx\nmetric: throughput\nalgorithm: random\nbudget:\n  iterations: 3\n",
+        )
+        .unwrap();
+        let mut s = SessionBuilder::from_job(&job)
+            .unwrap()
+            .objective(Objective::MemoryMb)
+            .runtime_params(56)
+            .build()
+            .unwrap();
+        let outcome = s.run();
+        // Memory objectives minimize; the best objective is a memory
+        // figure in MB, not a throughput in the tens of thousands.
+        assert_eq!(
+            s.platform().direction(),
+            wf_jobfile::Direction::Minimize,
+            "objective override must flip the direction"
+        );
+        assert!(outcome.summary.best_objective.unwrap() < 5_000.0);
+    }
+
+    #[test]
+    fn minimal_job_files_use_the_targets_defaults() {
+        // Regression: omitted `app:`/`metric:` keys must mean "the
+        // target's defaults", not the generic nginx/throughput pair —
+        // this jobfile worked before the registry and must keep working.
+        let job = Job::parse("name: fp\nos: linux-riscv\nbudget:\n  iterations: 2\n").unwrap();
+        let mut s = SessionBuilder::from_job(&job).unwrap().build().unwrap();
+        assert_eq!(s.platform().descriptor().app, "boot-probe");
+        let outcome = s.run();
+        assert_eq!(outcome.summary.iterations, 2);
+    }
+
+    #[test]
+    fn footprint_sessions_run_under_the_probe_identity() {
+        // Regression: the synthetic boot probe used to masquerade as
+        // AppId::Nginx, mislabeling footprint reports and histories.
+        let s = SessionBuilder::new()
+            .os(OsFlavor::LinuxRiscv)
+            .objective(Objective::MemoryMb)
+            .iterations(1)
+            .build()
+            .unwrap();
+        let descriptor = s.platform().descriptor();
+        assert_eq!(descriptor.app, "boot-probe");
+        assert_eq!(descriptor.metric, "memory");
+        assert_eq!(descriptor.unit, "MB");
+        let sim = s
+            .platform()
+            .target()
+            .as_any()
+            .downcast_ref::<wf_platform::SimTarget>()
+            .expect("built-in targets are SimTargets");
+        assert_eq!(sim.app().id, AppId::BootProbe);
+    }
+
+    #[test]
+    fn registry_keyword_builds_like_the_flavor() {
+        let via_flavor = SessionBuilder::new()
+            .os(OsFlavor::Linux60)
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        let via_keyword = SessionBuilder::new()
+            .target("linux-6.0")
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(
+            via_flavor.platform().descriptor(),
+            via_keyword.platform().descriptor()
+        );
     }
 
     #[test]
@@ -602,7 +835,7 @@ mod tests {
             .seed(77)
             .build()
             .unwrap();
-        let space = s.platform().os().space.clone();
+        let space = s.platform().space().clone();
         assert!(space.census().boot > 0, "boot stage present");
         let _ = s.run();
         // Some explored configuration varied a boot-time parameter.
@@ -630,7 +863,7 @@ mod tests {
             .seed(78)
             .build()
             .unwrap();
-        let space = s.platform().os().space.clone();
+        let space = s.platform().space().clone();
         let _ = s.run();
         let default = space.default_config();
         let boot_idx = space.stage_indices(Stage::BootTime);
@@ -652,7 +885,7 @@ mod tests {
         )
         .unwrap();
         let mut s = SessionBuilder::from_job(&job).unwrap().build().unwrap();
-        assert_eq!(s.platform().os().space.len(), 2, "only the declared params");
+        assert_eq!(s.platform().space().len(), 2, "only the declared params");
         let outcome = s.run();
         assert_eq!(outcome.summary.iterations, 8);
         // The known parameter drives real effects; the unknown one is

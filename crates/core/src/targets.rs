@@ -1,0 +1,427 @@
+//! The string-keyed target registry: how `os:` keywords become running
+//! [`wf_platform::EvalTarget`]s.
+//!
+//! The paper's premise (§3.1) is that the exploration loop is generic
+//! over "a given configuration space + an automated benchmarking
+//! pipeline". The registry is the open end of that claim: every target
+//! the platform can specialize — the five paper scenarios and anything a
+//! downstream crate dreams up — is a [`TargetFactory`] registered under a
+//! job-file keyword. `SessionBuilder`, job-file resolution, and `wfctl`
+//! all consult the same registry, so a new scenario plugs in with one
+//! `register()` call and zero edits to the core loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use wayfinder_core::TargetRegistry;
+//!
+//! let registry = TargetRegistry::builtin();
+//! // The five paper targets ship pre-registered under their keywords.
+//! assert_eq!(
+//!     registry.keywords(),
+//!     ["linux-4.19", "linux-4.19-all", "linux-6.0", "linux-riscv", "unikraft"]
+//! );
+//! let linux = registry.get("linux-4.19").unwrap();
+//! assert_eq!(linux.default_app(), "nginx");
+//! ```
+
+use crate::session::BuildError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, SimOs};
+use wf_platform::{EvalTarget, SimTarget};
+use wf_search::SamplePolicy;
+
+/// What a factory needs to materialize a target.
+#[derive(Clone, Debug)]
+pub struct TargetRequest {
+    /// Application keyword (the factory's [`TargetFactory::default_app`]
+    /// when the user did not choose one).
+    pub app: String,
+    /// Size of the probed runtime space for Linux-style targets (§3.4);
+    /// targets with fixed spaces ignore it.
+    pub runtime_params: usize,
+}
+
+/// A materialized target plus the sampling policy its space prefers.
+///
+/// `Debug` prints the target's descriptor (the trait object itself has
+/// no `Debug` bound).
+pub struct TargetInstance {
+    /// The evaluation target the session will drive.
+    pub target: Box<dyn EvalTarget>,
+    /// Candidate sampling policy (e.g. mutate-the-default for huge
+    /// compile spaces, uniform elsewhere).
+    pub policy: SamplePolicy,
+}
+
+impl fmt::Debug for TargetInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TargetInstance")
+            .field("target", self.target.descriptor())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// Builds [`EvalTarget`]s for one `os:` keyword.
+///
+/// Implement this (plus [`EvalTarget`] for the target itself, or reuse
+/// [`SimTarget`]) and [`TargetRegistry::register`] it to open a new
+/// scenario to job files, `SessionBuilder`, and `wfctl` — no core-loop
+/// edits required.
+pub trait TargetFactory: Send + Sync {
+    /// The job-file keyword (`os:` value) this factory answers to.
+    fn keyword(&self) -> &str;
+
+    /// One-line human description for `wfctl targets`.
+    fn summary(&self) -> &str;
+
+    /// Application keywords this target can run.
+    fn apps(&self) -> Vec<String>;
+
+    /// The application used when a session does not pick one.
+    fn default_app(&self) -> &str;
+
+    /// Materializes the target for `request`.
+    fn instantiate(&self, request: &TargetRequest) -> Result<TargetInstance, BuildError>;
+}
+
+/// A string-keyed, openly extensible collection of [`TargetFactory`]s.
+///
+/// Keys iterate in sorted order, so listings and error messages are
+/// stable. Registering a duplicate keyword is an error — targets never
+/// silently shadow each other.
+///
+/// # Examples
+///
+/// Downstream code opens a new scenario by registering a factory; the
+/// keyword is then resolvable exactly like the built-ins:
+///
+/// ```
+/// use std::sync::Arc;
+/// use wayfinder_core::{
+///     BuildError, TargetFactory, TargetInstance, TargetRegistry, TargetRequest,
+/// };
+/// use wf_kconfig::LinuxVersion;
+/// use wf_ossim::{App, AppId, SimOs};
+/// use wf_platform::SimTarget;
+///
+/// struct RedisBox;
+///
+/// impl TargetFactory for RedisBox {
+///     fn keyword(&self) -> &str {
+///         "redis-box"
+///     }
+///     fn summary(&self) -> &str {
+///         "Linux 6.0 appliance running Redis"
+///     }
+///     fn apps(&self) -> Vec<String> {
+///         vec!["redis".into()]
+///     }
+///     fn default_app(&self) -> &str {
+///         "redis"
+///     }
+///     fn instantiate(&self, request: &TargetRequest) -> Result<TargetInstance, BuildError> {
+///         let os = SimOs::linux_runtime(LinuxVersion::V6_0, request.runtime_params);
+///         Ok(TargetInstance {
+///             target: Box::new(SimTarget::new(os, App::by_id(AppId::Redis))),
+///             policy: wf_search::SamplePolicy::Uniform,
+///         })
+///     }
+/// }
+///
+/// let mut registry = TargetRegistry::builtin();
+/// registry.register(Arc::new(RedisBox)).unwrap();
+/// assert!(registry.get("redis-box").is_some());
+/// // ... and duplicate keywords are rejected:
+/// assert!(matches!(
+///     registry.register(Arc::new(RedisBox)),
+///     Err(BuildError::DuplicateKeyword { .. })
+/// ));
+/// ```
+#[derive(Clone, Default)]
+pub struct TargetRegistry {
+    entries: BTreeMap<String, Arc<dyn TargetFactory>>,
+}
+
+impl TargetRegistry {
+    /// An empty registry.
+    pub fn empty() -> TargetRegistry {
+        TargetRegistry::default()
+    }
+
+    /// The registry with the five paper targets pre-registered under
+    /// their job-file keywords: `linux-4.19`, `linux-6.0`,
+    /// `linux-4.19-all`, `linux-riscv`, and `unikraft`.
+    pub fn builtin() -> TargetRegistry {
+        let mut registry = TargetRegistry::empty();
+        for factory in builtin_factories() {
+            registry
+                .register(factory)
+                .expect("builtin keywords are distinct");
+        }
+        registry
+    }
+
+    /// Registers a factory under its keyword. Rejects duplicates with
+    /// [`BuildError::DuplicateKeyword`].
+    pub fn register(&mut self, factory: Arc<dyn TargetFactory>) -> Result<(), BuildError> {
+        let keyword = factory.keyword().to_string();
+        if self.entries.contains_key(&keyword) {
+            return Err(BuildError::DuplicateKeyword { keyword });
+        }
+        self.entries.insert(keyword, factory);
+        Ok(())
+    }
+
+    /// Looks a factory up by keyword.
+    pub fn get(&self, keyword: &str) -> Option<&Arc<dyn TargetFactory>> {
+        self.entries.get(keyword)
+    }
+
+    /// All registered keywords, sorted.
+    pub fn keywords(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// All registered factories, in keyword order.
+    pub fn factories(&self) -> impl Iterator<Item = &Arc<dyn TargetFactory>> {
+        self.entries.values()
+    }
+
+    /// Number of registered targets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Debug for TargetRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TargetRegistry")
+            .field(&self.keywords())
+            .finish()
+    }
+}
+
+/// The five paper targets.
+fn builtin_factories() -> Vec<Arc<dyn TargetFactory>> {
+    vec![
+        Arc::new(LinuxRuntimeFactory {
+            keyword: "linux-4.19",
+            version: LinuxVersion::V4_19,
+            all_stages: false,
+            summary: "Linux v4.19, runtime (sysctl) space — the §4.1 experiments",
+        }),
+        Arc::new(LinuxRuntimeFactory {
+            keyword: "linux-6.0",
+            version: LinuxVersion::V6_0,
+            all_stages: false,
+            summary: "Linux v6.0, runtime (sysctl) space — the Table 1 kernel",
+        }),
+        Arc::new(LinuxRuntimeFactory {
+            keyword: "linux-4.19-all",
+            version: LinuxVersion::V4_19,
+            all_stages: true,
+            summary: "Linux v4.19 with boot-time and runtime parameters searchable",
+        }),
+        Arc::new(RiscvFootprintFactory),
+        Arc::new(UnikraftFactory),
+    ]
+}
+
+/// Linux with a runtime (or boot+runtime) sysctl space; any of the four
+/// paper benchmark applications.
+struct LinuxRuntimeFactory {
+    keyword: &'static str,
+    version: LinuxVersion,
+    all_stages: bool,
+    summary: &'static str,
+}
+
+impl TargetFactory for LinuxRuntimeFactory {
+    fn keyword(&self) -> &str {
+        self.keyword
+    }
+
+    fn summary(&self) -> &str {
+        self.summary
+    }
+
+    fn apps(&self) -> Vec<String> {
+        AppId::ALL.iter().map(|a| a.label().to_string()).collect()
+    }
+
+    fn default_app(&self) -> &str {
+        "nginx"
+    }
+
+    fn instantiate(&self, request: &TargetRequest) -> Result<TargetInstance, BuildError> {
+        let id = AppId::ALL
+            .into_iter()
+            .find(|a| a.label() == request.app)
+            .ok_or_else(|| BuildError::UnknownApp {
+                target: self.keyword.to_string(),
+                given: request.app.clone(),
+                supported: self.apps(),
+            })?;
+        let os = if self.all_stages {
+            SimOs::linux_all_stages(self.version, request.runtime_params)
+        } else {
+            SimOs::linux_runtime(self.version, request.runtime_params)
+        };
+        Ok(TargetInstance {
+            target: Box::new(SimTarget::new(os, App::by_id(id))),
+            policy: SamplePolicy::Uniform,
+        })
+    }
+}
+
+/// RISC-V Linux with a compile-time space, explored by the synthetic boot
+/// probe (the Fig. 10 memory-footprint experiment).
+struct RiscvFootprintFactory;
+
+impl TargetFactory for RiscvFootprintFactory {
+    fn keyword(&self) -> &str {
+        "linux-riscv"
+    }
+
+    fn summary(&self) -> &str {
+        "RISC-V Linux v5.13, compile-time space, boot-memory probe (Fig. 10)"
+    }
+
+    fn apps(&self) -> Vec<String> {
+        vec!["boot-probe".into()]
+    }
+
+    fn default_app(&self) -> &str {
+        "boot-probe"
+    }
+
+    fn instantiate(&self, request: &TargetRequest) -> Result<TargetInstance, BuildError> {
+        if request.app != "boot-probe" {
+            return Err(BuildError::IncompatibleApp {
+                target: self.keyword().to_string(),
+                app: request.app.clone(),
+                reason: "footprint sessions boot a synthetic probe, not a benchmark app".into(),
+            });
+        }
+        Ok(TargetInstance {
+            target: Box::new(SimTarget::new(
+                SimOs::linux_riscv_footprint(),
+                App::boot_probe(),
+            )),
+            policy: SamplePolicy::MutateDefault { max_changes: 128 },
+        })
+    }
+}
+
+/// Unikraft building an Nginx unikernel image (§4.4, Fig. 9).
+struct UnikraftFactory;
+
+impl TargetFactory for UnikraftFactory {
+    fn keyword(&self) -> &str {
+        "unikraft"
+    }
+
+    fn summary(&self) -> &str {
+        "Unikraft unikernel building Nginx (§4.4, Fig. 9)"
+    }
+
+    fn apps(&self) -> Vec<String> {
+        vec!["nginx".into()]
+    }
+
+    fn default_app(&self) -> &str {
+        "nginx"
+    }
+
+    fn instantiate(&self, request: &TargetRequest) -> Result<TargetInstance, BuildError> {
+        if request.app != "nginx" {
+            return Err(BuildError::IncompatibleApp {
+                target: self.keyword().to_string(),
+                app: request.app.clone(),
+                reason: "the Unikraft target ships a prebuilt Nginx image (§4.4)".into(),
+            });
+        }
+        Ok(TargetInstance {
+            target: Box::new(SimTarget::new(
+                SimOs::unikraft_nginx(),
+                wf_ossim::unikraft::nginx_app(),
+            )),
+            policy: SamplePolicy::Uniform,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_holds_the_five_paper_targets() {
+        let registry = TargetRegistry::builtin();
+        assert_eq!(registry.len(), 5);
+        for keyword in [
+            "linux-4.19",
+            "linux-6.0",
+            "linux-4.19-all",
+            "linux-riscv",
+            "unikraft",
+        ] {
+            assert!(registry.get(keyword).is_some(), "{keyword} missing");
+        }
+    }
+
+    #[test]
+    fn duplicate_keywords_are_rejected() {
+        let mut registry = TargetRegistry::builtin();
+        let err = registry.register(Arc::new(UnikraftFactory)).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DuplicateKeyword {
+                keyword: "unikraft".into()
+            }
+        );
+    }
+
+    #[test]
+    fn linux_factory_rejects_unknown_apps() {
+        let registry = TargetRegistry::builtin();
+        let err = registry
+            .get("linux-4.19")
+            .unwrap()
+            .instantiate(&TargetRequest {
+                app: "postgres".into(),
+                runtime_params: 64,
+            })
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnknownApp { .. }));
+    }
+
+    #[test]
+    fn riscv_factory_builds_the_probe_target() {
+        let registry = TargetRegistry::builtin();
+        let instance = registry
+            .get("linux-riscv")
+            .unwrap()
+            .instantiate(&TargetRequest {
+                app: "boot-probe".into(),
+                runtime_params: 64,
+            })
+            .unwrap();
+        assert_eq!(instance.target.descriptor().app, "boot-probe");
+        assert_eq!(instance.target.descriptor().metric, "memory");
+        assert!(matches!(
+            instance.policy,
+            SamplePolicy::MutateDefault { max_changes: 128 }
+        ));
+    }
+}

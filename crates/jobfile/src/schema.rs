@@ -154,12 +154,15 @@ pub struct ParamDecl {
 pub struct Job {
     /// Job name (used in reports).
     pub name: String,
-    /// Target OS identifier (resolved by the platform).
+    /// Target OS keyword, resolved against the session's target registry
+    /// (the five paper targets plus anything registered downstream).
     pub os: String,
-    /// Target application identifier.
-    pub app: String,
-    /// Metric name (e.g. `throughput`, `memory`).
-    pub metric: String,
+    /// Target application keyword; the target's factory resolves it.
+    /// `None` runs the target's default application.
+    pub app: Option<String>,
+    /// Metric name (e.g. `throughput`, `memory`); `None` optimizes the
+    /// target's primary metric.
+    pub metric: Option<String>,
     /// Optimization direction.
     pub direction: Direction,
     /// Stage focus.
@@ -186,8 +189,8 @@ impl Default for Job {
         Self {
             name: "job".into(),
             os: "linux-4.19".into(),
-            app: "nginx".into(),
-            metric: "throughput".into(),
+            app: None,
+            metric: None,
             direction: Direction::Maximize,
             focus: Focus::All,
             algorithm: AlgorithmId::DeepTune,
@@ -253,7 +256,7 @@ impl Job {
     /// use wf_jobfile::Job;
     ///
     /// let job = Job::parse("name: demo\nos: linux-4.19\napp: redis\nmetric: throughput\n").unwrap();
-    /// assert_eq!(job.app, "redis");
+    /// assert_eq!(job.app.as_deref(), Some("redis"));
     /// assert_eq!(job.budget.iterations, Some(250)); // default
     /// ```
     pub fn parse(text: &str) -> Result<Job, JobError> {
@@ -271,8 +274,8 @@ impl Job {
             match key.as_str() {
                 "name" => job.name = req_str(value, "name")?,
                 "os" => job.os = req_str(value, "os")?,
-                "app" => job.app = req_str(value, "app")?,
-                "metric" => job.metric = req_str(value, "metric")?,
+                "app" => job.app = Some(req_str(value, "app")?),
+                "metric" => job.metric = Some(req_str(value, "metric")?),
                 "direction" => {
                     job.direction = match req_str(value, "direction")?.as_str() {
                         "maximize" | "max" => Direction::Maximize,
@@ -383,8 +386,6 @@ impl Job {
         let mut root: Vec<(String, Yaml)> = vec![
             ("name".into(), Yaml::Str(self.name.clone())),
             ("os".into(), Yaml::Str(self.os.clone())),
-            ("app".into(), Yaml::Str(self.app.clone())),
-            ("metric".into(), Yaml::Str(self.metric.clone())),
             (
                 "direction".into(),
                 Yaml::Str(self.direction.keyword().into()),
@@ -397,6 +398,13 @@ impl Job {
             ("seed".into(), Yaml::Int(self.seed as i64)),
             ("repetitions".into(), Yaml::Int(self.repetitions as i64)),
         ];
+        if let Some(app) = &self.app {
+            root.insert(2, ("app".into(), Yaml::Str(app.clone())));
+        }
+        if let Some(metric) = &self.metric {
+            let at = if self.app.is_some() { 3 } else { 2 };
+            root.insert(at, ("metric".into(), Yaml::Str(metric.clone())));
+        }
         if let Some(w) = self.workers {
             root.push(("workers".into(), Yaml::Int(w as i64)));
         }

@@ -45,10 +45,18 @@ pub enum AppId {
     Sqlite,
     /// NAS Parallel Benchmarks, OpenMP FT/MG/CG/IS aggregate (Mop/s).
     Npb,
+    /// The synthetic boot probe of memory-footprint sessions: boots and
+    /// reports memory, with no performance model of its own.
+    BootProbe,
+    /// A downstream-defined application; the label is the identity.
+    /// Custom apps carry their own models and are constructed directly,
+    /// never through [`App::by_id`].
+    Custom(&'static str),
 }
 
 impl AppId {
-    /// All applications in the paper's order.
+    /// All *benchmark* applications in the paper's order (the synthetic
+    /// boot probe and custom apps are excluded).
     pub const ALL: [AppId; 4] = [AppId::Nginx, AppId::Redis, AppId::Sqlite, AppId::Npb];
 
     /// Lower-case label used by job files and reports.
@@ -58,6 +66,8 @@ impl AppId {
             AppId::Redis => "redis",
             AppId::Sqlite => "sqlite",
             AppId::Npb => "npb",
+            AppId::BootProbe => "boot-probe",
+            AppId::Custom(label) => label,
         }
     }
 
@@ -68,6 +78,7 @@ impl AppId {
             "redis" => Some(AppId::Redis),
             "sqlite" => Some(AppId::Sqlite),
             "npb" => Some(AppId::Npb),
+            "boot-probe" => Some(AppId::BootProbe),
             _ => None,
         }
     }
@@ -108,12 +119,41 @@ pub struct App {
 
 impl App {
     /// Looks an application up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`AppId::Custom`]: downstream apps bring their own models
+    /// and must be constructed directly.
     pub fn by_id(id: AppId) -> App {
         match id {
             AppId::Nginx => App::nginx(),
             AppId::Redis => App::redis(),
             AppId::Sqlite => App::sqlite(),
             AppId::Npb => App::npb(),
+            AppId::BootProbe => App::boot_probe(),
+            AppId::Custom(label) => {
+                panic!("custom app {label:?} has no built-in model; construct the App directly")
+            }
+        }
+    }
+
+    /// The synthetic "application" of memory-footprint sessions (Fig. 10):
+    /// it boots and reports memory, with no performance model of its own,
+    /// under its own identity so reports and histories never mislabel
+    /// footprint sessions as a benchmark app.
+    pub fn boot_probe() -> App {
+        App {
+            id: AppId::BootProbe,
+            bench_tool: "boot-probe",
+            metric_name: "memory",
+            unit: "MB",
+            direction: MetricDirection::LowerBetter,
+            base: 1.0,
+            cores: 1,
+            bench_duration_s: 12.0,
+            mem_base_mb: 0.0,
+            perf: PerfModel::new(0.0),
+            mem: PerfModel::new(0.0),
         }
     }
 

@@ -12,6 +12,9 @@
 //! * [`metrics`] — smoothing, best-so-far, crash-rate series, per-wave
 //!   scheduling stats, and the Eq. 4 throughput–memory score;
 //! * [`prober`] — the §3.4 runtime-space inference heuristic;
+//! * [`target`] — the open [`EvalTarget`] abstraction (space + build /
+//!   boot / bench) every session runs against, with [`SimTarget`] (a
+//!   `wf_ossim::SimOs` + `App` pair) as the reference implementation;
 //! * [`pipeline`] — [`Session`]: the batch ask → build/boot/bench across
 //!   the pool → tell loop with iteration/time budgets.
 
@@ -21,6 +24,7 @@ pub mod history;
 pub mod metrics;
 pub mod pipeline;
 pub mod prober;
+pub mod target;
 pub mod workers;
 
 pub use cache::{ImageCache, SharedImageCache};
@@ -32,4 +36,5 @@ pub use metrics::{
 };
 pub use pipeline::{default_workers, Objective, Session, SessionSpec, SessionSummary};
 pub use prober::{probe_runtime_space, ProbeReport};
+pub use target::{EvalTarget, SimTarget, TargetDescriptor};
 pub use workers::{derive_seed, Pool};

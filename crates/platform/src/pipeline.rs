@@ -8,7 +8,7 @@
 //!
 //! The loop advances in *waves*: each wave asks the search algorithm for
 //! up to `workers` candidates ([`wf_search::SearchAlgorithm::propose_batch`]),
-//! dispatches them across the [`workers::Pool`], and tells the algorithm
+//! dispatches them across the [`crate::workers::Pool`], and tells the algorithm
 //! every outcome at once ([`wf_search::SearchAlgorithm::observe_batch`]).
 //!
 //! # The two virtual clocks
@@ -47,11 +47,12 @@ use crate::cache::SharedImageCache;
 use crate::clock::VirtualClock;
 use crate::history::{History, Record};
 use crate::metrics::{mean_occupancy, WaveStats};
+use crate::target::{EvalTarget, SimTarget, TargetDescriptor};
 use crate::workers::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use wf_configspace::{Configuration, Encoder};
+use wf_configspace::{ConfigSpace, Configuration, Encoder};
 use wf_jobfile::{Budget, Direction};
 use wf_ossim::{App, SimOs};
 use wf_search::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
@@ -144,11 +145,10 @@ pub struct SessionSummary {
     pub cache_stats: (u64, u64),
 }
 
-/// A running specialization session: one OS target, one application, one
-/// algorithm, one budget, one worker pool.
+/// A running specialization session: one [`EvalTarget`], one algorithm,
+/// one budget, one worker pool.
 pub struct Session {
-    os: SimOs,
-    app: App,
+    target: Box<dyn EvalTarget>,
     algorithm: Box<dyn SearchAlgorithm>,
     spec: SessionSpec,
     encoder: Encoder,
@@ -171,19 +171,28 @@ pub struct Session {
 }
 
 impl Session {
-    /// Creates a session.
+    /// Creates a session over the simulated testbed: a [`SimOs`] paired
+    /// with an [`App`] (convenience wrapper over [`Session::with_target`]).
     pub fn new(
         os: SimOs,
         app: App,
         algorithm: Box<dyn SearchAlgorithm>,
         spec: SessionSpec,
     ) -> Self {
-        let encoder = Encoder::new(&os.space);
+        Session::with_target(Box::new(SimTarget::new(os, app)), algorithm, spec)
+    }
+
+    /// Creates a session over any [`EvalTarget`].
+    pub fn with_target(
+        target: Box<dyn EvalTarget>,
+        algorithm: Box<dyn SearchAlgorithm>,
+        spec: SessionSpec,
+    ) -> Self {
+        let encoder = Encoder::new(target.space());
         let rng = StdRng::seed_from_u64(spec.seed);
         let workers = spec.workers.max(1);
         Session {
-            os,
-            app,
+            target,
             algorithm,
             encoder,
             clock: VirtualClock::new(),
@@ -254,7 +263,7 @@ impl Session {
         let t_ask = Instant::now();
         let configs = {
             let ctx = SearchContext {
-                space: &self.os.space,
+                space: self.target.space(),
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
@@ -269,8 +278,7 @@ impl Session {
         // Evaluate across the pool.
         let (hits_before, misses_before) = self.cache.stats();
         let evals = self.pool.run_wave(
-            &self.os,
-            &self.app,
+            self.target.as_ref(),
             &configs,
             start,
             self.spec.seed,
@@ -321,7 +329,7 @@ impl Session {
         let t_tell = Instant::now();
         {
             let ctx = SearchContext {
-                space: &self.os.space,
+                space: self.target.space(),
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
@@ -396,14 +404,19 @@ impl Session {
         &self.waves
     }
 
-    /// The OS target under specialization.
-    pub fn os(&self) -> &SimOs {
-        &self.os
+    /// The target under specialization.
+    pub fn target(&self) -> &dyn EvalTarget {
+        self.target.as_ref()
     }
 
-    /// The application under test.
-    pub fn app(&self) -> &App {
-        &self.app
+    /// The target's searchable configuration space.
+    pub fn space(&self) -> &ConfigSpace {
+        self.target.space()
+    }
+
+    /// The target's typed identity (name, app, metric, unit, direction).
+    pub fn descriptor(&self) -> &TargetDescriptor {
+        self.target.descriptor()
     }
 
     /// Current virtual wall time.

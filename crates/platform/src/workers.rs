@@ -13,11 +13,12 @@
 //! benchmarked one after the other" — experiments are never co-located).
 
 use crate::cache::SharedImageCache;
+use crate::target::EvalTarget;
 use crossbeam::thread;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wf_configspace::Configuration;
-use wf_ossim::{App, BenchResult, CrashReport, KernelImage, SimOs};
+use wf_ossim::{BenchResult, CrashReport, KernelImage};
 
 /// Derives an independent RNG seed from a base seed and a stream index
 /// (SplitMix64 finalizer over the pair).
@@ -51,8 +52,7 @@ const STREAM_BOOT: u64 = 2;
 /// draws from `derive_seed(seed, i)` regardless of how many repetitions
 /// run or whether they run on threads.
 pub fn run_repetitions(
-    os: &SimOs,
-    app: &App,
+    target: &dyn EvalTarget,
     image: &KernelImage,
     config: &Configuration,
     reps: usize,
@@ -61,14 +61,14 @@ pub fn run_repetitions(
     assert!(reps >= 1, "need at least one repetition");
     if reps == 1 {
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0));
-        return vec![os.bench(app, image, config, &mut rng)];
+        return vec![target.bench(image, config, &mut rng)];
     }
     thread::scope(|scope| {
         let handles: Vec<_> = (0..reps)
             .map(|i| {
                 scope.spawn(move |_| {
                     let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
-                    os.bench(app, image, config, &mut rng)
+                    target.bench(image, config, &mut rng)
                 })
             })
             .collect();
@@ -132,8 +132,7 @@ pub struct CandidateEval {
 /// configuration (incremental-rebuild timing on compile targets).
 #[allow(clippy::too_many_arguments)] // mirrors Pool::run_wave, the one caller
 pub fn evaluate_candidate(
-    os: &SimOs,
-    app: &App,
+    target: &dyn EvalTarget,
     config: &Configuration,
     index: usize,
     session_seed: u64,
@@ -145,10 +144,10 @@ pub fn evaluate_candidate(
     let mut build_rng = StdRng::seed_from_u64(derive_seed(candidate_seed, STREAM_BUILD));
     let mut boot_rng = StdRng::seed_from_u64(derive_seed(candidate_seed, STREAM_BOOT));
 
-    let fingerprint = os.image_fingerprint(config);
+    let fingerprint = target.image_fingerprint(config);
     let cached = cache.get(fingerprint);
     let build_skipped = cached.is_some();
-    let (built, build_s) = os.build(
+    let (built, build_s) = target.build(
         config,
         cached.as_ref(),
         working_tree.as_ref(),
@@ -169,7 +168,7 @@ pub fn evaluate_candidate(
     cache.insert(image.clone());
     *working_tree = Some(config.clone());
 
-    let (booted, boot_s) = os.boot(&image, config, &mut boot_rng);
+    let (booted, boot_s) = target.boot(&image, config, &mut boot_rng);
     if let Err(crash) = booted {
         return CandidateEval {
             config: config.clone(),
@@ -180,8 +179,7 @@ pub fn evaluate_candidate(
     }
 
     let outcomes = run_repetitions(
-        os,
-        app,
+        target,
         &image,
         config,
         repetitions,
@@ -235,8 +233,7 @@ impl Pool {
     #[allow(clippy::too_many_arguments)] // the platform's one dispatch point
     pub fn run_wave(
         &self,
-        os: &SimOs,
-        app: &App,
+        target: &dyn EvalTarget,
         candidates: &[Configuration],
         first_index: usize,
         session_seed: u64,
@@ -255,8 +252,7 @@ impl Pool {
                 .enumerate()
                 .map(|(j, (config, lane))| {
                     evaluate_candidate(
-                        os,
-                        app,
+                        target,
                         config,
                         first_index + j,
                         session_seed,
@@ -275,8 +271,7 @@ impl Pool {
                 .map(|(j, (config, lane))| {
                     scope.spawn(move |_| {
                         evaluate_candidate(
-                            os,
-                            app,
+                            target,
                             config,
                             first_index + j,
                             session_seed,
@@ -299,20 +294,27 @@ impl Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::target::SimTarget;
     use std::collections::HashSet;
     use wf_kconfig::LinuxVersion;
-    use wf_ossim::AppId;
+    use wf_ossim::{App, AppId, SimOs};
+
+    fn sim_target(app: AppId) -> SimTarget {
+        SimTarget::new(
+            SimOs::linux_runtime(LinuxVersion::V4_19, 64),
+            App::by_id(app),
+        )
+    }
 
     #[test]
     fn repetitions_are_deterministic_per_seed() {
-        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
-        let app = App::by_id(AppId::Redis);
-        let cfg = os.space.default_config();
+        let target = sim_target(AppId::Redis);
+        let cfg = target.space().default_config();
         let mut rng = StdRng::seed_from_u64(1);
-        let (img, _) = os.build(&cfg, None, None, &mut rng);
+        let (img, _) = target.build(&cfg, None, None, &mut rng);
         let img = img.unwrap();
-        let a = run_repetitions(&os, &app, &img, &cfg, 4, 99);
-        let b = run_repetitions(&os, &app, &img, &cfg, 4, 99);
+        let a = run_repetitions(&target, &img, &cfg, 4, 99);
+        let b = run_repetitions(&target, &img, &cfg, 4, 99);
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.0.as_ref().unwrap().metric, y.0.as_ref().unwrap().metric);
         }
@@ -359,16 +361,15 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
-        let app = App::by_id(AppId::Nginx);
-        let cfg = os.space.default_config();
+        let target = sim_target(AppId::Nginx);
+        let cfg = target.space().default_config();
         let mut rng = StdRng::seed_from_u64(2);
-        let (img, _) = os.build(&cfg, None, None, &mut rng);
+        let (img, _) = target.build(&cfg, None, None, &mut rng);
         let img = img.unwrap();
         // reps=1 path (sequential) vs reps>1 path (threads) with the same
         // derived seed must produce the same first-repetition result.
-        let solo = run_repetitions(&os, &app, &img, &cfg, 1, 7);
-        let multi = run_repetitions(&os, &app, &img, &cfg, 3, 7);
+        let solo = run_repetitions(&target, &img, &cfg, 1, 7);
+        let multi = run_repetitions(&target, &img, &cfg, 3, 7);
         assert_eq!(
             solo[0].0.as_ref().unwrap().metric,
             multi[0].0.as_ref().unwrap().metric
@@ -410,10 +411,10 @@ mod tests {
         // of one) and a 4-wide pool (one wave of four) must produce
         // identical outcomes and durations on a runtime target, because
         // every virtual-cost draw derives from (seed, candidate index).
-        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 64);
-        let app = App::by_id(AppId::Nginx);
+        let target = sim_target(AppId::Nginx);
         let mut rng = StdRng::seed_from_u64(3);
-        let candidates: Vec<Configuration> = (0..4).map(|_| os.space.sample(&mut rng)).collect();
+        let candidates: Vec<Configuration> =
+            (0..4).map(|_| target.space().sample(&mut rng)).collect();
 
         let narrow_cache = SharedImageCache::new(8);
         let narrow_pool = Pool::new(1);
@@ -423,8 +424,7 @@ mod tests {
             .enumerate()
             .flat_map(|(i, c)| {
                 narrow_pool.run_wave(
-                    &os,
-                    &app,
+                    &target,
                     std::slice::from_ref(c),
                     i,
                     42,
@@ -438,16 +438,7 @@ mod tests {
         let wide_cache = SharedImageCache::new(8);
         let wide_pool = Pool::new(4);
         let mut wide_lanes = [None, None, None, None];
-        let wide = wide_pool.run_wave(
-            &os,
-            &app,
-            &candidates,
-            0,
-            42,
-            2,
-            &wide_cache,
-            &mut wide_lanes,
-        );
+        let wide = wide_pool.run_wave(&target, &candidates, 0, 42, 2, &wide_cache, &mut wide_lanes);
 
         for (a, b) in narrow.iter().zip(wide.iter()) {
             assert_eq!(a.config, b.config);

@@ -1,0 +1,75 @@
+//! Registering and running a downstream target: the open target layer
+//! end to end.
+//!
+//! `linux-6.0-net` (a network-tuned Linux 6.0 running a memcached-style
+//! cache) is defined entirely in `wayfinder::scenarios` — outside
+//! `wf-platform`'s pipeline and `wayfinder-core`'s session internals —
+//! and reaches the session through one `register()` call. This example
+//! drives it twice: through the fluent builder and through a job file,
+//! exactly like a built-in target.
+//!
+//! ```sh
+//! cargo run --release --example custom_target
+//! ```
+
+use wayfinder::prelude::*;
+
+fn main() {
+    // The registry: the five paper targets plus the downstream scenario.
+    let registry = wayfinder::scenarios::registry();
+    println!("registered targets:");
+    for factory in registry.factories() {
+        println!("  {:<16} {}", factory.keyword(), factory.summary());
+    }
+
+    // 1) Fluent builder: address the scenario by its registry keyword.
+    let mut session = SessionBuilder::new()
+        .registry(registry.clone())
+        .target("linux-6.0-net")
+        .algorithm(AlgorithmChoice::DeepTune)
+        .runtime_params(200)
+        .iterations(60)
+        .seed(7)
+        .build()
+        .expect("scenario resolves like a built-in");
+    let descriptor = session.platform().descriptor().clone();
+    println!(
+        "\nsearching {} for {} ({} parameters) ...",
+        descriptor.name,
+        descriptor.app,
+        session.platform().space().len(),
+    );
+    let outcome = session.run();
+    let (config, best) = outcome.best.expect("a survivor");
+    println!(
+        "best {}: {:.0} {} over {:.0} {} baseline, crash rate {:.0}%",
+        descriptor.metric,
+        best,
+        descriptor.unit,
+        812_000.0,
+        descriptor.unit,
+        outcome.summary.crash_rate * 100.0,
+    );
+    let space = session.platform().space();
+    let default = space.default_config();
+    println!("non-default network parameters:");
+    for idx in config.diff_indices(&default).into_iter().take(8) {
+        println!("  {} = {}", space.spec(idx).name, config.get(idx));
+    }
+
+    // 2) Job file: the same scenario through the `os:` keyword.
+    let job = Job::parse(
+        "name: memcached-net\nos: linux-6.0-net\napp: memcached\nmetric: throughput\nalgorithm: random\nseed: 11\nbudget:\n  iterations: 20\n",
+    )
+    .expect("job parses");
+    let mut session = SessionBuilder::from_job(&job)
+        .expect("job maps to a builder")
+        .registry(registry)
+        .build()
+        .expect("job resolves through the registry");
+    let outcome = session.run();
+    println!(
+        "\njob file run: {} iterations, best {:?} ops/s",
+        outcome.summary.iterations, outcome.summary.best_metric,
+    );
+}

@@ -29,7 +29,10 @@ fn main() {
     let job = Job::parse(JOB).expect("job file parses");
     println!(
         "job {:?}: {} on {}, {:?} iterations",
-        job.name, job.app, job.os, job.budget.iterations
+        job.name,
+        job.app.as_deref().unwrap_or("<target default>"),
+        job.os,
+        job.budget.iterations
     );
 
     let mut session = SessionBuilder::from_job(&job)
@@ -40,7 +43,7 @@ fn main() {
 
     // §3.5: the pinned parameter is fixed in the search space.
     {
-        let space = &session.platform().os().space;
+        let space = session.platform().space();
         let idx = space
             .index_of("kernel.randomize_va_space")
             .expect("parameter exists");
@@ -69,7 +72,7 @@ fn main() {
     );
 
     // Every configuration explored kept ASLR at its pinned value.
-    let space = &session.platform().os().space;
+    let space = session.platform().space();
     let pinned_value = space
         .default_config()
         .by_name(space, "kernel.randomize_va_space");

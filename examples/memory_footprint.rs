@@ -23,7 +23,7 @@ fn main() {
 
     println!(
         "minimizing RISC-V image footprint over {} compile-time options ({budget_s:.0}s virtual budget) ...",
-        session.platform().os().space.len()
+        session.platform().space().len()
     );
     let outcome = session.run();
     let s = &outcome.summary;
@@ -42,7 +42,7 @@ fn main() {
 
     // Which heavyweight options did the search turn off?
     if let Some((config, _)) = outcome.best {
-        let space = &session.platform().os().space;
+        let space = session.platform().space();
         let default = space.default_config();
         let mut flips: Vec<String> = config
             .diff_indices(&default)

@@ -34,7 +34,7 @@ fn main() {
     println!("best configuration: {value:.0} req/s");
 
     // Show the non-default runtime parameters of the winner.
-    let space = &session.platform().os().space;
+    let space = session.platform().space();
     let default = space.default_config();
     println!("non-default parameters of the best configuration:");
     for idx in config.diff_indices(&default) {

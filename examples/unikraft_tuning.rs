@@ -19,7 +19,7 @@ fn main() {
         .build()
         .expect("valid session");
 
-    let space_size = session.platform().os().space.log10_cardinality();
+    let space_size = session.platform().space().log10_cardinality();
     println!(
         "tuning Unikraft+Nginx: 33 parameters, 10^{space_size:.1} permutations, {budget_s:.0}s budget"
     );

@@ -2,17 +2,21 @@
 //!
 //! The paper's artifact drives experiments through `wfctl create job.yaml`
 //! / `wfctl start`; this binary mirrors that workflow against the
-//! simulated testbed:
+//! simulated testbed, resolving every `os:` keyword through the open
+//! target registry (built-ins plus `wayfinder::scenarios`):
 //!
 //! ```sh
 //! wfctl run <job.yaml>             # run a job file to completion
 //! wfctl run <job.yaml> --workers 4 # ... across 4 simulated VM workers
+//! wfctl run --os linux-6.0-net     # ad-hoc session on a registered target
 //! wfctl validate <job.yaml>        # parse + resolve a job without running it
+//! wfctl targets                    # list every registered target
 //! wfctl probe                      # run the §3.4 runtime-space inference
 //! wfctl experiments                # list the regeneration targets
 //! ```
 
 use std::process::ExitCode;
+use wayfinder::core::BuildError;
 use wayfinder::ossim::{first_crash, SimOs, SysctlTree};
 use wayfinder::platform::probe_runtime_space;
 use wayfinder::prelude::*;
@@ -22,14 +26,15 @@ use wf_kconfig::LinuxVersion;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("run") => match parse_run_args(&args[1..]) {
-            Ok((path, workers)) => run_job(&path, workers),
+        Some("run") => match RunArgs::parse(&args[1..]) {
+            Ok(run) => run_job(&run),
             Err(e) => usage(&e),
         },
         Some("validate") => match args.get(1) {
             Some(path) => validate_job(path),
             None => usage("validate needs a job file"),
         },
+        Some("targets") => targets(),
         Some("probe") => probe(),
         Some("experiments") => experiments(),
         Some("--help" | "-h" | "help") => {
@@ -41,38 +46,81 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run <job.yaml> [--workers N]\n                              run a job file to completion, optionally\n                              across N simulated VM workers (overrides\n                              the job's `workers:` and WF_WORKERS)\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--seed S]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
 
-/// Parses `run` operands: a job-file path plus an optional `--workers N`.
-fn parse_run_args(rest: &[String]) -> Result<(String, Option<usize>), String> {
-    let mut path = None;
-    let mut workers = None;
-    let mut i = 0;
-    while i < rest.len() {
-        match rest[i].as_str() {
-            "--workers" => {
-                let value = rest
-                    .get(i + 1)
-                    .ok_or_else(|| "--workers needs a count".to_string())?;
-                let n: usize = value
-                    .parse()
-                    .ok()
-                    .filter(|n| (1..=64).contains(n))
-                    .ok_or_else(|| format!("--workers must be in 1..=64, got {value:?}"))?;
-                workers = Some(n);
-                i += 2;
-            }
-            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
-            operand => {
-                if path.replace(operand.to_string()).is_some() {
-                    return Err("run takes exactly one job file".into());
+/// `run` operands: an optional job-file path plus override flags.
+struct RunArgs {
+    path: Option<String>,
+    os: Option<String>,
+    app: Option<String>,
+    workers: Option<usize>,
+    iterations: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl RunArgs {
+    fn parse(rest: &[String]) -> Result<RunArgs, String> {
+        let mut run = RunArgs {
+            path: None,
+            os: None,
+            app: None,
+            workers: None,
+            iterations: None,
+            seed: None,
+        };
+        let mut i = 0;
+        let flag_value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            let value = rest
+                .get(*i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            *i += 2;
+            Ok(value.clone())
+        };
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--workers" => {
+                    let value = flag_value(&mut i, "--workers")?;
+                    run.workers = Some(
+                        value
+                            .parse()
+                            .ok()
+                            .filter(|n| (1..=64).contains(n))
+                            .ok_or_else(|| format!("--workers must be in 1..=64, got {value:?}"))?,
+                    );
                 }
-                i += 1;
+                "--os" => run.os = Some(flag_value(&mut i, "--os")?),
+                "--app" => run.app = Some(flag_value(&mut i, "--app")?),
+                "--iterations" => {
+                    let value = flag_value(&mut i, "--iterations")?;
+                    run.iterations =
+                        Some(
+                            value.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                                format!("--iterations must be >= 1, got {value:?}")
+                            })?,
+                        );
+                }
+                "--seed" => {
+                    let value = flag_value(&mut i, "--seed")?;
+                    run.seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("--seed must be an integer, got {value:?}"))?,
+                    );
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                operand => {
+                    if run.path.replace(operand.to_string()).is_some() {
+                        return Err("run takes at most one job file".into());
+                    }
+                    i += 1;
+                }
             }
         }
+        if run.path.is_none() && run.os.is_none() {
+            return Err("run needs a job file or --os <keyword>".into());
+        }
+        Ok(run)
     }
-    path.map(|p| (p, workers))
-        .ok_or_else(|| "run needs a job file".into())
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -81,67 +129,122 @@ fn usage(err: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Prints a build error with a variant-specific hint and returns the
+/// failure exit code.
+fn report_build_error(context: &str, err: &BuildError) -> ExitCode {
+    eprintln!("{context}: {err}");
+    match err {
+        BuildError::UnknownTarget { .. } => {
+            eprintln!("hint: `wfctl targets` lists every registered target")
+        }
+        BuildError::UnknownApp { .. } | BuildError::IncompatibleApp { .. } => {
+            eprintln!("hint: `wfctl targets` shows which apps each target supports")
+        }
+        BuildError::UnknownMetric { .. } => {
+            eprintln!("hint: set `metric:` to the target's primary metric, `memory`, or `score`")
+        }
+        BuildError::MissingBudget => {
+            eprintln!("hint: give the job a `budget:` with `iterations:` or `time_seconds:`")
+        }
+        BuildError::BadPin { .. } => {
+            eprintln!("hint: pinned parameters must exist in the searched space")
+        }
+        BuildError::DuplicateKeyword { .. } => {
+            eprintln!("hint: every registered target needs a unique keyword")
+        }
+    }
+    ExitCode::FAILURE
+}
+
 fn load_job(path: &str) -> Result<Job, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     Job::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn validate_job(path: &str) -> ExitCode {
-    match load_job(path).and_then(|job| {
-        SessionBuilder::from_job(&job)
-            .and_then(SessionBuilder::build)
-            .map_err(|e| e.to_string())
-            .map(|session| (job, session))
-    }) {
-        Ok((job, session)) => {
-            let os = session.platform().os();
+    let job = match load_job(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("invalid job: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let built = SessionBuilder::from_job(&job)
+        .map(|b| b.registry(wayfinder::scenarios::registry()))
+        .and_then(SessionBuilder::build);
+    match built {
+        Ok(session) => {
+            let descriptor = session.platform().descriptor().clone();
+            let space = session.platform().space();
             println!(
                 "job {:?}: {} on {} — {} parameters (10^{:.1} permutations), budget {:?} iterations / {:?} s",
                 job.name,
-                job.app,
-                os.name,
-                os.space.len(),
-                os.space.log10_cardinality(),
+                descriptor.app,
+                descriptor.name,
+                space.len(),
+                space.log10_cardinality(),
                 job.budget.iterations,
                 job.budget.time_seconds,
             );
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("invalid job: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => report_build_error("invalid job", &e),
     }
 }
 
-fn run_job(path: &str, workers: Option<usize>) -> ExitCode {
-    let job = match load_job(path) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+fn run_job(run: &RunArgs) -> ExitCode {
+    let (job_name, builder) = match &run.path {
+        Some(path) => {
+            let job = match load_job(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let builder = match SessionBuilder::from_job(&job) {
+                Ok(b) => b,
+                Err(e) => return report_build_error("cannot build session", &e),
+            };
+            (job.name.clone(), builder)
         }
+        // Ad-hoc `--os` runs: a quick random-search session on the
+        // target's default app and metric, overridable by the flags
+        // below.
+        None => (
+            "adhoc".to_string(),
+            SessionBuilder::new()
+                .algorithm(AlgorithmChoice::Random)
+                .iterations(24),
+        ),
     };
-    let session = SessionBuilder::from_job(&job).map(|b| {
-        // CLI flag > job file > WF_WORKERS/default.
-        match workers {
-            Some(n) => b.workers(n),
-            None => b,
-        }
-    });
-    let session = session.and_then(SessionBuilder::build);
-    let mut session = match session {
+    // CLI flags > job file > WF_WORKERS/default.
+    let mut builder = builder.registry(wayfinder::scenarios::registry());
+    if let Some(os) = &run.os {
+        builder = builder.target(os.clone());
+    }
+    if let Some(app) = &run.app {
+        builder = builder.app_named(app.clone());
+    }
+    if let Some(n) = run.workers {
+        builder = builder.workers(n);
+    }
+    if let Some(n) = run.iterations {
+        builder = builder.iterations(n);
+    }
+    if let Some(seed) = run.seed {
+        builder = builder.seed(seed);
+    }
+    let mut session = match builder.build() {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot build session: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return report_build_error("cannot build session", &e),
     };
+    let descriptor = session.platform().descriptor().clone();
     println!(
         "running job {:?}: {} on {} across {} worker(s) ...",
-        job.name,
-        job.app,
-        session.platform().os().name,
+        job_name,
+        descriptor.app,
+        descriptor.name,
         session.platform().summary().workers,
     );
     let mut last_report = 0.0;
@@ -197,8 +300,11 @@ fn run_job(path: &str, workers: Option<usize>) -> ExitCode {
     }
     match (summary.best_objective, summary.best_config) {
         (Some(best), Some(config)) => {
-            println!("best {}: {:.2}", job.metric, best);
-            let space = &session.platform().os().space;
+            println!(
+                "best {} ({}): {:.2}",
+                descriptor.metric, descriptor.unit, best
+            );
+            let space = session.platform().space();
             let default = space.default_config();
             println!("non-default parameters:");
             for idx in config.diff_indices(&default) {
@@ -211,6 +317,21 @@ fn run_job(path: &str, workers: Option<usize>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn targets() -> ExitCode {
+    let registry = wayfinder::scenarios::registry();
+    println!("registered targets ({}):", registry.len());
+    for factory in registry.factories() {
+        println!(
+            "  {:<16} apps: {:<32} {}",
+            factory.keyword(),
+            factory.apps().join(", "),
+            factory.summary(),
+        );
+    }
+    println!("(run one with `wfctl run --os <keyword>` or a job file's `os:` key)");
+    ExitCode::SUCCESS
 }
 
 fn probe() -> ExitCode {

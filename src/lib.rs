@@ -14,7 +14,10 @@
 //! * [`deeptune`] — the DeepTune optimizer (the paper's core contribution);
 //! * [`forest`] — random-forest feature importance;
 //! * [`cozart`] — compile-time debloating baseline;
-//! * [`core`] — sessions, reports, and per-figure experiment runners.
+//! * [`core`] — sessions, the open target registry, reports, and
+//!   per-figure experiment runners;
+//! * [`scenarios`] — downstream-registered targets (e.g. `linux-6.0-net`
+//!   with a memcached-style cache), the template for adding your own.
 //!
 //! # Examples
 //!
@@ -33,6 +36,8 @@
 //! let outcome = session.run();
 //! assert!(outcome.best.is_some());
 //! ```
+
+pub mod scenarios;
 
 pub use wayfinder_core as core;
 pub use wf_configspace as configspace;

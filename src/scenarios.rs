@@ -1,0 +1,263 @@
+//! Downstream scenario definitions, registered from *outside* the core
+//! crates.
+//!
+//! This module is the proof that the target layer is open: it defines a
+//! genuinely new scenario — `linux-6.0-net`, a network-tuned Linux 6.0
+//! target running a memcached-style key-value cache — using only public
+//! building blocks (`wf_ossim` models, `wf_platform::SimTarget`,
+//! `wayfinder_core::TargetRegistry`). Neither `wf-platform`'s pipeline
+//! nor `wayfinder-core`'s session internals know this scenario exists;
+//! it still runs from job files, `SessionBuilder`, `wfctl run --os
+//! linux-6.0-net`, and shows up in `wfctl targets`.
+//!
+//! Use it as the template for your own targets: build (or implement) an
+//! [`wf_platform::EvalTarget`], wrap it in a
+//! [`wayfinder_core::TargetFactory`], and [`register`] it.
+
+use std::sync::Arc;
+use wayfinder_core::{BuildError, TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
+use wf_kconfig::LinuxVersion;
+use wf_ossim::{App, AppId, Cond, Curve, MetricDirection, PerfModel, SimOs};
+use wf_platform::SimTarget;
+use wf_search::SamplePolicy;
+
+/// Non-`net.*` parameters the network-tuned space keeps searchable: the
+/// scheduler and memory knobs a cache server demonstrably feels.
+pub const NET_EXTRA_PARAMS: &[&str] = &[
+    "kernel.sched_migration_cost_ns",
+    "kernel.numa_balancing",
+    "vm.swappiness",
+    "vm.overcommit_memory",
+];
+
+/// The network-tuned Linux 6.0 OS: the probed v6.0 runtime space cut
+/// down to the networking stack plus [`NET_EXTRA_PARAMS`].
+fn network_tuned_linux(runtime_params: usize) -> SimOs {
+    let mut os = SimOs::linux_runtime(LinuxVersion::V6_0, runtime_params);
+    let keep: Vec<&str> = os
+        .space
+        .specs()
+        .iter()
+        .map(|p| p.name.as_str())
+        .filter(|name| name.starts_with("net.") || NET_EXTRA_PARAMS.contains(name))
+        .collect();
+    os.space = os.space.subset(&keep);
+    os.name = "linux-6.0-net".into();
+    os
+}
+
+/// A memcached-style in-memory cache under a memtier-style load
+/// generator: network-intensive, partially multi-threaded, with the
+/// biggest wins in aligned backlog/buffer combinations — the same shape
+/// §4.1 reports for the other system-intensive servers.
+pub fn memcached_app() -> App {
+    let perf = PerfModel::new(0.022)
+        .effect(
+            "net.core.somaxconn",
+            Curve::SaturatingLog {
+                lo: 128.0,
+                hi: 8_192.0,
+                gain: 0.05,
+            },
+        )
+        .effect(
+            "net.ipv4.tcp_max_syn_backlog",
+            Curve::SaturatingLog {
+                lo: 512.0,
+                hi: 8_192.0,
+                gain: 0.02,
+            },
+        )
+        .effect(
+            "net.core.rmem_default",
+            Curve::OptimumLog {
+                best: 2_097_152.0,
+                width: 0.7,
+                gain: 0.03,
+            },
+        )
+        .effect(
+            "net.core.wmem_default",
+            Curve::OptimumLog {
+                best: 2_097_152.0,
+                width: 0.8,
+                gain: 0.02,
+            },
+        )
+        .effect(
+            "net.core.busy_read",
+            Curve::OptimumLog {
+                best: 50.0,
+                width: 0.4,
+                gain: 0.035,
+            },
+        )
+        .effect(
+            "net.ipv4.tcp_fastopen",
+            Curve::PerChoice {
+                factors: vec![1.0, 1.004, 1.004, 1.01],
+            },
+        )
+        .effect(
+            "net.ipv4.tcp_keepalive_time",
+            Curve::Step {
+                at: 600.0,
+                below: 1.01,
+                above: 1.0,
+            },
+        )
+        .effect("net.ipv4.tcp_sack", Curve::BoolFactor { when_on: 1.008 })
+        .effect(
+            "net.ipv4.tcp_tw_reuse",
+            Curve::BoolFactor { when_on: 1.008 },
+        )
+        .effect(
+            "kernel.sched_migration_cost_ns",
+            Curve::SaturatingLog {
+                lo: 500_000.0,
+                hi: 50_000_000.0,
+                gain: 0.018,
+            },
+        )
+        .effect("kernel.numa_balancing", Curve::BoolFactor { when_on: 0.99 })
+        .effect(
+            "vm.swappiness",
+            Curve::Linear {
+                lo: 0.0,
+                hi: 100.0,
+                lo_factor: 1.004,
+                hi_factor: 0.99,
+            },
+        )
+        .interaction(
+            "aligned-backlogs",
+            vec![
+                ("net.core.somaxconn", Cond::Ge(4096.0)),
+                ("net.ipv4.tcp_max_syn_backlog", Cond::Ge(4096.0)),
+                ("net.core.netdev_max_backlog", Cond::Ge(4096.0)),
+            ],
+            1.04,
+        )
+        .interaction(
+            "poll+sticky",
+            vec![
+                ("net.core.busy_read", Cond::Ge(30.0)),
+                ("kernel.sched_migration_cost_ns", Cond::Ge(5_000_000.0)),
+            ],
+            1.015,
+        );
+    let mem = PerfModel::new(0.01)
+        .effect(
+            "net.core.rmem_default",
+            Curve::SaturatingLog {
+                lo: 212_992.0,
+                hi: 33_554_432.0,
+                gain: 0.18,
+            },
+        )
+        .effect(
+            "net.core.wmem_default",
+            Curve::SaturatingLog {
+                lo: 212_992.0,
+                hi: 33_554_432.0,
+                gain: 0.12,
+            },
+        )
+        .effect(
+            "vm.overcommit_memory",
+            Curve::PerChoice {
+                factors: vec![1.0, 1.0, 1.08],
+            },
+        );
+    App {
+        id: AppId::Custom("memcached"),
+        bench_tool: "memtier_benchmark",
+        metric_name: "throughput",
+        unit: "ops/s",
+        direction: MetricDirection::HigherBetter,
+        base: 812_000.0,
+        cores: 8,
+        bench_duration_s: 50.0,
+        mem_base_mb: 128.0,
+        perf,
+        mem,
+    }
+}
+
+/// The `linux-6.0-net` target factory: network-tuned Linux 6.0 running
+/// [`memcached_app`].
+pub struct NetTunedLinuxFactory;
+
+impl TargetFactory for NetTunedLinuxFactory {
+    fn keyword(&self) -> &str {
+        "linux-6.0-net"
+    }
+
+    fn summary(&self) -> &str {
+        "Linux v6.0 cut to the networking stack, memcached-style cache (downstream scenario)"
+    }
+
+    fn apps(&self) -> Vec<String> {
+        vec!["memcached".into()]
+    }
+
+    fn default_app(&self) -> &str {
+        "memcached"
+    }
+
+    fn instantiate(&self, request: &TargetRequest) -> Result<TargetInstance, BuildError> {
+        if request.app != "memcached" {
+            return Err(BuildError::IncompatibleApp {
+                target: self.keyword().to_string(),
+                app: request.app.clone(),
+                reason: "this scenario models a memcached-style cache only".into(),
+            });
+        }
+        Ok(TargetInstance {
+            target: Box::new(SimTarget::new(
+                network_tuned_linux(request.runtime_params),
+                memcached_app(),
+            )),
+            policy: SamplePolicy::Uniform,
+        })
+    }
+}
+
+/// Registers every scenario in this module into `registry`.
+pub fn register(registry: &mut TargetRegistry) -> Result<(), BuildError> {
+    registry.register(Arc::new(NetTunedLinuxFactory))
+}
+
+/// The built-in registry plus this module's scenarios — what `wfctl`
+/// resolves against.
+pub fn registry() -> TargetRegistry {
+    let mut registry = TargetRegistry::builtin();
+    register(&mut registry).expect("scenario keywords do not collide with built-ins");
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_space_keeps_only_net_and_whitelisted_params() {
+        let os = network_tuned_linux(200);
+        assert!(!os.space.is_empty());
+        for spec in os.space.specs() {
+            assert!(
+                spec.name.starts_with("net.") || NET_EXTRA_PARAMS.contains(&spec.name.as_str()),
+                "unexpected parameter {}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn memcached_has_tunable_headroom() {
+        let os = network_tuned_linux(200);
+        let app = memcached_app();
+        let bound = app.perf.headroom_bound(&os.defaults_view);
+        assert!((1.05..1.40).contains(&bound), "headroom bound {bound}");
+    }
+}

@@ -26,7 +26,7 @@ fn job_file_drives_a_full_session() {
     assert_eq!(outcome.summary.iterations, 14);
     assert!(outcome.best.is_some());
     // The §3.5 pin held for every explored configuration.
-    let space = &session.platform().os().space;
+    let space = session.platform().space();
     for r in session.platform().history().records() {
         assert_eq!(
             r.config.by_name(space, "kernel.randomize_va_space"),

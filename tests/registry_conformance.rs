@@ -1,0 +1,191 @@
+//! Registry conformance: every registered target — built-in or
+//! downstream — must build, run a short session to completion, and
+//! round-trip its keyword through job-file parsing; duplicate keywords
+//! must be rejected. Plus the end-to-end proof that the `linux-6.0-net`
+//! scenario plugs in without touching the core crates, including through
+//! the `wfctl` binary.
+
+use std::process::Command;
+use wayfinder::prelude::*;
+
+/// The registry under test: built-ins plus the downstream scenario.
+fn registry() -> TargetRegistry {
+    wayfinder::scenarios::registry()
+}
+
+/// Small spaces and budgets keep the conformance sweep fast; the RISC-V
+/// target still exercises real (virtual) builds.
+const CONFORMANCE_PARAMS: usize = 56;
+const CONFORMANCE_ITERS: usize = 5;
+
+#[test]
+fn every_registered_target_builds_and_runs_to_completion() {
+    let registry = registry();
+    assert!(registry.len() >= 6, "expected built-ins + scenario");
+    for factory in registry.factories() {
+        let keyword = factory.keyword().to_string();
+        let mut session = SessionBuilder::new()
+            .registry(registry.clone())
+            .target(&keyword)
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(CONFORMANCE_PARAMS)
+            .iterations(CONFORMANCE_ITERS)
+            .workers(1)
+            .seed(41)
+            .build()
+            .unwrap_or_else(|e| panic!("{keyword} failed to build: {e}"));
+        let descriptor = session.platform().descriptor().clone();
+        assert_eq!(
+            descriptor.app,
+            factory.default_app(),
+            "{keyword}: default app mismatch"
+        );
+        assert!(
+            factory.apps().contains(&descriptor.app),
+            "{keyword}: default app not in supported list"
+        );
+        let outcome = session.run();
+        assert_eq!(
+            outcome.summary.iterations, CONFORMANCE_ITERS,
+            "{keyword}: session did not run to its budget"
+        );
+    }
+}
+
+#[test]
+fn every_keyword_round_trips_through_a_job_file() {
+    let registry = registry();
+    for factory in registry.factories() {
+        let keyword = factory.keyword().to_string();
+        // Learn the target's default app and primary metric from a probe
+        // instantiation, then write the job file a user would.
+        let probe = factory
+            .instantiate(&TargetRequest {
+                app: factory.default_app().to_string(),
+                runtime_params: CONFORMANCE_PARAMS,
+            })
+            .unwrap_or_else(|e| panic!("{keyword} default instantiation failed: {e}"));
+        let descriptor = probe.target.descriptor().clone();
+        let text = format!(
+            "name: conformance\nos: {keyword}\napp: {}\nmetric: {}\nalgorithm: random\nseed: 23\nbudget:\n  iterations: {CONFORMANCE_ITERS}\n",
+            descriptor.app, descriptor.metric,
+        );
+        let job = Job::parse(&text).unwrap_or_else(|e| panic!("{keyword} job parse: {e}"));
+        assert_eq!(job.os, keyword, "jobfile os keyword round-trip");
+        let mut session = SessionBuilder::from_job(&job)
+            .unwrap_or_else(|e| panic!("{keyword} from_job: {e}"))
+            .registry(registry.clone())
+            .runtime_params(CONFORMANCE_PARAMS)
+            .workers(1)
+            .build()
+            .unwrap_or_else(|e| panic!("{keyword} build from job: {e}"));
+        assert_eq!(session.platform().descriptor().app, descriptor.app);
+        let outcome = session.run();
+        assert_eq!(outcome.summary.iterations, CONFORMANCE_ITERS, "{keyword}");
+    }
+}
+
+#[test]
+fn duplicate_keyword_registration_is_rejected() {
+    let mut registry = registry();
+    let err = wayfinder::scenarios::register(&mut registry)
+        .expect_err("second registration of the same keyword must fail");
+    assert_eq!(
+        err,
+        BuildError::DuplicateKeyword {
+            keyword: "linux-6.0-net".into()
+        }
+    );
+    // The registry is unchanged: the scenario still resolves once.
+    assert!(registry.get("linux-6.0-net").is_some());
+}
+
+#[test]
+fn scenario_runs_end_to_end_without_core_edits() {
+    // The downstream target: searched space restricted to the network
+    // stack, memcached identity on the descriptor, real headroom over the
+    // default configuration.
+    let job = Job::parse(
+        "name: net-e2e\nos: linux-6.0-net\napp: memcached\nmetric: throughput\nalgorithm: random\nseed: 9\nbudget:\n  iterations: 30\n",
+    )
+    .expect("job parses");
+    let mut session = SessionBuilder::from_job(&job)
+        .expect("job maps to a builder")
+        .registry(registry())
+        .build()
+        .expect("the scenario resolves through the registry");
+    let descriptor = session.platform().descriptor().clone();
+    assert_eq!(descriptor.name, "linux-6.0-net");
+    assert_eq!(descriptor.app, "memcached");
+    assert_eq!(descriptor.unit, "ops/s");
+    for spec in session.platform().space().specs() {
+        assert!(
+            spec.name.starts_with("net.")
+                || wayfinder::scenarios::NET_EXTRA_PARAMS.contains(&spec.name.as_str()),
+            "non-network parameter {} leaked into the tuned space",
+            spec.name
+        );
+    }
+    let outcome = session.run();
+    assert_eq!(outcome.summary.iterations, 30);
+    let best = outcome.summary.best_metric.expect("a survivor");
+    assert!(
+        best > 700_000.0,
+        "memcached throughput {best} implausibly low"
+    );
+
+    // Unsupported apps are rejected with the typed error.
+    let err = SessionBuilder::new()
+        .registry(registry())
+        .target("linux-6.0-net")
+        .app(AppId::Redis)
+        .iterations(1)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, BuildError::IncompatibleApp { .. }), "{err}");
+}
+
+#[test]
+fn scenario_surfaces_through_the_wfctl_binary() {
+    // `wfctl targets` lists the downstream keyword...
+    let out = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .arg("targets")
+        .output()
+        .expect("wfctl targets runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("linux-6.0-net"), "{stdout}");
+    assert!(stdout.contains("memcached"), "{stdout}");
+
+    // ... and `wfctl run --os linux-6.0-net` drives it to completion.
+    let out = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args([
+            "run",
+            "--os",
+            "linux-6.0-net",
+            "--iterations",
+            "5",
+            "--seed",
+            "3",
+            "--workers",
+            "1",
+        ])
+        .output()
+        .expect("wfctl run runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("memcached on linux-6.0-net"), "{stdout}");
+    assert!(stdout.contains("best throughput"), "{stdout}");
+
+    // Unknown targets exit with the distinct UnknownTarget message and a
+    // listing hint.
+    let out = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["run", "--os", "plan9"])
+        .output()
+        .expect("wfctl run runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown target \"plan9\""), "{stderr}");
+    assert!(stderr.contains("wfctl targets"), "{stderr}");
+}

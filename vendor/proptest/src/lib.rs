@@ -5,7 +5,7 @@
 //! re-implements the subset of the proptest 1.x API the workspace's
 //! property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
 //!   `prop_recursive`, and `boxed`;
 //! * strategies for ranges, tuples (arity 2–6), [`strategy::Just`],
 //!   [`arbitrary::any`], regex-like `&str` patterns, and
