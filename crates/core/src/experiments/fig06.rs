@@ -114,7 +114,7 @@ pub fn redis_checkpoint(scale: &Scale, seed: u64) -> Checkpoint {
     let mut session = build_session(AppId::Redis, AlgorithmChoice::DeepTune, scale, seed);
     let _ = session.run();
     session
-        .checkpoint()
+        .transfer_checkpoint()
         .expect("a completed DeepTune session has a checkpoint")
 }
 

@@ -2,8 +2,12 @@
 //! runners.
 //!
 //! * [`session`] — [`SessionBuilder`]: pick an OS target, application,
-//!   algorithm, and budget; run; extract checkpoints and importance
-//!   analyses;
+//!   algorithm, and budget; run (optionally streaming
+//!   [`wf_platform::SessionEvent`]s through a sink or the
+//!   [`SpecializationSession::drive`] iterator); persist to a
+//!   [`wf_platform::SessionStore`] and resume deterministically with
+//!   [`SessionBuilder::resume`]; extract transfer checkpoints and
+//!   importance analyses;
 //! * [`targets`] — the open [`TargetRegistry`]: `os:` keywords resolve to
 //!   [`targets::TargetFactory`]s, the five paper targets ship
 //!   pre-registered, and downstream crates register new scenarios without
@@ -38,10 +42,11 @@ pub mod scale;
 pub mod session;
 pub mod targets;
 
-pub use report::{wave_stats_table, Table};
+pub use report::{store_report, wave_stats_table, Table};
 pub use scale::Scale;
 pub use session::{
-    AlgorithmChoice, BuildError, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
+    AlgorithmChoice, BuildError, Drive, OsFlavor, Outcome, ResumeError, SessionBuilder,
+    SpecializationSession,
 };
 pub use targets::{TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
 
@@ -50,10 +55,14 @@ pub mod prelude {
     pub use crate::report::Table;
     pub use crate::scale::Scale;
     pub use crate::session::{
-        AlgorithmChoice, BuildError, OsFlavor, Outcome, SessionBuilder, SpecializationSession,
+        AlgorithmChoice, BuildError, Drive, OsFlavor, Outcome, ResumeError, SessionBuilder,
+        SpecializationSession,
     };
     pub use crate::targets::{TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
     pub use wf_jobfile::{Direction, Job};
     pub use wf_ossim::AppId;
-    pub use wf_platform::{EvalTarget, Objective, SimTarget, TargetDescriptor};
+    pub use wf_platform::{
+        EvalTarget, EventSink, NullSink, Objective, RecordingSink, SessionEvent, SessionStore,
+        SimTarget, StoredSession, TargetDescriptor, Tee,
+    };
 }

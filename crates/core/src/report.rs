@@ -4,7 +4,8 @@
 //! paper's tables and figures report; these helpers keep that output
 //! uniform and diff-friendly.
 
-use wf_platform::{Series, WaveStats};
+use wf_configspace::ConfigSpace;
+use wf_platform::{Series, StoredSession, WaveStats};
 
 /// A fixed-width text table.
 #[derive(Clone, Debug, Default)]
@@ -105,6 +106,119 @@ pub fn render_multi_series(labels: &[&str], series: &[Series]) -> String {
             out.push_str(&format!("\t{:.4}", s.y[i]));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Renders the full report of a loaded session store — entirely offline:
+/// every line derives from the manifest and the persisted event log, so
+/// `wfctl report DIR` re-evaluates nothing. `space` (when the caller can
+/// rebuild it from the manifest) names the best configuration's
+/// non-default parameters; without it the diff is printed positionally.
+pub fn store_report(stored: &StoredSession, space: Option<&ConfigSpace>) -> String {
+    let job = &stored.job;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "session {:?}: {} on {}\n",
+        job.name,
+        job.app.as_deref().unwrap_or("(default app)"),
+        job.os,
+    ));
+    out.push_str(&format!(
+        "algorithm {}, seed {}, {} worker(s), {} repetition(s)\n",
+        job.algorithm.keyword(),
+        job.seed,
+        job.workers.unwrap_or(1),
+        job.repetitions,
+    ));
+    out.push_str(&format!(
+        "budget: {} iteration(s) / {} virtual second(s)\n",
+        job.budget
+            .iterations
+            .map_or("unbounded".to_string(), |n| n.to_string()),
+        job.budget
+            .time_seconds
+            .map_or("unbounded".to_string(), |s| format!("{s:.0}")),
+    ));
+    out.push_str(&format!(
+        "status: {}, {} evaluation(s) in {} wave(s), {} checkpoint(s), {} dropped record(s)\n",
+        if stored.finished {
+            "finished"
+        } else {
+            "interrupted"
+        },
+        stored.records.len(),
+        stored.wave_sizes.len(),
+        stored.checkpoints,
+        stored.dropped_records,
+    ));
+
+    let history = stored.history();
+    if history.is_empty() {
+        out.push_str("no evaluations recorded\n");
+        return out;
+    }
+    let elapsed_s = history
+        .records()
+        .last()
+        .map(|r| r.finished_at_s)
+        .unwrap_or(0.0);
+    let compute_s: f64 = history.records().iter().map(|r| r.duration_s).sum();
+    out.push_str(&format!(
+        "clock: {:.2} virtual hours wall, {:.2} VM-hours compute, crash rate {:.0}%\n",
+        elapsed_s / 3600.0,
+        compute_s / 3600.0,
+        history.crash_rate() * 100.0,
+    ));
+
+    let direction = job.direction;
+    match history.best(direction) {
+        None => out.push_str("best: none (every configuration crashed)\n"),
+        Some(best) => {
+            out.push_str(&format!(
+                "best {}: {:.2} at iteration {} ({})\n",
+                job.metric.as_deref().unwrap_or("objective"),
+                best.objective.unwrap_or(f64::NAN),
+                best.iteration,
+                direction.keyword(),
+            ));
+            if let Some(interval) = history.mean_improvement_interval_s(direction) {
+                out.push_str(&format!(
+                    "mean improvement interval: {interval:.0} virtual s\n"
+                ));
+            }
+            if !stored.new_bests.is_empty() {
+                out.push_str("improvements:\n");
+                for (iteration, objective) in &stored.new_bests {
+                    out.push_str(&format!("  iteration {iteration:>4}: {objective:.2}\n"));
+                }
+            }
+            match space {
+                Some(space) if space.len() == best.config.len() => {
+                    let default = space.default_config();
+                    let diff = best.config.diff_indices(&default);
+                    if diff.is_empty() {
+                        out.push_str("best configuration: the default\n");
+                    } else {
+                        out.push_str("non-default parameters of the best configuration:\n");
+                        for idx in diff {
+                            out.push_str(&format!(
+                                "  {} = {}\n",
+                                space.spec(idx).name,
+                                best.config.get(idx)
+                            ));
+                        }
+                    }
+                }
+                _ => out.push_str(&format!(
+                    "best configuration: {} parameter(s) (space unavailable for naming)\n",
+                    best.config.len()
+                )),
+            }
+        }
+    }
+    if job.workers.unwrap_or(1) > 1 && !stored.wave_stats.is_empty() {
+        out.push_str(&wave_stats_table(&stored.wave_stats, job.workers.unwrap_or(1)).render());
     }
     out
 }

@@ -5,11 +5,16 @@
 //! `examples/` directory exercises exactly this surface.
 
 use crate::targets::{TargetInstance, TargetRegistry, TargetRequest};
+use std::collections::VecDeque;
 use std::fmt;
+use std::path::Path;
 use wf_deeptune::{Checkpoint, DeepTune, DeepTuneConfig};
-use wf_jobfile::{Budget, Direction, Focus, Job};
+use wf_jobfile::{AlgorithmId, Budget, Direction, Focus, Job, ParamDecl};
 use wf_ossim::{AppId, MetricDirection};
-use wf_platform::{Objective, Record, Session, SessionSpec, SessionSummary};
+use wf_platform::{
+    EventSink, NullSink, Objective, Record, RecordingSink, ReplayError, Session, SessionEvent,
+    SessionSpec, SessionStore, SessionSummary, StoreError, StoredSession,
+};
 use wf_search::{BayesOpt, CausalSearch, GridSearch, RandomSearch, SamplePolicy, SearchAlgorithm};
 
 /// The five paper targets, as a typed convenience over their registry
@@ -173,6 +178,7 @@ impl std::error::Error for BuildError {}
 
 /// Fluent session construction, resolved through a [`TargetRegistry`].
 pub struct SessionBuilder {
+    name: String,
     target: String,
     app: Option<String>,
     registry: TargetRegistry,
@@ -203,6 +209,7 @@ impl SessionBuilder {
     /// built-in target registry.
     pub fn new() -> Self {
         SessionBuilder {
+            name: "session".to_string(),
             target: OsFlavor::Linux419.keyword().to_string(),
             app: None,
             registry: TargetRegistry::builtin(),
@@ -220,6 +227,12 @@ impl SessionBuilder {
             explicit_space: None,
             deeptune: DeepTuneConfig::default(),
         }
+    }
+
+    /// Names the session (used in reports and session-store manifests).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
     }
 
     /// Selects one of the five paper targets (sugar for
@@ -353,12 +366,14 @@ impl SessionBuilder {
     /// [`SessionBuilder::registry`] work from job files too.
     pub fn from_job(job: &Job) -> Result<SessionBuilder, BuildError> {
         let algorithm = match job.algorithm {
-            wf_jobfile::AlgorithmId::Random => AlgorithmChoice::Random,
-            wf_jobfile::AlgorithmId::Grid => AlgorithmChoice::Grid,
-            wf_jobfile::AlgorithmId::Bayesian => AlgorithmChoice::Bayesian,
-            wf_jobfile::AlgorithmId::DeepTune => AlgorithmChoice::DeepTune,
+            AlgorithmId::Random => AlgorithmChoice::Random,
+            AlgorithmId::Grid => AlgorithmChoice::Grid,
+            AlgorithmId::Bayesian => AlgorithmChoice::Bayesian,
+            AlgorithmId::Causal => AlgorithmChoice::Causal,
+            AlgorithmId::DeepTune => AlgorithmChoice::DeepTune,
         };
         let mut b = SessionBuilder::new()
+            .name(job.name.clone())
             .target(job.os.clone())
             .algorithm(algorithm)
             .seed(job.seed)
@@ -373,6 +388,9 @@ impl SessionBuilder {
         }
         if let Some(workers) = job.workers {
             b = b.workers(workers);
+        }
+        if let Some(n) = job.runtime_params {
+            b = b.runtime_params(n);
         }
         b.iterations = job.budget.iterations;
         b.time_budget_s = job.budget.time_seconds;
@@ -404,11 +422,19 @@ impl SessionBuilder {
             .clone()
             .unwrap_or_else(|| factory.default_app().to_string());
         let TargetInstance { mut target, policy } = factory.instantiate(&TargetRequest {
-            app,
+            app: app.clone(),
             runtime_params: self.runtime_params,
         })?;
 
-        // An explicit job-file space replaces the target's own.
+        // An explicit job-file space replaces the target's own. Its specs
+        // are kept for the resolved-job manifest so a session store can
+        // rebuild the exact same space on resume.
+        let explicit_params: Vec<ParamDecl> = self
+            .explicit_space
+            .iter()
+            .flat_map(|space| space.specs().iter().cloned())
+            .map(|spec| ParamDecl { spec })
+            .collect();
         if let Some(space) = self.explicit_space {
             target.install_space(space);
         }
@@ -478,6 +504,51 @@ impl SessionBuilder {
             seed: self.seed,
             workers: self.workers,
         };
+
+        // The fully resolved job this session will run — what a session
+        // store writes as its manifest. `metric:` encodes the *objective*
+        // exactly (omitted = the target's primary metric), so rebuilding
+        // the session from the manifest reproduces this one bit for bit.
+        // A transfer-learning warm start has no job-file form; its
+        // manifest records a cold DeepTune, and a resume of such a store
+        // fails the replay cross-check instead of silently diverging.
+        let resolved = Job {
+            name: self.name.clone(),
+            os: self.target.clone(),
+            app: Some(app),
+            metric: match objective {
+                Objective::Metric => None,
+                Objective::MemoryMb => Some("memory".to_string()),
+                Objective::ThroughputMemoryScore => Some("score".to_string()),
+            },
+            direction,
+            focus: self.focus,
+            algorithm: match &self.algorithm {
+                AlgorithmChoice::Random => AlgorithmId::Random,
+                AlgorithmChoice::Grid => AlgorithmId::Grid,
+                AlgorithmChoice::Bayesian => AlgorithmId::Bayesian,
+                AlgorithmChoice::Causal => AlgorithmId::Causal,
+                AlgorithmChoice::DeepTune | AlgorithmChoice::DeepTuneTransfer(_) => {
+                    AlgorithmId::DeepTune
+                }
+            },
+            seed: self.seed,
+            repetitions: self.repetitions,
+            workers: Some(self.workers),
+            runtime_params: Some(self.runtime_params),
+            out: None,
+            budget: spec.budget,
+            pinned: self
+                .pins
+                .iter()
+                .map(|(name, value)| wf_jobfile::Pin {
+                    name: name.clone(),
+                    value: value.clone(),
+                })
+                .collect(),
+            params: explicit_params,
+        };
+
         let algorithm: Box<dyn SearchAlgorithm> = match self.algorithm {
             AlgorithmChoice::Random => Box::new(RandomSearch::new()),
             AlgorithmChoice::Grid => Box::new(GridSearch::new(8)),
@@ -496,7 +567,75 @@ impl SessionBuilder {
         };
         Ok(SpecializationSession {
             inner: Session::with_target(target, algorithm, spec),
+            resolved,
         })
+    }
+
+    /// Rebuilds a session from a store directory and replays its history,
+    /// continuing exactly where the interrupted campaign stopped: the
+    /// per-candidate RNG streams derive from `(seed, iteration)`, so
+    /// *interrupted-then-resumed ≡ uninterrupted* holds for every
+    /// registered target and algorithm (the end-to-end tests assert it).
+    /// Uses the builtin registry; see [`SessionBuilder::resume_with`] for
+    /// downstream targets.
+    pub fn resume(dir: impl AsRef<Path>) -> Result<SpecializationSession, ResumeError> {
+        SessionBuilder::resume_with(dir, TargetRegistry::builtin())
+    }
+
+    /// [`SessionBuilder::resume`] against a caller-provided registry
+    /// (required when the stored job targets a downstream scenario).
+    pub fn resume_with(
+        dir: impl AsRef<Path>,
+        registry: TargetRegistry,
+    ) -> Result<SpecializationSession, ResumeError> {
+        let store = SessionStore::open(dir)?;
+        let loaded = store.load()?;
+        let mut session = SessionBuilder::from_job(&loaded.job)?
+            .registry(registry)
+            .build()?;
+        session.replay(&loaded)?;
+        Ok(session)
+    }
+}
+
+/// Why a session could not be resumed from a store directory.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The store could not be opened or read.
+    Store(StoreError),
+    /// The manifest job does not build against the registry.
+    Build(BuildError),
+    /// The stored history does not replay into the rebuilt session.
+    Replay(ReplayError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Store(e) => write!(f, "store: {e}"),
+            ResumeError::Build(e) => write!(f, "manifest does not build: {e}"),
+            ResumeError::Replay(e) => write!(f, "history does not replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<StoreError> for ResumeError {
+    fn from(e: StoreError) -> Self {
+        ResumeError::Store(e)
+    }
+}
+
+impl From<BuildError> for ResumeError {
+    fn from(e: BuildError) -> Self {
+        ResumeError::Build(e)
+    }
+}
+
+impl From<ReplayError> for ResumeError {
+    fn from(e: ReplayError) -> Self {
+        ResumeError::Replay(e)
     }
 }
 
@@ -513,6 +652,8 @@ pub struct Outcome {
 /// A running specialization session (facade over the platform session).
 pub struct SpecializationSession {
     inner: Session,
+    /// The fully resolved job (what a session-store manifest records).
+    resolved: Job,
 }
 
 impl fmt::Debug for SpecializationSession {
@@ -527,16 +668,72 @@ impl fmt::Debug for SpecializationSession {
 impl SpecializationSession {
     /// Runs to budget exhaustion.
     pub fn run(&mut self) -> Outcome {
-        let summary = self.inner.run();
+        self.run_with(&mut NullSink)
+    }
+
+    /// Runs to budget exhaustion, streaming every [`SessionEvent`]
+    /// through `sink` as it happens — `SessionStarted`, per-wave
+    /// dispatch/candidate/new-best/completion events, `SessionFinished`.
+    /// Outcomes are byte-for-byte those of [`SpecializationSession::run`]
+    /// (which is exactly `run_with(&mut NullSink)`): sinks observe, never
+    /// steer.
+    pub fn run_with(&mut self, sink: &mut dyn EventSink) -> Outcome {
+        let summary = self.inner.run_with(sink);
         Outcome {
             best: summary.best_config.clone().zip(summary.best_objective),
             summary,
         }
     }
 
+    /// Iterator-style driver: each `next()` returns the next
+    /// [`SessionEvent`], running one wave whenever its buffer drains, so
+    /// callers observe progress without polling or callbacks. The stream
+    /// ends after `SessionFinished`.
+    ///
+    /// ```
+    /// use wayfinder_core::prelude::*;
+    /// use wf_platform::SessionEvent;
+    ///
+    /// let mut session = SessionBuilder::new()
+    ///     .algorithm(AlgorithmChoice::Random)
+    ///     .runtime_params(56)
+    ///     .iterations(4)
+    ///     .build()
+    ///     .unwrap();
+    /// let evaluated = session
+    ///     .drive()
+    ///     .filter(|e| matches!(e, SessionEvent::CandidateEvaluated(_)))
+    ///     .count();
+    /// assert_eq!(evaluated, 4);
+    /// assert!(session.done());
+    /// ```
+    pub fn drive(&mut self) -> Drive<'_> {
+        Drive {
+            session: self,
+            queue: VecDeque::new(),
+            state: DriveState::Fresh,
+        }
+    }
+
     /// Runs one iteration.
     pub fn step(&mut self) -> &Record {
         self.inner.step()
+    }
+
+    /// The fully resolved job this session runs: target keyword, app,
+    /// metric, algorithm, seed, workers, budgets. This is what
+    /// [`wf_platform::SessionStore::create`] should receive as the
+    /// manifest.
+    pub fn resolved_job(&self) -> &Job {
+        &self.resolved
+    }
+
+    /// Replays a loaded store into this freshly built session (see
+    /// [`wf_platform::Session::replay`] for the exact guarantee). Callers
+    /// normally use [`SessionBuilder::resume`], which wraps open → load →
+    /// build → replay.
+    pub fn replay(&mut self, stored: &StoredSession) -> Result<(), ReplayError> {
+        self.inner.replay(&stored.records, &stored.wave_sizes)
     }
 
     /// Whether the budget is exhausted.
@@ -555,13 +752,27 @@ impl SpecializationSession {
     }
 
     /// Extracts a transfer-learning checkpoint if the algorithm is a
-    /// trained DeepTune (§3.3).
-    pub fn checkpoint(&mut self) -> Option<Checkpoint> {
+    /// trained DeepTune (§3.3) — the warm start
+    /// [`AlgorithmChoice::DeepTuneTransfer`] consumes. Unrelated to the
+    /// on-disk session-store checkpoints
+    /// ([`wf_platform::SessionEvent::CheckpointWritten`]).
+    pub fn transfer_checkpoint(&mut self) -> Option<Checkpoint> {
         self.inner
             .algorithm_mut()
             .as_any_mut()?
             .downcast_mut::<DeepTune>()?
             .checkpoint()
+    }
+
+    /// Deprecated alias of
+    /// [`SpecializationSession::transfer_checkpoint`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `transfer_checkpoint`: this is the DeepTune transfer warm-start \
+                (§3.3), not a session-store checkpoint"
+    )]
+    pub fn checkpoint(&mut self) -> Option<Checkpoint> {
+        self.transfer_checkpoint()
     }
 
     /// Queries the trained model for high-impact parameters (§4.1).
@@ -592,6 +803,53 @@ impl SpecializationSession {
             .as_any_mut()?
             .downcast_mut::<DeepTune>()?;
         wf_deeptune::parameter_impacts_at(dt, &space, &encoder, &anchors)
+    }
+}
+
+enum DriveState {
+    Fresh,
+    Running,
+    Finished,
+}
+
+/// The iterator behind [`SpecializationSession::drive`].
+///
+/// Buffers one wave's events at a time; dropping it mid-stream simply
+/// stops after the last completed wave (the session stays valid and can
+/// be driven again or `run()` to completion).
+pub struct Drive<'a> {
+    session: &'a mut SpecializationSession,
+    queue: VecDeque<SessionEvent>,
+    state: DriveState,
+}
+
+impl Iterator for Drive<'_> {
+    type Item = SessionEvent;
+
+    fn next(&mut self) -> Option<SessionEvent> {
+        loop {
+            if let Some(event) = self.queue.pop_front() {
+                return Some(event);
+            }
+            match self.state {
+                DriveState::Finished => return None,
+                DriveState::Fresh => {
+                    self.queue.push_back(self.session.inner.start_event());
+                    self.state = DriveState::Running;
+                }
+                DriveState::Running => {
+                    if self.session.inner.done() {
+                        self.queue
+                            .push_back(SessionEvent::SessionFinished(self.session.inner.summary()));
+                        self.state = DriveState::Finished;
+                    } else {
+                        let mut sink = RecordingSink::new();
+                        self.session.inner.step_wave_with(&mut sink);
+                        self.queue.extend(sink.events);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -811,7 +1069,13 @@ mod tests {
             .build()
             .unwrap();
         let _ = s.run();
-        assert!(s.checkpoint().is_some());
+        assert!(s.transfer_checkpoint().is_some());
+        // The deprecated alias keeps delegating until downstream callers
+        // migrate.
+        #[allow(deprecated)]
+        {
+            assert!(s.checkpoint().is_some());
+        }
         // Random search has no checkpoint.
         let mut r = SessionBuilder::new()
             .algorithm(AlgorithmChoice::Random)
@@ -820,7 +1084,7 @@ mod tests {
             .build()
             .unwrap();
         let _ = r.run();
-        assert!(r.checkpoint().is_none());
+        assert!(r.transfer_checkpoint().is_none());
     }
 
     #[test]
@@ -891,6 +1155,172 @@ mod tests {
         // The known parameter drives real effects; the unknown one is
         // explored but inert — both are legal.
         assert!(outcome.summary.best_metric.unwrap() > 10_000.0);
+    }
+
+    #[test]
+    fn resolved_job_round_trips_through_from_job() {
+        // The manifest contract: rebuilding a session from its resolved
+        // job must reproduce the same resolved job (fixed point), for
+        // every objective.
+        for objective in [
+            Objective::Metric,
+            Objective::MemoryMb,
+            Objective::ThroughputMemoryScore,
+        ] {
+            let s = SessionBuilder::new()
+                .name("fixpoint")
+                .os(OsFlavor::Linux419)
+                .algorithm(AlgorithmChoice::Causal)
+                .objective(objective)
+                .runtime_params(56)
+                .iterations(4)
+                .seed(21)
+                .workers(2)
+                .build()
+                .unwrap();
+            let resolved = s.resolved_job().clone();
+            let rebuilt = SessionBuilder::from_job(&resolved)
+                .unwrap()
+                .build()
+                .unwrap();
+            assert_eq!(rebuilt.resolved_job(), &resolved, "{objective:?}");
+            assert_eq!(resolved.algorithm, AlgorithmId::Causal);
+            assert_eq!(resolved.runtime_params, Some(56));
+        }
+    }
+
+    #[test]
+    fn resume_continues_an_interrupted_store() {
+        let dir = std::env::temp_dir().join(format!("wf-core-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            SessionBuilder::new()
+                .name("resume")
+                .os(OsFlavor::Linux419)
+                .algorithm(AlgorithmChoice::Bayesian)
+                .runtime_params(56)
+                .iterations(8)
+                .seed(13)
+                .workers(2)
+                .build()
+                .unwrap()
+        };
+        let mut full = build();
+        let full_outcome = full.run();
+
+        let mut interrupted = build();
+        let store = SessionStore::create(&dir, interrupted.resolved_job()).unwrap();
+        {
+            let mut sink = store.sink().unwrap();
+            for _ in 0..2 {
+                interrupted.platform_mut().step_wave_with(&mut sink);
+            }
+        }
+        drop(interrupted); // the crash
+
+        let mut resumed = SessionBuilder::resume(&dir).unwrap();
+        assert_eq!(resumed.platform().history().len(), 4, "replayed 2 waves");
+        let outcome = {
+            let mut sink = store.sink().unwrap();
+            resumed.run_with(&mut sink)
+        };
+        assert_eq!(outcome.summary.iterations, 8);
+        assert_eq!(
+            outcome.best.as_ref().map(|(c, _)| c.fingerprint()),
+            full_outcome.best.as_ref().map(|(c, _)| c.fingerprint()),
+        );
+        assert_eq!(
+            outcome.summary.compute_s.to_bits(),
+            full_outcome.summary.compute_s.to_bits()
+        );
+        for (a, b) in full
+            .platform()
+            .history()
+            .records()
+            .iter()
+            .zip(resumed.platform().history().records())
+        {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.metric.map(f64::to_bits), b.metric.map(f64::to_bits));
+            assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+        }
+        // The store now holds the full campaign.
+        let loaded = SessionStore::open(&dir).unwrap().load().unwrap();
+        assert_eq!(loaded.records.len(), 8);
+        assert!(loaded.finished);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_tampered_manifest() {
+        let dir = std::env::temp_dir().join(format!("wf-core-tamper-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = SessionBuilder::new()
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(4)
+            .seed(3)
+            .workers(1)
+            .build()
+            .unwrap();
+        let store = SessionStore::create(&dir, s.resolved_job()).unwrap();
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        // Change the seed: the replayed proposals no longer match.
+        let mut job = store.manifest().unwrap();
+        job.seed = 4;
+        store.rewrite_manifest(&job).unwrap();
+        match SessionBuilder::resume(&dir) {
+            Err(ResumeError::Replay(wf_platform::ReplayError::ConfigMismatch { iteration: 0 })) => {
+            }
+            other => panic!("expected a config mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drive_streams_the_event_stream_lazily() {
+        let mut s = SessionBuilder::new()
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(6)
+            .seed(5)
+            .workers(2)
+            .build()
+            .unwrap();
+        let mut kinds = Vec::new();
+        for event in s.drive() {
+            kinds.push(match event {
+                SessionEvent::SessionStarted { .. } => "started",
+                SessionEvent::WaveDispatched { .. } => "dispatched",
+                SessionEvent::CandidateEvaluated(_) => "candidate",
+                SessionEvent::NewBest { .. } => "best",
+                SessionEvent::WaveCompleted(_) => "wave",
+                SessionEvent::CheckpointWritten { .. } => "checkpoint",
+                SessionEvent::SessionFinished(_) => "finished",
+            });
+        }
+        assert_eq!(kinds.first(), Some(&"started"));
+        assert_eq!(kinds.last(), Some(&"finished"));
+        assert_eq!(kinds.iter().filter(|k| **k == "candidate").count(), 6);
+        assert_eq!(kinds.iter().filter(|k| **k == "wave").count(), 3);
+        assert!(s.done());
+        // Driving matches running: same outcome as a blind twin.
+        let mut twin = SessionBuilder::new()
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(6)
+            .seed(5)
+            .workers(2)
+            .build()
+            .unwrap();
+        let outcome = twin.run();
+        assert_eq!(
+            s.platform().summary().best_metric,
+            outcome.summary.best_metric
+        );
     }
 
     #[test]

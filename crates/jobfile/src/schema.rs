@@ -12,6 +12,8 @@
 //! seed: 42
 //! repetitions: 1
 //! workers: 4                # VM workers evaluating candidates in parallel
+//! runtime_params: 200       # probed runtime-space size (§3.4)
+//! out: runs/nginx-tuning    # session-store directory (events + resume)
 //! focus: runtime            # §3.5: favor one parameter stage
 //! budget:
 //!   iterations: 250
@@ -107,6 +109,8 @@ pub enum AlgorithmId {
     Grid,
     /// Gaussian-process Bayesian optimization.
     Bayesian,
+    /// Unicorn-style causal search.
+    Causal,
     /// The paper's DeepTune.
     #[default]
     DeepTune,
@@ -119,6 +123,7 @@ impl AlgorithmId {
             AlgorithmId::Random => "random",
             AlgorithmId::Grid => "grid",
             AlgorithmId::Bayesian => "bayesian",
+            AlgorithmId::Causal => "causal",
             AlgorithmId::DeepTune => "deeptune",
         }
     }
@@ -176,6 +181,13 @@ pub struct Job {
     /// VM workers evaluating candidates in parallel (`None` = the
     /// platform default: `WF_WORKERS` from the environment, else 1).
     pub workers: Option<usize>,
+    /// Size of the probed runtime space for Linux-style targets (§3.4);
+    /// `None` = the session default. Session-store manifests record it so
+    /// a resumed session rebuilds the exact same space.
+    pub runtime_params: Option<usize>,
+    /// Session-store directory: when set, `wfctl run` persists the
+    /// manifest and event log here (`None` = in-memory only).
+    pub out: Option<String>,
     /// Budget.
     pub budget: Budget,
     /// Pinned parameters.
@@ -197,6 +209,8 @@ impl Default for Job {
             seed: 1,
             repetitions: 1,
             workers: None,
+            runtime_params: None,
+            out: None,
             budget: Budget {
                 iterations: Some(250),
                 time_seconds: None,
@@ -297,6 +311,7 @@ impl Job {
                         "random" => AlgorithmId::Random,
                         "grid" => AlgorithmId::Grid,
                         "bayesian" | "bayes" => AlgorithmId::Bayesian,
+                        "causal" | "unicorn" => AlgorithmId::Causal,
                         "deeptune" => AlgorithmId::DeepTune,
                         other => return Err(err("algorithm", format!("unknown {other:?}"))),
                     }
@@ -324,6 +339,15 @@ impl Job {
                             as usize,
                     )
                 }
+                "runtime_params" => {
+                    job.runtime_params =
+                        Some(
+                            value.as_int().filter(|v| *v >= 1).ok_or_else(|| {
+                                err("runtime_params", "must be a positive integer")
+                            })? as usize,
+                        )
+                }
+                "out" => job.out = Some(req_str(value, "out")?),
                 "budget" => {
                     let mut b = Budget::default();
                     for (bk, bv) in value
@@ -407,6 +431,12 @@ impl Job {
         }
         if let Some(w) = self.workers {
             root.push(("workers".into(), Yaml::Int(w as i64)));
+        }
+        if let Some(n) = self.runtime_params {
+            root.push(("runtime_params".into(), Yaml::Int(n as i64)));
+        }
+        if let Some(out) = &self.out {
+            root.push(("out".into(), Yaml::Str(out.clone())));
         }
         let mut budget = Vec::new();
         if let Some(it) = self.budget.iterations {
@@ -678,6 +708,8 @@ algorithm: deeptune
 seed: 7
 repetitions: 3
 workers: 4
+runtime_params: 120
+out: runs/nginx-tuning
 budget:
   iterations: 250
   time_seconds: 18000
@@ -711,6 +743,8 @@ params:
         assert_eq!(job.seed, 7);
         assert_eq!(job.repetitions, 3);
         assert_eq!(job.workers, Some(4));
+        assert_eq!(job.runtime_params, Some(120));
+        assert_eq!(job.out.as_deref(), Some("runs/nginx-tuning"));
         assert_eq!(job.budget.iterations, Some(250));
         assert_eq!(job.budget.time_seconds, Some(18000.0));
         assert_eq!(job.params.len(), 3);
@@ -757,6 +791,26 @@ params:
         assert_eq!(job.budget.iterations, Some(250));
         assert_eq!(job.workers, None, "workers defaults to the platform's");
         assert!(job.param_space().is_none());
+    }
+
+    #[test]
+    fn causal_algorithm_parses_under_both_keywords() {
+        for kw in ["causal", "unicorn"] {
+            let job = Job::parse(&format!("name: x\nalgorithm: {kw}\n")).unwrap();
+            assert_eq!(job.algorithm, AlgorithmId::Causal);
+        }
+        assert_eq!(AlgorithmId::Causal.keyword(), "causal");
+    }
+
+    #[test]
+    fn runtime_params_must_be_positive() {
+        assert!(Job::parse("name: x\nruntime_params: 0\n").is_err());
+        assert_eq!(
+            Job::parse("name: x\nruntime_params: 64\n")
+                .unwrap()
+                .runtime_params,
+            Some(64)
+        );
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Typed session events: observe a running [`crate::Session`] without
+//! polling.
+//!
+//! The exploration loop used to be all-or-nothing — `run()` blocked until
+//! the budget was spent and everything interesting (new bests, wave
+//! scheduling, per-candidate outcomes) happened invisibly in between.
+//! [`SessionEvent`] is the typed stream of those moments and
+//! [`EventSink`] the observer interface: `Session::run_with` /
+//! `Session::step_wave_with` emit every event through the sink as it
+//! happens, so progress UIs, persistent stores ([`crate::store`]), and
+//! tests all consume the same stream. `run()` is exactly
+//! `run_with(&mut NullSink)` — observing a session never changes it.
+//!
+//! # Examples
+//!
+//! Count evaluations and improvements with a custom sink:
+//!
+//! ```
+//! use wf_kconfig::LinuxVersion;
+//! use wf_ossim::{App, AppId, SimOs};
+//! use wf_platform::{EventSink, Session, SessionEvent, SessionSpec};
+//! use wf_search::RandomSearch;
+//!
+//! #[derive(Default)]
+//! struct Counter {
+//!     evaluated: usize,
+//!     improved: usize,
+//! }
+//!
+//! impl EventSink for Counter {
+//!     fn on_event(&mut self, event: &SessionEvent) {
+//!         match event {
+//!             SessionEvent::CandidateEvaluated(_) => self.evaluated += 1,
+//!             SessionEvent::NewBest { .. } => self.improved += 1,
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! let mut session = Session::new(
+//!     SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+//!     App::by_id(AppId::Nginx),
+//!     Box::new(RandomSearch::new()),
+//!     SessionSpec {
+//!         budget: wf_jobfile::Budget {
+//!             iterations: Some(6),
+//!             time_seconds: None,
+//!         },
+//!         workers: 1,
+//!         ..SessionSpec::default()
+//!     },
+//! );
+//! let mut counter = Counter::default();
+//! let summary = session.run_with(&mut counter);
+//! assert_eq!(counter.evaluated, 6);
+//! assert!(counter.improved >= 1, "the first success is always a best");
+//! assert_eq!(summary.iterations, 6);
+//! ```
+
+use crate::history::Record;
+use crate::metrics::WaveStats;
+use crate::pipeline::SessionSummary;
+use crate::target::TargetDescriptor;
+
+/// One observable moment in a session's life, in emission order:
+/// `SessionStarted`, then per wave `WaveDispatched` →
+/// `CandidateEvaluated`* (interleaved with `NewBest`) → `WaveCompleted`,
+/// and finally `SessionFinished`. [`SessionEvent::CheckpointWritten`]
+/// originates in the persistence layer ([`crate::store::JsonlSink`]), not
+/// the session itself: it marks the store durable up to an iteration.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// The session began (or resumed) running. `first_iteration` is 0 for
+    /// a fresh session and the replayed history length after a resume.
+    SessionStarted {
+        /// The target's typed identity.
+        descriptor: TargetDescriptor,
+        /// The session RNG seed.
+        seed: u64,
+        /// Worker-pool width.
+        workers: usize,
+        /// Index of the first iteration this run segment will evaluate.
+        first_iteration: usize,
+    },
+    /// A wave of candidates was proposed and is about to be evaluated.
+    WaveDispatched {
+        /// Zero-based wave index.
+        wave: usize,
+        /// Global iteration index of the wave's first candidate.
+        first_iteration: usize,
+        /// Number of candidates in the wave.
+        size: usize,
+    },
+    /// One candidate finished evaluating (build + boot + bench, or a
+    /// crash along the way). Emitted in candidate order with the fully
+    /// populated history record.
+    CandidateEvaluated(Record),
+    /// The best-so-far objective improved.
+    NewBest {
+        /// Iteration that set the new best.
+        iteration: usize,
+        /// The new best objective value.
+        objective: f64,
+    },
+    /// A wave finished: scheduling and cache metrics for it.
+    WaveCompleted(WaveStats),
+    /// The on-disk store flushed everything up to `iterations` completed
+    /// evaluations (emitted by [`crate::store::JsonlSink`], never by the
+    /// session).
+    CheckpointWritten {
+        /// Number of evaluations durable on disk.
+        iterations: usize,
+    },
+    /// The budget is exhausted; the final summary.
+    SessionFinished(SessionSummary),
+}
+
+/// An observer of [`SessionEvent`]s.
+///
+/// Sinks must not assume they see a session from the beginning: a resumed
+/// session emits `SessionStarted` with a non-zero `first_iteration`, and
+/// an append-mode store sink sees only the continuation.
+pub trait EventSink {
+    /// Called for every event, in emission order, on the session's
+    /// thread.
+    fn on_event(&mut self, event: &SessionEvent);
+}
+
+/// The do-nothing sink: `run()` is `run_with(&mut NullSink)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn on_event(&mut self, _event: &SessionEvent) {}
+}
+
+/// A sink that buffers every event (powering iterator-style drivers and
+/// tests).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// Everything observed so far, oldest first.
+    pub events: Vec<SessionEvent>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn on_event(&mut self, event: &SessionEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Fans one event stream out to two sinks, first then second (e.g. a
+/// persistent [`crate::store::JsonlSink`] plus a live console printer).
+pub struct Tee<'a>(pub &'a mut dyn EventSink, pub &'a mut dyn EventSink);
+
+impl EventSink for Tee<'_> {
+    fn on_event(&mut self, event: &SessionEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Session, SessionSpec};
+    use wf_jobfile::Budget;
+    use wf_kconfig::LinuxVersion;
+    use wf_ossim::{App, AppId, SimOs};
+    use wf_search::RandomSearch;
+
+    fn session(iters: usize, workers: usize) -> Session {
+        Session::new(
+            SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+            App::by_id(AppId::Nginx),
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: Some(iters),
+                    time_seconds: None,
+                },
+                seed: 9,
+                workers,
+                ..SessionSpec::default()
+            },
+        )
+    }
+
+    #[test]
+    fn run_with_emits_the_full_stream_in_order() {
+        let mut s = session(6, 2);
+        let mut sink = RecordingSink::new();
+        let summary = s.run_with(&mut sink);
+        assert_eq!(summary.iterations, 6);
+
+        let events = &sink.events;
+        assert!(matches!(
+            events.first(),
+            Some(SessionEvent::SessionStarted {
+                first_iteration: 0,
+                workers: 2,
+                ..
+            })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(SessionEvent::SessionFinished(_))
+        ));
+        let candidates = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::CandidateEvaluated(_)))
+            .count();
+        assert_eq!(candidates, 6);
+        let waves = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::WaveCompleted(_)))
+            .count();
+        assert_eq!(waves, 3, "6 candidates in waves of 2");
+        // Dispatch precedes completion for every wave.
+        let dispatch_idx: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, SessionEvent::WaveDispatched { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let complete_idx: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, SessionEvent::WaveCompleted(_)))
+            .map(|(i, _)| i)
+            .collect();
+        for (d, c) in dispatch_idx.iter().zip(complete_idx.iter()) {
+            assert!(d < c);
+        }
+    }
+
+    #[test]
+    fn new_best_improves_monotonically() {
+        let mut s = session(12, 1);
+        let mut sink = RecordingSink::new();
+        let _ = s.run_with(&mut sink);
+        let bests: Vec<f64> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::NewBest { objective, .. } => Some(*objective),
+                _ => None,
+            })
+            .collect();
+        assert!(!bests.is_empty());
+        for w in bests.windows(2) {
+            assert!(w[1] > w[0], "NewBest must strictly improve: {bests:?}");
+        }
+    }
+
+    #[test]
+    fn observing_a_session_does_not_change_it() {
+        let mut observed = session(8, 2);
+        let mut sink = RecordingSink::new();
+        let a = observed.run_with(&mut sink);
+        let mut blind = session(8, 2);
+        let b = blind.run();
+        assert_eq!(a.best_metric, b.best_metric);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.compute_s.to_bits(), b.compute_s.to_bits());
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut a = RecordingSink::new();
+        let mut b = RecordingSink::new();
+        let mut s = session(2, 1);
+        let _ = s.run_with(&mut Tee(&mut a, &mut b));
+        assert_eq!(a.events.len(), b.events.len());
+        assert!(!a.events.is_empty());
+    }
+}

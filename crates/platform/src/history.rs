@@ -197,4 +197,61 @@ mod tests {
         h.push(record(0, Some(10.0), 60.0));
         assert!(h.mean_improvement_interval_s(Direction::Maximize).is_none());
     }
+
+    // Boundary cases the store replay path leans on: empty, all-crash,
+    // and single-record histories must answer every summary query
+    // without panicking or lying.
+
+    #[test]
+    fn empty_history_boundaries() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert!(h.best(Direction::Maximize).is_none());
+        assert!(h.best(Direction::Minimize).is_none());
+        assert_eq!(h.crash_rate(), 0.0, "no runs, no crashes");
+        assert!(h.mean_improvement_interval_s(Direction::Maximize).is_none());
+        assert!(h.observations().is_empty());
+    }
+
+    #[test]
+    fn all_crash_history_boundaries() {
+        let mut h = History::new();
+        for i in 0..4 {
+            h.push(record(i, None, 60.0 * (i + 1) as f64));
+        }
+        assert!(
+            h.best(Direction::Maximize).is_none(),
+            "no survivor, no best"
+        );
+        assert!(h.best(Direction::Minimize).is_none());
+        assert_eq!(h.crash_rate(), 1.0);
+        assert!(
+            h.mean_improvement_interval_s(Direction::Minimize).is_none(),
+            "crashes never improve the best"
+        );
+        assert!(h
+            .observations()
+            .iter()
+            .all(|o| o.crashed && o.value.is_none()));
+    }
+
+    #[test]
+    fn single_record_history_boundaries() {
+        let mut h = History::new();
+        h.push(record(0, Some(42.0), 60.0));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.best(Direction::Maximize).unwrap().iteration, 0);
+        assert_eq!(h.best(Direction::Minimize).unwrap().iteration, 0);
+        assert_eq!(h.crash_rate(), 0.0);
+        // One improvement (the first success) is not an interval yet.
+        assert!(h.mean_improvement_interval_s(Direction::Maximize).is_none());
+
+        // ... and a single *crashed* record.
+        let mut c = History::new();
+        c.push(record(0, None, 60.0));
+        assert!(c.best(Direction::Maximize).is_none());
+        assert_eq!(c.crash_rate(), 1.0);
+        assert!(c.mean_improvement_interval_s(Direction::Maximize).is_none());
+    }
 }

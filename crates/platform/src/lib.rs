@@ -16,25 +16,35 @@
 //!   boot / bench) every session runs against, with [`SimTarget`] (a
 //!   `wf_ossim::SimOs` + `App` pair) as the reference implementation;
 //! * [`pipeline`] — [`Session`]: the batch ask → build/boot/bench across
-//!   the pool → tell loop with iteration/time budgets.
+//!   the pool → tell loop with iteration/time budgets;
+//! * [`events`] — the typed [`SessionEvent`] stream and [`EventSink`]
+//!   observer interface (`run_with`/`step_wave_with` emit through it);
+//! * [`store`] — on-disk session stores: a job-file manifest plus an
+//!   append-only `events.jsonl`, written by [`store::JsonlSink`] and
+//!   reloaded by [`store::SessionStore`] for offline reports and
+//!   deterministic resume ([`Session::replay`]).
 
 pub mod cache;
 pub mod clock;
+pub mod events;
 pub mod history;
 pub mod metrics;
 pub mod pipeline;
 pub mod prober;
+pub mod store;
 pub mod target;
 pub mod workers;
 
 pub use cache::{ImageCache, SharedImageCache};
 pub use clock::VirtualClock;
+pub use events::{EventSink, NullSink, RecordingSink, SessionEvent, Tee};
 pub use history::{History, Record};
 pub use metrics::{
     mean_occupancy, min_max_normalize, rolling_crash_rate, throughput_memory_score, Series,
     WaveStats,
 };
-pub use pipeline::{default_workers, Objective, Session, SessionSpec, SessionSummary};
+pub use pipeline::{default_workers, Objective, ReplayError, Session, SessionSpec, SessionSummary};
 pub use prober::{probe_runtime_space, ProbeReport};
+pub use store::{JsonlSink, SessionStore, StoreError, StoredSession};
 pub use target::{EvalTarget, SimTarget, TargetDescriptor};
 pub use workers::{derive_seed, Pool};

@@ -45,16 +45,18 @@
 
 use crate::cache::SharedImageCache;
 use crate::clock::VirtualClock;
+use crate::events::{EventSink, NullSink, SessionEvent};
 use crate::history::{History, Record};
 use crate::metrics::{mean_occupancy, WaveStats};
 use crate::target::{EvalTarget, SimTarget, TargetDescriptor};
-use crate::workers::Pool;
+use crate::workers::{self, derive_seed, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 use std::time::Instant;
 use wf_configspace::{ConfigSpace, Configuration, Encoder};
 use wf_jobfile::{Budget, Direction};
-use wf_ossim::{App, SimOs};
+use wf_ossim::{App, Phase, SimOs};
 use wf_search::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
 
 /// What the session optimizes (the user-provided metric of Fig. 3).
@@ -144,6 +146,91 @@ pub struct SessionSummary {
     /// Image-cache (hits, misses).
     pub cache_stats: (u64, u64),
 }
+
+/// Why a persisted history could not be replayed into a session
+/// ([`Session::replay`]). Every variant means the store and the freshly
+/// built session disagree — replaying never papers over divergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The session already has history; replay needs a fresh one.
+    NotFresh {
+        /// Iterations already recorded.
+        iterations: usize,
+    },
+    /// The stored wave sizes do not cover the stored records.
+    BadWaveShape {
+        /// Stored record count.
+        records: usize,
+        /// Sum of the stored wave sizes.
+        covered: usize,
+    },
+    /// A stored wave is empty or wider than this session's worker pool
+    /// (e.g. the worker count was overridden on resume).
+    WaveTooWide {
+        /// Zero-based wave index.
+        wave: usize,
+        /// Stored wave size.
+        size: usize,
+        /// This session's pool width.
+        workers: usize,
+    },
+    /// A stored configuration has a different parameter count than the
+    /// session's space — the target was rebuilt differently.
+    SpaceMismatch {
+        /// Iteration of the offending record.
+        iteration: usize,
+        /// Stored configuration length.
+        config_len: usize,
+        /// Session space length.
+        space_len: usize,
+    },
+    /// The re-asked algorithm proposed a different candidate than the
+    /// store recorded — wrong seed, algorithm, policy, or space.
+    ConfigMismatch {
+        /// Iteration where the proposals diverged.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::NotFresh { iterations } => write!(
+                f,
+                "cannot replay into a session that already ran {iterations} iteration(s)"
+            ),
+            ReplayError::BadWaveShape { records, covered } => write!(
+                f,
+                "stored wave sizes cover {covered} record(s) but the store holds {records}"
+            ),
+            ReplayError::WaveTooWide {
+                wave,
+                size,
+                workers,
+            } => write!(
+                f,
+                "stored wave {wave} has {size} candidate(s) but the pool is {workers} wide \
+                 (worker counts cannot change across a resume)"
+            ),
+            ReplayError::SpaceMismatch {
+                iteration,
+                config_len,
+                space_len,
+            } => write!(
+                f,
+                "iteration {iteration}: stored configuration has {config_len} parameter(s), \
+                 the rebuilt space has {space_len}"
+            ),
+            ReplayError::ConfigMismatch { iteration } => write!(
+                f,
+                "iteration {iteration}: the re-asked algorithm proposed a different candidate \
+                 than the store recorded (seed, algorithm, or space mismatch)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// A running specialization session: one [`EvalTarget`], one algorithm,
 /// one budget, one worker pool.
@@ -246,6 +333,17 @@ impl Session {
     /// Comparisons that need the sequential overshoot-by-one semantics
     /// should pin `workers: 1`, as the figure regenerations do.
     pub fn step_wave(&mut self) -> &[Record] {
+        self.step_wave_with(&mut NullSink)
+    }
+
+    /// [`Session::step_wave`], emitting [`SessionEvent`]s through `sink`
+    /// as the wave progresses: `WaveDispatched` once the candidates are
+    /// proposed, then one `CandidateEvaluated` per finalized record
+    /// (interleaved with `NewBest` whenever the best-so-far objective
+    /// improves), then `WaveCompleted`. The sink only observes — the
+    /// evaluated candidates, outcomes, and clocks are byte-for-byte those
+    /// of the sink-less wave.
+    pub fn step_wave_with(&mut self, sink: &mut dyn EventSink) -> &[Record] {
         let start = self.history.len();
         let wave_index = self.waves.len();
         let remaining = self
@@ -274,6 +372,11 @@ impl Session {
         };
         let mut algo_seconds = t_ask.elapsed().as_secs_f64();
         assert_eq!(configs.len(), n, "propose_batch must return n candidates");
+        sink.on_event(&SessionEvent::WaveDispatched {
+            wave: wave_index,
+            first_iteration: start,
+            size: n,
+        });
 
         // Evaluate across the pool.
         let (hits_before, misses_before) = self.cache.stats();
@@ -344,20 +447,33 @@ impl Session {
         // The wave's decision cost is shared evenly across its records
         // (Fig. 8 plots per-iteration algorithm time).
         let per_record = algo_seconds / n as f64;
+        let mut best = self.history.best(direction).and_then(|r| r.objective);
         for mut record in records {
             record.algo_seconds = per_record;
             record.algo_memory_bytes = stats.memory_bytes;
+            sink.on_event(&SessionEvent::CandidateEvaluated(record.clone()));
+            if let Some(objective) = record.objective {
+                if best.is_none_or(|b| direction.better(objective, b)) {
+                    best = Some(objective);
+                    sink.on_event(&SessionEvent::NewBest {
+                        iteration: record.iteration,
+                        objective,
+                    });
+                }
+            }
             self.history.push(record);
         }
 
-        self.waves.push(WaveStats {
+        let wave_stats = WaveStats {
             wave: wave_index,
             size: n,
             wall_s,
             busy_s,
             cache_hits: hits_after - hits_before,
             cache_misses: misses_after - misses_before,
-        });
+        };
+        self.waves.push(wave_stats);
+        sink.on_event(&SessionEvent::WaveCompleted(wave_stats));
         &self.history.records()[start..]
     }
 
@@ -370,10 +486,216 @@ impl Session {
 
     /// Runs until the budget is exhausted and summarizes.
     pub fn run(&mut self) -> SessionSummary {
+        self.run_with(&mut NullSink)
+    }
+
+    /// Runs until the budget is exhausted, emitting the full
+    /// [`SessionEvent`] stream through `sink`: `SessionStarted`, every
+    /// wave's events, then `SessionFinished`. Outcomes are byte-for-byte
+    /// identical to [`Session::run`] — sinks observe, never steer.
+    pub fn run_with(&mut self, sink: &mut dyn EventSink) -> SessionSummary {
+        sink.on_event(&self.start_event());
         while !self.done() {
-            self.step_wave();
+            self.step_wave_with(sink);
         }
-        self.summary()
+        let summary = self.summary();
+        sink.on_event(&SessionEvent::SessionFinished(summary.clone()));
+        summary
+    }
+
+    /// The `SessionStarted` event describing this session right now
+    /// (`first_iteration` is the current history length, so a resumed
+    /// session announces where it picks up).
+    pub fn start_event(&self) -> SessionEvent {
+        SessionEvent::SessionStarted {
+            descriptor: self.target.descriptor().clone(),
+            seed: self.spec.seed,
+            workers: self.pool.workers(),
+            first_iteration: self.history.len(),
+        }
+    }
+
+    /// Replays a persisted history into this freshly built session
+    /// without re-evaluating a single candidate, leaving every piece of
+    /// live state — search-algorithm model, session RNG, virtual clocks,
+    /// image cache, per-lane working trees, score-normalization bounds —
+    /// exactly as it stood when the original session finished its last
+    /// complete wave. `records` must be the stored records in iteration
+    /// order and `wave_sizes` the stored wave shapes covering them.
+    ///
+    /// For every wave the session re-asks the algorithm
+    /// ([`wf_search::SearchAlgorithm::propose_batch`] is pure computation
+    /// — no build, boot, or benchmark runs) and cross-checks the proposed
+    /// candidates against the stored ones, so a store replayed against
+    /// the wrong target, seed, algorithm, or budget fails loudly with
+    /// [`ReplayError::ConfigMismatch`] instead of silently forking the
+    /// campaign. Cache and lane state are rebuilt from each record's
+    /// deterministic build metadata (the simulated build is re-derived
+    /// from the per-candidate RNG stream; measured outcomes and durations
+    /// come from the store).
+    ///
+    /// After a successful replay, continuing with
+    /// [`Session::step_wave_with`] / [`Session::run_with`] produces the
+    /// same history, best configuration, and compute clock as the
+    /// uninterrupted session — the resume guarantee the end-to-end tests
+    /// assert for every registered target and algorithm.
+    pub fn replay(&mut self, records: &[Record], wave_sizes: &[usize]) -> Result<(), ReplayError> {
+        if !self.history.is_empty() {
+            return Err(ReplayError::NotFresh {
+                iterations: self.history.len(),
+            });
+        }
+        let covered: usize = wave_sizes.iter().sum();
+        if covered != records.len() {
+            return Err(ReplayError::BadWaveShape {
+                records: records.len(),
+                covered,
+            });
+        }
+        let mut offset = 0;
+        for &n in wave_sizes {
+            self.replay_wave(&records[offset..offset + n])?;
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Replays one stored wave: re-ask, verify, rebuild cache/lane state,
+    /// charge the stored durations, re-tell.
+    fn replay_wave(&mut self, stored: &[Record]) -> Result<(), ReplayError> {
+        let start = self.history.len();
+        let wave_index = self.waves.len();
+        let n = stored.len();
+        if n == 0 || n > self.pool.workers() {
+            return Err(ReplayError::WaveTooWide {
+                wave: wave_index,
+                size: n,
+                workers: self.pool.workers(),
+            });
+        }
+        let space_len = self.target.space().len();
+        for r in stored {
+            if r.config.len() != space_len {
+                return Err(ReplayError::SpaceMismatch {
+                    iteration: r.iteration,
+                    config_len: r.config.len(),
+                    space_len,
+                });
+            }
+        }
+
+        let observations = self.history.observations();
+        let direction = self.direction();
+
+        // Re-ask: advances the session RNG and the algorithm's internal
+        // proposal state exactly as the live wave did.
+        let configs = {
+            let ctx = SearchContext {
+                space: self.target.space(),
+                encoder: &self.encoder,
+                direction,
+                policy: &self.spec.policy,
+                history: &observations,
+                iteration: start,
+            };
+            self.algorithm.propose_batch(n, &ctx, &mut self.rng)
+        };
+        assert_eq!(configs.len(), n, "propose_batch must return n candidates");
+        for (offset, (proposed, r)) in configs.iter().zip(stored).enumerate() {
+            if *proposed != r.config {
+                return Err(ReplayError::ConfigMismatch {
+                    iteration: start + offset,
+                });
+            }
+        }
+
+        // Rebuild cache and lane state from deterministic build metadata.
+        // The simulated build re-derives the image from the candidate's
+        // own RNG stream (`derive_seed(candidate, STREAM_BUILD)`), so no
+        // boot or benchmark runs and no shared stream shifts.
+        let (hits_before, misses_before) = self.cache.stats();
+        for (j, r) in stored.iter().enumerate() {
+            let fingerprint = self.target.image_fingerprint(&r.config);
+            let reuse = self.cache.get(fingerprint);
+            if r.crash_phase == Some(Phase::Build) {
+                // The live evaluation looked the image up (a miss — a hit
+                // implies build_skipped, which cannot build-crash) and
+                // then crashed: no image, no lane update, but the lookup
+                // is counted either way so cache stats replay too.
+                continue;
+            }
+            let candidate_seed = derive_seed(self.spec.seed, (start + j) as u64);
+            let mut build_rng =
+                StdRng::seed_from_u64(derive_seed(candidate_seed, workers::STREAM_BUILD));
+            let (built, _build_s) = self.target.build(
+                &r.config,
+                reuse.as_ref(),
+                self.lanes[j].as_ref(),
+                &mut build_rng,
+            );
+            if let Ok(image) = built {
+                self.cache.insert(image);
+                self.lanes[j] = Some(r.config.clone());
+            }
+        }
+        let (hits_after, misses_after) = self.cache.stats();
+
+        // Charge the clocks from the stored durations.
+        let busy_s: f64 = stored.iter().map(|r| r.duration_s).sum();
+        let wall_s = stored.iter().map(|r| r.duration_s).fold(0.0, f64::max);
+        self.clock.advance(wall_s);
+        self.compute.advance(busy_s);
+        let finished_at_s = self.clock.now_s();
+
+        // Rebuild the records. Objectives are recomputed through
+        // `objective_of` so the running Eq. 4 normalization bounds evolve
+        // exactly as they did live.
+        let mut records: Vec<Record> = Vec::with_capacity(n);
+        for (offset, r) in stored.iter().enumerate() {
+            let objective = match (r.metric, r.memory_mb) {
+                (Some(metric), Some(memory_mb)) => Some(self.objective_of(metric, memory_mb)),
+                _ => None,
+            };
+            records.push(Record {
+                iteration: start + offset,
+                config: r.config.clone(),
+                objective,
+                metric: r.metric,
+                memory_mb: r.memory_mb,
+                crash_phase: r.crash_phase,
+                build_skipped: r.build_skipped,
+                duration_s: r.duration_s,
+                finished_at_s,
+                algo_seconds: r.algo_seconds,
+                algo_memory_bytes: r.algo_memory_bytes,
+            });
+        }
+
+        // Re-tell: rebuilds the algorithm's learned state.
+        let wave_obs: Vec<Observation> = records.iter().map(Record::observation).collect();
+        {
+            let ctx = SearchContext {
+                space: self.target.space(),
+                encoder: &self.encoder,
+                direction,
+                policy: &self.spec.policy,
+                history: &observations,
+                iteration: start,
+            };
+            self.algorithm.observe_batch(&ctx, &wave_obs);
+        }
+        for record in records {
+            self.history.push(record);
+        }
+        self.waves.push(WaveStats {
+            wave: wave_index,
+            size: n,
+            wall_s,
+            busy_s,
+            cache_hits: hits_after - hits_before,
+            cache_misses: misses_after - misses_before,
+        });
+        Ok(())
     }
 
     /// The summary of the session so far.
@@ -655,5 +977,138 @@ mod tests {
         let r = s.step();
         assert_eq!(r.iteration, 3, "wave of 4 → last record is iteration 3");
         assert_eq!(s.history().len(), 4);
+    }
+
+    /// Everything the resume guarantee covers, bit-exact.
+    fn trace(s: &Session) -> Vec<(u64, Option<u64>, bool, bool, u64, u64)> {
+        s.history()
+            .records()
+            .iter()
+            .map(|r| {
+                (
+                    r.config.fingerprint(),
+                    r.metric.map(f64::to_bits),
+                    r.crashed(),
+                    r.build_skipped,
+                    r.duration_s.to_bits(),
+                    r.finished_at_s.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    fn stored_prefix(s: &Session) -> (Vec<Record>, Vec<usize>) {
+        (
+            s.history().records().to_vec(),
+            s.waves().iter().map(|w| w.size).collect(),
+        )
+    }
+
+    #[test]
+    fn replay_then_continue_matches_the_uninterrupted_run() {
+        for workers in [1usize, 3] {
+            let mut full = session_with_workers(10, 41, workers);
+            let full_summary = full.run();
+
+            let mut interrupted = session_with_workers(10, 41, workers);
+            interrupted.step_wave();
+            interrupted.step_wave();
+            let (stored, wave_sizes) = stored_prefix(&interrupted);
+            drop(interrupted); // the "crash"
+
+            let mut resumed = session_with_workers(10, 41, workers);
+            resumed.replay(&stored, &wave_sizes).expect("replay");
+            let resumed_summary = resumed.run();
+
+            assert_eq!(trace(&full), trace(&resumed), "workers={workers}");
+            assert_eq!(
+                full_summary.best_config.as_ref().map(|c| c.fingerprint()),
+                resumed_summary
+                    .best_config
+                    .as_ref()
+                    .map(|c| c.fingerprint())
+            );
+            assert_eq!(
+                full_summary.compute_s.to_bits(),
+                resumed_summary.compute_s.to_bits()
+            );
+            assert_eq!(
+                full_summary.elapsed_s.to_bits(),
+                resumed_summary.elapsed_s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rebuilds_cache_and_lane_state_on_compile_targets() {
+        // Compile targets are where replay earns its keep: future
+        // build_skipped flags and incremental-rebuild durations depend on
+        // the image cache and per-lane working trees, which replay must
+        // reconstruct without re-benchmarking anything.
+        let make = || {
+            Session::new(
+                SimOs::unikraft_nginx(),
+                wf_ossim::unikraft::nginx_app(),
+                Box::new(RandomSearch::new()),
+                SessionSpec {
+                    budget: Budget {
+                        iterations: Some(8),
+                        time_seconds: None,
+                    },
+                    seed: 23,
+                    workers: 2,
+                    ..SessionSpec::default()
+                },
+            )
+        };
+        let mut full = make();
+        let _ = full.run();
+
+        let mut interrupted = make();
+        interrupted.step_wave();
+        interrupted.step_wave();
+        let (stored, wave_sizes) = stored_prefix(&interrupted);
+
+        let mut resumed = make();
+        resumed.replay(&stored, &wave_sizes).expect("replay");
+        let _ = resumed.run();
+        assert_eq!(trace(&full), trace(&resumed));
+    }
+
+    #[test]
+    fn replay_rejects_a_diverging_store() {
+        let mut donor = quick_session(6, 1);
+        let _ = donor.run();
+        let (stored, wave_sizes) = stored_prefix(&donor);
+
+        // Wrong seed → the re-asked candidates differ at iteration 0.
+        let mut wrong_seed = quick_session(6, 2);
+        assert_eq!(
+            wrong_seed.replay(&stored, &wave_sizes).unwrap_err(),
+            ReplayError::ConfigMismatch { iteration: 0 }
+        );
+
+        // Replay needs a fresh session.
+        let mut used = quick_session(6, 1);
+        used.step_wave();
+        assert!(matches!(
+            used.replay(&stored, &wave_sizes).unwrap_err(),
+            ReplayError::NotFresh { iterations: 1 }
+        ));
+
+        // Wave sizes must cover the records.
+        let mut fresh = quick_session(6, 1);
+        assert!(matches!(
+            fresh.replay(&stored, &wave_sizes[1..]).unwrap_err(),
+            ReplayError::BadWaveShape { .. }
+        ));
+
+        // A wave wider than the pool is rejected (workers cannot change).
+        let mut narrow = quick_session(6, 1);
+        let merged: Vec<usize> = vec![stored.len()];
+        assert!(matches!(
+            narrow.replay(&stored, &merged).unwrap_err(),
+            ReplayError::WaveTooWide { .. }
+        ));
     }
 }

@@ -1,0 +1,1373 @@
+//! On-disk session stores: a job-file manifest plus an append-only
+//! `events.jsonl`.
+//!
+//! A store directory makes a specialization campaign durable:
+//!
+//! * `manifest.yaml` — the *resolved* job (target keyword, app, metric,
+//!   algorithm, seed, workers, budgets, pins, explicit parameters),
+//!   written with the ordinary [`wf_jobfile::Job`] YAML emitter so it is
+//!   itself a runnable job file;
+//! * `events.jsonl` — every [`SessionEvent`] as one versioned JSON line,
+//!   written by [`JsonlSink`] through a small hand-rolled encoder (no
+//!   external dependencies) with escape-correct strings and round-trip
+//!   floats.
+//!
+//! [`SessionStore::load`] replays the lines into the stored records and
+//! wave shapes; [`crate::Session::replay`] then rebuilds a live session
+//! from them, so an interrupted campaign resumes without re-evaluating a
+//! single candidate. Torn final lines (a process killed mid-write) and
+//! trailing records that never completed a wave are tolerated and
+//! dropped; anything else that fails to parse is a hard
+//! [`StoreError::Corrupt`].
+//!
+//! # Examples
+//!
+//! ```
+//! use wf_jobfile::Job;
+//! use wf_kconfig::LinuxVersion;
+//! use wf_ossim::{App, AppId, SimOs};
+//! use wf_platform::{Session, SessionSpec, SessionStore};
+//! use wf_search::RandomSearch;
+//!
+//! let dir = std::env::temp_dir().join(format!("wf-store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // Create the store from a (here: default) job manifest…
+//! let store = SessionStore::create(&dir, &Job::default()).unwrap();
+//!
+//! // …run a session through its sink…
+//! let mut session = Session::new(
+//!     SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+//!     App::by_id(AppId::Nginx),
+//!     Box::new(RandomSearch::new()),
+//!     SessionSpec {
+//!         budget: wf_jobfile::Budget {
+//!             iterations: Some(4),
+//!             time_seconds: None,
+//!         },
+//!         workers: 2,
+//!         ..SessionSpec::default()
+//!     },
+//! );
+//! let mut sink = store.sink().unwrap();
+//! let _ = session.run_with(&mut sink);
+//! drop(sink);
+//!
+//! // …and everything reloads offline: no re-evaluation.
+//! let loaded = SessionStore::open(&dir).unwrap().load().unwrap();
+//! assert_eq!(loaded.records.len(), 4);
+//! assert_eq!(loaded.wave_sizes, vec![2, 2]);
+//! assert!(loaded.finished);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::events::{EventSink, SessionEvent};
+use crate::history::{History, Record};
+use crate::metrics::WaveStats;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use wf_configspace::{Configuration, Tristate, Value};
+use wf_jobfile::Job;
+use wf_ossim::Phase;
+
+/// The manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.yaml";
+/// The event-log file name inside a store directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+/// The store format version stamped on every event line.
+pub const FORMAT_VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value, encoder, and parser.
+// ---------------------------------------------------------------------------
+
+/// A JSON document node. Integers and floats are kept apart so `u64`-ish
+/// counters survive exactly while measured values stay floats; floats are
+/// emitted in Rust's shortest round-trip form (non-finite values, which
+/// the platform never produces, encode as `null`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no fraction, no exponent).
+    Int(i64),
+    /// A floating-point literal.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (accepts both literal kinds).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer payload.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer payload as `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_i64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Non-negative integer payload as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|v| u64::try_from(v).ok())
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Encodes this value as compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip form; it always
+                    // carries a fraction or an exponent, so the literal
+                    // parses back as a float, bit-for-bit.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => encode_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document from `text` (must consume all input).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut p = JsonParser {
+            chars: bytes,
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error: position plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Character offset of the failure.
+    pub at: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "char {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(self.err(format!("expected {c:?}, got {got:?}"))),
+            None => Err(self.err(format!("expected {c:?}, got end of input"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some('n') => self.literal("null", JsonValue::Null),
+            Some('t') => self.literal("true", JsonValue::Bool(true)),
+            Some('f') => self.literal("false", JsonValue::Bool(false)),
+            Some('"') => self.string().map(JsonValue::Str),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected {c:?}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(JsonValue::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(JsonValue::Obj(pairs)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let first = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a \uXXXX low surrogate must
+                            // follow.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let second = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&second) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(first)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(self.err("invalid \\u escape")),
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| self.err(format!("bad number {text:?}")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(JsonValue::Int(v)),
+                // Magnitudes beyond i64 fall back to the float reading.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| self.err(format!("bad number {text:?}"))),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event (de)serialization.
+// ---------------------------------------------------------------------------
+
+fn value_token(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => format!("b{}", *b as u8),
+        Value::Tristate(t) => format!("t{t}"),
+        Value::Int(i) => format!("i{i}"),
+        Value::Choice(c) => format!("c{c}"),
+    }
+}
+
+fn token_value(s: &str) -> Option<Value> {
+    let rest = s.get(1..)?;
+    match s.as_bytes().first()? {
+        b'b' => match rest {
+            "0" => Some(Value::Bool(false)),
+            "1" => Some(Value::Bool(true)),
+            _ => None,
+        },
+        b't' => Tristate::parse(rest).map(Value::Tristate),
+        b'i' => rest.parse().ok().map(Value::Int),
+        b'c' => rest.parse().ok().map(Value::Choice),
+        _ => None,
+    }
+}
+
+fn config_json(config: &Configuration) -> JsonValue {
+    JsonValue::Arr(
+        config
+            .values()
+            .iter()
+            .map(|v| JsonValue::Str(value_token(v)))
+            .collect(),
+    )
+}
+
+fn config_from_json(v: &JsonValue) -> Option<Configuration> {
+    let items = v.as_arr()?;
+    let mut values = Vec::with_capacity(items.len());
+    for item in items {
+        values.push(token_value(item.as_str()?)?);
+    }
+    Some(Configuration::from_values(values))
+}
+
+fn opt_f64(v: Option<f64>) -> JsonValue {
+    match v {
+        Some(v) if v.is_finite() => JsonValue::Num(v),
+        _ => JsonValue::Null,
+    }
+}
+
+fn phase_str(p: Phase) -> &'static str {
+    match p {
+        Phase::Build => "build",
+        Phase::Boot => "boot",
+        Phase::Run => "run",
+    }
+}
+
+fn phase_from_str(s: &str) -> Option<Phase> {
+    match s {
+        "build" => Some(Phase::Build),
+        "boot" => Some(Phase::Boot),
+        "run" => Some(Phase::Run),
+        _ => None,
+    }
+}
+
+fn record_json(r: &Record) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("v".into(), JsonValue::Int(FORMAT_VERSION)),
+        ("event".into(), JsonValue::Str("candidate".into())),
+        ("iteration".into(), JsonValue::Int(r.iteration as i64)),
+        ("config".into(), config_json(&r.config)),
+        ("objective".into(), opt_f64(r.objective)),
+        ("metric".into(), opt_f64(r.metric)),
+        ("memory_mb".into(), opt_f64(r.memory_mb)),
+        (
+            "crash_phase".into(),
+            match r.crash_phase {
+                None => JsonValue::Null,
+                Some(p) => JsonValue::Str(phase_str(p).into()),
+            },
+        ),
+        ("build_skipped".into(), JsonValue::Bool(r.build_skipped)),
+        ("duration_s".into(), JsonValue::Num(r.duration_s)),
+        ("finished_at_s".into(), JsonValue::Num(r.finished_at_s)),
+        ("algo_seconds".into(), JsonValue::Num(r.algo_seconds)),
+        (
+            "algo_memory_bytes".into(),
+            JsonValue::Int(r.algo_memory_bytes as i64),
+        ),
+    ])
+}
+
+fn record_from_json(v: &JsonValue) -> Option<Record> {
+    Some(Record {
+        iteration: v.get("iteration")?.as_usize()?,
+        config: config_from_json(v.get("config")?)?,
+        objective: v.get("objective")?.as_f64(),
+        metric: v.get("metric")?.as_f64(),
+        memory_mb: v.get("memory_mb")?.as_f64(),
+        crash_phase: match v.get("crash_phase")? {
+            JsonValue::Null => None,
+            other => Some(phase_from_str(other.as_str()?)?),
+        },
+        build_skipped: v.get("build_skipped")?.as_bool()?,
+        duration_s: v.get("duration_s")?.as_f64()?,
+        finished_at_s: v.get("finished_at_s")?.as_f64()?,
+        algo_seconds: v.get("algo_seconds")?.as_f64().unwrap_or(0.0),
+        algo_memory_bytes: v.get("algo_memory_bytes")?.as_usize()?,
+    })
+}
+
+fn wave_stats_json(w: &WaveStats) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("v".into(), JsonValue::Int(FORMAT_VERSION)),
+        ("event".into(), JsonValue::Str("wave_completed".into())),
+        ("wave".into(), JsonValue::Int(w.wave as i64)),
+        ("size".into(), JsonValue::Int(w.size as i64)),
+        ("wall_s".into(), JsonValue::Num(w.wall_s)),
+        ("busy_s".into(), JsonValue::Num(w.busy_s)),
+        ("cache_hits".into(), JsonValue::Int(w.cache_hits as i64)),
+        ("cache_misses".into(), JsonValue::Int(w.cache_misses as i64)),
+    ])
+}
+
+fn wave_stats_from_json(v: &JsonValue) -> Option<WaveStats> {
+    Some(WaveStats {
+        wave: v.get("wave")?.as_usize()?,
+        size: v.get("size")?.as_usize()?,
+        wall_s: v.get("wall_s")?.as_f64()?,
+        busy_s: v.get("busy_s")?.as_f64()?,
+        cache_hits: v.get("cache_hits")?.as_u64()?,
+        cache_misses: v.get("cache_misses")?.as_u64()?,
+    })
+}
+
+/// Serializes one [`SessionEvent`] as a versioned JSON object.
+pub fn event_json(event: &SessionEvent) -> JsonValue {
+    let tagged = |tag: &str, mut rest: Vec<(String, JsonValue)>| {
+        let mut pairs = vec![
+            ("v".into(), JsonValue::Int(FORMAT_VERSION)),
+            ("event".into(), JsonValue::Str(tag.into())),
+        ];
+        pairs.append(&mut rest);
+        JsonValue::Obj(pairs)
+    };
+    match event {
+        SessionEvent::SessionStarted {
+            descriptor,
+            seed,
+            workers,
+            first_iteration,
+        } => tagged(
+            "session_started",
+            vec![
+                ("target".into(), JsonValue::Str(descriptor.name.clone())),
+                ("app".into(), JsonValue::Str(descriptor.app.clone())),
+                ("metric".into(), JsonValue::Str(descriptor.metric.clone())),
+                // u64 seeds are stored as strings so the full range
+                // survives the i64-based integer literal.
+                ("seed".into(), JsonValue::Str(seed.to_string())),
+                ("workers".into(), JsonValue::Int(*workers as i64)),
+                (
+                    "first_iteration".into(),
+                    JsonValue::Int(*first_iteration as i64),
+                ),
+            ],
+        ),
+        SessionEvent::WaveDispatched {
+            wave,
+            first_iteration,
+            size,
+        } => tagged(
+            "wave_dispatched",
+            vec![
+                ("wave".into(), JsonValue::Int(*wave as i64)),
+                (
+                    "first_iteration".into(),
+                    JsonValue::Int(*first_iteration as i64),
+                ),
+                ("size".into(), JsonValue::Int(*size as i64)),
+            ],
+        ),
+        SessionEvent::CandidateEvaluated(record) => record_json(record),
+        SessionEvent::NewBest {
+            iteration,
+            objective,
+        } => tagged(
+            "new_best",
+            vec![
+                ("iteration".into(), JsonValue::Int(*iteration as i64)),
+                ("objective".into(), JsonValue::Num(*objective)),
+            ],
+        ),
+        SessionEvent::WaveCompleted(stats) => wave_stats_json(stats),
+        SessionEvent::CheckpointWritten { iterations } => tagged(
+            "checkpoint",
+            vec![("iterations".into(), JsonValue::Int(*iterations as i64))],
+        ),
+        SessionEvent::SessionFinished(summary) => tagged(
+            "session_finished",
+            vec![
+                (
+                    "iterations".into(),
+                    JsonValue::Int(summary.iterations as i64),
+                ),
+                ("crash_rate".into(), JsonValue::Num(summary.crash_rate)),
+                ("elapsed_s".into(), JsonValue::Num(summary.elapsed_s)),
+                ("compute_s".into(), JsonValue::Num(summary.compute_s)),
+                ("waves".into(), JsonValue::Int(summary.waves as i64)),
+                ("workers".into(), JsonValue::Int(summary.workers as i64)),
+            ],
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sink and the store.
+// ---------------------------------------------------------------------------
+
+/// An [`EventSink`] appending every event to a store's `events.jsonl`.
+///
+/// The log is flushed after each `WaveCompleted`, followed by a
+/// `checkpoint` line marking how many evaluations are durable — that is
+/// the [`SessionEvent::CheckpointWritten`] moment of the stream. I/O
+/// errors are sticky: the first one is kept (see [`JsonlSink::error`])
+/// and subsequent events are dropped rather than panicking mid-session.
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    iterations: usize,
+    checkpoints: usize,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink {
+    /// Opens `path` in append mode (creating it if missing). A torn
+    /// final line left by a killed writer is truncated away first: the
+    /// loader ignores it anyway, and appending after it would glue the
+    /// next event onto the fragment — turning a tolerated torn tail into
+    /// hard mid-file corruption on every later load.
+    pub fn append(path: &Path) -> io::Result<JsonlSink> {
+        heal_torn_tail(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+            iterations: 0,
+            checkpoints: 0,
+            error: None,
+        })
+    }
+
+    /// Number of checkpoint lines written by this sink.
+    pub fn checkpoints(&self) -> usize {
+        self.checkpoints
+    }
+
+    /// The first I/O error hit, if any — callers should check after the
+    /// run, since [`EventSink::on_event`] cannot report failures.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes buffered lines to the OS.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn write_line(&mut self, value: &JsonValue) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = value.encode();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Truncates an unterminated final line (the signature of a writer
+/// killed mid-write) so the log ends at a record boundary again.
+fn heal_torn_tail(path: &Path) -> io::Result<()> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if bytes.last().is_none_or(|b| *b == b'\n') {
+        return Ok(());
+    }
+    let keep = bytes.iter().rposition(|b| *b == b'\n').map_or(0, |p| p + 1);
+    OpenOptions::new()
+        .write(true)
+        .open(path)?
+        .set_len(keep as u64)
+}
+
+impl EventSink for JsonlSink {
+    fn on_event(&mut self, event: &SessionEvent) {
+        self.write_line(&event_json(event));
+        match event {
+            SessionEvent::CandidateEvaluated(r) => self.iterations = r.iteration + 1,
+            SessionEvent::WaveCompleted(_) | SessionEvent::SessionFinished(_)
+                if self.error.is_none() =>
+            {
+                if let Err(e) = self.writer.flush() {
+                    self.error = Some(e);
+                    return;
+                }
+                if matches!(event, SessionEvent::WaveCompleted(_)) {
+                    self.checkpoints += 1;
+                    let iterations = self.iterations;
+                    self.write_line(&event_json(&SessionEvent::CheckpointWritten { iterations }));
+                    if let Err(e) = self.writer.flush() {
+                        self.error = Some(e);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Errors opening, reading, or writing a session store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// `create` refused to overwrite an existing store.
+    AlreadyExists {
+        /// The existing manifest path.
+        path: PathBuf,
+    },
+    /// The directory has no manifest — not a session store.
+    NotAStore {
+        /// The missing manifest path.
+        path: PathBuf,
+    },
+    /// The manifest exists but does not parse as a job file.
+    Manifest {
+        /// The manifest path.
+        path: PathBuf,
+        /// The job-file parse error.
+        message: String,
+    },
+    /// An event line (other than a torn final line) failed to parse or
+    /// is inconsistent with the lines before it.
+    Corrupt {
+        /// The event-log path.
+        path: PathBuf,
+        /// One-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::AlreadyExists { path } => write!(
+                f,
+                "{} already exists — resume it or pick a fresh directory",
+                path.display()
+            ),
+            StoreError::NotAStore { path } => {
+                write!(f, "{} not found — not a session store", path.display())
+            }
+            StoreError::Manifest { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            StoreError::Corrupt {
+                path,
+                line,
+                message,
+            } => write!(f, "{} line {line}: {message}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Everything a store's event log contained, reduced to replayable form.
+///
+/// Only *complete* waves are kept: candidates written before a crash that
+/// never saw their `wave_completed` line are counted in
+/// [`StoredSession::dropped_records`] and re-evaluated on resume (their
+/// iteration indices are re-proposed identically, so nothing is lost but
+/// the partial wave's compute).
+#[derive(Clone, Debug)]
+pub struct StoredSession {
+    /// The resolved job from the manifest.
+    pub job: Job,
+    /// Records of every complete wave, in iteration order.
+    pub records: Vec<Record>,
+    /// Wave shapes covering `records`, oldest first.
+    pub wave_sizes: Vec<usize>,
+    /// Per-wave scheduling stats, as stored.
+    pub wave_stats: Vec<WaveStats>,
+    /// `(iteration, objective)` of every stored best improvement.
+    pub new_bests: Vec<(usize, f64)>,
+    /// Checkpoint lines seen.
+    pub checkpoints: usize,
+    /// Whether a `session_finished` line closed the log.
+    pub finished: bool,
+    /// Trailing candidate records dropped because their wave never
+    /// completed (plus any torn final line).
+    pub dropped_records: usize,
+}
+
+impl StoredSession {
+    /// Rebuilds the [`History`] the stored records describe.
+    pub fn history(&self) -> History {
+        let mut h = History::new();
+        for r in &self.records {
+            h.push(r.clone());
+        }
+        h
+    }
+}
+
+/// A session store directory: `manifest.yaml` + `events.jsonl`.
+#[derive(Clone, Debug)]
+pub struct SessionStore {
+    dir: PathBuf,
+}
+
+impl SessionStore {
+    /// Creates a fresh store at `dir` (creating the directory) and writes
+    /// the manifest. Refuses to clobber an existing store.
+    pub fn create(dir: impl AsRef<Path>, job: &Job) -> Result<SessionStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        let manifest = dir.join(MANIFEST_FILE);
+        if manifest.exists() {
+            return Err(StoreError::AlreadyExists { path: manifest });
+        }
+        std::fs::write(&manifest, job.to_yaml()).map_err(|source| StoreError::Io {
+            path: manifest.clone(),
+            source,
+        })?;
+        Ok(SessionStore { dir })
+    }
+
+    /// Opens an existing store.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SessionStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = dir.join(MANIFEST_FILE);
+        if !manifest.exists() {
+            return Err(StoreError::NotAStore { path: manifest });
+        }
+        Ok(SessionStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the event log.
+    pub fn events_path(&self) -> PathBuf {
+        self.dir.join(EVENTS_FILE)
+    }
+
+    /// Parses the manifest back into a [`Job`].
+    pub fn manifest(&self) -> Result<Job, StoreError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        Job::parse(&text).map_err(|e| StoreError::Manifest {
+            path,
+            message: e.to_string(),
+        })
+    }
+
+    /// Rewrites the manifest (e.g. a resume that extends the budget keeps
+    /// the manifest authoritative for the *current* resolved job).
+    pub fn rewrite_manifest(&self, job: &Job) -> Result<(), StoreError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        std::fs::write(&path, job.to_yaml()).map_err(|source| StoreError::Io { path, source })
+    }
+
+    /// Opens the event log for appending.
+    pub fn sink(&self) -> Result<JsonlSink, StoreError> {
+        let path = self.events_path();
+        JsonlSink::append(&path).map_err(|source| StoreError::Io { path, source })
+    }
+
+    /// Loads the manifest and replays the event log into a
+    /// [`StoredSession`]. A missing log is an empty (never-run) session;
+    /// a torn final line and a trailing incomplete wave are dropped.
+    pub fn load(&self) -> Result<StoredSession, StoreError> {
+        let job = self.manifest()?;
+        let path = self.events_path();
+        let mut out = StoredSession {
+            job,
+            records: Vec::new(),
+            wave_sizes: Vec::new(),
+            wave_stats: Vec::new(),
+            new_bests: Vec::new(),
+            checkpoints: 0,
+            finished: false,
+            dropped_records: 0,
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(source) => return Err(StoreError::Io { path, source }),
+        };
+        let corrupt = |line: usize, message: String| StoreError::Corrupt {
+            path: path.clone(),
+            line,
+            message,
+        };
+
+        // Candidates of the wave currently being read.
+        let mut pending: Vec<Record> = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let lineno = i + 1;
+            let last = i + 1 == lines.len();
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let value = match JsonValue::parse(raw) {
+                Ok(v) => v,
+                // A torn final line is the signature of a killed writer.
+                Err(_) if last => break,
+                Err(e) => return Err(corrupt(lineno, format!("bad JSON: {e}"))),
+            };
+            let version = value.get("v").and_then(JsonValue::as_i64).unwrap_or(-1);
+            if version != FORMAT_VERSION {
+                return Err(corrupt(
+                    lineno,
+                    format!("unsupported store version {version}"),
+                ));
+            }
+            let kind = value
+                .get("event")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| corrupt(lineno, "missing event tag".into()))?;
+            match kind {
+                "session_started" => {
+                    // A new run segment: candidates of an incomplete wave
+                    // from the previous segment were never observed by the
+                    // algorithm and will be re-evaluated — along with any
+                    // best-improvement markers they had already logged.
+                    out.dropped_records += pending.len();
+                    pending.clear();
+                    out.new_bests.retain(|(i, _)| *i < out.records.len());
+                    out.finished = false;
+                }
+                "candidate" => {
+                    let record = record_from_json(&value)
+                        .ok_or_else(|| corrupt(lineno, "malformed candidate record".into()))?;
+                    let expected = out.records.len() + pending.len();
+                    if record.iteration != expected {
+                        return Err(corrupt(
+                            lineno,
+                            format!(
+                                "iteration {} where {expected} was expected",
+                                record.iteration
+                            ),
+                        ));
+                    }
+                    pending.push(record);
+                }
+                "wave_completed" => {
+                    let stats = wave_stats_from_json(&value)
+                        .ok_or_else(|| corrupt(lineno, "malformed wave stats".into()))?;
+                    if stats.size != pending.len() {
+                        return Err(corrupt(
+                            lineno,
+                            format!(
+                                "wave of {} completed but {} candidate(s) were recorded",
+                                stats.size,
+                                pending.len()
+                            ),
+                        ));
+                    }
+                    out.wave_sizes.push(stats.size);
+                    out.wave_stats.push(stats);
+                    out.records.append(&mut pending);
+                }
+                "new_best" => {
+                    let iteration = value
+                        .get("iteration")
+                        .and_then(JsonValue::as_usize)
+                        .ok_or_else(|| corrupt(lineno, "malformed new_best".into()))?;
+                    let objective = value
+                        .get("objective")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| corrupt(lineno, "malformed new_best".into()))?;
+                    out.new_bests.push((iteration, objective));
+                }
+                "checkpoint" => out.checkpoints += 1,
+                "session_finished" => out.finished = true,
+                // Dispatch markers and future event kinds are informative
+                // only.
+                _ => {}
+            }
+        }
+        out.dropped_records += pending.len();
+        out.new_bests.retain(|(i, _)| *i < out.records.len());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Session, SessionSpec};
+    use wf_jobfile::Budget;
+    use wf_kconfig::LinuxVersion;
+    use wf_ossim::{App, AppId, SimOs};
+    use wf_search::RandomSearch;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wf-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn session(iters: usize, workers: usize) -> Session {
+        Session::new(
+            SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+            App::by_id(AppId::Nginx),
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: Some(iters),
+                    time_seconds: None,
+                },
+                seed: 5,
+                workers,
+                ..SessionSpec::default()
+            },
+        )
+    }
+
+    #[test]
+    fn json_encodes_and_parses_round_trip() {
+        let doc = JsonValue::Obj(vec![
+            ("s".into(), JsonValue::Str("a \"b\"\n\\ päth\u{1}".into())),
+            ("i".into(), JsonValue::Int(-42)),
+            ("f".into(), JsonValue::Num(0.1)),
+            ("e".into(), JsonValue::Num(1.5e-300)),
+            ("b".into(), JsonValue::Bool(true)),
+            ("n".into(), JsonValue::Null),
+            (
+                "a".into(),
+                JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Str("x".into())]),
+            ),
+        ]);
+        let text = doc.encode();
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn json_parses_unicode_escapes_and_surrogates() {
+        let v = JsonValue::parse(r#""aé😀b""#).unwrap();
+        assert_eq!(v, JsonValue::Str("aé😀b".into()));
+        assert!(JsonValue::parse(r#""\ud83d oops""#).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).encode(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn value_tokens_round_trip() {
+        for v in [
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Tristate(Tristate::No),
+            Value::Tristate(Tristate::Module),
+            Value::Tristate(Tristate::Yes),
+            Value::Int(-123456789),
+            Value::Int(i64::MAX),
+            Value::Choice(7),
+        ] {
+            assert_eq!(token_value(&value_token(&v)), Some(v));
+        }
+        assert_eq!(token_value("x1"), None);
+        assert_eq!(token_value(""), None);
+    }
+
+    #[test]
+    fn store_round_trips_a_session() {
+        let dir = temp_dir("roundtrip");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(6, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+            assert!(sink.error().is_none());
+            assert_eq!(sink.checkpoints(), 3);
+        }
+        let loaded = SessionStore::open(&dir).unwrap().load().unwrap();
+        assert_eq!(loaded.records.len(), 6);
+        assert_eq!(loaded.wave_sizes, vec![2, 2, 2]);
+        assert_eq!(loaded.checkpoints, 3);
+        assert!(loaded.finished);
+        assert_eq!(loaded.dropped_records, 0);
+        for (stored, live) in loaded.records.iter().zip(s.history().records()) {
+            assert_eq!(stored.iteration, live.iteration);
+            assert_eq!(stored.config, live.config);
+            assert_eq!(
+                stored.metric.map(f64::to_bits),
+                live.metric.map(f64::to_bits)
+            );
+            assert_eq!(stored.crash_phase, live.crash_phase);
+            assert_eq!(stored.duration_s.to_bits(), live.duration_s.to_bits());
+            assert_eq!(stored.finished_at_s.to_bits(), live.finished_at_s.to_bits());
+        }
+        let history = loaded.history();
+        assert_eq!(history.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = temp_dir("clobber");
+        let _ = SessionStore::create(&dir, &Job::default()).unwrap();
+        assert!(matches!(
+            SessionStore::create(&dir, &Job::default()),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_requires_a_manifest() {
+        let dir = temp_dir("nostore");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            SessionStore::open(&dir),
+            Err(StoreError::NotAStore { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_and_incomplete_wave_are_dropped() {
+        let dir = temp_dir("torn");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(6, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        // Append a candidate with no wave_completed, then a torn line.
+        let mut extra = s.history().records()[0].clone();
+        extra.iteration = 6;
+        let mut tail = event_json(&SessionEvent::CandidateEvaluated(extra)).encode();
+        tail.push('\n');
+        tail.push_str("{\"v\":1,\"event\":\"cand");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(store.events_path())
+            .unwrap();
+        f.write_all(tail.as_bytes()).unwrap();
+        drop(f);
+
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 6, "complete waves only");
+        assert_eq!(loaded.dropped_records, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appending_after_a_torn_tail_heals_the_log() {
+        // Regression: resuming a store whose events.jsonl ends mid-line
+        // (the kill -9 case) used to glue the next event onto the torn
+        // fragment, turning the tolerated torn tail into hard mid-file
+        // corruption on every later load.
+        let dir = temp_dir("heal");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(4, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        // Kill mid-write: cut into the final line.
+        let mut bytes = std::fs::read(store.events_path()).unwrap();
+        bytes.truncate(bytes.len() - 10);
+        std::fs::write(store.events_path(), &bytes).unwrap();
+
+        // Resume at the platform level: replay the surviving waves into a
+        // larger-budget twin and continue through an append sink.
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 4);
+        let mut resumed = session(6, 2);
+        resumed.replay(&loaded.records, &loaded.wave_sizes).unwrap();
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = resumed.run_with(&mut sink);
+        }
+
+        // Every later load keeps working: the torn line is gone and both
+        // segments parse.
+        let full = store.load().unwrap();
+        assert_eq!(full.records.len(), 6);
+        assert!(full.finished);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn new_bests_of_a_dropped_wave_are_dropped_too() {
+        // Regression: improvement markers logged by an incomplete wave
+        // used to survive the wave's own records being dropped, so the
+        // report listed (and a resume duplicated) bests with no record.
+        let dir = temp_dir("bestdrop");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(4, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        let before = store.load().unwrap();
+        let mut extra = s.history().records()[0].clone();
+        extra.iteration = 4;
+        let mut tail = event_json(&SessionEvent::CandidateEvaluated(extra)).encode();
+        tail.push('\n');
+        tail.push_str(
+            &event_json(&SessionEvent::NewBest {
+                iteration: 4,
+                objective: 1e9,
+            })
+            .encode(),
+        );
+        tail.push('\n');
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(store.events_path())
+            .unwrap();
+        f.write_all(tail.as_bytes()).unwrap();
+        drop(f);
+
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 4);
+        assert_eq!(loaded.dropped_records, 1);
+        assert_eq!(
+            loaded.new_bests, before.new_bests,
+            "a dropped wave leaves no improvement markers behind"
+        );
+        assert!(loaded.new_bests.iter().all(|(i, _)| *i < 4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = temp_dir("corrupt");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(4, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        let text = std::fs::read_to_string(store.events_path()).unwrap();
+        let broken = text.replacen("\"event\":\"candidate\"", "\"event\":\"candidate", 1);
+        assert_ne!(text, broken);
+        std::fs::write(store.events_path(), broken).unwrap();
+        assert!(matches!(store.load(), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trips_through_the_store() {
+        let dir = temp_dir("manifest");
+        let job = Job {
+            name: "stored".into(),
+            os: "linux-6.0".into(),
+            seed: 17,
+            ..Job::default()
+        };
+        let store = SessionStore::create(&dir, &job).unwrap();
+        assert_eq!(store.manifest().unwrap(), job);
+        let extended = Job {
+            budget: Budget {
+                iterations: Some(99),
+                time_seconds: None,
+            },
+            ..job.clone()
+        };
+        store.rewrite_manifest(&extended).unwrap();
+        assert_eq!(store.manifest().unwrap().budget.iterations, Some(99));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -35,8 +35,9 @@ pub fn derive_seed(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// RNG stream tag for a candidate's build draws.
-const STREAM_BUILD: u64 = 0;
+/// RNG stream tag for a candidate's build draws (also used by the
+/// pipeline's replay path to re-derive a build's exact RNG stream).
+pub(crate) const STREAM_BUILD: u64 = 0;
 /// RNG stream tag for a candidate's benchmark repetitions.
 const STREAM_BENCH: u64 = 1;
 /// RNG stream tag for a candidate's boot draws. Kept separate from the

@@ -1,0 +1,244 @@
+//! Property tests for the session-store serialization: the JSON encoder
+//! parses what it emits (escaped strings, round-trip floats, deep
+//! documents), and whole event logs written by [`JsonlSink`] reload into
+//! the exact records that were stored.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wf_configspace::{Configuration, Tristate, Value};
+use wf_jobfile::Job;
+use wf_ossim::Phase;
+use wf_platform::store::JsonValue;
+use wf_platform::{EventSink, Record, SessionEvent, SessionStore, WaveStats};
+
+// ---------------------------------------------------------------------------
+// JSON documents: parse-what-we-emit.
+// ---------------------------------------------------------------------------
+
+/// Strings exercising every escape class the encoder knows: quotes,
+/// backslashes, ASCII control characters, and multi-byte UTF-8 (including
+/// astral-plane characters).
+fn string_strategy() -> impl Strategy<Value = String> {
+    let chars = prop_oneof![
+        Just('"'),
+        Just('\\'),
+        Just('\n'),
+        Just('\r'),
+        Just('\t'),
+        Just('\u{0}'),
+        Just('\u{1}'),
+        Just('\u{1f}'),
+        Just('/'),
+        Just(' '),
+        Just('a'),
+        Just('Z'),
+        Just('9'),
+        Just('é'),
+        Just('ß'),
+        Just('中'),
+        Just('\u{1F600}'), // astral plane: a surrogate pair in \u form
+    ];
+    proptest::collection::vec(chars, 0..24).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Finite floats across magnitudes, signs, and the denormal edge — the
+/// store never emits NaN or infinities (they encode as `null`).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(1.0),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        Just(5e-324), // smallest denormal
+        -1e9f64..1e9,
+        -1e300f64..1e300,
+        1e-300f64..1e-290,
+    ]
+}
+
+fn json_leaf() -> impl Strategy<Value = JsonValue> {
+    prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        any::<i64>().prop_map(JsonValue::Int),
+        finite_f64().prop_map(JsonValue::Num),
+        string_strategy().prop_map(JsonValue::Str),
+    ]
+}
+
+fn json_value() -> impl Strategy<Value = JsonValue> {
+    json_leaf().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Arr),
+            proptest::collection::vec((string_strategy(), inner), 0..4).prop_map(JsonValue::Obj),
+        ]
+    })
+}
+
+/// Float equality up to bit identity (NaN never occurs), treating the
+/// `-0.0`/`0.0` pair as the IEEE-equal values they are.
+fn json_eq(a: &JsonValue, b: &JsonValue) -> bool {
+    match (a, b) {
+        (JsonValue::Num(x), JsonValue::Num(y)) => x == y,
+        (JsonValue::Arr(xs), JsonValue::Arr(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| json_eq(x, y))
+        }
+        (JsonValue::Obj(xs), JsonValue::Obj(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole event logs: written waves reload bit-exact.
+// ---------------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        prop_oneof![
+            Just(Tristate::No),
+            Just(Tristate::Module),
+            Just(Tristate::Yes)
+        ]
+        .prop_map(Value::Tristate),
+        any::<i64>().prop_map(Value::Int),
+        (0usize..32).prop_map(Value::Choice),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (
+        (
+            proptest::collection::vec(value_strategy(), 1..12),
+            prop_oneof![
+                Just(None),
+                Just(Some(Phase::Build)),
+                Just(Some(Phase::Boot)),
+                Just(Some(Phase::Run)),
+            ],
+        ),
+        (
+            finite_f64(),
+            finite_f64(),
+            (0.0f64..1e6),
+            any::<bool>(),
+            (0usize..1 << 40),
+        ),
+    )
+        .prop_map(
+            |((values, crash_phase), (metric, memory_mb, duration_s, build_skipped, bytes))| {
+                let crashed = crash_phase.is_some();
+                Record {
+                    iteration: 0, // assigned when grouped into waves
+                    config: Configuration::from_values(values),
+                    objective: (!crashed).then_some(metric),
+                    metric: (!crashed).then_some(metric),
+                    memory_mb: (!crashed).then_some(memory_mb),
+                    crash_phase,
+                    build_skipped,
+                    duration_s,
+                    finished_at_s: 0.0,
+                    algo_seconds: duration_s * 0.01,
+                    algo_memory_bytes: bytes,
+                }
+            },
+        )
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "wf-store-props-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The headline: any document the encoder can emit, the parser reads
+    /// back identically — escaped strings, astral-plane characters,
+    /// denormal floats, i64 extremes, deep nesting.
+    #[test]
+    fn json_documents_parse_what_we_emit(doc in json_value()) {
+        let text = doc.encode();
+        let back = JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted JSON must parse: {e}\n{text}"));
+        prop_assert!(json_eq(&back, &doc), "round-trip changed the document:\n{}", text);
+        // Encoding is a fixed point after one round trip.
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    /// A whole event log — waves of candidate records plus their
+    /// wave-completed markers — reloads into the exact same records.
+    #[test]
+    fn event_logs_reload_bit_exact(
+        waves in proptest::collection::vec(
+            proptest::collection::vec(record_strategy(), 1..5),
+            1..4,
+        ),
+    ) {
+        let dir = case_dir();
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut written: Vec<Record> = Vec::new();
+        {
+            let mut sink = store.sink().unwrap();
+            let mut finished_at = 0.0;
+            for (w, wave) in waves.iter().enumerate() {
+                finished_at += wave.iter().map(|r| r.duration_s).fold(0.0, f64::max);
+                let mut size = 0;
+                for r in wave {
+                    let mut record = r.clone();
+                    record.iteration = written.len();
+                    record.finished_at_s = finished_at;
+                    sink.on_event(&SessionEvent::CandidateEvaluated(record.clone()));
+                    written.push(record);
+                    size += 1;
+                }
+                sink.on_event(&SessionEvent::WaveCompleted(WaveStats {
+                    wave: w,
+                    size,
+                    wall_s: finished_at,
+                    busy_s: wave.iter().map(|r| r.duration_s).sum(),
+                    cache_hits: w as u64,
+                    cache_misses: size as u64,
+                }));
+            }
+            prop_assert!(sink.error().is_none());
+        }
+
+        let loaded = store.load().unwrap();
+        prop_assert_eq!(loaded.records.len(), written.len());
+        prop_assert_eq!(
+            &loaded.wave_sizes,
+            &waves.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        for (a, b) in loaded.records.iter().zip(&written) {
+            prop_assert_eq!(a.iteration, b.iteration);
+            prop_assert_eq!(&a.config, &b.config);
+            prop_assert_eq!(a.objective.map(f64::to_bits), b.objective.map(f64::to_bits));
+            prop_assert_eq!(a.metric.map(f64::to_bits), b.metric.map(f64::to_bits));
+            prop_assert_eq!(
+                a.memory_mb.map(f64::to_bits),
+                b.memory_mb.map(f64::to_bits)
+            );
+            prop_assert_eq!(a.crash_phase, b.crash_phase);
+            prop_assert_eq!(a.build_skipped, b.build_skipped);
+            prop_assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+            prop_assert_eq!(a.finished_at_s.to_bits(), b.finished_at_s.to_bits());
+            prop_assert_eq!(a.algo_seconds.to_bits(), b.algo_seconds.to_bits());
+            prop_assert_eq!(a.algo_memory_bytes, b.algo_memory_bytes);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,106 @@
+//! Streaming session events and deterministic resume from a session
+//! store.
+//!
+//! A long specialization campaign should never lose paid compute: this
+//! example runs a campaign while persisting every event to a store
+//! directory, "crashes" it halfway, resumes from disk without
+//! re-evaluating a single candidate, and shows the resumed campaign is
+//! indistinguishable from an uninterrupted one.
+//!
+//! ```sh
+//! cargo run --release --example session_resume
+//! ```
+
+use wayfinder::platform::SessionStore;
+use wayfinder::prelude::*;
+
+const ITERATIONS: usize = 16;
+
+fn build() -> SpecializationSession {
+    SessionBuilder::new()
+        .name("resume-demo")
+        .os(OsFlavor::Linux419)
+        .app(AppId::Redis)
+        .algorithm(AlgorithmChoice::Bayesian)
+        .runtime_params(64)
+        .iterations(ITERATIONS)
+        .seed(7)
+        .workers(2)
+        .build()
+        .expect("valid session")
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("wayfinder-session-resume-demo");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reference: the same campaign, uninterrupted.
+    let mut reference = build();
+    let reference_outcome = reference.run();
+
+    // 1. Run the campaign *streamed*: every event is observable live
+    //    (here via the drive() iterator) while a JsonlSink persists it.
+    println!("== segment 1: run to the halfway point, persisting a store");
+    let mut session = build();
+    let store = SessionStore::create(&dir, session.resolved_job()).expect("fresh store");
+    {
+        let mut sink = store.sink().expect("event log");
+        while session.platform().history().len() < ITERATIONS / 2 {
+            for record in session.platform_mut().step_wave_with(&mut sink) {
+                println!(
+                    "  t={:>5.0}s  iteration {:>2}  {}",
+                    record.finished_at_s,
+                    record.iteration,
+                    match record.metric {
+                        Some(m) => format!("{m:.0} ops/s"),
+                        None => format!("crashed ({:?})", record.crash_phase.unwrap()),
+                    }
+                );
+            }
+        }
+    }
+    println!(
+        "  ... crash! (process gone, store survives at {})",
+        dir.display()
+    );
+    drop(session);
+
+    // 2. Resume: the manifest rebuilds the session, the event log replays
+    //    into it (algorithm state, RNG streams, clocks, cache), and the
+    //    campaign continues from the next candidate index.
+    println!("== segment 2: resume from disk and finish");
+    let mut resumed = SessionBuilder::resume(&dir).expect("store resumes");
+    println!(
+        "  replayed {} evaluation(s) — zero re-evaluations",
+        resumed.platform().history().len()
+    );
+    let outcome = {
+        let mut sink = store.sink().expect("append");
+        resumed.run_with(&mut sink)
+    };
+
+    // 3. Interrupted-then-resumed ≡ uninterrupted, bit for bit.
+    let (best_cfg, best) = outcome.best.expect("a survivor");
+    let (ref_cfg, ref_best) = reference_outcome.best.expect("a survivor");
+    assert_eq!(best_cfg.fingerprint(), ref_cfg.fingerprint());
+    assert_eq!(best.to_bits(), ref_best.to_bits());
+    assert_eq!(
+        outcome.summary.compute_s.to_bits(),
+        reference_outcome.summary.compute_s.to_bits()
+    );
+    println!("== equivalence: resumed best == uninterrupted best == {best:.0} ops/s");
+
+    // 4. The store now renders a full report offline (wfctl report DIR).
+    let loaded = SessionStore::open(&dir)
+        .expect("open")
+        .load()
+        .expect("load");
+    println!(
+        "== store: {} evaluation(s), {} wave(s), {} checkpoint(s), finished: {}",
+        loaded.records.len(),
+        loaded.wave_sizes.len(),
+        loaded.checkpoints,
+        loaded.finished
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

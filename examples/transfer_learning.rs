@@ -32,7 +32,7 @@ fn main() {
 
     // 2. Checkpoint through the text format (what a real deployment would
     //    store between runs).
-    let checkpoint = donor.checkpoint().expect("trained model");
+    let checkpoint = donor.transfer_checkpoint().expect("trained model");
     let text = checkpoint.to_text();
     println!("  checkpoint: {} bytes of text", text.len());
     let restored = Checkpoint::from_text(&text).expect("round-trips");

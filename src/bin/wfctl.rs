@@ -7,21 +7,31 @@
 //!
 //! ```sh
 //! wfctl run <job.yaml>             # run a job file to completion
-//! wfctl run <job.yaml> --workers 4 # ... across 4 simulated VM workers
+//! wfctl run <job.yaml> --out DIR   # ... persisting a session store
 //! wfctl run --os linux-6.0-net     # ad-hoc session on a registered target
+//! wfctl resume <DIR>               # pick an interrupted store back up
+//! wfctl report <DIR>               # render a store's report offline
 //! wfctl validate <job.yaml>        # parse + resolve a job without running it
 //! wfctl targets                    # list every registered target
 //! wfctl probe                      # run the §3.4 runtime-space inference
 //! wfctl experiments                # list the regeneration targets
 //! ```
+//!
+//! A store directory (`--out`, the job's `out:` key, or a `resume`
+//! operand) holds `manifest.yaml` — the resolved job — plus an
+//! append-only `events.jsonl`; interrupting a stored run loses at most
+//! the in-flight wave, and `resume` continues it so that
+//! interrupted-then-resumed equals uninterrupted, candidate for
+//! candidate.
 
 use std::process::ExitCode;
-use wayfinder::core::BuildError;
+use wayfinder::core::{store_report, BuildError};
 use wayfinder::ossim::{first_crash, SimOs, SysctlTree};
-use wayfinder::platform::probe_runtime_space;
+use wayfinder::platform::{probe_runtime_space, SessionStore, Tee};
 use wayfinder::prelude::*;
-use wf_configspace::{NamedConfig, Value};
+use wf_configspace::{ConfigSpace, NamedConfig, Value};
 use wf_kconfig::LinuxVersion;
+use wf_platform::EventSink;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +39,14 @@ fn main() -> ExitCode {
         Some("run") => match RunArgs::parse(&args[1..]) {
             Ok(run) => run_job(&run),
             Err(e) => usage(&e),
+        },
+        Some("resume") => match ResumeArgs::parse(&args[1..]) {
+            Ok(resume) => resume_job(&resume),
+            Err(e) => usage(&e),
+        },
+        Some("report") => match args.get(1) {
+            Some(dir) if args.len() == 2 => report_store(dir),
+            _ => usage("report takes exactly one store directory"),
         },
         Some("validate") => match args.get(1) {
             Some(path) => validate_job(path),
@@ -46,7 +64,32 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--seed S]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+
+/// Parses one flag value, advancing the cursor.
+fn flag_value(rest: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    let value = rest
+        .get(*i + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?;
+    *i += 2;
+    Ok(value.clone())
+}
+
+fn parse_iterations(value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| format!("--iterations must be >= 1, got {value:?}"))
+}
+
+fn parse_time_budget(value: &str) -> Result<f64, String> {
+    value
+        .parse()
+        .ok()
+        .filter(|s| *s > 0.0)
+        .ok_or_else(|| format!("--time-budget-s must be > 0, got {value:?}"))
+}
 
 /// `run` operands: an optional job-file path plus override flags.
 struct RunArgs {
@@ -55,7 +98,10 @@ struct RunArgs {
     app: Option<String>,
     workers: Option<usize>,
     iterations: Option<usize>,
+    time_budget_s: Option<f64>,
+    repetitions: Option<usize>,
     seed: Option<u64>,
+    out: Option<String>,
 }
 
 impl RunArgs {
@@ -66,20 +112,16 @@ impl RunArgs {
             app: None,
             workers: None,
             iterations: None,
+            time_budget_s: None,
+            repetitions: None,
             seed: None,
+            out: None,
         };
         let mut i = 0;
-        let flag_value = |i: &mut usize, flag: &str| -> Result<String, String> {
-            let value = rest
-                .get(*i + 1)
-                .ok_or_else(|| format!("{flag} needs a value"))?;
-            *i += 2;
-            Ok(value.clone())
-        };
         while i < rest.len() {
             match rest[i].as_str() {
                 "--workers" => {
-                    let value = flag_value(&mut i, "--workers")?;
+                    let value = flag_value(rest, &mut i, "--workers")?;
                     run.workers = Some(
                         value
                             .parse()
@@ -88,19 +130,34 @@ impl RunArgs {
                             .ok_or_else(|| format!("--workers must be in 1..=64, got {value:?}"))?,
                     );
                 }
-                "--os" => run.os = Some(flag_value(&mut i, "--os")?),
-                "--app" => run.app = Some(flag_value(&mut i, "--app")?),
+                "--os" => run.os = Some(flag_value(rest, &mut i, "--os")?),
+                "--app" => run.app = Some(flag_value(rest, &mut i, "--app")?),
+                "--out" => run.out = Some(flag_value(rest, &mut i, "--out")?),
                 "--iterations" => {
-                    let value = flag_value(&mut i, "--iterations")?;
-                    run.iterations =
+                    run.iterations = Some(parse_iterations(&flag_value(
+                        rest,
+                        &mut i,
+                        "--iterations",
+                    )?)?);
+                }
+                "--time-budget-s" => {
+                    run.time_budget_s = Some(parse_time_budget(&flag_value(
+                        rest,
+                        &mut i,
+                        "--time-budget-s",
+                    )?)?);
+                }
+                "--repetitions" => {
+                    let value = flag_value(rest, &mut i, "--repetitions")?;
+                    run.repetitions =
                         Some(
                             value.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
-                                format!("--iterations must be >= 1, got {value:?}")
+                                format!("--repetitions must be >= 1, got {value:?}")
                             })?,
                         );
                 }
                 "--seed" => {
-                    let value = flag_value(&mut i, "--seed")?;
+                    let value = flag_value(rest, &mut i, "--seed")?;
                     run.seed = Some(
                         value
                             .parse()
@@ -120,6 +177,54 @@ impl RunArgs {
             return Err("run needs a job file or --os <keyword>".into());
         }
         Ok(run)
+    }
+}
+
+/// `resume` operands: the store directory plus budget overrides.
+struct ResumeArgs {
+    dir: String,
+    iterations: Option<usize>,
+    time_budget_s: Option<f64>,
+}
+
+impl ResumeArgs {
+    fn parse(rest: &[String]) -> Result<ResumeArgs, String> {
+        let mut resume = ResumeArgs {
+            dir: String::new(),
+            iterations: None,
+            time_budget_s: None,
+        };
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--iterations" => {
+                    resume.iterations = Some(parse_iterations(&flag_value(
+                        rest,
+                        &mut i,
+                        "--iterations",
+                    )?)?);
+                }
+                "--time-budget-s" => {
+                    resume.time_budget_s = Some(parse_time_budget(&flag_value(
+                        rest,
+                        &mut i,
+                        "--time-budget-s",
+                    )?)?);
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                operand => {
+                    if !resume.dir.is_empty() {
+                        return Err("resume takes exactly one store directory".into());
+                    }
+                    resume.dir = operand.to_string();
+                    i += 1;
+                }
+            }
+        }
+        if resume.dir.is_empty() {
+            return Err("resume needs a store directory".into());
+        }
+        Ok(resume)
     }
 }
 
@@ -186,88 +291,115 @@ fn validate_job(path: &str) -> ExitCode {
                 job.budget.iterations,
                 job.budget.time_seconds,
             );
+            // What a session-store manifest would record for this job:
+            // every omitted key resolved to the target's defaults.
+            let resolved = session.resolved_job();
+            println!(
+                "resolved defaults: app {}, metric {} ({}), workers {}, out {}",
+                descriptor.app,
+                resolved.metric.as_deref().unwrap_or(&descriptor.metric),
+                descriptor.unit,
+                resolved.workers.unwrap_or(1),
+                job.out.as_deref().unwrap_or("(none — in-memory only)"),
+            );
             ExitCode::SUCCESS
         }
         Err(e) => report_build_error("invalid job", &e),
     }
 }
 
-fn run_job(run: &RunArgs) -> ExitCode {
-    let (job_name, builder) = match &run.path {
-        Some(path) => {
-            let job = match load_job(path) {
-                Ok(j) => j,
+/// Live progress printer: one line per `NewBest`, plus a throttled
+/// progress line (every half virtual hour) as waves complete.
+struct ConsoleSink {
+    every_s: f64,
+    last_progress_s: f64,
+    now_s: f64,
+    iterations: usize,
+}
+
+impl ConsoleSink {
+    fn new() -> ConsoleSink {
+        ConsoleSink {
+            every_s: 1800.0,
+            last_progress_s: 0.0,
+            now_s: 0.0,
+            iterations: 0,
+        }
+    }
+}
+
+impl EventSink for ConsoleSink {
+    fn on_event(&mut self, event: &SessionEvent) {
+        match event {
+            SessionEvent::SessionStarted {
+                descriptor,
+                workers,
+                first_iteration,
+                ..
+            } => {
+                if *first_iteration == 0 {
+                    println!(
+                        "running: {} on {} across {} worker(s) ...",
+                        descriptor.app, descriptor.name, workers
+                    );
+                } else {
+                    println!(
+                        "resuming: {} on {} across {} worker(s), continuing at iteration {} ...",
+                        descriptor.app, descriptor.name, workers, first_iteration
+                    );
+                }
+            }
+            SessionEvent::CandidateEvaluated(r) => {
+                self.now_s = r.finished_at_s;
+                self.iterations = r.iteration + 1;
+            }
+            SessionEvent::NewBest {
+                iteration,
+                objective,
+            } => {
+                // Zero-based, matching the stored records and the
+                // offline report's "improvements" list.
+                println!(
+                    "  t={:>7.0}s  iteration {:>4}  new best {objective:.2}",
+                    self.now_s, iteration
+                );
+            }
+            SessionEvent::WaveCompleted(_) if self.now_s - self.last_progress_s >= self.every_s => {
+                self.last_progress_s = self.now_s;
+                println!("  t={:>7.0}s  iteration {:>4}", self.now_s, self.iterations);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs a built session to completion (streaming progress, optionally
+/// into a store) and prints the final summary.
+fn drive_session(mut session: SpecializationSession, store: Option<&SessionStore>) -> ExitCode {
+    let mut console = ConsoleSink::new();
+    let summary = match store {
+        Some(store) => {
+            let mut jsonl = match store.sink() {
+                Ok(sink) => sink,
                 Err(e) => {
-                    eprintln!("{e}");
+                    eprintln!("cannot open event log: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let builder = match SessionBuilder::from_job(&job) {
-                Ok(b) => b,
-                Err(e) => return report_build_error("cannot build session", &e),
-            };
-            (job.name.clone(), builder)
+            let outcome = session.run_with(&mut Tee(&mut jsonl, &mut console));
+            if let Some(e) = jsonl.error() {
+                eprintln!("warning: event log incomplete: {e}");
+            }
+            println!(
+                "store: {} ({} checkpoint(s) this run)",
+                store.dir().display(),
+                jsonl.checkpoints()
+            );
+            outcome.summary
         }
-        // Ad-hoc `--os` runs: a quick random-search session on the
-        // target's default app and metric, overridable by the flags
-        // below.
-        None => (
-            "adhoc".to_string(),
-            SessionBuilder::new()
-                .algorithm(AlgorithmChoice::Random)
-                .iterations(24),
-        ),
-    };
-    // CLI flags > job file > WF_WORKERS/default.
-    let mut builder = builder.registry(wayfinder::scenarios::registry());
-    if let Some(os) = &run.os {
-        builder = builder.target(os.clone());
-    }
-    if let Some(app) = &run.app {
-        builder = builder.app_named(app.clone());
-    }
-    if let Some(n) = run.workers {
-        builder = builder.workers(n);
-    }
-    if let Some(n) = run.iterations {
-        builder = builder.iterations(n);
-    }
-    if let Some(seed) = run.seed {
-        builder = builder.seed(seed);
-    }
-    let mut session = match builder.build() {
-        Ok(s) => s,
-        Err(e) => return report_build_error("cannot build session", &e),
+        None => session.run_with(&mut console).summary,
     };
     let descriptor = session.platform().descriptor().clone();
-    println!(
-        "running job {:?}: {} on {} across {} worker(s) ...",
-        job_name,
-        descriptor.app,
-        descriptor.name,
-        session.platform().summary().workers,
-    );
-    let mut last_report = 0.0;
-    while !session.done() {
-        let (finished_at_s, iteration) = {
-            let r = session.step();
-            (r.finished_at_s, r.iteration)
-        };
-        if finished_at_s - last_report > 1800.0 {
-            last_report = finished_at_s;
-            println!(
-                "  t={:>6.0}s  iteration {:>4}  best {:?}",
-                finished_at_s,
-                iteration + 1,
-                session
-                    .platform()
-                    .history()
-                    .best(session.platform().direction())
-                    .and_then(|b| b.objective)
-            );
-        }
-    }
-    let summary = session.platform().summary();
     println!(
         "done: {} iterations in {:.1} virtual hours, crash rate {:.0}%",
         summary.iterations,
@@ -301,8 +433,8 @@ fn run_job(run: &RunArgs) -> ExitCode {
     match (summary.best_objective, summary.best_config) {
         (Some(best), Some(config)) => {
             println!(
-                "best {} ({}): {:.2}",
-                descriptor.metric, descriptor.unit, best
+                "best {} ({}): {best:.2}",
+                descriptor.metric, descriptor.unit
             );
             let space = session.platform().space();
             let default = space.default_config();
@@ -317,6 +449,157 @@ fn run_job(run: &RunArgs) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn run_job(run: &RunArgs) -> ExitCode {
+    let (job_out, builder) = match &run.path {
+        Some(path) => {
+            let job = match load_job(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let builder = match SessionBuilder::from_job(&job) {
+                Ok(b) => b,
+                Err(e) => return report_build_error("cannot build session", &e),
+            };
+            (job.out.clone(), builder)
+        }
+        // Ad-hoc `--os` runs: a quick random-search session on the
+        // target's default app and metric, overridable by the flags
+        // below.
+        None => (
+            None,
+            SessionBuilder::new()
+                .name("adhoc")
+                .algorithm(AlgorithmChoice::Random)
+                .iterations(24),
+        ),
+    };
+    // CLI flags > job file > WF_WORKERS/default.
+    let mut builder = builder.registry(wayfinder::scenarios::registry());
+    if let Some(os) = &run.os {
+        builder = builder.target(os.clone());
+    }
+    if let Some(app) = &run.app {
+        builder = builder.app_named(app.clone());
+    }
+    if let Some(n) = run.workers {
+        builder = builder.workers(n);
+    }
+    if let Some(n) = run.iterations {
+        builder = builder.iterations(n);
+    }
+    if let Some(s) = run.time_budget_s {
+        builder = builder.time_budget_s(s);
+    }
+    if let Some(n) = run.repetitions {
+        builder = builder.repetitions(n);
+    }
+    if let Some(seed) = run.seed {
+        builder = builder.seed(seed);
+    }
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => return report_build_error("cannot build session", &e),
+    };
+    // `--out` wins over the job's `out:` key.
+    let store = match run.out.clone().or(job_out) {
+        None => None,
+        Some(dir) => match SessionStore::create(&dir, session.resolved_job()) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("cannot create session store: {e}");
+                eprintln!("hint: `wfctl resume {dir}` continues an existing store");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    drive_session(session, store.as_ref())
+}
+
+fn resume_job(args: &ResumeArgs) -> ExitCode {
+    let store = match SessionStore::open(&args.dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot open session store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let loaded = match store.load() {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("cannot load session store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Budget overrides extend (or shrink) the stored campaign; the
+    // manifest is rewritten afterwards so it stays authoritative.
+    let mut job = loaded.job.clone();
+    let overridden = args.iterations.is_some() || args.time_budget_s.is_some();
+    if let Some(n) = args.iterations {
+        job.budget.iterations = Some(n);
+    }
+    if let Some(s) = args.time_budget_s {
+        job.budget.time_seconds = Some(s);
+    }
+    let mut session = match SessionBuilder::from_job(&job)
+        .map(|b| b.registry(wayfinder::scenarios::registry()))
+        .and_then(SessionBuilder::build)
+    {
+        Ok(s) => s,
+        Err(e) => return report_build_error("manifest does not build", &e),
+    };
+    if let Err(e) = session.replay(&loaded) {
+        eprintln!("history does not replay: {e}");
+        return ExitCode::FAILURE;
+    }
+    if loaded.dropped_records > 0 {
+        println!(
+            "note: {} record(s) of an incomplete wave will be re-evaluated",
+            loaded.dropped_records
+        );
+    }
+    println!(
+        "replayed {} evaluation(s) across {} wave(s) — zero re-evaluations",
+        loaded.records.len(),
+        loaded.wave_sizes.len()
+    );
+    if overridden {
+        if let Err(e) = store.rewrite_manifest(session.resolved_job()) {
+            eprintln!("cannot rewrite manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    drive_session(session, Some(&store))
+}
+
+/// Rebuilds the manifest's configuration space for offline naming
+/// through the one authoritative resolution path — building the session
+/// runs zero evaluations, and reusing it keeps the report's space
+/// identical to the one the campaign searched.
+fn manifest_space(job: &Job) -> Option<ConfigSpace> {
+    let session = SessionBuilder::from_job(job)
+        .ok()?
+        .registry(wayfinder::scenarios::registry())
+        .build()
+        .ok()?;
+    Some(session.platform().space().clone())
+}
+
+fn report_store(dir: &str) -> ExitCode {
+    let loaded = match SessionStore::open(dir).and_then(|store| store.load()) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("cannot load session store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let space = manifest_space(&loaded.job);
+    print!("{}", store_report(&loaded, space.as_ref()));
+    ExitCode::SUCCESS
 }
 
 fn targets() -> ExitCode {

@@ -45,7 +45,7 @@ fn checkpoints_survive_disk_round_trips() {
         .build()
         .unwrap();
     let _ = donor.run();
-    let ckpt = donor.checkpoint().expect("trained");
+    let ckpt = donor.transfer_checkpoint().expect("trained");
 
     let path = std::env::temp_dir().join("wayfinder-e2e-checkpoint.txt");
     std::fs::write(&path, ckpt.to_text()).expect("write checkpoint");

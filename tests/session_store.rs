@@ -1,0 +1,301 @@
+//! End-to-end guarantees of the session store: for every registered
+//! target and every search algorithm, a campaign interrupted at a wave
+//! boundary and resumed from its on-disk store produces the exact same
+//! history, best configuration, and compute clock as the uninterrupted
+//! campaign — without re-evaluating a single completed candidate — and
+//! `wfctl` drives the whole flow from the command line.
+
+use std::path::PathBuf;
+use std::process::Command;
+use wayfinder::prelude::*;
+use wayfinder::scenarios;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wf-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build(keyword: &str, algorithm: AlgorithmChoice, iterations: usize) -> SpecializationSession {
+    SessionBuilder::new()
+        .name("equivalence")
+        .target(keyword)
+        .registry(scenarios::registry())
+        .algorithm(algorithm)
+        .runtime_params(64)
+        .iterations(iterations)
+        .seed(4242)
+        .workers(2)
+        .build()
+        .expect("registered targets build")
+}
+
+/// Everything the resume guarantee covers, bit-exact per record.
+fn trace(session: &SpecializationSession) -> Vec<(u64, Option<u64>, bool, bool, u64, u64)> {
+    session
+        .platform()
+        .history()
+        .records()
+        .iter()
+        .map(|r| {
+            (
+                r.config.fingerprint(),
+                r.metric.map(f64::to_bits),
+                r.crashed(),
+                r.build_skipped,
+                r.duration_s.to_bits(),
+                r.finished_at_s.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Runs `keyword` × `algorithm` to completion twice — once uninterrupted,
+/// once interrupted after `interrupt_waves` waves and resumed from the
+/// store — and asserts the resumed campaign is indistinguishable.
+fn assert_resume_equivalent(
+    keyword: &str,
+    algorithm: fn() -> AlgorithmChoice,
+    iterations: usize,
+    interrupt_waves: usize,
+    tag: &str,
+) {
+    let mut full = build(keyword, algorithm(), iterations);
+    let full_outcome = full.run();
+
+    let dir = temp_dir(tag);
+    let mut interrupted = build(keyword, algorithm(), iterations);
+    let store = SessionStore::create(&dir, interrupted.resolved_job()).expect("fresh store");
+    {
+        let mut sink = store.sink().expect("event log");
+        for _ in 0..interrupt_waves {
+            interrupted.platform_mut().step_wave_with(&mut sink);
+        }
+    }
+    let interrupted_len = interrupted.platform().history().len();
+    assert!(
+        interrupted_len < iterations,
+        "{tag}: interrupt must land mid-campaign ({interrupted_len}/{iterations})"
+    );
+    drop(interrupted); // the crash: only the store survives
+
+    let mut resumed =
+        SessionBuilder::resume_with(&dir, scenarios::registry()).expect("store resumes");
+    assert_eq!(
+        resumed.platform().history().len(),
+        interrupted_len,
+        "{tag}: replay restores the stored prefix"
+    );
+    let resumed_outcome = {
+        let mut sink = store.sink().expect("append");
+        resumed.run_with(&mut sink)
+    };
+
+    assert_eq!(trace(&full), trace(&resumed), "{tag}: histories diverged");
+    assert_eq!(
+        full_outcome.best.as_ref().map(|(c, _)| c.fingerprint()),
+        resumed_outcome.best.as_ref().map(|(c, _)| c.fingerprint()),
+        "{tag}: best configuration diverged"
+    );
+    assert_eq!(
+        full_outcome.best.as_ref().map(|(_, v)| v.to_bits()),
+        resumed_outcome.best.as_ref().map(|(_, v)| v.to_bits()),
+        "{tag}: best objective diverged"
+    );
+    assert_eq!(
+        full_outcome.summary.compute_s.to_bits(),
+        resumed_outcome.summary.compute_s.to_bits(),
+        "{tag}: compute clock diverged"
+    );
+    assert_eq!(
+        full_outcome.summary.elapsed_s.to_bits(),
+        resumed_outcome.summary.elapsed_s.to_bits(),
+        "{tag}: wall clock diverged"
+    );
+
+    // The store now holds the complete campaign.
+    let loaded = SessionStore::open(&dir)
+        .expect("open")
+        .load()
+        .expect("load");
+    assert_eq!(loaded.records.len(), iterations, "{tag}");
+    assert!(loaded.finished, "{tag}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance matrix: every registered target × {random, grid,
+/// bayes, causal}, interrupted after two waves.
+#[test]
+fn resume_equivalence_for_every_target_and_algorithm() {
+    type Factory = fn() -> AlgorithmChoice;
+    let algorithms: [(&str, Factory); 4] = [
+        ("random", || AlgorithmChoice::Random),
+        ("grid", || AlgorithmChoice::Grid),
+        ("bayes", || AlgorithmChoice::Bayesian),
+        ("causal", || AlgorithmChoice::Causal),
+    ];
+    for keyword in scenarios::registry().keywords() {
+        for (name, algorithm) in algorithms {
+            let tag = format!("{keyword}-{name}");
+            assert_resume_equivalent(&keyword, algorithm, 8, 2, &tag);
+        }
+    }
+}
+
+/// Interrupting at *any* wave boundary resumes exactly — not just the
+/// midpoint.
+#[test]
+fn resume_equivalence_at_every_wave_boundary() {
+    for k in 1..4 {
+        assert_resume_equivalent(
+            "linux-4.19",
+            || AlgorithmChoice::Random,
+            8,
+            k,
+            &format!("boundary-{k}"),
+        );
+    }
+}
+
+/// DeepTune's replay retrains the surrogate from the persisted
+/// observations, so even the model-based paper algorithm resumes exactly.
+#[test]
+fn resume_equivalence_for_deeptune() {
+    assert_resume_equivalent("linux-4.19", || AlgorithmChoice::DeepTune, 6, 1, "deeptune");
+}
+
+/// A resumed-then-finished store replays a *third* time: stores stay
+/// valid across arbitrarily many interruptions.
+#[test]
+fn stores_survive_repeated_resumes() {
+    let dir = temp_dir("repeated");
+    let mut first = build("linux-6.0-net", AlgorithmChoice::Random, 9);
+    let store = SessionStore::create(&dir, first.resolved_job()).unwrap();
+    {
+        let mut sink = store.sink().unwrap();
+        first.platform_mut().step_wave_with(&mut sink);
+    }
+    drop(first);
+
+    // Second segment: two more waves, then "crash" again.
+    let mut second = SessionBuilder::resume_with(&dir, scenarios::registry()).unwrap();
+    {
+        let mut sink = store.sink().unwrap();
+        second.platform_mut().step_wave_with(&mut sink);
+        second.platform_mut().step_wave_with(&mut sink);
+    }
+    drop(second);
+
+    // Third segment runs to completion.
+    let mut third = SessionBuilder::resume_with(&dir, scenarios::registry()).unwrap();
+    assert_eq!(third.platform().history().len(), 6);
+    let outcome = {
+        let mut sink = store.sink().unwrap();
+        third.run_with(&mut sink)
+    };
+    assert_eq!(outcome.summary.iterations, 9);
+
+    let mut full = build("linux-6.0-net", AlgorithmChoice::Random, 9);
+    let full_outcome = full.run();
+    assert_eq!(trace(&full), trace(&third));
+    assert_eq!(
+        full_outcome.summary.compute_s.to_bits(),
+        outcome.summary.compute_s.to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn wfctl(args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(args)
+        .output()
+        .expect("wfctl runs");
+    let text = String::from_utf8_lossy(&output.stdout).into_owned();
+    (output.status.success(), text)
+}
+
+/// The CLI smoke the CI leg mirrors: run a campaign to completion, run
+/// the same job to half budget, resume it to the full budget, and demand
+/// byte-identical offline reports.
+#[test]
+fn wfctl_run_resume_report_round_trip() {
+    let base = temp_dir("cli");
+    std::fs::create_dir_all(&base).unwrap();
+    let job = base.join("job.yaml");
+    std::fs::write(
+        &job,
+        "name: smoke\nos: linux-4.19\nalgorithm: random\nseed: 11\nworkers: 1\nruntime_params: 64\nbudget:\n  iterations: 10\n",
+    )
+    .unwrap();
+    let job = job.to_str().unwrap().to_string();
+    let full = base.join("full").to_str().unwrap().to_string();
+    let half = base.join("half").to_str().unwrap().to_string();
+
+    let (ok, _) = wfctl(&["run", &job, "--out", &full]);
+    assert!(ok, "full run");
+    let (ok, _) = wfctl(&["run", &job, "--out", &half, "--iterations", "5"]);
+    assert!(ok, "half run");
+    let (ok, resumed) = wfctl(&["resume", &half, "--iterations", "10"]);
+    assert!(ok, "resume");
+    assert!(
+        resumed.contains("replayed 5 evaluation(s)"),
+        "resume replays the stored prefix:\n{resumed}"
+    );
+
+    let (ok, report_full) = wfctl(&["report", &full]);
+    assert!(ok, "report full");
+    let (ok, report_half) = wfctl(&["report", &half]);
+    assert!(ok, "report half");
+    assert_eq!(
+        report_full, report_half,
+        "interrupted+resumed report must match the uninterrupted one"
+    );
+    assert!(report_full.contains("status: finished, 10 evaluation(s)"));
+
+    // Reports are rendered offline: corrupting nothing, evaluating
+    // nothing — rendering twice is instant and stable.
+    let (_, again) = wfctl(&["report", &full]);
+    assert_eq!(report_full, again);
+
+    // A second `run --out` into an existing store is refused with a
+    // resume hint.
+    let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["run", &job, "--out", &full])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("resume"), "{stderr}");
+
+    // Unknown flags stay hard errors (flag-parity satellite).
+    let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["run", &job, "--bogus"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+
+    // The new run flags are accepted.
+    let quick = base.join("quick").to_str().unwrap().to_string();
+    let (ok, _) = wfctl(&[
+        "run",
+        &job,
+        "--out",
+        &quick,
+        "--iterations",
+        "4",
+        "--repetitions",
+        "2",
+        "--time-budget-s",
+        "100000",
+    ]);
+    assert!(ok, "repetitions/time-budget flags");
+
+    // `validate` previews the resolved defaults a manifest would record.
+    let (ok, validated) = wfctl(&["validate", &job]);
+    assert!(ok, "validate");
+    assert!(
+        validated.contains("resolved defaults:"),
+        "validate preview:\n{validated}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
