@@ -9,6 +9,8 @@
 //! Budgets default to the reduced scale; set `WF_FULL=1` for the paper's
 //! budgets (see `wayfinder_core::Scale`).
 
+pub mod perf;
+
 use wayfinder_core::experiments as exp;
 use wayfinder_core::report::{render_multi_series, Table};
 use wayfinder_core::Scale;

@@ -178,7 +178,9 @@ mod tests {
             .os()
             .clone();
         let encoder = Encoder::new(&os.space);
-        let observations = session.platform().history().observations();
+        // Own the slice: the DeepTune downcast below needs the platform
+        // mutably while the observations are still in use.
+        let observations = session.platform().history().observations().to_vec();
         let features: Vec<Vec<f64>> = observations
             .iter()
             .map(|o| encoder.encode(&os.space, &o.config))

@@ -788,8 +788,8 @@ impl SpecializationSession {
             .inner
             .history()
             .observations()
-            .into_iter()
-            .filter_map(|o| o.value.map(|v| (v, o.config)))
+            .iter()
+            .filter_map(|o| o.value.map(|v| (v, o.config.clone())))
             .collect();
         evaluated.sort_by(|a, b| match direction {
             wf_jobfile::Direction::Maximize => b.0.partial_cmp(&a.0).unwrap(),

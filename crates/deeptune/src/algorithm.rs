@@ -312,13 +312,24 @@ impl SearchAlgorithm for DeepTune {
                 .expect("model_ready() implies a usable model");
             let goodness: Vec<f64> = preds.iter().map(|p| p.mu).collect();
 
-            // 3: rank against the explored set.
-            let known: Vec<Vec<f64>> = ctx
-                .history
-                .iter()
-                .map(|o| ctx.encoder.encode(ctx.space, &o.config))
-                .collect();
-            let order = rank(&self.cfg.score, &preds, &goodness, &features, &known);
+            // 3: rank against the explored set. The replay buffer already
+            // holds every observed configuration's raw encoding in history
+            // order, so the usual case borrows it instead of re-encoding
+            // the whole history each proposal (an O(n·dim) saving per
+            // iteration). Callers that hand propose a history the model
+            // was never told about fall back to encoding it directly.
+            let reencoded: Vec<Vec<f64>>;
+            let known: &[Vec<f64>] = if self.xs.len() == ctx.history.len() {
+                &self.xs
+            } else {
+                reencoded = ctx
+                    .history
+                    .iter()
+                    .map(|o| ctx.encoder.encode(ctx.space, &o.config))
+                    .collect();
+                &reencoded
+            };
+            let order = rank(&self.cfg.score, &preds, &goodness, &features, known);
             pool[order[0]].clone()
         };
         self.last_update_seconds = t0.elapsed().as_secs_f64();

@@ -124,7 +124,6 @@ struct ForwardPass {
     crash_logits: Matrix,
     mu: Matrix,
     logvar: Matrix,
-    z1: Matrix,
     z2: Matrix,
     sigma_raw: Matrix,
 }
@@ -188,20 +187,17 @@ impl Dtm {
         let crash_logits = self.crash_head.forward(&h2, train);
         let mu = self.mu_head.forward(&h2, train);
         let logvar = self.logvar_head.forward(&h2, train);
-        // Uncertainty branch (Fig. 4): z1 is the input, z2 concatenates
-        // the first RBF activations with the prediction latents.
-        let z1 = x.clone();
-        let phi1 = self.rbf1.forward(&z1, train);
+        // Uncertainty branch (Fig. 4): z1 is the input itself (borrowed,
+        // never copied), z2 concatenates the first RBF activations with
+        // the prediction latents.
+        let phi1 = self.rbf1.forward(x, train);
         let z2 = phi1.concat_cols(&h1);
         let phi2 = self.rbf2.forward(&z2, train);
         let sigma_raw = self.sigma_head.forward(&phi2, train);
-        let _ = h2;
-        let _ = phi2;
         ForwardPass {
             crash_logits,
             mu,
             logvar,
-            z1,
             z2,
             sigma_raw,
         }
@@ -340,13 +336,13 @@ impl Dtm {
 
         // --- L_Cham: pull centroids onto the latent distribution. --------
         // Weighted by 1/dim so the regularizer stays commensurate with the
-        // prediction losses at any feature count.
+        // prediction losses at any feature count. z1 is the raw input `x`.
         let lam1 = 1.0 / self.cfg.input_dim as f64;
         let lam2 = 1.0 / (self.cfg.centroids + self.cfg.hidden) as f64;
-        let (cham1, mut grad_c1) = chamfer(&self.rbf1.centroids().value.clone(), &pass.z1);
+        let (cham1, mut grad_c1) = chamfer(&self.rbf1.centroids().value, x);
         grad_c1.scale(lam1);
         self.rbf1.centroids_mut().grad.add_assign(&grad_c1);
-        let (cham2, mut grad_c2) = chamfer(&self.rbf2.centroids().value.clone(), &pass.z2);
+        let (cham2, mut grad_c2) = chamfer(&self.rbf2.centroids().value, &pass.z2);
         grad_c2.scale(lam2);
         self.rbf2.centroids_mut().grad.add_assign(&grad_c2);
 

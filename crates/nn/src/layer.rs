@@ -1,9 +1,12 @@
 //! Trainable layers: dense, ReLU, dropout, and Gaussian RBF.
 //!
-//! Layers cache whatever they need during `forward` and consume that cache in
-//! `backward`; calling `backward` without a preceding `forward` panics. The
-//! RBF layer implements Eq. 1 of the Wayfinder paper:
-//! `phi(z) = exp(-||z - c||^2 / (2 gamma^2))`.
+//! Layers cache whatever they need during a *training* `forward`
+//! (`train == true`) and consume that cache in `backward`; calling
+//! `backward` without a preceding training forward panics. Inference
+//! forwards (`train == false`) allocate no caches at all — the DTM's
+//! scoring path calls `predict` over large candidate pools every
+//! iteration, and those forwards are pure. The RBF layer implements Eq. 1
+//! of the Wayfinder paper: `phi(z) = exp(-||z - c||^2 / (2 gamma^2))`.
 
 use crate::matrix::Matrix;
 use crate::rng::fill_normal;
@@ -45,7 +48,8 @@ pub trait Layer {
     ///
     /// # Panics
     ///
-    /// Panics if called before [`Layer::forward`].
+    /// Panics if called before a [`Layer::forward`] with `train == true`
+    /// (inference forwards skip the caches backward consumes).
     fn backward(&mut self, grad: &Matrix) -> Matrix;
 
     /// Mutable access to the layer's trainable tensors (empty by default).
@@ -122,10 +126,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         let mut out = x.matmul(&self.weight.value);
         out.add_row_broadcast(&self.bias.value);
-        self.cached_input = Some(x.clone());
+        self.cached_input = train.then(|| x.clone());
         out
     }
 
@@ -162,7 +166,12 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if !train {
+            // Inference: one allocation, no mask to keep.
+            self.mask = None;
+            return x.map(|v| v.max(0.0));
+        }
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
         let out = x.hadamard(&mask);
         self.mask = Some(mask);
@@ -296,15 +305,20 @@ impl Rbf {
 }
 
 impl Layer for Rbf {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         let k = self.centroids.value.rows();
         let denom = 2.0 * self.gamma * self.gamma;
         let out = Matrix::from_fn(x.rows(), k, |r, j| {
             let d2 = x.row_sq_dist(r, &self.centroids.value, j);
             (-d2 / denom).exp()
         });
-        self.cached_input = Some(x.clone());
-        self.cached_output = Some(out.clone());
+        if train {
+            self.cached_input = Some(x.clone());
+            self.cached_output = Some(out.clone());
+        } else {
+            self.cached_input = None;
+            self.cached_output = None;
+        }
         out
     }
 
@@ -404,9 +418,11 @@ mod tests {
     }
 
     /// Finite-difference gradient check for a layer's parameters and inputs.
+    /// Backward-feeding forwards run with `train = true` (inference
+    /// forwards no longer cache); the probe forwards stay inference-mode.
     fn grad_check(layer: &mut dyn Layer, x: &Matrix, eps: f64, tol: f64) {
         // Scalar loss = sum of outputs; then dL/dout = 1 everywhere.
-        let out = layer.forward(x, false);
+        let out = layer.forward(x, true);
         let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
         layer.zero_grad();
         let grad_in = layer.backward(&ones);
@@ -428,7 +444,7 @@ mod tests {
         }
 
         // Check parameter gradients: recompute analytic grads cleanly first.
-        layer.forward(x, false);
+        layer.forward(x, true);
         layer.zero_grad();
         layer.backward(&ones);
         let analytic: Vec<Vec<f64>> = layer

@@ -174,7 +174,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut net = mlp(3, &[4], 1, 0.0, &mut rng);
         let x = Matrix::zeros(2, 3);
-        let outs = net.forward_collect(&x, false);
+        // `train = true` so the layers cache for the backward pass below
+        // (the builder's dropout is 0.0, so the forward is deterministic).
+        let outs = net.forward_collect(&x, true);
         // Inject a gradient at the ReLU output (layer index 1).
         let g = Matrix::filled(outs[1].rows(), outs[1].cols(), 1.0);
         net.zero_grad();

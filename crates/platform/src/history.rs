@@ -56,6 +56,11 @@ impl Record {
 #[derive(Clone, Debug, Default)]
 pub struct History {
     records: Vec<Record>,
+    /// The algorithm-facing view of `records`, maintained at push so the
+    /// per-wave hot path borrows it instead of re-cloning every
+    /// configuration in the history (which is O(n) per wave and grows
+    /// with the campaign).
+    observations: Vec<Observation>,
 }
 
 impl History {
@@ -66,6 +71,7 @@ impl History {
 
     /// Appends a record.
     pub fn push(&mut self, record: Record) {
+        self.observations.push(record.observation());
         self.records.push(record);
     }
 
@@ -131,9 +137,10 @@ impl History {
         Some(span / (improvement_times.len() - 1) as f64)
     }
 
-    /// The observations slice algorithms receive.
-    pub fn observations(&self) -> Vec<Observation> {
-        self.records.iter().map(Record::observation).collect()
+    /// The observations slice algorithms receive (maintained at push;
+    /// element `i` is `records()[i].observation()`).
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
     }
 }
 

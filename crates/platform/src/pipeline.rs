@@ -37,11 +37,15 @@
 //!   history is a strict subsequence-reordering of the sequential one;
 //! * compile targets give each worker lane its own working tree, so
 //!   incremental-rebuild *durations* depend on the lane's previous
-//!   build, and two same-image candidates in one wave race the shared
-//!   cache (both may build; stats and build durations are physical, not
-//!   replayable). Build/boot/bench draw from separate per-candidate RNG
-//!   streams, so measured *outcomes* (metrics, crashes) stay fixed
-//!   either way.
+//!   build; and cache reuse is wave-granular (the deterministic
+//!   two-phase protocol in [`crate::workers::Pool::run_wave`] probes
+//!   before dispatch and publishes after), so two same-image candidates
+//!   in one wave both build where a sequential sweep builds once.
+//!   Build/boot/bench draw from separate per-candidate RNG streams, so
+//!   measured *outcomes* (metrics, crashes) stay fixed either way —
+//!   and within a fixed worker count every cache effect is a pure
+//!   function of (seed, candidate order), which is what makes stores
+//!   replayable bit-for-bit.
 
 use crate::cache::SharedImageCache;
 use crate::clock::VirtualClock;
@@ -365,7 +369,7 @@ impl Session {
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
-                history: &observations,
+                history: observations,
                 iteration: start,
             };
             self.algorithm.propose_batch(n, &ctx, &mut self.rng)
@@ -400,12 +404,14 @@ impl Session {
         let finished_at_s = self.clock.now_s();
 
         // Record in candidate order (iteration order == proposal order,
-        // regardless of which worker finished first).
+        // regardless of which worker finished first). Evaluations come
+        // back positionally, so each proposed configuration moves into
+        // its record without a clone.
         let mut records: Vec<Record> = Vec::with_capacity(n);
-        for (offset, eval) in evals.into_iter().enumerate() {
+        for (offset, (config, eval)) in configs.into_iter().zip(evals).enumerate() {
             let mut record = Record {
                 iteration: start + offset,
-                config: eval.config,
+                config,
                 objective: None,
                 metric: None,
                 memory_mb: None,
@@ -421,7 +427,13 @@ impl Session {
                 Ok(r) => {
                     record.metric = Some(r.metric);
                     record.memory_mb = Some(r.memory_mb);
-                    record.objective = Some(self.objective_of(r.metric, r.memory_mb));
+                    record.objective = Some(Self::objective_of(
+                        self.spec.objective,
+                        &mut self.metric_bounds,
+                        &mut self.memory_bounds,
+                        r.metric,
+                        r.memory_mb,
+                    ));
                 }
             }
             records.push(record);
@@ -436,7 +448,7 @@ impl Session {
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
-                history: &observations,
+                history: observations,
                 iteration: start,
             };
             self.algorithm.observe_batch(&ctx, &wave_obs);
@@ -595,7 +607,7 @@ impl Session {
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
-                history: &observations,
+                history: observations,
                 iteration: start,
             };
             self.algorithm.propose_batch(n, &ctx, &mut self.rng)
@@ -609,19 +621,26 @@ impl Session {
             }
         }
 
-        // Rebuild cache and lane state from deterministic build metadata.
-        // The simulated build re-derives the image from the candidate's
-        // own RNG stream (`derive_seed(candidate, STREAM_BUILD)`), so no
-        // boot or benchmark runs and no shared stream shifts.
+        // Rebuild cache and lane state from deterministic build metadata,
+        // mirroring the live wave's two-phase cache protocol exactly:
+        // probe every fingerprint in candidate order, re-derive each
+        // build from the candidate's own RNG stream
+        // (`derive_seed(candidate, STREAM_BUILD)`), then publish the
+        // images in candidate order. No boot or benchmark runs and no
+        // shared stream shifts.
         let (hits_before, misses_before) = self.cache.stats();
+        let reuses: Vec<_> = stored
+            .iter()
+            .map(|r| self.cache.get(self.target.image_fingerprint(&r.config)))
+            .collect();
+        let mut built_images: Vec<Option<wf_ossim::KernelImage>> = Vec::with_capacity(n);
         for (j, r) in stored.iter().enumerate() {
-            let fingerprint = self.target.image_fingerprint(&r.config);
-            let reuse = self.cache.get(fingerprint);
             if r.crash_phase == Some(Phase::Build) {
-                // The live evaluation looked the image up (a miss — a hit
+                // The live evaluation probed the cache (a miss — a hit
                 // implies build_skipped, which cannot build-crash) and
-                // then crashed: no image, no lane update, but the lookup
+                // then crashed: no image, no lane update, but the probe
                 // is counted either way so cache stats replay too.
+                built_images.push(None);
                 continue;
             }
             let candidate_seed = derive_seed(self.spec.seed, (start + j) as u64);
@@ -629,14 +648,20 @@ impl Session {
                 StdRng::seed_from_u64(derive_seed(candidate_seed, workers::STREAM_BUILD));
             let (built, _build_s) = self.target.build(
                 &r.config,
-                reuse.as_ref(),
+                reuses[j].as_ref(),
                 self.lanes[j].as_ref(),
                 &mut build_rng,
             );
-            if let Ok(image) = built {
-                self.cache.insert(image);
-                self.lanes[j] = Some(r.config.clone());
+            match built {
+                Ok(image) => {
+                    self.lanes[j] = Some(r.config.clone());
+                    built_images.push(Some(image));
+                }
+                Err(_) => built_images.push(None),
             }
+        }
+        for image in built_images.into_iter().flatten() {
+            self.cache.insert(image);
         }
         let (hits_after, misses_after) = self.cache.stats();
 
@@ -653,7 +678,13 @@ impl Session {
         let mut records: Vec<Record> = Vec::with_capacity(n);
         for (offset, r) in stored.iter().enumerate() {
             let objective = match (r.metric, r.memory_mb) {
-                (Some(metric), Some(memory_mb)) => Some(self.objective_of(metric, memory_mb)),
+                (Some(metric), Some(memory_mb)) => Some(Self::objective_of(
+                    self.spec.objective,
+                    &mut self.metric_bounds,
+                    &mut self.memory_bounds,
+                    metric,
+                    memory_mb,
+                )),
                 _ => None,
             };
             records.push(Record {
@@ -679,7 +710,7 @@ impl Session {
                 encoder: &self.encoder,
                 direction,
                 policy: &self.spec.policy,
-                history: &observations,
+                history: observations,
                 iteration: start,
             };
             self.algorithm.observe_batch(&ctx, &wave_obs);
@@ -763,18 +794,26 @@ impl Session {
         self.algorithm.as_mut()
     }
 
-    /// Maps a (metric, memory) pair onto the session objective.
-    fn objective_of(&mut self, metric: f64, memory_mb: f64) -> f64 {
-        match self.spec.objective {
+    /// Maps a (metric, memory) pair onto the session objective. Takes the
+    /// running Eq. 4 bounds as explicit fields so callers can hold the
+    /// history's observation slice borrowed at the same time.
+    fn objective_of(
+        objective: Objective,
+        metric_bounds: &mut (f64, f64),
+        memory_bounds: &mut (f64, f64),
+        metric: f64,
+        memory_mb: f64,
+    ) -> f64 {
+        match objective {
             Objective::Metric => metric,
             Objective::MemoryMb => memory_mb,
             Objective::ThroughputMemoryScore => {
-                self.metric_bounds.0 = self.metric_bounds.0.min(metric);
-                self.metric_bounds.1 = self.metric_bounds.1.max(metric);
-                self.memory_bounds.0 = self.memory_bounds.0.min(memory_mb);
-                self.memory_bounds.1 = self.memory_bounds.1.max(memory_mb);
-                let tn = normalized(metric, self.metric_bounds);
-                let mn = normalized(memory_mb, self.memory_bounds);
+                metric_bounds.0 = metric_bounds.0.min(metric);
+                metric_bounds.1 = metric_bounds.1.max(metric);
+                memory_bounds.0 = memory_bounds.0.min(memory_mb);
+                memory_bounds.1 = memory_bounds.1.max(memory_mb);
+                let tn = normalized(metric, *metric_bounds);
+                let mn = normalized(memory_mb, *memory_bounds);
                 tn - mn
             }
         }

@@ -7,7 +7,10 @@
 //! while each candidate's virtual draws derive from a per-candidate RNG,
 //! never a shared stream, so a candidate's measured outcome does not
 //! depend on which worker ran it or what ran concurrently (see
-//! `pipeline` for the exact worker-count-invariance statement).
+//! `pipeline` for the exact worker-count-invariance statement). The
+//! shared image cache is only touched between waves — a sequential probe
+//! before dispatch, a sequential publish after ([`Pool::run_wave`]) — so
+//! cache effects are deterministic too.
 //! Benchmark repetitions stay concurrent too, but their durations are
 //! charged *sequentially* to the candidate ("all test configurations are
 //! benchmarked one after the other" — experiments are never co-located).
@@ -111,10 +114,12 @@ pub fn aggregate(
 }
 
 /// The full outcome of evaluating one candidate on a worker.
+///
+/// Deliberately does *not* carry the configuration: results come back in
+/// candidate order, so callers index into the candidate list they already
+/// own instead of paying one configuration clone per evaluation.
 #[derive(Clone, Debug)]
 pub struct CandidateEval {
-    /// The evaluated configuration.
-    pub config: Configuration,
     /// Measurement or crash.
     pub outcome: Result<BenchResult, CrashReport>,
     /// Whether the build was skipped via the shared image cache.
@@ -123,60 +128,59 @@ pub struct CandidateEval {
     pub duration_s: f64,
 }
 
-/// Evaluates one candidate end to end: cache lookup, build (or reuse),
-/// boot, benchmark repetitions.
+/// Evaluates one candidate end to end: build (or reuse), boot, benchmark
+/// repetitions. Returns the evaluation plus the built (or reused) image,
+/// which the caller publishes to the shared cache — the cache itself is
+/// never touched here, so a wave's cache protocol stays deterministic
+/// (see [`Pool::run_wave`]).
 ///
 /// `index` is the candidate's global position in the session history; all
 /// virtual-cost draws derive from `(session_seed, index)`, never from a
 /// shared RNG, so the outcome does not depend on which worker ran it or
-/// what ran concurrently. `working_tree` is the worker's last-built
+/// what ran concurrently. `reuse` is the cache probe's answer for this
+/// candidate's fingerprint; `working_tree` is the worker's last-built
 /// configuration (incremental-rebuild timing on compile targets).
-#[allow(clippy::too_many_arguments)] // mirrors Pool::run_wave, the one caller
 pub fn evaluate_candidate(
     target: &dyn EvalTarget,
     config: &Configuration,
     index: usize,
     session_seed: u64,
     repetitions: usize,
-    cache: &SharedImageCache,
+    reuse: Option<&KernelImage>,
     working_tree: &mut Option<Configuration>,
-) -> CandidateEval {
+) -> (CandidateEval, Option<KernelImage>) {
     let candidate_seed = derive_seed(session_seed, index as u64);
     let mut build_rng = StdRng::seed_from_u64(derive_seed(candidate_seed, STREAM_BUILD));
     let mut boot_rng = StdRng::seed_from_u64(derive_seed(candidate_seed, STREAM_BOOT));
 
-    let fingerprint = target.image_fingerprint(config);
-    let cached = cache.get(fingerprint);
-    let build_skipped = cached.is_some();
-    let (built, build_s) = target.build(
-        config,
-        cached.as_ref(),
-        working_tree.as_ref(),
-        &mut build_rng,
-    );
+    let build_skipped = reuse.is_some();
+    let (built, build_s) = target.build(config, reuse, working_tree.as_ref(), &mut build_rng);
 
     let image = match built {
         Err(crash) => {
-            return CandidateEval {
-                config: config.clone(),
-                outcome: Err(crash),
-                build_skipped,
-                duration_s: build_s,
-            }
+            return (
+                CandidateEval {
+                    outcome: Err(crash),
+                    build_skipped,
+                    duration_s: build_s,
+                },
+                None,
+            )
         }
         Ok(image) => image,
     };
-    cache.insert(image.clone());
     *working_tree = Some(config.clone());
 
     let (booted, boot_s) = target.boot(&image, config, &mut boot_rng);
     if let Err(crash) = booted {
-        return CandidateEval {
-            config: config.clone(),
-            outcome: Err(crash),
-            build_skipped,
-            duration_s: build_s + boot_s,
-        };
+        return (
+            CandidateEval {
+                outcome: Err(crash),
+                build_skipped,
+                duration_s: build_s + boot_s,
+            },
+            Some(image),
+        );
     }
 
     let outcomes = run_repetitions(
@@ -187,12 +191,14 @@ pub fn evaluate_candidate(
         derive_seed(candidate_seed, STREAM_BENCH),
     );
     let (outcome, bench_s) = aggregate(outcomes);
-    CandidateEval {
-        config: config.clone(),
-        outcome,
-        build_skipped,
-        duration_s: build_s + boot_s + bench_s,
-    }
+    (
+        CandidateEval {
+            outcome,
+            build_skipped,
+            duration_s: build_s + boot_s + bench_s,
+        },
+        Some(image),
+    )
 }
 
 /// A pool of N simulated VM workers.
@@ -228,6 +234,19 @@ impl Pool {
     /// `lanes` holds one working tree per worker. Returns evaluations in
     /// candidate order.
     ///
+    /// The shared image cache is consulted through a deterministic
+    /// two-phase protocol: every candidate's fingerprint is probed
+    /// *sequentially in candidate order* before dispatch, and the images
+    /// built by the wave are published back *sequentially in candidate
+    /// order* after every lane returns. Worker threads never touch the
+    /// cache, so `build_skipped` flags, cache statistics, and
+    /// incremental-build reuse are pure functions of (seed, candidate
+    /// order) — the property the session-store resume guarantee asserts —
+    /// and the dispatch hot path takes zero cache-lock acquisitions while
+    /// lanes run. Two same-fingerprint candidates in one wave both miss
+    /// and both build, exactly like two real VM workers racing a build
+    /// farm; the next wave reuses the published image.
+    ///
     /// # Panics
     ///
     /// Panics if the wave exceeds the pool width or the lane count.
@@ -244,51 +263,73 @@ impl Pool {
     ) -> Vec<CandidateEval> {
         assert!(candidates.len() <= self.workers, "wave exceeds pool width");
         assert!(candidates.len() <= lanes.len(), "wave exceeds lane count");
-        if candidates.len() <= 1 {
-            // A single candidate needs no threads (and `workers = 1`
-            // sessions stay strictly sequential).
-            return candidates
+
+        // Phase 1: probe the cache in candidate order.
+        let reuses: Vec<Option<KernelImage>> = candidates
+            .iter()
+            .map(|c| cache.get(target.image_fingerprint(c)))
+            .collect();
+
+        // Phase 2: evaluate every lane (threads only when the wave has
+        // more than one candidate, so `workers = 1` sessions stay
+        // strictly sequential).
+        let results: Vec<(CandidateEval, Option<KernelImage>)> = if candidates.len() <= 1 {
+            candidates
                 .iter()
                 .zip(lanes.iter_mut())
+                .zip(reuses.iter())
                 .enumerate()
-                .map(|(j, (config, lane))| {
+                .map(|(j, ((config, lane), reuse))| {
                     evaluate_candidate(
                         target,
                         config,
                         first_index + j,
                         session_seed,
                         repetitions,
-                        cache,
+                        reuse.as_ref(),
                         lane,
                     )
                 })
-                .collect();
-        }
-        thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .iter()
-                .zip(lanes.iter_mut())
-                .enumerate()
-                .map(|(j, (config, lane))| {
-                    scope.spawn(move |_| {
-                        evaluate_candidate(
-                            target,
-                            config,
-                            first_index + j,
-                            session_seed,
-                            repetitions,
-                            cache,
-                            lane,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope")
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .iter()
+                    .zip(lanes.iter_mut())
+                    .zip(reuses.iter())
+                    .enumerate()
+                    .map(|(j, ((config, lane), reuse))| {
+                        scope.spawn(move |_| {
+                            evaluate_candidate(
+                                target,
+                                config,
+                                first_index + j,
+                                session_seed,
+                                repetitions,
+                                reuse.as_ref(),
+                                lane,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        };
+
+        // Phase 3: publish built (and refreshed) images in candidate
+        // order, then hand back the evaluations.
+        let mut evals = Vec::with_capacity(results.len());
+        for (eval, image) in results {
+            if let Some(image) = image {
+                cache.insert(image);
+            }
+            evals.push(eval);
+        }
+        evals
     }
 }
 
@@ -441,8 +482,9 @@ mod tests {
         let mut wide_lanes = [None, None, None, None];
         let wide = wide_pool.run_wave(&target, &candidates, 0, 42, 2, &wide_cache, &mut wide_lanes);
 
+        // Results come back in candidate order, so position i of both
+        // runs is candidate i by construction.
         for (a, b) in narrow.iter().zip(wide.iter()) {
-            assert_eq!(a.config, b.config);
             assert_eq!(a.duration_s, b.duration_s);
             match (&a.outcome, &b.outcome) {
                 (Ok(x), Ok(y)) => assert_eq!(x, y),

@@ -13,6 +13,7 @@
 //! wfctl report <DIR>               # render a store's report offline
 //! wfctl validate <job.yaml>        # parse + resolve a job without running it
 //! wfctl targets                    # list every registered target
+//! wfctl bench --out BENCH.json     # time the controller hot paths
 //! wfctl probe                      # run the §3.4 runtime-space inference
 //! wfctl experiments                # list the regeneration targets
 //! ```
@@ -53,6 +54,10 @@ fn main() -> ExitCode {
             None => usage("validate needs a job file"),
         },
         Some("targets") => targets(),
+        Some("bench") => match BenchArgs::parse(&args[1..]) {
+            Ok(bench) => run_bench(&bench),
+            Err(e) => usage(&e),
+        },
         Some("probe") => probe(),
         Some("experiments") => experiments(),
         Some("--help" | "-h" | "help") => {
@@ -64,7 +69,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
 
 /// Parses one flag value, advancing the cursor.
 fn flag_value(rest: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -599,6 +604,53 @@ fn report_store(dir: &str) -> ExitCode {
     };
     let space = manifest_space(&loaded.job);
     print!("{}", store_report(&loaded, space.as_ref()));
+    ExitCode::SUCCESS
+}
+
+/// `bench` operands.
+struct BenchArgs {
+    quick: bool,
+    out: Option<String>,
+}
+
+impl BenchArgs {
+    fn parse(rest: &[String]) -> Result<BenchArgs, String> {
+        let mut bench = BenchArgs {
+            quick: false,
+            out: None,
+        };
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--quick" => {
+                    bench.quick = true;
+                    i += 1;
+                }
+                "--out" => bench.out = Some(flag_value(rest, &mut i, "--out")?),
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                operand => return Err(format!("bench takes no operand, got {operand:?}")),
+            }
+        }
+        Ok(bench)
+    }
+}
+
+fn run_bench(args: &BenchArgs) -> ExitCode {
+    use wayfinder::bench::perf;
+    println!(
+        "wfctl bench: timing the controller hot paths ({} mode) ...",
+        if args.quick { "quick" } else { "full" }
+    );
+    let results = perf::run_suite(args.quick);
+    print!("{}", perf::render_table(&results));
+    if let Some(path) = &args.out {
+        let json = perf::to_json(&results, args.quick);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} ops)", results.len());
+    }
     ExitCode::SUCCESS
 }
 

@@ -14,6 +14,8 @@
 //! * [`deeptune`] — the DeepTune optimizer (the paper's core contribution);
 //! * [`forest`] — random-forest feature importance;
 //! * [`cozart`] — compile-time debloating baseline;
+//! * [`bench`](mod@bench) — the regeneration harness plus the
+//!   `wfctl bench` perf suite and its JSON emit/compare machinery;
 //! * [`core`] — sessions, the open target registry, reports, and
 //!   per-figure experiment runners;
 //! * [`scenarios`] — downstream-registered targets (e.g. `linux-6.0-net`
@@ -40,6 +42,7 @@
 pub mod scenarios;
 
 pub use wayfinder_core as core;
+pub use wf_bench as bench;
 pub use wf_configspace as configspace;
 pub use wf_cozart as cozart;
 pub use wf_deeptune as deeptune;

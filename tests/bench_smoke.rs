@@ -1,0 +1,72 @@
+//! Smoke test for the `wfctl bench` perf harness: the quick suite must
+//! run end to end through the real binary, emit JSON that parses, cover
+//! every declared op exactly once, and be shape-stable across runs (same
+//! ops in the same order — the property the committed baseline and the
+//! CI regression gate lean on).
+
+use std::path::Path;
+use std::process::Command;
+use wayfinder::bench::perf;
+
+fn run_bench(out: &Path) -> Vec<perf::OpResult> {
+    let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["bench", "--quick", "--out"])
+        .arg(out)
+        .output()
+        .expect("wfctl bench runs");
+    assert!(
+        output.status.success(),
+        "wfctl bench failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(out).expect("bench JSON written");
+    perf::parse_json(&text).expect("bench JSON parses")
+}
+
+#[test]
+fn quick_bench_covers_every_declared_op_and_is_shape_stable() {
+    let dir = std::env::temp_dir().join(format!("wf-bench-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let first = run_bench(&dir.join("first.json"));
+    let declared = perf::declared_ops();
+    let emitted: Vec<(String, u64)> = first.iter().map(|r| (r.op.clone(), r.n)).collect();
+    assert_eq!(
+        emitted, declared,
+        "emitted ops must cover every declared op, in order"
+    );
+    for r in &first {
+        assert!(
+            r.min_ns_per_iter.is_finite()
+                && r.min_ns_per_iter > 0.0
+                && r.min_ns_per_iter <= r.ns_per_iter,
+            "{} (n={}) has an inconsistent noise floor {} vs median {}",
+            r.op,
+            r.n,
+            r.min_ns_per_iter,
+            r.ns_per_iter
+        );
+        assert!(
+            r.ns_per_iter.is_finite() && r.ns_per_iter > 0.0,
+            "{} (n={}) measured a nonsensical {}ns",
+            r.op,
+            r.n,
+            r.ns_per_iter
+        );
+        assert!(
+            (r.throughput_per_s - 1e9 / r.ns_per_iter.max(1e-3)).abs()
+                <= r.throughput_per_s * 1e-9 + 1e-6,
+            "{}: throughput does not match ns/iter",
+            r.op
+        );
+    }
+
+    // A second run has the same shape (timings differ, the contract
+    // doesn't), and the two runs compare cleanly through the same parser
+    // the CI gate uses.
+    let second = run_bench(&dir.join("second.json"));
+    let second_ops: Vec<(String, u64)> = second.iter().map(|r| (r.op.clone(), r.n)).collect();
+    assert_eq!(second_ops, emitted, "op shape drifted between runs");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,9 +3,14 @@
 //!
 //! Implements the `criterion_group!` / `criterion_main!` macros,
 //! [`Criterion::bench_function`], [`Bencher::iter`] and
-//! [`Bencher::iter_batched`], reporting mean wall-clock time per iteration
-//! to stdout. Sampling is deliberately small so `cargo bench` stays fast;
-//! this is a smoke harness, not a statistics engine.
+//! [`Bencher::iter_batched`], timing every iteration individually and
+//! reporting the *median* wall-clock time per iteration (a scheduling
+//! spike in one sample cannot skew the reported figure). The per-run
+//! *minimum* is kept alongside it in [`BenchRecord`]: for deterministic
+//! compute, contention only ever adds time, so the minimum is the
+//! noise-robust statistic the `wfctl bench` regression gate compares.
+//! Sampling is deliberately small so `cargo bench` stays fast; this is a
+//! smoke harness, not a statistics engine.
 
 use std::time::{Duration, Instant};
 
@@ -20,14 +25,35 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// One finished benchmark's measurement, kept so harness-driving tools
+/// (e.g. `wfctl bench`) can consume results programmatically instead of
+/// scraping stdout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// The benchmark id passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Minimum wall-clock nanoseconds per iteration (the noise floor).
+    pub min_ns_per_iter: f64,
+    /// Total iterations timed.
+    pub iters: u64,
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    quiet: bool,
+    results: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            quiet: false,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -38,9 +64,21 @@ impl Criterion {
         self
     }
 
+    /// Suppresses the per-benchmark stdout line (results stay available
+    /// through [`Criterion::results`]).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
     /// CLI-args hook; a no-op in this stand-in.
     pub fn configure_from_args(self) -> Self {
         self
+    }
+
+    /// Every benchmark measured so far, in execution order.
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
     }
 
     /// Runs one named benchmark.
@@ -54,13 +92,33 @@ impl Criterion {
         };
         f(&mut b);
         let total_iters: u64 = b.samples.iter().map(|(n, _)| n).sum();
-        let total_time: Duration = b.samples.iter().map(|(_, d)| *d).sum();
-        let per_iter = if total_iters == 0 {
-            Duration::ZERO
-        } else {
-            total_time / total_iters as u32
+        // Median of the per-iteration times: each sample's duration is
+        // normalized by its iteration count first, so `iter` (one
+        // iteration per sample) and hand-rolled multi-iteration samples
+        // aggregate the same way.
+        let mut per_iter_ns: Vec<f64> = b
+            .samples
+            .iter()
+            .filter(|(n, _)| *n > 0)
+            .map(|(n, d)| d.as_secs_f64() * 1e9 / *n as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median_ns = match per_iter_ns.len() {
+            0 => 0.0,
+            len if len % 2 == 1 => per_iter_ns[len / 2],
+            len => (per_iter_ns[len / 2 - 1] + per_iter_ns[len / 2]) / 2.0,
         };
-        println!("{id:<48} time: [{per_iter:>12.3?}/iter over {total_iters} iters]");
+        let min_ns = per_iter_ns.first().copied().unwrap_or(0.0);
+        if !self.quiet {
+            let median = Duration::from_secs_f64(median_ns / 1e9);
+            println!("{id:<48} time: [{median:>12.3?}/iter median of {total_iters} iters]");
+        }
+        self.results.push(BenchRecord {
+            id: id.to_string(),
+            ns_per_iter: median_ns,
+            min_ns_per_iter: min_ns,
+            iters: total_iters,
+        });
         self
     }
 }
@@ -72,32 +130,31 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `budget` calls of `routine`.
+    /// Times `budget` calls of `routine`, one sample per call.
     pub fn iter<O, F>(&mut self, mut routine: F)
     where
         F: FnMut() -> O,
     {
-        let start = Instant::now();
         for _ in 0..self.budget {
+            let start = Instant::now();
             std::hint::black_box(routine());
+            self.samples.push((1, start.elapsed()));
         }
-        self.samples.push((self.budget as u64, start.elapsed()));
     }
 
-    /// Times `budget` calls of `routine`, excluding per-call `setup` time.
+    /// Times `budget` calls of `routine` (one sample per call), excluding
+    /// per-call `setup` time.
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        let mut timed = Duration::ZERO;
         for _ in 0..self.budget {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
-            timed += start.elapsed();
+            self.samples.push((1, start.elapsed()));
         }
-        self.samples.push((self.budget as u64, timed));
     }
 }
 
@@ -142,6 +199,19 @@ mod tests {
         let mut calls = 0u64;
         c.bench_function("counting", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn results_record_every_benchmark() {
+        let mut c = Criterion::default().sample_size(2).quiet();
+        c.bench_function("first", |b| b.iter(|| 1 + 1));
+        c.bench_function("second", |b| b.iter(|| 2 + 2));
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "first");
+        assert_eq!(results[1].id, "second");
+        assert_eq!(results[0].iters, 2);
+        assert!(results[0].ns_per_iter >= 0.0);
     }
 
     #[test]
