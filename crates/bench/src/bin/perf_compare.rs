@@ -133,6 +133,13 @@ fn main() -> ExitCode {
             args.min_speedup
         );
     }
+    if let Some(speedup) = comparison.pool_speedup {
+        println!(
+            "dispatch @8 workers: persistent pool is x{speedup:.2} vs per-wave spawn \
+             (required: x{:.1})",
+            perf::POOL_MIN_SPEEDUP
+        );
+    }
     if comparison.regressions.is_empty() {
         println!(
             "perf gate passed: no op regressed beyond x{:.2} (calibration-normalized)",

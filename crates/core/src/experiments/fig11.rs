@@ -118,6 +118,7 @@ pub fn fig11(scale: &Scale, seed: u64) -> Fig11Result {
                 // pipeline: one evaluation at a time, whatever WF_WORKERS
                 // says.
                 workers: 1,
+                ..SessionSpec::default()
             };
             let mut session = Session::new(target.os.clone(), target.app.clone(), algorithm, spec);
             let _ = session.run();

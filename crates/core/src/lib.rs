@@ -45,8 +45,8 @@ pub mod targets;
 pub use report::{store_report, wave_stats_table, Table};
 pub use scale::Scale;
 pub use session::{
-    AlgorithmChoice, BuildError, Drive, OsFlavor, Outcome, ResumeError, SessionBuilder,
-    SpecializationSession,
+    target_from_job, AlgorithmChoice, BuildError, Drive, OsFlavor, Outcome, ResumeError,
+    SessionBuilder, SpecializationSession,
 };
 pub use targets::{TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
 

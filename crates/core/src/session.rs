@@ -9,7 +9,9 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::path::Path;
 use wf_deeptune::{Checkpoint, DeepTune, DeepTuneConfig};
-use wf_jobfile::{AlgorithmId, Budget, Direction, Focus, Job, ParamDecl};
+use wf_jobfile::{
+    AlgorithmId, BackendChoice, Budget, Direction, Focus, Job, ParamDecl, RoutingStrategy,
+};
 use wf_ossim::{AppId, MetricDirection};
 use wf_platform::{
     EventSink, NullSink, Objective, Record, RecordingSink, ReplayError, Session, SessionEvent,
@@ -176,6 +178,55 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Materializes just the evaluation target a job resolves to — explicit
+/// space installed, pins applied — without constructing a session. This
+/// is what a `wf-evald` worker process runs [`wf_platform::serve`]
+/// against: the session ships its *resolved* job to every worker, so
+/// each process rebuilds the exact target the session dispatches to.
+pub fn target_from_job(
+    job: &Job,
+    registry: &TargetRegistry,
+) -> Result<Box<dyn wf_platform::EvalTarget>, BuildError> {
+    let factory = registry
+        .get(&job.os)
+        .ok_or_else(|| BuildError::UnknownTarget {
+            given: job.os.clone(),
+            known: registry.keywords(),
+        })?;
+    let app = job
+        .app
+        .clone()
+        .unwrap_or_else(|| factory.default_app().to_string());
+    let TargetInstance { mut target, .. } = factory.instantiate(&TargetRequest {
+        app,
+        runtime_params: job.runtime_params.unwrap_or(200),
+    })?;
+    if let Some(space) = job.param_space() {
+        target.install_space(space);
+    }
+    if !job.pinned.is_empty() {
+        job.apply_pins(target.space_mut())
+            .map_err(|e| BuildError::BadPin {
+                message: e.to_string(),
+            })?;
+    }
+    Ok(target)
+}
+
+/// Locates the `wf-evald` remote-worker binary: the `WF_EVALD`
+/// environment variable when set (tests point it at a freshly built
+/// binary), else a sibling of the current executable, else the bare
+/// name resolved through `PATH` at spawn time.
+fn locate_evald() -> std::path::PathBuf {
+    if let Some(path) = std::env::var_os("WF_EVALD") {
+        return std::path::PathBuf::from(path);
+    }
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("wf-evald")))
+        .unwrap_or_else(|| std::path::PathBuf::from("wf-evald"))
+}
+
 /// Fluent session construction, resolved through a [`TargetRegistry`].
 pub struct SessionBuilder {
     name: String,
@@ -190,6 +241,8 @@ pub struct SessionBuilder {
     seed: u64,
     repetitions: usize,
     workers: usize,
+    backend: BackendChoice,
+    routing: RoutingStrategy,
     runtime_params: usize,
     focus: Focus,
     pins: Vec<(String, String)>,
@@ -221,6 +274,8 @@ impl SessionBuilder {
             seed: 1,
             repetitions: 1,
             workers: wf_platform::default_workers(),
+            backend: BackendChoice::default(),
+            routing: RoutingStrategy::default(),
             runtime_params: 200,
             focus: Focus::All,
             pins: Vec::new(),
@@ -324,6 +379,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects where candidate evaluations execute: spawned per-wave
+    /// threads, the persistent in-process pool (the default), or
+    /// `wf-evald` worker processes behind a socket.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the slot → lane routing strategy for wave dispatch
+    /// (`random | fastest | round-robin | preferred`). Defaults to
+    /// round-robin, which on healthy full-width waves is the identity
+    /// assignment.
+    pub fn routing(mut self, routing: RoutingStrategy) -> Self {
+        self.routing = routing;
+        self
+    }
+
     /// Size of the probed runtime space for the Linux targets (§3.4).
     pub fn runtime_params(mut self, n: usize) -> Self {
         self.runtime_params = n;
@@ -389,6 +461,7 @@ impl SessionBuilder {
         if let Some(workers) = job.workers {
             b = b.workers(workers);
         }
+        b = b.backend(job.backend).routing(job.routing);
         if let Some(n) = job.runtime_params {
             b = b.runtime_params(n);
         }
@@ -492,7 +565,7 @@ impl SessionBuilder {
             (_, MetricDirection::HigherBetter) => Direction::Maximize,
             (_, MetricDirection::LowerBetter) => Direction::Minimize,
         };
-        let spec = SessionSpec {
+        let mut spec = SessionSpec {
             objective,
             direction,
             policy,
@@ -503,6 +576,9 @@ impl SessionBuilder {
             repetitions: self.repetitions,
             seed: self.seed,
             workers: self.workers,
+            backend: self.backend,
+            routing: self.routing,
+            remote: None,
         };
 
         // The fully resolved job this session will run — what a session
@@ -535,6 +611,8 @@ impl SessionBuilder {
             seed: self.seed,
             repetitions: self.repetitions,
             workers: Some(self.workers),
+            backend: self.backend,
+            routing: self.routing,
             runtime_params: Some(self.runtime_params),
             out: None,
             budget: spec.budget,
@@ -548,6 +626,15 @@ impl SessionBuilder {
                 .collect(),
             params: explicit_params,
         };
+
+        // Remote workers re-resolve the *resolved* job so every `wf-evald`
+        // process materializes the exact target this session runs against.
+        if self.backend == BackendChoice::Remote {
+            spec.remote = Some(wf_platform::RemoteSpec {
+                command: locate_evald(),
+                args: vec!["--job-inline".to_string(), resolved.to_yaml()],
+            });
+        }
 
         let algorithm: Box<dyn SearchAlgorithm> = match self.algorithm {
             AlgorithmChoice::Random => Box::new(RandomSearch::new()),

@@ -13,5 +13,8 @@
 pub mod schema;
 pub mod yaml;
 
-pub use schema::{AlgorithmId, Budget, Direction, Focus, Job, JobError, ParamDecl, Pin};
+pub use schema::{
+    AlgorithmId, BackendChoice, Budget, Direction, Focus, Job, JobError, ParamDecl, Pin,
+    RoutingStrategy,
+};
 pub use yaml::{Yaml, YamlError};

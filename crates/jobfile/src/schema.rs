@@ -100,6 +100,81 @@ impl Focus {
     }
 }
 
+/// Where candidate evaluations execute (the platform's `EvalBackend`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Legacy per-wave scoped-thread spawning (kept as the benchmark
+    /// baseline the persistent pools are measured against).
+    Spawn,
+    /// Persistent in-process worker threads with channel-fed queues.
+    #[default]
+    InProcess,
+    /// Worker processes behind a Unix-socket protocol (`wf-evald`).
+    Remote,
+}
+
+impl BackendChoice {
+    /// The job-file keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BackendChoice::Spawn => "spawn",
+            BackendChoice::InProcess => "in-process",
+            BackendChoice::Remote => "remote",
+        }
+    }
+
+    /// Parses a job-file keyword (used by both the schema and CLI flags).
+    pub fn parse_keyword(s: &str) -> Option<BackendChoice> {
+        match s {
+            "spawn" => Some(BackendChoice::Spawn),
+            "in-process" | "inprocess" | "in_process" => Some(BackendChoice::InProcess),
+            "remote" => Some(BackendChoice::Remote),
+            _ => None,
+        }
+    }
+}
+
+/// How the platform's router assigns candidates to evaluator lanes
+/// (the four wayfinder-core gateway strategies).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingStrategy {
+    /// Draw lanes from a dedicated RNG stream per wave.
+    Random,
+    /// Prefer the lanes with the lowest latency EWMA.
+    Fastest,
+    /// Cycle through healthy lanes with a persistent cursor. The default:
+    /// under full-width waves it reduces to the identity assignment, so
+    /// sessions behave exactly as they did before routing existed.
+    #[default]
+    RoundRobin,
+    /// Always the lowest-numbered healthy lanes (lane 0 is "preferred"),
+    /// falling back to the others only when lanes are unhealthy.
+    Preferred,
+}
+
+impl RoutingStrategy {
+    /// The job-file keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RoutingStrategy::Random => "random",
+            RoutingStrategy::Fastest => "fastest",
+            RoutingStrategy::RoundRobin => "round-robin",
+            RoutingStrategy::Preferred => "preferred",
+        }
+    }
+
+    /// Parses a job-file keyword (used by both the schema and CLI flags).
+    pub fn parse_keyword(s: &str) -> Option<RoutingStrategy> {
+        match s {
+            "random" => Some(RoutingStrategy::Random),
+            "fastest" => Some(RoutingStrategy::Fastest),
+            "round-robin" | "roundrobin" | "round_robin" => Some(RoutingStrategy::RoundRobin),
+            "preferred" => Some(RoutingStrategy::Preferred),
+            _ => None,
+        }
+    }
+}
+
 /// Search algorithm selection (§3.1 lists the supported plug-ins).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum AlgorithmId {
@@ -181,6 +256,11 @@ pub struct Job {
     /// VM workers evaluating candidates in parallel (`None` = the
     /// platform default: `WF_WORKERS` from the environment, else 1).
     pub workers: Option<usize>,
+    /// Evaluation backend: persistent in-process threads (default),
+    /// remote `wf-evald` workers, or the legacy per-wave spawn path.
+    pub backend: BackendChoice,
+    /// Lane-routing strategy for the platform's router.
+    pub routing: RoutingStrategy,
     /// Size of the probed runtime space for Linux-style targets (§3.4);
     /// `None` = the session default. Session-store manifests record it so
     /// a resumed session rebuilds the exact same space.
@@ -209,6 +289,8 @@ impl Default for Job {
             seed: 1,
             repetitions: 1,
             workers: None,
+            backend: BackendChoice::InProcess,
+            routing: RoutingStrategy::RoundRobin,
             runtime_params: None,
             out: None,
             budget: Budget {
@@ -339,6 +421,26 @@ impl Job {
                             as usize,
                     )
                 }
+                "backend" => {
+                    let raw = req_str(value, "backend")?;
+                    job.backend = BackendChoice::parse_keyword(&raw).ok_or_else(|| {
+                        err(
+                            "backend",
+                            format!("unknown {raw:?} (expected spawn | in-process | remote)"),
+                        )
+                    })?
+                }
+                "routing" => {
+                    let raw = req_str(value, "routing")?;
+                    job.routing = RoutingStrategy::parse_keyword(&raw).ok_or_else(|| {
+                        err(
+                            "routing",
+                            format!(
+                                "unknown {raw:?} (expected random | fastest | round-robin | preferred)"
+                            ),
+                        )
+                    })?
+                }
                 "runtime_params" => {
                     job.runtime_params =
                         Some(
@@ -432,6 +534,8 @@ impl Job {
         if let Some(w) = self.workers {
             root.push(("workers".into(), Yaml::Int(w as i64)));
         }
+        root.push(("backend".into(), Yaml::Str(self.backend.keyword().into())));
+        root.push(("routing".into(), Yaml::Str(self.routing.keyword().into())));
         if let Some(n) = self.runtime_params {
             root.push(("runtime_params".into(), Yaml::Int(n as i64)));
         }
@@ -822,6 +926,34 @@ params:
             Job::parse("name: x\nworkers: 8\n").unwrap().workers,
             Some(8)
         );
+    }
+
+    #[test]
+    fn backend_and_routing_parse_with_defaults() {
+        let job = Job::parse("name: x\n").unwrap();
+        assert_eq!(job.backend, BackendChoice::InProcess);
+        assert_eq!(job.routing, RoutingStrategy::RoundRobin);
+
+        let job = Job::parse("name: x\nbackend: remote\nrouting: fastest\n").unwrap();
+        assert_eq!(job.backend, BackendChoice::Remote);
+        assert_eq!(job.routing, RoutingStrategy::Fastest);
+
+        let job = Job::parse("name: x\nbackend: spawn\nrouting: preferred\n").unwrap();
+        assert_eq!(job.backend, BackendChoice::Spawn);
+        assert_eq!(job.routing, RoutingStrategy::Preferred);
+
+        assert!(Job::parse("name: x\nbackend: cloud\n").is_err());
+        assert!(Job::parse("name: x\nrouting: slowest\n").is_err());
+    }
+
+    #[test]
+    fn backend_and_routing_round_trip() {
+        let mut job = Job::parse(FULL).unwrap();
+        job.backend = BackendChoice::Remote;
+        job.routing = RoutingStrategy::Preferred;
+        let back = Job::parse(&job.to_yaml()).unwrap();
+        assert_eq!(back.backend, BackendChoice::Remote);
+        assert_eq!(back.routing, RoutingStrategy::Preferred);
     }
 
     #[test]

@@ -6,8 +6,18 @@
 //! * [`clock`] — the virtual clock all budgets are charged against;
 //! * [`cache`] — the kernel-image cache behind §3.1's rebuild-skip, and
 //!   its lock-shared multi-worker form;
-//! * [`workers`] — the simulated VM-worker [`workers::Pool`] (wave
-//!   dispatch) plus crossbeam-parallel benchmark repetitions;
+//! * [`workers`] — per-candidate evaluation ([`workers::evaluate_candidate`])
+//!   plus the legacy scoped-thread [`workers::Pool`] and crossbeam-parallel
+//!   benchmark repetitions;
+//! * [`backend`] — the [`backend::EvalBackend`] trait and its persistent
+//!   [`backend::InProcessBackend`] / legacy [`backend::SpawnBackend`]
+//!   implementations (where waves execute);
+//! * [`remote`] — [`remote::RemoteBackend`]: workers behind a
+//!   process/socket boundary speaking the length-prefixed `wf-evald`
+//!   protocol;
+//! * [`router`] — performance-aware slot → lane assignment
+//!   ([`router::Router`]: `random | fastest | round-robin | preferred`)
+//!   with retry and lane health-gating;
 //! * [`history`] — per-iteration records plus Table 2's summary stats;
 //! * [`metrics`] — smoothing, best-so-far, crash-rate series, per-wave
 //!   scheduling stats, and the Eq. 4 throughput–memory score;
@@ -24,6 +34,7 @@
 //!   reloaded by [`store::SessionStore`] for offline reports and
 //!   deterministic resume ([`Session::replay`]).
 
+pub mod backend;
 pub mod cache;
 pub mod clock;
 pub mod events;
@@ -31,10 +42,13 @@ pub mod history;
 pub mod metrics;
 pub mod pipeline;
 pub mod prober;
+pub mod remote;
+pub mod router;
 pub mod store;
 pub mod target;
 pub mod workers;
 
+pub use backend::{EvalBackend, InProcessBackend, LaneError, SpawnBackend, WorkItem, WorkResult};
 pub use cache::{ImageCache, SharedImageCache};
 pub use clock::VirtualClock;
 pub use events::{EventSink, NullSink, RecordingSink, SessionEvent, Tee};
@@ -45,6 +59,8 @@ pub use metrics::{
 };
 pub use pipeline::{default_workers, Objective, ReplayError, Session, SessionSpec, SessionSummary};
 pub use prober::{probe_runtime_space, ProbeReport};
+pub use remote::{serve, RemoteBackend, RemoteSpec};
+pub use router::{dispatch_wave, LaneStats, Router, RoutingStrategy};
 pub use store::{JsonlSink, SessionStore, StoreError, StoredSession};
 pub use target::{EvalTarget, SimTarget, TargetDescriptor};
 pub use workers::{derive_seed, Pool};

@@ -8,8 +8,15 @@
 //!
 //! The loop advances in *waves*: each wave asks the search algorithm for
 //! up to `workers` candidates ([`wf_search::SearchAlgorithm::propose_batch`]),
-//! dispatches them across the [`crate::workers::Pool`], and tells the algorithm
-//! every outcome at once ([`wf_search::SearchAlgorithm::observe_batch`]).
+//! dispatches them through a routed [`crate::backend::EvalBackend`]
+//! ([`crate::router::dispatch_wave`]: the [`crate::router::Router`]
+//! assigns each slot a lane, failed lanes are health-gated and their
+//! slots retried), and tells the algorithm every outcome at once
+//! ([`wf_search::SearchAlgorithm::observe_batch`]). The backend is a
+//! deployment knob ([`wf_jobfile::BackendChoice`]): persistent in-process
+//! worker threads by default, `wf-evald` worker processes for
+//! [`crate::remote::RemoteBackend`], or the legacy per-wave
+//! scoped-thread spawn.
 //!
 //! # The two virtual clocks
 //!
@@ -47,19 +54,23 @@
 //!   function of (seed, candidate order), which is what makes stores
 //!   replayable bit-for-bit.
 
+use crate::backend::{EvalBackend, InProcessBackend, SpawnBackend};
 use crate::cache::SharedImageCache;
 use crate::clock::VirtualClock;
 use crate::events::{EventSink, NullSink, SessionEvent};
 use crate::history::{History, Record};
 use crate::metrics::{mean_occupancy, WaveStats};
+use crate::remote::{RemoteBackend, RemoteSpec};
+use crate::router::{dispatch_wave, Router};
 use crate::target::{EvalTarget, SimTarget, TargetDescriptor};
-use crate::workers::{self, derive_seed, Pool};
+use crate::workers::{self, derive_seed};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 use wf_configspace::{ConfigSpace, Configuration, Encoder};
-use wf_jobfile::{Budget, Direction};
+use wf_jobfile::{BackendChoice, Budget, Direction, RoutingStrategy};
 use wf_ossim::{App, Phase, SimOs};
 use wf_search::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
 
@@ -104,6 +115,18 @@ pub struct SessionSpec {
     /// Simulated VM workers evaluating candidates concurrently (wave
     /// width). Defaults to [`default_workers`].
     pub workers: usize,
+    /// Where candidate evaluations execute (see
+    /// [`crate::backend::EvalBackend`]). Defaults to the persistent
+    /// in-process pool.
+    pub backend: BackendChoice,
+    /// How wave slots map onto evaluator lanes (see
+    /// [`crate::router::Router`]). Defaults to round-robin, which is the
+    /// identity assignment on full-width healthy waves.
+    pub routing: RoutingStrategy,
+    /// Worker launch spec for [`BackendChoice::Remote`] (the `wf-evald`
+    /// command plus its target-resolution arguments). Required when
+    /// `backend` is `Remote`, ignored otherwise.
+    pub remote: Option<RemoteSpec>,
 }
 
 impl Default for SessionSpec {
@@ -119,6 +142,9 @@ impl Default for SessionSpec {
             repetitions: 1,
             seed: 1,
             workers: default_workers(),
+            backend: BackendChoice::default(),
+            routing: RoutingStrategy::default(),
+            remote: None,
         }
     }
 }
@@ -237,9 +263,9 @@ impl fmt::Display for ReplayError {
 impl std::error::Error for ReplayError {}
 
 /// A running specialization session: one [`EvalTarget`], one algorithm,
-/// one budget, one worker pool.
+/// one budget, one routed evaluation backend.
 pub struct Session {
-    target: Box<dyn EvalTarget>,
+    target: Arc<dyn EvalTarget>,
     algorithm: Box<dyn SearchAlgorithm>,
     spec: SessionSpec,
     encoder: Encoder,
@@ -250,8 +276,11 @@ pub struct Session {
     cache: SharedImageCache,
     history: History,
     rng: StdRng,
-    pool: Pool,
-    /// Per-worker "working trees": the configuration each lane last built
+    /// Where candidate evaluations execute.
+    backend: Box<dyn EvalBackend>,
+    /// Slot → lane assignment plus per-lane latency/failure stats.
+    router: Router,
+    /// Per-lane "working trees": the configuration each lane last built
     /// (enables incremental-rebuild timing on compile targets).
     lanes: Vec<Option<Configuration>>,
     /// Per-wave scheduling metrics.
@@ -273,17 +302,49 @@ impl Session {
         Session::with_target(Box::new(SimTarget::new(os, app)), algorithm, spec)
     }
 
-    /// Creates a session over any [`EvalTarget`].
+    /// Creates a session over any [`EvalTarget`], constructing the
+    /// evaluation backend from `spec.backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.backend` is [`BackendChoice::Remote`] and
+    /// `spec.remote` is `None` or the workers cannot be launched.
     pub fn with_target(
         target: Box<dyn EvalTarget>,
         algorithm: Box<dyn SearchAlgorithm>,
         spec: SessionSpec,
     ) -> Self {
+        let workers = spec.workers.max(1);
+        let backend: Box<dyn EvalBackend> = match spec.backend {
+            BackendChoice::Spawn => Box::new(SpawnBackend::new()),
+            BackendChoice::InProcess => Box::new(InProcessBackend::new(workers)),
+            BackendChoice::Remote => {
+                let remote = spec
+                    .remote
+                    .as_ref()
+                    .expect("the remote backend needs a worker launch spec (spec.remote)");
+                Box::new(
+                    RemoteBackend::spawn(workers, remote).expect("cannot launch remote workers"),
+                )
+            }
+        };
+        Session::with_backend(target, algorithm, spec, backend)
+    }
+
+    /// Creates a session over an explicit, already-constructed backend
+    /// (tests inject protocol-level backends here; `spec.backend` is kept
+    /// as documentation but not consulted).
+    pub fn with_backend(
+        target: Box<dyn EvalTarget>,
+        algorithm: Box<dyn SearchAlgorithm>,
+        spec: SessionSpec,
+        backend: Box<dyn EvalBackend>,
+    ) -> Self {
         let encoder = Encoder::new(target.space());
         let rng = StdRng::seed_from_u64(spec.seed);
         let workers = spec.workers.max(1);
         Session {
-            target,
+            target: Arc::from(target),
             algorithm,
             encoder,
             clock: VirtualClock::new(),
@@ -291,13 +352,25 @@ impl Session {
             cache: SharedImageCache::new(32),
             history: History::new(),
             rng,
-            pool: Pool::new(workers),
+            backend,
+            router: Router::new(spec.routing, workers),
             lanes: vec![None; workers],
             waves: Vec::new(),
             metric_bounds: (f64::MAX, f64::MIN),
             memory_bounds: (f64::MAX, f64::MIN),
             spec,
         }
+    }
+
+    /// The session's wave width (lane count).
+    pub fn workers(&self) -> usize {
+        self.router.width()
+    }
+
+    /// Per-lane routing statistics (latency EWMA, samples, failures,
+    /// health), indexed by lane.
+    pub fn lane_stats(&self) -> &[crate::router::LaneStats] {
+        self.router.stats()
     }
 
     /// The effective optimization direction (the score is always
@@ -356,7 +429,7 @@ impl Session {
             .iterations
             .map(|max| max.saturating_sub(start).max(1))
             .unwrap_or(usize::MAX);
-        let n = self.pool.workers().min(remaining);
+        let n = self.workers().min(remaining);
 
         let observations = self.history.observations();
         let direction = self.direction();
@@ -382,13 +455,16 @@ impl Session {
             size: n,
         });
 
-        // Evaluate across the pool.
+        // Evaluate through the routed backend.
         let (hits_before, misses_before) = self.cache.stats();
-        let evals = self.pool.run_wave(
-            self.target.as_ref(),
+        let evals = dispatch_wave(
+            self.backend.as_mut(),
+            &mut self.router,
+            &self.target,
             &configs,
             start,
             self.spec.seed,
+            wave_index as u64,
             self.spec.repetitions,
             &self.cache,
             &mut self.lanes,
@@ -522,7 +598,7 @@ impl Session {
         SessionEvent::SessionStarted {
             descriptor: self.target.descriptor().clone(),
             seed: self.spec.seed,
-            workers: self.pool.workers(),
+            workers: self.workers(),
             first_iteration: self.history.len(),
         }
     }
@@ -578,11 +654,11 @@ impl Session {
         let start = self.history.len();
         let wave_index = self.waves.len();
         let n = stored.len();
-        if n == 0 || n > self.pool.workers() {
+        if n == 0 || n > self.workers() {
             return Err(ReplayError::WaveTooWide {
                 wave: wave_index,
                 size: n,
-                workers: self.pool.workers(),
+                workers: self.workers(),
             });
         }
         let space_len = self.target.space().len();
@@ -621,6 +697,14 @@ impl Session {
             }
         }
 
+        // Re-run the router: lane assignment is a deterministic function
+        // of (strategy state, seed, wave index), so replay re-derives the
+        // same slot → lane map the live wave used — replay assumes an
+        // all-healthy fleet, which matches any failure-free live run (a
+        // transport failure is a host-level event outside the
+        // determinism contract; see `docs/DETERMINISM.md`).
+        let assigned = self.router.assign(n, self.spec.seed, wave_index as u64);
+
         // Rebuild cache and lane state from deterministic build metadata,
         // mirroring the live wave's two-phase cache protocol exactly:
         // probe every fingerprint in candidate order, re-derive each
@@ -633,8 +717,18 @@ impl Session {
             .iter()
             .map(|r| self.cache.get(self.target.image_fingerprint(&r.config)))
             .collect();
+        // Builds see the *pre-wave* working trees (live items carry a
+        // snapshot taken at dispatch), and tree updates land afterwards
+        // in candidate order — so replay agrees with the live wave even
+        // when several slots share a lane.
+        let trees_in = self.lanes.clone();
         let mut built_images: Vec<Option<wf_ossim::KernelImage>> = Vec::with_capacity(n);
         for (j, r) in stored.iter().enumerate() {
+            let lane = assigned[j];
+            // The live wave fed the router each evaluation's virtual
+            // duration in candidate order; replay feeds the stored ones
+            // so post-resume routing decisions match.
+            self.router.observe(lane, r.duration_s);
             if r.crash_phase == Some(Phase::Build) {
                 // The live evaluation probed the cache (a miss — a hit
                 // implies build_skipped, which cannot build-crash) and
@@ -649,12 +743,12 @@ impl Session {
             let (built, _build_s) = self.target.build(
                 &r.config,
                 reuses[j].as_ref(),
-                self.lanes[j].as_ref(),
+                trees_in[lane].as_ref(),
                 &mut build_rng,
             );
             match built {
                 Ok(image) => {
-                    self.lanes[j] = Some(r.config.clone());
+                    self.lanes[lane] = Some(r.config.clone());
                     built_images.push(Some(image));
                 }
                 Err(_) => built_images.push(None),
@@ -740,9 +834,9 @@ impl Session {
             crash_rate: self.history.crash_rate(),
             elapsed_s: self.clock.now_s(),
             compute_s: self.compute.now_s(),
-            workers: self.pool.workers(),
+            workers: self.workers(),
             waves: self.waves.len(),
-            mean_occupancy: mean_occupancy(&self.waves, self.pool.workers()),
+            mean_occupancy: mean_occupancy(&self.waves, self.workers()),
             cache_stats: self.cache.stats(),
         }
     }

@@ -1,0 +1,726 @@
+//! The remote evaluation backend: workers behind a process boundary.
+//!
+//! [`RemoteBackend`] is an [`EvalBackend`] whose lanes are worker
+//! *processes* connected over Unix-domain sockets, speaking a
+//! length-prefixed JSON request/response protocol over the existing
+//! [`EvalTarget`] surface. The `wf-evald` binary is the production
+//! worker: it builds its own copy of the target (targets are pure
+//! functions of their construction parameters, so a remote rebuild is
+//! bit-identical to a local one) and calls [`serve`] on its connection.
+//!
+//! Workers are stateless between requests: every request ships the cache
+//! probe's answer and the lane's working tree, every response carries the
+//! built image back, so the shared image cache stays session-owned and
+//! the two-phase cache protocol is untouched (see `docs/DETERMINISM.md`).
+//! A worker that dies mid-wave surfaces as a transport-level
+//! [`LaneError`]; the router health-gates the lane and retries the slot
+//! elsewhere.
+//!
+//! # Protocol
+//!
+//! Each frame is a 4-byte big-endian length followed by one compact JSON
+//! document (the same [`JsonValue`] encoding the session store uses, so
+//! `f64` payloads round-trip bit-for-bit and `u64` seeds ride as
+//! strings):
+//!
+//! ```text
+//! worker → client   {"op":"hello","lane":0}
+//! client → worker   {"op":"eval","seed":"42","reps":2,"slot":0,"index":7,
+//!                    "lane":0,"config":["b1","i3",...],"reuse":null,
+//!                    "tree":["b0",...]|null}
+//! worker → client   {"op":"result","slot":0,"lane":0,"skip":false,
+//!                    "dur":12.5,"ok":true,"metric":8.1,"mem":100.2,
+//!                    "phase":null,"rule":null,
+//!                    "image":{"fp":"123","mb":4.5,"opts":19}|null}
+//! ```
+//!
+//! The connection closing (EOF) is the shutdown signal.
+
+use crate::backend::{EvalBackend, LaneError, WorkItem, WorkResult};
+use crate::store::{config_from_json, config_json, phase_from_str, phase_str, JsonValue};
+use crate::target::EvalTarget;
+use crate::workers::{evaluate_candidate, CandidateEval};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wf_ossim::{BenchResult, CrashReport, KernelImage};
+
+/// Frames larger than this are a protocol violation, not a big wave.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+/// How long [`RemoteBackend::spawn`] waits for every worker to dial in.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How to launch remote workers: the `wf-evald` (or compatible) binary
+/// plus the target-resolution arguments it needs to rebuild the session's
+/// target. The backend appends `--connect <socket> --lane <i>` per
+/// worker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteSpec {
+    /// Worker executable.
+    pub command: PathBuf,
+    /// Arguments passed through verbatim (opaque to the platform).
+    pub args: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame(stream: &mut UnixStream, value: &JsonValue) -> io::Result<()> {
+    let body = value.encode().into_bytes();
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&body)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed JSON frame; `Ok(None)` on clean EOF.
+pub fn read_frame(stream: &mut UnixStream) -> io::Result<Option<JsonValue>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the protocol maximum"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    JsonValue::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Payload (de)serialization.
+// ---------------------------------------------------------------------------
+
+fn u64_json(v: u64) -> JsonValue {
+    JsonValue::Str(v.to_string())
+}
+
+fn u64_from(v: &JsonValue) -> Option<u64> {
+    v.as_str().and_then(|s| s.parse().ok())
+}
+
+fn image_json(img: &KernelImage) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("fp".into(), u64_json(img.fingerprint)),
+        ("mb".into(), JsonValue::Num(img.image_mb)),
+        ("opts".into(), JsonValue::Int(img.enabled_options as i64)),
+    ])
+}
+
+fn image_from(v: &JsonValue) -> Option<KernelImage> {
+    Some(KernelImage {
+        fingerprint: u64_from(v.get("fp")?)?,
+        image_mb: v.get("mb")?.as_f64()?,
+        enabled_options: v.get("opts")?.as_usize()?,
+    })
+}
+
+fn opt_json<T>(v: Option<&T>, f: impl Fn(&T) -> JsonValue) -> JsonValue {
+    match v {
+        Some(v) => f(v),
+        None => JsonValue::Null,
+    }
+}
+
+fn hello_json(lane: usize) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("op".into(), JsonValue::Str("hello".into())),
+        ("lane".into(), JsonValue::Int(lane as i64)),
+    ])
+}
+
+fn request_json(session_seed: u64, repetitions: usize, item: &WorkItem) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("op".into(), JsonValue::Str("eval".into())),
+        ("seed".into(), u64_json(session_seed)),
+        ("reps".into(), JsonValue::Int(repetitions as i64)),
+        ("slot".into(), JsonValue::Int(item.slot as i64)),
+        ("index".into(), JsonValue::Int(item.index as i64)),
+        ("lane".into(), JsonValue::Int(item.lane as i64)),
+        ("config".into(), config_json(&item.config)),
+        ("reuse".into(), opt_json(item.reuse.as_ref(), image_json)),
+        (
+            "tree".into(),
+            opt_json(item.working_tree.as_ref(), config_json),
+        ),
+    ])
+}
+
+fn result_json(w: &WorkResult) -> JsonValue {
+    let (ok, metric, mem, phase, rule) = match &w.eval.outcome {
+        Ok(r) => (true, Some(r.metric), Some(r.memory_mb), None, None),
+        Err(c) => (false, None, None, Some(phase_str(c.phase)), Some(&c.rule)),
+    };
+    let num = |v: Option<f64>| match v {
+        Some(v) => JsonValue::Num(v),
+        None => JsonValue::Null,
+    };
+    JsonValue::Obj(vec![
+        ("op".into(), JsonValue::Str("result".into())),
+        ("slot".into(), JsonValue::Int(w.slot as i64)),
+        ("lane".into(), JsonValue::Int(w.lane as i64)),
+        ("skip".into(), JsonValue::Bool(w.eval.build_skipped)),
+        ("dur".into(), JsonValue::Num(w.eval.duration_s)),
+        ("ok".into(), JsonValue::Bool(ok)),
+        ("metric".into(), num(metric)),
+        ("mem".into(), num(mem)),
+        (
+            "phase".into(),
+            opt_json(phase.as_ref(), |p| JsonValue::Str((*p).into())),
+        ),
+        (
+            "rule".into(),
+            opt_json(rule, |r| JsonValue::Str((*r).clone())),
+        ),
+        ("image".into(), opt_json(w.image.as_ref(), image_json)),
+    ])
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn result_from(v: &JsonValue) -> io::Result<WorkResult> {
+    let slot = v
+        .get("slot")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| bad("result without slot"))?;
+    let lane = v
+        .get("lane")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| bad("result without lane"))?;
+    let build_skipped = v
+        .get("skip")
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| bad("result without skip"))?;
+    let duration_s = v
+        .get("dur")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| bad("result without dur"))?;
+    let ok = v
+        .get("ok")
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| bad("result without ok"))?;
+    let outcome = if ok {
+        Ok(BenchResult {
+            metric: v
+                .get("metric")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad("ok result without metric"))?,
+            memory_mb: v
+                .get("mem")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad("ok result without mem"))?,
+        })
+    } else {
+        Err(CrashReport {
+            phase: v
+                .get("phase")
+                .and_then(JsonValue::as_str)
+                .and_then(phase_from_str)
+                .ok_or_else(|| bad("crash result without phase"))?,
+            rule: v
+                .get("rule")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("crash result without rule"))?
+                .to_string(),
+        })
+    };
+    let image = match v.get("image") {
+        None | Some(JsonValue::Null) => None,
+        Some(img) => Some(image_from(img).ok_or_else(|| bad("malformed image"))?),
+    };
+    Ok(WorkResult {
+        slot,
+        lane,
+        eval: CandidateEval {
+            outcome,
+            build_skipped,
+            duration_s,
+        },
+        image,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------
+
+/// Serves evaluation requests on `stream` until the peer closes it.
+///
+/// This is the whole worker loop `wf-evald` runs: announce the lane,
+/// then `read request → evaluate → write result` until EOF. The worker
+/// is stateless between requests — reuse and working tree arrive in the
+/// request — so the evaluation is the same pure function of
+/// `(session_seed, index)` it is in-process.
+pub fn serve(mut stream: UnixStream, lane: usize, target: &dyn EvalTarget) -> io::Result<()> {
+    write_frame(&mut stream, &hello_json(lane))?;
+    while let Some(frame) = read_frame(&mut stream)? {
+        let op = frame.get("op").and_then(JsonValue::as_str);
+        if op != Some("eval") {
+            return Err(bad("unexpected request frame"));
+        }
+        let session_seed = frame
+            .get("seed")
+            .and_then(u64_from)
+            .ok_or_else(|| bad("eval without seed"))?;
+        let repetitions = frame
+            .get("reps")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| bad("eval without reps"))?;
+        let item = WorkItem {
+            slot: frame
+                .get("slot")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| bad("eval without slot"))?,
+            index: frame
+                .get("index")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| bad("eval without index"))?,
+            lane: frame
+                .get("lane")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| bad("eval without lane"))?,
+            config: frame
+                .get("config")
+                .and_then(config_from_json)
+                .ok_or_else(|| bad("eval without config"))?,
+            reuse: match frame.get("reuse") {
+                None | Some(JsonValue::Null) => None,
+                Some(img) => Some(image_from(img).ok_or_else(|| bad("malformed reuse image"))?),
+            },
+            working_tree: match frame.get("tree") {
+                None | Some(JsonValue::Null) => None,
+                Some(tree) => {
+                    Some(config_from_json(tree).ok_or_else(|| bad("malformed working tree"))?)
+                }
+            },
+        };
+        let mut tree = item.working_tree.clone();
+        let (eval, image) = evaluate_candidate(
+            target,
+            &item.config,
+            item.index,
+            session_seed,
+            repetitions,
+            item.reuse.as_ref(),
+            &mut tree,
+        );
+        let result = WorkResult {
+            slot: item.slot,
+            lane: item.lane,
+            eval,
+            image,
+        };
+        write_frame(&mut stream, &result_json(&result))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Client side.
+// ---------------------------------------------------------------------------
+
+struct RemoteLane {
+    stream: Option<UnixStream>,
+    child: Option<Child>,
+}
+
+/// Worker processes (or test threads) behind sockets, one per lane.
+///
+/// Construct with [`RemoteBackend::spawn`] to launch real worker
+/// processes, or [`RemoteBackend::from_streams`] to drive pre-connected
+/// sockets (the proptests serve the protocol from in-process threads —
+/// same bytes, no process overhead).
+pub struct RemoteBackend {
+    lanes: Vec<RemoteLane>,
+    socket_path: Option<PathBuf>,
+}
+
+static SOCKET_SERIAL: AtomicUsize = AtomicUsize::new(0);
+
+impl RemoteBackend {
+    /// Launches `workers` worker processes per `spec` and waits for all
+    /// of them to dial in and announce their lanes.
+    pub fn spawn(workers: usize, spec: &RemoteSpec) -> io::Result<RemoteBackend> {
+        assert!(workers >= 1, "a backend needs at least one lane");
+        let socket_path = std::env::temp_dir().join(format!(
+            "wf-evald-{}-{}.sock",
+            std::process::id(),
+            SOCKET_SERIAL.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&socket_path);
+        let listener = UnixListener::bind(&socket_path)?;
+        listener.set_nonblocking(true)?;
+
+        let mut children = Vec::with_capacity(workers);
+        for lane in 0..workers {
+            let child = Command::new(&spec.command)
+                .args(&spec.args)
+                .arg("--connect")
+                .arg(&socket_path)
+                .arg("--lane")
+                .arg(lane.to_string())
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| {
+                    io::Error::new(
+                        e.kind(),
+                        format!("cannot launch worker {:?}: {e}", spec.command),
+                    )
+                })?;
+            children.push(Some(child));
+        }
+
+        let mut lanes: Vec<Option<RemoteLane>> = (0..workers).map(|_| None).collect();
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        let mut connected = 0;
+        while connected < workers {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let mut stream = stream;
+                    let hello = read_frame(&mut stream)?
+                        .ok_or_else(|| bad("worker hung up before hello"))?;
+                    let lane = hello
+                        .get("lane")
+                        .and_then(JsonValue::as_usize)
+                        .filter(|l| *l < workers)
+                        .ok_or_else(|| bad("malformed hello frame"))?;
+                    if lanes[lane].is_some() {
+                        return Err(bad("two workers announced the same lane"));
+                    }
+                    lanes[lane] = Some(RemoteLane {
+                        stream: Some(stream),
+                        child: children[lane].take(),
+                    });
+                    connected += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    for child in children.iter_mut().flatten() {
+                        if let Some(status) = child.try_wait()? {
+                            return Err(io::Error::new(
+                                io::ErrorKind::BrokenPipe,
+                                format!("worker exited before connecting: {status}"),
+                            ));
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "workers did not connect within the timeout",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let _ = std::fs::remove_file(&socket_path);
+        Ok(RemoteBackend {
+            lanes: lanes
+                .into_iter()
+                .map(|l| l.expect("all connected"))
+                .collect(),
+            socket_path: Some(socket_path),
+        })
+    }
+
+    /// Wraps pre-connected streams whose peers already run [`serve`].
+    /// Each peer's hello frame decides its lane.
+    pub fn from_streams(streams: Vec<UnixStream>) -> io::Result<RemoteBackend> {
+        let workers = streams.len();
+        assert!(workers >= 1, "a backend needs at least one lane");
+        let mut lanes: Vec<Option<RemoteLane>> = (0..workers).map(|_| None).collect();
+        for mut stream in streams {
+            let hello =
+                read_frame(&mut stream)?.ok_or_else(|| bad("worker hung up before hello"))?;
+            let lane = hello
+                .get("lane")
+                .and_then(JsonValue::as_usize)
+                .filter(|l| *l < workers)
+                .ok_or_else(|| bad("malformed hello frame"))?;
+            if lanes[lane].is_some() {
+                return Err(bad("two workers announced the same lane"));
+            }
+            lanes[lane] = Some(RemoteLane {
+                stream: Some(stream),
+                child: None,
+            });
+        }
+        Ok(RemoteBackend {
+            lanes: lanes
+                .into_iter()
+                .map(|l| l.expect("all lanes announced"))
+                .collect(),
+            socket_path: None,
+        })
+    }
+
+    /// Number of worker lanes.
+    pub fn workers(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+impl EvalBackend for RemoteBackend {
+    fn label(&self) -> &'static str {
+        "remote"
+    }
+
+    fn run_items(
+        &mut self,
+        _target: &Arc<dyn EvalTarget>,
+        session_seed: u64,
+        repetitions: usize,
+        items: Vec<WorkItem>,
+    ) -> Vec<Result<WorkResult, LaneError>> {
+        let mut out = Vec::with_capacity(items.len());
+        // Submit every item, then drain responses lane by lane — the
+        // worker loop is sequential per lane, so responses arrive in
+        // submission order on each socket.
+        let mut outstanding: Vec<VecDeque<usize>> =
+            (0..self.lanes.len()).map(|_| VecDeque::new()).collect();
+        for item in &items {
+            assert!(item.lane < self.lanes.len(), "lane out of range");
+            let lane = item.lane;
+            let failed = match self.lanes[lane].stream.as_mut() {
+                None => Some("worker connection is gone".to_string()),
+                Some(stream) => {
+                    match write_frame(stream, &request_json(session_seed, repetitions, item)) {
+                        Ok(()) => None,
+                        Err(e) => Some(format!("cannot send to worker: {e}")),
+                    }
+                }
+            };
+            match failed {
+                None => outstanding[lane].push_back(item.slot),
+                Some(message) => {
+                    self.lanes[lane].stream = None;
+                    out.push(Err(LaneError {
+                        slot: item.slot,
+                        lane,
+                        message,
+                    }));
+                }
+            }
+        }
+        for (lane, mut slots) in outstanding.into_iter().enumerate() {
+            while let Some(expected_slot) = slots.pop_front() {
+                let received = match self.lanes[lane].stream.as_mut() {
+                    None => Err(bad("worker connection is gone")),
+                    Some(stream) => read_frame(stream).and_then(|frame| {
+                        frame
+                            .ok_or_else(|| bad("worker hung up mid-wave"))
+                            .and_then(|f| result_from(&f))
+                    }),
+                };
+                match received {
+                    Ok(result) => out.push(Ok(result)),
+                    Err(e) => {
+                        // The lane is dead: fail this slot and everything
+                        // else still outstanding on it.
+                        self.lanes[lane].stream = None;
+                        out.push(Err(LaneError {
+                            slot: expected_slot,
+                            lane,
+                            message: format!("worker failed: {e}"),
+                        }));
+                        for slot in slots.drain(..) {
+                            out.push(Err(LaneError {
+                                slot,
+                                lane,
+                                message: "worker connection is gone".into(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        // Closing the sockets is the shutdown signal; give processes a
+        // moment to exit on EOF, then reap (or kill) them.
+        for lane in &mut self.lanes {
+            lane.stream.take();
+        }
+        for lane in &mut self.lanes {
+            if let Some(mut child) = lane.child.take() {
+                let deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InProcessBackend;
+    use crate::target::SimTarget;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wf_kconfig::LinuxVersion;
+    use wf_ossim::{App, AppId, SimOs};
+
+    fn sim_target() -> SimTarget {
+        SimTarget::new(
+            SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+            App::by_id(AppId::Redis),
+        )
+    }
+
+    /// A remote backend whose workers are in-process threads running the
+    /// real [`serve`] loop over socketpairs — full protocol bytes, no
+    /// process spawn.
+    pub(crate) fn threaded_remote(workers: usize) -> RemoteBackend {
+        let mut streams = Vec::with_capacity(workers);
+        for lane in 0..workers {
+            let (client, server) = UnixStream::pair().expect("socketpair");
+            std::thread::spawn(move || {
+                let target = sim_target();
+                let _ = serve(server, lane, &target);
+            });
+            streams.push(client);
+        }
+        RemoteBackend::from_streams(streams).expect("handshake")
+    }
+
+    #[test]
+    fn remote_and_in_process_agree_bit_for_bit() {
+        let target: Arc<dyn EvalTarget> = Arc::new(sim_target());
+        let mut rng = StdRng::seed_from_u64(13);
+        let items: Vec<WorkItem> = (0..5)
+            .map(|j| WorkItem::new(j, j, j % 3, target.space().sample(&mut rng)))
+            .collect();
+        let mut local = InProcessBackend::new(3);
+        let mut remote = threaded_remote(3);
+        let mut a: Vec<WorkResult> = local
+            .run_items(&target, 77, 2, items.clone())
+            .into_iter()
+            .map(|r| r.expect("ok"))
+            .collect();
+        let mut b: Vec<WorkResult> = remote
+            .run_items(&target, 77, 2, items)
+            .into_iter()
+            .map(|r| r.expect("ok"))
+            .collect();
+        a.sort_by_key(|w| w.slot);
+        b.sort_by_key(|w| w.slot);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.slot, y.slot);
+            assert_eq!(x.lane, y.lane);
+            assert_eq!(x.eval.build_skipped, y.eval.build_skipped);
+            assert_eq!(x.eval.duration_s.to_bits(), y.eval.duration_s.to_bits());
+            match (&x.eval.outcome, &y.eval.outcome) {
+                (Ok(m), Ok(n)) => {
+                    assert_eq!(m.metric.to_bits(), n.metric.to_bits());
+                    assert_eq!(m.memory_mb.to_bits(), n.memory_mb.to_bits());
+                }
+                (Err(m), Err(n)) => {
+                    assert_eq!(m.phase, n.phase);
+                    assert_eq!(m.rule, n.rule);
+                }
+                _ => panic!("outcome kind differs across the socket"),
+            }
+            match (&x.image, &y.image) {
+                (Some(m), Some(n)) => {
+                    assert_eq!(m.fingerprint, n.fingerprint);
+                    assert_eq!(m.image_mb.to_bits(), n.image_mb.to_bits());
+                    assert_eq!(m.enabled_options, n.enabled_options);
+                }
+                (None, None) => {}
+                _ => panic!("image presence differs across the socket"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_dead_worker_surfaces_as_lane_errors() {
+        let target: Arc<dyn EvalTarget> = Arc::new(sim_target());
+        let mut rng = StdRng::seed_from_u64(14);
+        // Lane 1's "worker" hangs up immediately after the hello.
+        let (alive_client, alive_server) = UnixStream::pair().expect("socketpair");
+        std::thread::spawn(move || {
+            let target = sim_target();
+            let _ = serve(alive_server, 0, &target);
+        });
+        let (dead_client, dead_server) = UnixStream::pair().expect("socketpair");
+        {
+            let mut s = dead_server;
+            write_frame(&mut s, &hello_json(1)).unwrap();
+            // dropped: EOF after hello
+        }
+        let mut remote = RemoteBackend::from_streams(vec![alive_client, dead_client]).unwrap();
+        let items: Vec<WorkItem> = (0..4)
+            .map(|j| WorkItem::new(j, j, j % 2, target.space().sample(&mut rng)))
+            .collect();
+        let results = remote.run_items(&target, 5, 1, items);
+        let ok: Vec<usize> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|w| w.slot))
+            .collect();
+        let failed: Vec<(usize, usize)> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err().map(|e| (e.slot, e.lane)))
+            .collect();
+        assert_eq!(ok.len(), 2, "lane 0's items still complete");
+        assert_eq!(failed, vec![(1, 1), (3, 1)], "lane 1's items fail");
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_socketpair() {
+        let (mut a, mut b) = UnixStream::pair().expect("socketpair");
+        let value = JsonValue::Obj(vec![
+            ("op".into(), JsonValue::Str("eval".into())),
+            ("dur".into(), JsonValue::Num(0.1 + 0.2)),
+            ("seed".into(), u64_json(u64::MAX)),
+        ]);
+        write_frame(&mut a, &value).unwrap();
+        let back = read_frame(&mut b).unwrap().unwrap();
+        assert_eq!(back, value);
+        assert_eq!(
+            back.get("dur").unwrap().as_f64().unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        drop(a);
+        assert!(read_frame(&mut b).unwrap().is_none(), "EOF reads as None");
+    }
+}

@@ -467,7 +467,7 @@ impl JsonParser {
 // Event (de)serialization.
 // ---------------------------------------------------------------------------
 
-fn value_token(v: &Value) -> String {
+pub(crate) fn value_token(v: &Value) -> String {
     match v {
         Value::Bool(b) => format!("b{}", *b as u8),
         Value::Tristate(t) => format!("t{t}"),
@@ -476,7 +476,7 @@ fn value_token(v: &Value) -> String {
     }
 }
 
-fn token_value(s: &str) -> Option<Value> {
+pub(crate) fn token_value(s: &str) -> Option<Value> {
     let rest = s.get(1..)?;
     match s.as_bytes().first()? {
         b'b' => match rest {
@@ -491,7 +491,7 @@ fn token_value(s: &str) -> Option<Value> {
     }
 }
 
-fn config_json(config: &Configuration) -> JsonValue {
+pub(crate) fn config_json(config: &Configuration) -> JsonValue {
     JsonValue::Arr(
         config
             .values()
@@ -501,7 +501,7 @@ fn config_json(config: &Configuration) -> JsonValue {
     )
 }
 
-fn config_from_json(v: &JsonValue) -> Option<Configuration> {
+pub(crate) fn config_from_json(v: &JsonValue) -> Option<Configuration> {
     let items = v.as_arr()?;
     let mut values = Vec::with_capacity(items.len());
     for item in items {
@@ -517,7 +517,7 @@ fn opt_f64(v: Option<f64>) -> JsonValue {
     }
 }
 
-fn phase_str(p: Phase) -> &'static str {
+pub(crate) fn phase_str(p: Phase) -> &'static str {
     match p {
         Phase::Build => "build",
         Phase::Boot => "boot",
@@ -525,7 +525,7 @@ fn phase_str(p: Phase) -> &'static str {
     }
 }
 
-fn phase_from_str(s: &str) -> Option<Phase> {
+pub(crate) fn phase_from_str(s: &str) -> Option<Phase> {
     match s {
         "build" => Some(Phase::Build),
         "boot" => Some(Phase::Boot),

@@ -14,6 +14,33 @@
 //! Benchmark repetitions stay concurrent too, but their durations are
 //! charged *sequentially* to the candidate ("all test configurations are
 //! benchmarked one after the other" — experiments are never co-located).
+//!
+//! # Examples
+//!
+//! A candidate's outcome derives only from `(session_seed, index)`:
+//! evaluating it twice — as different lanes, backends, or machines
+//! would — produces the bit-identical result:
+//!
+//! ```
+//! use wf_kconfig::LinuxVersion;
+//! use wf_ossim::{App, AppId, SimOs};
+//! use wf_platform::workers::evaluate_candidate;
+//! use wf_platform::{derive_seed, EvalTarget, SimTarget};
+//!
+//! // Independent streams, not adjacent seeds.
+//! assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+//!
+//! let target = SimTarget::new(
+//!     SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+//!     App::by_id(AppId::Nginx),
+//! );
+//! let config = target.space().default_config();
+//! let (mut tree_a, mut tree_b) = (None, None);
+//! let (a, _) = evaluate_candidate(&target, &config, 3, 42, 2, None, &mut tree_a);
+//! let (b, _) = evaluate_candidate(&target, &config, 3, 42, 2, None, &mut tree_b);
+//! assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+//! assert_eq!(a.outcome.is_ok(), b.outcome.is_ok());
+//! ```
 
 use crate::cache::SharedImageCache;
 use crate::target::EvalTarget;

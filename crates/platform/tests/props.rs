@@ -2,11 +2,13 @@
 //! and the metric post-processing invariants the figures rely on.
 
 use proptest::prelude::*;
+use std::os::unix::net::UnixStream;
 use wf_jobfile::Budget;
 use wf_kconfig::LinuxVersion;
 use wf_ossim::{App, AppId, SimOs};
 use wf_platform::{
-    min_max_normalize, rolling_crash_rate, throughput_memory_score, Series, Session, SessionSpec,
+    min_max_normalize, rolling_crash_rate, serve, throughput_memory_score, EvalBackend,
+    InProcessBackend, RemoteBackend, Series, Session, SessionSpec, SimTarget, SpawnBackend,
 };
 use wf_search::RandomSearch;
 
@@ -23,24 +25,57 @@ struct SessionTrace {
     elapsed_s: f64,
 }
 
-fn run_traced(seed: u64, workers: usize, iterations: usize) -> SessionTrace {
-    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 56);
-    let app = App::by_id(AppId::Nginx);
-    let mut session = Session::new(
-        os,
-        app,
-        Box::new(RandomSearch::new()),
-        SessionSpec {
-            budget: Budget {
-                iterations: Some(iterations),
-                time_seconds: None,
-            },
-            seed,
-            workers,
-            repetitions: 2,
-            ..SessionSpec::default()
+fn fixture_target() -> SimTarget {
+    SimTarget::new(
+        SimOs::linux_runtime(LinuxVersion::V4_19, 56),
+        App::by_id(AppId::Nginx),
+    )
+}
+
+/// The three backend families the determinism contract quantifies over.
+/// "Remote" is the real wire protocol: one `serve` loop per lane on the
+/// far side of a socketpair, each materializing the fixture target the
+/// way a `wf-evald` process would.
+#[derive(Clone, Copy, Debug)]
+enum BackendKind {
+    Spawn,
+    InProcess,
+    Remote,
+}
+
+fn make_backend(kind: BackendKind, workers: usize) -> Box<dyn EvalBackend> {
+    match kind {
+        BackendKind::Spawn => Box::new(SpawnBackend::new()),
+        BackendKind::InProcess => Box::new(InProcessBackend::new(workers)),
+        BackendKind::Remote => {
+            let mut streams = Vec::new();
+            for lane in 0..workers {
+                let (ours, theirs) = UnixStream::pair().expect("socketpair");
+                std::thread::spawn(move || {
+                    let target = fixture_target();
+                    let _ = serve(theirs, lane, &target);
+                });
+                streams.push(ours);
+            }
+            Box::new(RemoteBackend::from_streams(streams).expect("remote handshake"))
+        }
+    }
+}
+
+fn fixture_spec(seed: u64, workers: usize, iterations: usize) -> SessionSpec {
+    SessionSpec {
+        budget: Budget {
+            iterations: Some(iterations),
+            time_seconds: None,
         },
-    );
+        seed,
+        workers,
+        repetitions: 2,
+        ..SessionSpec::default()
+    }
+}
+
+fn trace(mut session: Session) -> SessionTrace {
     let summary = session.run();
     SessionTrace {
         history: session
@@ -61,6 +96,26 @@ fn run_traced(seed: u64, workers: usize, iterations: usize) -> SessionTrace {
         compute_s: summary.compute_s,
         elapsed_s: summary.elapsed_s,
     }
+}
+
+fn run_traced(seed: u64, workers: usize, iterations: usize) -> SessionTrace {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 56);
+    let app = App::by_id(AppId::Nginx);
+    trace(Session::new(
+        os,
+        app,
+        Box::new(RandomSearch::new()),
+        fixture_spec(seed, workers, iterations),
+    ))
+}
+
+fn run_traced_on(kind: BackendKind, seed: u64, workers: usize, iterations: usize) -> SessionTrace {
+    trace(Session::with_backend(
+        Box::new(fixture_target()),
+        Box::new(RandomSearch::new()),
+        fixture_spec(seed, workers, iterations),
+        make_backend(kind, workers),
+    ))
 }
 
 proptest! {
@@ -89,6 +144,36 @@ proptest! {
             prop_assert!((t.compute_s - reference.compute_s).abs() < 1e-6 * reference.compute_s.max(1.0));
             // Overlapping evaluations can only shorten the wall clock.
             prop_assert!(t.elapsed_s <= reference.elapsed_s + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    // Each case runs 12 full sessions (3 backends × 4 widths), the
+    // remote ones over the real wire protocol, so fewer cases than the
+    // worker-count test keep the suite fast while still sweeping seeds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The backend choice is not allowed to exist, observably: spawned
+    /// threads, the persistent in-process pool, and remote workers
+    /// behind the `wf-evald` socket protocol all produce the identical
+    /// history, best configuration, and compute clock as a 1-worker
+    /// reference, at every pool width.
+    #[test]
+    fn sessions_are_backend_invariant(seed in any::<u64>(), iters in 6usize..12) {
+        let reference = run_traced(seed, 1, iters);
+        for kind in [BackendKind::Spawn, BackendKind::InProcess, BackendKind::Remote] {
+            for workers in [1usize, 2, 4, 8] {
+                let t = run_traced_on(kind, seed, workers, iters);
+                prop_assert_eq!(
+                    &t.history, &reference.history,
+                    "history diverged on {:?} at {} workers", kind, workers
+                );
+                prop_assert_eq!(t.best_config, reference.best_config);
+                prop_assert_eq!(t.best_metric, reference.best_metric);
+                prop_assert!((t.compute_s - reference.compute_s).abs() < 1e-6 * reference.compute_s.max(1.0));
+                prop_assert!(t.elapsed_s <= reference.elapsed_s + 1e-9);
+            }
         }
     }
 }

@@ -1,0 +1,116 @@
+//! `wf-evald`: the Wayfinder remote evaluation worker.
+//!
+//! `wf_platform::RemoteBackend` launches one `wf-evald` process per
+//! evaluator lane. Each worker connects back over the Unix socket named
+//! by `--connect`, announces its `--lane` in a hello frame, rebuilds
+//! the evaluation target from the session's *resolved* job (shipped
+//! inline via `--job-inline`, or a file via `--job`), and then serves
+//! the length-prefixed eval protocol until the session closes the
+//! stream:
+//!
+//! ```sh
+//! wf-evald --job-inline "$(cat resolved.yaml)" --connect /tmp/wf.sock --lane 0
+//! ```
+//!
+//! Because the job is the fully resolved manifest (every omitted key
+//! already expanded), every worker materializes the exact same target
+//! the session dispatches to — same space, same pins, same app — which
+//! is what keeps remote evaluation bit-identical to in-process.
+
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+use wayfinder::core::target_from_job;
+use wayfinder::platform::serve;
+use wayfinder::prelude::*;
+
+const USAGE: &str = "usage:\n  wf-evald (--job-inline YAML | --job PATH) --connect SOCKET --lane N\n                              serve the Wayfinder remote-eval protocol for\n                              one lane over the given Unix socket; normally\n                              launched by a session's remote backend, not\n                              by hand";
+
+struct Args {
+    job_yaml: String,
+    connect: String,
+    lane: usize,
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut job_yaml: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut lane: Option<usize> = None;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        let v = rest
+            .get(*i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        *i += 2;
+        Ok(v.clone())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--job-inline" => job_yaml = Some(value(&mut i, "--job-inline")?),
+            "--job" => {
+                let path = value(&mut i, "--job")?;
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                job_yaml = Some(text);
+            }
+            "--connect" => connect = Some(value(&mut i, "--connect")?),
+            "--lane" => {
+                let v = value(&mut i, "--lane")?;
+                lane = Some(
+                    v.parse()
+                        .map_err(|_| format!("--lane must be an integer, got {v:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        job_yaml: job_yaml.ok_or("a job is required (--job-inline or --job)")?,
+        connect: connect.ok_or("--connect <socket> is required")?,
+        lane: lane.ok_or("--lane <n> is required")?,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(argv.first().map(String::as_str), Some("--help" | "-h")) {
+        println!("wf-evald: Wayfinder remote evaluation worker");
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("wf-evald: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let job = match Job::parse(&args.job_yaml) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("wf-evald: invalid job: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let target = match target_from_job(&job, &wayfinder::scenarios::registry()) {
+        Ok(target) => target,
+        Err(e) => {
+            eprintln!("wf-evald: cannot materialize target: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match UnixStream::connect(&args.connect) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("wf-evald: cannot connect to {}: {e}", args.connect);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Serve until the session closes the socket (EOF = clean shutdown).
+    match serve(stream, args.lane, target.as_ref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wf-evald: lane {} protocol error: {e}", args.lane);
+            ExitCode::FAILURE
+        }
+    }
+}

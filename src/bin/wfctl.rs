@@ -31,6 +31,7 @@ use wayfinder::ossim::{first_crash, SimOs, SysctlTree};
 use wayfinder::platform::{probe_runtime_space, SessionStore, Tee};
 use wayfinder::prelude::*;
 use wf_configspace::{ConfigSpace, NamedConfig, Value};
+use wf_jobfile::{BackendChoice, RoutingStrategy};
 use wf_kconfig::LinuxVersion;
 use wf_platform::EventSink;
 
@@ -69,7 +70,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR] [--backend B] [--routing R]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl.\n                              --backend picks where evaluations execute\n                              (spawn | in-process | remote; remote launches\n                              one wf-evald process per worker); --routing\n                              picks the slot->lane strategy (random |\n                              fastest | round-robin | preferred)\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
 
 /// Parses one flag value, advancing the cursor.
 fn flag_value(rest: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -107,6 +108,8 @@ struct RunArgs {
     repetitions: Option<usize>,
     seed: Option<u64>,
     out: Option<String>,
+    backend: Option<BackendChoice>,
+    routing: Option<RoutingStrategy>,
 }
 
 impl RunArgs {
@@ -121,6 +124,8 @@ impl RunArgs {
             repetitions: None,
             seed: None,
             out: None,
+            backend: None,
+            routing: None,
         };
         let mut i = 0;
         while i < rest.len() {
@@ -168,6 +173,20 @@ impl RunArgs {
                             .parse()
                             .map_err(|_| format!("--seed must be an integer, got {value:?}"))?,
                     );
+                }
+                "--backend" => {
+                    let value = flag_value(rest, &mut i, "--backend")?;
+                    run.backend = Some(BackendChoice::parse_keyword(&value).ok_or_else(|| {
+                        format!("--backend must be spawn, in-process, or remote, got {value:?}")
+                    })?);
+                }
+                "--routing" => {
+                    let value = flag_value(rest, &mut i, "--routing")?;
+                    run.routing = Some(RoutingStrategy::parse_keyword(&value).ok_or_else(|| {
+                        format!(
+                            "--routing must be random, fastest, round-robin, or preferred, got {value:?}"
+                        )
+                    })?);
                 }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
                 operand => {
@@ -506,6 +525,12 @@ fn run_job(run: &RunArgs) -> ExitCode {
     if let Some(seed) = run.seed {
         builder = builder.seed(seed);
     }
+    if let Some(backend) = run.backend {
+        builder = builder.backend(backend);
+    }
+    if let Some(routing) = run.routing {
+        builder = builder.routing(routing);
+    }
     let session = match builder.build() {
         Ok(s) => s,
         Err(e) => return report_build_error("cannot build session", &e),
@@ -645,6 +670,18 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
     print!("{}", perf::render_table(&results));
     if let Some(path) = &args.out {
         let json = perf::to_json(&results, args.quick);
+        // `--out bench/out.json` into a directory that does not exist yet
+        // should just work: create the parents rather than surfacing a
+        // raw ENOENT after minutes of timing.
+        if let Some(parent) = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+        {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {} for --out: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -28,7 +28,12 @@ fn quick_bench_covers_every_declared_op_and_is_shape_stable() {
     let dir = std::env::temp_dir().join(format!("wf-bench-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
 
-    let first = run_bench(&dir.join("first.json"));
+    // `--out` into a directory that does not exist yet must create the
+    // parents rather than fail with a raw ENOENT after the whole suite
+    // has already been timed.
+    let nested = dir.join("fresh").join("sub").join("first.json");
+    assert!(!nested.parent().unwrap().exists());
+    let first = run_bench(&nested);
     let declared = perf::declared_ops();
     let emitted: Vec<(String, u64)> = first.iter().map(|r| (r.op.clone(), r.n)).collect();
     assert_eq!(
