@@ -12,6 +12,9 @@
 //!   [`targets::TargetFactory`]s, the five paper targets ship
 //!   pre-registered, and downstream crates register new scenarios without
 //!   touching the core loop;
+//! * [`daemon_host`] — glue hosting the `wfd` multi-tenant daemon:
+//!   [`RegistryLauncher`] builds and drives one stored session per
+//!   submitted job on the daemon's session threads;
 //! * [`scale`] — full (paper-sized) vs reduced experiment budgets;
 //! * [`experiments`] — one runner per table/figure of the evaluation
 //!   (see DESIGN.md §3 for the index);
@@ -36,12 +39,14 @@
 //! assert!(outcome.best.is_some());
 //! ```
 
+pub mod daemon_host;
 pub mod experiments;
 pub mod report;
 pub mod scale;
 pub mod session;
 pub mod targets;
 
+pub use daemon_host::{bind_daemon, RegistryLauncher};
 pub use report::{store_report, wave_stats_table, Table};
 pub use scale::Scale;
 pub use session::{

@@ -129,6 +129,12 @@ pub enum BuildError {
         /// The contested keyword.
         keyword: String,
     },
+    /// The evaluation backend could not be constructed (e.g. remote
+    /// workers failed to launch).
+    Backend {
+        /// The underlying launch failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -169,6 +175,7 @@ impl fmt::Display for BuildError {
             }
             BuildError::MissingBudget => f.write_str("a session needs an iteration or time budget"),
             BuildError::BadPin { message } => write!(f, "bad pin: {message}"),
+            BuildError::Backend { message } => write!(f, "backend: {message}"),
             BuildError::DuplicateKeyword { keyword } => {
                 write!(f, "target keyword {keyword:?} is already registered")
             }
@@ -615,6 +622,9 @@ impl SessionBuilder {
             routing: self.routing,
             runtime_params: Some(self.runtime_params),
             out: None,
+            // A store's manifest never points back at a daemon root: the
+            // store already lives wherever it was created.
+            daemon: None,
             budget: spec.budget,
             pinned: self
                 .pins
@@ -653,7 +663,8 @@ impl SessionBuilder {
             }
         };
         Ok(SpecializationSession {
-            inner: Session::with_target(target, algorithm, spec),
+            inner: Session::try_with_target(target, algorithm, spec)
+                .map_err(|message| BuildError::Backend { message })?,
             resolved,
         })
     }
@@ -770,6 +781,26 @@ impl SpecializationSession {
             best: summary.best_config.clone().zip(summary.best_objective),
             summary,
         }
+    }
+
+    /// Like [`SpecializationSession::run_with`], but checks `should_stop`
+    /// at every wave boundary and returns early when it answers `true`.
+    /// The second element reports whether the budget ran to exhaustion;
+    /// on an early stop no `SessionFinished` event is emitted, so a store
+    /// fed from the sink remains resumable with zero lost waves.
+    pub fn run_with_until(
+        &mut self,
+        sink: &mut dyn EventSink,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> (Outcome, bool) {
+        let (summary, completed) = self.inner.run_with_until(sink, should_stop);
+        (
+            Outcome {
+                best: summary.best_config.clone().zip(summary.best_objective),
+                summary,
+            },
+            completed,
+        )
     }
 
     /// Iterator-style driver: each `next()` returns the next

@@ -268,6 +268,10 @@ pub struct Job {
     /// Session-store directory: when set, `wfctl run` persists the
     /// manifest and event log here (`None` = in-memory only).
     pub out: Option<String>,
+    /// Daemon state root: `wfctl submit` sends this job to the `wfd`
+    /// daemon serving this directory when no `--daemon` flag or
+    /// `WF_DAEMON` variable overrides it (`None` = no default daemon).
+    pub daemon: Option<String>,
     /// Budget.
     pub budget: Budget,
     /// Pinned parameters.
@@ -293,6 +297,7 @@ impl Default for Job {
             routing: RoutingStrategy::RoundRobin,
             runtime_params: None,
             out: None,
+            daemon: None,
             budget: Budget {
                 iterations: Some(250),
                 time_seconds: None,
@@ -450,6 +455,7 @@ impl Job {
                         )
                 }
                 "out" => job.out = Some(req_str(value, "out")?),
+                "daemon" => job.daemon = Some(req_str(value, "daemon")?),
                 "budget" => {
                     let mut b = Budget::default();
                     for (bk, bv) in value
@@ -541,6 +547,9 @@ impl Job {
         }
         if let Some(out) = &self.out {
             root.push(("out".into(), Yaml::Str(out.clone())));
+        }
+        if let Some(daemon) = &self.daemon {
+            root.push(("daemon".into(), Yaml::Str(daemon.clone())));
         }
         let mut budget = Vec::new();
         if let Some(it) = self.budget.iterations {
@@ -814,6 +823,7 @@ repetitions: 3
 workers: 4
 runtime_params: 120
 out: runs/nginx-tuning
+daemon: runs/wfd
 budget:
   iterations: 250
   time_seconds: 18000
@@ -849,6 +859,7 @@ params:
         assert_eq!(job.workers, Some(4));
         assert_eq!(job.runtime_params, Some(120));
         assert_eq!(job.out.as_deref(), Some("runs/nginx-tuning"));
+        assert_eq!(job.daemon.as_deref(), Some("runs/wfd"));
         assert_eq!(job.budget.iterations, Some(250));
         assert_eq!(job.budget.time_seconds, Some(18000.0));
         assert_eq!(job.params.len(), 3);

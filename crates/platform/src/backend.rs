@@ -203,6 +203,7 @@ impl EvalBackend for SpawnBackend {
                 .map(|item| Ok(run_one(target.as_ref(), session_seed, repetitions, item)))
                 .collect();
         }
+        let slots: Vec<usize> = items.iter().map(|item| item.slot).collect();
         thread::scope(|scope| {
             let handles: Vec<_> = items
                 .into_iter()
@@ -213,10 +214,35 @@ impl EvalBackend for SpawnBackend {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| Ok(h.join().expect("worker thread panicked")))
+                .zip(&slots)
+                .enumerate()
+                .map(|(lane, (handle, &slot))| {
+                    // A panicking evaluation becomes this item's LaneError
+                    // (the router reroutes it); it must not take down the
+                    // session thread.
+                    handle.join().map_err(|_| LaneError {
+                        slot,
+                        lane,
+                        message: "worker thread panicked".to_string(),
+                    })
+                })
                 .collect()
         })
-        .expect("crossbeam scope")
+        .unwrap_or_else(|_| {
+            // Unreachable in practice — every handle above was joined —
+            // but a scope failure must still yield one result per item.
+            slots
+                .iter()
+                .enumerate()
+                .map(|(lane, &slot)| {
+                    Err(LaneError {
+                        slot,
+                        lane,
+                        message: "worker scope panicked".to_string(),
+                    })
+                })
+                .collect()
+        })
     }
 }
 
@@ -306,12 +332,21 @@ impl InProcessBackend {
                         }));
                         return; // a panicked worker does not take new work
                     }
-                })
-                .expect("spawn worker thread");
-            self.lanes.push(Worker {
-                sender: Some(tx),
-                thread: Some(thread),
-            });
+                });
+            // A lane whose thread cannot spawn degrades to a dead lane:
+            // run_items fails its items with "worker thread is gone" and
+            // the router reroutes them, instead of the whole session
+            // panicking over one exhausted thread quota.
+            match thread {
+                Ok(thread) => self.lanes.push(Worker {
+                    sender: Some(tx),
+                    thread: Some(thread),
+                }),
+                Err(_) => self.lanes.push(Worker {
+                    sender: None,
+                    thread: None,
+                }),
+            }
         }
     }
 }

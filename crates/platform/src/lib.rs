@@ -30,13 +30,19 @@
 //! * [`events`] — the typed [`SessionEvent`] stream and [`EventSink`]
 //!   observer interface (`run_with`/`step_wave_with` emit through it);
 //! * [`store`] — on-disk session stores: a job-file manifest plus an
-//!   append-only `events.jsonl`, written by [`store::JsonlSink`] and
-//!   reloaded by [`store::SessionStore`] for offline reports and
-//!   deterministic resume ([`Session::replay`]).
+//!   append-only, hash-chained `events.jsonl`, written by
+//!   [`store::JsonlSink`] and reloaded by [`store::SessionStore`] for
+//!   offline reports and deterministic resume ([`Session::replay`]);
+//! * [`daemon`] — the `wfd` multi-tenant session daemon: a Unix-socket
+//!   API over a state root with one supervised thread and store per
+//!   session;
+//! * [`signal`] — the cooperative SIGINT/SIGTERM flag drive loops check
+//!   at wave boundaries so interrupts never tear the ledger.
 
 pub mod backend;
 pub mod cache;
 pub mod clock;
+pub mod daemon;
 pub mod events;
 pub mod history;
 pub mod metrics;
@@ -44,6 +50,7 @@ pub mod pipeline;
 pub mod prober;
 pub mod remote;
 pub mod router;
+pub mod signal;
 pub mod store;
 pub mod target;
 pub mod workers;
@@ -51,6 +58,9 @@ pub mod workers;
 pub use backend::{EvalBackend, InProcessBackend, LaneError, SpawnBackend, WorkItem, WorkResult};
 pub use cache::{ImageCache, SharedImageCache};
 pub use clock::VirtualClock;
+pub use daemon::{
+    lock_recover, Daemon, SessionControl, SessionEntry, SessionLauncher, SessionStatus, SocketSink,
+};
 pub use events::{EventSink, NullSink, RecordingSink, SessionEvent, Tee};
 pub use history::{History, Record};
 pub use metrics::{

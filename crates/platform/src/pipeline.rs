@@ -307,28 +307,42 @@ impl Session {
     ///
     /// # Panics
     ///
-    /// Panics if `spec.backend` is [`BackendChoice::Remote`] and
-    /// `spec.remote` is `None` or the workers cannot be launched.
+    /// Panics if the backend cannot be constructed; callers that need to
+    /// report the failure instead use [`Session::try_with_target`].
     pub fn with_target(
         target: Box<dyn EvalTarget>,
         algorithm: Box<dyn SearchAlgorithm>,
         spec: SessionSpec,
     ) -> Self {
+        match Session::try_with_target(target, algorithm, spec) {
+            Ok(session) => session,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// Fallible [`Session::with_target`]: a [`BackendChoice::Remote`]
+    /// spec with no launch command, or remote workers that fail to come
+    /// up, is an `Err` instead of a panic.
+    pub fn try_with_target(
+        target: Box<dyn EvalTarget>,
+        algorithm: Box<dyn SearchAlgorithm>,
+        spec: SessionSpec,
+    ) -> Result<Self, String> {
         let workers = spec.workers.max(1);
         let backend: Box<dyn EvalBackend> = match spec.backend {
             BackendChoice::Spawn => Box::new(SpawnBackend::new()),
             BackendChoice::InProcess => Box::new(InProcessBackend::new(workers)),
             BackendChoice::Remote => {
-                let remote = spec
-                    .remote
-                    .as_ref()
-                    .expect("the remote backend needs a worker launch spec (spec.remote)");
+                let remote = spec.remote.as_ref().ok_or_else(|| {
+                    "the remote backend needs a worker launch spec (spec.remote)".to_string()
+                })?;
                 Box::new(
-                    RemoteBackend::spawn(workers, remote).expect("cannot launch remote workers"),
+                    RemoteBackend::spawn(workers, remote)
+                        .map_err(|e| format!("cannot launch remote workers: {e}"))?,
                 )
             }
         };
-        Session::with_backend(target, algorithm, spec, backend)
+        Ok(Session::with_backend(target, algorithm, spec, backend))
     }
 
     /// Creates a session over an explicit, already-constructed backend
@@ -582,13 +596,31 @@ impl Session {
     /// wave's events, then `SessionFinished`. Outcomes are byte-for-byte
     /// identical to [`Session::run`] — sinks observe, never steer.
     pub fn run_with(&mut self, sink: &mut dyn EventSink) -> SessionSummary {
+        self.run_with_until(sink, &mut || false).0
+    }
+
+    /// Like [`Session::run_with`], but checks `should_stop` at every wave
+    /// boundary — the only points where the store is consistent — and
+    /// returns early when it answers `true`. Returns the summary plus
+    /// whether the budget actually ran to exhaustion; `SessionFinished`
+    /// is only emitted on completion, so an interrupted store stays
+    /// resumable. This is what `wfctl`'s SIGINT handling and the `wfd`
+    /// daemon's stop requests drive.
+    pub fn run_with_until(
+        &mut self,
+        sink: &mut dyn EventSink,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> (SessionSummary, bool) {
         sink.on_event(&self.start_event());
         while !self.done() {
+            if should_stop() {
+                return (self.summary(), false);
+            }
             self.step_wave_with(sink);
         }
         let summary = self.summary();
         sink.on_event(&SessionEvent::SessionFinished(summary.clone()));
-        summary
+        (summary, true)
     }
 
     /// The `SessionStarted` event describing this session right now

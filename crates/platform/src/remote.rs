@@ -344,6 +344,59 @@ struct RemoteLane {
     child: Option<Child>,
 }
 
+/// Accepts one hello-announced connection per worker, in any arrival
+/// order, returning the streams in lane order. `children` is only
+/// polled (`try_wait`) to detect a worker that died before connecting;
+/// ownership stays with the caller so its error path can reap them.
+fn accept_workers(
+    listener: &UnixListener,
+    workers: usize,
+    children: &mut [Child],
+) -> io::Result<Vec<UnixStream>> {
+    let mut streams: Vec<Option<UnixStream>> = (0..workers).map(|_| None).collect();
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    let mut connected = 0;
+    while connected < workers {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let mut stream = stream;
+                let hello =
+                    read_frame(&mut stream)?.ok_or_else(|| bad("worker hung up before hello"))?;
+                let lane = hello
+                    .get("lane")
+                    .and_then(JsonValue::as_usize)
+                    .filter(|l| *l < workers)
+                    .ok_or_else(|| bad("malformed hello frame"))?;
+                if streams[lane].is_some() {
+                    return Err(bad("two workers announced the same lane"));
+                }
+                streams[lane] = Some(stream);
+                connected += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                for child in children.iter_mut() {
+                    if let Some(status) = child.try_wait()? {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            format!("worker exited before connecting: {status}"),
+                        ));
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "workers did not connect within the timeout",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(streams.into_iter().flatten().collect())
+}
+
 /// Worker processes (or test threads) behind sockets, one per lane.
 ///
 /// Construct with [`RemoteBackend::spawn`] to launch real worker
@@ -359,7 +412,11 @@ static SOCKET_SERIAL: AtomicUsize = AtomicUsize::new(0);
 
 impl RemoteBackend {
     /// Launches `workers` worker processes per `spec` and waits for all
-    /// of them to dial in and announce their lanes.
+    /// of them to dial in and announce their lanes. On *any* launch
+    /// failure — a spawn error, a malformed hello, a worker dying early,
+    /// or the connect timeout — every child already launched is killed
+    /// and reaped before the error returns, so a failed launch never
+    /// leaks worker processes.
     pub fn spawn(workers: usize, spec: &RemoteSpec) -> io::Result<RemoteBackend> {
         assert!(workers >= 1, "a backend needs at least one lane");
         let socket_path = std::env::temp_dir().join(format!(
@@ -371,77 +428,52 @@ impl RemoteBackend {
         let listener = UnixListener::bind(&socket_path)?;
         listener.set_nonblocking(true)?;
 
-        let mut children = Vec::with_capacity(workers);
-        for lane in 0..workers {
-            let child = Command::new(&spec.command)
-                .args(&spec.args)
-                .arg("--connect")
-                .arg(&socket_path)
-                .arg("--lane")
-                .arg(lane.to_string())
-                .stdin(Stdio::null())
-                .spawn()
-                .map_err(|e| {
-                    io::Error::new(
-                        e.kind(),
-                        format!("cannot launch worker {:?}: {e}", spec.command),
-                    )
-                })?;
-            children.push(Some(child));
-        }
-
-        let mut lanes: Vec<Option<RemoteLane>> = (0..workers).map(|_| None).collect();
-        let deadline = Instant::now() + CONNECT_TIMEOUT;
-        let mut connected = 0;
-        while connected < workers {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    let mut stream = stream;
-                    let hello = read_frame(&mut stream)?
-                        .ok_or_else(|| bad("worker hung up before hello"))?;
-                    let lane = hello
-                        .get("lane")
-                        .and_then(JsonValue::as_usize)
-                        .filter(|l| *l < workers)
-                        .ok_or_else(|| bad("malformed hello frame"))?;
-                    if lanes[lane].is_some() {
-                        return Err(bad("two workers announced the same lane"));
-                    }
-                    lanes[lane] = Some(RemoteLane {
+        // Children stay in this vec until the whole launch succeeds, so
+        // the error path below can reap every process it started.
+        let mut children: Vec<Child> = Vec::with_capacity(workers);
+        let outcome = (|| -> io::Result<Vec<UnixStream>> {
+            for lane in 0..workers {
+                let child = Command::new(&spec.command)
+                    .args(&spec.args)
+                    .arg("--connect")
+                    .arg(&socket_path)
+                    .arg("--lane")
+                    .arg(lane.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| {
+                        io::Error::new(
+                            e.kind(),
+                            format!("cannot launch worker {:?}: {e}", spec.command),
+                        )
+                    })?;
+                children.push(child);
+            }
+            accept_workers(&listener, workers, &mut children)
+        })();
+        let _ = std::fs::remove_file(&socket_path);
+        match outcome {
+            Ok(streams) => Ok(RemoteBackend {
+                // Worker `i` was launched with `--lane i`, so child order
+                // is lane order.
+                lanes: streams
+                    .into_iter()
+                    .zip(children)
+                    .map(|(stream, child)| RemoteLane {
                         stream: Some(stream),
-                        child: children[lane].take(),
-                    });
-                    connected += 1;
+                        child: Some(child),
+                    })
+                    .collect(),
+                socket_path: Some(socket_path),
+            }),
+            Err(e) => {
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    for child in children.iter_mut().flatten() {
-                        if let Some(status) = child.try_wait()? {
-                            return Err(io::Error::new(
-                                io::ErrorKind::BrokenPipe,
-                                format!("worker exited before connecting: {status}"),
-                            ));
-                        }
-                    }
-                    if Instant::now() >= deadline {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "workers did not connect within the timeout",
-                        ));
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
+                Err(e)
             }
         }
-        let _ = std::fs::remove_file(&socket_path);
-        Ok(RemoteBackend {
-            lanes: lanes
-                .into_iter()
-                .map(|l| l.expect("all connected"))
-                .collect(),
-            socket_path: Some(socket_path),
-        })
     }
 
     /// Wraps pre-connected streams whose peers already run [`serve`].
@@ -478,6 +510,17 @@ impl RemoteBackend {
     /// Number of worker lanes.
     pub fn workers(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// OS pids of the worker processes this backend launched (empty for
+    /// [`RemoteBackend::from_streams`] backends, which own no
+    /// processes). The teardown tests record these before dropping the
+    /// backend and assert none of them survive it.
+    pub fn child_pids(&self) -> Vec<u32> {
+        self.lanes
+            .iter()
+            .filter_map(|lane| lane.child.as_ref().map(Child::id))
+            .collect()
     }
 }
 

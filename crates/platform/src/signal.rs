@@ -1,0 +1,95 @@
+//! Cooperative interrupt handling for long-running sessions.
+//!
+//! `wfctl run`/`resume` and the `wfd` daemon install a process-wide flag
+//! that SIGINT/SIGTERM set instead of killing the process mid-write.
+//! The drive loops check the flag at wave boundaries — the only points
+//! where the store is consistent — flush their sinks, and exit cleanly,
+//! so an interrupt loses at most the in-flight wave and never tears
+//! `events.jsonl` mid-line.
+//!
+//! The handler is a raw `libc` `signal(2)` binding (the std library has
+//! no signal API and the build is offline): it only stores to an
+//! [`AtomicBool`], which is async-signal-safe.
+//!
+//! # Examples
+//!
+//! ```
+//! use wf_platform::signal;
+//!
+//! let flag = signal::install_interrupt_flag();
+//! assert!(!signal::interrupted());
+//! // A drive loop would check `flag` between waves:
+//! if !flag.load(std::sync::atomic::Ordering::Relaxed) {
+//!     // ... run the next wave ...
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// SIGINT on every platform this builds on (POSIX).
+const SIGINT: i32 = 2;
+/// SIGTERM on every platform this builds on (POSIX).
+const SIGTERM: i32 = 15;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// `SIG_DFL`: the default disposition, restored on the second signal.
+const SIG_DFL: usize = 0;
+
+extern "C" {
+    // `signal(2)` and `raise(3)` from libc, which every Rust binary
+    // already links. `sighandler_t` is a pointer-sized function address.
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn raise(signum: i32) -> i32;
+}
+
+extern "C" fn on_signal(signum: i32) {
+    // An atomic swap plus (on the escalation path) signal/raise — all
+    // async-signal-safe.
+    if INTERRUPTED.swap(true, Ordering::SeqCst) {
+        unsafe {
+            signal(signum, SIG_DFL);
+            raise(signum);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the flag
+/// it sets. The first signal flips the flag; a second signal while the
+/// flag is already set falls back to the default disposition, so a stuck
+/// session can still be killed with a second Ctrl-C.
+pub fn install_interrupt_flag() -> &'static AtomicBool {
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    &INTERRUPTED
+}
+
+/// Whether an interrupt has been requested since
+/// [`install_interrupt_flag`] ran.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Clears the flag (tests; or a driver that handled one interrupt and
+/// wants to keep running).
+pub fn reset_interrupt_flag() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_resets() {
+        let flag = install_interrupt_flag();
+        reset_interrupt_flag();
+        assert!(!interrupted());
+        flag.store(true, Ordering::SeqCst);
+        assert!(interrupted());
+        reset_interrupt_flag();
+        assert!(!interrupted());
+    }
+}

@@ -10,7 +10,10 @@
 //! * `events.jsonl` — every [`SessionEvent`] as one versioned JSON line,
 //!   written by [`JsonlSink`] through a small hand-rolled encoder (no
 //!   external dependencies) with escape-correct strings and round-trip
-//!   floats.
+//!   floats. Version-2 lines are hash-chained: each carries `prev`, the
+//!   FNV-1a hash of the line before it ([`line_hash`]), so the loader —
+//!   and [`SessionStore::verify_chain`] — detect any edit or truncation
+//!   other than a torn tail.
 //!
 //! [`SessionStore::load`] replays the lines into the stored records and
 //! wave shapes; [`crate::Session::replay`] then rebuilds a live session
@@ -76,8 +79,49 @@ use wf_ossim::Phase;
 pub const MANIFEST_FILE: &str = "manifest.yaml";
 /// The event-log file name inside a store directory.
 pub const EVENTS_FILE: &str = "events.jsonl";
-/// The store format version stamped on every event line.
-pub const FORMAT_VERSION: i64 = 1;
+/// The store format version stamped on every event line. Version 2 added
+/// per-record hash chaining: every line carries `prev`, the [`line_hash`]
+/// of the line before it, so truncation or edits anywhere but the torn
+/// tail are detected on load.
+pub const FORMAT_VERSION: i64 = 2;
+/// The pre-hash-chain store format version. The loader still accepts
+/// version-1 lines (they carry no `prev`), and a sink appending to a
+/// legacy log chains its first new line off the legacy tail.
+pub const LEGACY_FORMAT_VERSION: i64 = 1;
+
+/// The chain state before any line exists: the [`line_hash`] of zero
+/// bytes (the FNV-1a 64-bit offset basis). The first line of a log
+/// carries this value in its `prev` field.
+pub const CHAIN_GENESIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit hash of one event-log line (excluding its trailing
+/// newline). Each version-2 line stores the hash of the line before it
+/// in its `prev` field; because that field is itself part of the hashed
+/// bytes, the chain commits to the whole log prefix, not just the
+/// neighbouring line.
+///
+/// # Examples
+///
+/// ```
+/// use wf_platform::store::{line_hash, CHAIN_GENESIS};
+///
+/// assert_eq!(line_hash(""), CHAIN_GENESIS);
+/// assert_ne!(line_hash("{\"v\":2}"), line_hash("{\"v\":2} "));
+/// ```
+pub fn line_hash(line: &str) -> u64 {
+    let mut hash = CHAIN_GENESIS;
+    for byte in line.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical hex spelling of a chain hash, as stored in `prev`
+/// fields: 16 lowercase hex digits, zero-padded.
+pub fn chain_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
 
 // ---------------------------------------------------------------------------
 // A minimal JSON value, encoder, and parser.
@@ -699,6 +743,7 @@ pub struct JsonlSink {
     writer: BufWriter<File>,
     iterations: usize,
     checkpoints: usize,
+    prev: u64,
     error: Option<io::Error>,
 }
 
@@ -707,14 +752,18 @@ impl JsonlSink {
     /// final line left by a killed writer is truncated away first: the
     /// loader ignores it anyway, and appending after it would glue the
     /// next event onto the fragment — turning a tolerated torn tail into
-    /// hard mid-file corruption on every later load.
+    /// hard mid-file corruption on every later load. The hash chain is
+    /// seeded from the surviving tail line, so a resumed log stays one
+    /// unbroken chain across run segments.
     pub fn append(path: &Path) -> io::Result<JsonlSink> {
         heal_torn_tail(path)?;
+        let prev = tail_hash(path)?;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(JsonlSink {
             writer: BufWriter::new(file),
             iterations: 0,
             checkpoints: 0,
+            prev,
             error: None,
         })
     }
@@ -735,16 +784,47 @@ impl JsonlSink {
         self.writer.flush()
     }
 
-    fn write_line(&mut self, value: &JsonValue) {
+    fn write_line(&mut self, value: JsonValue) {
         if self.error.is_some() {
             return;
         }
-        let mut line = value.encode();
+        let mut line = chain_value(value, self.prev).encode();
+        let hash = line_hash(&line);
         line.push('\n');
         if let Err(e) = self.writer.write_all(line.as_bytes()) {
             self.error = Some(e);
+        } else {
+            self.prev = hash;
         }
     }
+}
+
+/// Inserts the `prev` chain field (hash of the prior line) right after
+/// the version stamp.
+fn chain_value(value: JsonValue, prev: u64) -> JsonValue {
+    match value {
+        JsonValue::Obj(mut pairs) => {
+            let at = pairs.len().min(1);
+            pairs.insert(at, ("prev".into(), JsonValue::Str(chain_hex(prev))));
+            JsonValue::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+/// The chain state a sink appending to `path` starts from: the hash of
+/// the last non-blank line, or [`CHAIN_GENESIS`] for a missing or empty
+/// log.
+fn tail_hash(path: &Path) -> io::Result<u64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(CHAIN_GENESIS),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .map_or(CHAIN_GENESIS, line_hash))
 }
 
 /// Truncates an unterminated final line (the signature of a writer
@@ -767,7 +847,7 @@ fn heal_torn_tail(path: &Path) -> io::Result<()> {
 
 impl EventSink for JsonlSink {
     fn on_event(&mut self, event: &SessionEvent) {
-        self.write_line(&event_json(event));
+        self.write_line(event_json(event));
         match event {
             SessionEvent::CandidateEvaluated(r) => self.iterations = r.iteration + 1,
             SessionEvent::WaveCompleted(_) | SessionEvent::SessionFinished(_)
@@ -780,7 +860,7 @@ impl EventSink for JsonlSink {
                 if matches!(event, SessionEvent::WaveCompleted(_)) {
                     self.checkpoints += 1;
                     let iterations = self.iterations;
-                    self.write_line(&event_json(&SessionEvent::CheckpointWritten { iterations }));
+                    self.write_line(event_json(&SessionEvent::CheckpointWritten { iterations }));
                     if let Err(e) = self.writer.flush() {
                         self.error = Some(e);
                     }
@@ -996,6 +1076,9 @@ impl SessionStore {
 
         // Candidates of the wave currently being read.
         let mut pending: Vec<Record> = Vec::new();
+        // Running hash-chain state: the hash of the previous non-blank
+        // line, which every version-2 line must carry as `prev`.
+        let mut chain = CHAIN_GENESIS;
         let lines: Vec<&str> = text.lines().collect();
         for (i, raw) in lines.iter().enumerate() {
             let lineno = i + 1;
@@ -1010,12 +1093,8 @@ impl SessionStore {
                 Err(e) => return Err(corrupt(lineno, format!("bad JSON: {e}"))),
             };
             let version = value.get("v").and_then(JsonValue::as_i64).unwrap_or(-1);
-            if version != FORMAT_VERSION {
-                return Err(corrupt(
-                    lineno,
-                    format!("unsupported store version {version}"),
-                ));
-            }
+            verify_line_chain(&value, version, &mut chain, raw)
+                .map_err(|message| corrupt(lineno, message))?;
             let kind = value
                 .get("event")
                 .and_then(JsonValue::as_str)
@@ -1085,6 +1164,96 @@ impl SessionStore {
         out.new_bests.retain(|(i, _)| *i < out.records.len());
         Ok(out)
     }
+
+    /// Verifies the event log's per-record hash chain without replaying
+    /// it: every version-2 line's `prev` must equal the hash of the line
+    /// before it. Tolerates exactly what the loader tolerates — a
+    /// missing log, legacy version-1 lines, and a torn (unparseable)
+    /// final line. Returns the number of chained lines verified.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wf_jobfile::Job;
+    /// use wf_platform::SessionStore;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("wf-verify-doc-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let store = SessionStore::create(&dir, &Job::default()).unwrap();
+    /// assert_eq!(store.verify_chain().unwrap(), 0); // never run: empty log
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn verify_chain(&self) -> Result<usize, StoreError> {
+        let path = self.events_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(source) => return Err(StoreError::Io { path, source }),
+        };
+        let mut chain = CHAIN_GENESIS;
+        let mut verified = 0usize;
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let lineno = i + 1;
+            let last = i + 1 == lines.len();
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let value = match JsonValue::parse(raw) {
+                Ok(v) => v,
+                Err(_) if last => break,
+                Err(e) => {
+                    return Err(StoreError::Corrupt {
+                        path,
+                        line: lineno,
+                        message: format!("bad JSON: {e}"),
+                    })
+                }
+            };
+            let version = value.get("v").and_then(JsonValue::as_i64).unwrap_or(-1);
+            verify_line_chain(&value, version, &mut chain, raw).map_err(|message| {
+                StoreError::Corrupt {
+                    path: path.clone(),
+                    line: lineno,
+                    message,
+                }
+            })?;
+            if version == FORMAT_VERSION {
+                verified += 1;
+            }
+        }
+        Ok(verified)
+    }
+}
+
+/// Checks one parsed log line against the running chain state and
+/// advances the state to this line's hash. Version-1 lines predate the
+/// chain and carry no `prev`; they still feed the state so a log that
+/// upgraded mid-file verifies from the first version-2 line on.
+fn verify_line_chain(
+    value: &JsonValue,
+    version: i64,
+    chain: &mut u64,
+    raw: &str,
+) -> Result<(), String> {
+    match version {
+        LEGACY_FORMAT_VERSION => {}
+        FORMAT_VERSION => {
+            let prev = value
+                .get("prev")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "version-2 record missing prev hash".to_string())?;
+            let expected = chain_hex(*chain);
+            if prev != expected {
+                return Err(format!(
+                    "hash chain broken: prev is {prev} but the prior line hashes to {expected}"
+                ));
+            }
+        }
+        other => return Err(format!("unsupported store version {other}")),
+    }
+    *chain = line_hash(raw);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1235,14 +1404,16 @@ mod tests {
         // Append a candidate with no wave_completed, then a torn line.
         let mut extra = s.history().records()[0].clone();
         extra.iteration = 6;
-        let mut tail = event_json(&SessionEvent::CandidateEvaluated(extra)).encode();
-        tail.push('\n');
-        tail.push_str("{\"v\":1,\"event\":\"cand");
+        {
+            let mut sink = store.sink().unwrap();
+            sink.on_event(&SessionEvent::CandidateEvaluated(extra));
+            sink.flush().unwrap();
+        }
         let mut f = OpenOptions::new()
             .append(true)
             .open(store.events_path())
             .unwrap();
-        f.write_all(tail.as_bytes()).unwrap();
+        f.write_all(b"{\"v\":2,\"event\":\"cand").unwrap();
         drop(f);
 
         let loaded = store.load().unwrap();
@@ -1303,22 +1474,15 @@ mod tests {
         let before = store.load().unwrap();
         let mut extra = s.history().records()[0].clone();
         extra.iteration = 4;
-        let mut tail = event_json(&SessionEvent::CandidateEvaluated(extra)).encode();
-        tail.push('\n');
-        tail.push_str(
-            &event_json(&SessionEvent::NewBest {
+        {
+            let mut sink = store.sink().unwrap();
+            sink.on_event(&SessionEvent::CandidateEvaluated(extra));
+            sink.on_event(&SessionEvent::NewBest {
                 iteration: 4,
                 objective: 1e9,
-            })
-            .encode(),
-        );
-        tail.push('\n');
-        let mut f = OpenOptions::new()
-            .append(true)
-            .open(store.events_path())
-            .unwrap();
-        f.write_all(tail.as_bytes()).unwrap();
-        drop(f);
+            });
+            sink.flush().unwrap();
+        }
 
         let loaded = store.load().unwrap();
         assert_eq!(loaded.records.len(), 4);
@@ -1368,6 +1532,131 @@ mod tests {
         };
         store.rewrite_manifest(&extended).unwrap();
         assert_eq!(store.manifest().unwrap().budget.iterations, Some(99));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hash_chain_verifies_end_to_end() {
+        let dir = temp_dir("chain");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(6, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        let lines = std::fs::read_to_string(store.events_path()).unwrap();
+        let count = lines.lines().count();
+        assert_eq!(store.verify_chain().unwrap(), count);
+        // Appending a second segment continues the same chain.
+        let mut resumed = session(8, 2);
+        let loaded = store.load().unwrap();
+        resumed.replay(&loaded.records, &loaded.wave_sizes).unwrap();
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = resumed.run_with(&mut sink);
+        }
+        assert!(store.verify_chain().unwrap() > count);
+        assert!(store.load().unwrap().finished);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_lines_break_the_chain() {
+        let dir = temp_dir("tamper");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(4, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        // Flip a value mid-file, keeping the line valid JSON: the edited
+        // line still parses, but the next line's prev no longer matches.
+        let text = std::fs::read_to_string(store.events_path()).unwrap();
+        let broken = text.replacen("\"build_skipped\":false", "\"build_skipped\":true", 1);
+        assert_ne!(text, broken, "expected a build_skipped:false record");
+        std::fs::write(store.events_path(), broken).unwrap();
+        let err = store.load().unwrap_err();
+        assert!(
+            err.to_string().contains("hash chain broken"),
+            "unexpected error: {err}"
+        );
+        assert!(matches!(
+            store.verify_chain(),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleted_lines_break_the_chain() {
+        let dir = temp_dir("deleted");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(4, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        let text = std::fs::read_to_string(store.events_path()).unwrap();
+        let without_third: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, l)| l)
+            .collect();
+        std::fs::write(store.events_path(), without_third.join("\n") + "\n").unwrap();
+        assert!(matches!(store.load(), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Strips the chain fields from a log, turning it into the exact
+    /// bytes a version-1 writer would have produced.
+    fn downgrade_to_v1(path: &Path) {
+        let text = std::fs::read_to_string(path).unwrap();
+        let mut out = String::new();
+        for line in text.lines() {
+            let mut value = JsonValue::parse(line).unwrap();
+            if let JsonValue::Obj(pairs) = &mut value {
+                pairs.retain(|(k, _)| k != "prev");
+                for (k, v) in pairs.iter_mut() {
+                    if k == "v" {
+                        *v = JsonValue::Int(LEGACY_FORMAT_VERSION);
+                    }
+                }
+            }
+            out.push_str(&value.encode());
+            out.push('\n');
+        }
+        std::fs::write(path, out).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_logs_still_load_and_upgrade_in_place() {
+        let dir = temp_dir("legacy");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = session(4, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        downgrade_to_v1(&store.events_path());
+
+        // A pre-chain log loads, and verify_chain has nothing to check.
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 4);
+        assert!(loaded.finished);
+        assert_eq!(store.verify_chain().unwrap(), 0);
+
+        // A resume appends version-2 lines chained off the legacy tail;
+        // the mixed log loads and the new suffix verifies.
+        let mut resumed = session(6, 2);
+        resumed.replay(&loaded.records, &loaded.wave_sizes).unwrap();
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = resumed.run_with(&mut sink);
+        }
+        let full = store.load().unwrap();
+        assert_eq!(full.records.len(), 6);
+        assert!(store.verify_chain().unwrap() > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -242,3 +242,67 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+proptest! {
+    // Fewer cases: each one spawns a writer thread and loops a reader
+    // against it.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Readers racing an active writer never see a parse error: every
+    /// visible snapshot of `events.jsonl` is a prefix of the final log
+    /// (appends only grow the file), so `load` returns a consistent,
+    /// chain-verified prefix — at worst dropping a torn tail or an
+    /// incomplete final wave — and the record count only moves forward.
+    #[test]
+    fn concurrent_readers_always_load_a_consistent_prefix(
+        waves in proptest::collection::vec(
+            proptest::collection::vec(record_strategy(), 1..4),
+            4..8,
+        ),
+    ) {
+        let dir = case_dir();
+        SessionStore::create(&dir, &Job::default()).unwrap();
+        let total: usize = waves.iter().map(Vec::len).sum();
+        std::thread::scope(|scope| {
+            let writer_dir = dir.clone();
+            let writer = scope.spawn(move || {
+                let store = SessionStore::open(&writer_dir).unwrap();
+                let mut sink = store.sink().unwrap();
+                let mut iteration = 0;
+                for (w, wave) in waves.iter().enumerate() {
+                    for r in wave {
+                        let mut record = r.clone();
+                        record.iteration = iteration;
+                        iteration += 1;
+                        sink.on_event(&SessionEvent::CandidateEvaluated(record));
+                    }
+                    sink.on_event(&SessionEvent::WaveCompleted(WaveStats {
+                        wave: w,
+                        size: wave.len(),
+                        wall_s: w as f64,
+                        busy_s: 0.0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                    }));
+                }
+                assert!(sink.error().is_none());
+            });
+            let reader = SessionStore::open(&dir).unwrap();
+            let mut last = 0;
+            while !writer.is_finished() {
+                let loaded = reader.load().expect("a mid-append load never errors");
+                assert!(
+                    loaded.records.len() >= last,
+                    "visible record count went backwards"
+                );
+                last = loaded.records.len();
+            }
+            writer.join().unwrap();
+        });
+        let store = SessionStore::open(&dir).unwrap();
+        let loaded = store.load().unwrap();
+        prop_assert_eq!(loaded.records.len(), total);
+        prop_assert!(store.verify_chain().unwrap() > 0, "final chain verifies");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,28 +11,45 @@
 //! wfctl run --os linux-6.0-net     # ad-hoc session on a registered target
 //! wfctl resume <DIR>               # pick an interrupted store back up
 //! wfctl report <DIR>               # render a store's report offline
+//! wfctl verify <DIR>               # verify a store's ledger hash chain
 //! wfctl validate <job.yaml>        # parse + resolve a job without running it
 //! wfctl targets                    # list every registered target
 //! wfctl bench --out BENCH.json     # time the controller hot paths
 //! wfctl probe                      # run the §3.4 runtime-space inference
 //! wfctl experiments                # list the regeneration targets
+//! wfctl daemon --root DIR          # serve the wfd daemon in the foreground
+//! wfctl submit <job.yaml>          # hand a job to a running daemon
+//! wfctl sessions                   # list the daemon's sessions
+//! wfctl watch <ID>                 # stream a daemon session's events live
+//! wfctl stop <ID>                  # park a daemon session at a wave boundary
 //! ```
 //!
 //! A store directory (`--out`, the job's `out:` key, or a `resume`
 //! operand) holds `manifest.yaml` — the resolved job — plus an
-//! append-only `events.jsonl`; interrupting a stored run loses at most
-//! the in-flight wave, and `resume` continues it so that
+//! append-only, hash-chained `events.jsonl`. Ctrl-C during `run` or
+//! `resume` is caught: the session stops at the next wave boundary with
+//! the log flushed and checkpointed, so an interrupt loses at most the
+//! in-flight wave and `resume` continues it so that
 //! interrupted-then-resumed equals uninterrupted, candidate for
 //! candidate.
+//!
+//! The daemon subcommands talk to a `wfd` state root, resolved from
+//! `--daemon DIR`, then the `WF_DAEMON` variable, then (for `submit`)
+//! the job's `daemon:` key.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
-use wayfinder::core::{store_report, BuildError};
+use std::sync::atomic::Ordering;
+use wayfinder::core::{bind_daemon, store_report, BuildError};
 use wayfinder::ossim::{first_crash, SimOs, SysctlTree};
-use wayfinder::platform::{probe_runtime_space, SessionStore, Tee};
+use wayfinder::platform::daemon::{connect, round_trip};
+use wayfinder::platform::store::JsonValue;
+use wayfinder::platform::{probe_runtime_space, signal, SessionStore, Tee};
 use wayfinder::prelude::*;
 use wf_configspace::{ConfigSpace, NamedConfig, Value};
 use wf_jobfile::{BackendChoice, RoutingStrategy};
 use wf_kconfig::LinuxVersion;
+use wf_platform::remote::read_frame;
 use wf_platform::EventSink;
 
 fn main() -> ExitCode {
@@ -61,6 +78,30 @@ fn main() -> ExitCode {
         },
         Some("probe") => probe(),
         Some("experiments") => experiments(),
+        Some("verify") => match args.get(1) {
+            Some(dir) if args.len() == 2 => verify_store(dir),
+            _ => usage("verify takes exactly one store directory"),
+        },
+        Some("daemon") => match DaemonArgs::parse(&args[1..]) {
+            Ok(daemon) => run_daemon(&daemon),
+            Err(e) => usage(&e),
+        },
+        Some("submit") => match ClientArgs::parse(&args[1..], "submit", true) {
+            Ok(client) => submit_job(&client),
+            Err(e) => usage(&e),
+        },
+        Some("sessions") => match ClientArgs::parse(&args[1..], "sessions", false) {
+            Ok(client) => list_sessions(&client),
+            Err(e) => usage(&e),
+        },
+        Some("watch") => match ClientArgs::parse(&args[1..], "watch", true) {
+            Ok(client) => watch_session(&client),
+            Err(e) => usage(&e),
+        },
+        Some("stop") => match ClientArgs::parse(&args[1..], "stop", true) {
+            Ok(client) => stop_session(&client),
+            Err(e) => usage(&e),
+        },
         Some("--help" | "-h" | "help") => {
             println!("wfctl: drive Wayfinder sessions against the simulated testbed");
             println!("{USAGE}");
@@ -70,7 +111,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR] [--backend B] [--routing R]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl.\n                              --backend picks where evaluations execute\n                              (spawn | in-process | remote; remote launches\n                              one wf-evald process per worker); --routing\n                              picks the slot->lane strategy (random |\n                              fastest | round-robin | preferred)\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR] [--backend B] [--routing R]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl.\n                              --backend picks where evaluations execute\n                              (spawn | in-process | remote; remote launches\n                              one wf-evald process per worker); --routing\n                              picks the slot->lane strategy (random |\n                              fastest | round-robin | preferred)\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl verify <DIR>          verify the store's hash-chained event\n                              ledger line by line (tamper/corruption check)\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl daemon [--root DIR]   serve the wfd multi-tenant daemon in the\n                              foreground over the state root DIR (or\n                              WF_DAEMON); Ctrl-C parks every session at\n                              its wave boundary, resumable\n  wfctl submit <job.yaml> [--daemon DIR]\n                              hand a job to a running daemon; prints the\n                              session id and store directory. The root\n                              resolves --daemon > WF_DAEMON > the job's\n                              `daemon:` key\n  wfctl sessions [--daemon DIR]\n                              list the daemon's sessions and statuses\n  wfctl watch <ID> [--daemon DIR]\n                              stream a daemon session's events until it\n                              ends (or Ctrl-C; the session keeps running)\n  wfctl stop <ID> [--daemon DIR]\n                              park a daemon session at its next wave\n                              boundary; its store resumes with\n                              `wfctl resume`\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
 
 /// Parses one flag value, advancing the cursor.
 fn flag_value(rest: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -281,6 +322,9 @@ fn report_build_error(context: &str, err: &BuildError) -> ExitCode {
         BuildError::DuplicateKeyword { .. } => {
             eprintln!("hint: every registered target needs a unique keyword")
         }
+        BuildError::Backend { .. } => {
+            eprintln!("hint: remote backends need wf-evald workers that can launch and connect")
+        }
     }
     ExitCode::FAILURE
 }
@@ -399,9 +443,18 @@ impl EventSink for ConsoleSink {
 
 /// Runs a built session to completion (streaming progress, optionally
 /// into a store) and prints the final summary.
+///
+/// SIGINT/SIGTERM are caught: the wave loop checks the flag at every
+/// wave boundary — the only points where the store is consistent — so
+/// Ctrl-C flushes the sink, writes a final checkpoint, and exits with
+/// code 130 and a resume hint, losing at most the in-flight wave. A
+/// second Ctrl-C falls back to the default disposition and kills the
+/// process.
 fn drive_session(mut session: SpecializationSession, store: Option<&SessionStore>) -> ExitCode {
+    let flag = signal::install_interrupt_flag();
+    let mut should_stop = || flag.load(Ordering::Relaxed);
     let mut console = ConsoleSink::new();
-    let summary = match store {
+    let (summary, finished) = match store {
         Some(store) => {
             let mut jsonl = match store.sink() {
                 Ok(sink) => sink,
@@ -410,7 +463,8 @@ fn drive_session(mut session: SpecializationSession, store: Option<&SessionStore
                     return ExitCode::FAILURE;
                 }
             };
-            let outcome = session.run_with(&mut Tee(&mut jsonl, &mut console));
+            let (outcome, finished) =
+                session.run_with_until(&mut Tee(&mut jsonl, &mut console), &mut should_stop);
             if let Some(e) = jsonl.error() {
                 eprintln!("warning: event log incomplete: {e}");
             }
@@ -419,10 +473,27 @@ fn drive_session(mut session: SpecializationSession, store: Option<&SessionStore
                 store.dir().display(),
                 jsonl.checkpoints()
             );
-            outcome.summary
+            (outcome.summary, finished)
         }
-        None => session.run_with(&mut console).summary,
+        None => {
+            let (outcome, finished) = session.run_with_until(&mut console, &mut should_stop);
+            (outcome.summary, finished)
+        }
     };
+    if !finished {
+        eprintln!(
+            "interrupted: stopped at a wave boundary after {} evaluation(s)",
+            summary.iterations
+        );
+        match store {
+            Some(store) => eprintln!(
+                "hint: `wfctl resume {}` continues exactly where this stopped",
+                store.dir().display()
+            ),
+            None => eprintln!("note: no --out store was set, so nothing was persisted"),
+        }
+        return ExitCode::from(130);
+    }
     let descriptor = session.platform().descriptor().clone();
     println!(
         "done: {} iterations in {:.1} virtual hours, crash rate {:.0}%",
@@ -630,6 +701,351 @@ fn report_store(dir: &str) -> ExitCode {
     let space = manifest_space(&loaded.job);
     print!("{}", store_report(&loaded, space.as_ref()));
     ExitCode::SUCCESS
+}
+
+fn verify_store(dir: &str) -> ExitCode {
+    match SessionStore::open(dir).and_then(|store| store.verify_chain()) {
+        Ok(verified) => {
+            println!("ledger verified: {verified} hash-chained record(s) in {dir}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ledger verification failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon subcommands.
+// ---------------------------------------------------------------------------
+
+/// `daemon` operands.
+struct DaemonArgs {
+    root: Option<String>,
+}
+
+impl DaemonArgs {
+    fn parse(rest: &[String]) -> Result<DaemonArgs, String> {
+        let mut daemon = DaemonArgs { root: None };
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--root" => daemon.root = Some(flag_value(rest, &mut i, "--root")?),
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(daemon)
+    }
+}
+
+/// Operands shared by the daemon-client subcommands: an optional
+/// `--daemon DIR` plus, for submit/watch/stop, exactly one operand.
+struct ClientArgs {
+    daemon: Option<String>,
+    operand: Option<String>,
+}
+
+impl ClientArgs {
+    fn parse(rest: &[String], cmd: &str, wants_operand: bool) -> Result<ClientArgs, String> {
+        let mut client = ClientArgs {
+            daemon: None,
+            operand: None,
+        };
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--daemon" => client.daemon = Some(flag_value(rest, &mut i, "--daemon")?),
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                operand => {
+                    if !wants_operand {
+                        return Err(format!("{cmd} takes no operand, got {operand:?}"));
+                    }
+                    if client.operand.replace(operand.to_string()).is_some() {
+                        return Err(format!("{cmd} takes exactly one operand"));
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if wants_operand && client.operand.is_none() {
+            return Err(format!("{cmd} needs an operand"));
+        }
+        Ok(client)
+    }
+
+    /// Resolves the daemon state root: `--daemon` > `WF_DAEMON` >
+    /// `fallback` (the job's `daemon:` key, for submit).
+    fn root(&self, fallback: Option<&str>) -> Result<PathBuf, String> {
+        self.daemon
+            .clone()
+            .or_else(|| std::env::var("WF_DAEMON").ok())
+            .or_else(|| fallback.map(str::to_string))
+            .map(PathBuf::from)
+            .ok_or_else(|| "no daemon state root: pass --daemon DIR or set WF_DAEMON".to_string())
+    }
+}
+
+/// One request frame, one reply frame.
+fn daemon_request(root: &std::path::Path, req: &JsonValue) -> std::io::Result<JsonValue> {
+    let mut stream = connect(root)?;
+    round_trip(&mut stream, req)
+}
+
+fn run_daemon(args: &DaemonArgs) -> ExitCode {
+    let root = match args
+        .root
+        .clone()
+        .or_else(|| std::env::var("WF_DAEMON").ok())
+    {
+        Some(root) => root,
+        None => return usage("daemon needs --root DIR (or WF_DAEMON)"),
+    };
+    let daemon = match bind_daemon(&root, wayfinder::scenarios::registry) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("cannot bind daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "wfd: serving {} (socket {})",
+        daemon.root().display(),
+        daemon.socket_path().display()
+    );
+    let flag = signal::install_interrupt_flag();
+    match daemon.run(flag) {
+        Ok(()) => {
+            println!("daemon shut down; its session stores resume with `wfctl resume`");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("daemon failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit_job(args: &ClientArgs) -> ExitCode {
+    let path = args.operand.as_deref().unwrap_or_default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parse locally first: early validation, plus the job's `daemon:`
+    // key as the state-root fallback. The daemon re-parses the raw text
+    // itself, so what runs is exactly what was on disk.
+    let job = match Job::parse(&text) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("invalid job: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match args.root(job.daemon.as_deref()) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("{e} (or give the job a `daemon:` key)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = JsonValue::Obj(vec![
+        ("op".to_string(), JsonValue::Str("submit".into())),
+        ("job".to_string(), JsonValue::Str(text)),
+    ]);
+    match daemon_request(&root, &req) {
+        Ok(reply) => {
+            let id = reply.get("id").and_then(JsonValue::as_u64).unwrap_or(0);
+            let dir = reply.get("dir").and_then(JsonValue::as_str).unwrap_or("?");
+            println!("submitted {:?} as session {id}", job.name);
+            println!("store: {dir}");
+            println!(
+                "follow it with `wfctl watch {id} --daemon {}`",
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list_sessions(args: &ClientArgs) -> ExitCode {
+    let root = match args.root(None) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = JsonValue::Obj(vec![("op".to_string(), JsonValue::Str("sessions".into()))]);
+    match daemon_request(&root, &req) {
+        Ok(reply) => {
+            let sessions = reply
+                .get("sessions")
+                .and_then(JsonValue::as_arr)
+                .unwrap_or(&[]);
+            println!("{} session(s) under {}:", sessions.len(), root.display());
+            for session in sessions {
+                let id = session.get("id").and_then(JsonValue::as_u64).unwrap_or(0);
+                let status = session
+                    .get("status")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                let iterations = session
+                    .get("iterations")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                let name = session
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                let best = session
+                    .get("best")
+                    .and_then(JsonValue::as_f64)
+                    .map(|best| format!("{best:.2}"))
+                    .unwrap_or_else(|| "-".into());
+                println!("  {id:>4}  {status:<9} {iterations:>5} it  best {best:<10} {name}");
+                if let Some(error) = session.get("error").and_then(JsonValue::as_str) {
+                    println!("        error: {error}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sessions failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn watch_session(args: &ClientArgs) -> ExitCode {
+    let id = match args.operand.as_deref().unwrap_or_default().parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => return usage("watch needs a numeric session id"),
+    };
+    let root = match args.root(None) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stream = match connect(&root) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = JsonValue::Obj(vec![
+        ("op".to_string(), JsonValue::Str("watch".into())),
+        ("id".to_string(), JsonValue::Int(id as i64)),
+    ]);
+    let ack = match round_trip(&mut stream, &req) {
+        Ok(ack) => ack,
+        Err(e) => {
+            eprintln!("watch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "watching session {id} ({})",
+        ack.get("status").and_then(JsonValue::as_str).unwrap_or("?")
+    );
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                eprintln!("daemon hung up");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("watch stream failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if frame.get("stream").and_then(JsonValue::as_str) == Some("end") {
+            let status = frame
+                .get("status")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?");
+            match frame.get("error").and_then(JsonValue::as_str) {
+                Some(error) => eprintln!("session {id} {status}: {error}"),
+                None => println!("session {id} {status}"),
+            }
+            return if status == "failed" {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        render_watch_frame(&frame);
+    }
+}
+
+/// Renders one live event frame field-wise (the frames share the stored
+/// ledger's vocabulary, minus the `prev` chain hash).
+fn render_watch_frame(frame: &JsonValue) {
+    match frame.get("event").and_then(JsonValue::as_str) {
+        Some("new_best") => {
+            let iteration = frame
+                .get("iteration")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            if let Some(objective) = frame.get("objective").and_then(JsonValue::as_f64) {
+                println!("  iteration {iteration:>4}  new best {objective:.2}");
+            }
+        }
+        Some("checkpoint") => {
+            let iterations = frame
+                .get("iterations")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            println!("  checkpoint: {iterations} evaluation(s) durable");
+        }
+        Some("session_finished") => {
+            let iterations = frame
+                .get("iterations")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            println!("  session finished after {iterations} evaluation(s)");
+        }
+        _ => {}
+    }
+}
+
+fn stop_session(args: &ClientArgs) -> ExitCode {
+    let id = match args.operand.as_deref().unwrap_or_default().parse::<u64>() {
+        Ok(id) => id,
+        Err(_) => return usage("stop needs a numeric session id"),
+    };
+    let root = match args.root(None) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = JsonValue::Obj(vec![
+        ("op".to_string(), JsonValue::Str("stop".into())),
+        ("id".to_string(), JsonValue::Int(id as i64)),
+    ]);
+    match daemon_request(&root, &req) {
+        Ok(_) => {
+            println!("stop requested: session {id} parks at its next wave boundary");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `bench` operands.

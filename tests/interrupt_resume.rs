@@ -1,0 +1,146 @@
+//! Regression tests for SIGINT handling in `wfctl run`: Ctrl-C is
+//! caught, the wave loop stops at the next wave boundary with the event
+//! log flushed and checkpointed, the process exits with the
+//! interrupt-style code 130 and a resume hint, and `wfctl resume`
+//! continues the store so that interrupted-then-resumed equals
+//! uninterrupted — the interrupt loses at most the in-flight wave.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wf-sigint-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wfctl(args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(args)
+        .output()
+        .expect("wfctl runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+/// Counts completed candidate lines currently visible in the log.
+fn candidate_lines(store: &Path) -> usize {
+    std::fs::read_to_string(store.join("events.jsonl"))
+        .map(|text| {
+            text.lines()
+                .filter(|l| l.contains("\"event\":\"candidate\""))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigint_parks_at_a_wave_boundary_and_resume_completes_identically() {
+    let base = temp_dir("run");
+    let job = base.join("job.yaml");
+    // A budget far larger than the interrupt point, so the signal always
+    // lands mid-campaign.
+    std::fs::write(
+        &job,
+        "name: sigint\nos: linux-4.19\nalgorithm: random\nseed: 23\nworkers: 2\nruntime_params: 64\nbudget:\n  iterations: 200000\n",
+    )
+    .unwrap();
+    let job = job.to_str().unwrap().to_string();
+    let store = base.join("interrupted");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["run", &job, "--out", store.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("wfctl spawns");
+
+    // Wait until the session is demonstrably mid-campaign (the handler is
+    // installed before the first wave runs, so visible progress implies
+    // SIGINT will be caught, not fatal).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while candidate_lines(&store) < 6 {
+        assert!(
+            Instant::now() < deadline,
+            "session never made visible progress"
+        );
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "wfctl exited before it could be interrupted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let sigint = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(sigint.success(), "kill -INT failed");
+
+    let output = child.wait_with_output().expect("wfctl exits");
+    assert_eq!(
+        output.status.code(),
+        Some(130),
+        "an interrupted run exits with code 130"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("interrupted: stopped at a wave boundary"),
+        "stderr announces the clean stop:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("wfctl resume"),
+        "stderr offers the resume hint:\n{stderr}"
+    );
+
+    // The store parked on a consistent wave boundary: the ledger chain
+    // verifies, and the visible records are whole waves (workers = 2).
+    let (ok, verified) = wfctl(&["verify", store.to_str().unwrap()]);
+    assert!(ok, "interrupted ledger hash-verifies:\n{verified}");
+    let n = candidate_lines(&store);
+    assert!(n >= 6, "the progress we saw is durable");
+    assert_eq!(n % 2, 0, "only whole waves are persisted");
+
+    // Resume to a reachable budget; a fresh uninterrupted run of the
+    // same budget must be byte-identical, report for report.
+    let total = n + 20;
+    let total_s = total.to_string();
+    let (ok, resumed) = wfctl(&["resume", store.to_str().unwrap(), "--iterations", &total_s]);
+    assert!(ok, "resume completes:\n{resumed}");
+    assert!(
+        resumed.contains(&format!("replayed {n} evaluation(s)")),
+        "resume replays every interrupted evaluation (n = {n}):\n{resumed}"
+    );
+
+    let reference = base.join("reference");
+    let (ok, _) = wfctl(&[
+        "run",
+        &job,
+        "--out",
+        reference.to_str().unwrap(),
+        "--iterations",
+        &total_s,
+    ]);
+    assert!(ok, "reference run");
+
+    let (ok, report_resumed) = wfctl(&["report", store.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, report_reference) = wfctl(&["report", reference.to_str().unwrap()]);
+    assert!(ok);
+    assert_eq!(
+        report_resumed, report_reference,
+        "interrupted+resumed must be indistinguishable from uninterrupted"
+    );
+
+    // Both final ledgers verify end to end.
+    let (ok, _) = wfctl(&["verify", store.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, _) = wfctl(&["verify", reference.to_str().unwrap()]);
+    assert!(ok);
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,113 @@
+//! Regression tests for worker teardown in the remote backend: dropping
+//! a [`RemoteBackend`] — cleanly or mid-panic — reaps every `wf-evald`
+//! worker it launched, and a failed `spawn` kills the children it had
+//! already started before returning the error. A session crash must
+//! never leave orphaned evald processes grinding in the background.
+
+#![cfg(unix)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use wayfinder::platform::remote::{RemoteBackend, RemoteSpec};
+
+const JOB: &str = "name: teardown\nos: linux-4.19\nalgorithm: random\nseed: 1\nworkers: 2\nruntime_params: 64\nbudget:\n  iterations: 4\n";
+
+fn evald_spec() -> RemoteSpec {
+    RemoteSpec {
+        command: env!("CARGO_BIN_EXE_wf-evald").into(),
+        args: vec!["--job-inline".into(), JOB.into()],
+    }
+}
+
+fn alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Waits for every pid to disappear from the process table. Children are
+/// reaped (`wait`ed) by the backend, so a dead worker leaves no zombie
+/// and its `/proc` entry vanishes.
+fn assert_all_dead(pids: &[u32], context: &str) {
+    assert!(!pids.is_empty(), "{context}: no worker pids were recorded");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let survivors: Vec<u32> = pids.iter().copied().filter(|&p| alive(p)).collect();
+        if survivors.is_empty() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{context}: leaked worker processes {survivors:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn clean_drop_reaps_every_worker() {
+    let backend = RemoteBackend::spawn(2, &evald_spec()).expect("workers launch");
+    let pids = backend.child_pids();
+    assert_eq!(pids.len(), 2, "one child per lane");
+    assert!(
+        pids.iter().all(|&p| alive(p)),
+        "workers are running while the backend is held"
+    );
+    drop(backend);
+    assert_all_dead(&pids, "clean drop");
+}
+
+#[test]
+fn panicking_session_still_reaps_workers() {
+    let mut pids = Vec::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let backend = RemoteBackend::spawn(2, &evald_spec()).expect("workers launch");
+        pids = backend.child_pids();
+        // The backend is live on the stack when the panic unwinds
+        // through it — exactly the crash-mid-session shape.
+        panic!("session blew up mid-wave");
+    }));
+    assert!(result.is_err(), "the closure must panic");
+    assert_all_dead(&pids, "panicked drop");
+}
+
+#[test]
+fn failed_spawn_kills_already_launched_workers() {
+    let dir = std::env::temp_dir().join(format!("wf-teardown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let pidbase = dir.join("lane");
+    // Lane 0 records its pid and parks; lane 1 waits until lane 0 is
+    // provably up, then exits nonzero — forcing spawn's "worker exited
+    // before connecting" error while lane 0 is still running.
+    let script = dir.join("fake-worker.sh");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\npidbase=\"$1\"; lane=\"$5\"\nif [ \"$lane\" = \"0\" ]; then\n  echo $$ > \"$pidbase.tmp\" && mv \"$pidbase.tmp\" \"$pidbase.0\"\n  exec sleep 60\nfi\nwhile [ ! -f \"$pidbase.0\" ]; do sleep 0.01; done\nexit 3\n",
+    )
+    .unwrap();
+    let mut perms = std::fs::metadata(&script).unwrap().permissions();
+    std::os::unix::fs::PermissionsExt::set_mode(&mut perms, 0o755);
+    std::fs::set_permissions(&script, perms).unwrap();
+
+    let spec = RemoteSpec {
+        command: script.clone(),
+        args: vec![pidbase.to_str().unwrap().into()],
+    };
+    let err = match RemoteBackend::spawn(2, &spec) {
+        Err(e) => e,
+        Ok(_) => panic!("lane 1 dying must fail the launch"),
+    };
+    assert!(
+        err.to_string().contains("worker exited before connecting"),
+        "the error names the early exit: {err}"
+    );
+
+    let pidfile = PathBuf::from(format!("{}.0", pidbase.display()));
+    let recorded = std::fs::read_to_string(&pidfile)
+        .expect("lane 0 recorded its pid before lane 1 exited")
+        .trim()
+        .parse::<u32>()
+        .expect("pidfile holds a pid");
+    assert_all_dead(&[recorded], "failed spawn");
+    std::fs::remove_dir_all(&dir).ok();
+}
