@@ -93,7 +93,9 @@ pub fn declared_ops() -> Vec<(String, u64)> {
     ops.push(("deeptune/score_batch".to_string(), 256));
     ops.push(("deeptune/train_batch".to_string(), 64));
     ops.push(("store/jsonl_append".to_string(), 64));
+    ops.push(("store/jsonl_append_waves".to_string(), 8));
     ops.push(("store/replay".to_string(), 64));
+    ops.push(("drift/detector_step".to_string(), 256));
     for w in POOL_WIDTHS {
         ops.push(("platform/wave_dispatch".to_string(), w as u64));
     }
@@ -398,6 +400,34 @@ pub fn run_suite(quick: bool) -> Vec<OpResult> {
         },
     );
 
+    // Same 65 events, committed as 8 wave-sized batches instead of one:
+    // measures the per-wave buffer/commit path the batched sink runs in a
+    // real session (one write+flush per WaveCompleted, not per event).
+    let wave_events = store_fixture_waves(&fx.space);
+    let mut wcounter = 0usize;
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "store/jsonl_append_waves",
+        8,
+        |b| {
+            b.iter_batched(
+                || {
+                    wcounter += 1;
+                    tmp.join(format!("events-w{wcounter}.jsonl"))
+                },
+                |path: PathBuf| {
+                    let mut sink = JsonlSink::append(&path).expect("open sink");
+                    for e in &wave_events {
+                        sink.on_event(e);
+                    }
+                    sink.flush().expect("flush");
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+
     let make_session = || {
         Session::new(
             SimOs::linux_runtime(LinuxVersion::V4_19, 64),
@@ -429,6 +459,35 @@ pub fn run_suite(quick: bool) -> Vec<OpResult> {
                 |mut session| {
                     session.replay(&stored, &wave_sizes).expect("replay");
                     black_box(session.compute_s())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+
+    // --- Drift detection: a step signal streamed through the mean-shift
+    // detector until the verdict fires (the continuous-mode hot path:
+    // one observe() per candidate, every wave). -------------------------
+    let drift_samples: Vec<(u64, f64)> = (0..256u64).map(|i| (i, i as f64 * 60.0)).collect();
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "drift/detector_step",
+        256,
+        |b| {
+            b.iter_batched(
+                || {
+                    (
+                        wf_drift::SyntheticSignal::step(100.0, 65.0, 7_680.0, 0.02, SEED),
+                        wf_drift::MeanShift::new(6, 0.15),
+                    )
+                },
+                |(mut signal, mut detector)| {
+                    black_box(wf_drift::run_until_drift(
+                        &mut signal,
+                        &mut detector,
+                        &drift_samples,
+                    ))
                 },
                 criterion::BatchSize::LargeInput,
             )
@@ -570,6 +629,42 @@ fn store_fixture_events(space: &ConfigSpace) -> Vec<wf_platform::SessionEvent> {
         cache_hits: 63,
         cache_misses: 1,
     }));
+    events
+}
+
+/// The same 64 candidates as [`store_fixture_events`], but committed as
+/// 8 waves of 8 (each with its own `WaveCompleted`), exercising the
+/// sink's per-wave batched write path.
+fn store_fixture_waves(space: &ConfigSpace) -> Vec<wf_platform::SessionEvent> {
+    use wf_platform::SessionEvent;
+    let mut events = Vec::with_capacity(72);
+    for wave in 0..8usize {
+        for slot in 0..8usize {
+            let i = wave * 8 + slot;
+            let mut rng = StdRng::seed_from_u64(derive_seed(SEED, 4 << 32 | i as u64));
+            events.push(SessionEvent::CandidateEvaluated(Record {
+                iteration: i,
+                config: space.sample(&mut rng),
+                objective: Some(1000.0 + i as f64),
+                metric: Some(1000.0 + i as f64),
+                memory_mb: Some(128.0),
+                crash_phase: None,
+                build_skipped: i > 0,
+                duration_s: 61.5,
+                finished_at_s: 61.5 * (i + 1) as f64,
+                algo_seconds: 0.002,
+                algo_memory_bytes: 4096,
+            }));
+        }
+        events.push(SessionEvent::WaveCompleted(WaveStats {
+            wave,
+            size: 8,
+            wall_s: 61.5,
+            busy_s: 61.5 * 8.0,
+            cache_hits: 7,
+            cache_misses: 1,
+        }));
+    }
     events
 }
 

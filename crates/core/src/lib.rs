@@ -47,7 +47,7 @@ pub mod session;
 pub mod targets;
 
 pub use daemon_host::{bind_daemon, RegistryLauncher};
-pub use report::{store_report, wave_stats_table, Table};
+pub use report::{store_report, trajectory_table, wave_stats_table, Table};
 pub use scale::Scale;
 pub use session::{
     target_from_job, AlgorithmChoice, BuildError, Drive, OsFlavor, Outcome, ResumeError,
@@ -64,8 +64,8 @@ pub mod prelude {
         SpecializationSession,
     };
     pub use crate::targets::{TargetFactory, TargetInstance, TargetRegistry, TargetRequest};
-    pub use wf_jobfile::{Direction, Job};
-    pub use wf_ossim::AppId;
+    pub use wf_jobfile::{DetectorId, Direction, DriftScenarioId, DriftSpec, Job, Mode};
+    pub use wf_ossim::{AppId, DriftScenario, DriftSchedule};
     pub use wf_platform::{
         EvalTarget, EventSink, NullSink, Objective, RecordingSink, SessionEvent, SessionStore,
         SimTarget, StoredSession, TargetDescriptor, Tee,

@@ -217,10 +217,64 @@ pub fn store_report(stored: &StoredSession, space: Option<&ConfigSpace>) -> Stri
             }
         }
     }
+    if !stored.epochs.is_empty() {
+        out.push_str(&format!(
+            "adaptation trajectory: {} epoch(s), {} confirmed drift(s)\n",
+            stored.epochs.len(),
+            stored.drift_events.len(),
+        ));
+        out.push_str(&trajectory_table(stored).render());
+    }
     if job.workers.unwrap_or(1) > 1 && !stored.wave_stats.is_empty() {
         out.push_str(&wave_stats_table(&stored.wave_stats, job.workers.unwrap_or(1)).render());
     }
     out
+}
+
+/// Renders a continuous session's adaptation trajectory as a [`Table`]:
+/// one row per epoch with the workload phase it opened under, its
+/// evaluation span, the best objective reached inside it, the stored
+/// analytic oracle bound for that phase, and the relative regret against
+/// it. Entirely offline — every cell derives from the persisted
+/// `epoch_started` records and the evaluation history.
+pub fn trajectory_table(stored: &StoredSession) -> Table {
+    let mut t = Table::new(&[
+        "Epoch", "Phase", "From", "Evals", "Best", "Oracle", "Regret %", "Seeded",
+    ]);
+    let records = &stored.records;
+    let direction = stored.job.direction;
+    for (i, e) in stored.epochs.iter().enumerate() {
+        let start = e.first_iteration.min(records.len());
+        let end = stored.epochs.get(i + 1).map_or(records.len(), |next| {
+            next.first_iteration.min(records.len())
+        });
+        let slice = &records[start..end];
+        let best = slice.iter().filter_map(|r| r.objective).reduce(|b, v| {
+            if direction.better(v, b) {
+                v
+            } else {
+                b
+            }
+        });
+        let regret = best.map(|b| {
+            let scale = e.oracle_metric.abs().max(f64::MIN_POSITIVE);
+            match direction {
+                wf_jobfile::Direction::Maximize => (e.oracle_metric - b) / scale * 100.0,
+                wf_jobfile::Direction::Minimize => (b - e.oracle_metric) / scale * 100.0,
+            }
+        });
+        t.row(&[
+            e.epoch.to_string(),
+            e.phase.clone(),
+            e.first_iteration.to_string(),
+            slice.len().to_string(),
+            best.map_or("-".into(), |b| format!("{b:.2}")),
+            format!("{:.2}", e.oracle_metric),
+            regret.map_or("-".into(), |r| format!("{r:.1}")),
+            if e.transfer { "transfer" } else { "cold" }.to_string(),
+        ]);
+    }
+    t
 }
 
 /// Renders a session's per-wave scheduling metrics as a [`Table`]:

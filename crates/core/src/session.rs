@@ -9,13 +9,15 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::path::Path;
 use wf_deeptune::{Checkpoint, DeepTune, DeepTuneConfig};
+use wf_drift::{DriftDetector, MeanShift, PageHinkley};
 use wf_jobfile::{
-    AlgorithmId, BackendChoice, Budget, Direction, Focus, Job, ParamDecl, RoutingStrategy,
+    AlgorithmId, BackendChoice, Budget, DetectorId, Direction, DriftSpec, Focus, Job, Mode,
+    ParamDecl, RoutingStrategy,
 };
-use wf_ossim::{AppId, MetricDirection};
+use wf_ossim::{AppId, DriftScenario, DriftSchedule, MetricDirection};
 use wf_platform::{
-    EventSink, NullSink, Objective, Record, RecordingSink, ReplayError, Session, SessionEvent,
-    SessionSpec, SessionStore, SessionSummary, StoreError, StoredSession,
+    DriftConfig, EventSink, NullSink, Objective, Record, RecordingSink, ReplayError, Session,
+    SessionEvent, SessionSpec, SessionStore, SessionSummary, StoreError, StoredSession,
 };
 use wf_search::{BayesOpt, CausalSearch, GridSearch, RandomSearch, SamplePolicy, SearchAlgorithm};
 
@@ -135,6 +137,12 @@ pub enum BuildError {
         /// The underlying launch failure.
         message: String,
     },
+    /// Continuous mode was requested for a target without a simulated
+    /// drift model (only `SimTarget`-backed targets can drift).
+    ContinuousUnsupported {
+        /// The target keyword.
+        target: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -178,6 +186,12 @@ impl fmt::Display for BuildError {
             BuildError::Backend { message } => write!(f, "backend: {message}"),
             BuildError::DuplicateKeyword { keyword } => {
                 write!(f, "target keyword {keyword:?} is already registered")
+            }
+            BuildError::ContinuousUnsupported { target } => {
+                write!(
+                    f,
+                    "target {target:?} does not support continuous mode (no simulated drift model)"
+                )
             }
         }
     }
@@ -255,6 +269,7 @@ pub struct SessionBuilder {
     pins: Vec<(String, String)>,
     explicit_space: Option<wf_configspace::ConfigSpace>,
     deeptune: DeepTuneConfig,
+    drift: Option<DriftSpec>,
 }
 
 impl Default for SessionBuilder {
@@ -288,6 +303,7 @@ impl SessionBuilder {
             pins: Vec::new(),
             explicit_space: None,
             deeptune: DeepTuneConfig::default(),
+            drift: None,
         }
     }
 
@@ -438,6 +454,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Switches the session to continuous specialization: the workload
+    /// drifts per `spec`, deployed-reference telemetry feeds a change
+    /// detector, and a confirmed drift closes the epoch and re-seeds the
+    /// search ([`wf_platform::Session::enable_drift`]). Only
+    /// `SimTarget`-backed targets support this; others fail the build
+    /// with [`BuildError::ContinuousUnsupported`].
+    pub fn continuous(mut self, spec: DriftSpec) -> Self {
+        self.drift = Some(spec);
+        self
+    }
+
     /// Builds the session from a parsed job file instead of builder
     /// calls. The job's `os:`, `app:`, and `metric:` keywords are carried
     /// verbatim and resolved against the registry at
@@ -480,6 +507,9 @@ impl SessionBuilder {
         b = b.focus(job.focus);
         if let Some(space) = job.param_space() {
             b = b.explicit_space(space);
+        }
+        if let Some(drift) = &job.drift {
+            b = b.continuous(drift.clone());
         }
         Ok(b)
     }
@@ -626,6 +656,12 @@ impl SessionBuilder {
             // store already lives wherever it was created.
             daemon: None,
             budget: spec.budget,
+            mode: if self.drift.is_some() {
+                Mode::Continuous
+            } else {
+                Mode::OneShot
+            },
+            drift: self.drift.clone(),
             pinned: self
                 .pins
                 .iter()
@@ -662,11 +698,44 @@ impl SessionBuilder {
                 Box::new(DeepTune::with_checkpoint(cfg, ckpt))
             }
         };
-        Ok(SpecializationSession {
-            inner: Session::try_with_target(target, algorithm, spec)
-                .map_err(|message| BuildError::Backend { message })?,
-            resolved,
-        })
+        let mut inner = Session::try_with_target(target, algorithm, spec)
+            .map_err(|message| BuildError::Backend { message })?;
+
+        // Continuous mode needs the simulated drift model behind the
+        // target: the schedule is derived from the target's own SimOs +
+        // App pair so its phases move the very optima the search chases.
+        if let Some(drift) = &self.drift {
+            let schedule = {
+                let sim = inner
+                    .target()
+                    .as_any()
+                    .downcast_ref::<wf_platform::SimTarget>()
+                    .ok_or_else(|| BuildError::ContinuousUnsupported {
+                        target: self.target.clone(),
+                    })?;
+                let kind = DriftScenario::parse(drift.scenario.keyword())
+                    .expect("jobfile scenario keywords mirror wf-ossim's");
+                DriftSchedule::scenario(kind, sim.os(), sim.app(), drift.shift_at_s)
+            };
+            let detector: Box<dyn DriftDetector> = match drift.detector {
+                DetectorId::MeanShift => Box::new(MeanShift::new(drift.window, drift.threshold)),
+                // window → warm-up; a quarter of the confirmation
+                // threshold absorbs per-sample noise before mass accrues.
+                DetectorId::PageHinkley => Box::new(PageHinkley::new(
+                    drift.window,
+                    drift.threshold * 0.25,
+                    drift.threshold,
+                )),
+            };
+            inner.enable_drift(DriftConfig {
+                schedule,
+                detector,
+                min_epoch: drift.min_epoch,
+                transfer: drift.transfer,
+            });
+        }
+
+        Ok(SpecializationSession { inner, resolved })
     }
 
     /// Rebuilds a session from a store directory and replays its history,
@@ -882,17 +951,6 @@ impl SpecializationSession {
             .checkpoint()
     }
 
-    /// Deprecated alias of
-    /// [`SpecializationSession::transfer_checkpoint`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `transfer_checkpoint`: this is the DeepTune transfer warm-start \
-                (§3.3), not a session-store checkpoint"
-    )]
-    pub fn checkpoint(&mut self) -> Option<Checkpoint> {
-        self.transfer_checkpoint()
-    }
-
     /// Queries the trained model for high-impact parameters (§4.1).
     pub fn parameter_impacts(&mut self) -> Option<Vec<wf_deeptune::ParamImpact>> {
         let space = self.inner.space().clone();
@@ -953,6 +1011,14 @@ impl Iterator for Drive<'_> {
                 DriveState::Finished => return None,
                 DriveState::Fresh => {
                     self.queue.push_back(self.session.inner.start_event());
+                    // A fresh continuous session opens epoch 0 explicitly,
+                    // mirroring `run_with`; a resumed one replays past the
+                    // stored epoch events instead.
+                    if self.session.inner.history().is_empty() {
+                        if let Some(event) = self.session.inner.epoch_zero_event() {
+                            self.queue.push_back(event);
+                        }
+                    }
                     self.state = DriveState::Running;
                 }
                 DriveState::Running => {
@@ -1188,12 +1254,6 @@ mod tests {
             .unwrap();
         let _ = s.run();
         assert!(s.transfer_checkpoint().is_some());
-        // The deprecated alias keeps delegating until downstream callers
-        // migrate.
-        #[allow(deprecated)]
-        {
-            assert!(s.checkpoint().is_some());
-        }
         // Random search has no checkpoint.
         let mut r = SessionBuilder::new()
             .algorithm(AlgorithmChoice::Random)
@@ -1415,6 +1475,8 @@ mod tests {
                 SessionEvent::WaveDispatched { .. } => "dispatched",
                 SessionEvent::CandidateEvaluated(_) => "candidate",
                 SessionEvent::NewBest { .. } => "best",
+                SessionEvent::DriftDetected { .. } => "drift",
+                SessionEvent::EpochStarted { .. } => "epoch",
                 SessionEvent::WaveCompleted(_) => "wave",
                 SessionEvent::CheckpointWritten { .. } => "checkpoint",
                 SessionEvent::SessionFinished(_) => "finished",
@@ -1439,6 +1501,94 @@ mod tests {
             s.platform().summary().best_metric,
             outcome.summary.best_metric
         );
+    }
+
+    fn continuous_job_text(seed: u64) -> String {
+        format!(
+            "name: drifted\nos: linux-4.19\napp: nginx\nalgorithm: random\nseed: {seed}\nworkers: 2\nruntime_params: 56\nbudget:\n  iterations: 60\nmode: continuous\ndrift:\n  scenario: step\n  detector: mean-shift\n  shift_at_s: 900\n  window: 6\n  threshold: 0.15\n  min_epoch: 8\n  transfer: false\n"
+        )
+    }
+
+    #[test]
+    fn continuous_session_builds_from_a_job_and_reopens_epochs() {
+        let job = Job::parse(&continuous_job_text(11)).unwrap();
+        let mut s = SessionBuilder::from_job(&job).unwrap().build().unwrap();
+        assert!(s.platform().drift_enabled());
+        let outcome = s.run();
+        assert_eq!(outcome.summary.iterations, 60);
+        assert!(
+            s.platform().epoch() > 0,
+            "the step shift at 900 virtual seconds must close epoch 0"
+        );
+        // The manifest fixed point holds for continuous jobs too.
+        let resolved = s.resolved_job().clone();
+        assert_eq!(resolved.mode, Mode::Continuous);
+        assert!(resolved.drift.is_some());
+        let rebuilt = SessionBuilder::from_job(&resolved)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(rebuilt.resolved_job(), &resolved);
+    }
+
+    #[test]
+    fn continuous_resume_continues_across_epoch_boundaries() {
+        let dir = std::env::temp_dir().join(format!("wf-core-drift-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let job = Job::parse(&continuous_job_text(29)).unwrap();
+
+        let mut full = SessionBuilder::from_job(&job).unwrap().build().unwrap();
+        let full_outcome = full.run();
+        assert!(full.platform().epoch() > 0, "need a boundary to cross");
+
+        let mut interrupted = SessionBuilder::from_job(&job).unwrap().build().unwrap();
+        let store = SessionStore::create(&dir, interrupted.resolved_job()).unwrap();
+        {
+            let mut sink = store.sink().unwrap();
+            // Interrupt only after an epoch boundary passed, so the
+            // resume genuinely replays across it.
+            let mut stop = {
+                let mut waves = 0;
+                move || {
+                    waves += 1;
+                    waves > 18
+                }
+            };
+            let _ = interrupted.run_with_until(&mut sink, &mut stop);
+        }
+        assert!(
+            interrupted.platform().epoch() > 0,
+            "interruption must land after the first boundary"
+        );
+        drop(interrupted);
+
+        let mut resumed = SessionBuilder::resume(&dir).unwrap();
+        assert!(resumed.platform().drift_enabled());
+        let outcome = {
+            let mut sink = store.sink().unwrap();
+            resumed.run_with(&mut sink)
+        };
+        assert_eq!(outcome.summary.iterations, 60);
+        assert_eq!(resumed.platform().epoch(), full.platform().epoch());
+        for (a, b) in full
+            .platform()
+            .history()
+            .records()
+            .iter()
+            .zip(resumed.platform().history().records())
+        {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.metric.map(f64::to_bits), b.metric.map(f64::to_bits));
+        }
+        assert_eq!(
+            outcome.summary.best_objective.map(f64::to_bits),
+            full_outcome.summary.best_objective.map(f64::to_bits)
+        );
+        // The store holds the epoch trail.
+        let loaded = SessionStore::open(&dir).unwrap().load().unwrap();
+        assert!(!loaded.epochs.is_empty());
+        assert!(!loaded.drift_events.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

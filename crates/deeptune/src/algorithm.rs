@@ -348,6 +348,29 @@ impl SearchAlgorithm for DeepTune {
         self.last_update_seconds += t0.elapsed().as_secs_f64();
     }
 
+    fn begin_epoch(&mut self, transfer: bool) {
+        // Continuous sessions: the workload shifted, the per-epoch replay
+        // buffer is stale. With `transfer`, self-checkpoint first — the
+        // trained DTM's weights and normalizers seed the next epoch
+        // exactly like a §3.3 cross-target transfer (warmup skipped,
+        // donor normalizers kept until 8 local observations); without it,
+        // restart cold. `train_rng` keeps advancing its stream either
+        // way, so an uninterrupted run and a replayed one stay bit-equal.
+        let ckpt = if transfer { self.checkpoint() } else { None };
+        self.xs.clear();
+        self.goodness.clear();
+        self.crashed.clear();
+        self.model = None;
+        self.x_norm = None;
+        self.y_norm = ScalarNorm::identity();
+        self.transferred = false;
+        self.pending_checkpoint = None;
+        if let Some(ckpt) = ckpt {
+            self.pending_checkpoint = Some(ckpt);
+            self.transferred = true;
+        }
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

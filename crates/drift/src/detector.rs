@@ -1,0 +1,371 @@
+//! Drift detectors over workload-signal streams.
+//!
+//! A detector folds [`SignalSample`]s one at a time and answers "has the
+//! workload shifted since this epoch began?". Detectors are plain f64
+//! state machines — no RNG, no clocks — so their decisions are a pure
+//! function of the sample sequence, which the platform's proptests
+//! exploit to show detection is invariant to worker count and backend.
+//!
+//! Two detectors ship:
+//!
+//! * [`MeanShift`] — freezes a baseline window at epoch start and
+//!   compares it against a sliding recent window; fires when the means
+//!   diverge by more than a relative threshold. Robust, easy to reason
+//!   about, detection latency ≈ two windows.
+//! * [`PageHinkley`] — a Page–Hinkley-style two-sided cumulative
+//!   (CUSUM) test on relative deviations from the baseline mean; fires
+//!   as soon as the accumulated drift mass crosses `lambda`, so large
+//!   shifts are confirmed within a couple of samples.
+
+use crate::signal::WorkloadSignal;
+
+/// One observation handed to a detector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SignalSample {
+    /// Stream index of the sample (the session's iteration counter).
+    pub index: u64,
+    /// Virtual time the sample was taken at.
+    pub t_s: f64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A detector's verdict after folding one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No confirmed shift.
+    Stable,
+    /// The workload has shifted since the epoch began.
+    Drift,
+}
+
+/// Diagnostic view of a detector's internal means (event payloads).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectorSnapshot {
+    /// Mean of the epoch's baseline window (0 until established).
+    pub baseline: f64,
+    /// Current estimate of the recent signal level.
+    pub current: f64,
+}
+
+/// Folds workload samples and decides when the epoch's workload has
+/// drifted. Implementations must be deterministic: the verdict sequence
+/// is a pure function of the sample sequence since the last `reset`.
+pub trait DriftDetector: Send {
+    /// Stable identifier, stored in `DriftDetected` events.
+    fn name(&self) -> &'static str;
+    /// Folds one sample; returns the verdict *after* this sample.
+    fn observe(&mut self, sample: &SignalSample) -> Verdict;
+    /// Forgets everything — called when a new epoch starts.
+    fn reset(&mut self);
+    /// Diagnostic means for event payloads.
+    fn snapshot(&self) -> DetectorSnapshot;
+}
+
+/// Windowed mean-shift detector.
+///
+/// The first `window` samples of the epoch freeze the baseline mean;
+/// afterwards a sliding window of the most recent `window` samples is
+/// compared against it. Drift is confirmed when the relative shift
+/// `|recent - baseline| / |baseline|` exceeds `threshold`.
+#[derive(Clone, Debug)]
+pub struct MeanShift {
+    window: usize,
+    threshold: f64,
+    baseline: Vec<f64>,
+    recent: std::collections::VecDeque<f64>,
+}
+
+impl MeanShift {
+    /// A detector with the given window length and relative threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `threshold <= 0`.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self {
+            window,
+            threshold,
+            baseline: Vec::with_capacity(window),
+            recent: std::collections::VecDeque::with_capacity(window),
+        }
+    }
+
+    fn baseline_mean(&self) -> f64 {
+        mean(self.baseline.iter().copied())
+    }
+}
+
+impl DriftDetector for MeanShift {
+    fn name(&self) -> &'static str {
+        "mean-shift"
+    }
+
+    fn observe(&mut self, sample: &SignalSample) -> Verdict {
+        if self.baseline.len() < self.window {
+            self.baseline.push(sample.value);
+            return Verdict::Stable;
+        }
+        self.recent.push_back(sample.value);
+        if self.recent.len() > self.window {
+            self.recent.pop_front();
+        }
+        if self.recent.len() < self.window {
+            return Verdict::Stable;
+        }
+        let base = self.baseline_mean();
+        let cur = mean(self.recent.iter().copied());
+        let scale = base.abs().max(f64::MIN_POSITIVE);
+        if (cur - base).abs() > self.threshold * scale {
+            Verdict::Drift
+        } else {
+            Verdict::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        self.baseline.clear();
+        self.recent.clear();
+    }
+
+    fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            baseline: if self.baseline.len() < self.window {
+                0.0
+            } else {
+                self.baseline_mean()
+            },
+            current: if self.recent.is_empty() {
+                0.0
+            } else {
+                mean(self.recent.iter().copied())
+            },
+        }
+    }
+}
+
+/// Page–Hinkley-style two-sided cumulative test.
+///
+/// The first `warmup` samples freeze the baseline mean `b`. Each later
+/// sample contributes its relative deviation `y = (x - b) / |b|` to two
+/// one-sided CUSUM accumulators (`max(0, m + y - delta)` upward,
+/// `max(0, m - y - delta)` downward); drift is confirmed when either
+/// exceeds `lambda`. `delta` absorbs measurement noise, `lambda` sets
+/// how much cumulative drift mass is required.
+#[derive(Clone, Debug)]
+pub struct PageHinkley {
+    warmup: usize,
+    delta: f64,
+    lambda: f64,
+    baseline: Vec<f64>,
+    m_up: f64,
+    m_dn: f64,
+    last: f64,
+}
+
+impl PageHinkley {
+    /// A detector with `warmup` baseline samples, insensitivity `delta`
+    /// and threshold `lambda` (both relative to the baseline mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup == 0` or `lambda <= 0`.
+    pub fn new(warmup: usize, delta: f64, lambda: f64) -> Self {
+        assert!(warmup > 0, "warmup must be positive");
+        assert!(lambda > 0.0, "lambda must be positive");
+        Self {
+            warmup,
+            delta,
+            lambda,
+            baseline: Vec::with_capacity(warmup),
+            m_up: 0.0,
+            m_dn: 0.0,
+            last: 0.0,
+        }
+    }
+
+    fn baseline_mean(&self) -> f64 {
+        mean(self.baseline.iter().copied())
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn name(&self) -> &'static str {
+        "page-hinkley"
+    }
+
+    fn observe(&mut self, sample: &SignalSample) -> Verdict {
+        self.last = sample.value;
+        if self.baseline.len() < self.warmup {
+            self.baseline.push(sample.value);
+            return Verdict::Stable;
+        }
+        let b = self.baseline_mean();
+        let y = (sample.value - b) / b.abs().max(f64::MIN_POSITIVE);
+        self.m_up = (self.m_up + y - self.delta).max(0.0);
+        self.m_dn = (self.m_dn - y - self.delta).max(0.0);
+        if self.m_up > self.lambda || self.m_dn > self.lambda {
+            Verdict::Drift
+        } else {
+            Verdict::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        self.baseline.clear();
+        self.m_up = 0.0;
+        self.m_dn = 0.0;
+        self.last = 0.0;
+    }
+
+    fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            baseline: if self.baseline.len() < self.warmup {
+                0.0
+            } else {
+                self.baseline_mean()
+            },
+            current: self.last,
+        }
+    }
+}
+
+/// Streams `samples` (as `(index, t_s)` pairs) from `signal` into
+/// `detector`; returns the position of the first confirming sample.
+/// Used by tests and the `drift/detector_step` bench op.
+pub fn run_until_drift(
+    signal: &mut dyn WorkloadSignal,
+    detector: &mut dyn DriftDetector,
+    samples: &[(u64, f64)],
+) -> Option<usize> {
+    for (pos, &(index, t_s)) in samples.iter().enumerate() {
+        let value = signal.sample(index, t_s);
+        let sample = SignalSample { index, t_s, value };
+        if detector.observe(&sample) == Verdict::Drift {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SyntheticSignal;
+    use proptest::prelude::*;
+
+    fn points(n: usize, dt: f64) -> Vec<(u64, f64)> {
+        (0..n).map(|i| (i as u64, i as f64 * dt)).collect()
+    }
+
+    #[test]
+    fn mean_shift_fires_on_a_step_and_not_on_stable() {
+        let pts = points(64, 10.0);
+        let mut stable = SyntheticSignal::step(10.0, 10.0, 1e9, 0.04, 11);
+        let mut det = MeanShift::new(6, 0.12);
+        assert_eq!(run_until_drift(&mut stable, &mut det, &pts), None);
+
+        det.reset();
+        let mut shifted = SyntheticSignal::step(10.0, 6.5, 200.0, 0.04, 11);
+        let hit = run_until_drift(&mut shifted, &mut det, &pts).expect("step must be detected");
+        // The shift lands at t=200 (sample 20); detection needs most of a
+        // recent window past it.
+        assert!(hit >= 20, "fired before the shift: {hit}");
+        assert!(hit <= 20 + 12, "fired too late: {hit}");
+    }
+
+    #[test]
+    fn page_hinkley_fires_fast_on_large_steps_both_directions() {
+        let pts = points(64, 10.0);
+        for (before, after) in [(10.0, 6.0), (10.0, 16.0)] {
+            let mut sig = SyntheticSignal::step(before, after, 200.0, 0.04, 5);
+            let mut det = PageHinkley::new(6, 0.05, 0.8);
+            let hit = run_until_drift(&mut sig, &mut det, &pts).expect("step must be detected");
+            assert!((20..=26).contains(&hit), "hit={hit}");
+        }
+    }
+
+    #[test]
+    fn page_hinkley_ignores_noise() {
+        let pts = points(128, 10.0);
+        let mut sig = SyntheticSignal::step(10.0, 10.0, 1e9, 0.08, 9);
+        let mut det = PageHinkley::new(6, 0.05, 0.8);
+        assert_eq!(run_until_drift(&mut sig, &mut det, &pts), None);
+    }
+
+    #[test]
+    fn reset_forgets_the_baseline() {
+        let pts = points(64, 10.0);
+        let mut sig = SyntheticSignal::step(10.0, 6.5, 200.0, 0.0, 3);
+        let mut det = MeanShift::new(4, 0.1);
+        run_until_drift(&mut sig, &mut det, &pts).expect("detects");
+        det.reset();
+        // Post-reset, the shifted level becomes the new baseline: stable.
+        let tail: Vec<_> = (40..104).map(|i| (i as u64, i as f64 * 10.0)).collect();
+        assert_eq!(run_until_drift(&mut sig, &mut det, &tail), None);
+    }
+
+    #[test]
+    fn snapshot_reports_means() {
+        let mut det = MeanShift::new(2, 0.1);
+        for (i, v) in [10.0, 10.0, 4.0, 4.0].iter().enumerate() {
+            det.observe(&SignalSample {
+                index: i as u64,
+                t_s: i as f64,
+                value: *v,
+            });
+        }
+        let snap = det.snapshot();
+        assert_eq!(snap.baseline, 10.0);
+        assert_eq!(snap.current, 4.0);
+    }
+
+    proptest! {
+        /// Detector folds are a pure function of the sample sequence:
+        /// feeding identical sequences (regardless of how the caller
+        /// batches them) yields identical verdict sequences. This is the
+        /// unit-level half of the platform's worker-count invariance
+        /// proptest.
+        #[test]
+        fn verdicts_are_pure_in_the_sample_sequence(
+            seed in 0u64..1000,
+            window in 2usize..8,
+            shift_at in 10usize..40,
+        ) {
+            let pts = points(64, 10.0);
+            let run = |det: &mut dyn DriftDetector| -> Vec<bool> {
+                let mut sig =
+                    SyntheticSignal::step(10.0, 7.0, shift_at as f64 * 10.0, 0.05, seed);
+                pts.iter()
+                    .map(|&(i, t)| {
+                        let v = sig.sample(i, t);
+                        det.observe(&SignalSample { index: i, t_s: t, value: v })
+                            == Verdict::Drift
+                    })
+                    .collect()
+            };
+            let mut a = MeanShift::new(window, 0.12);
+            let mut b = MeanShift::new(window, 0.12);
+            prop_assert_eq!(run(&mut a), run(&mut b));
+            let mut c = PageHinkley::new(window, 0.05, 0.8);
+            let mut d = PageHinkley::new(window, 0.05, 0.8);
+            prop_assert_eq!(run(&mut c), run(&mut d));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `wf-drift`: workload-signal streams and drift detection for
+//! *continuous specialization* (ROADMAP item 3; Iridescent in PAPERS.md
+//! specializes systems online as the workload shifts).
+//!
+//! A Wayfinder session normally runs to a budget and stops. In
+//! continuous mode the platform keeps a telemetry stream on the
+//! *deployed* configuration — a [`WorkloadSignal`] — and folds it
+//! through a [`DriftDetector`]. When the detector confirms a shift, the
+//! session closes its specialization *epoch* and re-specializes, seeded
+//! from the prior optimum (see `wf_platform`'s epoch engine).
+//!
+//! Everything here operates on **virtual time** and per-sample seeded
+//! RNG streams, so detection is bit-reproducible: the same session seed
+//! produces the same samples, the same detector folds, and the same
+//! drift decisions — on any worker count, backend, or host.
+//!
+//! * [`signal`] — the [`WorkloadSignal`] stream abstraction plus a
+//!   deterministic [`SyntheticSignal`] for tests and benchmarks;
+//! * [`detector`] — the [`DriftDetector`] trait and two detectors:
+//!   a windowed [`MeanShift`] test and a [`PageHinkley`]-style
+//!   cumulative (CUSUM) test.
+
+pub mod detector;
+pub mod signal;
+
+pub use detector::{
+    run_until_drift, DetectorSnapshot, DriftDetector, MeanShift, PageHinkley, SignalSample, Verdict,
+};
+pub use signal::{mix64, SyntheticSignal, WorkloadSignal};

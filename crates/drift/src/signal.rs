@@ -1,0 +1,131 @@
+//! Deterministic, seeded workload-signal streams.
+//!
+//! A signal models the telemetry a production system emits about its
+//! workload (request rate, hit ratio, measured throughput of the
+//! deployed configuration). Samples are indexed — the `index`-th sample
+//! of a stream draws from an RNG derived from `(seed, index)`, never
+//! from a shared stream — so a sample's value does not depend on when,
+//! where, or in what batch it was taken. That is the property that
+//! makes drift detection invariant to worker count and backend.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finalizer over a `(seed, index)` pair: an independent
+/// stream seed per sample. Same construction as the platform's
+/// `derive_seed`, duplicated here so the signal layer stays
+/// dependency-free.
+pub fn mix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic stream of workload observations on virtual time.
+///
+/// `sample(index, t_s)` returns the `index`-th observation of the
+/// stream, taken at virtual time `t_s`. Implementations must be pure in
+/// `(construction state, index, t_s)`: calling `sample` twice with the
+/// same arguments returns the bit-identical value, and samples at
+/// different indices must not share RNG state.
+pub trait WorkloadSignal {
+    /// The `index`-th observation of the stream at virtual time `t_s`.
+    fn sample(&mut self, index: u64, t_s: f64) -> f64;
+}
+
+/// A piecewise-constant level with multiplicative noise — the synthetic
+/// stand-in for tests and `wfctl bench`.
+///
+/// The level at time `t` is the last segment whose start is `<= t`;
+/// each sample multiplies it by `1 + noise * u` where `u` is a centered
+/// uniform draw from the per-index stream.
+#[derive(Clone, Debug)]
+pub struct SyntheticSignal {
+    /// `(starts_at_s, level)` segments, sorted by start; first at 0.
+    segments: Vec<(f64, f64)>,
+    /// Relative noise amplitude.
+    noise: f64,
+    /// Stream seed.
+    seed: u64,
+}
+
+impl SyntheticSignal {
+    /// Builds a signal from `(starts_at_s, level)` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, unsorted, or does not start at 0.
+    pub fn new(segments: Vec<(f64, f64)>, noise: f64, seed: u64) -> Self {
+        assert!(!segments.is_empty(), "signal needs at least one segment");
+        assert_eq!(segments[0].0, 0.0, "first segment must start at t=0");
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "segments must be strictly sorted by start time"
+        );
+        Self {
+            segments,
+            noise,
+            seed,
+        }
+    }
+
+    /// A single step: `before` until `at_s`, `after` from then on.
+    pub fn step(before: f64, after: f64, at_s: f64, noise: f64, seed: u64) -> Self {
+        Self::new(vec![(0.0, before), (at_s, after)], noise, seed)
+    }
+
+    /// The noise-free level at `t_s`.
+    pub fn level_at(&self, t_s: f64) -> f64 {
+        self.segments
+            .iter()
+            .rev()
+            .find(|(start, _)| *start <= t_s)
+            .map(|(_, level)| *level)
+            .unwrap_or(self.segments[0].1)
+    }
+}
+
+impl WorkloadSignal for SyntheticSignal {
+    fn sample(&mut self, index: u64, t_s: f64) -> f64 {
+        let level = self.level_at(t_s);
+        if self.noise <= 0.0 {
+            return level;
+        }
+        let mut rng = StdRng::seed_from_u64(mix64(self.seed, index));
+        level * (1.0 + self.noise * (rng.random::<f64>() - 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_pure_in_seed_and_index() {
+        let mut a = SyntheticSignal::step(10.0, 6.0, 100.0, 0.05, 42);
+        let mut b = SyntheticSignal::step(10.0, 6.0, 100.0, 0.05, 42);
+        for i in 0..32 {
+            let t = i as f64 * 10.0;
+            assert_eq!(a.sample(i, t).to_bits(), b.sample(i, t).to_bits());
+        }
+    }
+
+    #[test]
+    fn level_follows_segments() {
+        let s = SyntheticSignal::new(vec![(0.0, 1.0), (50.0, 2.0), (90.0, 0.5)], 0.0, 1);
+        assert_eq!(s.level_at(0.0), 1.0);
+        assert_eq!(s.level_at(49.9), 1.0);
+        assert_eq!(s.level_at(50.0), 2.0);
+        assert_eq!(s.level_at(1e9), 0.5);
+    }
+
+    #[test]
+    fn different_indices_draw_independent_noise() {
+        let mut s = SyntheticSignal::step(10.0, 10.0, 1e9, 0.5, 7);
+        let a = s.sample(0, 0.0);
+        let b = s.sample(1, 0.0);
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+}

@@ -14,7 +14,7 @@ pub mod schema;
 pub mod yaml;
 
 pub use schema::{
-    AlgorithmId, BackendChoice, Budget, Direction, Focus, Job, JobError, ParamDecl, Pin,
-    RoutingStrategy,
+    AlgorithmId, BackendChoice, Budget, DetectorId, Direction, DriftScenarioId, DriftSpec, Focus,
+    Job, JobError, Mode, ParamDecl, Pin, RoutingStrategy,
 };
 pub use yaml::{Yaml, YamlError};

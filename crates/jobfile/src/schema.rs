@@ -175,6 +175,137 @@ impl RoutingStrategy {
     }
 }
 
+/// Session mode: specialize once, or keep adapting to a drifting
+/// workload (continuous specialization).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Mode {
+    /// Optimize a fixed workload and stop at the budget (the paper's
+    /// experiments).
+    #[default]
+    OneShot,
+    /// Watch deployed-reference telemetry for drift and re-specialize
+    /// epoch by epoch; requires a `drift:` section.
+    Continuous,
+}
+
+impl Mode {
+    /// The job-file keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Mode::OneShot => "one-shot",
+            Mode::Continuous => "continuous",
+        }
+    }
+
+    /// Parses a job-file keyword.
+    pub fn parse_keyword(s: &str) -> Option<Mode> {
+        match s {
+            "one-shot" | "oneshot" | "one_shot" => Some(Mode::OneShot),
+            "continuous" => Some(Mode::Continuous),
+            _ => None,
+        }
+    }
+}
+
+/// Drifting-workload scenario family (mirrors `wf-ossim`'s scenarios).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DriftScenarioId {
+    /// One permanent workload shift.
+    #[default]
+    Step,
+    /// A repeating base → busy → peak traffic cycle.
+    Diurnal,
+    /// A transient overload: steady → flash → steady.
+    FlashCrowd,
+}
+
+impl DriftScenarioId {
+    /// The job-file keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DriftScenarioId::Step => "step",
+            DriftScenarioId::Diurnal => "diurnal",
+            DriftScenarioId::FlashCrowd => "flash-crowd",
+        }
+    }
+
+    /// Parses a job-file keyword.
+    pub fn parse_keyword(s: &str) -> Option<DriftScenarioId> {
+        match s {
+            "step" => Some(DriftScenarioId::Step),
+            "diurnal" => Some(DriftScenarioId::Diurnal),
+            "flash-crowd" | "flash_crowd" | "flashcrowd" => Some(DriftScenarioId::FlashCrowd),
+            _ => None,
+        }
+    }
+}
+
+/// Change-detector selection for continuous mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DetectorId {
+    /// Sliding-window mean-shift detector.
+    #[default]
+    MeanShift,
+    /// Page–Hinkley two-sided CUSUM detector.
+    PageHinkley,
+}
+
+impl DetectorId {
+    /// The job-file keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DetectorId::MeanShift => "mean-shift",
+            DetectorId::PageHinkley => "page-hinkley",
+        }
+    }
+
+    /// Parses a job-file keyword.
+    pub fn parse_keyword(s: &str) -> Option<DetectorId> {
+        match s {
+            "mean-shift" | "mean_shift" | "meanshift" => Some(DetectorId::MeanShift),
+            "page-hinkley" | "page_hinkley" | "pagehinkley" => Some(DetectorId::PageHinkley),
+            _ => None,
+        }
+    }
+}
+
+/// The `drift:` section of a continuous job: what drifts and how change
+/// is confirmed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftSpec {
+    /// Scenario family the simulated workload follows.
+    pub scenario: DriftScenarioId,
+    /// Change detector watching the deployed reference's telemetry.
+    pub detector: DetectorId,
+    /// Virtual seconds until the first workload shift (scenario phase
+    /// length).
+    pub shift_at_s: f64,
+    /// Detector window (mean-shift) or warm-up length (page-hinkley),
+    /// in samples.
+    pub window: usize,
+    /// Relative change magnitude that confirms a drift.
+    pub threshold: f64,
+    /// Minimum candidates an epoch runs before a verdict may close it.
+    pub min_epoch: usize,
+    /// Seed each new epoch's search from the closed epoch's model
+    /// instead of restarting cold.
+    pub transfer: bool,
+}
+
+impl Default for DriftSpec {
+    fn default() -> Self {
+        Self {
+            scenario: DriftScenarioId::Step,
+            detector: DetectorId::MeanShift,
+            shift_at_s: 900.0,
+            window: 6,
+            threshold: 0.15,
+            min_epoch: 8,
+            transfer: true,
+        }
+    }
+}
+
 /// Search algorithm selection (§3.1 lists the supported plug-ins).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum AlgorithmId {
@@ -274,6 +405,10 @@ pub struct Job {
     pub daemon: Option<String>,
     /// Budget.
     pub budget: Budget,
+    /// Session mode: one-shot (default) or continuous re-specialization.
+    pub mode: Mode,
+    /// Continuous-mode drift section; present iff `mode: continuous`.
+    pub drift: Option<DriftSpec>,
     /// Pinned parameters.
     pub pinned: Vec<Pin>,
     /// Explicit parameter declarations (empty = use the OS's own space).
@@ -302,6 +437,8 @@ impl Default for Job {
                 iterations: Some(250),
                 time_seconds: None,
             },
+            mode: Mode::OneShot,
+            drift: None,
             pinned: Vec::new(),
             params: Vec::new(),
         }
@@ -480,6 +617,77 @@ impl Job {
                     }
                     job.budget = b;
                 }
+                "mode" => {
+                    let raw = req_str(value, "mode")?;
+                    job.mode = Mode::parse_keyword(&raw).ok_or_else(|| {
+                        err(
+                            "mode",
+                            format!("unknown {raw:?} (expected one-shot | continuous)"),
+                        )
+                    })?
+                }
+                "drift" => {
+                    let mut d = DriftSpec::default();
+                    for (dk, dv) in value
+                        .as_map()
+                        .ok_or_else(|| err("drift", "must be a mapping"))?
+                    {
+                        match dk.as_str() {
+                            "scenario" => {
+                                let raw = req_str(dv, "drift.scenario")?;
+                                d.scenario =
+                                    DriftScenarioId::parse_keyword(&raw).ok_or_else(|| {
+                                        err(
+                                            "drift.scenario",
+                                            format!(
+                                                "unknown {raw:?} (expected step | diurnal | flash-crowd)"
+                                            ),
+                                        )
+                                    })?
+                            }
+                            "detector" => {
+                                let raw = req_str(dv, "drift.detector")?;
+                                d.detector = DetectorId::parse_keyword(&raw).ok_or_else(|| {
+                                    err(
+                                        "drift.detector",
+                                        format!(
+                                            "unknown {raw:?} (expected mean-shift | page-hinkley)"
+                                        ),
+                                    )
+                                })?
+                            }
+                            "shift_at_s" => {
+                                d.shift_at_s =
+                                    dv.as_float().filter(|v| *v > 0.0).ok_or_else(|| {
+                                        err("drift.shift_at_s", "must be a positive number")
+                                    })?
+                            }
+                            "window" => {
+                                d.window = dv.as_int().filter(|v| *v >= 1).ok_or_else(|| {
+                                    err("drift.window", "must be a positive integer")
+                                })? as usize
+                            }
+                            "threshold" => {
+                                d.threshold =
+                                    dv.as_float().filter(|v| *v > 0.0).ok_or_else(|| {
+                                        err("drift.threshold", "must be a positive number")
+                                    })?
+                            }
+                            "min_epoch" => {
+                                d.min_epoch = dv.as_int().filter(|v| *v >= 1).ok_or_else(|| {
+                                    err("drift.min_epoch", "must be a positive integer")
+                                })? as usize
+                            }
+                            "transfer" => {
+                                d.transfer = dv
+                                    .as_bool()
+                                    .ok_or_else(|| err("drift.transfer", "must be a boolean"))?
+                            }
+                            other => return Err(err("drift", format!("unknown key {other:?}"))),
+                        }
+                    }
+                    job.drift = Some(d);
+                }
                 "pinned" => {
                     let seq = value
                         .as_seq()
@@ -509,6 +717,15 @@ impl Job {
                 }
                 other => return Err(err("(root)", format!("unknown key {other:?}"))),
             }
+        }
+        match (job.mode, &job.drift) {
+            (Mode::Continuous, None) => {
+                return Err(err("mode", "continuous mode requires a drift: section"))
+            }
+            (Mode::OneShot, Some(_)) => {
+                return Err(err("drift", "drift: requires mode: continuous"))
+            }
+            _ => {}
         }
         Ok(job)
     }
@@ -560,6 +777,23 @@ impl Job {
         }
         if !budget.is_empty() {
             root.push(("budget".into(), Yaml::Map(budget)));
+        }
+        if self.mode != Mode::OneShot {
+            root.push(("mode".into(), Yaml::Str(self.mode.keyword().into())));
+        }
+        if let Some(d) = &self.drift {
+            root.push((
+                "drift".into(),
+                Yaml::Map(vec![
+                    ("scenario".into(), Yaml::Str(d.scenario.keyword().into())),
+                    ("detector".into(), Yaml::Str(d.detector.keyword().into())),
+                    ("shift_at_s".into(), Yaml::Float(d.shift_at_s)),
+                    ("window".into(), Yaml::Int(d.window as i64)),
+                    ("threshold".into(), Yaml::Float(d.threshold)),
+                    ("min_epoch".into(), Yaml::Int(d.min_epoch as i64)),
+                    ("transfer".into(), Yaml::Bool(d.transfer)),
+                ]),
+            ));
         }
         if !self.pinned.is_empty() {
             root.push((
@@ -991,6 +1225,70 @@ params:
     #[test]
     fn yaml_round_trip() {
         let job = Job::parse(FULL).unwrap();
+        let text = job.to_yaml();
+        let back = Job::parse(&text).expect("emitted job parses");
+        assert_eq!(job, back, "emitted:\n{text}");
+    }
+
+    #[test]
+    fn continuous_mode_parses_with_drift_section() {
+        let job = Job::parse(
+            "name: x\nmode: continuous\ndrift:\n  scenario: diurnal\n  detector: page-hinkley\n  shift_at_s: 600\n  window: 10\n  threshold: 0.2\n  min_epoch: 12\n  transfer: false\n",
+        )
+        .unwrap();
+        assert_eq!(job.mode, Mode::Continuous);
+        let d = job.drift.expect("drift section");
+        assert_eq!(d.scenario, DriftScenarioId::Diurnal);
+        assert_eq!(d.detector, DetectorId::PageHinkley);
+        assert_eq!(d.shift_at_s, 600.0);
+        assert_eq!(d.window, 10);
+        assert_eq!(d.threshold, 0.2);
+        assert_eq!(d.min_epoch, 12);
+        assert!(!d.transfer);
+    }
+
+    #[test]
+    fn drift_defaults_fill_in() {
+        let job = Job::parse("name: x\nmode: continuous\ndrift:\n  scenario: step\n").unwrap();
+        let d = job.drift.unwrap();
+        assert_eq!(d, DriftSpec::default());
+    }
+
+    #[test]
+    fn mode_and_drift_must_agree() {
+        let e = Job::parse("name: x\nmode: continuous\n").unwrap_err();
+        assert!(e.message.contains("drift"));
+        let e = Job::parse("name: x\ndrift:\n  scenario: step\n").unwrap_err();
+        assert!(e.message.contains("continuous"));
+    }
+
+    #[test]
+    fn bad_drift_values_are_rejected() {
+        assert!(Job::parse("name: x\nmode: continuous\ndrift:\n  scenario: tide\n").is_err());
+        assert!(
+            Job::parse("name: x\nmode: continuous\ndrift:\n  scenario: step\n  window: 0\n")
+                .is_err()
+        );
+        assert!(Job::parse(
+            "name: x\nmode: continuous\ndrift:\n  scenario: step\n  threshold: -1\n"
+        )
+        .is_err());
+        assert!(Job::parse("name: x\nmode: frozen\n").is_err());
+    }
+
+    #[test]
+    fn continuous_job_round_trips() {
+        let mut job = Job::parse(FULL).unwrap();
+        job.mode = Mode::Continuous;
+        job.drift = Some(DriftSpec {
+            scenario: DriftScenarioId::FlashCrowd,
+            detector: DetectorId::PageHinkley,
+            shift_at_s: 450.0,
+            window: 9,
+            threshold: 0.3,
+            min_epoch: 6,
+            transfer: false,
+        });
         let text = job.to_yaml();
         let back = Job::parse(&text).expect("emitted job parses");
         assert_eq!(job, back, "emitted:\n{text}");

@@ -170,16 +170,24 @@ impl App {
         rng: &mut impl Rng,
     ) -> f64 {
         let factor = self.perf.sample_factor(view, defaults, rng);
-        let cores_scale = machine.grant_cores(self.cores) as f64 / self.cores as f64;
-        let clock_scale = (machine.clock_ghz / 2.7).min(1.5);
-        let hw = if self.cores > 1 {
-            cores_scale * clock_scale
-        } else {
-            clock_scale
-        };
+        let hw = self.hw_factor(machine);
         match self.direction {
             MetricDirection::HigherBetter => self.base * factor * hw,
             MetricDirection::LowerBetter => self.base / (factor * hw),
+        }
+    }
+
+    /// The machine's multiplicative contribution to this application's
+    /// metric (core grant × clock scale). Factored out so oracle
+    /// computations (e.g. drifting-workload phase oracles) use exactly
+    /// the scaling [`App::measure`] applies.
+    pub fn hw_factor(&self, machine: &Machine) -> f64 {
+        let cores_scale = machine.grant_cores(self.cores) as f64 / self.cores as f64;
+        let clock_scale = (machine.clock_ghz / 2.7).min(1.5);
+        if self.cores > 1 {
+            cores_scale * clock_scale
+        } else {
+            clock_scale
         }
     }
 

@@ -17,6 +17,8 @@
 //!   rules, per-version populations matching Table 1;
 //! * [`apps`] — Nginx, Redis, SQLite, NPB with paper-calibrated
 //!   sensitivities (Table 2, Fig. 5, Fig. 6);
+//! * [`drift`] — drifting workloads: phase schedules (step / diurnal /
+//!   flash crowd) over the response surface, with per-phase oracles;
 //! * [`unikraft`] — the 33-parameter Unikraft+Nginx target (Fig. 9);
 //! * [`sim`] — [`SimOs`]: build → boot → benchmark with virtual time.
 //!
@@ -26,6 +28,7 @@
 
 pub mod apps;
 pub mod curve;
+pub mod drift;
 pub mod footprint;
 pub mod linux;
 pub mod machine;
@@ -37,6 +40,7 @@ pub mod unikraft;
 
 pub use apps::{App, AppId, MetricDirection};
 pub use curve::{Cond, Curve};
+pub use drift::{shifted_workload, DriftScenario, DriftSchedule, WorkloadPhase};
 pub use footprint::FootprintModel;
 pub use machine::Machine;
 pub use perfmodel::{first_crash, CrashRule, Interaction, ParamEffect, PerfModel, Phase};

@@ -1,0 +1,149 @@
+//! Continuous specialization: epochs over a drifting workload.
+//!
+//! A one-shot session optimizes a *fixed* response surface. In
+//! continuous mode ([`crate::Session::enable_drift`]) the workload is a
+//! [`DriftSchedule`] — a phase sequence over virtual compute time — and
+//! the session watches its own deployment for change:
+//!
+//! 1. every successful candidate's metric is re-drawn against the phase
+//!    active at the candidate's own virtual compute time, so the search
+//!    genuinely races a moving optimum;
+//! 2. alongside every candidate (crashed or not), one telemetry sample
+//!    of the *deployed reference* configuration is measured from the
+//!    candidate's own RNG stream and fed to a [`DriftDetector`];
+//! 3. on a confirmed verdict at a wave boundary, the epoch closes: the
+//!    detector resets, the search re-seeds
+//!    ([`wf_search::SearchAlgorithm::begin_epoch`] — transfer-seeded
+//!    from the closed epoch's model or restarted cold), the epoch's
+//!    best becomes the new deployed reference, and
+//!    `DriftDetected`/`EpochStarted` events land in the store.
+//!
+//! Everything is a pure function of the session seed and the recorded
+//! durations, so [`crate::Session::replay`] re-derives the same epoch
+//! boundaries offline, bit-for-bit, without emitting anything — the
+//! resume guarantee extends across epoch boundaries unchanged.
+
+use crate::workers::{self, derive_seed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wf_configspace::NamedConfig;
+use wf_drift::{DetectorSnapshot, DriftDetector, SignalSample, Verdict};
+use wf_ossim::DriftSchedule;
+
+/// Continuous-mode parameters: what drifts and how change is confirmed.
+pub struct DriftConfig {
+    /// The drifting workload the session optimizes against.
+    pub schedule: DriftSchedule,
+    /// The change detector, fed one telemetry sample per candidate in
+    /// iteration order.
+    pub detector: Box<dyn DriftDetector>,
+    /// Minimum candidates an epoch must run before a verdict may close
+    /// it — absorbs the detector's warm-up on the fresh reference after
+    /// each re-deployment.
+    pub min_epoch: usize,
+    /// Seed each new epoch's search from the closed epoch's model (the
+    /// generalized `transfer_checkpoint` path) instead of restarting
+    /// cold.
+    pub transfer: bool,
+}
+
+/// One confirmed detection, extracted at a wave boundary.
+pub(crate) struct Detection {
+    /// Iteration whose sample triggered the verdict.
+    pub(crate) at_iteration: usize,
+    /// Virtual compute time of that sample.
+    pub(crate) at_s: f64,
+    /// The detector's estimates at the verdict.
+    pub(crate) snapshot: DetectorSnapshot,
+}
+
+/// Live drift state carried by a continuous [`crate::Session`].
+pub(crate) struct DriftState {
+    pub(crate) config: DriftConfig,
+    /// Current epoch index.
+    pub(crate) epoch: usize,
+    /// History index where the current epoch began (search algorithms
+    /// see history from here; detector warm-up counts from here).
+    pub(crate) epoch_start: usize,
+    /// The deployed reference whose telemetry the detector watches: OS
+    /// defaults for epoch 0, the best configuration of the closed epoch
+    /// afterwards.
+    pub(crate) reference: NamedConfig,
+    /// The drift clock: candidate durations summed strictly one at a
+    /// time in iteration order. Numerically identical at every worker
+    /// count — unlike the session's compute clock, which adds per-wave
+    /// subtotals and so drifts by ULPs as the wave shape changes.
+    pub(crate) now_s: f64,
+}
+
+impl DriftState {
+    pub(crate) fn new(config: DriftConfig) -> Self {
+        DriftState {
+            config,
+            epoch: 0,
+            epoch_start: 0,
+            reference: NamedConfig::empty(),
+            now_s: 0.0,
+        }
+    }
+
+    /// The deployed reference's telemetry at candidate `iteration`,
+    /// virtual time `t_s`: one noisy measurement from the candidate's
+    /// own signal stream, identical no matter how the wave was scheduled
+    /// or whether the candidate itself crashed.
+    pub(crate) fn signal_sample(&self, session_seed: u64, iteration: usize, t_s: f64) -> f64 {
+        let candidate_seed = derive_seed(session_seed, iteration as u64);
+        let mut rng = StdRng::seed_from_u64(derive_seed(candidate_seed, workers::STREAM_SIGNAL));
+        self.config
+            .schedule
+            .measure_at(t_s, &self.reference, &mut rng)
+    }
+
+    /// A successful candidate's metric under the phase active at its own
+    /// virtual compute time, drawn from the candidate's drift stream.
+    pub(crate) fn drifted_metric(
+        &self,
+        session_seed: u64,
+        iteration: usize,
+        t_s: f64,
+        view: &NamedConfig,
+    ) -> f64 {
+        let candidate_seed = derive_seed(session_seed, iteration as u64);
+        let mut rng = StdRng::seed_from_u64(derive_seed(candidate_seed, workers::STREAM_DRIFT));
+        self.config.schedule.measure_at(t_s, view, &mut rng)
+    }
+
+    /// Feeds one telemetry sample; returns a [`Detection`] when the
+    /// verdict confirms a drift *and* the epoch has run at least
+    /// `min_epoch` candidates (including this one).
+    pub(crate) fn observe(&mut self, iteration: usize, t_s: f64, value: f64) -> Option<Detection> {
+        let sample = SignalSample {
+            index: iteration as u64,
+            t_s,
+            value,
+        };
+        let verdict = self.config.detector.observe(&sample);
+        let epoch_len = iteration + 1 - self.epoch_start;
+        if verdict == Verdict::Drift && epoch_len >= self.config.min_epoch {
+            Some(Detection {
+                at_iteration: iteration,
+                at_s: t_s,
+                snapshot: self.config.detector.snapshot(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Closes the current epoch: resets the detector, advances the epoch
+    /// counter, and re-deploys `reference` (kept unchanged when the
+    /// whole closing epoch crashed and left no best).
+    pub(crate) fn close_epoch(&mut self, next_start: usize, reference: Option<NamedConfig>) {
+        self.config.detector.reset();
+        self.epoch += 1;
+        self.epoch_start = next_start;
+        if let Some(reference) = reference {
+            self.reference = reference;
+        }
+    }
+}

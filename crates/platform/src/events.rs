@@ -68,6 +68,11 @@ use crate::target::TargetDescriptor;
 /// and finally `SessionFinished`. [`SessionEvent::CheckpointWritten`]
 /// originates in the persistence layer ([`crate::store::JsonlSink`]), not
 /// the session itself: it marks the store durable up to an iteration.
+///
+/// Continuous sessions ([`crate::DriftConfig`]) add two moments:
+/// `EpochStarted` right after `SessionStarted` on a fresh run (epoch 0),
+/// and `DriftDetected` → `EpochStarted` inside any wave whose telemetry
+/// confirms a workload shift, before that wave's `WaveCompleted`.
 #[derive(Clone, Debug)]
 pub enum SessionEvent {
     /// The session began (or resumed) running. `first_iteration` is 0 for
@@ -101,6 +106,44 @@ pub enum SessionEvent {
         iteration: usize,
         /// The new best objective value.
         objective: f64,
+    },
+    /// A continuous session's detector confirmed a workload drift.
+    /// Emitted inside the closing wave — after its candidates, before its
+    /// `WaveCompleted` — so the store's wave-atomic write covers it and a
+    /// torn tail drops the detection together with the incomplete wave.
+    DriftDetected {
+        /// The epoch this detection closes.
+        epoch: usize,
+        /// Iteration whose telemetry sample triggered the verdict.
+        at_iteration: usize,
+        /// Virtual compute time of the triggering sample.
+        at_s: f64,
+        /// Detector name (e.g. `mean-shift`, `page-hinkley`).
+        detector: String,
+        /// The detector's current signal estimate at the verdict.
+        signal: f64,
+        /// The detector's frozen baseline estimate.
+        baseline: f64,
+    },
+    /// A new specialization epoch began. Epoch 0 opens when a continuous
+    /// session first runs; every later epoch follows a `DriftDetected`
+    /// in the same wave.
+    EpochStarted {
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Global iteration index of the epoch's first candidate.
+        first_iteration: usize,
+        /// Virtual compute time the epoch opened at.
+        at_s: f64,
+        /// Whether the search was transfer-seeded from the closed epoch's
+        /// model (the generalized `transfer_checkpoint` path) rather than
+        /// restarted cold.
+        transfer: bool,
+        /// Workload phase active when the epoch opened.
+        phase: String,
+        /// Ground-truth oracle metric of that phase (drives the regret
+        /// column of `wfctl report`).
+        oracle_metric: f64,
     },
     /// A wave finished: scheduling and cache metrics for it.
     WaveCompleted(WaveStats),

@@ -37,12 +37,17 @@
 //!   API over a state root with one supervised thread and store per
 //!   session;
 //! * [`signal`] — the cooperative SIGINT/SIGTERM flag drive loops check
-//!   at wave boundaries so interrupts never tear the ledger.
+//!   at wave boundaries so interrupts never tear the ledger;
+//! * [`epoch`] — continuous specialization: drifting workloads
+//!   ([`wf_ossim::DriftSchedule`]) measured per candidate, deployed-
+//!   reference telemetry fed to a `wf_drift` detector, and epoch-based
+//!   re-specialization on confirmed drift ([`Session::enable_drift`]).
 
 pub mod backend;
 pub mod cache;
 pub mod clock;
 pub mod daemon;
+pub mod epoch;
 pub mod events;
 pub mod history;
 pub mod metrics;
@@ -61,6 +66,7 @@ pub use clock::VirtualClock;
 pub use daemon::{
     lock_recover, Daemon, SessionControl, SessionEntry, SessionLauncher, SessionStatus, SocketSink,
 };
+pub use epoch::DriftConfig;
 pub use events::{EventSink, NullSink, RecordingSink, SessionEvent, Tee};
 pub use history::{History, Record};
 pub use metrics::{
@@ -71,6 +77,6 @@ pub use pipeline::{default_workers, Objective, ReplayError, Session, SessionSpec
 pub use prober::{probe_runtime_space, ProbeReport};
 pub use remote::{serve, RemoteBackend, RemoteSpec};
 pub use router::{dispatch_wave, LaneStats, Router, RoutingStrategy};
-pub use store::{JsonlSink, SessionStore, StoreError, StoredSession};
+pub use store::{JsonlSink, SessionStore, StoreError, StoredDrift, StoredEpoch, StoredSession};
 pub use target::{EvalTarget, SimTarget, TargetDescriptor};
 pub use workers::{derive_seed, Pool};

@@ -57,6 +57,7 @@
 use crate::backend::{EvalBackend, InProcessBackend, SpawnBackend};
 use crate::cache::SharedImageCache;
 use crate::clock::VirtualClock;
+use crate::epoch::{DriftConfig, DriftState};
 use crate::events::{EventSink, NullSink, SessionEvent};
 use crate::history::{History, Record};
 use crate::metrics::{mean_occupancy, WaveStats};
@@ -288,6 +289,9 @@ pub struct Session {
     /// Running bounds for the Eq. 4 score.
     metric_bounds: (f64, f64),
     memory_bounds: (f64, f64),
+    /// Continuous-mode state ([`Session::enable_drift`]); `None` for the
+    /// classic one-shot session.
+    drift: Option<DriftState>,
 }
 
 impl Session {
@@ -372,8 +376,50 @@ impl Session {
             waves: Vec::new(),
             metric_bounds: (f64::MAX, f64::MIN),
             memory_bounds: (f64::MAX, f64::MIN),
+            drift: None,
             spec,
         }
+    }
+
+    /// Switches this session to continuous mode: candidates are measured
+    /// against `config.schedule`'s phase at their own virtual compute
+    /// time, the deployed reference's telemetry feeds `config.detector`,
+    /// and confirmed drifts close the epoch and re-seed the search (see
+    /// [`crate::epoch`]).
+    ///
+    /// Must be called before the session runs (or replays): the drift
+    /// axis is the compute clock, which starts at the first wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already has history.
+    pub fn enable_drift(&mut self, config: DriftConfig) {
+        assert!(
+            self.history.is_empty(),
+            "enable_drift on a session that already ran"
+        );
+        self.drift = Some(DriftState::new(config));
+    }
+
+    /// Whether this session runs in continuous mode.
+    pub fn drift_enabled(&self) -> bool {
+        self.drift.is_some()
+    }
+
+    /// Current epoch index (0 for one-shot sessions).
+    pub fn epoch(&self) -> usize {
+        self.drift.as_ref().map_or(0, |d| d.epoch)
+    }
+
+    /// History index where the current epoch began (0 for one-shot
+    /// sessions).
+    pub fn epoch_start(&self) -> usize {
+        self.drift.as_ref().map_or(0, |d| d.epoch_start)
+    }
+
+    /// The drifting workload, when continuous mode is on.
+    pub fn drift_schedule(&self) -> Option<&wf_ossim::DriftSchedule> {
+        self.drift.as_ref().map(|d| &d.config.schedule)
     }
 
     /// The session's wave width (lane count).
@@ -445,7 +491,12 @@ impl Session {
             .unwrap_or(usize::MAX);
         let n = self.workers().min(remaining);
 
-        let observations = self.history.observations();
+        // Continuous sessions restart the algorithm's visible history at
+        // each epoch boundary: the model was re-seeded there, and stale
+        // pre-drift observations would poison it. `ctx.iteration` stays
+        // global — it is the store's iteration axis.
+        let epoch_start = self.drift.as_ref().map_or(0, |d| d.epoch_start);
+        let observations = &self.history.observations()[epoch_start..];
         let direction = self.direction();
 
         // Ask.
@@ -493,6 +544,25 @@ impl Session {
         self.compute.advance(busy_s);
         let finished_at_s = self.clock.now_s();
 
+        // A candidate's position on the drift axis: the drift clock
+        // before the wave plus the per-candidate prefix sum of durations
+        // in iteration order — worker-count invariant to the bit. The
+        // clock itself advances in `drift_epilogue`, which re-derives
+        // the same sums.
+        let drift_times: Vec<f64> = match &self.drift {
+            Some(d) => {
+                let mut t = d.now_s;
+                evals
+                    .iter()
+                    .map(|e| {
+                        t += e.duration_s;
+                        t
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+
         // Record in candidate order (iteration order == proposal order,
         // regardless of which worker finished first). Evaluations come
         // back positionally, so each proposed configuration moves into
@@ -515,13 +585,27 @@ impl Session {
             match eval.outcome {
                 Err(crash) => record.crash_phase = Some(crash.phase),
                 Ok(r) => {
-                    record.metric = Some(r.metric);
+                    // Continuous mode re-draws the metric against the
+                    // phase active at the candidate's own virtual time;
+                    // the drifted value is what gets stored, so replay
+                    // (which recomputes objectives from stored metrics)
+                    // needs no drift model at all.
+                    let metric = match &self.drift {
+                        Some(drift) => drift.drifted_metric(
+                            self.spec.seed,
+                            start + offset,
+                            drift_times[offset],
+                            &record.config.named(self.target.space()),
+                        ),
+                        None => r.metric,
+                    };
+                    record.metric = Some(metric);
                     record.memory_mb = Some(r.memory_mb);
                     record.objective = Some(Self::objective_of(
                         self.spec.objective,
                         &mut self.metric_bounds,
                         &mut self.memory_bounds,
-                        r.metric,
+                        metric,
                         r.memory_mb,
                     ));
                 }
@@ -566,6 +650,14 @@ impl Session {
             self.history.push(record);
         }
 
+        // Continuous mode: scan the wave's telemetry and, on a confirmed
+        // drift, close the epoch. The events land *inside* the wave —
+        // before `WaveCompleted` — so the store's wave-atomic write
+        // covers them and a torn tail drops them with the wave.
+        for event in self.drift_epilogue(start) {
+            sink.on_event(&event);
+        }
+
         let wave_stats = WaveStats {
             wave: wave_index,
             size: n,
@@ -577,6 +669,85 @@ impl Session {
         self.waves.push(wave_stats);
         sink.on_event(&SessionEvent::WaveCompleted(wave_stats));
         &self.history.records()[start..]
+    }
+
+    /// The continuous-mode wave epilogue, shared verbatim by the live
+    /// and replay paths: feeds the detector one deployed-telemetry
+    /// sample per candidate of the wave starting at `start`, and on the
+    /// first confirmed verdict closes the epoch — resets the detector,
+    /// re-seeds the search ([`wf_search::SearchAlgorithm::begin_epoch`]),
+    /// and moves the deployed reference to the closed epoch's best.
+    /// Returns the events the live path must emit; replay discards them
+    /// (the store already holds them).
+    fn drift_epilogue(&mut self, start: usize) -> Vec<SessionEvent> {
+        if self.drift.is_none() {
+            return Vec::new();
+        }
+        let seed = self.spec.seed;
+        let detection = {
+            let drift = self.drift.as_mut().expect("checked above");
+            let mut t = drift.now_s;
+            let mut detection = None;
+            // Every sample is fed even after a verdict latched: the
+            // detector resets below either way, and a fixed feed order
+            // keeps the scan identical between live and replay.
+            for r in &self.history.records()[start..] {
+                t += r.duration_s;
+                let value = drift.signal_sample(seed, r.iteration, t);
+                let d = drift.observe(r.iteration, t, value);
+                if detection.is_none() {
+                    detection = d;
+                }
+            }
+            drift.now_s = t;
+            detection
+        };
+        let Some(det) = detection else {
+            return Vec::new();
+        };
+
+        // The closing epoch's best deployment becomes the telemetry
+        // reference of the next one (kept if the whole epoch crashed).
+        let direction = self.direction();
+        let epoch_start = self.drift.as_ref().expect("checked above").epoch_start;
+        let mut best: Option<&Record> = None;
+        for r in &self.history.records()[epoch_start..] {
+            let Some(objective) = r.objective else {
+                continue;
+            };
+            if best
+                .and_then(|b| b.objective)
+                .is_none_or(|b| direction.better(objective, b))
+            {
+                best = Some(r);
+            }
+        }
+        let reference = best.map(|r| r.config.named(self.target.space()));
+
+        let next_start = self.history.len();
+        let drift = self.drift.as_mut().expect("checked above");
+        let at_s = drift.now_s;
+        let transfer = drift.config.transfer;
+        let detected = SessionEvent::DriftDetected {
+            epoch: drift.epoch,
+            at_iteration: det.at_iteration,
+            at_s: det.at_s,
+            detector: drift.config.detector.name().into(),
+            signal: det.snapshot.current,
+            baseline: det.snapshot.baseline,
+        };
+        drift.close_epoch(next_start, reference);
+        self.algorithm.begin_epoch(transfer);
+        let drift = self.drift.as_ref().expect("checked above");
+        let started = SessionEvent::EpochStarted {
+            epoch: drift.epoch,
+            first_iteration: next_start,
+            at_s,
+            transfer,
+            phase: drift.config.schedule.phase_at(at_s).name.clone(),
+            oracle_metric: drift.config.schedule.oracle_metric_at(at_s),
+        };
+        vec![detected, started]
     }
 
     /// Runs one wave and returns its last record (compatibility shim for
@@ -612,6 +783,13 @@ impl Session {
         should_stop: &mut dyn FnMut() -> bool,
     ) -> (SessionSummary, bool) {
         sink.on_event(&self.start_event());
+        // A fresh continuous session opens epoch 0 explicitly; a resumed
+        // one replays past the stored epoch events instead.
+        if self.history.is_empty() {
+            if let Some(event) = self.epoch_zero_event() {
+                sink.on_event(&event);
+            }
+        }
         while !self.done() {
             if should_stop() {
                 return (self.summary(), false);
@@ -621,6 +799,20 @@ impl Session {
         let summary = self.summary();
         sink.on_event(&SessionEvent::SessionFinished(summary.clone()));
         (summary, true)
+    }
+
+    /// The `EpochStarted` event a fresh continuous session opens with
+    /// (`None` for one-shot sessions).
+    pub fn epoch_zero_event(&self) -> Option<SessionEvent> {
+        let drift = self.drift.as_ref()?;
+        Some(SessionEvent::EpochStarted {
+            epoch: 0,
+            first_iteration: 0,
+            at_s: 0.0,
+            transfer: false,
+            phase: drift.config.schedule.phase_at(0.0).name.clone(),
+            oracle_metric: drift.config.schedule.oracle_metric_at(0.0),
+        })
     }
 
     /// The `SessionStarted` event describing this session right now
@@ -704,7 +896,9 @@ impl Session {
             }
         }
 
-        let observations = self.history.observations();
+        // Epoch-local history, exactly as the live wave sliced it.
+        let epoch_start = self.drift.as_ref().map_or(0, |d| d.epoch_start);
+        let observations = &self.history.observations()[epoch_start..];
         let direction = self.direction();
 
         // Re-ask: advances the session RNG and the algorithm's internal
@@ -844,6 +1038,14 @@ impl Session {
         for record in records {
             self.history.push(record);
         }
+
+        // Re-run the continuous-mode epilogue: the telemetry scan is a
+        // pure function of (seed, stored durations, reference), so the
+        // same epoch boundaries re-close and the detector, algorithm,
+        // and reference end exactly where the live run left them. The
+        // events are discarded — the store already holds them.
+        let _ = self.drift_epilogue(start);
+
         self.waves.push(WaveStats {
             wave: wave_index,
             size: n,
@@ -957,8 +1159,10 @@ fn normalized(v: f64, (lo, hi): (f64, f64)) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::RecordingSink;
+    use wf_drift::MeanShift;
     use wf_kconfig::LinuxVersion;
-    use wf_ossim::AppId;
+    use wf_ossim::{AppId, DriftScenario, DriftSchedule};
     use wf_search::RandomSearch;
 
     fn session_with_workers(iters: usize, seed: u64, workers: usize) -> Session {
@@ -1238,6 +1442,123 @@ mod tests {
         resumed.replay(&stored, &wave_sizes).expect("replay");
         let _ = resumed.run();
         assert_eq!(trace(&full), trace(&resumed));
+    }
+
+    /// A continuous step-change session: shift early enough that a
+    /// 60-iteration budget comfortably spans both phases.
+    fn drift_session(iters: usize, seed: u64, workers: usize) -> Session {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 56);
+        let app = App::by_id(AppId::Nginx);
+        let schedule = DriftSchedule::scenario(DriftScenario::Step, &os, &app, 900.0);
+        let mut s = Session::new(
+            os,
+            app,
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: Some(iters),
+                    time_seconds: None,
+                },
+                seed,
+                workers,
+                ..SessionSpec::default()
+            },
+        );
+        s.enable_drift(DriftConfig {
+            schedule,
+            detector: Box::new(MeanShift::new(6, 0.15)),
+            min_epoch: 8,
+            transfer: false,
+        });
+        s
+    }
+
+    #[test]
+    fn continuous_session_detects_the_step_and_reopens() {
+        let mut s = drift_session(60, 7, 2);
+        let mut sink = RecordingSink::new();
+        let _ = s.run_with(&mut sink);
+        assert!(s.epoch() >= 1, "the step must close epoch 0");
+
+        let detections: Vec<(usize, usize)> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::DriftDetected {
+                    epoch,
+                    at_iteration,
+                    ..
+                } => Some((*epoch, *at_iteration)),
+                _ => None,
+            })
+            .collect();
+        assert!(!detections.is_empty());
+        assert_eq!(detections[0].0, 0, "the first detection closes epoch 0");
+        assert!(detections[0].1 >= 8, "min_epoch gates the verdict");
+
+        let epochs: Vec<usize> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::EpochStarted { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        assert!(epochs.len() >= 2, "epoch 0 plus at least one reopening");
+        assert_eq!(epochs[0], 0);
+        assert_eq!(epochs[1], 1);
+    }
+
+    #[test]
+    fn drift_detection_is_worker_count_invariant() {
+        // The drift axis is the compute clock, so the *first* detection
+        // lands on the same candidate at the same virtual time no matter
+        // how the waves were scheduled (epoch boundaries align to wave
+        // boundaries, so later epochs may legitimately differ).
+        let first = |workers: usize| -> (usize, u64) {
+            let mut s = drift_session(60, 7, workers);
+            let mut sink = RecordingSink::new();
+            let _ = s.run_with(&mut sink);
+            sink.events
+                .iter()
+                .find_map(|e| match e {
+                    SessionEvent::DriftDetected {
+                        at_iteration, at_s, ..
+                    } => Some((*at_iteration, at_s.to_bits())),
+                    _ => None,
+                })
+                .expect("a detection")
+        };
+        let one = first(1);
+        assert_eq!(one, first(2));
+        assert_eq!(one, first(4));
+    }
+
+    #[test]
+    fn continuous_replay_then_continue_matches_uninterrupted() {
+        // The resume guarantee across an epoch boundary: interrupt after
+        // the drift fired, replay, continue — bit-exact.
+        let mut full = drift_session(60, 11, 2);
+        let _ = full.run();
+        assert!(full.epoch() >= 1);
+
+        let mut interrupted = drift_session(60, 11, 2);
+        // Step until the epoch has advanced, then a couple more waves.
+        while interrupted.epoch() == 0 {
+            interrupted.step_wave();
+        }
+        interrupted.step_wave();
+        let (stored, wave_sizes) = stored_prefix(&interrupted);
+        drop(interrupted);
+
+        let mut resumed = drift_session(60, 11, 2);
+        resumed.replay(&stored, &wave_sizes).expect("replay");
+        assert!(resumed.epoch() >= 1, "replay re-detects the drift");
+        let _ = resumed.run();
+
+        assert_eq!(trace(&full), trace(&resumed));
+        assert_eq!(full.epoch(), resumed.epoch());
+        assert_eq!(full.epoch_start(), resumed.epoch_start());
     }
 
     #[test]

@@ -69,7 +69,7 @@ use crate::history::{History, Record};
 use crate::metrics::WaveStats;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use wf_configspace::{Configuration, Tristate, Value};
 use wf_jobfile::Job;
@@ -637,6 +637,28 @@ fn wave_stats_json(w: &WaveStats) -> JsonValue {
     ])
 }
 
+fn epoch_from_json(v: &JsonValue) -> Option<StoredEpoch> {
+    Some(StoredEpoch {
+        epoch: v.get("epoch")?.as_usize()?,
+        first_iteration: v.get("first_iteration")?.as_usize()?,
+        at_s: v.get("at_s")?.as_f64()?,
+        transfer: v.get("transfer")?.as_bool()?,
+        phase: v.get("phase")?.as_str()?.to_string(),
+        oracle_metric: v.get("oracle_metric")?.as_f64()?,
+    })
+}
+
+fn drift_from_json(v: &JsonValue) -> Option<StoredDrift> {
+    Some(StoredDrift {
+        epoch: v.get("epoch")?.as_usize()?,
+        at_iteration: v.get("at_iteration")?.as_usize()?,
+        at_s: v.get("at_s")?.as_f64()?,
+        detector: v.get("detector")?.as_str()?.to_string(),
+        signal: v.get("signal")?.as_f64()?,
+        baseline: v.get("baseline")?.as_f64()?,
+    })
+}
+
 fn wave_stats_from_json(v: &JsonValue) -> Option<WaveStats> {
     Some(WaveStats {
         wave: v.get("wave")?.as_usize()?,
@@ -706,6 +728,45 @@ pub fn event_json(event: &SessionEvent) -> JsonValue {
                 ("objective".into(), JsonValue::Num(*objective)),
             ],
         ),
+        SessionEvent::DriftDetected {
+            epoch,
+            at_iteration,
+            at_s,
+            detector,
+            signal,
+            baseline,
+        } => tagged(
+            "drift_detected",
+            vec![
+                ("epoch".into(), JsonValue::Int(*epoch as i64)),
+                ("at_iteration".into(), JsonValue::Int(*at_iteration as i64)),
+                ("at_s".into(), JsonValue::Num(*at_s)),
+                ("detector".into(), JsonValue::Str(detector.clone())),
+                ("signal".into(), JsonValue::Num(*signal)),
+                ("baseline".into(), JsonValue::Num(*baseline)),
+            ],
+        ),
+        SessionEvent::EpochStarted {
+            epoch,
+            first_iteration,
+            at_s,
+            transfer,
+            phase,
+            oracle_metric,
+        } => tagged(
+            "epoch_started",
+            vec![
+                ("epoch".into(), JsonValue::Int(*epoch as i64)),
+                (
+                    "first_iteration".into(),
+                    JsonValue::Int(*first_iteration as i64),
+                ),
+                ("at_s".into(), JsonValue::Num(*at_s)),
+                ("transfer".into(), JsonValue::Bool(*transfer)),
+                ("phase".into(), JsonValue::Str(phase.clone())),
+                ("oracle_metric".into(), JsonValue::Num(*oracle_metric)),
+            ],
+        ),
         SessionEvent::WaveCompleted(stats) => wave_stats_json(stats),
         SessionEvent::CheckpointWritten { iterations } => tagged(
             "checkpoint",
@@ -734,13 +795,23 @@ pub fn event_json(event: &SessionEvent) -> JsonValue {
 
 /// An [`EventSink`] appending every event to a store's `events.jsonl`.
 ///
-/// The log is flushed after each `WaveCompleted`, followed by a
-/// `checkpoint` line marking how many evaluations are durable — that is
-/// the [`SessionEvent::CheckpointWritten`] moment of the stream. I/O
-/// errors are sticky: the first one is kept (see [`JsonlSink::error`])
-/// and subsequent events are dropped rather than panicking mid-session.
+/// Writes are batched per wave: events accumulate (already encoded and
+/// hash-chained) in an in-memory buffer, and one `write` syscall plus a
+/// flush lands the whole wave — its candidates, any epoch lines, its
+/// `wave_completed`, and the trailing `checkpoint` line marking how many
+/// evaluations are durable (the [`SessionEvent::CheckpointWritten`]
+/// moment of the stream) — at the wave boundary. `SessionStarted` and
+/// `SessionFinished` commit immediately, so segment markers are durable
+/// before any compute burns. Torn-tail semantics are unchanged: a kill
+/// lands either before a wave's single write (the wave is simply absent)
+/// or inside it (a clean prefix plus at most one torn line, which the
+/// loader heals). I/O errors are sticky: the first one is kept (see
+/// [`JsonlSink::error`]) and subsequent events are dropped rather than
+/// panicking mid-session.
 pub struct JsonlSink {
-    writer: BufWriter<File>,
+    file: File,
+    /// Encoded, chained, newline-terminated lines of the in-flight wave.
+    buf: String,
     iterations: usize,
     checkpoints: usize,
     prev: u64,
@@ -760,7 +831,8 @@ impl JsonlSink {
         let prev = tail_hash(path)?;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(JsonlSink {
-            writer: BufWriter::new(file),
+            file,
+            buf: String::new(),
             iterations: 0,
             checkpoints: 0,
             prev,
@@ -779,22 +851,34 @@ impl JsonlSink {
         self.error.as_ref()
     }
 
-    /// Flushes buffered lines to the OS.
+    /// Commits any buffered lines and flushes them to the OS.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.writer.flush()
+        if !self.buf.is_empty() {
+            let bytes = std::mem::take(&mut self.buf);
+            self.file.write_all(bytes.as_bytes())?;
+        }
+        self.file.flush()
     }
 
-    fn write_line(&mut self, value: JsonValue) {
+    /// Encodes, chains, and buffers one line (no I/O).
+    fn buffer_line(&mut self, value: JsonValue) {
         if self.error.is_some() {
             return;
         }
-        let mut line = chain_value(value, self.prev).encode();
-        let hash = line_hash(&line);
-        line.push('\n');
-        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+        let line = chain_value(value, self.prev).encode();
+        self.prev = line_hash(&line);
+        self.buf.push_str(&line);
+        self.buf.push('\n');
+    }
+
+    /// Writes the buffered lines with one syscall and flushes.
+    fn commit(&mut self) {
+        if self.error.is_some() {
+            self.buf.clear();
+            return;
+        }
+        if let Err(e) = self.flush() {
             self.error = Some(e);
-        } else {
-            self.prev = hash;
         }
     }
 }
@@ -847,24 +931,21 @@ fn heal_torn_tail(path: &Path) -> io::Result<()> {
 
 impl EventSink for JsonlSink {
     fn on_event(&mut self, event: &SessionEvent) {
-        self.write_line(event_json(event));
+        self.buffer_line(event_json(event));
         match event {
             SessionEvent::CandidateEvaluated(r) => self.iterations = r.iteration + 1,
-            SessionEvent::WaveCompleted(_) | SessionEvent::SessionFinished(_)
-                if self.error.is_none() =>
-            {
-                if let Err(e) = self.writer.flush() {
-                    self.error = Some(e);
-                    return;
-                }
-                if matches!(event, SessionEvent::WaveCompleted(_)) {
-                    self.checkpoints += 1;
-                    let iterations = self.iterations;
-                    self.write_line(event_json(&SessionEvent::CheckpointWritten { iterations }));
-                    if let Err(e) = self.writer.flush() {
-                        self.error = Some(e);
-                    }
-                }
+            SessionEvent::WaveCompleted(_) if self.error.is_none() => {
+                // One write for the whole wave, checkpoint line included:
+                // the store either has the complete wave or none of it
+                // (modulo a torn final line, which the loader heals).
+                self.checkpoints += 1;
+                let iterations = self.iterations;
+                self.buffer_line(event_json(&SessionEvent::CheckpointWritten { iterations }));
+                self.commit();
+            }
+            // Segment markers are durable immediately.
+            SessionEvent::SessionStarted { .. } | SessionEvent::SessionFinished(_) => {
+                self.commit();
             }
             _ => {}
         }
@@ -936,13 +1017,48 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// One `epoch_started` line of a continuous session, as stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredEpoch {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Global iteration index of the epoch's first candidate.
+    pub first_iteration: usize,
+    /// Virtual compute time the epoch opened at.
+    pub at_s: f64,
+    /// Whether the epoch's search was transfer-seeded.
+    pub transfer: bool,
+    /// Workload phase active when the epoch opened.
+    pub phase: String,
+    /// Ground-truth oracle metric of that phase.
+    pub oracle_metric: f64,
+}
+
+/// One `drift_detected` line of a continuous session, as stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredDrift {
+    /// The epoch the detection closed.
+    pub epoch: usize,
+    /// Iteration whose telemetry sample triggered the verdict.
+    pub at_iteration: usize,
+    /// Virtual compute time of that sample.
+    pub at_s: f64,
+    /// Detector name.
+    pub detector: String,
+    /// The detector's signal estimate at the verdict.
+    pub signal: f64,
+    /// The detector's frozen baseline estimate.
+    pub baseline: f64,
+}
+
 /// Everything a store's event log contained, reduced to replayable form.
 ///
 /// Only *complete* waves are kept: candidates written before a crash that
 /// never saw their `wave_completed` line are counted in
 /// [`StoredSession::dropped_records`] and re-evaluated on resume (their
 /// iteration indices are re-proposed identically, so nothing is lost but
-/// the partial wave's compute).
+/// the partial wave's compute). Epoch and drift lines of a dropped wave
+/// are dropped with it — resume re-detects the same boundary.
 #[derive(Clone, Debug)]
 pub struct StoredSession {
     /// The resolved job from the manifest.
@@ -955,6 +1071,11 @@ pub struct StoredSession {
     pub wave_stats: Vec<WaveStats>,
     /// `(iteration, objective)` of every stored best improvement.
     pub new_bests: Vec<(usize, f64)>,
+    /// Epoch records of a continuous session, in epoch order (empty for
+    /// one-shot sessions).
+    pub epochs: Vec<StoredEpoch>,
+    /// Confirmed drift detections, oldest first.
+    pub drift_events: Vec<StoredDrift>,
     /// Checkpoint lines seen.
     pub checkpoints: usize,
     /// Whether a `session_finished` line closed the log.
@@ -1059,6 +1180,8 @@ impl SessionStore {
             wave_sizes: Vec::new(),
             wave_stats: Vec::new(),
             new_bests: Vec::new(),
+            epochs: Vec::new(),
+            drift_events: Vec::new(),
             checkpoints: 0,
             finished: false,
             dropped_records: 0,
@@ -1105,9 +1228,16 @@ impl SessionStore {
                     // from the previous segment were never observed by the
                     // algorithm and will be re-evaluated — along with any
                     // best-improvement markers they had already logged.
+                    // Epoch and drift lines of that wave go too: the
+                    // resumed segment re-detects the boundary and logs
+                    // identical lines (the scan is deterministic).
                     out.dropped_records += pending.len();
                     pending.clear();
                     out.new_bests.retain(|(i, _)| *i < out.records.len());
+                    out.drift_events
+                        .retain(|d| d.at_iteration < out.records.len());
+                    out.epochs
+                        .retain(|e| e.first_iteration <= out.records.len());
                     out.finished = false;
                 }
                 "candidate" => {
@@ -1153,6 +1283,21 @@ impl SessionStore {
                         .ok_or_else(|| corrupt(lineno, "malformed new_best".into()))?;
                     out.new_bests.push((iteration, objective));
                 }
+                "drift_detected" => {
+                    let drift = drift_from_json(&value)
+                        .ok_or_else(|| corrupt(lineno, "malformed drift_detected".into()))?;
+                    out.drift_events.push(drift);
+                }
+                "epoch_started" => {
+                    let epoch = epoch_from_json(&value)
+                        .ok_or_else(|| corrupt(lineno, "malformed epoch_started".into()))?;
+                    // A resumed segment re-announces the epoch it picks
+                    // up in (epoch 0 on every fresh-start retry, a
+                    // re-detected boundary after a dropped wave): the
+                    // latest line wins, deduplicated by epoch index.
+                    out.epochs.retain(|e| e.epoch != epoch.epoch);
+                    out.epochs.push(epoch);
+                }
                 "checkpoint" => out.checkpoints += 1,
                 "session_finished" => out.finished = true,
                 // Dispatch markers and future event kinds are informative
@@ -1162,6 +1307,14 @@ impl SessionStore {
         }
         out.dropped_records += pending.len();
         out.new_bests.retain(|(i, _)| *i < out.records.len());
+        // A torn tail drops its wave's epoch and drift lines with it; an
+        // epoch that opened exactly at the end of the kept records (its
+        // first candidate never ran) is kept — resume continues in it.
+        out.drift_events
+            .retain(|d| d.at_iteration < out.records.len());
+        out.epochs
+            .retain(|e| e.first_iteration <= out.records.len());
+        out.epochs.sort_by_key(|e| e.epoch);
         Ok(out)
     }
 
@@ -1259,10 +1412,12 @@ fn verify_line_chain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::DriftConfig;
     use crate::pipeline::{Session, SessionSpec};
+    use wf_drift::MeanShift;
     use wf_jobfile::Budget;
     use wf_kconfig::LinuxVersion;
-    use wf_ossim::{App, AppId, SimOs};
+    use wf_ossim::{App, AppId, DriftScenario, DriftSchedule, SimOs};
     use wf_search::RandomSearch;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -1286,6 +1441,109 @@ mod tests {
                 ..SessionSpec::default()
             },
         )
+    }
+
+    fn drift_session(iters: usize, workers: usize) -> Session {
+        let os = SimOs::linux_runtime(LinuxVersion::V4_19, 56);
+        let app = App::by_id(AppId::Nginx);
+        let schedule = DriftSchedule::scenario(DriftScenario::Step, &os, &app, 900.0);
+        let mut s = Session::new(
+            os,
+            app,
+            Box::new(RandomSearch::new()),
+            SessionSpec {
+                budget: Budget {
+                    iterations: Some(iters),
+                    time_seconds: None,
+                },
+                seed: 5,
+                workers,
+                ..SessionSpec::default()
+            },
+        );
+        s.enable_drift(DriftConfig {
+            schedule,
+            detector: Box::new(MeanShift::new(6, 0.15)),
+            min_epoch: 8,
+            transfer: false,
+        });
+        s
+    }
+
+    #[test]
+    fn continuous_store_round_trips_epochs() {
+        let dir = temp_dir("epochs");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = drift_session(60, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+            assert!(sink.error().is_none());
+        }
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 60);
+        assert!(loaded.epochs.len() >= 2, "the step must close epoch 0");
+        assert_eq!(loaded.epochs[0].epoch, 0);
+        assert_eq!(loaded.epochs[0].first_iteration, 0);
+        assert!(!loaded.epochs[0].transfer);
+        assert_eq!(loaded.drift_events.len(), loaded.epochs.len() - 1);
+        for d in &loaded.drift_events {
+            assert!(d.at_iteration < loaded.records.len());
+            assert_eq!(d.detector, "mean-shift");
+        }
+        for pair in loaded.epochs.windows(2) {
+            assert_eq!(pair[0].epoch + 1, pair[1].epoch);
+            assert!(pair[0].first_iteration < pair[1].first_iteration);
+        }
+        assert_eq!(s.epoch() + 1, loaded.epochs.len());
+        store.verify_chain().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_dropped_wave_takes_its_epoch_events_with_it() {
+        // Drift events land inside their closing wave; a torn tail that
+        // drops the wave's records must drop the epoch transition too,
+        // or a resume would re-detect the same drift and double-count
+        // epochs.
+        let dir = temp_dir("epochdrop");
+        let store = SessionStore::create(&dir, &Job::default()).unwrap();
+        let mut s = drift_session(60, 2);
+        {
+            let mut sink = store.sink().unwrap();
+            let _ = s.run_with(&mut sink);
+        }
+        let before = store.load().unwrap();
+        // Append an incomplete wave carrying an epoch transition.
+        let mut extra = s.history().records()[0].clone();
+        extra.iteration = 60;
+        {
+            let mut sink = store.sink().unwrap();
+            sink.on_event(&SessionEvent::CandidateEvaluated(extra));
+            sink.on_event(&SessionEvent::DriftDetected {
+                epoch: 99,
+                at_iteration: 60,
+                at_s: 1e6,
+                detector: "mean-shift".into(),
+                signal: 1.0,
+                baseline: 2.0,
+            });
+            sink.on_event(&SessionEvent::EpochStarted {
+                epoch: 100,
+                first_iteration: 61,
+                at_s: 1e6,
+                transfer: false,
+                phase: "phantom".into(),
+                oracle_metric: 1.0,
+            });
+            sink.flush().unwrap();
+        }
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.records.len(), 60);
+        assert_eq!(loaded.dropped_records, 1);
+        assert_eq!(loaded.epochs, before.epochs);
+        assert_eq!(loaded.drift_events, before.drift_events);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -76,6 +76,15 @@ const STREAM_BENCH: u64 = 1;
 /// same-image candidates in one wave race the shared cache, and only the
 /// *build duration* may legitimately depend on who wins.
 const STREAM_BOOT: u64 = 2;
+/// RNG stream tag for a continuous session's re-draw of a successful
+/// candidate's metric against the workload phase active at its own
+/// virtual compute time (see [`crate::epoch`]).
+pub(crate) const STREAM_DRIFT: u64 = 3;
+/// RNG stream tag for the deployed reference's telemetry sample — the
+/// one noisy measurement per candidate a drift detector observes. Its
+/// own stream so it exists (and is identical) whether or not the
+/// candidate itself crashed or hit the image cache.
+pub(crate) const STREAM_SIGNAL: u64 = 4;
 
 /// Runs `reps` benchmark repetitions, one model draw each.
 ///

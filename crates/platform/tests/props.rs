@@ -3,12 +3,14 @@
 
 use proptest::prelude::*;
 use std::os::unix::net::UnixStream;
+use wf_drift::MeanShift;
 use wf_jobfile::Budget;
 use wf_kconfig::LinuxVersion;
-use wf_ossim::{App, AppId, SimOs};
+use wf_ossim::{App, AppId, DriftScenario, DriftSchedule, SimOs};
 use wf_platform::{
-    min_max_normalize, rolling_crash_rate, serve, throughput_memory_score, EvalBackend,
-    InProcessBackend, RemoteBackend, Series, Session, SessionSpec, SimTarget, SpawnBackend,
+    min_max_normalize, rolling_crash_rate, serve, throughput_memory_score, DriftConfig,
+    EvalBackend, InProcessBackend, RecordingSink, RemoteBackend, Series, Session, SessionEvent,
+    SessionSpec, SimTarget, SpawnBackend,
 };
 use wf_search::RandomSearch;
 
@@ -174,6 +176,100 @@ proptest! {
                 prop_assert!((t.compute_s - reference.compute_s).abs() < 1e-6 * reference.compute_s.max(1.0));
                 prop_assert!(t.elapsed_s <= reference.elapsed_s + 1e-9);
             }
+        }
+    }
+}
+
+/// Runs a continuous (drift-enabled) session and fingerprints every
+/// detector decision: each confirmed drift and each epoch transition,
+/// with the float fields down to the bit.
+fn drift_decisions(
+    kind: Option<BackendKind>,
+    seed: u64,
+    workers: usize,
+    iterations: usize,
+) -> Vec<String> {
+    let os = SimOs::linux_runtime(LinuxVersion::V4_19, 56);
+    let app = App::by_id(AppId::Nginx);
+    let schedule = DriftSchedule::scenario(DriftScenario::Step, &os, &app, 600.0);
+    let spec = fixture_spec(seed, workers, iterations);
+    let algorithm = Box::new(RandomSearch::new());
+    let mut session = match kind {
+        None => Session::new(os, app, algorithm, spec),
+        Some(k) => Session::with_backend(
+            Box::new(fixture_target()),
+            algorithm,
+            spec,
+            make_backend(k, workers),
+        ),
+    };
+    session.enable_drift(DriftConfig {
+        schedule,
+        detector: Box::new(MeanShift::new(4, 0.12)),
+        min_epoch: 6,
+        transfer: false,
+    });
+    let mut sink = RecordingSink::new();
+    let _ = session.run_with(&mut sink);
+    sink.events
+        .iter()
+        .filter_map(|event| match event {
+            SessionEvent::DriftDetected {
+                epoch,
+                at_iteration,
+                at_s,
+                detector,
+                signal,
+                baseline,
+            } => Some(format!(
+                "drift {epoch} {at_iteration} {} {detector} {} {}",
+                at_s.to_bits(),
+                signal.to_bits(),
+                baseline.to_bits()
+            )),
+            SessionEvent::EpochStarted {
+                epoch,
+                first_iteration,
+                at_s,
+                transfer,
+                phase,
+                oracle_metric,
+            } => Some(format!(
+                "epoch {epoch} {first_iteration} {} {transfer} {phase} {}",
+                at_s.to_bits(),
+                oracle_metric.to_bits()
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case runs 6 continuous sessions (widths 1/2/4 plus the three
+    // backend families at width 2) on the step scenario.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Continuous mode inherits the determinism contract: the drift
+    /// detector sees the deployed reference's telemetry in iteration
+    /// order on a per-candidate virtual clock, so the *first* confirmed
+    /// detection — which iteration, at which virtual time, every
+    /// recorded float — is bit-identical at every worker count (epoch
+    /// boundaries align to wave boundaries, so later epochs may
+    /// legitimately differ with the wave shape); and at a fixed width
+    /// the backend choice must not be observable at all, down to the
+    /// full decision sequence.
+    #[test]
+    fn drift_decisions_are_worker_and_backend_invariant(seed in any::<u64>(), iters in 18usize..30) {
+        let first = |d: &[String]| d.iter().find(|l| l.starts_with("drift")).cloned();
+        let reference = drift_decisions(None, seed, 1, iters);
+        for workers in [2usize, 4] {
+            let t = drift_decisions(None, seed, workers, iters);
+            prop_assert_eq!(first(&t), first(&reference), "first detection diverged at {} workers", workers);
+        }
+        let two = drift_decisions(None, seed, 2, iters);
+        for kind in [BackendKind::Spawn, BackendKind::InProcess, BackendKind::Remote] {
+            let t = drift_decisions(Some(kind), seed, 2, iters);
+            prop_assert_eq!(&t, &two, "decisions diverged on {:?}", kind);
         }
     }
 }

@@ -260,6 +260,23 @@ pub trait SearchAlgorithm {
         AlgoStats::default()
     }
 
+    /// Closes the algorithm's current specialization *epoch* (continuous
+    /// sessions call this when confirmed workload drift triggers
+    /// re-specialization).
+    ///
+    /// After this call the driving loop restarts the context history: the
+    /// algorithm sees only observations made since the epoch began, so
+    /// any per-observation state (replay buffers, kernels, incumbents)
+    /// must be dropped. `transfer` asks the algorithm to seed the new
+    /// epoch from whatever *model* it accumulated — the generalized
+    /// `transfer_checkpoint` path; `false` demands a cold restart.
+    ///
+    /// The default implementation does nothing, which is correct only
+    /// for algorithms that keep no observation state of their own
+    /// (random search; grid, whose sweep is a pure function of the
+    /// global iteration counter). Model-based algorithms must override.
+    fn begin_epoch(&mut self, _transfer: bool) {}
+
     /// Downcast hook for algorithm-specific post-hoc queries (extracting a
     /// transfer checkpoint, importance analysis). Algorithms that support
     /// such queries return `Some(self)`.

@@ -408,6 +408,20 @@ impl SearchAlgorithm for BayesOpt {
         self.last_update_seconds = t0.elapsed().as_secs_f64();
     }
 
+    fn begin_epoch(&mut self, _transfer: bool) {
+        // A GP's kernel matrix *is* its observations — there is no model
+        // to carry across a workload shift, so both transfer and cold
+        // restart drop the fitted state (hyperparameters are config, not
+        // state, and survive).
+        self.xs.clear();
+        self.ys.clear();
+        self.chol = None;
+        self.jittered = false;
+        self.alpha.clear();
+        self.y_stats = (0.0, 1.0);
+        self.mem.set_live(0);
+    }
+
     fn stats(&self) -> AlgoStats {
         AlgoStats {
             last_update_seconds: self.last_update_seconds,

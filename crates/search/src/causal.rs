@@ -465,6 +465,22 @@ impl SearchAlgorithm for CausalSearch {
         self.last_update_seconds = t0.elapsed().as_secs_f64();
     }
 
+    fn begin_epoch(&mut self, _transfer: bool) {
+        // The causal graph is estimated from per-epoch observations; a
+        // workload shift invalidates the correlations it encodes, so both
+        // modes restart from scratch. The conditional-independence test
+        // cache is keyed by sample count and data hashes, so stale entries
+        // can never be re-hit; dropping it keeps memory honest.
+        self.xs.clear();
+        self.ys.clear();
+        self.sums.clear();
+        self.cross.clear();
+        self.adjacency.clear();
+        self.outcome_corr.clear();
+        self.test_cache.clear();
+        self.mem.set_live(0);
+    }
+
     fn stats(&self) -> AlgoStats {
         AlgoStats {
             last_update_seconds: self.last_update_seconds,

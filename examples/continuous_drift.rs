@@ -1,0 +1,73 @@
+//! Continuous specialization over a drifting workload.
+//!
+//! A one-shot session optimizes a fixed workload; this example runs a
+//! *continuous* one: the simulated Nginx traffic mix shifts permanently
+//! at ~900 virtual seconds (the `step` scenario), a windowed mean-shift
+//! detector watches the deployed configuration's telemetry, and on the
+//! confirmed drift the session closes its epoch and re-seeds the search
+//! from the trained model (the same transfer path cross-target transfer
+//! uses) — then keeps optimizing the post-shift surface.
+//!
+//! ```sh
+//! cargo run --release --example continuous_drift
+//! ```
+
+use wayfinder::prelude::*;
+
+fn main() {
+    let mut session = SessionBuilder::new()
+        .name("continuous-drift-demo")
+        .os(OsFlavor::Linux419)
+        .app(AppId::Nginx)
+        .algorithm(AlgorithmChoice::DeepTune)
+        .runtime_params(56)
+        .iterations(60)
+        .seed(29)
+        .workers(2)
+        .continuous(DriftSpec::default())
+        .build()
+        .expect("continuous sessions build on the simulated target");
+
+    println!("== continuous specialization: nginx under a step shift");
+    for event in session.drive() {
+        match event {
+            SessionEvent::EpochStarted {
+                epoch,
+                at_s,
+                phase,
+                oracle_metric,
+                transfer,
+                ..
+            } => println!(
+                "  t={at_s:>5.0}s  epoch {epoch} opens under phase {phase:?} \
+                 (oracle {oracle_metric:.0} req/s, {} search)",
+                if transfer { "transfer-seeded" } else { "cold" }
+            ),
+            SessionEvent::DriftDetected {
+                at_iteration,
+                at_s,
+                detector,
+                baseline,
+                signal,
+                ..
+            } => println!(
+                "  t={at_s:>5.0}s  iteration {at_iteration}: {detector} confirms the shift \
+                 ({baseline:.0} -> {signal:.0} req/s on the deployed config)"
+            ),
+            SessionEvent::NewBest {
+                iteration,
+                objective,
+            } => {
+                println!("  iteration {iteration:>2}: new best {objective:.0} req/s");
+            }
+            _ => {}
+        }
+    }
+
+    let summary = session.platform().summary();
+    println!(
+        "== done: {} epoch(s), best {:.0} req/s",
+        session.platform().epoch() + 1,
+        summary.best_metric.unwrap_or(f64::NAN),
+    );
+}

@@ -325,6 +325,9 @@ fn report_build_error(context: &str, err: &BuildError) -> ExitCode {
         BuildError::Backend { .. } => {
             eprintln!("hint: remote backends need wf-evald workers that can launch and connect")
         }
+        BuildError::ContinuousUnsupported { .. } => {
+            eprintln!("hint: `mode: continuous` needs a simulated target with a drift model")
+        }
     }
     ExitCode::FAILURE
 }
@@ -430,6 +433,32 @@ impl EventSink for ConsoleSink {
                 println!(
                     "  t={:>7.0}s  iteration {:>4}  new best {objective:.2}",
                     self.now_s, iteration
+                );
+            }
+            SessionEvent::DriftDetected {
+                epoch,
+                at_iteration,
+                detector,
+                signal,
+                baseline,
+                ..
+            } => {
+                println!(
+                    "  t={:>7.0}s  iteration {:>4}  drift confirmed by {detector} \
+                     (epoch {epoch}: reference {baseline:.2} -> {signal:.2})",
+                    self.now_s, at_iteration
+                );
+            }
+            SessionEvent::EpochStarted {
+                epoch,
+                phase,
+                transfer,
+                ..
+            } if *epoch > 0 => {
+                println!(
+                    "  t={:>7.0}s  epoch {epoch} opened under phase {phase:?} ({} search)",
+                    self.now_s,
+                    if *transfer { "transfer-seeded" } else { "cold" }
                 );
             }
             SessionEvent::WaveCompleted(_) if self.now_s - self.last_progress_s >= self.every_s => {

@@ -12,6 +12,8 @@
 //! * [`platform`] — the automated benchmarking pipeline;
 //! * [`search`] — baseline algorithms (random, grid, Bayesian, causal);
 //! * [`deeptune`] — the DeepTune optimizer (the paper's core contribution);
+//! * [`drift`] — workload-signal streams and drift detectors for
+//!   continuous specialization;
 //! * [`forest`] — random-forest feature importance;
 //! * [`cozart`] — compile-time debloating baseline;
 //! * [`bench`](mod@bench) — the regeneration harness plus the
@@ -46,6 +48,7 @@ pub use wf_bench as bench;
 pub use wf_configspace as configspace;
 pub use wf_cozart as cozart;
 pub use wf_deeptune as deeptune;
+pub use wf_drift as drift;
 pub use wf_forest as forest;
 pub use wf_jobfile as jobfile;
 pub use wf_kconfig as kconfig;

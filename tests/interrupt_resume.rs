@@ -40,6 +40,93 @@ fn candidate_lines(store: &Path) -> usize {
         .unwrap_or(0)
 }
 
+/// The SIGINT contract extends to continuous sessions: interrupting
+/// after the first epoch boundary, resuming, and reporting must be
+/// indistinguishable from the uninterrupted run — including the
+/// adaptation-trajectory table the report renders from the persisted
+/// epoch records.
+#[test]
+fn sigint_mid_continuous_session_resumes_identically() {
+    let base = temp_dir("drift");
+    let job = base.join("job.yaml");
+    std::fs::write(
+        &job,
+        "name: sigint-drift\nos: linux-4.19\nalgorithm: random\nseed: 29\nworkers: 2\nruntime_params: 56\nmode: continuous\nbudget:\n  iterations: 200000\ndrift:\n  scenario: step\n  shift_at_s: 600\n  window: 4\n  threshold: 0.12\n  min_epoch: 6\n",
+    )
+    .unwrap();
+    let job = job.to_str().unwrap().to_string();
+    let store = base.join("interrupted");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["run", &job, "--out", store.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("wfctl spawns");
+
+    // Let the run get well past the first drift confirmation (the step
+    // shifts at ~10 evaluations, the detector needs a handful more)
+    // before pulling the plug.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while candidate_lines(&store) < 26 {
+        assert!(Instant::now() < deadline, "session never crossed the shift");
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "wfctl exited before it could be interrupted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let sigint = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(sigint.success(), "kill -INT failed");
+    let output = child.wait_with_output().expect("wfctl exits");
+    assert_eq!(output.status.code(), Some(130));
+
+    let (ok, _) = wfctl(&["verify", store.to_str().unwrap()]);
+    assert!(ok, "interrupted continuous ledger hash-verifies");
+    let epochs_seen = std::fs::read_to_string(store.join("events.jsonl"))
+        .unwrap()
+        .lines()
+        .filter(|l| l.contains("\"event\":\"epoch_started\""))
+        .count();
+    assert!(
+        epochs_seen >= 2,
+        "the interrupt must land past the first reopened epoch ({epochs_seen})"
+    );
+
+    let n = candidate_lines(&store);
+    let total_s = (n + 10).to_string();
+    let (ok, resumed) = wfctl(&["resume", store.to_str().unwrap(), "--iterations", &total_s]);
+    assert!(ok, "continuous resume completes:\n{resumed}");
+
+    let reference = base.join("reference");
+    let (ok, _) = wfctl(&[
+        "run",
+        &job,
+        "--out",
+        reference.to_str().unwrap(),
+        "--iterations",
+        &total_s,
+    ]);
+    assert!(ok, "reference run");
+
+    let (ok, report_resumed) = wfctl(&["report", store.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, report_reference) = wfctl(&["report", reference.to_str().unwrap()]);
+    assert!(ok);
+    assert_eq!(
+        report_resumed, report_reference,
+        "interrupted+resumed trajectory must match the uninterrupted one"
+    );
+    assert!(
+        report_resumed.contains("adaptation trajectory"),
+        "the report renders the epoch trail:\n{report_resumed}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
 #[test]
 fn sigint_parks_at_a_wave_boundary_and_resume_completes_identically() {
     let base = temp_dir("run");

@@ -205,6 +205,103 @@ fn stores_survive_repeated_resumes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The resume guarantee extends across epoch boundaries: a continuous
+/// session interrupted *after* its first confirmed drift replays the
+/// stored epochs offline and finishes bit-identical to the
+/// uninterrupted run — same records, same epoch count, same persisted
+/// `EpochStarted`/`DriftDetected` trail.
+#[test]
+fn continuous_sessions_resume_across_epoch_boundaries() {
+    fn build_continuous(iterations: usize) -> SpecializationSession {
+        SessionBuilder::new()
+            .name("continuous-equivalence")
+            .app(AppId::Nginx)
+            .algorithm(AlgorithmChoice::Random)
+            .runtime_params(56)
+            .iterations(iterations)
+            .seed(4711)
+            .workers(2)
+            .continuous(DriftSpec {
+                shift_at_s: 600.0,
+                window: 4,
+                threshold: 0.12,
+                min_epoch: 6,
+                ..DriftSpec::default()
+            })
+            .build()
+            .expect("continuous sessions build on the sim target")
+    }
+    const ITERATIONS: usize = 44;
+
+    let full_dir = temp_dir("continuous-full");
+    let mut full = build_continuous(ITERATIONS);
+    let full_store = SessionStore::create(&full_dir, full.resolved_job()).unwrap();
+    {
+        let mut sink = full_store.sink().unwrap();
+        full.run_with(&mut sink);
+    }
+    assert!(
+        full.platform().epoch() >= 1,
+        "the step must confirm at least one drift"
+    );
+
+    // Interrupt one wave past the first epoch boundary.
+    let dir = temp_dir("continuous-resume");
+    let mut interrupted = build_continuous(ITERATIONS);
+    let store = SessionStore::create(&dir, interrupted.resolved_job()).unwrap();
+    {
+        let mut sink = store.sink().unwrap();
+        // Stepping waves directly bypasses `run_with`'s session-start
+        // emission, so open epoch 0 the way a real driver does.
+        let epoch_zero = interrupted
+            .platform()
+            .epoch_zero_event()
+            .expect("continuous sessions open with epoch 0");
+        sink.on_event(&epoch_zero);
+        while interrupted.platform().epoch() == 0 {
+            assert!(
+                interrupted.platform().history().len() < ITERATIONS,
+                "budget exhausted before the drift confirmed"
+            );
+            interrupted.platform_mut().step_wave_with(&mut sink);
+        }
+        interrupted.platform_mut().step_wave_with(&mut sink);
+    }
+    drop(interrupted); // the crash: only the store survives
+
+    // The manifest carries `mode: continuous` + the drift spec, so the
+    // plain resume path rebuilds the detector and replays the epochs.
+    let mut resumed = SessionBuilder::resume(&dir).expect("continuous store resumes");
+    assert!(
+        resumed.platform().epoch() >= 1,
+        "replay must re-derive the epoch boundary offline"
+    );
+    {
+        let mut sink = store.sink().unwrap();
+        resumed.run_with(&mut sink);
+    }
+
+    assert_eq!(
+        trace(&full),
+        trace(&resumed),
+        "continuous histories diverged"
+    );
+    assert_eq!(full.platform().epoch(), resumed.platform().epoch());
+
+    // Both persisted trails agree, drift record for drift record.
+    let a = full_store.load().unwrap();
+    let b = store.load().unwrap();
+    assert_eq!(a.records.len(), ITERATIONS);
+    assert_eq!(a.epochs, b.epochs, "persisted epoch trails diverged");
+    assert_eq!(a.drift_events, b.drift_events);
+    assert!(a.epochs.len() >= 2, "epoch 0 plus every reopened epoch");
+    assert!(!a.drift_events.is_empty());
+    full_store.verify_chain().unwrap();
+    store.verify_chain().unwrap();
+    std::fs::remove_dir_all(&full_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn wfctl(args: &[&str]) -> (bool, String) {
     let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
         .args(args)
