@@ -55,6 +55,9 @@ pub const POOL_WIDTHS: [usize; 3] = [1, 4, 8];
 /// Wave width used when feeding and exercising batch ops.
 const WAVE: usize = 8;
 
+/// Synthetic source files the `lint/scan_workspace` op analyzes.
+const LINT_FILES: usize = 64;
+
 /// One measured operation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OpResult {
@@ -102,6 +105,7 @@ pub fn declared_ops() -> Vec<(String, u64)> {
     ops.push(("platform/dispatch_spawn".to_string(), WAVE as u64));
     ops.push(("platform/dispatch_pool".to_string(), WAVE as u64));
     ops.push(("platform/routing_assign".to_string(), WAVE as u64));
+    ops.push(("lint/scan_workspace".to_string(), LINT_FILES as u64));
     ops
 }
 
@@ -132,6 +136,58 @@ fn fixture_history(space: &ConfigSpace, encoder: &Encoder, n: usize) -> Vec<Obse
             }
         })
         .collect()
+}
+
+/// One synthetic source file for the `lint/scan_workspace` op: a
+/// deterministic, per-index mix of the token shapes the analyzer has to
+/// work hardest on — strings and comments carrying decoy mentions, a
+/// raw string, hash-container iteration with and without a sort, an
+/// annotated carve-out, and a `#[cfg(test)]` module — so the measured
+/// cost tracks real workspace files rather than a best-case lex.
+fn lint_corpus_file(i: usize) -> (String, String) {
+    let path = format!("crates/demo{}/src/mod{}.rs", i % 7, i);
+    let text = format!(
+        r##"//! Module {i}: exercises the lexer ("Instant::now" in a string,
+//! `HashMap` in a doc comment) and the rule windows.
+
+use std::collections::HashMap;
+
+/* block comment mentioning thread_rng and process::exit {i} */
+pub fn decoys_{i}() -> &'static str {{
+    let _s = "Instant::now() and .lock().unwrap() inside a string";
+    r#"raw string with env::var("PATH") and SystemTime::now"#
+}}
+
+pub fn sorted_iteration_{i}(m: &HashMap<String, u64>) -> Vec<String> {{
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort_unstable();
+    keys
+}}
+
+pub fn escaping_iteration_{i}(m: &HashMap<String, u64>) -> Vec<String> {{
+    m.keys().cloned().collect()
+}}
+
+pub fn timed_{i}() -> std::time::Instant {{
+    // wf-lint: allow(wall-clock-in-det-path, reason = "bench corpus carve-out {i}")
+    std::time::Instant::now()
+}}
+
+pub fn wall_clock_violation_{i}() -> std::time::Instant {{
+    std::time::Instant::now()
+}}
+
+#[cfg(test)]
+mod tests_{i} {{
+    #[test]
+    fn host_is_fine_here_{i}() {{
+        let _ = std::time::Instant::now();
+        let _ = std::env::var("HOME");
+    }}
+}}
+"##
+    );
+    (path, text)
 }
 
 struct Fixture {
@@ -583,6 +639,29 @@ pub fn run_suite(quick: bool) -> Vec<OpResult> {
                 },
                 criterion::BatchSize::LargeInput,
             )
+        },
+    );
+
+    // --- wf-lint analyzer throughput: lex + rule-scan a synthetic
+    // corpus (the CI lint-pass leg's cost is this, plus the fs walk). --
+    let corpus: Vec<(String, String)> = (0..LINT_FILES).map(lint_corpus_file).collect();
+    let lint_cfg = wf_lint::Config::default();
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "lint/scan_workspace",
+        LINT_FILES as u64,
+        |b| {
+            b.iter(|| {
+                let mut findings = 0usize;
+                let mut suppressed = 0usize;
+                for (path, text) in &corpus {
+                    let out = wf_lint::lint_source(path, text, &lint_cfg);
+                    findings += out.findings.len();
+                    suppressed += out.suppressed.len();
+                }
+                black_box((findings, suppressed))
+            })
         },
     );
 

@@ -225,9 +225,17 @@ impl NamedConfig {
         self.map.insert(name.into(), value);
     }
 
-    /// Iterates over all `(name, value)` pairs in unspecified order.
+    /// Iterates over all `(name, value)` pairs in sorted name order.
+    ///
+    /// The backing store is a `HashMap`, whose iteration order varies
+    /// with hasher seeding and insertion history; sorting here keeps
+    /// every consumer that renders or hashes the pairs (reports,
+    /// fingerprints, event logs) deterministic by construction.
     pub fn iter(&self) -> impl Iterator<Item = (&str, Value)> {
-        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut pairs: Vec<(&str, Value)> =
+            self.map.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs.into_iter()
     }
 }
 
@@ -321,6 +329,27 @@ mod tests {
         assert_eq!(n.int_or("unknown", 42), 42);
         assert!(!n.bool_or("quiet", true));
         assert!(n.bool_or("unknown", true));
+    }
+
+    #[test]
+    fn named_iter_is_sorted_and_insertion_order_invariant() {
+        // Two opposite insertion orders must iterate identically: the
+        // HashMap behind NamedConfig must never leak its order.
+        let names = ["zeta", "alpha", "net.core.somaxconn", "mid", "beta"];
+        let mut fwd = NamedConfig::empty();
+        for (i, n) in names.iter().enumerate() {
+            fwd.set(*n, Value::Int(i as i64));
+        }
+        let mut rev = NamedConfig::empty();
+        for (i, n) in names.iter().enumerate().rev() {
+            rev.set(*n, Value::Int(i as i64));
+        }
+        let a: Vec<(String, Value)> = fwd.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let b: Vec<(String, Value)> = rev.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a, sorted, "iter() must yield sorted key order");
     }
 
     #[test]

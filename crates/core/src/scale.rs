@@ -65,6 +65,7 @@ impl Scale {
 
     /// `WF_FULL=1` selects the paper's budgets.
     pub fn from_env() -> Scale {
+        // wf-lint: allow(host-env-read, reason = "config-load: WF_FULL is resolved once here when a scenario starts; the chosen Scale is fixed for the whole run")
         match std::env::var("WF_FULL") {
             Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::full(),
             _ => Scale::reduced(),

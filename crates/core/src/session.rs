@@ -239,6 +239,7 @@ pub fn target_from_job(
 /// binary), else a sibling of the current executable, else the bare
 /// name resolved through `PATH` at spawn time.
 fn locate_evald() -> std::path::PathBuf {
+    // wf-lint: allow(host-env-read, reason = "config-load: WF_EVALD locates the worker binary once at backend construction; which binary serves a lane never affects results (DETERMINISM.md backend-invariance)")
     if let Some(path) = std::env::var_os("WF_EVALD") {
         return std::path::PathBuf::from(path);
     }

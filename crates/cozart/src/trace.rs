@@ -112,9 +112,14 @@ impl WorkloadTrace {
         self.exercised.is_empty()
     }
 
-    /// Iterates over the exercised symbol names.
+    /// Iterates over the exercised symbol names in sorted order.
+    ///
+    /// The backing `HashSet`'s order varies run to run; sorting keeps
+    /// debloat decisions and reports built from a trace deterministic.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
-        self.exercised.iter().map(String::as_str)
+        let mut names: Vec<&str> = self.exercised.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 }
 

@@ -15,9 +15,9 @@ use crate::transfer::Checkpoint;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
 use wf_configspace::Configuration;
 use wf_nn::{Matrix, ScalarNorm, ZScore};
+use wf_search::host_clock::HostTimer;
 use wf_search::{AlgoStats, Observation, SearchAlgorithm, SearchContext};
 
 /// DeepTune hyperparameters.
@@ -280,7 +280,7 @@ impl SearchAlgorithm for DeepTune {
     }
 
     fn propose(&mut self, ctx: &SearchContext<'_>, rng: &mut StdRng) -> Configuration {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         if self.pending_checkpoint.is_some() {
             self.ensure_model(ctx.encoder.dim());
         }
@@ -332,12 +332,12 @@ impl SearchAlgorithm for DeepTune {
             let order = rank(&self.cfg.score, &preds, &goodness, &features, known);
             pool[order[0]].clone()
         };
-        self.last_update_seconds = t0.elapsed().as_secs_f64();
+        self.last_update_seconds = t0.seconds();
         out
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         let x = ctx.encoder.encode(ctx.space, &obs.config);
         self.xs.push(x);
         self.goodness.push(obs.value.map(|v| ctx.goodness(v)));
@@ -345,7 +345,7 @@ impl SearchAlgorithm for DeepTune {
         self.refit_normalizers();
         self.ensure_model(ctx.encoder.dim());
         self.train();
-        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        self.last_update_seconds += t0.seconds();
     }
 
     fn begin_epoch(&mut self, transfer: bool) {

@@ -125,9 +125,16 @@ impl Assignment {
         self.tristate(name).enabled()
     }
 
-    /// Iterates over `(name, value)` pairs in unspecified order.
+    /// Iterates over `(name, value)` pairs in sorted symbol order.
+    ///
+    /// Sorted for the same reason `to_dotconfig` sorts: the backing
+    /// `HashMap`'s order varies run to run, and callers fold these
+    /// pairs into reports and fingerprints that must be deterministic.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &SymValue)> {
-        self.values.iter().map(|(k, v)| (k.as_str(), v))
+        let mut pairs: Vec<(&str, &SymValue)> =
+            self.values.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        pairs.into_iter()
     }
 
     /// Emits `.config`-style lines, sorted by symbol name for determinism.

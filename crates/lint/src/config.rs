@@ -1,0 +1,191 @@
+//! `wf-lint.toml`: file-level configuration for the analyzer.
+//!
+//! The build image has no crates.io access, so this is a small
+//! hand-rolled parser for the TOML subset the config actually uses —
+//! `[section]` headers, string / boolean values, and single-line string
+//! arrays. Unknown sections or keys are hard errors: a typo'd config
+//! silently linting nothing would defeat the whole point.
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates", "src"]          # scanned relative to the root dir
+//! exclude = ["vendor", "target"]     # rel-path prefixes, always skipped
+//!
+//! [rules.swallowed-io-error]
+//! functions = ["write_frame"]        # free functions returning io::Result
+//!
+//! [rules.unordered-map-iteration]
+//! enabled = true
+//! ```
+
+use crate::rules;
+
+/// Resolved analyzer configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Directories (relative to the scan root) whose `**/src/**/*.rs`
+    /// files are scanned.
+    pub roots: Vec<String>,
+    /// Relative-path prefixes excluded from the scan.
+    pub exclude: Vec<String>,
+    /// Rules disabled via `enabled = false`.
+    pub disabled: Vec<String>,
+    /// Free functions whose discarded `io::Result` the
+    /// `swallowed-io-error` rule reports (methods like `write_all` are
+    /// built in; this names project-local helpers).
+    pub io_functions: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec!["crates".into(), "src".into()],
+            exclude: vec!["vendor".into(), "target".into()],
+            disabled: Vec::new(),
+            io_functions: vec!["write_frame".into()],
+        }
+    }
+}
+
+impl Config {
+    /// True if `rule` should run.
+    pub fn enabled(&self, rule: &str) -> bool {
+        !self.disabled.iter().any(|r| r == rule)
+    }
+}
+
+/// Parses the `wf-lint.toml` text into a [`Config`] layered over the
+/// defaults. Errors carry the offending line number.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(head) = line.strip_prefix('[') {
+            let head = head
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated section header"))?;
+            section = head.trim().to_string();
+            match section.as_str() {
+                "scan" => {}
+                s if s.strip_prefix("rules.").is_some_and(rules::is_known) => {}
+                s => {
+                    return Err(format!(
+                        "line {lineno}: unknown section [{s}] (expected [scan] or \
+                         [rules.<known-rule>])"
+                    ))
+                }
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match (section.as_str(), key) {
+            ("scan", "roots") => cfg.roots = parse_string_array(value, lineno)?,
+            ("scan", "exclude") => cfg.exclude = parse_string_array(value, lineno)?,
+            ("scan", k) => return Err(format!("line {lineno}: unknown [scan] key `{k}`")),
+            (s, k) => {
+                let rule = s
+                    .strip_prefix("rules.")
+                    .ok_or_else(|| format!("line {lineno}: key `{k}` outside any section"))?;
+                match k {
+                    "enabled" => match value {
+                        "true" => cfg.disabled.retain(|r| r != rule),
+                        "false" => cfg.disabled.push(rule.to_string()),
+                        v => {
+                            return Err(format!("line {lineno}: `enabled` must be a bool, got {v}"))
+                        }
+                    },
+                    "functions" if rule == "swallowed-io-error" => {
+                        cfg.io_functions = parse_string_array(value, lineno)?
+                    }
+                    k => return Err(format!("line {lineno}: unknown key `{k}` for rule {rule}")),
+                }
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` (single line).
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected a [\"…\"] array"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let s = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {lineno}: array items must be quoted strings"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scan_crates_and_src() {
+        let c = Config::default();
+        assert_eq!(c.roots, vec!["crates", "src"]);
+        assert!(c.exclude.iter().any(|e| e == "vendor"));
+        assert!(c.enabled("lock-unwrap"));
+    }
+
+    #[test]
+    fn parses_scan_and_rule_sections() {
+        let c = parse(
+            "# top comment\n[scan]\nexclude = [\"vendor\", \"target\", \"crates/lint\"]\n\n\
+             [rules.swallowed-io-error]\nfunctions = [\"write_frame\", \"send_best_effort\"]\n\
+             [rules.host-env-read]\nenabled = false\n",
+        )
+        .unwrap();
+        assert_eq!(c.exclude.len(), 3);
+        assert_eq!(c.io_functions, vec!["write_frame", "send_best_effort"]);
+        assert!(!c.enabled("host-env-read"));
+        assert!(c.enabled("lock-unwrap"));
+    }
+
+    #[test]
+    fn unknown_rule_section_is_an_error() {
+        assert!(parse("[rules.definitely-not-a-rule]\nenabled = false\n").is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(parse("[scan]\nrots = [\"crates\"]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = parse("[scan]\nexclude = [\"a#b\"]\n").unwrap();
+        assert_eq!(c.exclude, vec!["a#b"]);
+    }
+}

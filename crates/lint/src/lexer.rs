@@ -1,0 +1,504 @@
+//! A string/char/comment/raw-string-aware Rust lexer.
+//!
+//! `wf-lint` matches *token sequences*, not text: a mention of
+//! `Instant::now` inside a string literal, a doc comment, or a nested
+//! block comment must never fire a rule. This lexer produces exactly the
+//! token stream the rules need — identifiers, single-character
+//! punctuation, and opaque literal tokens — plus the comment stream the
+//! suppression parser consumes. It handles every literal form that can
+//! hide code-looking text:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! - string literals with escapes, byte strings, C strings,
+//! - raw strings `r"…"` / `r#"…"#` / … with any number of `#`s,
+//! - char literals vs. lifetimes (`'a'` vs `'a`),
+//! - raw identifiers (`r#match`).
+//!
+//! It is intentionally not a full Rust lexer: numbers are consumed as
+//! opaque blobs and multi-character operators arrive as single-character
+//! punctuation tokens (`::` is `:` `:`), which is all sequence matching
+//! requires and keeps the lexer dependency-free and auditable.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_` and raw identifiers).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// String / raw-string / byte-string literal (opaque).
+    Str,
+    /// Char literal (opaque).
+    Char,
+    /// Numeric literal (opaque).
+    Num,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment, kept for the suppression parser.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Interior text (delimiters stripped, nested comments kept raw).
+    pub text: String,
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// True if a code token precedes the comment on its start line
+    /// (a trailing comment annotates its own line, a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens + comments. Never fails: unterminated
+/// literals or comments are consumed to end-of-file, which is the
+/// forgiving behavior a linter wants on mid-edit files.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether a code token has been emitted on the current line; decides
+    // `Comment::trailing`.
+    let mut code_on_line = false;
+
+    macro_rules! bump_lines {
+        ($text:expr) => {
+            line += $text.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..j].iter().collect(),
+                    line,
+                    trailing: code_on_line,
+                });
+                i = j; // the newline itself is handled above
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == '\n' {
+                            line += 1;
+                            code_on_line = false;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = if depth == 0 { j - 2 } else { j };
+                out.comments.push(Comment {
+                    text: b[start..end].iter().collect(),
+                    line: start_line,
+                    trailing: code_on_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (text, j) = scan_string(&b, i);
+                bump_lines!(b[i..j]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'a'` / `'\n'` are chars;
+                // `'a` followed by anything but `'` is a lifetime.
+                if i + 1 < b.len() && b[i + 1] == '\\' {
+                    let j = scan_char_tail(&b, i + 2);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    code_on_line = true;
+                    i = j;
+                } else if i + 2 < b.len() && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i..i + 3].iter().collect(),
+                        line,
+                    });
+                    code_on_line = true;
+                    i += 3;
+                } else if i + 1 < b.len() && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    code_on_line = true;
+                    i = j;
+                } else {
+                    // Stray quote; emit as punctuation and move on.
+                    out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: "'".into(),
+                        line,
+                    });
+                    code_on_line = true;
+                    i += 1;
+                }
+            }
+            'r' | 'b' | 'c' if starts_raw_or_byte_literal(&b, i) => {
+                let (kind, text, j) = scan_prefixed_literal(&b, i);
+                bump_lines!(b[i..j]);
+                out.tokens.push(Tok { kind, text, line });
+                code_on_line = true;
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let j = scan_number(&b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                code_on_line = true;
+                i = j;
+            }
+            c => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` starts `r"…"`, `r#…`, `b"…"`, `br#"…"`, `b'…'`,
+/// or `c"…"` — any literal with a letter prefix. A bare `r`/`b`/`c`
+/// identifier (or raw identifier `r#match`) returns false here and is
+/// handled by the identifier arm / raw-ident detection below.
+fn starts_raw_or_byte_literal(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `cr`).
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b' || b[j] == 'c') && j - i < 2 {
+        j += 1;
+    }
+    let mut k = j;
+    while k < b.len() && b[k] == '#' {
+        k += 1;
+    }
+    if k < b.len() && b[k] == '"' {
+        // `r#ident` is a raw identifier, not a raw string — but then
+        // there is no quote right after the hashes, so reaching a quote
+        // here really is a (raw) string.
+        return true;
+    }
+    // Byte char `b'x'`.
+    b[i] == 'b' && j == i + 1 && j < b.len() && b[j] == '\''
+}
+
+/// Scans a literal that starts with `r`/`b`/`c` prefixes at `i`.
+/// Returns (kind, text, end-index).
+fn scan_prefixed_literal(b: &[char], i: usize) -> (TokKind, String, usize) {
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b' || b[j] == 'c') && j - i < 2 {
+        j += 1;
+    }
+    if j < b.len() && b[j] == '\'' {
+        // Byte char `b'x'` or `b'\n'`.
+        let k = if j + 1 < b.len() && b[j + 1] == '\\' {
+            scan_char_tail(b, j + 2)
+        } else if j + 2 < b.len() && b[j + 2] == '\'' {
+            j + 3
+        } else {
+            j + 2
+        };
+        return (TokKind::Char, b[i..k].iter().collect(), k);
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == '"');
+    if hashes == 0 {
+        // Escapes are only meaningful in non-raw strings (`b"…"`, `c"…"`);
+        // `r"…"` has none, but it also cannot *contain* `"` at all, so
+        // treating a backslash-quote as an escape never misparses it.
+        let has_r = b[i..j].contains(&'r');
+        if has_r {
+            let mut k = j + 1;
+            while k < b.len() && b[k] != '"' {
+                k += 1;
+            }
+            let end = (k + 1).min(b.len());
+            return (TokKind::Str, b[i..end].iter().collect(), end);
+        }
+        let (_, k) = scan_string(b, j);
+        return (TokKind::Str, b[i..k].iter().collect(), k);
+    }
+    // Raw string with hashes: ends at `"` followed by `hashes` `#`s.
+    let mut k = j + 1;
+    while k < b.len() {
+        if b[k] == '"' {
+            let mut h = 0usize;
+            while k + 1 + h < b.len() && b[k + 1 + h] == '#' && h < hashes {
+                h += 1;
+            }
+            if h == hashes {
+                let end = k + 1 + hashes;
+                return (TokKind::Str, b[i..end].iter().collect(), end);
+            }
+        }
+        k += 1;
+    }
+    (TokKind::Str, b[i..].iter().collect(), b.len())
+}
+
+/// Scans a `"…"` string starting at the opening quote index `i`.
+/// Returns (text-with-quotes, end-index).
+fn scan_string(b: &[char], i: usize) -> (String, usize) {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return (b[i..j + 1].iter().collect(), j + 1),
+            _ => j += 1,
+        }
+    }
+    (b[i..].iter().collect(), b.len())
+}
+
+/// Scans the tail of an escaped char literal (`'\…'`), starting just
+/// after the backslash's escaped character position. Returns the index
+/// one past the closing quote.
+fn scan_char_tail(b: &[char], mut j: usize) -> usize {
+    while j < b.len() && b[j] != '\'' {
+        if b[j] == '\\' {
+            j += 1;
+        }
+        j += 1;
+    }
+    (j + 1).min(b.len())
+}
+
+/// Scans a numeric literal (decimal, hex/octal/binary, float with
+/// exponent, type suffix). Opaque: rules never look inside.
+fn scan_number(b: &[char], i: usize) -> usize {
+    let mut j = i;
+    if b[i] == '0' && i + 1 < b.len() && matches!(b[i + 1], 'x' | 'o' | 'b') {
+        j = i + 2;
+        while j < b.len() && (b[j].is_ascii_hexdigit() || b[j] == '_') {
+            j += 1;
+        }
+    } else {
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+            j += 1;
+        }
+        // Fractional part only when followed by a digit (so `1.max(2)`
+        // keeps `max` as its own identifier token).
+        if j + 1 < b.len() && b[j] == '.' && b[j + 1].is_ascii_digit() {
+            j += 1;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        }
+        if j < b.len() && (b[j] == 'e' || b[j] == 'E') {
+            let mut k = j + 1;
+            if k < b.len() && (b[k] == '+' || b[k] == '-') {
+                k += 1;
+            }
+            if k < b.len() && b[k].is_ascii_digit() {
+                j = k;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Type suffix (`u8`, `f64`, `usize`).
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let l = lex(r#"let x = "Instant::now()"; call();"#);
+        assert!(l.tokens.iter().all(|t| !t.is_ident("Instant")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("call")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"#; after();"###;
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("quote"));
+    }
+
+    #[test]
+    fn slash_slash_inside_string_is_not_a_comment() {
+        let l = lex(r#"let url = "https://example"; next();"#);
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.is_ident("next")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(l.tokens.iter().all(|t| !t.is_ident("inner")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let l = lex("let a = 1; // trailing\n// standalone\nlet b = 2;\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let l = lex("let s = \"a\nb\nc\";\nlet t = 1;\n");
+        let t = l.tokens.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn number_does_not_swallow_method_call() {
+        assert!(idents("let x = 1.max(2);").contains(&"max".to_string()));
+        // But real floats stay single tokens.
+        let l = lex("let y = 1.5e-3f64;");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Num).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_and_cstrings() {
+        let l = lex(r#"let a = b"bytes"; let b2 = c"cstr"; let c3 = b'\n'; done();"#);
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        // `r#match` lexes as ident(s), not as a raw string.
+        let l = lex("let r#match = 1; use_it(r#match);");
+        assert!(l.tokens.iter().all(|t| t.kind != TokKind::Str));
+    }
+}

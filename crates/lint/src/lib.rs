@@ -1,0 +1,317 @@
+//! `wf-lint` — determinism & robustness static analysis for Wayfinder.
+//!
+//! The reproduction's value rests on a contract the compiler cannot
+//! see: bit-identical sessions across worker counts, backends, and
+//! interrupt/resume (docs/DETERMINISM.md). Proptests catch violations
+//! *after* they land; this crate catches them at merge time. It lexes
+//! every non-vendor `src/**/*.rs` in the workspace (string-, char-,
+//! comment-, and raw-string-aware — see [`lexer`]) and runs a rule
+//! engine ([`rules`]) over the token streams: five determinism rules
+//! (wall-clock reads, unordered hash-container iteration, unseeded
+//! RNGs, thread-id dependence, host-env reads) and three robustness
+//! rules (`.lock().unwrap()`, `process::exit` in libraries, swallowed
+//! io errors).
+//!
+//! Every carve-out must be documented in place with
+//! `// wf-lint: allow(<rule>, reason = "...")` ([`suppress`]); an allow
+//! without a reason is itself a finding. File-level configuration lives
+//! in `wf-lint.toml` ([`config`]). Output is human-readable or stable
+//! JSON, and both the standalone `wf-lint` binary and `wfctl lint` exit
+//! nonzero on any unsuppressed finding — which is what the CI
+//! `lint-pass` leg enforces.
+//!
+//! ```
+//! use wf_lint::{lint_source, Config};
+//!
+//! let cfg = Config::default();
+//! let out = lint_source(
+//!     "crates/x/src/lib.rs",
+//!     "fn f() { let t = std::time::Instant::now(); }",
+//!     &cfg,
+//! );
+//! assert_eq!(out.findings.len(), 1);
+//! assert_eq!(out.findings[0].rule, "wall-clock-in-det-path");
+//! ```
+
+pub mod cli;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use config::Config;
+pub use rules::{Finding, RuleInfo, RULES};
+pub use suppress::Suppression;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A suppressed finding, kept for the report (`--format json` lists
+/// every carve-out with its reason).
+#[derive(Clone, Debug)]
+pub struct Suppressed {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileOutcome {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Result of linting a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// True when no unsuppressed finding remains.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints one source file given as a string. `rel_path` shows up in
+/// findings and decides the lib/bin distinction; it does not need to
+/// exist on disk (fixtures and benches feed synthetic sources).
+pub fn lint_source(rel_path: &str, source: &str, cfg: &Config) -> FileOutcome {
+    let lexed = lexer::lex(source);
+    let (sups, mut findings) = suppress::parse(rel_path, &lexed);
+    findings.extend(rules::scan(rel_path, &lexed, cfg));
+    let mut out = FileOutcome::default();
+    for f in findings {
+        // `bad-suppression` is the policy rule itself — never suppressible.
+        let sup = (f.rule != rules::BAD_SUPPRESSION)
+            .then(|| {
+                sups.iter()
+                    .find(|s| s.rule == f.rule && s.target_line == f.line)
+            })
+            .flatten();
+        match sup {
+            Some(s) => out.suppressed.push(Suppressed {
+                file: f.file,
+                line: f.line,
+                rule: f.rule,
+                reason: s.reason.clone(),
+            }),
+            None => out.findings.push(f),
+        }
+    }
+    out
+}
+
+/// Lints the workspace rooted at `root`: every `*.rs` under a `src`
+/// directory inside the configured scan roots, excluding the configured
+/// prefixes (vendor and target by default). Deterministic: files are
+/// visited in sorted order and findings are sorted (file, line, rule).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, cfg, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let text = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let outcome = lint_source(&rel_str, &text, cfg);
+        report.findings.extend(outcome.findings);
+        report.suppressed.extend(outcome.suppressed);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Loads `wf-lint.toml` from `root` when present, else the defaults.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("wf-lint.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => config::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(_) => Ok(Config::default()),
+    }
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if cfg.exclude.iter().any(|p| rel_str.starts_with(p.as_str())) {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") && rel_str.split('/').any(|c| c == "src") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the human-readable report (rustc-style).
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "warning[{}]: {}\n  --> {}:{}\n",
+            f.rule, f.message, f.file, f.line
+        ));
+    }
+    out.push_str(&format!(
+        "{} unsuppressed finding{} ({} suppressed carve-out{}) across {} files\n",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.suppressed.len(),
+        if report.suppressed.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.files_scanned,
+    ));
+    out
+}
+
+/// Renders the stable JSON report: versioned, keys in fixed order,
+/// findings and suppressions sorted — CI uploads this as an artifact
+/// and scripts may diff it across runs.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"version\":1,");
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    out.push_str(&format!("\"findings\":{},", report.findings.len()));
+    out.push_str(&format!("\"suppressed\":{},", report.suppressed.len()));
+    out.push_str("\"items\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.rule),
+            json_str(&f.message)
+        ));
+    }
+    out.push_str("],\"allows\":[");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"reason\":{}}}",
+            json_str(&s.file),
+            s.line,
+            json_str(&s.rule),
+            json_str(&s.reason)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escape-correct JSON string encoding (mirrors the store's encoder;
+/// kept local so the analyzer stays dependency-free).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_suppresses() {
+        let src = "fn f() {\n // wf-lint: allow(wall-clock-in-det-path, reason = \"host \
+                   I/O timeout, outside the contract\")\n let t = Instant::now();\n}\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].rule, "wall-clock-in-det-path");
+        assert!(out.suppressed[0].reason.contains("host I/O"));
+    }
+
+    #[test]
+    fn suppression_of_wrong_rule_does_not_suppress() {
+        let src = "fn f() {\n // wf-lint: allow(lock-unwrap, reason = \"not the right \
+                   rule\")\n let t = Instant::now();\n}\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert_eq!(out.findings.len(), 1);
+    }
+
+    #[test]
+    fn reasonless_allow_is_never_suppressible() {
+        let src = "fn f() {\n // wf-lint: allow(wall-clock-in-det-path)\n let t = \
+                   Instant::now();\n}\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        // Both the bad suppression AND the unsuppressed original finding.
+        assert_eq!(out.findings.len(), 2);
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == rules::BAD_SUPPRESSION));
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.rule == "wall-clock-in-det-path"));
+    }
+
+    #[test]
+    fn json_report_is_stable_and_escaped() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let out = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        let report = Report {
+            files_scanned: 1,
+            findings: out.findings,
+            suppressed: out.suppressed,
+        };
+        let a = render_json(&report);
+        let b = render_json(&report);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"version\":1,"));
+        assert!(a.contains("\"rule\":\"wall-clock-in-det-path\""));
+    }
+}

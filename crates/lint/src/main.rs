@@ -1,0 +1,9 @@
+//! `wf-lint` — standalone entry point for the workspace analyzer; the
+//! actual driver lives in [`wf_lint::cli`] (shared with `wfctl lint`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(wf_lint::cli::run(&argv, "wf-lint"))
+}

@@ -1,0 +1,180 @@
+//! Inline suppressions: `// wf-lint: allow(<rule>, reason = "...")`.
+//!
+//! Every carve-out from the determinism/robustness contract must be
+//! documented *in place*: the `reason` string is mandatory, and an
+//! allow without one (or naming an unknown rule) is itself a finding
+//! (`bad-suppression`) — so CI fails on undocumented exceptions exactly
+//! like it fails on violations.
+//!
+//! Placement: a *trailing* comment suppresses its own line; a
+//! *standalone* comment suppresses the next line that carries code.
+
+use crate::lexer::{Comment, Lexed};
+use crate::rules::{self, Finding};
+
+/// One parsed, well-formed suppression.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Line of the `wf-lint: allow` comment itself.
+    pub line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Extracts suppressions from a file's comments. Malformed allows come
+/// back as `bad-suppression` findings instead.
+pub fn parse(path: &str, lexed: &Lexed) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let Some(rest) = find_marker(&c.text) else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Ok((rule, reason)) => {
+                if !rules::is_known(&rule) {
+                    bad.push(Finding {
+                        file: path.to_string(),
+                        line: c.line,
+                        rule: rules::BAD_SUPPRESSION.to_string(),
+                        message: format!("`wf-lint: allow({rule})` names an unknown rule"),
+                    });
+                } else if reason.trim().is_empty() {
+                    bad.push(Finding {
+                        file: path.to_string(),
+                        line: c.line,
+                        rule: rules::BAD_SUPPRESSION.to_string(),
+                        message: format!(
+                            "`wf-lint: allow({rule})` has no reason — every carve-out \
+                             must say why (reason = \"...\")"
+                        ),
+                    });
+                } else {
+                    sups.push(Suppression {
+                        line: c.line,
+                        target_line: target_line(c, lexed),
+                        rule,
+                        reason,
+                    });
+                }
+            }
+            Err(why) => bad.push(Finding {
+                file: path.to_string(),
+                line: c.line,
+                rule: rules::BAD_SUPPRESSION.to_string(),
+                message: format!("malformed `wf-lint:` comment: {why}"),
+            }),
+        }
+    }
+    (sups, bad)
+}
+
+/// Returns the text after `wf-lint:` if the comment *is* a marker
+/// comment. The marker must open the comment (`// wf-lint: …`): doc
+/// comments quoting the syntax (`///`/`//!` text starts with `/` or
+/// `!`) and prose mentioning it mid-sentence are not suppressions.
+fn find_marker(text: &str) -> Option<&str> {
+    text.trim_start().strip_prefix("wf-lint:").map(str::trim)
+}
+
+/// Parses `allow(rule, reason = "...")` → (rule, reason).
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let body = rest
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .ok_or_else(|| "expected `allow(<rule>, reason = \"...\")`".to_string())?;
+    let close = body
+        .rfind(')')
+        .ok_or_else(|| "missing closing `)`".to_string())?;
+    let body = &body[..close];
+    let (rule, tail) = match body.split_once(',') {
+        Some((r, t)) => (r.trim().to_string(), t.trim()),
+        None => (body.trim().to_string(), ""),
+    };
+    if rule.is_empty() {
+        return Err("empty rule name".to_string());
+    }
+    if tail.is_empty() {
+        return Ok((rule, String::new()));
+    }
+    let value = tail
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "expected `reason = \"...\"` after the rule name".to_string())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.rfind('"').map(|i| v[..i].to_string()))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    Ok((rule, reason))
+}
+
+/// The line a suppression applies to: its own line for trailing
+/// comments, else the next line that carries a code token.
+fn target_line(c: &Comment, lexed: &Lexed) -> u32 {
+    if c.trailing {
+        return c.line;
+    }
+    lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > c.line)
+        .unwrap_or(c.line + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let l = lex(
+            "// wf-lint: allow(lock-unwrap, reason = \"poison cannot escape this scope\")\n\
+             let g = m.lock().unwrap();\n",
+        );
+        let (sups, bad) = parse("f.rs", &l);
+        assert!(bad.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].target_line, 2);
+        assert_eq!(sups[0].rule, "lock-unwrap");
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let l = lex("let g = m.lock().unwrap(); // wf-lint: allow(lock-unwrap, reason = \"x\")\n");
+        let (sups, _) = parse("f.rs", &l);
+        assert_eq!(sups[0].target_line, 1);
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_finding() {
+        let l = lex("// wf-lint: allow(lock-unwrap)\nlet g = m.lock().unwrap();\n");
+        let (sups, bad) = parse("f.rs", &l);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, rules::BAD_SUPPRESSION);
+        assert_eq!(bad[0].line, 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let l = lex("// wf-lint: allow(not-a-rule, reason = \"whatever\")\nlet x = 1;\n");
+        let (_, bad) = parse("f.rs", &l);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn empty_reason_is_a_finding() {
+        let l = lex("// wf-lint: allow(lock-unwrap, reason = \"  \")\nlet x = 1;\n");
+        let (sups, bad) = parse("f.rs", &l);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! `wf-lint` golden-test fixture: a miniature crate whose violations
+//! are asserted by exact `(file, line, rule)` in `tests/golden.rs`.
+//! Inserting or deleting lines here must update that test.
+
+use std::collections::HashMap;
+
+pub fn wall_clock_violation() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn map_iteration_violation(m: &HashMap<String, u32>) -> Vec<String> {
+    m.keys().cloned().collect()
+}
+
+pub fn process_exit_violation() {
+    std::process::exit(2);
+}
+
+pub fn lock_unwrap_violation(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn reasonless_allow_violation() -> std::time::SystemTime {
+    // wf-lint: allow(wall-clock-in-det-path)
+    std::time::SystemTime::now()
+}
+
+pub fn justified_carve_out() -> std::time::Instant {
+    // wf-lint: allow(wall-clock-in-det-path, reason = "fixture: the documented shape of a justified carve-out")
+    std::time::Instant::now()
+}
+
+pub fn sorted_iteration_is_clean(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_the_host_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

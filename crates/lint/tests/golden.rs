@@ -1,0 +1,131 @@
+//! Golden tests: the analyzer's exact output over a fixture crate, and
+//! the cleanliness of the real workspace it guards.
+//!
+//! The fixture under `tests/fixture/` is a miniature workspace with one
+//! deliberate violation per rule family, one reasonless allow (which
+//! must fail the run — the acceptance criterion for undocumented
+//! carve-outs), and one justified allow (which must land in the
+//! suppressed list with its reason intact).
+
+use std::path::{Path, PathBuf};
+use wf_lint::{lint_workspace, load_config, render_json, Config};
+
+const FIXTURE_FILE: &str = "crates/demo/src/lib.rs";
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixture")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn fixture_findings_match_exactly() {
+    let report = lint_workspace(&fixture_root(), &Config::default()).expect("scan fixture");
+    assert_eq!(report.files_scanned, 1);
+    let got: Vec<(&str, u32, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule.as_str()))
+        .collect();
+    let expected = vec![
+        (FIXTURE_FILE, 8, "wall-clock-in-det-path"),
+        (FIXTURE_FILE, 12, "unordered-map-iteration"),
+        (FIXTURE_FILE, 16, "process-exit-in-lib"),
+        (FIXTURE_FILE, 20, "lock-unwrap"),
+        (FIXTURE_FILE, 24, "bad-suppression"),
+        (FIXTURE_FILE, 25, "wall-clock-in-det-path"),
+    ];
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn fixture_justified_allow_is_suppressed_with_its_reason() {
+    let report = lint_workspace(&fixture_root(), &Config::default()).expect("scan fixture");
+    let sup: Vec<(&str, u32, &str, &str)> = report
+        .suppressed
+        .iter()
+        .map(|s| (s.file.as_str(), s.line, s.rule.as_str(), s.reason.as_str()))
+        .collect();
+    assert_eq!(
+        sup,
+        vec![(
+            FIXTURE_FILE,
+            30,
+            "wall-clock-in-det-path",
+            "fixture: the documented shape of a justified carve-out",
+        )]
+    );
+}
+
+/// The acceptance criterion for undocumented carve-outs: stripping the
+/// reason from an allow (line 24 of the fixture) yields a
+/// `bad-suppression` finding AND leaves the original violation
+/// unsuppressed, so the run — and therefore CI — fails.
+#[test]
+fn reasonless_allow_fails_the_run() {
+    let report = lint_workspace(&fixture_root(), &Config::default()).expect("scan fixture");
+    assert!(!report.clean(), "a reasonless allow must fail the run");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "bad-suppression" && f.line == 24));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "wall-clock-in-det-path" && f.line == 25),
+        "a reasonless allow must not suppress the violation it targets"
+    );
+}
+
+#[test]
+fn fixture_json_report_is_stable() {
+    let report = lint_workspace(&fixture_root(), &Config::default()).expect("scan fixture");
+    let json = render_json(&report);
+    assert!(json.starts_with(
+        "{\"version\":1,\"files_scanned\":1,\"findings\":6,\"suppressed\":1,\"items\":[\
+         {\"file\":\"crates/demo/src/lib.rs\",\"line\":8,\"rule\":\"wall-clock-in-det-path\""
+    ));
+    assert!(json.contains(
+        "\"allows\":[{\"file\":\"crates/demo/src/lib.rs\",\"line\":30,\
+         \"rule\":\"wall-clock-in-det-path\",\"reason\":\"fixture: the documented shape \
+         of a justified carve-out\"}]"
+    ));
+}
+
+/// The tentpole invariant: the workspace this analyzer guards is clean
+/// under its checked-in `wf-lint.toml` — zero unsuppressed findings,
+/// and every carve-out carries a non-empty reason.
+#[test]
+fn workspace_is_clean_and_every_allow_has_a_reason() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("wf-lint.toml parses");
+    let report = lint_workspace(&root, &cfg).expect("scan workspace");
+    assert!(
+        report.files_scanned > 100,
+        "scanned {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{} {}", f.file, f.line, f.rule))
+        .collect();
+    assert!(
+        report.clean(),
+        "unsuppressed findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(!report.suppressed.is_empty(), "carve-outs should exist");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} allow({}) has no reason",
+            s.file,
+            s.line,
+            s.rule
+        );
+    }
+}

@@ -140,7 +140,7 @@ impl SharedImageCache {
         // A worker panicking mid-operation cannot leave the map in a
         // broken state (every ImageCache method is atomic over its own
         // fields), so a poisoned lock is recoverable.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        crate::sync::lock_recover(&self.inner)
     }
 }
 

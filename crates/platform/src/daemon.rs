@@ -49,7 +49,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use wf_jobfile::Job;
 
@@ -64,15 +64,7 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
 /// Accept-loop poll interval while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
-/// Locks a mutex, recovering from poisoning instead of panicking: the
-/// protected state is always left consistent by the writers in this
-/// module, so a panic elsewhere degrades that one session rather than
-/// cascading a poisoned-mutex panic across the daemon.
-pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+pub use crate::sync::lock_recover;
 
 // ---------------------------------------------------------------------------
 // SocketSink: one live event stream.
@@ -413,7 +405,7 @@ impl Daemon {
         if socket_path.exists() {
             // A live daemon answers a ping; a dead one left a stale file.
             if let Ok(mut probe) = UnixStream::connect(&socket_path) {
-                let _ = write_frame(&mut probe, &request("ping"));
+                send_best_effort(&mut probe, &request("ping"));
                 if matches!(read_frame(&mut probe), Ok(Some(_))) {
                     return Err(io::Error::new(
                         io::ErrorKind::AddrInUse,
@@ -507,6 +499,14 @@ fn request(op: &str) -> JsonValue {
     JsonValue::Obj(vec![("op".to_string(), JsonValue::Str(op.into()))])
 }
 
+/// Sends a frame to a client without propagating transport errors: a
+/// client that hangs up before its reply lands only loses its own
+/// answer, and the daemon's session state is untouched either way.
+fn send_best_effort(stream: &mut UnixStream, frame: &JsonValue) {
+    // wf-lint: allow(swallowed-io-error, reason = "replies to daemon clients are best-effort by design: the peer may have disconnected, and dropping its reply affects no one else's session")
+    let _ = write_frame(stream, frame);
+}
+
 fn ok_reply(mut rest: Vec<(String, JsonValue)>) -> JsonValue {
     let mut pairs = vec![("ok".to_string(), JsonValue::Bool(true))];
     pairs.append(&mut rest);
@@ -534,7 +534,7 @@ fn handle_connection(state: &Arc<DaemonState>, mut stream: UnixStream) {
                 "root".to_string(),
                 JsonValue::Str(state.root.display().to_string()),
             )]);
-            let _ = write_frame(&mut stream, &reply);
+            send_best_effort(&mut stream, &reply);
         }
         "submit" => {
             let reply = match req.get("job").and_then(JsonValue::as_str) {
@@ -551,7 +551,7 @@ fn handle_connection(state: &Arc<DaemonState>, mut stream: UnixStream) {
                     Err(message) => err_reply(message),
                 },
             };
-            let _ = write_frame(&mut stream, &reply);
+            send_best_effort(&mut stream, &reply);
         }
         "sessions" => {
             let sessions: Vec<JsonValue> = lock_recover(&state.sessions)
@@ -559,7 +559,7 @@ fn handle_connection(state: &Arc<DaemonState>, mut stream: UnixStream) {
                 .map(|e| e.describe())
                 .collect();
             let reply = ok_reply(vec![("sessions".to_string(), JsonValue::Arr(sessions))]);
-            let _ = write_frame(&mut stream, &reply);
+            send_best_effort(&mut stream, &reply);
         }
         "watch" => match find_session(state, &req) {
             Ok(entry) => {
@@ -575,7 +575,7 @@ fn handle_connection(state: &Arc<DaemonState>, mut stream: UnixStream) {
                 }
             }
             Err(message) => {
-                let _ = write_frame(&mut stream, &err_reply(message));
+                send_best_effort(&mut stream, &err_reply(message));
             }
         },
         "stop" => {
@@ -592,14 +592,14 @@ fn handle_connection(state: &Arc<DaemonState>, mut stream: UnixStream) {
                 }
                 Err(message) => err_reply(message),
             };
-            let _ = write_frame(&mut stream, &reply);
+            send_best_effort(&mut stream, &reply);
         }
         "shutdown" => {
             state.shutdown.store(true, Ordering::SeqCst);
-            let _ = write_frame(&mut stream, &ok_reply(Vec::new()));
+            send_best_effort(&mut stream, &ok_reply(Vec::new()));
         }
         other => {
-            let _ = write_frame(&mut stream, &err_reply(format!("unknown op {other:?}")));
+            send_best_effort(&mut stream, &err_reply(format!("unknown op {other:?}")));
         }
     }
 }

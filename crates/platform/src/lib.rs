@@ -57,6 +57,7 @@ pub mod remote;
 pub mod router;
 pub mod signal;
 pub mod store;
+pub mod sync;
 pub mod target;
 pub mod workers;
 
@@ -64,7 +65,7 @@ pub use backend::{EvalBackend, InProcessBackend, LaneError, SpawnBackend, WorkIt
 pub use cache::{ImageCache, SharedImageCache};
 pub use clock::VirtualClock;
 pub use daemon::{
-    lock_recover, Daemon, SessionControl, SessionEntry, SessionLauncher, SessionStatus, SocketSink,
+    Daemon, SessionControl, SessionEntry, SessionLauncher, SessionStatus, SocketSink,
 };
 pub use epoch::DriftConfig;
 pub use events::{EventSink, NullSink, RecordingSink, SessionEvent, Tee};
@@ -78,5 +79,6 @@ pub use prober::{probe_runtime_space, ProbeReport};
 pub use remote::{serve, RemoteBackend, RemoteSpec};
 pub use router::{dispatch_wave, LaneStats, Router, RoutingStrategy};
 pub use store::{JsonlSink, SessionStore, StoreError, StoredDrift, StoredEpoch, StoredSession};
+pub use sync::lock_recover;
 pub use target::{EvalTarget, SimTarget, TargetDescriptor};
 pub use workers::{derive_seed, Pool};

@@ -69,10 +69,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 use wf_configspace::{ConfigSpace, Configuration, Encoder};
 use wf_jobfile::{BackendChoice, Budget, Direction, RoutingStrategy};
 use wf_ossim::{App, Phase, SimOs};
+use wf_search::host_clock::HostTimer;
 use wf_search::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
 
 /// What the session optimizes (the user-provided metric of Fig. 3).
@@ -90,6 +90,7 @@ pub enum Objective {
 /// The default worker count: `WF_WORKERS` from the environment (clamped
 /// to `1..=64`), else 1.
 pub fn default_workers() -> usize {
+    // wf-lint: allow(host-env-read, reason = "config-load: WF_WORKERS picks the pool width once at session construction; results are worker-count invariant (DETERMINISM.md)")
     std::env::var("WF_WORKERS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -500,7 +501,7 @@ impl Session {
         let direction = self.direction();
 
         // Ask.
-        let t_ask = Instant::now();
+        let t_ask = HostTimer::start();
         let configs = {
             let ctx = SearchContext {
                 space: self.target.space(),
@@ -512,7 +513,7 @@ impl Session {
             };
             self.algorithm.propose_batch(n, &ctx, &mut self.rng)
         };
-        let mut algo_seconds = t_ask.elapsed().as_secs_f64();
+        let mut algo_seconds = t_ask.seconds();
         assert_eq!(configs.len(), n, "propose_batch must return n candidates");
         sink.on_event(&SessionEvent::WaveDispatched {
             wave: wave_index,
@@ -615,7 +616,7 @@ impl Session {
 
         // Tell.
         let wave_obs: Vec<Observation> = records.iter().map(Record::observation).collect();
-        let t_tell = Instant::now();
+        let t_tell = HostTimer::start();
         {
             let ctx = SearchContext {
                 space: self.target.space(),
@@ -627,7 +628,7 @@ impl Session {
             };
             self.algorithm.observe_batch(&ctx, &wave_obs);
         }
-        algo_seconds += t_tell.elapsed().as_secs_f64();
+        algo_seconds += t_tell.seconds();
         let stats = self.algorithm.stats();
         let algo_seconds = algo_seconds.max(stats.last_update_seconds);
         // The wave's decision cost is shared evenly across its records

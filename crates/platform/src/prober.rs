@@ -94,8 +94,10 @@ pub fn probe_runtime_space(
                 break;
             }
         }
-        // Restore the default for subsequent probes.
-        let _ = tree.write(&name, &default.to_string());
+        // Restore the default for subsequent probes. The value came from
+        // `tree.read` above, so the tree cannot reject it.
+        tree.write(&name, &default.to_string())
+            .expect("restoring a parameter's own default");
         let kind = if lo >= 0 && hi - lo >= 1000 {
             ParamKind::log_int(lo, hi)
         } else {

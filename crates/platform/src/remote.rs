@@ -354,6 +354,7 @@ fn accept_workers(
     children: &mut [Child],
 ) -> io::Result<Vec<UnixStream>> {
     let mut streams: Vec<Option<UnixStream>> = (0..workers).map(|_| None).collect();
+    // wf-lint: allow(wall-clock-in-det-path, reason = "host-I/O timeout: bounds how long setup waits for worker processes to connect; the deadline never reaches the search")
     let deadline = Instant::now() + CONNECT_TIMEOUT;
     let mut connected = 0;
     while connected < workers {
@@ -383,6 +384,7 @@ fn accept_workers(
                         ));
                     }
                 }
+                // wf-lint: allow(wall-clock-in-det-path, reason = "host-I/O timeout check against the connect deadline above")
                 if Instant::now() >= deadline {
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
@@ -611,10 +613,12 @@ impl Drop for RemoteBackend {
         }
         for lane in &mut self.lanes {
             if let Some(mut child) = lane.child.take() {
+                // wf-lint: allow(wall-clock-in-det-path, reason = "host-I/O timeout: bounds teardown's wait for worker processes to exit on EOF; runs after the session is over")
                 let deadline = Instant::now() + Duration::from_secs(2);
                 loop {
                     match child.try_wait() {
                         Ok(Some(_)) => break,
+                        // wf-lint: allow(wall-clock-in-det-path, reason = "host-I/O timeout check against the teardown deadline above")
                         Ok(None) if Instant::now() < deadline => {
                             std::thread::sleep(Duration::from_millis(10));
                         }

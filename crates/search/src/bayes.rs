@@ -32,9 +32,9 @@
 //! O(n²) memory however it is maintained.
 
 use crate::api::{fill_distinct, AlgoStats, Observation, SearchAlgorithm, SearchContext};
+use crate::host_clock::HostTimer;
 use crate::memtrack::{bytes_of_f64s, MemTracker};
 use rand::rngs::StdRng;
-use std::time::Instant;
 use wf_configspace::Configuration;
 
 /// Gaussian-process Bayesian optimization with expected improvement.
@@ -278,7 +278,7 @@ impl SearchAlgorithm for BayesOpt {
     }
 
     fn propose(&mut self, ctx: &SearchContext<'_>, rng: &mut StdRng) -> Configuration {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         let out = if self.xs.len() < self.n_init || self.chol.is_none() {
             ctx.policy.sample(ctx.space, rng)
         } else {
@@ -296,7 +296,7 @@ impl SearchAlgorithm for BayesOpt {
             }
             best_cfg.unwrap_or_else(|| ctx.policy.sample(ctx.space, rng))
         };
-        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        self.last_update_seconds += t0.seconds();
         out
     }
 
@@ -306,7 +306,7 @@ impl SearchAlgorithm for BayesOpt {
         ctx: &SearchContext<'_>,
         rng: &mut StdRng,
     ) -> Vec<Configuration> {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         let out = if self.xs.len() < self.n_init || self.chol.is_none() {
             let mut cold = Vec::with_capacity(n);
             fill_distinct(
@@ -381,31 +381,31 @@ impl SearchAlgorithm for BayesOpt {
             fill_distinct(&mut picked, n, ctx, rng, &mut picked_fps);
             picked
         };
-        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        self.last_update_seconds += t0.seconds();
         out
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         self.ingest(ctx, obs);
         if self.full_refit_only {
             self.refit();
         } else {
             self.refit_incremental();
         }
-        self.last_update_seconds = t0.elapsed().as_secs_f64();
+        self.last_update_seconds = t0.seconds();
     }
 
     fn observe_batch(&mut self, ctx: &SearchContext<'_>, batch: &[Observation]) {
         // A wave boundary: one from-scratch refit over the whole wave
         // amortizes the O(n³) cost across every worker's observation and
         // re-anchors the incremental factor numerically.
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         for obs in batch {
             self.ingest(ctx, obs);
         }
         self.refit();
-        self.last_update_seconds = t0.elapsed().as_secs_f64();
+        self.last_update_seconds = t0.seconds();
     }
 
     fn begin_epoch(&mut self, _transfer: bool) {

@@ -30,11 +30,11 @@
 //!   grows with every iteration — the Fig. 7 blow-up.
 
 use crate::api::{fill_distinct, AlgoStats, Observation, SearchAlgorithm, SearchContext};
+use crate::host_clock::HostTimer;
 use crate::memtrack::{bytes_of_f64s, MemTracker};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
-use std::time::Instant;
 use wf_configspace::Configuration;
 
 /// PC-style causal search over configuration features.
@@ -389,7 +389,7 @@ impl SearchAlgorithm for CausalSearch {
     }
 
     fn propose(&mut self, ctx: &SearchContext<'_>, rng: &mut StdRng) -> Configuration {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         let out = if self.xs.len() < self.n_init || self.outcome_corr.is_empty() {
             ctx.policy.sample(ctx.space, rng)
         } else {
@@ -402,7 +402,7 @@ impl SearchAlgorithm for CausalSearch {
                 .expect("pool is non-empty")
                 .1
         };
-        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        self.last_update_seconds += t0.seconds();
         out
     }
 
@@ -412,7 +412,7 @@ impl SearchAlgorithm for CausalSearch {
         ctx: &SearchContext<'_>,
         rng: &mut StdRng,
     ) -> Vec<Configuration> {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         let out = if self.xs.len() < self.n_init || self.outcome_corr.is_empty() {
             (0..n).map(|_| ctx.policy.sample(ctx.space, rng)).collect()
         } else {
@@ -442,27 +442,27 @@ impl SearchAlgorithm for CausalSearch {
             fill_distinct(&mut picked, n, ctx, rng, &mut fps);
             picked
         };
-        self.last_update_seconds += t0.elapsed().as_secs_f64();
+        self.last_update_seconds += t0.seconds();
         out
     }
 
     fn observe(&mut self, ctx: &SearchContext<'_>, obs: &Observation) {
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         self.ingest(ctx, obs);
         self.rebuild();
-        self.last_update_seconds = t0.elapsed().as_secs_f64();
+        self.last_update_seconds = t0.seconds();
     }
 
     fn observe_batch(&mut self, ctx: &SearchContext<'_>, batch: &[Observation]) {
         // The skeleton is recomputed from scratch anyway, so one rebuild
         // over the whole wave reaches the same graph as per-observation
         // rebuilds while skipping the intermediate recomputes.
-        let t0 = Instant::now();
+        let t0 = HostTimer::start();
         for obs in batch {
             self.ingest(ctx, obs);
         }
         self.rebuild();
-        self.last_update_seconds = t0.elapsed().as_secs_f64();
+        self.last_update_seconds = t0.seconds();
     }
 
     fn begin_epoch(&mut self, _transfer: bool) {

@@ -1,0 +1,59 @@
+//! The `algo_seconds` carve-out — the one place search code may read
+//! the host wall clock.
+//!
+//! Every search algorithm reports how much *host* time its own
+//! propose/observe work costs (`AlgoStats::last_update_seconds`, summed
+//! into the session's `algo_seconds`). That measurement is explicitly
+//! outside the determinism contract (docs/DETERMINISM.md): it is
+//! reported for profiling, and nothing downstream — proposals,
+//! observations, clocks, routing — is allowed to read it back. Keeping
+//! the actual `Instant::now()` call here, behind a single annotated
+//! type, means `wf-lint`'s `wall-clock-in-det-path` rule flags any
+//! *new* wall-clock read at merge time while this documented carve-out
+//! stays the only allowed one.
+
+/// A started host-time measurement for `algo_seconds` reporting.
+///
+/// The elapsed value must only ever feed reporting fields
+/// (`last_update_seconds` / `algo_seconds`), never a decision.
+#[derive(Clone, Copy, Debug)]
+pub struct HostTimer(std::time::Instant);
+
+impl HostTimer {
+    /// Starts measuring.
+    pub fn start() -> Self {
+        // wf-lint: allow(wall-clock-in-det-path, reason = "the documented algo_seconds carve-out: host cost of search-algorithm work, reported for profiling and never fed back into any decision (DETERMINISM.md)")
+        HostTimer(std::time::Instant::now())
+    }
+
+    /// Host seconds since [`HostTimer::start`].
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Runs `f`, returning its result and the elapsed host seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = HostTimer::start();
+    let out = f();
+    let s = t.seconds();
+    (out, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_value_and_nonnegative_seconds() {
+        let (v, s) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn timer_is_monotonic_nonnegative() {
+        let t = HostTimer::start();
+        assert!(t.seconds() >= 0.0);
+    }
+}

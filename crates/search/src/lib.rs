@@ -20,6 +20,7 @@ pub mod api;
 pub mod bayes;
 pub mod causal;
 pub mod grid;
+pub mod host_clock;
 pub mod memtrack;
 pub mod random;
 

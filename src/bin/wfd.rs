@@ -42,6 +42,7 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
+    // wf-lint: allow(host-env-read, reason = "config-load: WF_DAEMON is the documented CLI fallback for --root, read once at startup")
     let root = match root.or_else(|| std::env::var("WF_DAEMON").ok()) {
         Some(root) => root,
         None => return usage("wfd needs --root DIR (or WF_DAEMON)"),
