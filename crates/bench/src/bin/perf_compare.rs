@@ -5,13 +5,19 @@
 //!     [--tolerance 0.35] [--floor-ns 20000] [--min-speedup 2.0]
 //! ```
 //!
-//! Compares a fresh `wfctl bench` JSON against the committed baseline:
-//! every op is normalized by its own file's `calibrate/spin` time (so the
-//! check is machine-relative), ops slower than `--floor-ns` in the
-//! baseline gate at `--tolerance` fractional regression, sub-floor ops
-//! are informational only, and the bayes incremental-vs-full
-//! observe+propose speedup must stay above `--min-speedup`. Exit code 1
-//! on any regression, 2 on usage errors.
+//! Compares a fresh `wfctl bench` JSON against a committed baseline —
+//! the main suite's `BENCH_search.json` or a per-target document such as
+//! `BENCH_unikraft.json` (produced by `wfctl bench --target <keyword>`).
+//! Both files carry a suite tag; the gate refuses to diff documents from
+//! different suites, and checks the baseline for staleness against its
+//! own suite's declared op set. Every op is normalized by its own file's
+//! `calibrate/spin` time (so the check is machine-relative), ops slower
+//! than `--floor-ns` in the baseline gate at `--tolerance` fractional
+//! regression, sub-floor ops are informational only, the bayes
+//! incremental-vs-full observe+propose speedup must stay above
+//! `--min-speedup`, and the batched pool-EI scorer must beat the
+//! per-candidate loop by `perf::EI_MIN_SPEEDUP`. Exit code 1 on any
+//! regression, 2 on usage errors.
 
 use std::process::ExitCode;
 use wf_bench::perf;
@@ -67,9 +73,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
 }
 
-fn load(path: &str) -> Result<Vec<perf::OpResult>, String> {
+fn load(path: &str) -> Result<perf::BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    perf::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+    perf::parse_json_doc(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The `wfctl bench` invocation that regenerates a baseline of `suite`.
+fn refresh_hint(suite: &str, path: &str) -> String {
+    match suite.strip_prefix("wfctl-bench-target/") {
+        Some(keyword) => format!("wfctl bench --target {keyword} --out {path}"),
+        None => format!("wfctl bench --out {path}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -92,30 +106,48 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Different suites measure different op sets; diffing across them
+    // would report every op as missing and gate on nothing real.
+    if baseline.suite != new.suite {
+        eprintln!(
+            "perf_compare: suite mismatch — {} is {:?} but {} is {:?}",
+            args.baseline, baseline.suite, args.new, new.suite
+        );
+        return ExitCode::from(2);
+    }
+    let declared = match perf::declared_ops_for(&baseline.suite) {
+        Ok(declared) => declared,
+        Err(e) => {
+            eprintln!("perf_compare: {}: {e}", args.baseline);
+            return ExitCode::from(2);
+        }
+    };
     // A baseline that predates the current suite would leave the new ops
     // ungated forever (the comparison iterates baseline ops): refuse it.
-    let stale = perf::stale_ops(&baseline);
+    let stale = perf::stale_ops_in(&declared, &baseline.ops);
     if !stale.is_empty() {
         eprintln!(
-            "perf_compare: baseline {} is stale — it is missing {} declared op(s):",
+            "perf_compare: baseline {} is stale — it is missing {} declared op(s) of suite {:?}:",
             args.baseline,
-            stale.len()
+            stale.len(),
+            baseline.suite
         );
         for (op, n) in &stale {
             eprintln!("  {op} (n={n})");
         }
         eprintln!(
-            "refresh it with `wfctl bench --out {}` and commit the diff",
-            args.baseline
+            "refresh it with `{}` and commit the diff",
+            refresh_hint(&baseline.suite, &args.baseline)
         );
         return ExitCode::FAILURE;
     }
     let comparison = match perf::compare(
-        &baseline,
-        &new,
+        &baseline.ops,
+        &new.ops,
         args.tolerance,
         args.floor_ns,
         args.min_speedup,
+        &args.baseline,
     ) {
         Ok(c) => c,
         Err(e) => {
@@ -140,6 +172,13 @@ fn main() -> ExitCode {
             perf::POOL_MIN_SPEEDUP
         );
     }
+    if let Some(speedup) = comparison.ei_speedup {
+        println!(
+            "bayes pool EI @800: batched scorer is x{speedup:.1} vs the per-candidate loop \
+             (required: x{:.1})",
+            perf::EI_MIN_SPEEDUP
+        );
+    }
     if comparison.regressions.is_empty() {
         println!(
             "perf gate passed: no op regressed beyond x{:.2} (calibration-normalized)",
@@ -151,7 +190,10 @@ fn main() -> ExitCode {
         for r in &comparison.regressions {
             eprintln!("  {r}");
         }
-        eprintln!("(refresh the baseline with `wfctl bench --out BENCH_search.json` if this change is intentional)");
+        eprintln!(
+            "(refresh the baseline with `{}` if this change is intentional)",
+            refresh_hint(&baseline.suite, &args.baseline)
+        );
         ExitCode::FAILURE
     }
 }

@@ -22,6 +22,17 @@
 //! fixed arithmetic workload. `perf_compare` divides every op by its
 //! file's calibration time before comparing, turning the regression gate
 //! into a machine-relative check.
+//!
+//! Besides the main suite, [`run_target_suite`] times the same
+//! controller hot paths on an arbitrary target's own configuration space
+//! and sampling policy (`wfctl bench --target <keyword>`). Compile-stage
+//! spaces differ from the main fixture in both width (hundreds of
+//! parameters) and sampling (mutate-the-default), so they carry their
+//! own committed baselines (`BENCH_unikraft.json`,
+//! `BENCH_linux-riscv.json`) which `perf_compare` gates in CI alongside
+//! `BENCH_search.json`. Each JSON document carries a suite tag naming
+//! the op set it must cover, so a per-target file can never pass the
+//! stale-baseline check against the wrong declared set.
 
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
@@ -48,6 +59,12 @@ pub const SEED: u64 = 0xBE7C;
 
 /// History sizes the search-algorithm ops are measured at.
 pub const HISTORY_SIZES: [usize; 3] = [50, 200, 800];
+
+/// History sizes the per-target suite measures at. Compile-stage spaces
+/// reach hundreds of parameters (the RISC-V space is ~477), so the
+/// per-target baselines stop at 200 where the main suite continues
+/// to 800.
+pub const TARGET_HISTORY_SIZES: [usize; 2] = [50, 200];
 
 /// Worker-pool widths the wave-dispatch op is measured at.
 pub const POOL_WIDTHS: [usize; 3] = [1, 4, 8];
@@ -92,9 +109,13 @@ pub fn declared_ops() -> Vec<(String, u64)> {
     ops.push(("search/bayes/observe_propose_full".to_string(), 800));
     ops.push(("search/causal/observe_propose".to_string(), 800));
     ops.push(("search/causal/observe_propose_scratch".to_string(), 800));
+    ops.push(("search/bayes/propose_pool".to_string(), 800));
+    ops.push(("search/bayes/propose_pool_scalar".to_string(), 800));
     ops.push(("deeptune/forward_batch".to_string(), 256));
     ops.push(("deeptune/score_batch".to_string(), 256));
     ops.push(("deeptune/train_batch".to_string(), 64));
+    ops.push(("nn/matmul_blocked".to_string(), 256));
+    ops.push(("nn/matmul_naive".to_string(), 256));
     ops.push(("store/jsonl_append".to_string(), 64));
     ops.push(("store/jsonl_append_waves".to_string(), 8));
     ops.push(("store/replay".to_string(), 64));
@@ -109,20 +130,43 @@ pub fn declared_ops() -> Vec<(String, u64)> {
     ops
 }
 
+/// Every (op, n) pair [`run_target_suite`] emits, in emission order. A
+/// per-target baseline (`BENCH_<keyword>.json`) must cover exactly this
+/// set; `perf_compare` refuses a stale per-target file the same way it
+/// refuses a stale `BENCH_search.json`.
+pub fn target_declared_ops() -> Vec<(String, u64)> {
+    let mut ops = vec![("calibrate/spin".to_string(), 0)];
+    ops.push(("target/sample_batch".to_string(), WAVE as u64));
+    ops.push(("target/encode_batch".to_string(), WAVE as u64));
+    for alg in ["random", "bayes", "causal"] {
+        for n in TARGET_HISTORY_SIZES {
+            ops.push((format!("search/{alg}/propose_batch"), n as u64));
+            ops.push((format!("search/{alg}/observe_batch"), n as u64));
+        }
+    }
+    ops
+}
+
 /// The shared fixture space: the 64-parameter Linux 4.19 runtime space
 /// (the same substrate the paper's runtime searches use).
 fn fixture_space() -> ConfigSpace {
     SimOs::linux_runtime(LinuxVersion::V4_19, 64).space
 }
 
-/// A deterministic synthetic history of `n` observations over `space`:
-/// candidate `i` samples from `derive_seed(SEED, i)`, its value is a
-/// smooth function of its encoding, and every ninth candidate crashes.
-fn fixture_history(space: &ConfigSpace, encoder: &Encoder, n: usize) -> Vec<Observation> {
+/// A deterministic synthetic history of `n` observations over `space`,
+/// drawn under `policy`: candidate `i` samples from
+/// `derive_seed(SEED, i)`, its value is a smooth function of its
+/// encoding, and every ninth candidate crashes.
+fn policy_history(
+    space: &ConfigSpace,
+    encoder: &Encoder,
+    policy: &SamplePolicy,
+    n: usize,
+) -> Vec<Observation> {
     (0..n)
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(derive_seed(SEED, i as u64));
-            let config = space.sample(&mut rng);
+            let config = policy.sample(space, &mut rng);
             if i % 9 == 0 {
                 Observation::crash(config, 10.0)
             } else {
@@ -136,6 +180,11 @@ fn fixture_history(space: &ConfigSpace, encoder: &Encoder, n: usize) -> Vec<Obse
             }
         })
         .collect()
+}
+
+/// [`policy_history`] under uniform sampling — the main suite's history.
+fn fixture_history(space: &ConfigSpace, encoder: &Encoder, n: usize) -> Vec<Observation> {
+    policy_history(space, encoder, &SamplePolicy::Uniform, n)
 }
 
 /// One synthetic source file for the `lint/scan_workspace` op: a
@@ -207,6 +256,16 @@ impl Fixture {
         }
     }
 
+    /// A fixture over an arbitrary target's space and sampling policy
+    /// (the per-target suite's substrate).
+    fn for_target(space: &ConfigSpace, policy: &SamplePolicy) -> Fixture {
+        Fixture {
+            space: space.clone(),
+            encoder: Encoder::new(space),
+            policy: policy.clone(),
+        }
+    }
+
     fn ctx<'a>(&'a self, history: &'a [Observation]) -> SearchContext<'a> {
         SearchContext {
             space: &self.space,
@@ -227,6 +286,7 @@ impl Fixture {
             "grid" => Box::new(GridSearch::new(8)),
             "bayes" => Box::new(BayesOpt::new()),
             "bayes_full" => Box::new(BayesOpt::new().with_full_refit(true)),
+            "bayes_scalar" => Box::new(BayesOpt::new().with_scalar_ei(true)),
             "causal" => Box::new(CausalSearch::new()),
             "causal_scratch" => Box::new(CausalSearch::new().with_scratch_stats(true)),
             other => panic!("unknown fixture algorithm {other:?}"),
@@ -387,6 +447,25 @@ pub fn run_suite(quick: bool) -> Vec<OpResult> {
         });
     }
 
+    // --- The batched-EI tentpole: one full pool proposal at history 800,
+    // matrix-level batched scorer vs the per-candidate loop it replaced.
+    // Both variants run the identical RNG stream and pick the identical
+    // argmax (bit-equality is proven in the wf-search unit tests and
+    // tests/refit_equivalence.rs), so the delta here is purely the cost
+    // of streaming the packed Cholesky factor once per candidate block
+    // instead of once per candidate.
+    for (op, alg_name) in [
+        ("search/bayes/propose_pool", "bayes"),
+        ("search/bayes/propose_pool_scalar", "bayes_scalar"),
+    ] {
+        let mut alg = fx.algorithm(alg_name, &history800);
+        let mut rng = StdRng::seed_from_u64(derive_seed(SEED, 5 << 32));
+        bench_op(&mut results, samples(quick, true), op, 800, |b| {
+            let ctx = fx.ctx(&history800);
+            b.iter(|| black_box(alg.propose(&ctx, &mut rng)))
+        });
+    }
+
     // --- DeepTune forward / score / train batches. ----------------------
     let dim = fx.encoder.dim();
     let feats: Vec<Vec<f64>> = fixture_history(&fx.space, &fx.encoder, 256)
@@ -426,6 +505,30 @@ pub fn run_suite(quick: bool) -> Vec<OpResult> {
         "deeptune/train_batch",
         64,
         |b| b.iter(|| black_box(train_model.train_batch(&x64, &y64, &c64))),
+    );
+
+    // --- The nn kernel under every Dense forward: blocked vs naive
+    // matmul on DTM-shaped operands (a 256-row feature batch times a
+    // features x 128 weight). Outputs are bit-identical (proven in
+    // wf-nn); the delta here is pure cache behavior.
+    let hidden = 128usize;
+    let wdata: Vec<f64> = (0..dim * hidden)
+        .map(|i| ((i.wrapping_mul(2_654_435_761) % 2048) as f64) / 1024.0 - 1.0)
+        .collect();
+    let weight = Matrix::from_vec(dim, hidden, wdata);
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "nn/matmul_blocked",
+        256,
+        |b| b.iter(|| black_box(x256.matmul(&weight))),
+    );
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "nn/matmul_naive",
+        256,
+        |b| b.iter(|| black_box(x256.matmul_naive(&weight))),
     );
 
     // --- Session store: JSONL append and deterministic replay. ----------
@@ -678,6 +781,119 @@ pub fn run_suite(quick: bool) -> Vec<OpResult> {
     results
 }
 
+/// Runs the per-target suite over `space` and `policy` — the pair `wfctl
+/// bench --target <keyword>` resolves through the target registry. The
+/// ops mirror the main suite's search hot paths (batch ask/tell for
+/// random, bayes, and causal) plus the two per-candidate costs every
+/// algorithm pays on this target — sampling under its policy and
+/// encoding into its feature space — but measured on the target's own
+/// configuration space, where width and sampling policy can differ from
+/// the main fixture by an order of magnitude.
+pub fn run_target_suite(space: &ConfigSpace, policy: &SamplePolicy, quick: bool) -> Vec<OpResult> {
+    let mut results = Vec::new();
+    let fx = Fixture::for_target(space, policy);
+
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "calibrate/spin",
+        0,
+        |b| b.iter(|| black_box(spin())),
+    );
+
+    // Candidate sampling under the target's policy (mutate-the-default
+    // walks the whole spec list per sample on compile-stage spaces).
+    let mut srng = StdRng::seed_from_u64(derive_seed(SEED, 6 << 32));
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "target/sample_batch",
+        WAVE as u64,
+        |b| {
+            b.iter(|| {
+                let batch: Vec<_> = (0..WAVE)
+                    .map(|_| fx.policy.sample(&fx.space, &mut srng))
+                    .collect();
+                black_box(batch.len())
+            })
+        },
+    );
+
+    // Feature encoding of one wave (the cost scales with the encoded
+    // dimension, ~900 for the RISC-V compile space).
+    let mut erng = StdRng::seed_from_u64(derive_seed(SEED, 7 << 32));
+    let sampled: Vec<_> = (0..WAVE)
+        .map(|_| fx.policy.sample(&fx.space, &mut erng))
+        .collect();
+    bench_op(
+        &mut results,
+        samples(quick, false),
+        "target/encode_batch",
+        WAVE as u64,
+        |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for config in &sampled {
+                    acc += fx.encoder.encode(&fx.space, config).iter().sum::<f64>();
+                }
+                black_box(acc)
+            })
+        },
+    );
+
+    // Batch ask/tell on the target's space. Model algorithms pay per
+    // parameter (causal) or per encoded dimension (bayes), so both count
+    // as heavy here even at history 200.
+    for alg_name in ["random", "bayes", "causal"] {
+        for &n in &TARGET_HISTORY_SIZES {
+            let heavy = alg_name != "random";
+            let history = policy_history(&fx.space, &fx.encoder, &fx.policy, n);
+
+            let mut alg = fx.algorithm(alg_name, &history);
+            let mut rng = StdRng::seed_from_u64(derive_seed(SEED, 8 << 32));
+            bench_op(
+                &mut results,
+                samples(quick, heavy),
+                &format!("search/{alg_name}/propose_batch"),
+                n as u64,
+                |b| {
+                    let ctx = fx.ctx(&history);
+                    b.iter(|| black_box(alg.propose_batch(WAVE, &ctx, &mut rng)))
+                },
+            );
+
+            let prefix = &history[..n - WAVE];
+            let wave = &history[n - WAVE..];
+            bench_op(
+                &mut results,
+                samples(quick, heavy),
+                &format!("search/{alg_name}/observe_batch"),
+                n as u64,
+                |b| {
+                    b.iter_batched(
+                        || fx.algorithm(alg_name, prefix),
+                        |mut alg| {
+                            alg.observe_batch(&fx.ctx(prefix), wave);
+                            black_box(alg.stats())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+
+    debug_assert_eq!(
+        results
+            .iter()
+            .map(|r| (r.op.clone(), r.n))
+            .collect::<Vec<_>>(),
+        target_declared_ops(),
+        "target suite emission order drifted from target_declared_ops()"
+    );
+    results
+}
+
 /// 64 CandidateEvaluated events plus a WaveCompleted, shaped like one
 /// store wave.
 fn store_fixture_events(space: &ConfigSpace) -> Vec<wf_platform::SessionEvent> {
@@ -747,8 +963,46 @@ fn store_fixture_waves(space: &ConfigSpace) -> Vec<wf_platform::SessionEvent> {
     events
 }
 
+/// Suite tag of the main-suite document (`BENCH_search.json`).
+pub const MAIN_SUITE: &str = "wfctl-bench";
+
+/// Suite tag of a per-target document (`BENCH_<keyword>.json`).
+pub fn target_suite_tag(keyword: &str) -> String {
+    format!("wfctl-bench-target/{keyword}")
+}
+
+/// The declared op set a document with suite tag `suite` must cover.
+/// Unknown tags are an error so a mislabeled document can never pass the
+/// stale-baseline check vacuously.
+pub fn declared_ops_for(suite: &str) -> Result<Vec<(String, u64)>, String> {
+    if suite == MAIN_SUITE {
+        Ok(declared_ops())
+    } else if suite.starts_with("wfctl-bench-target/") {
+        Ok(target_declared_ops())
+    } else {
+        Err(format!("unknown bench suite tag {suite:?}"))
+    }
+}
+
+/// A parsed bench document: the suite tag plus its results.
+pub struct BenchDoc {
+    /// Which suite emitted this document ([`MAIN_SUITE`] or a
+    /// [`target_suite_tag`]).
+    pub suite: String,
+    /// Whether the document was produced in quick (CI smoke) mode.
+    pub quick: bool,
+    /// The measured ops.
+    pub ops: Vec<OpResult>,
+}
+
 /// Encodes suite results as the stable `BENCH_search.json` document.
 pub fn to_json(results: &[OpResult], quick: bool) -> String {
+    to_json_tagged(results, quick, MAIN_SUITE)
+}
+
+/// Encodes results as a bench document carrying an explicit suite tag
+/// (the per-target documents use [`target_suite_tag`]).
+pub fn to_json_tagged(results: &[OpResult], quick: bool, suite: &str) -> String {
     let ops: Vec<JsonValue> = results
         .iter()
         .map(|r| {
@@ -766,7 +1020,7 @@ pub fn to_json(results: &[OpResult], quick: bool) -> String {
         .collect();
     let doc = JsonValue::Obj(vec![
         ("version".into(), JsonValue::Int(1)),
-        ("suite".into(), JsonValue::Str("wfctl-bench".into())),
+        ("suite".into(), JsonValue::Str(suite.into())),
         ("quick".into(), JsonValue::Bool(quick)),
         ("ops".into(), JsonValue::Arr(ops)),
     ]);
@@ -775,17 +1029,33 @@ pub fn to_json(results: &[OpResult], quick: bool) -> String {
     text
 }
 
-/// Parses a `BENCH_search.json` document back into op results.
+/// Parses a bench document back into op results, dropping the envelope.
 pub fn parse_json(text: &str) -> Result<Vec<OpResult>, String> {
+    parse_json_doc(text).map(|doc| doc.ops)
+}
+
+/// Parses a bench document including its suite tag (what `perf_compare`
+/// uses, so it can refuse to diff documents from different suites).
+pub fn parse_json_doc(text: &str) -> Result<BenchDoc, String> {
     let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
     if doc.get("version").and_then(JsonValue::as_i64) != Some(1) {
         return Err("unsupported bench document version".into());
     }
+    let suite = doc
+        .get("suite")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing suite tag")?
+        .to_string();
+    let quick = doc
+        .get("quick")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
     let ops = doc
         .get("ops")
         .and_then(JsonValue::as_arr)
         .ok_or("missing ops array")?;
-    ops.iter()
+    let ops = ops
+        .iter()
         .map(|o| {
             Ok(OpResult {
                 op: o
@@ -810,7 +1080,8 @@ pub fn parse_json(text: &str) -> Result<Vec<OpResult>, String> {
                     .ok_or("op missing throughput_per_s")?,
             })
         })
-        .collect()
+        .collect::<Result<Vec<OpResult>, String>>()?;
+    Ok(BenchDoc { suite, quick, ops })
 }
 
 /// Renders results as an aligned human-readable table.
@@ -834,9 +1105,16 @@ pub fn render_table(results: &[OpResult]) -> String {
 /// an op added to the suite without refreshing `BENCH_search.json` would
 /// otherwise silently never be gated.
 pub fn stale_ops(results: &[OpResult]) -> Vec<(String, u64)> {
-    declared_ops()
-        .into_iter()
-        .filter(|(op, n)| !results.iter().any(|r| &r.op == op && r.n == *n))
+    stale_ops_in(&declared_ops(), results)
+}
+
+/// [`stale_ops`] against an explicit declared set (per-target baselines
+/// check against [`target_declared_ops`] via [`declared_ops_for`]).
+pub fn stale_ops_in(declared: &[(String, u64)], results: &[OpResult]) -> Vec<(String, u64)> {
+    declared
+        .iter()
+        .filter(|(op, n)| !results.iter().any(|r| r.op == **op && r.n == *n))
+        .cloned()
         .collect()
 }
 
@@ -854,7 +1132,9 @@ pub fn stale_ops(results: &[OpResult]) -> Vec<(String, u64)> {
 /// path — the tentpole's ≥2x acceptance bar, enforced on every run.
 /// Likewise, when both dispatch-backend ops are present, the persistent
 /// in-process pool must not lose to per-wave thread spawning
-/// ([`POOL_MIN_SPEEDUP`]).
+/// ([`POOL_MIN_SPEEDUP`]), and when both pool-EI scoring variants are
+/// present, the batched matrix-level scorer must beat the per-candidate
+/// loop by at least [`EI_MIN_SPEEDUP`].
 pub struct Comparison {
     /// Human-readable per-op lines.
     pub lines: Vec<String>,
@@ -864,6 +1144,8 @@ pub struct Comparison {
     pub bayes_speedup: Option<f64>,
     /// The measured spawn/pool dispatch speedup, if both ops present.
     pub pool_speedup: Option<f64>,
+    /// The measured scalar/batched pool-EI speedup, if both ops present.
+    pub ei_speedup: Option<f64>,
 }
 
 /// The dispatch gate's bar: `platform/dispatch_pool` must run a full
@@ -873,13 +1155,23 @@ pub struct Comparison {
 /// only push up).
 pub const POOL_MIN_SPEEDUP: f64 = 1.0;
 
-/// Compares `new` results against `baseline`. See [`Comparison`].
+/// The batched-EI gate's bar: `search/bayes/propose_pool` must beat
+/// `search/bayes/propose_pool_scalar` by at least this factor at history
+/// 800 — the acceptance bar for replacing ~200 per-candidate triangular
+/// solves with one matrix-level solve per candidate block (compared on
+/// per-run minimums; both variants produce bit-identical proposals).
+pub const EI_MIN_SPEEDUP: f64 = 2.0;
+
+/// Compares `new` results against `baseline`. `baseline_label` names the
+/// baseline file in diagnostics, so a missing op says which committed
+/// `BENCH_*.json` declared it. See [`Comparison`].
 pub fn compare(
     baseline: &[OpResult],
     new: &[OpResult],
     tolerance: f64,
     floor_ns: f64,
     min_speedup: f64,
+    baseline_label: &str,
 ) -> Result<Comparison, String> {
     let cal = |results: &[OpResult]| -> Result<f64, String> {
         results
@@ -901,7 +1193,10 @@ pub fn compare(
             continue;
         }
         let Some(n) = find(new, &b.op, b.n) else {
-            regressions.push(format!("{} (n={}) missing from new results", b.op, b.n));
+            regressions.push(format!(
+                "{} (n={}) from baseline {} missing from new results",
+                b.op, b.n, baseline_label
+            ));
             continue;
         };
         let ratio = (n.min_ns_per_iter / new_cal) / (b.min_ns_per_iter / base_cal).max(1e-12);
@@ -959,11 +1254,30 @@ pub fn compare(
         }
     }
 
+    let ei_speedup = match (
+        find(new, "search/bayes/propose_pool_scalar", 800),
+        find(new, "search/bayes/propose_pool", 800),
+    ) {
+        (Some(scalar), Some(batched)) => {
+            Some(scalar.min_ns_per_iter / batched.min_ns_per_iter.max(1e-3))
+        }
+        _ => None,
+    };
+    if let Some(speedup) = ei_speedup {
+        if speedup < EI_MIN_SPEEDUP {
+            regressions.push(format!(
+                "batched pool-EI speedup x{speedup:.2} < required x{EI_MIN_SPEEDUP:.1} \
+                 (the matrix-level scorer lost its edge over the per-candidate loop)"
+            ));
+        }
+    }
+
     Ok(Comparison {
         lines,
         regressions,
         bayes_speedup,
         pool_speedup,
+        ei_speedup,
     })
 }
 
@@ -990,6 +1304,50 @@ mod tests {
         let text = to_json(&results, true);
         let back = parse_json(&text).expect("parse");
         assert_eq!(results, back);
+    }
+
+    #[test]
+    fn json_round_trips_the_suite_tag() {
+        let results = vec![op("calibrate/spin", 0, 1234.5)];
+        let main = parse_json_doc(&to_json(&results, false)).expect("parse");
+        assert_eq!(main.suite, MAIN_SUITE);
+        assert!(!main.quick);
+        let tagged = to_json_tagged(&results, true, &target_suite_tag("unikraft"));
+        let doc = parse_json_doc(&tagged).expect("parse");
+        assert_eq!(doc.suite, "wfctl-bench-target/unikraft");
+        assert!(doc.quick);
+        assert_eq!(doc.ops, results);
+    }
+
+    #[test]
+    fn declared_ops_for_dispatches_on_the_suite_tag() {
+        assert_eq!(declared_ops_for(MAIN_SUITE).unwrap(), declared_ops());
+        assert_eq!(
+            declared_ops_for(&target_suite_tag("linux-riscv")).unwrap(),
+            target_declared_ops()
+        );
+        assert!(declared_ops_for("some-other-suite").is_err());
+    }
+
+    #[test]
+    fn target_declared_ops_are_unique() {
+        let ops = target_declared_ops();
+        let mut seen = std::collections::HashSet::new();
+        for pair in &ops {
+            assert!(seen.insert(pair.clone()), "duplicate op {pair:?}");
+        }
+        assert!(ops.len() >= 15, "target suite shrank to {} ops", ops.len());
+    }
+
+    #[test]
+    fn stale_ops_in_checks_against_the_given_declared_set() {
+        let full: Vec<OpResult> = target_declared_ops()
+            .into_iter()
+            .map(|(name, n)| op(&name, n, 1000.0))
+            .collect();
+        assert!(stale_ops_in(&target_declared_ops(), &full).is_empty());
+        // The same results are stale against the (larger) main-suite set.
+        assert!(!stale_ops_in(&declared_ops(), &full).is_empty());
     }
 
     #[test]
@@ -1024,7 +1382,7 @@ mod tests {
         // so nothing regresses.
         let base = vec![op("calibrate/spin", 0, 1000.0), op("a/b", 10, 50_000.0)];
         let new = vec![op("calibrate/spin", 0, 3000.0), op("a/b", 10, 150_000.0)];
-        let c = compare(&base, &new, 0.35, 1000.0, 2.0).expect("compare");
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
         assert!(c.regressions.is_empty(), "{:?}", c.regressions);
     }
 
@@ -1036,7 +1394,7 @@ mod tests {
             op("gone/op", 1, 50_000.0),
         ];
         let new = vec![op("calibrate/spin", 0, 1000.0), op("a/b", 10, 90_000.0)];
-        let c = compare(&base, &new, 0.35, 1000.0, 2.0).expect("compare");
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
         assert_eq!(c.regressions.len(), 2, "{:?}", c.regressions);
     }
 
@@ -1044,7 +1402,7 @@ mod tests {
     fn compare_ignores_sub_floor_noise() {
         let base = vec![op("calibrate/spin", 0, 1000.0), op("tiny/op", 1, 40.0)];
         let new = vec![op("calibrate/spin", 0, 1000.0), op("tiny/op", 1, 400.0)];
-        let c = compare(&base, &new, 0.35, 1000.0, 2.0).expect("compare");
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
         assert!(c.regressions.is_empty(), "{:?}", c.regressions);
     }
 
@@ -1057,7 +1415,7 @@ mod tests {
             op("platform/dispatch_spawn", 8, 800_000.0),
             op("platform/dispatch_pool", 8, 900_000.0),
         ];
-        let c = compare(&base, &new, 0.35, 1000.0, 2.0).expect("compare");
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
         assert!(c.pool_speedup.unwrap() < 1.0);
         assert_eq!(c.regressions.len(), 1, "{:?}", c.regressions);
         // Pool at least as fast: passes.
@@ -1066,8 +1424,44 @@ mod tests {
             op("platform/dispatch_spawn", 8, 900_000.0),
             op("platform/dispatch_pool", 8, 800_000.0),
         ];
-        let c = compare(&base, &new, 0.35, 1000.0, 2.0).expect("compare");
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
         assert_eq!(c.pool_speedup, Some(900.0 / 800.0));
+        assert!(c.regressions.is_empty(), "{:?}", c.regressions);
+    }
+
+    #[test]
+    fn compare_names_the_baseline_file_for_missing_ops() {
+        let base = vec![op("calibrate/spin", 0, 1000.0), op("gone/op", 1, 50_000.0)];
+        let new = vec![op("calibrate/spin", 0, 1000.0)];
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_unikraft.json").expect("compare");
+        assert_eq!(c.regressions.len(), 1);
+        assert!(
+            c.regressions[0].contains("BENCH_unikraft.json"),
+            "{:?}",
+            c.regressions
+        );
+    }
+
+    #[test]
+    fn compare_enforces_the_batched_ei_bar() {
+        let base = vec![op("calibrate/spin", 0, 1000.0)];
+        // Batched scorer below 2x over scalar: gated.
+        let new = vec![
+            op("calibrate/spin", 0, 1000.0),
+            op("search/bayes/propose_pool", 800, 70_000.0),
+            op("search/bayes/propose_pool_scalar", 800, 100_000.0),
+        ];
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
+        assert_eq!(c.ei_speedup, Some(100.0 / 70.0));
+        assert_eq!(c.regressions.len(), 1, "{:?}", c.regressions);
+        // At or above the bar: passes.
+        let new = vec![
+            op("calibrate/spin", 0, 1000.0),
+            op("search/bayes/propose_pool", 800, 40_000.0),
+            op("search/bayes/propose_pool_scalar", 800, 100_000.0),
+        ];
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
+        assert_eq!(c.ei_speedup, Some(2.5));
         assert!(c.regressions.is_empty(), "{:?}", c.regressions);
     }
 
@@ -1079,7 +1473,7 @@ mod tests {
             op("search/bayes/observe_propose", 800, 80_000.0),
             op("search/bayes/observe_propose_full", 800, 100_000.0),
         ];
-        let c = compare(&base, &new, 0.35, 1000.0, 2.0).expect("compare");
+        let c = compare(&base, &new, 0.35, 1000.0, 2.0, "BENCH_search.json").expect("compare");
         assert_eq!(c.bayes_speedup, Some(1.25));
         assert_eq!(c.regressions.len(), 1, "{:?}", c.regressions);
     }

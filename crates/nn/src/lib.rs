@@ -3,7 +3,9 @@
 //! This crate is the substrate for the DeepTune Model (DTM) of the Wayfinder
 //! paper (§3.2). It provides exactly what the DTM needs and nothing more:
 //!
-//! * a dense row-major [`matrix::Matrix`];
+//! * a dense row-major [`matrix::Matrix`] whose blocked `matmul` kernel
+//!   (bit-identical to the naive triple loop it replaced) carries every
+//!   `Dense` forward pass;
 //! * [`layer`]s: fully connected ([`layer::Dense`]), ReLU, inverted dropout,
 //!   and the Gaussian radial-basis-function layer of Eq. 1;
 //! * [`loss`]es: categorical cross-entropy (`L_CCE`), the Kendall-&-Gal

@@ -1,10 +1,36 @@
 //! Dense row-major matrix used throughout the neural-network substrate.
 //!
-//! The matrix sizes involved in DeepTune are small (hundreds of rows and
-//! columns), so a straightforward `Vec<f64>`-backed implementation with
-//! cache-friendly row-major loops is sufficient; no BLAS is required.
+//! The matrix sizes involved in DeepTune are modest (hundreds of rows and
+//! columns), so a `Vec<f64>`-backed implementation with cache-friendly
+//! row-major loops is sufficient; no BLAS is required. The one kernel hot
+//! enough to matter is [`Matrix::matmul`] — it sits under every
+//! `Dense::forward`, so the `deeptune/forward_batch` scoring path runs it
+//! once per layer per wave — and it uses a blocked loop: small output
+//! tiles stay cache-resident while each row of the right-hand
+//! matrix is streamed once per row-block instead of once per output row.
+//! Per output element the accumulation still walks `k` in ascending order
+//! and keeps the zero-skip, so the result is **bit-for-bit identical** to
+//! the straightforward triple loop, which survives as
+//! [`Matrix::matmul_naive`] (the exactness oracle for the unit tests and
+//! the `nn/matmul_*` bench ops).
+//!
+//! ```
+//! use wf_nn::Matrix;
+//! // Mixed signs and exact zeros (ReLU-style sparsity), with dimensions
+//! // that exercise the blocked kernel's remainder edges.
+//! let a = Matrix::from_fn(13, 9, |r, c| (((r * 9 + c) % 5) as f64 - 2.0).max(0.0));
+//! let b = Matrix::from_fn(9, 70, |r, c| ((r * 70 + c) % 11) as f64 / 3.0 - 1.5);
+//! assert_eq!(a.matmul(&b).data(), a.matmul_naive(&b).data());
+//! ```
 
 use std::fmt;
+
+/// Row-block size of the blocked [`Matrix::matmul`]: each right-hand row
+/// slice is reused across this many left-hand rows while it is hot.
+const MC: usize = 8;
+/// Column-block size of the blocked [`Matrix::matmul`]: the `MC`×`NC`
+/// output tile (4 KiB) and the `NC`-wide row slice stay L1-resident.
+const NC: usize = 64;
 
 /// A dense, row-major `rows x cols` matrix of `f64`.
 #[derive(Clone, PartialEq)]
@@ -132,12 +158,61 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = value);
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other` — the blocked kernel (see the module
+    /// docs).
+    ///
+    /// Output tiles of `MC`×`NC` elements are filled one `k` step at a
+    /// time, so the tile and the active slice of `other`'s row stay in
+    /// cache: each row of `other` is streamed once per `MC`-row block of
+    /// `self` instead of once per output row, which is where the naive
+    /// row-major loop spends its memory bandwidth. The per-element
+    /// accumulation order (ascending `k`) and the `a == 0.0` skip (ReLU
+    /// activations make whole columns vanish) are exactly
+    /// [`Matrix::matmul_naive`]'s, so the product is bit-for-bit
+    /// identical to the naive kernel.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        for i0 in (0..self.rows).step_by(MC) {
+            let i1 = (i0 + MC).min(self.rows);
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                for k in 0..self.cols {
+                    let b_row = &other.data[k * n + j0..k * n + j1];
+                    for i in i0..i1 {
+                        let a = self.data[i * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut out.data[i * n + j0..i * n + j1];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other` by the straightforward row-major
+    /// triple loop — the reference kernel [`Matrix::matmul`] is proven
+    /// bit-identical against (unit tests, the module doctest, and the
+    /// `nn/matmul_naive` bench op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -411,6 +486,49 @@ mod tests {
         let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    /// Deterministic pseudo-random fill with mixed signs, magnitudes, and
+    /// exact zeros (the ReLU-sparsity case the kernels special-case).
+    fn fill(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut s = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            match s % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                r => (s % 1000) as f64 / 999.0 - 0.5 + r as f64,
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bit_for_bit() {
+        // Shapes around the MC/NC block edges, degenerate strips, and the
+        // forward_batch-like shape (wave × features times features ×
+        // hidden).
+        let shapes = [
+            (1, 1, 1),
+            (MC, 3, NC),
+            (MC + 1, 5, NC + 1),
+            (MC - 1, 4, NC - 1),
+            (2 * MC + 3, 17, 2 * NC + 5),
+            (1, 9, 2 * NC),
+            (3 * MC, 1, 7),
+            (64, 56, 48),
+        ];
+        for (si, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = fill(m, k, si as u64 * 2 + 1);
+            let b = fill(k, n, si as u64 * 2 + 2);
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(blocked.rows(), naive.rows());
+            assert_eq!(blocked.cols(), naive.cols());
+            let bits = |m: &Matrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&blocked), bits(&naive), "shape {m}x{k}*{k}x{n}");
+        }
     }
 
     #[test]

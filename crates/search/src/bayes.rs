@@ -30,6 +30,68 @@
 //! with the worst observed value, so the optimizer keeps wandering into
 //! crash regions it cannot represent (§3.2); and the factor is still
 //! O(n²) memory however it is maintained.
+//!
+//! # Batched EI scoring
+//!
+//! Proposal scoring is the other profiled hot path: every candidate in
+//! the pool needs one forward substitution against the packed factor —
+//! O(n²) work and, at history 800, a ~2.5 MB streaming read of the factor
+//! *per candidate*. The default scorer therefore batches the whole pool
+//! into one matrix-level triangular solve: candidates are packed
+//! interleaved into a kernel-column matrix and a single packed forward
+//! substitution sweeps the factor across all columns at once (the factor
+//! streams once per block of eight candidates, and the inner loops
+//! vectorize across the candidate lane). Per candidate the scalar
+//! operation sequence — operand order included — is exactly the
+//! per-candidate loop's, so the scores and every downstream proposal are
+//! **bit-for-bit identical** to the sequential path
+//! ([`BayesOpt::with_scalar_ei`]), proven by the `refit_equivalence`
+//! proptests and the doctest below.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use wf_configspace::{ConfigSpace, Encoder, ParamKind, ParamSpec, Stage, Value};
+//! use wf_jobfile::Direction;
+//! use wf_search::api::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
+//! use wf_search::BayesOpt;
+//!
+//! let mut space = ConfigSpace::new();
+//! space.add(
+//!     ParamSpec::new("x", ParamKind::int(0, 99), Stage::Runtime).with_default(Value::Int(0)),
+//! );
+//! let encoder = Encoder::new(&space);
+//! let policy = SamplePolicy::Uniform;
+//! let mut batched = BayesOpt::new(); // matrix-level pool scoring (default)
+//! let mut scalar = BayesOpt::new().with_scalar_ei(true); // per-candidate reference
+//! let mut history = Vec::new();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! for i in 0..12 {
+//!     let ctx = SearchContext {
+//!         space: &space,
+//!         encoder: &encoder,
+//!         direction: Direction::Maximize,
+//!         policy: &policy,
+//!         history: &history,
+//!         iteration: i,
+//!     };
+//!     let c = policy.sample(&space, &mut rng);
+//!     let obs = Observation::ok(c, (i as f64).sin(), 1.0);
+//!     batched.observe(&ctx, &obs);
+//!     scalar.observe(&ctx, &obs);
+//!     history.push(obs);
+//! }
+//! let ctx = SearchContext {
+//!     space: &space,
+//!     encoder: &encoder,
+//!     direction: Direction::Maximize,
+//!     policy: &policy,
+//!     history: &history,
+//!     iteration: 12,
+//! };
+//! let (mut r1, mut r2) = (StdRng::seed_from_u64(9), StdRng::seed_from_u64(9));
+//! assert_eq!(batched.propose(&ctx, &mut r1), scalar.propose(&ctx, &mut r2));
+//! ```
 
 use crate::api::{fill_distinct, AlgoStats, Observation, SearchAlgorithm, SearchContext};
 use crate::host_clock::HostTimer;
@@ -56,6 +118,10 @@ pub struct BayesOpt {
     /// O(n³) path the paper critiques; kept for benches and equivalence
     /// proofs).
     full_refit_only: bool,
+    /// Score proposal pools with the per-candidate EI loop instead of the
+    /// batched matrix-level solve (bit-identical; kept for benches and
+    /// equivalence proofs).
+    scalar_ei: bool,
 
     // Fitted state.
     xs: Vec<Vec<f64>>,
@@ -88,6 +154,7 @@ impl BayesOpt {
             pool: 200,
             xi: 0.01,
             full_refit_only: false,
+            scalar_ei: false,
             xs: Vec::new(),
             ys: Vec::new(),
             chol: None,
@@ -110,6 +177,17 @@ impl BayesOpt {
     /// performs the bit-equivalent O(n²) incremental factor extension.
     pub fn with_full_refit(mut self, full: bool) -> Self {
         self.full_refit_only = full;
+        self
+    }
+
+    /// Scores proposal pools with the per-candidate EI loop — one O(n²)
+    /// triangular solve (and one full streaming read of the packed
+    /// factor) per candidate — instead of the default matrix-level
+    /// batched solve. The two paths are bit-identical (see the module
+    /// docs); this toggle exists for the `search/bayes/propose_pool_scalar`
+    /// bench op and the equivalence proptests.
+    pub fn with_scalar_ei(mut self, scalar: bool) -> Self {
+        self.scalar_ei = scalar;
         self
     }
 
@@ -236,11 +314,121 @@ impl BayesOpt {
         (mu - best - self.xi) * norm_cdf(z) + sigma * norm_pdf(z)
     }
 
+    /// Expected improvement for a whole candidate pool: the batched
+    /// matrix-level path by default, or the per-candidate reference loop
+    /// under [`BayesOpt::with_scalar_ei`]. The outputs are bit-identical.
+    fn pool_ei(&self, xs: &[Vec<f64>], best: f64) -> Vec<f64> {
+        if self.scalar_ei {
+            xs.iter()
+                .map(|x| self.expected_improvement(x, best))
+                .collect()
+        } else {
+            self.ei_batch(xs, best)
+        }
+    }
+
+    /// Batched expected improvement: one matrix-level triangular solve
+    /// across the candidate pool.
+    ///
+    /// Candidates are processed in blocks of [`EI_BLOCK`]. A block's
+    /// kernel columns are packed candidate-interleaved (`ks[j·b + c]` is
+    /// `k(x_c, xs[j])`), and both stages stream their big operand once
+    /// per block instead of once per candidate: the kernel packing walks
+    /// the stored history a single time (accumulating all of a block's
+    /// squared distances dimension by dimension), and one packed forward
+    /// substitution ([`Cholesky::solve_lower_multi`]) sweeps the factor
+    /// across every column at once. The inner loops vectorize across the
+    /// candidate lane. Per candidate the scalar operation sequence —
+    /// accumulation order included — is exactly what
+    /// [`BayesOpt::expected_improvement`] performs, so the scores are
+    /// bit-for-bit identical to the sequential path; only the memory
+    /// access pattern changes.
+    fn ei_batch(&self, xs: &[Vec<f64>], best: f64) -> Vec<f64> {
+        let chol = match &self.chol {
+            Some(c) => c,
+            None => {
+                return xs
+                    .iter()
+                    .map(|x| self.expected_improvement(x, best))
+                    .collect()
+            }
+        };
+        let n = chol.n();
+        let mut out = Vec::with_capacity(xs.len());
+        let mut ks: Vec<f64> = Vec::new();
+        let mut xt: Vec<f64> = Vec::new();
+        for block in xs.chunks(EI_BLOCK) {
+            let b = block.len();
+            ks.clear();
+            ks.resize(n * b, 0.0);
+            // Transpose the block (xt[d·b + c] = x_c[d]) so the distance
+            // accumulation reads contiguous candidate lanes, then stream
+            // the history once for the whole block. Each candidate's
+            // squared distance folds d-ascending from 0.0 and feeds the
+            // exact `kernel` expression, so every packed value is
+            // bit-identical to a scalar `kernel(x_c, xs[j])` call.
+            let dim = block.first().map_or(0, |x| x.len());
+            xt.clear();
+            xt.resize(dim * b, 0.0);
+            for (c, x) in block.iter().enumerate() {
+                for (d, &v) in x.iter().enumerate() {
+                    xt[d * b + c] = v;
+                }
+            }
+            for (j, xi) in self.xs.iter().enumerate() {
+                let mut d2 = [0.0f64; EI_BLOCK];
+                for (d, &h) in xi.iter().enumerate().take(dim) {
+                    let lane = &xt[d * b..(d + 1) * b];
+                    for c in 0..b {
+                        let diff = lane[c] - h;
+                        d2[c] += diff * diff;
+                    }
+                }
+                let row = &mut ks[j * b..(j + 1) * b];
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = self.signal_var
+                        * (-d2[c] / (2.0 * self.length_scale * self.length_scale)).exp();
+                }
+            }
+            // μ_c = Σ_j k*(c, j)·α_j, accumulated j-ascending exactly like
+            // the scalar dot product in `predict`.
+            let mut mu = [0.0f64; EI_BLOCK];
+            for j in 0..n {
+                let a = self.alpha[j];
+                for c in 0..b {
+                    mu[c] += ks[j * b + c] * a;
+                }
+            }
+            chol.solve_lower_multi(&mut ks, b);
+            for (c, x) in block.iter().enumerate() {
+                let mut ss = 0.0;
+                for i in 0..n {
+                    let z = ks[i * b + c];
+                    ss += z * z;
+                }
+                let var = (self.kernel(x, x) - ss).max(1e-12);
+                let sigma = var.sqrt();
+                out.push(if sigma < 1e-12 {
+                    0.0
+                } else {
+                    let z = (mu[c] - best - self.xi) / sigma;
+                    (mu[c] - best - self.xi) * norm_cdf(z) + sigma * norm_pdf(z)
+                });
+            }
+        }
+        out
+    }
+
     /// Kernel correlation in [0, 1]: 1 at zero distance, → 0 far away.
     fn correlation(&self, a: &[f64], b: &[f64]) -> f64 {
         (self.kernel(a, b) / self.signal_var.max(1e-12)).clamp(0.0, 1.0)
     }
 }
+
+/// Candidate-block width of the batched EI scorer: small enough that a
+/// block's solve state stays cache-resident, wide enough to amortize each
+/// factor-row load across several candidates and fill SIMD lanes.
+const EI_BLOCK: usize = 8;
 
 // Running target statistics captured at refit time.
 impl BayesOpt {
@@ -282,19 +470,31 @@ impl SearchAlgorithm for BayesOpt {
         let out = if self.xs.len() < self.n_init || self.chol.is_none() {
             ctx.policy.sample(ctx.space, rng)
         } else {
+            // Sample the pool first, then score it in one batched pass.
+            // The RNG stream, the candidate order, and the strict-`>`
+            // argmax are exactly the sequential loop's, so the proposal
+            // is unchanged bit for bit.
             let best = self.standardized_best();
-            let mut best_cfg = None;
-            let mut best_ei = f64::MIN;
+            let mut configs = Vec::with_capacity(self.pool);
+            let mut xs = Vec::with_capacity(self.pool);
             for _ in 0..self.pool {
                 let c = ctx.policy.sample(ctx.space, rng);
-                let x = ctx.encoder.encode(ctx.space, &c);
-                let ei = self.expected_improvement(&x, best);
-                if ei > best_ei {
-                    best_ei = ei;
-                    best_cfg = Some(c);
+                xs.push(ctx.encoder.encode(ctx.space, &c));
+                configs.push(c);
+            }
+            let eis = self.pool_ei(&xs, best);
+            let mut best_idx = None;
+            let mut best_ei = f64::MIN;
+            for (i, ei) in eis.iter().enumerate() {
+                if *ei > best_ei {
+                    best_ei = *ei;
+                    best_idx = Some(i);
                 }
             }
-            best_cfg.unwrap_or_else(|| ctx.policy.sample(ctx.space, rng))
+            match best_idx {
+                Some(i) => configs.swap_remove(i),
+                None => ctx.policy.sample(ctx.space, rng),
+            }
         };
         self.last_update_seconds += t0.seconds();
         out
@@ -331,11 +531,19 @@ impl SearchAlgorithm for BayesOpt {
                 ei: f64,
                 fingerprint: u64,
             }
-            let pool: Vec<PoolEntry> = (0..pool_n)
-                .map(|_| {
-                    let config = ctx.policy.sample(ctx.space, rng);
-                    let x = ctx.encoder.encode(ctx.space, &config);
-                    let ei = self.expected_improvement(&x, best);
+            let mut configs = Vec::with_capacity(pool_n);
+            let mut xs = Vec::with_capacity(pool_n);
+            for _ in 0..pool_n {
+                let config = ctx.policy.sample(ctx.space, rng);
+                xs.push(ctx.encoder.encode(ctx.space, &config));
+                configs.push(config);
+            }
+            let eis = self.pool_ei(&xs, best);
+            let pool: Vec<PoolEntry> = configs
+                .into_iter()
+                .zip(xs)
+                .zip(eis)
+                .map(|((config, x), ei)| {
                     let fingerprint = config.fingerprint();
                     PoolEntry {
                         config,
@@ -506,6 +714,71 @@ impl Cholesky {
             x[i] = sum / self.l[tri(i) + i];
         }
         x
+    }
+
+    /// Forward substitution `L Y = B` over `width` right-hand sides in
+    /// one sweep of the packed factor.
+    ///
+    /// `b` is candidate-interleaved — `b[i·width + c]` holds row `i` of
+    /// column `c` — so each packed factor row `l[tri(i)..]` is loaded
+    /// once and applied to every column, and the subtract/divide loops
+    /// vectorize across `c`. Per column the scalar operation sequence is
+    /// identical to [`Cholesky::solve_lower`]: start from the right-hand
+    /// side, subtract `l[i][p]·y[p]` for `p` ascending, then divide by
+    /// the pivot — so every column's solution is bit-for-bit the
+    /// per-candidate result.
+    #[allow(clippy::needless_range_loop)] // strided triangular indexing
+    fn solve_lower_multi(&self, b: &mut [f64], width: usize) {
+        debug_assert_eq!(b.len(), self.n * width);
+        // Full blocks take the monomorphized kernel: with the width a
+        // compile-time constant the candidate lane lives in registers and
+        // the subtract loop unrolls into packed FMAs. The runtime-width
+        // loop below serves the final partial block; both run the same
+        // per-column operation sequence.
+        if width == EI_BLOCK {
+            return self.solve_lower_multi_w::<EI_BLOCK>(b);
+        }
+        let n = self.n;
+        for i in 0..n {
+            let row = tri(i);
+            let (solved, rest) = b.split_at_mut(i * width);
+            let cur = &mut rest[..width];
+            for p in 0..i {
+                let l = self.l[row + p];
+                let y = &solved[p * width..(p + 1) * width];
+                for c in 0..width {
+                    cur[c] -= l * y[c];
+                }
+            }
+            let d = self.l[row + i];
+            for c in 0..width {
+                cur[c] /= d;
+            }
+        }
+    }
+
+    /// [`Cholesky::solve_lower_multi`] at a const width: same arithmetic
+    /// per column, but the current row accumulates in a `[f64; W]` held
+    /// in registers for the whole factor-row sweep.
+    fn solve_lower_multi_w<const W: usize>(&self, b: &mut [f64]) {
+        let n = self.n;
+        for i in 0..n {
+            let row = &self.l[tri(i)..tri(i) + i + 1];
+            let (solved, rest) = b.split_at_mut(i * W);
+            let cur: &mut [f64; W] = (&mut rest[..W]).try_into().expect("exact width");
+            let mut acc = *cur;
+            for (p, &l) in row[..i].iter().enumerate() {
+                let y: &[f64; W] = (&solved[p * W..(p + 1) * W]).try_into().expect("width");
+                for c in 0..W {
+                    acc[c] -= l * y[c];
+                }
+            }
+            let d = row[i];
+            for a in &mut acc {
+                *a /= d;
+            }
+            *cur = acc;
+        }
     }
 
     /// Solves `L y = b` (forward substitution).
@@ -729,6 +1002,64 @@ mod tests {
             "alpha diverged"
         );
         assert_eq!(incremental.y_stats, full.y_stats);
+    }
+
+    #[test]
+    fn solve_lower_multi_matches_per_column_bitwise() {
+        let k = vec![
+            4.0, 1.0, 0.5, 0.2, //
+            1.0, 5.0, 0.3, 0.1, //
+            0.5, 0.3, 3.0, 0.4, //
+            0.2, 0.1, 0.4, 2.0,
+        ];
+        let c = factor_dense(&k, 4).unwrap();
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| {
+                (0..4)
+                    .map(|i| ((i * 7 + j * 3) % 11) as f64 - 5.0)
+                    .collect()
+            })
+            .collect();
+        // Interleave the columns, one multi-solve, then compare each
+        // column against its scalar forward substitution bit for bit.
+        let width = cols.len();
+        let mut b = vec![0.0; 4 * width];
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..4 {
+                b[i * width + j] = col[i];
+            }
+        }
+        c.solve_lower_multi(&mut b, width);
+        for (j, col) in cols.iter().enumerate() {
+            let y = c.solve_lower(col);
+            for i in 0..4 {
+                assert_eq!(b[i * width + j].to_bits(), y[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_ei_matches_scalar_ei_bitwise() {
+        let alg = drive(BayesOpt::new(), 40, 11);
+        let space = one_d_space();
+        let encoder = Encoder::new(&space);
+        let mut rng = StdRng::seed_from_u64(17);
+        // 19 candidates: two full blocks of EI_BLOCK plus a remainder.
+        let xs: Vec<Vec<f64>> = (0..19)
+            .map(|_| {
+                let c = SamplePolicy::Uniform.sample(&space, &mut rng);
+                encoder.encode(&space, &c)
+            })
+            .collect();
+        let best = alg.standardized_best();
+        let batched = alg.ei_batch(&xs, best);
+        for (x, ei) in xs.iter().zip(&batched) {
+            assert_eq!(
+                ei.to_bits(),
+                alg.expected_improvement(x, best).to_bits(),
+                "batched EI diverged from the per-candidate path"
+            );
+        }
     }
 
     #[test]

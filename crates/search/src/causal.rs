@@ -10,24 +10,99 @@
 //! The cost profile the paper holds against this class (Fig. 7) is
 //! reproduced verbatim by [`CausalSearch::with_scratch_stats`], which
 //! recomputes every column statistic over all `n` observations on each
-//! rebuild — that variant drives the Fig. 7 regeneration. The default
-//! maintains the intervention ranking *incrementally*: ingesting an
-//! observation folds the new row into running raw-moment sums (O(vars²)),
-//! so a rebuild assembles the correlation matrix from the sums instead of
-//! rescanning the history — the rebuild cost stops growing with `n`.
-//! Because a from-scratch recomputation sums the rows in exactly the same
-//! order, the two modes produce **bit-identical** correlations, skeletons,
-//! and intervention rankings (proven by the `refit_equivalence` proptests
-//! at the workspace root).
+//! rebuild and re-discovers the skeleton by full conditioning-set
+//! enumeration — that variant drives the Fig. 7 regeneration. The
+//! default maintains the intervention ranking *incrementally* along two
+//! axes:
 //!
-//! What still grows, in both modes:
+//! * **statistics** — ingesting an observation folds the new row into
+//!   running raw-moment sums (O(vars²)), so a rebuild assembles the
+//!   correlation matrix from the sums instead of rescanning the history.
+//!   A from-scratch rescan folds the rows in exactly the same order, so
+//!   the two statistics modes are bit-identical;
+//! * **skeleton** — the adjacency and the separating set that removed
+//!   each edge persist across waves. On a rebuild, a previously separated
+//!   edge re-tests its stored sepset *first*: while the new wave's
+//!   sufficient statistics still support the separation (the common case
+//!   once an edge has stabilized), the edge is re-confirmed with one
+//!   conditional-independence test instead of a full conditioning-set
+//!   enumeration. A failed re-test falls back to the full enumeration, so
+//!   the edge decision — "does *some* candidate set separate the pair?" —
+//!   is evaluated over exactly the sets the from-scratch sweep
+//!   ([`CausalSearch::with_scratch_skeleton`]) would consider, and the
+//!   resulting skeleton is **bit-identical** (proven by the
+//!   `refit_equivalence` proptests at the workspace root and the doctest
+//!   below).
 //!
-//! * as data accumulates, more edges become statistically significant, so
-//!   node degrees grow and the number of order-1/order-2 conditional
-//!   tests grows superlinearly;
-//! * test results are cached across iterations keyed by sample count
-//!   (recomputation is the algorithm, caching is the memory), so memory
-//!   grows with every iteration — the Fig. 7 blow-up.
+//! [`CausalSearch::with_ci_budget`] additionally caps the order ≥ 1
+//! conditional tests a single rebuild may spend. Sepset reuse makes the
+//! cap go far — stable edges cost one test each — but an exhausted budget
+//! trusts the previous wave's verdicts for the rest of the sweep, so a
+//! budgeted skeleton is an explicit approximation and is *not* covered by
+//! the equivalence guarantee.
+//!
+//! What still grows: as data accumulates, more edges become statistically
+//! significant, so node degrees grow and the number of conditional tests
+//! grows superlinearly (sepset reuse blunts, budget caps). In the scratch
+//! profile, test results are additionally cached across iterations keyed
+//! by sample count (recomputation is the algorithm, caching is the
+//! memory), so memory grows with every iteration — the Fig. 7 blow-up.
+//! The default skips that cache — recomputing a Fisher z is cheaper than
+//! hashing its key — and persists only the sepset map, bounded by the
+//! number of edges ever separated.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use wf_configspace::{ConfigSpace, Encoder, ParamKind, ParamSpec, Stage};
+//! use wf_jobfile::Direction;
+//! use wf_search::api::{Observation, SamplePolicy, SearchAlgorithm, SearchContext};
+//! use wf_search::CausalSearch;
+//!
+//! let mut space = ConfigSpace::new();
+//! for i in 0..6 {
+//!     space.add(ParamSpec::new(
+//!         format!("p{i}"),
+//!         ParamKind::int(0, 100),
+//!         Stage::Runtime,
+//!     ));
+//! }
+//! let encoder = Encoder::new(&space);
+//! let policy = SamplePolicy::Uniform;
+//! let mut incremental = CausalSearch::new(); // persisted skeleton (default)
+//! let mut scratch = CausalSearch::new().with_scratch_stats(true); // published profile
+//! let mut history = Vec::new();
+//! let mut rng = StdRng::seed_from_u64(5);
+//! for i in 0..24 {
+//!     let ctx = SearchContext {
+//!         space: &space,
+//!         encoder: &encoder,
+//!         direction: Direction::Maximize,
+//!         policy: &policy,
+//!         history: &history,
+//!         iteration: i,
+//!     };
+//!     let c = policy.sample(&space, &mut rng);
+//!     let y = c.by_name(&space, "p0").unwrap().as_f64();
+//!     let obs = Observation::ok(c, y, 1.0);
+//!     incremental.observe(&ctx, &obs);
+//!     scratch.observe(&ctx, &obs);
+//!     history.push(obs);
+//! }
+//! let ctx = SearchContext {
+//!     space: &space,
+//!     encoder: &encoder,
+//!     direction: Direction::Maximize,
+//!     policy: &policy,
+//!     history: &history,
+//!     iteration: 24,
+//! };
+//! let (mut r1, mut r2) = (StdRng::seed_from_u64(9), StdRng::seed_from_u64(9));
+//! assert_eq!(
+//!     incremental.propose_batch(3, &ctx, &mut r1),
+//!     scratch.propose_batch(3, &ctx, &mut r2),
+//! );
+//! ```
 
 use crate::api::{fill_distinct, AlgoStats, Observation, SearchAlgorithm, SearchContext};
 use crate::host_clock::HostTimer;
@@ -51,6 +126,14 @@ pub struct CausalSearch {
     /// Recompute the column statistics from the full history on every
     /// rebuild (the published Unicorn cost profile; used by Fig. 7).
     scratch_stats: bool,
+    /// Re-discover the skeleton by full conditioning-set enumeration on
+    /// every rebuild, with the sample-count-keyed test cache (the
+    /// published profile; implied by `scratch_stats`).
+    scratch_skeleton: bool,
+    /// Cap on order ≥ 1 conditional-independence tests per rebuild
+    /// (`None` = unlimited; the only mode covered by the equivalence
+    /// guarantee).
+    ci_budget: Option<usize>,
 
     xs: Vec<Vec<f64>>,
     ys: Vec<f64>,
@@ -66,8 +149,17 @@ pub struct CausalSearch {
     /// Correlation of each feature with the outcome (last recompute).
     outcome_corr: Vec<f64>,
     /// Accumulated test cache: (i, j, conditioning-set hash, n) → p-ish
-    /// statistic. Never evicted.
+    /// statistic. Never evicted. Scratch-skeleton mode only.
     test_cache: HashMap<(u32, u32, u64, u32), f64>,
+    /// Persisted incremental-skeleton state: for each edge `(i, j)`
+    /// (`i > j`) currently separated, the conditioning set that last
+    /// separated it. Re-tested first on the next rebuild.
+    sepsets: HashMap<(u32, u32), Vec<usize>>,
+    /// Running byte estimate of `sepsets` (wf-lint: hash maps are not
+    /// iterated for accounting).
+    sepset_bytes: usize,
+    /// Fisher-z statistics actually computed (cache hits excluded).
+    tests_run: usize,
     mem: MemTracker,
     last_update_seconds: f64,
 }
@@ -87,6 +179,8 @@ impl CausalSearch {
             n_init: 10,
             pool: 100,
             scratch_stats: false,
+            scratch_skeleton: false,
+            ci_budget: None,
             xs: Vec::new(),
             ys: Vec::new(),
             sums: Vec::new(),
@@ -94,24 +188,71 @@ impl CausalSearch {
             adjacency: Vec::new(),
             outcome_corr: Vec::new(),
             test_cache: HashMap::new(),
+            sepsets: HashMap::new(),
+            sepset_bytes: 0,
+            tests_run: 0,
             mem: MemTracker::new(),
             last_update_seconds: 0.0,
         }
     }
 
-    /// Number of conditional-independence tests performed so far.
+    /// Number of conditional-independence test statistics actually
+    /// computed so far (scratch-mode cache hits are not re-counted).
     pub fn tests_performed(&self) -> usize {
-        self.test_cache.len()
+        self.tests_run
     }
 
-    /// Recomputes the column statistics from the full history on every
-    /// rebuild — the published Unicorn cost profile, O(n·vars²) per
-    /// rebuild (Fig. 7 regenerates with this variant). The default
-    /// (false) maintains the same sums incrementally at ingest, which is
-    /// bit-identical because a rescan folds the rows in the same order.
+    /// Recomputes everything from scratch on every rebuild — the
+    /// published Unicorn cost profile, O(n·vars²) statistics plus a full
+    /// conditioning-set enumeration per rebuild (Fig. 7 regenerates with
+    /// this variant; it implies [`CausalSearch::with_scratch_skeleton`]).
+    /// The default (false) maintains the same sums incrementally at
+    /// ingest and the skeleton incrementally across waves; both axes are
+    /// bit-identical to the scratch recomputation.
     pub fn with_scratch_stats(mut self, scratch: bool) -> Self {
         self.scratch_stats = scratch;
+        self.scratch_skeleton = scratch;
         self
+    }
+
+    /// Re-discovers the skeleton by full conditioning-set enumeration on
+    /// every rebuild, with the sample-count-keyed test cache — the
+    /// published sweep, without also rescanning the column statistics.
+    /// Bit-identical to the default sepset-reusing sweep (see the module
+    /// docs); the equivalence proptests drive this toggle to isolate the
+    /// skeleton axis.
+    pub fn with_scratch_skeleton(mut self, scratch: bool) -> Self {
+        self.scratch_skeleton = scratch;
+        self
+    }
+
+    /// Caps the order ≥ 1 conditional-independence tests a single rebuild
+    /// may spend (level-0 marginal tests are always run — they are the
+    /// skeleton's base). Sepset reuse stretches the budget: a previously
+    /// separated edge usually re-confirms with one test. When the budget
+    /// is exhausted mid-sweep, the remaining edges inherit the previous
+    /// wave's verdicts (separated edges stay separated, the rest keep
+    /// their level-0 state) — an explicit approximation, excluded from
+    /// the scratch-equivalence guarantee.
+    pub fn with_ci_budget(mut self, budget: usize) -> Self {
+        self.ci_budget = Some(budget);
+        self
+    }
+
+    /// Bookkeeping for the persisted sepset map (hash maps are never
+    /// iterated for accounting, so bytes are tracked at mutation).
+    fn sepset_insert(&mut self, key: (u32, u32), s: Vec<usize>) {
+        let added = SEPSET_ENTRY_BYTES + s.len() * 8;
+        if let Some(old) = self.sepsets.insert(key, s) {
+            self.sepset_bytes -= SEPSET_ENTRY_BYTES + old.len() * 8;
+        }
+        self.sepset_bytes += added;
+    }
+
+    fn sepset_remove(&mut self, key: &(u32, u32)) {
+        if let Some(old) = self.sepsets.remove(key) {
+            self.sepset_bytes -= SEPSET_ENTRY_BYTES + old.len() * 8;
+        }
     }
 
     /// Folds one (features, outcome) row into the running raw-moment
@@ -198,30 +339,98 @@ impl CausalSearch {
 
         // Level 1..max_order: try to separate each edge by conditioning on
         // common neighbors (PC algorithm). Degrees grow with data, so this
-        // is the superlinear part.
+        // is the superlinear part. The incremental sweep re-tests each
+        // previously separated edge's stored sepset first (one test while
+        // the statistics keep supporting the separation) before falling
+        // back to the full enumeration; the edge decision is the same
+        // "does some candidate set separate the pair?" either way, so the
+        // skeleton matches the scratch sweep bit for bit.
+        let mut remaining: usize = self.ci_budget.unwrap_or(usize::MAX);
         for order in 1..=self.max_order {
             let edges: Vec<(usize, usize)> = (0..vars)
                 .flat_map(|i| adj[i].iter().filter(move |&&j| j < i).map(move |&j| (i, j)))
                 .collect();
             for (i, j) in edges {
-                let neighbors: Vec<usize> = adj[i]
+                let key = (i as u32, j as u32);
+                let mut neighbors: Vec<usize> = adj[i]
                     .iter()
                     .chain(adj[j].iter())
                     .copied()
                     .filter(|&k| k != i && k != j)
                     .collect();
-                let sets = conditioning_sets(&neighbors, order);
-                let mut separated = false;
-                for s in sets {
-                    let pr = partial_corr(&corr, vars, i, j, &s);
-                    if !self.fisher_dependent(i, j, &s, pr, n) {
-                        separated = true;
-                        break;
+                neighbors.sort_unstable();
+                neighbors.dedup();
+                let mut separated: Option<Vec<usize>> = None;
+                if self.scratch_skeleton {
+                    for s in conditioning_sets(&neighbors, order) {
+                        let pr = partial_corr(&corr, vars, i, j, &s);
+                        if !self.fisher_dependent(i, j, &s, pr, n) {
+                            separated = Some(s);
+                            break;
+                        }
+                    }
+                } else {
+                    if remaining == 0 {
+                        // Budget exhausted: inherit the previous wave's
+                        // verdict instead of testing.
+                        if self.sepsets.contains_key(&key) {
+                            adj[i].retain(|&k| k != j);
+                            adj[j].retain(|&k| k != i);
+                        }
+                        continue;
+                    }
+                    // The stored sepset is only a reordering hint: it must
+                    // be one of this sweep's candidate sets, otherwise the
+                    // edge decision could diverge from the scratch sweep.
+                    let hint: Option<Vec<usize>> = self
+                        .sepsets
+                        .get(&key)
+                        .filter(|h| {
+                            h.len() == order && h.iter().all(|k| neighbors.binary_search(k).is_ok())
+                        })
+                        .cloned();
+                    let mut hint_failed = false;
+                    if let Some(h) = hint {
+                        remaining -= 1;
+                        let pr = partial_corr(&corr, vars, i, j, &h);
+                        if !self.fisher_dependent(i, j, &h, pr, n) {
+                            separated = Some(h);
+                        } else {
+                            hint_failed = true;
+                        }
+                    }
+                    if separated.is_none() {
+                        let mut truncated = false;
+                        for s in conditioning_sets(&neighbors, order) {
+                            if remaining == 0 {
+                                truncated = true;
+                                break;
+                            }
+                            remaining -= 1;
+                            let pr = partial_corr(&corr, vars, i, j, &s);
+                            if !self.fisher_dependent(i, j, &s, pr, n) {
+                                separated = Some(s);
+                                break;
+                            }
+                        }
+                        // Drop a stored separation once it is disproven:
+                        // either its re-test failed, or the edge survived
+                        // a complete final-order enumeration. (A sweep at
+                        // a lower order must not evict a higher-order
+                        // sepset it never re-tested.)
+                        if separated.is_none()
+                            && (hint_failed || (order == self.max_order && !truncated))
+                        {
+                            self.sepset_remove(&key);
+                        }
                     }
                 }
-                if separated {
+                if let Some(s) = separated {
                     adj[i].retain(|&k| k != j);
                     adj[j].retain(|&k| k != i);
+                    if !self.scratch_skeleton {
+                        self.sepset_insert(key, s);
+                    }
                 }
             }
         }
@@ -230,8 +439,9 @@ impl CausalSearch {
         self.adjacency = adj;
 
         // Account memory: raw data + correlation matrix + running moment
-        // sums + adjacency + the ever-growing test cache (3 u32 + u64 key
-        // ≈ 24 B + 8 B value).
+        // sums + adjacency + the persisted sepsets + (scratch profile
+        // only) the ever-growing test cache (3 u32 + u64 key ≈ 24 B +
+        // 8 B value).
         let data = self
             .xs
             .iter()
@@ -243,7 +453,8 @@ impl CausalSearch {
             + bytes_of_f64s(self.sums.len() + self.cross.len());
         let graph: usize = self.adjacency.iter().map(|a| a.len() * 8).sum();
         let cache = self.test_cache.len() * 48;
-        self.mem.set_live(data + matrices + graph + cache);
+        self.mem
+            .set_live(data + matrices + graph + cache + self.sepset_bytes);
     }
 
     /// Stores one observation without rebuilding the skeleton, folding it
@@ -313,26 +524,52 @@ impl CausalSearch {
             .collect()
     }
 
-    /// Fisher-z conditional dependence test, cached forever (keyed by the
-    /// sample count, so every iteration adds fresh entries).
-    fn fisher_dependent(&mut self, i: usize, j: usize, s: &[usize], r: f64, n: usize) -> bool {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &v in s {
-            h ^= v as u64 + 1;
-            h = h.wrapping_mul(0x1000_0000_01b3);
+    /// The Fisher z statistic for correlation `r` with a conditioning set
+    /// of `s_len` variables over `n` samples. Both skeleton modes funnel
+    /// through this function, which is what makes their decisions
+    /// identical.
+    fn z_stat(r: f64, s_len: usize, n: usize) -> f64 {
+        let df = n as f64 - s_len as f64 - 3.0;
+        if df <= 0.0 {
+            return 0.0;
         }
-        let key = (i as u32, j as u32, h, n as u32);
-        let z = *self.test_cache.entry(key).or_insert_with(|| {
-            let df = n as f64 - s.len() as f64 - 3.0;
-            if df <= 0.0 {
-                return 0.0;
+        let r = r.clamp(-0.999_999, 0.999_999);
+        df.sqrt() * 0.5 * ((1.0 + r) / (1.0 - r)).ln()
+    }
+
+    /// Fisher-z conditional dependence test. The scratch profile caches
+    /// every statistic forever, keyed by the sample count — so every
+    /// iteration adds fresh entries (the Fig. 7 memory story). The
+    /// incremental profile recomputes: the statistic is a handful of
+    /// flops, cheaper than hashing its key.
+    fn fisher_dependent(&mut self, i: usize, j: usize, s: &[usize], r: f64, n: usize) -> bool {
+        let z = if self.scratch_skeleton {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &v in s {
+                h ^= v as u64 + 1;
+                h = h.wrapping_mul(0x1000_0000_01b3);
             }
-            let r = r.clamp(-0.999_999, 0.999_999);
-            df.sqrt() * 0.5 * ((1.0 + r) / (1.0 - r)).ln()
-        });
+            let key = (i as u32, j as u32, h, n as u32);
+            match self.test_cache.get(&key) {
+                Some(&z) => z,
+                None => {
+                    let z = Self::z_stat(r, s.len(), n);
+                    self.tests_run += 1;
+                    self.test_cache.insert(key, z);
+                    z
+                }
+            }
+        } else {
+            self.tests_run += 1;
+            Self::z_stat(r, s.len(), n)
+        };
         z.abs() > self.z_threshold
     }
 }
+
+/// Estimated bytes per sepset map entry beyond the set itself: the edge
+/// key, the `Vec` header, and hash-table slot overhead.
+const SEPSET_ENTRY_BYTES: usize = 40;
 
 /// All conditioning sets of exactly `order` elements (bounded enumeration).
 fn conditioning_sets(neighbors: &[usize], order: usize) -> Vec<Vec<usize>> {
@@ -470,7 +707,8 @@ impl SearchAlgorithm for CausalSearch {
         // workload shift invalidates the correlations it encodes, so both
         // modes restart from scratch. The conditional-independence test
         // cache is keyed by sample count and data hashes, so stale entries
-        // can never be re-hit; dropping it keeps memory honest.
+        // can never be re-hit; dropping it (and the persisted sepsets,
+        // which encode the invalidated graph) keeps memory honest.
         self.xs.clear();
         self.ys.clear();
         self.sums.clear();
@@ -478,6 +716,9 @@ impl SearchAlgorithm for CausalSearch {
         self.adjacency.clear();
         self.outcome_corr.clear();
         self.test_cache.clear();
+        self.sepsets.clear();
+        self.sepset_bytes = 0;
+        self.tests_run = 0;
         self.mem.set_live(0);
     }
 
@@ -621,6 +862,189 @@ mod tests {
             incremental.propose_batch(4, &ctx, &mut rng_a),
             scratch.propose_batch(4, &ctx, &mut rng_b)
         );
+    }
+
+    /// Feeds the same observation stream to two searches and asserts they
+    /// agree on skeleton, ranking, and proposals bit for bit.
+    fn assert_equivalent(mut a: CausalSearch, mut b: CausalSearch, seed: u64) {
+        let space = space(12);
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut history: Vec<Observation> = Vec::new();
+        for i in 0..48 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = ctx.policy.sample(ctx.space, &mut rng);
+            let y = c.by_name(&space, "p0").unwrap().as_f64()
+                - 0.3 * c.by_name(&space, "p3").unwrap().as_f64();
+            let obs = Observation::ok(c, y, 1.0);
+            // Alternate single observes and wave boundaries so rebuilds
+            // happen at several history lengths.
+            if i % 5 == 4 {
+                let wave = [obs.clone()];
+                a.observe_batch(&ctx, &wave);
+                b.observe_batch(&ctx, &wave);
+            } else {
+                a.observe(&ctx, &obs);
+                b.observe(&ctx, &obs);
+            }
+            history.push(obs);
+            assert_eq!(a.adjacency, b.adjacency, "skeletons diverged at i={i}");
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.outcome_corr), bits(&b.outcome_corr));
+        let ctx = SearchContext {
+            space: &space,
+            encoder: &encoder,
+            direction: Direction::Maximize,
+            policy: &policy,
+            history: &history,
+            iteration: 48,
+        };
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        assert_eq!(
+            a.propose_batch(4, &ctx, &mut rng_a),
+            b.propose_batch(4, &ctx, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn incremental_skeleton_matches_scratch_sweep_bit_for_bit() {
+        // Isolates the skeleton axis: both sides fold statistics
+        // incrementally; only the sweep differs.
+        assert_equivalent(
+            CausalSearch::new(),
+            CausalSearch::new().with_scratch_skeleton(true),
+            41,
+        );
+    }
+
+    #[test]
+    fn incremental_everything_matches_full_scratch_profile() {
+        // Both axes at once: the published Fig. 7 profile.
+        assert_equivalent(
+            CausalSearch::new(),
+            CausalSearch::new().with_scratch_stats(true),
+            42,
+        );
+    }
+
+    #[test]
+    fn sepset_reuse_cuts_conditional_tests() {
+        // Same stream, with and without the persisted skeleton: the
+        // sepset-reusing sweep must compute strictly fewer statistics.
+        let space = space(12);
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut incremental = CausalSearch::new();
+        let mut scratch = CausalSearch::new().with_scratch_skeleton(true);
+        let mut rng = StdRng::seed_from_u64(13);
+        let history: Vec<Observation> = Vec::new();
+        for i in 0..60 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = ctx.policy.sample(ctx.space, &mut rng);
+            let y = c.by_name(&space, "p0").unwrap().as_f64()
+                + 0.5 * c.by_name(&space, "p1").unwrap().as_f64();
+            let obs = Observation::ok(c, y, 1.0);
+            incremental.observe(&ctx, &obs);
+            scratch.observe(&ctx, &obs);
+        }
+        assert_eq!(incremental.adjacency, scratch.adjacency);
+        // The scratch count excludes cache hits, so this compares unique
+        // statistics against the incremental sweep's total work.
+        assert!(
+            incremental.tests_performed() < scratch.tests_performed(),
+            "incremental {} vs scratch {}",
+            incremental.tests_performed(),
+            scratch.tests_performed()
+        );
+    }
+
+    #[test]
+    fn ci_budget_caps_conditional_tests_per_rebuild() {
+        let space = space(16);
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let budget = 10;
+        let mut alg = CausalSearch::new().with_ci_budget(budget);
+        let mut rng = StdRng::seed_from_u64(21);
+        let history: Vec<Observation> = Vec::new();
+        let vars = 17; // 16 features + outcome
+        let level0 = vars * (vars - 1) / 2;
+        let mut prev = 0;
+        for i in 0..50 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = ctx.policy.sample(ctx.space, &mut rng);
+            let y = c.by_name(&space, "p0").unwrap().as_f64();
+            alg.observe(&ctx, &Observation::ok(c, y, 1.0));
+            let spent = alg.tests_performed() - prev;
+            prev = alg.tests_performed();
+            assert!(
+                spent <= level0 + budget,
+                "rebuild at i={i} spent {spent} tests (level-0 cap {level0} + budget {budget})"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_search_still_finds_the_influential_parameter() {
+        let space = space(10);
+        let encoder = Encoder::new(&space);
+        let policy = SamplePolicy::Uniform;
+        let mut alg = CausalSearch::new().with_ci_budget(25);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut history: Vec<Observation> = Vec::new();
+        for i in 0..60 {
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            let c = alg.propose(&ctx, &mut rng);
+            let y = c.by_name(&space, "p0").unwrap().as_f64();
+            let obs = Observation::ok(c, y, 1.0);
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &history,
+                iteration: i,
+            };
+            alg.observe(&ctx, &obs);
+            history.push(obs);
+        }
+        let late: Vec<f64> = history[40..]
+            .iter()
+            .map(|o| o.config.by_name(&space, "p0").unwrap().as_f64())
+            .collect();
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(mean > 65.0, "late p0 mean {mean} (random would be ~50)");
     }
 
     #[test]

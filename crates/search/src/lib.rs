@@ -6,11 +6,17 @@
 //!   contexts, sampling policies, and per-iteration cost statistics;
 //! * [`random`] — the random-search baseline;
 //! * [`grid`] — systematic coordinate sweeps;
-//! * [`bayes`] — from-scratch Gaussian-process Bayesian optimization
-//!   (RBF kernel, Cholesky, expected improvement) with its O(n³)/O(n²)
-//!   costs on display (Fig. 9);
-//! * [`causal`] — a Unicorn-style PC-algorithm causal search whose
-//!   recompute-everything cost profile reproduces Fig. 7;
+//! * [`bayes`] — Gaussian-process Bayesian optimization (RBF kernel,
+//!   packed Cholesky, expected improvement). The default maintains the
+//!   factor incrementally (O(n²) per observe) and scores proposal pools
+//!   with one batched matrix-level triangular solve; the from-scratch
+//!   O(n³)-per-observe profile the paper critiques (Fig. 9) survives
+//!   behind `BayesOpt::with_full_refit`, bit-identical by proof;
+//! * [`causal`] — a Unicorn-style PC-algorithm causal search. The default
+//!   folds column statistics at ingest and persists the skeleton's
+//!   adjacency/sepset state across waves; the recompute-everything cost
+//!   profile that reproduces Fig. 7 survives behind
+//!   `CausalSearch::with_scratch_stats`, bit-identical by proof;
 //! * [`memtrack`] — explicit byte accounting (the `tracemalloc`
 //!   substitute).
 //!

@@ -15,6 +15,7 @@
 //! wfctl validate <job.yaml>        # parse + resolve a job without running it
 //! wfctl targets                    # list every registered target
 //! wfctl bench --out BENCH.json     # time the controller hot paths
+//! wfctl bench --target unikraft    # ... on a registered target's space
 //! wfctl probe                      # run the §3.4 runtime-space inference
 //! wfctl experiments                # list the regeneration targets
 //! wfctl daemon --root DIR          # serve the wfd daemon in the foreground
@@ -112,7 +113,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR] [--backend B] [--routing R]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl.\n                              --backend picks where evaluations execute\n                              (spawn | in-process | remote; remote launches\n                              one wf-evald process per worker); --routing\n                              picks the slot->lane strategy (random |\n                              fastest | round-robin | preferred)\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl verify <DIR>          verify the store's hash-chained event\n                              ledger line by line (tamper/corruption check)\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl daemon [--root DIR]   serve the wfd multi-tenant daemon in the\n                              foreground over the state root DIR (or\n                              WF_DAEMON); Ctrl-C parks every session at\n                              its wave boundary, resumable\n  wfctl submit <job.yaml> [--daemon DIR]\n                              hand a job to a running daemon; prints the\n                              session id and store directory. The root\n                              resolves --daemon > WF_DAEMON > the job's\n                              `daemon:` key\n  wfctl sessions [--daemon DIR]\n                              list the daemon's sessions and statuses\n  wfctl watch <ID> [--daemon DIR]\n                              stream a daemon session's events until it\n                              ends (or Ctrl-C; the session keeps running)\n  wfctl stop <ID> [--daemon DIR]\n                              park a daemon session at its next wave\n                              boundary; its store resumes with\n                              `wfctl resume`\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl lint [ROOT] [--format human|json] [--out PATH] [--list-rules]\n                              run the wf-lint determinism & robustness\n                              static analysis over the workspace (ROOT\n                              defaults to `.`; config from wf-lint.toml);\n                              exits nonzero on any unsuppressed finding —\n                              the same check CI's lint-pass leg enforces\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
+const USAGE: &str = "usage:\n  wfctl run [<job.yaml>] [--os K] [--app A] [--workers N]\n            [--iterations I] [--time-budget-s S] [--repetitions R]\n            [--seed S] [--out DIR] [--backend B] [--routing R]\n                              run a job file to completion; flags override\n                              the job's keys (and WF_WORKERS). With --os\n                              and no job file, runs an ad-hoc random-search\n                              session on the registered target K. --out\n                              (or the job's `out:` key) writes a session\n                              store: manifest.yaml + events.jsonl.\n                              --backend picks where evaluations execute\n                              (spawn | in-process | remote; remote launches\n                              one wf-evald process per worker); --routing\n                              picks the slot->lane strategy (random |\n                              fastest | round-robin | preferred)\n  wfctl resume <DIR> [--iterations I] [--time-budget-s S]\n                              resume an interrupted session store where it\n                              stopped (optionally extending the budget);\n                              no completed evaluation is re-run\n  wfctl report <DIR>          render the full report of a session store,\n                              offline — zero re-evaluations\n  wfctl verify <DIR>          verify the store's hash-chained event\n                              ledger line by line (tamper/corruption check)\n  wfctl validate <job.yaml>   parse + resolve a job without running it\n  wfctl daemon [--root DIR]   serve the wfd multi-tenant daemon in the\n                              foreground over the state root DIR (or\n                              WF_DAEMON); Ctrl-C parks every session at\n                              its wave boundary, resumable\n  wfctl submit <job.yaml> [--daemon DIR]\n                              hand a job to a running daemon; prints the\n                              session id and store directory. The root\n                              resolves --daemon > WF_DAEMON > the job's\n                              `daemon:` key\n  wfctl sessions [--daemon DIR]\n                              list the daemon's sessions and statuses\n  wfctl watch <ID> [--daemon DIR]\n                              stream a daemon session's events until it\n                              ends (or Ctrl-C; the session keeps running)\n  wfctl stop <ID> [--daemon DIR]\n                              park a daemon session at its next wave\n                              boundary; its store resumes with\n                              `wfctl resume`\n  wfctl targets               list every registered target\n  wfctl bench [--quick] [--out PATH] [--target K]\n                              time the controller-side hot paths (search\n                              propose/observe batches, DeepTune batches,\n                              store append/replay, wave dispatch) and\n                              optionally write the machine-readable JSON\n                              (BENCH_search.json is the committed baseline\n                              the CI perf gate diffs against). --target K\n                              times the search hot paths on the registered\n                              target K's own space and sampling policy\n                              instead (BENCH_<K>.json are the committed\n                              per-target baselines)\n  wfctl probe                 run the §3.4 runtime-space inference\n  wfctl lint [ROOT] [--format human|json] [--out PATH] [--list-rules]\n                              run the wf-lint determinism & robustness\n                              static analysis over the workspace (ROOT\n                              defaults to `.`; config from wf-lint.toml);\n                              exits nonzero on any unsuppressed finding —\n                              the same check CI's lint-pass leg enforces\n  wfctl experiments           list the regeneration targets\n  wfctl --help                show this help";
 
 /// Parses one flag value, advancing the cursor.
 fn flag_value(rest: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -1084,6 +1085,7 @@ fn stop_session(args: &ClientArgs) -> ExitCode {
 struct BenchArgs {
     quick: bool,
     out: Option<String>,
+    target: Option<String>,
 }
 
 impl BenchArgs {
@@ -1091,6 +1093,7 @@ impl BenchArgs {
         let mut bench = BenchArgs {
             quick: false,
             out: None,
+            target: None,
         };
         let mut i = 0;
         while i < rest.len() {
@@ -1100,6 +1103,7 @@ impl BenchArgs {
                     i += 1;
                 }
                 "--out" => bench.out = Some(flag_value(rest, &mut i, "--out")?),
+                "--target" => bench.target = Some(flag_value(rest, &mut i, "--target")?),
                 flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
                 operand => return Err(format!("bench takes no operand, got {operand:?}")),
             }
@@ -1110,14 +1114,44 @@ impl BenchArgs {
 
 fn run_bench(args: &BenchArgs) -> ExitCode {
     use wayfinder::bench::perf;
-    println!(
-        "wfctl bench: timing the controller hot paths ({} mode) ...",
-        if args.quick { "quick" } else { "full" }
-    );
-    let results = perf::run_suite(args.quick);
+    let mode = if args.quick { "quick" } else { "full" };
+    let (results, suite) = match &args.target {
+        None => {
+            println!("wfctl bench: timing the controller hot paths ({mode} mode) ...");
+            (perf::run_suite(args.quick), perf::MAIN_SUITE.to_string())
+        }
+        Some(keyword) => {
+            let registry = wayfinder::scenarios::registry();
+            let Some(factory) = registry.get(keyword) else {
+                eprintln!(
+                    "unknown bench target {keyword:?}; registered targets: {}",
+                    registry.keywords().join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let request = wayfinder::core::TargetRequest {
+                app: factory.default_app().to_string(),
+                runtime_params: 200,
+            };
+            let instance = match factory.instantiate(&request) {
+                Ok(instance) => instance,
+                Err(e) => {
+                    eprintln!("cannot instantiate bench target {keyword}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "wfctl bench: timing the search hot paths on target {keyword} ({mode} mode) ..."
+            );
+            (
+                perf::run_target_suite(instance.target.space(), &instance.policy, args.quick),
+                perf::target_suite_tag(keyword),
+            )
+        }
+    };
     print!("{}", perf::render_table(&results));
     if let Some(path) = &args.out {
-        let json = perf::to_json(&results, args.quick);
+        let json = perf::to_json_tagged(&results, args.quick, &suite);
         // `--out bench/out.json` into a directory that does not exist yet
         // should just work: create the parents rather than surfacing a
         // raw ENOENT after minutes of timing.
@@ -1131,10 +1165,10 @@ fn run_bench(args: &BenchArgs) -> ExitCode {
             }
         }
         if let Err(e) = std::fs::write(path, json) {
-            eprintln!("cannot write {path}: {e}");
+            eprintln!("cannot write {suite} baseline {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path} ({} ops)", results.len());
+        println!("wrote {path} ({} ops, suite {suite})", results.len());
     }
     ExitCode::SUCCESS
 }

@@ -2,16 +2,19 @@
 //! run end to end through the real binary, emit JSON that parses, cover
 //! every declared op exactly once, and be shape-stable across runs (same
 //! ops in the same order — the property the committed baseline and the
-//! CI regression gate lean on).
+//! CI regression gate lean on). The `--target` variant gets the same
+//! treatment over a registered compile-stage space, plus a clear error
+//! for unknown keywords.
 
 use std::path::Path;
 use std::process::Command;
 use wayfinder::bench::perf;
 
-fn run_bench(out: &Path) -> Vec<perf::OpResult> {
+fn run_bench_args(out: &Path, extra: &[&str]) -> perf::BenchDoc {
     let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
         .args(["bench", "--quick", "--out"])
         .arg(out)
+        .args(extra)
         .output()
         .expect("wfctl bench runs");
     assert!(
@@ -20,7 +23,11 @@ fn run_bench(out: &Path) -> Vec<perf::OpResult> {
         String::from_utf8_lossy(&output.stderr)
     );
     let text = std::fs::read_to_string(out).expect("bench JSON written");
-    perf::parse_json(&text).expect("bench JSON parses")
+    perf::parse_json_doc(&text).expect("bench JSON parses")
+}
+
+fn run_bench(out: &Path) -> Vec<perf::OpResult> {
+    run_bench_args(out, &[]).ops
 }
 
 #[test]
@@ -74,4 +81,58 @@ fn quick_bench_covers_every_declared_op_and_is_shape_stable() {
     assert_eq!(second_ops, emitted, "op shape drifted between runs");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn target_bench_covers_the_per_target_suite() {
+    let dir = std::env::temp_dir().join(format!("wf-bench-target-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Per-target baselines land in nested paths like
+    // `baselines/BENCH_unikraft.json`; the parent must be created too.
+    let out = dir.join("baselines").join("BENCH_unikraft.json");
+    let doc = run_bench_args(&out, &["--target", "unikraft"]);
+    assert_eq!(
+        doc.suite,
+        perf::target_suite_tag("unikraft"),
+        "per-target documents must carry the target's suite tag"
+    );
+    assert!(doc.quick, "the quick flag must round-trip");
+    let emitted: Vec<(String, u64)> = doc.ops.iter().map(|r| (r.op.clone(), r.n)).collect();
+    assert_eq!(
+        emitted,
+        perf::target_declared_ops(),
+        "emitted ops must cover every declared per-target op, in order"
+    );
+    // The same document must satisfy the staleness check the CI gate
+    // applies to committed per-target baselines.
+    let declared = perf::declared_ops_for(&doc.suite).expect("suite tag resolves");
+    assert!(
+        perf::stale_ops_in(&declared, &doc.ops).is_empty(),
+        "a fresh per-target run must not look stale to its own suite"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_bench_target_fails_with_the_registry_listing() {
+    let output = Command::new(env!("CARGO_BIN_EXE_wfctl"))
+        .args(["bench", "--quick", "--target", "no-such-target"])
+        .output()
+        .expect("wfctl runs");
+    assert!(
+        !output.status.success(),
+        "an unknown target keyword must fail"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown bench target") && stderr.contains("no-such-target"),
+        "error must name the bad keyword: {stderr}"
+    );
+    // The error doubles as discovery: it lists what *is* registered.
+    assert!(
+        stderr.contains("unikraft") && stderr.contains("linux-riscv"),
+        "error must list the registered targets: {stderr}"
+    );
 }

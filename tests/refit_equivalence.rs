@@ -7,11 +7,19 @@
 //!   therefore every subsequent `propose`/`propose_batch` — **bit-for-
 //!   bit identical** to the from-scratch O(n³) refit
 //!   (`BayesOpt::with_full_refit(true)`).
+//! * `bayes` pool scoring: the batched matrix-level EI solve (kernel
+//!   columns packed candidate-interleaved, one forward substitution per
+//!   block) must propose exactly what the per-candidate reference loop
+//!   (`BayesOpt::with_scalar_ei(true)`) proposes.
 //! * `causal`: intervention rankings maintained from running raw-moment
 //!   sums must match the published rescan-the-history variant
 //!   (`CausalSearch::with_scratch_stats(true)`) exactly.
+//! * `causal` skeleton: the sepset-reusing incremental PC sweep must
+//!   leave the same adjacency — and the same rankings — as the full
+//!   conditioning-set re-enumeration
+//!   (`CausalSearch::with_scratch_skeleton(true)`).
 //!
-//! Both properties are exercised across every registered target's space
+//! All properties are exercised across every registered target's space
 //! (the five paper targets plus the `scenarios` registrations), with
 //! histories fed through a random mix of single observes and wave-sized
 //! `observe_batch` calls, successes and crashes alike.
@@ -159,6 +167,82 @@ proptest! {
             // And the single-candidate path too.
             let single_a = incremental.propose(&ctx, &mut rng_a);
             let single_b = full.propose(&ctx, &mut rng_b);
+            prop_assert_eq!(single_a, single_b, "{}: single proposals diverged", keyword);
+        }
+    }
+
+    #[test]
+    fn batched_pool_ei_matches_per_candidate_ei(
+        seed in 0u64..1_000_000,
+        n in 8usize..16,
+    ) {
+        for (keyword, space, policy) in all_target_spaces() {
+            let encoder = Encoder::new(&space);
+            let observations = history(&space, &encoder, &policy, seed, n);
+
+            let mut batched = BayesOpt::new();
+            let mut scalar = BayesOpt::new().with_scalar_ei(true);
+            feed_both(&mut batched, &mut scalar, &space, &encoder, &policy, &observations);
+
+            // Identical scores ⇒ the same argmax over the same sampled
+            // pool ⇒ identical proposals from identical RNG state.
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &observations,
+                iteration: n,
+            };
+            let mut rng_a = StdRng::seed_from_u64(derive_seed(seed, 3 << 40));
+            let mut rng_b = StdRng::seed_from_u64(derive_seed(seed, 3 << 40));
+            let wave_a = batched.propose_batch(4, &ctx, &mut rng_a);
+            let wave_b = scalar.propose_batch(4, &ctx, &mut rng_b);
+            prop_assert_eq!(
+                &wave_a, &wave_b,
+                "{}: batched vs per-candidate EI proposals diverged ({:?} vs {:?})",
+                keyword, fingerprints(&wave_a), fingerprints(&wave_b)
+            );
+            let single_a = batched.propose(&ctx, &mut rng_a);
+            let single_b = scalar.propose(&ctx, &mut rng_b);
+            prop_assert_eq!(single_a, single_b, "{}: single proposals diverged", keyword);
+        }
+    }
+
+    #[test]
+    fn incremental_skeleton_matches_scratch_skeleton(
+        seed in 0u64..1_000_000,
+        n in 8usize..16,
+    ) {
+        for (keyword, space, policy) in all_target_spaces() {
+            let encoder = Encoder::new(&space);
+            let observations = history(&space, &encoder, &policy, seed, n);
+
+            // Isolate the skeleton axis: both sides keep incremental
+            // column statistics; only the PC sweep differs.
+            let mut incremental = CausalSearch::new();
+            let mut scratch = CausalSearch::new().with_scratch_skeleton(true);
+            feed_both(&mut incremental, &mut scratch, &space, &encoder, &policy, &observations);
+
+            let ctx = SearchContext {
+                space: &space,
+                encoder: &encoder,
+                direction: Direction::Maximize,
+                policy: &policy,
+                history: &observations,
+                iteration: n,
+            };
+            let mut rng_a = StdRng::seed_from_u64(derive_seed(seed, 4 << 40));
+            let mut rng_b = StdRng::seed_from_u64(derive_seed(seed, 4 << 40));
+            let wave_a = incremental.propose_batch(4, &ctx, &mut rng_a);
+            let wave_b = scratch.propose_batch(4, &ctx, &mut rng_b);
+            prop_assert_eq!(
+                &wave_a, &wave_b,
+                "{}: sepset-reusing vs scratch skeleton proposals diverged ({:?} vs {:?})",
+                keyword, fingerprints(&wave_a), fingerprints(&wave_b)
+            );
+            let single_a = incremental.propose(&ctx, &mut rng_a);
+            let single_b = scratch.propose(&ctx, &mut rng_b);
             prop_assert_eq!(single_a, single_b, "{}: single proposals diverged", keyword);
         }
     }
